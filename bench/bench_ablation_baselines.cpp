@@ -1,0 +1,79 @@
+// Ablation A: the exact ILP versus (a) the greedy gain/area heuristic and
+// (b) the prior-art baseline ([8]-style selection: no interface
+// co-optimization -- everything through the cheapest software interface --
+// and no parallel execution). Reported per workload at 25/50/75/100% of each
+// method's top gain:
+//
+//  * area at equal RG (ILP <= greedy wherever greedy is feasible);
+//  * the highest reachable gain (prior art caps strictly below the full
+//    method, which is the paper's core claim).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace partita;
+
+void report_workload(const workloads::Workload& w) {
+  select::Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  select::SelectOptions prior;
+  prior.imp_filter = select::prior_art_allows;
+  const std::int64_t prior_max = flow.selector().max_feasible_gain(prior);
+
+  std::printf("--- %s ---\n", w.name.c_str());
+  std::printf("top gain: full method %s | prior art %s (%.1f%%)\n",
+              support::with_commas(gmax).c_str(), support::with_commas(prior_max).c_str(),
+              gmax ? 100.0 * static_cast<double>(prior_max) / static_cast<double>(gmax)
+                   : 0.0);
+
+  support::TextTable t({"RG", "ILP area", "greedy area", "prior-art area"});
+  t.set_alignment({support::Align::kRight, support::Align::kRight, support::Align::kRight,
+                   support::Align::kRight});
+  for (int k = 1; k <= 4; ++k) {
+    const std::int64_t rg = gmax * k / 4;
+    const select::Selection ilp_sel = flow.select(rg);
+    const select::Selection greedy_sel = flow.greedy(rg);
+    const select::Selection prior_sel = flow.prior_art(rg);
+    auto cell = [](const select::Selection& s) {
+      return s.feasible ? support::compact_double(s.total_area()) : std::string("infeas");
+    };
+    t.add_row({support::with_commas(rg), cell(ilp_sel), cell(greedy_sel), cell(prior_sel)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+void BM_Baseline_Ilp(benchmark::State& state) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  for (auto _ : state) benchmark::DoNotOptimize(flow.select(rg).feasible);
+}
+BENCHMARK(BM_Baseline_Ilp)->Unit(benchmark::kMillisecond);
+
+void BM_Baseline_Greedy(benchmark::State& state) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  for (auto _ : state) benchmark::DoNotOptimize(flow.greedy(rg).feasible);
+}
+BENCHMARK(BM_Baseline_Greedy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation A: ILP vs greedy vs prior-art baseline ===\n\n");
+  report_workload(workloads::gsm_encoder());
+  report_workload(workloads::gsm_decoder());
+  report_workload(workloads::jpeg_encoder());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation E: value of IMP flattening (the paper's hierarchy handling,
+// Fig. 11). The JPEG encoder re-runs with the flattening depth capped:
+//
+//   depth 0 -- only IPs that implement a top-level callee directly are
+//              usable (the 2D-DCT block alone);
+//   depth 1..3 -- progressively deeper lifting (1D-DCT, FFT, C-MUL);
+//   unlimited -- the paper's "IMP flatten".
+//
+// Reported per cap: IMP count, max reachable gain, and the area needed at a
+// low common RG. Expected shape: without flattening the cheap deep-level
+// IPs are unreachable, so low requirements already cost the full 2D-DCT
+// block's area.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace partita;
+
+void report(const workloads::Workload& w) {
+  std::printf("--- %s ---\n", w.name.c_str());
+
+  std::vector<std::unique_ptr<select::Flow>> flows;
+  std::vector<std::int64_t> maxima;
+  const int caps[] = {0, 1, 2, 3, 6};
+  for (int cap : caps) {
+    isel::EnumerateOptions opts;
+    opts.max_flatten_depth = cap;
+    flows.push_back(std::make_unique<select::Flow>(w.module, w.library, opts));
+    maxima.push_back(flows.back()->max_feasible_gain());
+  }
+  // Common RG: a third of the *unflattened* maximum -- reachable everywhere.
+  const std::int64_t common_rg = maxima[0] / 3;
+
+  support::TextTable t({"flatten depth", "IMPs", "max gain", "area @ common RG"});
+  t.set_alignment({support::Align::kLeft, support::Align::kRight, support::Align::kRight,
+                   support::Align::kRight});
+  for (std::size_t i = 0; i < std::size(caps); ++i) {
+    const select::Selection sel = flows[i]->select(common_rg);
+    t.add_row({caps[i] == 6 ? std::string("unlimited") : std::to_string(caps[i]),
+               std::to_string(flows[i]->imp_database().imps().size()),
+               support::with_commas(maxima[i]),
+               sel.feasible ? support::compact_double(sel.total_area())
+                            : std::string("infeas")});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(common RG = %s)\n\n", support::with_commas(common_rg).c_str());
+}
+
+void BM_Flatten_FullDepthEnumeration(benchmark::State& state) {
+  workloads::Workload w = workloads::jpeg_encoder();
+  for (auto _ : state) {
+    select::Flow flow(w.module, w.library);
+    benchmark::DoNotOptimize(flow.imp_database().imps().size());
+  }
+}
+BENCHMARK(BM_Flatten_FullDepthEnumeration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation E: IMP flattening depth (hierarchy handling) ===\n\n");
+  report(workloads::jpeg_encoder());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

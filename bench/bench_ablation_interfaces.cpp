@@ -1,0 +1,88 @@
+// Ablation C: value of the interface repertoire. The GSM encoder selection
+// re-runs with the allowed interface set restricted:
+//
+//   type-0 only          -- software, unbuffered (the cheapest);
+//   unbuffered (0+2)     -- adds the hardware FSM but no buffers;
+//   software (0+1)       -- adds buffers but no FSMs;
+//   all four             -- the paper's full repertoire.
+//
+// Reported: top reachable gain and area at matched RG. Expected shape: each
+// extension weakly raises the reachable gain; the full set needs the least
+// area at any common RG.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace partita;
+
+struct Variant {
+  const char* name;
+  std::vector<iface::InterfaceType> allowed;
+};
+
+const std::vector<Variant>& variants() {
+  using IT = iface::InterfaceType;
+  static const std::vector<Variant> v = {
+      {"type-0 only", {IT::kType0}},
+      {"unbuffered (0+2)", {IT::kType0, IT::kType2}},
+      {"software (0+1)", {IT::kType0, IT::kType1}},
+      {"all four", {IT::kType0, IT::kType1, IT::kType2, IT::kType3}},
+  };
+  return v;
+}
+
+void report(const workloads::Workload& w) {
+  std::printf("--- %s ---\n", w.name.c_str());
+
+  // Common comparison RG: half of the most-restricted variant's max.
+  std::vector<std::unique_ptr<select::Flow>> flows;
+  std::vector<std::int64_t> maxima;
+  for (const Variant& v : variants()) {
+    isel::EnumerateOptions opts;
+    opts.allowed_types = v.allowed;
+    flows.push_back(std::make_unique<select::Flow>(w.module, w.library, opts));
+    maxima.push_back(flows.back()->max_feasible_gain());
+  }
+  const std::int64_t common_rg = maxima[0] / 2;
+
+  support::TextTable t({"interface set", "max gain", "area @ common RG", "IMPs"});
+  t.set_alignment({support::Align::kLeft, support::Align::kRight, support::Align::kRight,
+                   support::Align::kRight});
+  for (std::size_t i = 0; i < variants().size(); ++i) {
+    const select::Selection sel = flows[i]->select(common_rg);
+    t.add_row({variants()[i].name, support::with_commas(maxima[i]),
+               sel.feasible ? support::compact_double(sel.total_area())
+                            : std::string("infeas"),
+               std::to_string(flows[i]->imp_database().imps().size())});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(common RG = %s)\n\n", support::with_commas(common_rg).c_str());
+}
+
+void BM_Interfaces_FullRepertoire(benchmark::State& state) {
+  workloads::Workload w = workloads::gsm_encoder();
+  for (auto _ : state) {
+    select::Flow flow(w.module, w.library);
+    benchmark::DoNotOptimize(flow.max_feasible_gain());
+  }
+}
+BENCHMARK(BM_Interfaces_FullRepertoire)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation C: interface-type repertoire ===\n\n");
+  report(workloads::gsm_encoder());
+  report(workloads::gsm_decoder());
+  report(workloads::jpeg_encoder());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation D: the power budget (the paper's IMP records carry "area, power
+// and performance gain"; this bench exercises power as a first-class
+// constraint). For each workload at 50% of top gain, sweeps the power budget
+// downward from the unconstrained draw and reports the area the optimizer
+// must spend to stay under it -- the area/power trade-off curve.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace partita;
+
+void report(const workloads::Workload& w) {
+  select::Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  const select::Selection base = flow.select(rg);
+  if (!base.feasible) return;
+
+  std::printf("--- %s (RG = %s, unconstrained power %.2f, area %.2f) ---\n",
+              w.name.c_str(), support::with_commas(rg).c_str(), base.total_power(),
+              base.total_area());
+  support::TextTable t({"power budget", "feasible", "power used", "area"});
+  t.set_alignment({support::Align::kRight, support::Align::kLeft, support::Align::kRight,
+                   support::Align::kRight});
+  for (int pct : {120, 100, 80, 60, 40, 20}) {
+    select::SelectOptions opt;
+    opt.max_power = base.total_power() * pct / 100.0;
+    const select::Selection sel = flow.select(rg, opt);
+    t.add_row({support::compact_double(*opt.max_power), sel.feasible ? "yes" : "no",
+               sel.feasible ? support::compact_double(sel.total_power()) : "-",
+               sel.feasible ? support::compact_double(sel.total_area()) : "-"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+}
+
+void BM_PowerConstrainedSelect(benchmark::State& state) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  const select::Selection base = flow.select(rg);
+  select::SelectOptions opt;
+  opt.max_power = base.total_power() * 0.8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flow.select(rg, opt).feasible);
+  }
+}
+BENCHMARK(BM_PowerConstrainedSelect)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation D: power-budgeted selection ===\n\n");
+  report(workloads::gsm_encoder());
+  report(workloads::gsm_decoder());
+  report(workloads::jpeg_encoder());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Back-end bench: instruction encoding and u-ROM optimization for the
+// generated ASIP (Section 2's final step). For each paper workload at 60% of
+// its top gain, reports the instruction-class mix, the Huffman-vs-fixed
+// opcode width, and the u-ROM bits before/after two-level optimization.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "report/chip_report.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace {
+
+using namespace partita;
+
+void report_row(support::TextTable& t, const workloads::Workload& w) {
+  select::Flow flow(w.module, w.library);
+  const select::Selection sel = flow.select(flow.max_feasible_gain() * 3 / 5);
+  if (!sel.feasible) {
+    t.add_row({w.name, "-", "-", "-", "-", "-", "-"});
+    return;
+  }
+  const report::ChipReport rep = report::generate_report(flow, sel);
+  t.add_row({w.name,
+             std::to_string(rep.isa.count_of(ucode::InstrClass::kP)) + "/" +
+                 std::to_string(rep.isa.count_of(ucode::InstrClass::kC)) + "/" +
+                 std::to_string(rep.isa.count_of(ucode::InstrClass::kS)),
+             std::to_string(rep.isa.fixed_opcode_bits()),
+             support::compact_double(rep.expected_opcode_bits),
+             support::with_commas(rep.urom.raw_bits),
+             support::with_commas(rep.urom.optimized_bits),
+             support::compact_double(rep.urom.compression_ratio())});
+}
+
+void BM_Backend_GenerateReport(benchmark::State& state) {
+  workloads::Workload w = workloads::gsm_encoder();
+  select::Flow flow(w.module, w.library);
+  const select::Selection sel = flow.select(flow.max_feasible_gain() * 3 / 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report::generate_report(flow, sel).total_area);
+  }
+}
+BENCHMARK(BM_Backend_GenerateReport)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Back-end: instruction encoding + u-ROM optimization ===\n\n");
+  support::TextTable t({"workload", "P/C/S", "fixed bits", "huffman bits", "uROM raw bits",
+                        "uROM opt bits", "ratio"});
+  t.set_alignment({support::Align::kLeft, support::Align::kRight, support::Align::kRight,
+                   support::Align::kRight, support::Align::kRight, support::Align::kRight,
+                   support::Align::kRight});
+  report_row(t, workloads::gsm_encoder());
+  report_row(t, workloads::gsm_decoder());
+  report_row(t, workloads::jpeg_encoder());
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

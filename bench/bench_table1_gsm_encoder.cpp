@@ -1,0 +1,66 @@
+// Table 1: GSM(TDMA) encoder -- selected s-calls and implementation methods
+// as the required gain RG sweeps k/8 * Gmax, k = 1..8 (the paper's eight
+// rows step 47,740 ~= Gmax/8 with Gmax = 381,923).
+//
+// Expected shape versus the paper (absolute numbers differ -- synthetic
+// substrate, see DESIGN.md):
+//  * the cheapest type-0 interface dominates low-RG rows;
+//  * s-calls sharing one IP merge into fewer S-instructions (S <= O);
+//  * as RG grows, bigger IPs and buffered interfaces (type 1/3) appear, and
+//    the top row exploits parallel execution.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace partita;
+
+struct Context {
+  workloads::Workload w = workloads::gsm_encoder();
+  select::Flow flow{w.module, w.library};
+  std::int64_t gmax = flow.max_feasible_gain();
+};
+
+Context& ctx() {
+  static Context c;
+  return c;
+}
+
+void BM_Table1_SelectAtRg(benchmark::State& state) {
+  Context& c = ctx();
+  const std::int64_t rg = c.gmax * state.range(0) / 8;
+  for (auto _ : state) {
+    select::Selection sel = c.flow.select(rg);
+    benchmark::DoNotOptimize(sel.min_path_gain);
+  }
+  state.counters["RG"] = static_cast<double>(rg);
+}
+BENCHMARK(BM_Table1_SelectAtRg)->DenseRange(1, 8)->Unit(benchmark::kMillisecond);
+
+void BM_Table1_MaxFeasibleGain(benchmark::State& state) {
+  Context& c = ctx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.flow.max_feasible_gain());
+  }
+}
+BENCHMARK(BM_Table1_MaxFeasibleGain)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Context& c = ctx();
+  bench::print_experiment_header("Table 1: GSM encoder, optimal IP/interface selection",
+                                 c.w, c.flow);
+  std::printf("max feasible gain (Gmax): %lld\n\n", static_cast<long long>(c.gmax));
+  const auto rows = bench::run_sweep(c.flow, bench::rg_ladder(c.gmax, 8));
+  std::fputs(bench::render_paper_table(c.flow, rows, c.w.library).c_str(), stdout);
+  std::fputs("\n", stdout);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 2: GSM(TDMA) decoder -- RG sweep as in Table 1 (the paper uses eight
+// rows up to Gmax = 211,286). The workload-specific check is the SC10 story:
+// the postfilter IP's native data rate (2) is below the type-0 software
+// template's rate, so type-0 serves it only by slowing the IP clock; when RG
+// tightens, the selector upgrades that s-call to the type-2 hardware
+// interface for the extra gain.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace partita;
+
+struct Context {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow{w.module, w.library};
+  std::int64_t gmax = flow.max_feasible_gain();
+};
+
+Context& ctx() {
+  static Context c;
+  return c;
+}
+
+void BM_Table2_SelectAtRg(benchmark::State& state) {
+  Context& c = ctx();
+  const std::int64_t rg = c.gmax * state.range(0) / 8;
+  for (auto _ : state) {
+    select::Selection sel = c.flow.select(rg);
+    benchmark::DoNotOptimize(sel.min_path_gain);
+  }
+  state.counters["RG"] = static_cast<double>(rg);
+}
+BENCHMARK(BM_Table2_SelectAtRg)->DenseRange(1, 8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Context& c = ctx();
+  bench::print_experiment_header("Table 2: GSM decoder, optimal IP/interface selection",
+                                 c.w, c.flow);
+  std::printf("max feasible gain (Gmax): %lld\n\n", static_cast<long long>(c.gmax));
+  const auto rows = bench::run_sweep(c.flow, bench::rg_ladder(c.gmax, 8));
+  std::fputs(bench::render_paper_table(c.flow, rows, c.w.library).c_str(), stdout);
+
+  // Highlight the SC10-style interface upgrade.
+  std::printf("\npostfilter interface by row:");
+  for (const bench::SweepRow& row : rows) {
+    const char* tag = "sw";
+    if (row.selection.feasible) {
+      for (isel::ImpIndex idx : row.selection.chosen) {
+        const isel::Imp& imp = c.flow.imp_database().imps()[idx];
+        if (imp.ip_function->function == "postfilter") {
+          tag = iface::short_name(imp.iface_type).data();
+        }
+      }
+    }
+    std::printf(" %s", tag);
+  }
+  std::printf("   (expect IF0 at low RG, IF2 at the top -- the paper's SC10 switch)\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace partita::bench {
+
+std::vector<std::int64_t> rg_ladder(std::int64_t gmax, int steps) {
+  std::vector<std::int64_t> rgs;
+  for (int k = 1; k <= steps; ++k) rgs.push_back(gmax * k / steps);
+  return rgs;
+}
+
+std::vector<SweepRow> run_sweep(const select::Flow& flow,
+                                const std::vector<std::int64_t>& rgs,
+                                const select::SelectOptions& opt) {
+  std::vector<SweepRow> rows;
+  rows.reserve(rgs.size());
+  for (std::int64_t rg : rgs) {
+    rows.push_back({rg, flow.select(rg, opt)});
+  }
+  return rows;
+}
+
+std::string render_paper_table(const select::Flow& flow, const std::vector<SweepRow>& rows,
+                               const iplib::IpLibrary& lib) {
+  support::TextTable table({"RG", "Implementation Method", "G", "A", "S", "O"});
+  table.set_alignment({support::Align::kRight, support::Align::kLeft,
+                       support::Align::kRight, support::Align::kRight,
+                       support::Align::kRight, support::Align::kRight});
+  for (const SweepRow& row : rows) {
+    if (!row.selection.feasible) {
+      table.add_row({support::with_commas(row.rg), "(infeasible)", "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row({support::with_commas(row.rg),
+                   row.selection.describe(flow.imp_database(), lib),
+                   support::with_commas(row.selection.min_path_gain),
+                   support::compact_double(row.selection.total_area()),
+                   std::to_string(row.selection.s_instructions),
+                   std::to_string(row.selection.selected_scalls)});
+  }
+  return table.render();
+}
+
+void print_experiment_header(const std::string& title, const workloads::Workload& w,
+                             const select::Flow& flow) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("workload: %s | s-calls: %zu | IPs: %zu | IMPs generated: %zu | paths: %zu\n",
+              w.name.c_str(), flow.scalls().size(), w.library.size(),
+              flow.imp_database().imps().size(), flow.paths().size());
+  std::printf("software cycles per run (profile): %s\n\n",
+              support::with_commas(flow.profile().total_cycles).c_str());
+}
+
+}  // namespace partita::bench

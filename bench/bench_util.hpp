@@ -1,0 +1,40 @@
+// Shared helpers for the benchmark harness: paper-style table printing for
+// RG sweeps and a common custom main that prints the table before handing
+// control to google-benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "select/flow.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita::bench {
+
+/// One row of a Table 1/2/3-style sweep.
+struct SweepRow {
+  std::int64_t rg = 0;
+  select::Selection selection;
+};
+
+/// Runs the optimal selection for each required gain.
+std::vector<SweepRow> run_sweep(const select::Flow& flow,
+                                const std::vector<std::int64_t>& rgs,
+                                const select::SelectOptions& opt = {});
+
+/// The paper's RG ladder: k/steps * gmax for k = 1..steps.
+std::vector<std::int64_t> rg_ladder(std::int64_t gmax, int steps);
+
+/// Renders the sweep in the paper's table format:
+///   RG | Implementation Method | G | A | S | O
+std::string render_paper_table(const select::Flow& flow,
+                               const std::vector<SweepRow>& rows,
+                               const iplib::IpLibrary& lib);
+
+/// Prints a banner + the workload inventory line (s-calls / IPs / IMPs),
+/// mirroring the counts reported in Section 5.
+void print_experiment_header(const std::string& title, const workloads::Workload& w,
+                             const select::Flow& flow);
+
+}  // namespace partita::bench

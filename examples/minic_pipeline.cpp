@@ -1,0 +1,118 @@
+// MiniC end-to-end: the paper's starting point is "the application program
+// written in C". This example compiles a MiniC audio-effect chain with the
+// C-subset frontend -- cycle counts, dependences, loop trips and branch
+// probabilities are all *derived*, not declared -- then prints the resulting
+// statement IR (as KL) and runs the full selection on it.
+//
+// Build & run:  ./build/examples/minic_pipeline
+#include <cstdio>
+
+#include "iplib/loader.hpp"
+#include "ir/printer.hpp"
+#include "minic/mc_codegen.hpp"
+#include "select/flow.hpp"
+#include "support/strings.hpp"
+
+static const char* kProgram = R"(
+/* A toy audio effect chain: biquad filter -> compressor -> limiter. */
+
+int frame[128];
+int filtered[128];
+int level;
+int packed;
+
+/* Profiled DSP kernels available as IP blocks. */
+__scall __cycles(18000) void biquad(in int x[], out int y[]);
+__scall __cycles(7000)  void compress(inout int y[]);
+
+/* Envelope follower: plain software (no IP implements it). Reading only the
+ * raw frame makes it independent of the biquad -> parallel-code material. */
+void envelope(in int x[], out int lvl) {
+  lvl = 0;
+  for (j = 0; j < 128; j = j + 1) {
+    lvl = lvl + (x[j] & 32767);
+  }
+}
+
+void main() {
+  /* deinterleave + DC removal: cycles derived from the op mix */
+  for (i = 0; i < 128; i = i + 1) {
+    frame[i] = frame[i] - (frame[i] >> 7);
+  }
+
+  biquad(frame, filtered);
+  envelope(frame, level);
+
+  compress(filtered);
+
+  if (__prob(0.2)) {
+    /* rare limiter path */
+    for (k = 0; k < 128; k = k + 1) {
+      filtered[k] = filtered[k] >> 1;
+    }
+  }
+
+  packed = filtered[0] + level;
+}
+)";
+
+static const char* kLibrary = R"(
+ip BIQUAD_CORE {
+  area 11
+  power 0.8
+  ports in 2 out 2
+  rate in 4 out 4
+  latency 12
+  pipelined
+  protocol sync
+  fn biquad cycles 3500 in 128 out 128
+}
+ip DYN_UNIT {
+  area 6
+  power 0.5
+  ports in 2 out 2
+  rate in 4 out 4
+  latency 8
+  pipelined
+  protocol sync
+  fn compress cycles 1800 in 128 out 128
+}
+)";
+
+int main() {
+  using namespace partita;
+  support::DiagnosticEngine diags;
+  auto module = minic::mc_compile_source(kProgram, "audio_chain", diags);
+  auto library = iplib::load_library(kLibrary, diags);
+  if (!module || !library) {
+    std::fprintf(stderr, "%s", diags.render_all().c_str());
+    return 1;
+  }
+
+  std::printf("=== derived statement IR (printed as KL) ===\n%s\n",
+              ir::print_module(*module).c_str());
+
+  select::Flow flow(*module, *library);
+  std::printf("profiled software time: %s cycles\n",
+              support::with_commas(flow.profile().total_cycles).c_str());
+  std::printf("s-calls found: %zu | IMPs: %zu\n\n", flow.scalls().size(),
+              flow.imp_database().imps().size());
+
+  const std::int64_t gmax = flow.max_feasible_gain();
+  for (int pct : {40, 70, 100}) {
+    const std::int64_t rg = gmax * pct / 100;
+    const select::Selection sel = flow.select(rg);
+    std::printf("RG %3d%% (%s): ", pct, support::with_commas(rg).c_str());
+    if (!sel.feasible) {
+      std::printf("infeasible\n");
+      continue;
+    }
+    std::printf("%s  (area %.2f)\n",
+                sel.describe(flow.imp_database(), *library).c_str(), sel.total_area());
+  }
+  std::printf(
+      "\nNote: the envelope-follower loop reads only the raw frame, so the\n"
+      "compiler-derived dependences let it serve as the biquad IP's parallel\n"
+      "code on buffered interfaces -- check the IF1/IF3 selections above.\n");
+  return 0;
+}

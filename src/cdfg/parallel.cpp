@@ -1,0 +1,83 @@
+#include "cdfg/parallel.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace partita::cdfg {
+
+ParallelCode parallel_code_on_path(const Cdfg& g, NodeIndex call_node,
+                                   const ExecPath& path, const PcOptions& opt) {
+  PARTITA_ASSERT_MSG(g.node(call_node).is_call, "PC is defined for call nodes");
+  ParallelCode pc;
+
+  const auto it = std::find(path.nodes.begin(), path.nodes.end(), call_node);
+  if (it == path.nodes.end()) return pc;
+
+  // Nodes after the call on this path, program order.
+  std::vector<NodeIndex> joined;   // members of the segment
+  std::vector<NodeIndex> skipped;  // nodes passed over (dependent or excluded)
+
+  for (auto np = it + 1; np != path.nodes.end(); ++np) {
+    const NodeIndex v = *np;
+    const AtomicNode& node = g.node(v);
+
+    bool can_join = g.independent(call_node, v) && g.same_loop_ctx(call_node, v);
+
+    bool consumes_scall = false;
+    if (can_join && node.is_call) {
+      const bool scall = !opt.is_scall || opt.is_scall(node.call_site);
+      if (scall) {
+        // Another s-call: only its *software* body may serve as parallel
+        // code, and only when the generalized problem allows it (and the
+        // consumption budget is not exhausted).
+        if (opt.allow_scall_software && pc.consumed_scalls.size() < opt.max_consumed) {
+          consumes_scall = true;
+        } else {
+          can_join = false;
+        }
+      }
+      // Non-s-call calls are ordinary software and always eligible.
+    }
+
+    if (can_join) {
+      // Rule (c): movable next to the call only if no skipped node between
+      // the call and v is a transitive predecessor of v.
+      for (NodeIndex s : skipped) {
+        if (g.depends(s, v)) {
+          can_join = false;
+          break;
+        }
+      }
+    }
+
+    if (can_join) {
+      joined.push_back(v);
+      if (consumes_scall) pc.consumed_scalls.push_back(node.call_site);
+    } else {
+      skipped.push_back(v);
+    }
+  }
+
+  pc.nodes = std::move(joined);
+  for (NodeIndex v : pc.nodes) pc.cycles += g.node(v).cycles;
+  if (pc.nodes.empty()) pc.consumed_scalls.clear();
+  return pc;
+}
+
+ParallelCode parallel_code(const Cdfg& g, NodeIndex call_node,
+                           const std::vector<ExecPath>& paths, const PcOptions& opt) {
+  ParallelCode best;
+  bool first = true;
+  for (const ExecPath& p : paths) {
+    if (!p.contains(call_node)) continue;
+    ParallelCode pc = parallel_code_on_path(g, call_node, p, opt);
+    if (first || pc.cycles < best.cycles) {
+      best = std::move(pc);
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace partita::cdfg

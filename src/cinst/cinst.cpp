@@ -1,0 +1,143 @@
+#include "cinst/cinst.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "ilp/branch_bound.hpp"
+#include "support/assert.hpp"
+
+namespace partita::cinst {
+
+std::string Candidate::name() const {
+  std::ostringstream os;
+  os << "c_";
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    if (i) os << '_';
+    os << ir::to_string(pattern[i]);
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Straight-line runs of MOP kinds (control ops break the stream).
+std::vector<std::vector<ir::MopKind>> straight_line_runs(const ir::MopList& mops) {
+  std::vector<std::vector<ir::MopKind>> runs(1);
+  for (const ir::Mop& m : mops.mops()) {
+    if (m.is_control()) {
+      if (!runs.back().empty()) runs.emplace_back();
+      continue;
+    }
+    runs.back().push_back(m.kind);
+  }
+  if (runs.back().empty()) runs.pop_back();
+  return runs;
+}
+
+using PatternKey = std::vector<ir::MopKind>;
+
+}  // namespace
+
+std::vector<Candidate> mine_candidates(const ir::Module& module,
+                                       const ir::LoweredModule& lowered,
+                                       const profile::ModuleProfile& prof,
+                                       const MineOptions& opts) {
+  PARTITA_ASSERT(opts.min_length >= 2 && opts.max_length >= opts.min_length);
+
+  // First pass: gather every window as a key with per-function static
+  // counts (overlapping, for discovery).
+  std::map<PatternKey, std::map<std::uint32_t, std::int64_t>> discovery;
+  for (std::uint32_t f = 0; f < module.function_count(); ++f) {
+    const ir::LoweredFunction& lf = lowered.functions[f];
+    for (const auto& run : straight_line_runs(lf.mops)) {
+      for (int len = opts.min_length;
+           len <= opts.max_length && len <= static_cast<int>(run.size()); ++len) {
+        for (std::size_t start = 0; start + len <= run.size(); ++start) {
+          PatternKey key(run.begin() + static_cast<std::ptrdiff_t>(start),
+                         run.begin() + static_cast<std::ptrdiff_t>(start + len));
+          discovery[key][f] += 1;
+        }
+      }
+    }
+  }
+
+  // Second pass: for each surviving pattern, count NON-overlapping
+  // occurrences per function (greedy left-to-right) and weight by frequency.
+  std::vector<Candidate> out;
+  for (auto& [key, per_fn] : discovery) {
+    Candidate cand;
+    cand.pattern = key;
+    for (std::uint32_t f = 0; f < module.function_count(); ++f) {
+      if (!per_fn.count(f)) continue;
+      const ir::LoweredFunction& lf = lowered.functions[f];
+      std::int64_t n = 0;
+      for (const auto& run : straight_line_runs(lf.mops)) {
+        std::size_t i = 0;
+        while (i + key.size() <= run.size()) {
+          if (std::equal(key.begin(), key.end(), run.begin() + static_cast<std::ptrdiff_t>(i))) {
+            ++n;
+            i += key.size();
+          } else {
+            ++i;
+          }
+        }
+      }
+      cand.static_occurrences += n;
+      cand.dynamic_occurrences +=
+          static_cast<double>(n) * std::max(prof.function_frequency[f], 0.0);
+    }
+    if (cand.static_occurrences >= 2 &&
+        cand.dynamic_occurrences >= opts.min_dynamic_occurrences) {
+      out.push_back(std::move(cand));
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.fetch_cycles_saved() != b.fetch_cycles_saved()) {
+      return a.fetch_cycles_saved() > b.fetch_cycles_saved();
+    }
+    return a.pattern < b.pattern;  // deterministic tie-break
+  });
+  if (out.size() > opts.max_candidates) out.resize(opts.max_candidates);
+  return out;
+}
+
+CInstPlan plan_cinstructions(const std::vector<Candidate>& candidates,
+                             const PlanOptions& opts) {
+  CInstPlan plan;
+  if (candidates.empty()) return plan;
+
+  ilp::Model m;
+  m.set_sense(ilp::Sense::kMaximize);
+  std::vector<ilp::VarIndex> x;
+  x.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    x.push_back(m.add_binary("c" + std::to_string(i), candidates[i].fetch_cycles_saved()));
+  }
+  {
+    std::vector<ilp::Term> words, count;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      words.push_back({x[i], static_cast<double>(candidates[i].urom_words())});
+      count.push_back({x[i], 1.0});
+    }
+    m.add_row("urom_budget", std::move(words), ilp::RowSense::kLessEqual,
+              static_cast<double>(opts.urom_word_budget));
+    m.add_row("opcode_cap", std::move(count), ilp::RowSense::kLessEqual,
+              static_cast<double>(opts.max_cinstructions));
+  }
+
+  const ilp::IlpResult r = ilp::solve_ilp(m);
+  PARTITA_ASSERT(r.has_solution);  // x = 0 is always feasible
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (r.x[i] > 0.5) {
+      plan.chosen.push_back(candidates[i]);
+      plan.code_slots_saved += candidates[i].code_slots_saved();
+      plan.fetch_cycles_saved += candidates[i].fetch_cycles_saved();
+      plan.urom_words += candidates[i].urom_words();
+    }
+  }
+  return plan;
+}
+
+}  // namespace partita::cinst

@@ -1,0 +1,84 @@
+// C-instruction generation.
+//
+// The paper's flow (Section 2) matches the MOP list to P-instructions, then
+// generates C-instructions -- application-specific micro-coded instructions
+// that bundle a frequent MOP sequence into one fetched instruction, shrinking
+// code memory and fetch count -- before the S-instruction step this
+// repository centers on. The algorithm here is a faithful-but-compact version
+// of that companion step (reference [9] of the paper):
+//
+//  1. mine_candidates(): slide windows of length 2..max over the lowered
+//     straight-line MOP streams (control ops break the window), count
+//     non-overlapping static occurrences per function, and weight them by
+//     the function's profiled execution frequency;
+//  2. plan_cinstructions(): a knapsack ILP -- maximize saved fetch cycles
+//     subject to a micro-ROM word budget and an instruction-count cap
+//     (opcode space is finite). Pattern-overlap interactions are not
+//     modeled (the classic simplification; candidates rarely overlap after
+//     non-overlapping counting).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/lower.hpp"
+#include "profile/profile.hpp"
+
+namespace partita::cinst {
+
+/// One candidate C-instruction: a straight-line MOP pattern.
+struct Candidate {
+  std::vector<ir::MopKind> pattern;
+  /// Non-overlapping static occurrences across the whole module.
+  std::int64_t static_occurrences = 0;
+  /// Occurrences weighted by function execution frequency.
+  double dynamic_occurrences = 0.0;
+
+  int length() const { return static_cast<int>(pattern.size()); }
+  /// Code-memory slots freed: every occurrence replaces `length` fetched
+  /// instructions by one.
+  std::int64_t code_slots_saved() const {
+    return static_occurrences * (length() - 1);
+  }
+  /// Fetch cycles saved per run (one fetch per replaced instruction).
+  double fetch_cycles_saved() const { return dynamic_occurrences * (length() - 1); }
+  /// Micro-ROM words the C-instruction's micro-code occupies.
+  std::int64_t urom_words() const { return length(); }
+
+  std::string name() const;
+};
+
+struct MineOptions {
+  int min_length = 2;
+  int max_length = 6;
+  /// Candidates below this dynamic weight are dropped.
+  double min_dynamic_occurrences = 2.0;
+  /// Keep only the top-N candidates by fetch savings.
+  std::size_t max_candidates = 64;
+};
+
+std::vector<Candidate> mine_candidates(const ir::Module& module,
+                                       const ir::LoweredModule& lowered,
+                                       const profile::ModuleProfile& prof,
+                                       const MineOptions& opts = {});
+
+struct PlanOptions {
+  /// Micro-ROM words available for C-instruction micro-code.
+  std::int64_t urom_word_budget = 64;
+  /// Opcode-space cap on the number of C-instructions.
+  std::size_t max_cinstructions = 8;
+};
+
+struct CInstPlan {
+  std::vector<Candidate> chosen;
+  std::int64_t code_slots_saved = 0;
+  double fetch_cycles_saved = 0.0;
+  std::int64_t urom_words = 0;
+};
+
+/// Optimal knapsack selection via the ILP solver.
+CInstPlan plan_cinstructions(const std::vector<Candidate>& candidates,
+                             const PlanOptions& opts = {});
+
+}  // namespace partita::cinst

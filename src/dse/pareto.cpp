@@ -1,0 +1,50 @@
+#include "dse/pareto.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace partita::dse {
+
+std::vector<ParetoPoint> pareto_frontier(const select::Selector& selector,
+                                         const ParetoOptions& opts) {
+  std::vector<ParetoPoint> frontier;
+  std::int64_t rg = std::max<std::int64_t>(opts.min_gain, 1);
+
+  while (frontier.size() < opts.max_points) {
+    select::Selection sel = selector.select(rg, opts.select);
+    if (!sel.feasible) break;
+
+    ParetoPoint point;
+    point.gain = sel.min_path_gain;
+    point.selection = std::move(sel);
+
+    // The epsilon step guarantees strictly increasing gain; area may tie
+    // when a cheaper-but-stronger design also covers the next level, in
+    // which case the previous point is dominated and replaced.
+    while (!frontier.empty() &&
+           frontier.back().selection.total_area() >= point.selection.total_area() - 1e-9) {
+      frontier.pop_back();
+    }
+    rg = point.gain + std::max<std::int64_t>(opts.gain_step, 1);
+    frontier.push_back(std::move(point));
+  }
+  return frontier;
+}
+
+std::string render_frontier(const std::vector<ParetoPoint>& frontier,
+                            const isel::ImpDatabase& db, const iplib::IpLibrary& lib) {
+  support::TextTable t({"guaranteed gain", "area", "S", "O", "implementation"});
+  t.set_alignment({support::Align::kRight, support::Align::kRight, support::Align::kRight,
+                   support::Align::kRight, support::Align::kLeft});
+  for (const ParetoPoint& p : frontier) {
+    t.add_row({support::with_commas(p.gain),
+               support::compact_double(p.selection.total_area()),
+               std::to_string(p.selection.s_instructions),
+               std::to_string(p.selection.selected_scalls), p.selection.describe(db, lib)});
+  }
+  return t.render();
+}
+
+}  // namespace partita::dse

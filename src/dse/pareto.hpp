@@ -1,0 +1,50 @@
+// Design-space exploration: the area/gain Pareto frontier.
+//
+// The paper's tables sample the trade-off at hand-picked required gains; a
+// designer really wants the whole frontier -- every gain level where the
+// minimum area changes. We enumerate it exactly with the epsilon-constraint
+// method: solve min-area at RG, read the achieved guaranteed gain G* (>= RG,
+// the selection usually overshoots), emit the point (G*, area), and continue
+// from RG = G* + 1 until infeasible. Each ILP solve lands exactly one
+// frontier point, so the loop runs once per distinct area level.
+#pragma once
+
+#include <vector>
+
+#include "select/selection.hpp"
+#include "select/selector.hpp"
+
+namespace partita::dse {
+
+struct ParetoPoint {
+  /// Guaranteed (min-path) gain of the design point.
+  std::int64_t gain = 0;
+  select::Selection selection;
+};
+
+struct ParetoOptions {
+  select::SelectOptions select;
+  /// Safety cap on enumerated points.
+  std::size_t max_points = 256;
+  /// Skip designs whose gain is below this (0 = start from the cheapest
+  /// positive-gain design).
+  std::int64_t min_gain = 1;
+  /// Epsilon step between points: the next required gain is
+  /// previous achieved gain + gain_step. 1 enumerates the exact frontier;
+  /// larger values subsample it (every returned point is still the optimal
+  /// design for its own gain level).
+  std::int64_t gain_step = 1;
+};
+
+/// Enumerates the frontier in increasing gain / increasing area order.
+/// Every returned selection is feasible, gain-sorted, and no point is
+/// dominated by another (tests assert both monotonicities).
+std::vector<ParetoPoint> pareto_frontier(const select::Selector& selector,
+                                         const ParetoOptions& opts = {});
+
+/// Renders the frontier as a two-column table (gain, area) plus the chosen
+/// implementation summary.
+std::string render_frontier(const std::vector<ParetoPoint>& frontier,
+                            const isel::ImpDatabase& db, const iplib::IpLibrary& lib);
+
+}  // namespace partita::dse

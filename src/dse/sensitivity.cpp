@@ -1,0 +1,64 @@
+#include "dse/sensitivity.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace partita::dse {
+
+SensitivityReport analyze_sensitivity(const select::Selector& selector,
+                                      std::int64_t required_gain,
+                                      const select::SelectOptions& opt) {
+  SensitivityReport rep;
+  rep.required_gain = required_gain;
+  rep.baseline = selector.select(required_gain, opt);
+  if (!rep.baseline.feasible) return rep;
+  rep.gain_slack = rep.baseline.min_path_gain - required_gain;
+
+  for (iplib::IpId banned : rep.baseline.ips_used) {
+    IpCriticality crit;
+    crit.ip = banned;
+
+    select::SelectOptions banned_opt = opt;
+    const auto base_filter = opt.imp_filter;
+    banned_opt.imp_filter = [banned, base_filter](const isel::Imp& imp) {
+      if (imp.ip == banned) return false;
+      return !base_filter || base_filter(imp);
+    };
+    crit.alternative = selector.select(required_gain, banned_opt);
+    crit.feasible_without = crit.alternative.feasible;
+    if (crit.feasible_without) {
+      crit.area_without = crit.alternative.total_area();
+      crit.area_penalty = crit.area_without - rep.baseline.total_area();
+    }
+    rep.per_ip.push_back(std::move(crit));
+  }
+  return rep;
+}
+
+std::string render_sensitivity(const SensitivityReport& rep,
+                               const iplib::IpLibrary& lib) {
+  std::ostringstream os;
+  if (!rep.baseline.feasible) {
+    os << "baseline infeasible at RG=" << support::with_commas(rep.required_gain) << '\n';
+    return os.str();
+  }
+  os << "baseline: area " << support::compact_double(rep.baseline.total_area())
+     << " at RG=" << support::with_commas(rep.required_gain) << " (achieved "
+     << support::with_commas(rep.baseline.min_path_gain) << ", slack "
+     << support::with_commas(rep.gain_slack) << ")\n\n";
+
+  support::TextTable t({"IP (banned)", "still feasible", "area without", "area penalty"});
+  t.set_alignment({support::Align::kLeft, support::Align::kLeft, support::Align::kRight,
+                   support::Align::kRight});
+  for (const IpCriticality& c : rep.per_ip) {
+    t.add_row({lib.ip(c.ip).name, c.feasible_without ? "yes" : "NO - essential",
+               c.feasible_without ? support::compact_double(c.area_without) : "-",
+               c.feasible_without ? support::compact_double(c.area_penalty) : "-"});
+  }
+  os << t.render();
+  return os.str();
+}
+
+}  // namespace partita::dse

@@ -1,0 +1,54 @@
+// Sensitivity analysis of a selection.
+//
+// Designers reading Table-1-style output ask two questions the optimum
+// alone does not answer:
+//
+//  * criticality -- if this IP were unavailable (licensing, silicon bring-up
+//    risk), what would the design point cost instead? Computed by re-solving
+//    with the IP banned.
+//  * slack -- how much further could the required gain rise before THIS
+//    design stops being optimal/feasible? Computed from the frontier
+//    relation select(G*) (the achieved gain is the step edge).
+//
+// Both reuse the exact ILP, so the numbers are true optima, not estimates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "select/selection.hpp"
+#include "select/selector.hpp"
+
+namespace partita::dse {
+
+/// Criticality of one instantiated IP within a design point.
+struct IpCriticality {
+  iplib::IpId ip;
+  /// Optimal area when the IP is banned; infeasible => the IP is essential.
+  bool feasible_without = false;
+  double area_without = 0.0;
+  /// area_without - baseline area (0 when the IP is free to replace).
+  double area_penalty = 0.0;
+  select::Selection alternative;
+};
+
+struct SensitivityReport {
+  /// Baseline design point.
+  select::Selection baseline;
+  std::int64_t required_gain = 0;
+  /// One entry per IP instantiated by the baseline.
+  std::vector<IpCriticality> per_ip;
+  /// Gain slack: the baseline's achieved gain minus the requirement -- the
+  /// requirement can rise this far with the same design.
+  std::int64_t gain_slack = 0;
+};
+
+/// Runs the analysis at `required_gain`. Baseline infeasible => empty per_ip.
+SensitivityReport analyze_sensitivity(const select::Selector& selector,
+                                      std::int64_t required_gain,
+                                      const select::SelectOptions& opt = {});
+
+/// Text rendering.
+std::string render_sensitivity(const SensitivityReport& rep, const iplib::IpLibrary& lib);
+
+}  // namespace partita::dse

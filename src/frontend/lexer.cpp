@@ -1,0 +1,163 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+#include "support/strings.hpp"
+
+namespace partita::frontend {
+
+std::string_view to_string(TokKind k) {
+  switch (k) {
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kFloat:
+      return "float";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kSemi:
+      return "';'";
+    case TokKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src, support::DiagnosticEngine& diags) {
+  std::vector<Token> out;
+  std::uint32_t line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto loc = [&] { return support::SourceLoc{line, col}; };
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {  // line comment
+      std::size_t n = 0;
+      while (i + n < src.size() && src[i + n] != '\n') ++n;
+      advance(n);
+      continue;
+    }
+
+    Token t;
+    t.loc = loc();
+
+    auto single = [&](TokKind k) {
+      t.kind = k;
+      t.text = src.substr(i, 1);
+      advance(1);
+      out.push_back(t);
+    };
+
+    switch (c) {
+      case '{':
+        single(TokKind::kLBrace);
+        continue;
+      case '}':
+        single(TokKind::kRBrace);
+        continue;
+      case '(':
+        single(TokKind::kLParen);
+        continue;
+      case ')':
+        single(TokKind::kRParen);
+        continue;
+      case ',':
+        single(TokKind::kComma);
+        continue;
+      case ';':
+        single(TokKind::kSemi);
+        continue;
+      default:
+        break;
+    }
+
+    if (ident_start(c)) {
+      std::size_t n = 1;
+      while (i + n < src.size() && ident_char(src[i + n])) ++n;
+      t.kind = TokKind::kIdent;
+      t.text = src.substr(i, n);
+      advance(n);
+      out.push_back(t);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t n = (c == '-') ? 1 : 0;
+      bool is_float = false;
+      while (i + n < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i + n])) || src[i + n] == '.' ||
+              src[i + n] == 'e' || src[i + n] == 'E' ||
+              ((src[i + n] == '+' || src[i + n] == '-') && n > 0 &&
+               (src[i + n - 1] == 'e' || src[i + n - 1] == 'E')))) {
+        if (src[i + n] == '.' || src[i + n] == 'e' || src[i + n] == 'E') is_float = true;
+        ++n;
+      }
+      t.text = src.substr(i, n);
+      if (is_float) {
+        t.kind = TokKind::kFloat;
+        if (!support::parse_double(t.text, t.float_value)) {
+          diags.error("malformed float literal '" + std::string(t.text) + "'", t.loc);
+          t.float_value = 0;
+        }
+      } else {
+        t.kind = TokKind::kInt;
+        if (!support::parse_int(t.text, t.int_value)) {
+          diags.error("malformed or overflowing integer literal '" + std::string(t.text) + "'",
+                      t.loc);
+          t.int_value = 0;
+        }
+      }
+      advance(n);
+      out.push_back(t);
+      continue;
+    }
+
+    diags.error(std::string("unexpected character '") + c + "'", t.loc);
+    advance(1);
+  }
+
+  Token eof;
+  eof.kind = TokKind::kEof;
+  eof.loc = loc();
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace partita::frontend

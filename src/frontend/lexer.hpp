@@ -1,0 +1,46 @@
+// Lexer for the kernel language (KL).
+//
+// KL is the textual form of the statement IR: applications are written as a
+// module of functions made of `seg` / `call` / `if` / `loop` statements with
+// `reads(...)` / `writes(...)` dependence annotations. See
+// docs in parser.hpp for the grammar. `#` starts a line comment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace partita::frontend {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kInt,
+  kFloat,
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kSemi,      // ;
+  kEof,
+};
+
+std::string_view to_string(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string_view text;       // slice of the source buffer
+  std::int64_t int_value = 0;  // for kInt
+  double float_value = 0;      // for kFloat
+  support::SourceLoc loc;
+};
+
+/// Tokenizes the whole buffer. Lexical errors are reported to `diags` and the
+/// offending character skipped, so the parser always receives a well-formed
+/// stream ending in kEof.
+std::vector<Token> lex(std::string_view source, support::DiagnosticEngine& diags);
+
+}  // namespace partita::frontend

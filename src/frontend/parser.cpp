@@ -1,0 +1,277 @@
+#include "frontend/parser.hpp"
+
+#include <string>
+#include <vector>
+
+#include "frontend/lexer.hpp"
+
+namespace partita::frontend {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, support::DiagnosticEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::optional<ir::Module> run() {
+    if (!expect_keyword("module")) return std::nullopt;
+    const Token* name = expect(TokKind::kIdent, "module name");
+    if (!name) return std::nullopt;
+    module_.emplace(std::string(name->text));
+    if (!expect(TokKind::kSemi, "';' after module name")) return std::nullopt;
+
+    scan_declarations();
+    if (diags_.has_errors()) return std::nullopt;
+
+    while (!at(TokKind::kEof)) {
+      if (peek_keyword("func")) {
+        if (!parse_func()) return std::nullopt;
+      } else if (peek_keyword("entry")) {
+        next();  // 'entry'
+        const Token* ent = expect(TokKind::kIdent, "entry function name");
+        if (!ent) return std::nullopt;
+        const ir::FuncId f = module_->find_function(ent->text);
+        if (!f.valid()) {
+          error("unknown entry function '" + std::string(ent->text) + "'", ent->loc);
+          return std::nullopt;
+        }
+        module_->set_entry(f);
+        if (!expect(TokKind::kSemi, "';' after entry")) return std::nullopt;
+      } else {
+        error("expected 'func' or 'entry'", cur().loc);
+        return std::nullopt;
+      }
+    }
+
+    if (!module_->entry().valid()) {
+      const ir::FuncId main_fn = module_->find_function("main");
+      if (!main_fn.valid()) {
+        error("no 'entry' directive and no function named 'main'", cur().loc);
+        return std::nullopt;
+      }
+      module_->set_entry(main_fn);
+    }
+    return std::move(module_);
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& next() { return toks_[pos_++]; }
+  bool at(TokKind k) const { return cur().kind == k; }
+  bool peek_keyword(std::string_view kw) const {
+    return cur().kind == TokKind::kIdent && cur().text == kw;
+  }
+
+  bool accept_keyword(std::string_view kw) {
+    if (!peek_keyword(kw)) return false;
+    next();
+    return true;
+  }
+
+  bool expect_keyword(std::string_view kw) {
+    if (accept_keyword(kw)) return true;
+    error("expected '" + std::string(kw) + "'", cur().loc);
+    return false;
+  }
+
+  const Token* expect(TokKind k, std::string_view what) {
+    if (cur().kind == k) return &next();
+    error("expected " + std::string(what) + ", found " + std::string(to_string(cur().kind)),
+          cur().loc);
+    return nullptr;
+  }
+
+  void error(std::string msg, support::SourceLoc loc) { diags_.error(std::move(msg), loc); }
+
+  // --- pass 1: declaration scan -------------------------------------------
+
+  /// Pre-creates every function so call statements may reference functions
+  /// defined later in the file.
+  void scan_declarations() {
+    const std::size_t save = pos_;
+    int depth = 0;
+    while (!at(TokKind::kEof)) {
+      const Token& t = next();
+      if (t.kind == TokKind::kLBrace) ++depth;
+      else if (t.kind == TokKind::kRBrace) --depth;
+      else if (depth == 0 && t.kind == TokKind::kIdent && t.text == "func") {
+        if (cur().kind == TokKind::kIdent) {
+          if (module_->find_function(cur().text).valid()) {
+            error("duplicate function '" + std::string(cur().text) + "'", cur().loc);
+          } else {
+            module_->create_function(std::string(cur().text));
+          }
+        }
+      }
+    }
+    pos_ = save;
+  }
+
+  // --- pass 2: bodies ------------------------------------------------------
+
+  bool parse_func() {
+    next();  // 'func'
+    const Token* name = expect(TokKind::kIdent, "function name");
+    if (!name) return false;
+    const ir::FuncId fid = module_->find_function(name->text);
+    if (!fid.valid()) return false;  // duplicate reported in pass 1
+    ir::Function& fn = module_->function(fid);
+
+    while (true) {
+      if (accept_keyword("scall")) {
+        fn.set_ip_mappable(true);
+      } else if (accept_keyword("sw_cycles")) {
+        const Token* n = expect(TokKind::kInt, "cycle count after sw_cycles");
+        if (!n) return false;
+        fn.set_declared_sw_cycles(n->int_value);
+      } else {
+        break;
+      }
+    }
+
+    if (at(TokKind::kSemi)) {  // leaf declaration
+      next();
+      return true;
+    }
+    if (!expect(TokKind::kLBrace, "'{' or ';' after function header")) return false;
+    std::vector<ir::StmtId> body;
+    if (!parse_stmt_seq(fn, body)) return false;
+    fn.body() = std::move(body);
+    return true;
+  }
+
+  bool parse_stmt_seq(ir::Function& fn, std::vector<ir::StmtId>& out) {
+    while (!at(TokKind::kRBrace)) {
+      if (at(TokKind::kEof)) {
+        error("unexpected end of input inside '{...}'", cur().loc);
+        return false;
+      }
+      ir::StmtId id;
+      if (!parse_stmt(fn, id)) return false;
+      out.push_back(id);
+    }
+    next();  // '}'
+    return true;
+  }
+
+  bool parse_rw_lists(ir::Stmt& s) {
+    while (peek_keyword("reads") || peek_keyword("writes")) {
+      const bool is_reads = cur().text == "reads";
+      next();
+      if (!expect(TokKind::kLParen, "'(' after reads/writes")) return false;
+      while (true) {
+        const Token* sym = expect(TokKind::kIdent, "symbol name");
+        if (!sym) return false;
+        const ir::SymbolId sid = module_->intern_symbol(sym->text);
+        (is_reads ? s.reads : s.writes).push_back(sid);
+        if (at(TokKind::kComma)) {
+          next();
+          continue;
+        }
+        break;
+      }
+      if (!expect(TokKind::kRParen, "')' after symbol list")) return false;
+    }
+    return true;
+  }
+
+  bool parse_stmt(ir::Function& fn, ir::StmtId& out) {
+    if (accept_keyword("seg")) {
+      ir::Stmt s;
+      s.kind = ir::StmtKind::kSeg;
+      if (at(TokKind::kIdent) && !peek_keyword("reads") && !peek_keyword("writes")) {
+        s.label = std::string(next().text);
+      }
+      const Token* n = expect(TokKind::kInt, "segment cycle count");
+      if (!n) return false;
+      s.cycles = n->int_value;
+      if (!parse_rw_lists(s)) return false;
+      if (!expect(TokKind::kSemi, "';' after seg")) return false;
+      out = fn.add_stmt(std::move(s));
+      return true;
+    }
+
+    if (accept_keyword("call")) {
+      const Token* callee = expect(TokKind::kIdent, "callee name");
+      if (!callee) return false;
+      const ir::FuncId target = module_->find_function(callee->text);
+      if (!target.valid()) {
+        error("call to unknown function '" + std::string(callee->text) + "'", callee->loc);
+        return false;
+      }
+      ir::Stmt s;
+      s.kind = ir::StmtKind::kCall;
+      s.callee = target;
+      if (!parse_rw_lists(s)) return false;
+      if (!expect(TokKind::kSemi, "';' after call")) return false;
+      out = fn.add_stmt(std::move(s));
+      module_->register_call_site(fn.id(), out, target);
+      return true;
+    }
+
+    if (accept_keyword("if")) {
+      ir::Stmt s;
+      s.kind = ir::StmtKind::kIf;
+      if (accept_keyword("prob")) {
+        if (at(TokKind::kFloat)) {
+          s.taken_prob = next().float_value;
+        } else if (at(TokKind::kInt)) {
+          s.taken_prob = static_cast<double>(next().int_value);
+        } else {
+          error("expected probability after 'prob'", cur().loc);
+          return false;
+        }
+        if (s.taken_prob < 0.0 || s.taken_prob > 1.0) {
+          error("probability must be within [0,1]", cur().loc);
+          return false;
+        }
+      }
+      if (!expect(TokKind::kLBrace, "'{' after if")) return false;
+      if (!parse_stmt_seq(fn, s.then_stmts)) return false;
+      if (accept_keyword("else")) {
+        if (!expect(TokKind::kLBrace, "'{' after else")) return false;
+        if (!parse_stmt_seq(fn, s.else_stmts)) return false;
+      }
+      out = fn.add_stmt(std::move(s));
+      return true;
+    }
+
+    if (accept_keyword("loop")) {
+      ir::Stmt s;
+      s.kind = ir::StmtKind::kLoop;
+      const Token* n = expect(TokKind::kInt, "loop trip count");
+      if (!n) return false;
+      s.trip_count = n->int_value;
+      if (s.trip_count < 1) {
+        error("loop trip count must be >= 1", n->loc);
+        return false;
+      }
+      if (!expect(TokKind::kLBrace, "'{' after loop")) return false;
+      if (!parse_stmt_seq(fn, s.body_stmts)) return false;
+      out = fn.add_stmt(std::move(s));
+      return true;
+    }
+
+    error("expected a statement (seg/call/if/loop)", cur().loc);
+    return false;
+  }
+
+  std::vector<Token> toks_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::optional<ir::Module> module_;
+};
+
+}  // namespace
+
+std::optional<ir::Module> parse_module(std::string_view source,
+                                       support::DiagnosticEngine& diags) {
+  std::vector<Token> toks = lex(source, diags);
+  if (diags.has_errors()) return std::nullopt;
+  return Parser(std::move(toks), diags).run();
+}
+
+}  // namespace partita::frontend

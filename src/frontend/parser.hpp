@@ -1,0 +1,32 @@
+// Parser for the kernel language (KL).
+//
+// Grammar (EBNF; '#' comments, identifiers are C-like):
+//
+//   module_file := "module" IDENT ";" item* ["entry" IDENT ";"]
+//   item        := "func" IDENT attrs (";" | "{" stmt* "}")
+//   attrs       := ["scall"] ["sw_cycles" INT]
+//   stmt        := seg | call | if | loop
+//   seg         := "seg" [IDENT] INT rw* ";"
+//   call        := "call" IDENT rw* ";"
+//   if          := "if" ["prob" NUMBER] "{" stmt* "}" ["else" "{" stmt* "}"]
+//   loop        := "loop" INT "{" stmt* "}"
+//   rw          := ("reads"|"writes") "(" IDENT ("," IDENT)* ")"
+//
+// Functions may be referenced before their definition: parsing is two-pass
+// (declaration scan, then bodies). The `entry` directive defaults to a
+// function named "main" when omitted.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ir/function.hpp"
+#include "support/diagnostics.hpp"
+
+namespace partita::frontend {
+
+/// Parses a KL module. Returns nullopt (and diagnostics) on any error.
+std::optional<ir::Module> parse_module(std::string_view source,
+                                       support::DiagnosticEngine& diags);
+
+}  // namespace partita::frontend

@@ -1,0 +1,84 @@
+#include "iface/fsm.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace partita::iface {
+
+ControllerFsm ControllerFsm::synthesize(const InterfaceProgram& prog) {
+  PARTITA_ASSERT_MSG(!is_software(prog.type),
+                     "FSM synthesis applies to hardware interface types");
+  ControllerFsm fsm;
+
+  for (const IfSection& section : prog.sections) {
+    if (section.body.empty()) continue;
+    const auto first = static_cast<std::uint32_t>(fsm.states_.size());
+    for (std::size_t i = 0; i < section.body.size(); ++i) {
+      FsmState st;
+      st.id = static_cast<std::uint32_t>(fsm.states_.size());
+      st.section = section.name;
+      st.ops = section.body[i].ops;
+      st.next = st.id + 1;
+      fsm.states_.push_back(std::move(st));
+    }
+    if (section.iterations > 1) {
+      FsmState& tail = fsm.states_.back();
+      tail.loop_tail = true;
+      tail.loop_target = first;
+      fsm.state_counter_.resize(fsm.states_.size(), 0);
+      fsm.state_counter_[tail.id] = static_cast<std::uint32_t>(fsm.counters_);
+      fsm.section_iterations_.push_back(section.iterations);
+      ++fsm.counters_;
+    }
+  }
+  fsm.state_counter_.resize(fsm.states_.size(), 0);
+  fsm.accept_ = static_cast<std::uint32_t>(fsm.states_.size());
+  return fsm;
+}
+
+std::int64_t ControllerFsm::simulate() const {
+  std::vector<std::int64_t> counters = section_iterations_;
+  std::int64_t cycles = 0;
+  std::uint32_t pc = 0;
+  // Generous bound: total scheduled cycles can never exceed
+  // sum(iterations * body) which is what the counters encode.
+  std::int64_t guard = 1;
+  for (std::int64_t it : section_iterations_) guard += it + 1;
+  guard *= static_cast<std::int64_t>(states_.size()) + 1;
+
+  while (pc != accept_) {
+    PARTITA_ASSERT_MSG(cycles <= guard, "controller FSM failed to terminate");
+    const FsmState& st = states_[pc];
+    ++cycles;
+    if (st.loop_tail) {
+      std::int64_t& cnt = counters[state_counter_[st.id]];
+      --cnt;
+      if (cnt > 0) {
+        pc = st.loop_target;
+        continue;
+      }
+    }
+    pc = st.next;
+  }
+  return cycles;
+}
+
+double ControllerFsm::estimated_area(double per_state, double per_counter) const {
+  return per_state * static_cast<double>(states_.size()) +
+         per_counter * static_cast<double>(counters_);
+}
+
+std::string ControllerFsm::dump() const {
+  std::ostringstream os;
+  os << "controller FSM: " << states_.size() << " states, " << counters_ << " counters\n";
+  for (const FsmState& st : states_) {
+    os << "  s" << st.id << " [" << st.section << "]";
+    for (IfOp op : st.ops) os << ' ' << to_string(op);
+    if (st.loop_tail) os << " | loop -> s" << st.loop_target;
+    os << " | next s" << st.next << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace partita::iface

@@ -1,0 +1,61 @@
+// Hardware in/out-controller synthesis.
+//
+// Types 2 and 3 implement the in/out-controller as an FSM (Fig. 6/7: bus
+// setup, then counted DMA read/write loops). This module synthesizes that
+// FSM from an expanded interface program: one state per template line,
+// counted-loop back-edges per section, a terminal accept state. The
+// synthesized machine is independently executable, and tests pin its cycle
+// count to the analytic template cycles -- the controller really implements
+// the schedule the cost model charges for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iface/program.hpp"
+
+namespace partita::iface {
+
+struct FsmState {
+  std::uint32_t id = 0;
+  std::string section;       // owning template section
+  std::vector<IfOp> ops;     // strobes asserted in this state
+  std::uint32_t next = 0;    // default successor
+  /// Counted-loop back edge: when `loop_header` is true, the state
+  /// decrements its section counter and jumps to `loop_target` while the
+  /// counter is nonzero.
+  bool loop_tail = false;
+  std::uint32_t loop_target = 0;
+};
+
+class ControllerFsm {
+ public:
+  /// Synthesizes the controller for a hardware interface program. The
+  /// program must come from a type-2/3 template.
+  static ControllerFsm synthesize(const InterfaceProgram& prog);
+
+  const std::vector<FsmState>& states() const { return states_; }
+  std::uint32_t accept_state() const { return accept_; }
+
+  /// Executes the machine: returns total cycles (one per state visit).
+  /// Must equal InterfaceProgram::execution_cycles() of the source program.
+  std::int64_t simulate() const;
+
+  /// Structural area estimate: states carry flops + strobe decoding,
+  /// counters one increment/compare each.
+  double estimated_area(double per_state = 0.02, double per_counter = 0.05) const;
+
+  std::size_t counter_count() const { return counters_; }
+
+  std::string dump() const;
+
+ private:
+  std::vector<FsmState> states_;
+  std::vector<std::int64_t> section_iterations_;  // per loop section
+  std::vector<std::uint32_t> state_counter_;      // loop-tail state -> counter id
+  std::size_t counters_ = 0;
+  std::uint32_t accept_ = 0;
+};
+
+}  // namespace partita::iface

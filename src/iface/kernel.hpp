@@ -1,0 +1,64 @@
+// Kernel-side parameters of the interface cost/timing model.
+//
+// These describe the fixed part of the target: the ASIP-core can move at most
+// one operand per data memory per cycle (two total), the type-0 software
+// template streams one batch of two operands every four cycles (Fig. 4), and
+// the area coefficients translate controller structures into the paper's
+// dimensionless area units.
+#pragma once
+
+#include "iplib/ip.hpp"
+
+namespace partita::iface {
+
+struct KernelParams {
+  /// Operands movable to/from an IP per cycle: one via XDM + one via YDM.
+  int operands_per_cycle = 2;
+
+  /// Data rate of the type-0 software template: cycles per batch of two
+  /// operands (the four-line steady-state loop of Fig. 4).
+  int sw_template_rate = 4;
+
+  /// Cycles per two-operand batch when the kernel fills/drains a buffer in
+  /// software (Fig. 5 lines 2-5 / 7-10: load + store per batch).
+  int sw_buffer_rate = 2;
+
+  /// Code-memory area per micro-code word (A_CNT of software interfaces).
+  double ucode_word_area = 0.02;
+
+  /// Base area of a hardware in/out-controller FSM (types 2/3).
+  double fsm_base_area = 0.35;
+  /// FSM area increment per IP port handled.
+  double fsm_per_port_area = 0.05;
+  /// Extra FSM area when input and output controllers must run at different
+  /// rates (split in-/out-controller, Section 3).
+  double fsm_split_rate_area = 0.15;
+
+  /// Buffer area per buffered data word (A_B).
+  double buffer_word_area = 0.015;
+  /// Fixed area of one buffer-port controller (types 1/3 instantiate one per
+  /// IP port).
+  double buffer_port_area = 0.05;
+
+  /// Power coefficients (relative units, matching IpDescriptor::power).
+  /// Software controllers draw nothing extra (the kernel runs regardless);
+  /// hardware FSMs and buffers add static draw.
+  double fsm_power = 0.2;
+  double buffer_power_per_port = 0.05;
+  double transformer_power = 0.1;  // only for non-synchronous protocols
+
+  /// Area of the protocol transformer for each native IP protocol.
+  double protocol_transformer_area(iplib::Protocol p) const {
+    switch (p) {
+      case iplib::Protocol::kSynchronous:
+        return 0.0;  // already the kernel standard
+      case iplib::Protocol::kHandshake:
+        return 0.3;
+      case iplib::Protocol::kStream:
+        return 0.15;
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace partita::iface

@@ -1,0 +1,88 @@
+#include "iface/lint.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "iface/model.hpp"
+
+namespace partita::iface {
+
+std::vector<LintFinding> lint_library(const iplib::IpLibrary& lib,
+                                      const KernelParams& kernel) {
+  std::vector<LintFinding> out;
+  auto warn = [&](const std::string& ip, std::string msg) {
+    out.push_back({LintSeverity::kWarning, ip, std::move(msg)});
+  };
+  auto error = [&](const std::string& ip, std::string msg) {
+    out.push_back({LintSeverity::kError, ip, std::move(msg)});
+  };
+
+  std::map<std::string, std::vector<std::string>> implementors;
+
+  for (const iplib::IpDescriptor& ip : lib.all()) {
+    if (ip.area <= 0.0) {
+      error(ip.name, "area must be positive (the fixed charge is meaningless at 0)");
+    }
+
+    // At least one interface type must be able to serve the block.
+    bool any_iface = false;
+    for (InterfaceType t : kAllInterfaceTypes) {
+      any_iface |= applicable(t, ip, kernel).ok;
+    }
+    if (!any_iface) {
+      error(ip.name, "no interface type can serve this port/rate combination");
+    }
+
+    if (ip.in_ports > kernel.operands_per_cycle || ip.out_ports > kernel.operands_per_cycle) {
+      warn(ip.name, "more than two in/out ports: only buffered interfaces (type 1/3) apply");
+    }
+    if (ip.in_rate < kernel.sw_template_rate && ip.in_rate == ip.out_rate &&
+        ip.in_ports <= kernel.operands_per_cycle) {
+      warn(ip.name, "native rate below the type-0 template rate: software interfaces "
+                    "will slow the IP clock by " +
+                        std::to_string(kernel.sw_template_rate / ip.in_rate) + "x");
+    }
+    if (!ip.pipelined && ip.latency == 0) {
+      warn(ip.name, "combinational block with zero latency looks unspecified");
+    }
+
+    for (const iplib::IpFunction& f : ip.functions) {
+      if (f.n_in == 0 && f.n_out == 0) {
+        warn(ip.name, "function '" + f.function + "' transfers no data");
+      }
+      if (f.ip_cycles == 0) {
+        warn(ip.name, "function '" + f.function +
+                          "' derives T_IP from rates/latency (cycles 0); declare it "
+                          "if profiled");
+      }
+      implementors[f.function].push_back(ip.name);
+    }
+  }
+
+  for (const auto& [fn, ips] : implementors) {
+    if (ips.size() >= 4) {
+      warn("", "function '" + fn + "' has " + std::to_string(ips.size()) +
+                   " implementors; consider pruning the library");
+    }
+  }
+  return out;
+}
+
+bool has_lint_errors(const std::vector<LintFinding>& findings) {
+  for (const LintFinding& f : findings) {
+    if (f.severity == LintSeverity::kError) return true;
+  }
+  return false;
+}
+
+std::string render_lint(const std::vector<LintFinding>& findings) {
+  std::ostringstream os;
+  for (const LintFinding& f : findings) {
+    os << (f.severity == LintSeverity::kError ? "error" : "warning");
+    if (!f.ip.empty()) os << " [" << f.ip << ']';
+    os << ": " << f.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace partita::iface

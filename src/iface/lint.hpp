@@ -1,0 +1,38 @@
+// IP-library lint: sanity diagnostics for hand-written libraries.
+//
+// Loader errors catch syntax; the linter catches semantics that silently
+// ruin a selection run: IPs whose declared cycle count is slower than any
+// plausible software time would ever be (suspicious), blocks that no
+// interface type can serve, port/rate combinations that force clock
+// slowdown everywhere, duplicate (function, cycles) entries across IPs, and
+// zero-area blocks that would make the fixed charge meaningless.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iface/kernel.hpp"
+#include "iplib/library.hpp"
+
+namespace partita::iface {
+
+enum class LintSeverity { kWarning, kError };
+
+struct LintFinding {
+  LintSeverity severity = LintSeverity::kWarning;
+  std::string ip;       // offending IP name (empty for library-level findings)
+  std::string message;
+};
+
+/// Checks the library; returns all findings (empty = clean).
+/// `kernel` supplies the interface applicability rules.
+std::vector<LintFinding> lint_library(const iplib::IpLibrary& lib,
+                                      const KernelParams& kernel = {});
+
+/// True if any finding is an error.
+bool has_lint_errors(const std::vector<LintFinding>& findings);
+
+/// One line per finding.
+std::string render_lint(const std::vector<LintFinding>& findings);
+
+}  // namespace partita::iface

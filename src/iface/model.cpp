@@ -1,0 +1,170 @@
+#include "iface/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace partita::iface {
+
+Applicability applicable(InterfaceType type, const iplib::IpDescriptor& ip,
+                         const KernelParams& kernel) {
+  const bool few_ports =
+      ip.in_ports <= kernel.operands_per_cycle && ip.out_ports <= kernel.operands_per_cycle;
+  switch (type) {
+    case InterfaceType::kType0:
+      if (!few_ports) {
+        return {false, "type-0 supports at most two in/out ports (no buffers)"};
+      }
+      if (ip.in_rate != ip.out_rate) {
+        return {false, "type-0 software template cannot serve different in/out rates"};
+      }
+      return {};
+    case InterfaceType::kType2:
+      if (!few_ports) {
+        return {false, "type-2 supports at most two in/out ports (no buffers)"};
+      }
+      return {};
+    case InterfaceType::kType1:
+    case InterfaceType::kType3:
+      return {};  // buffers handle any port count and rate
+  }
+  PARTITA_UNREACHABLE("bad interface type");
+}
+
+namespace {
+
+/// Buffer<->IP streaming time (T_B): the buffer controller feeds every IP
+/// port at the IP's native rate.
+std::int64_t buffer_stream_cycles(const iplib::IpDescriptor& ip,
+                                  const iplib::IpFunction& fn, bool input) {
+  const std::int64_t items = input ? fn.n_in : fn.n_out;
+  const std::int64_t ports = input ? ip.in_ports : ip.out_ports;
+  const std::int64_t rate = input ? ip.in_rate : ip.out_rate;
+  return batches(items, static_cast<int>(ports)) * rate;
+}
+
+}  // namespace
+
+InterfaceTiming interface_timing(InterfaceType type, const iplib::IpDescriptor& ip,
+                                 const iplib::IpFunction& fn, std::int64_t parallel_cycles,
+                                 const KernelParams& kernel) {
+  const Applicability app = applicable(type, ip, kernel);
+  PARTITA_ASSERT_MSG(app.ok, "interface_timing on inapplicable type");
+
+  InterfaceTiming t;
+  t.t_ip = ip.execution_cycles(fn);
+
+  const InterfaceProgram prog = expand_template(type, ip, fn, kernel);
+
+  switch (type) {
+    case InterfaceType::kType0: {
+      if (ip.in_rate < kernel.sw_template_rate) {
+        // The kernel cannot push a batch more often than every
+        // sw_template_rate cycles; the IP clock is divided to match and
+        // everything the IP does stretches accordingly.
+        t.clock_slowdown = static_cast<double>(kernel.sw_template_rate) /
+                           static_cast<double>(ip.in_rate);
+        t.t_ip = static_cast<std::int64_t>(std::ceil(t.t_ip * t.clock_slowdown));
+      }
+      t.t_if = prog.execution_cycles();
+      t.total_cycles = ip.pipelined ? std::max(t.t_ip, t.t_if) : t.t_if + t.t_ip;
+      break;
+    }
+    case InterfaceType::kType2: {
+      // In- and out-controllers run concurrently in hardware; the out stream
+      // starts after the IP's latency.
+      const std::int64_t setup = prog.section_cycles("setup");
+      const std::int64_t in_sched = prog.section_cycles("dma_in");
+      const std::int64_t out_sched = prog.section_cycles("dma_out");
+      if (ip.pipelined) {
+        t.t_if = setup + std::max(in_sched, ip.latency + out_sched);
+        t.total_cycles = std::max(t.t_ip, t.t_if);
+      } else {
+        t.t_if = setup + in_sched + out_sched;
+        t.total_cycles = setup + in_sched + t.t_ip + out_sched;
+      }
+      break;
+    }
+    case InterfaceType::kType1:
+    case InterfaceType::kType3: {
+      const std::int64_t pre =
+          prog.section_cycles("init") + prog.section_cycles("setup") +
+          prog.section_cycles("buffer_in") + prog.section_cycles("dma_in") +
+          prog.section_cycles("start");
+      const std::int64_t post =
+          prog.section_cycles("buffer_out") + prog.section_cycles("dma_out");
+      t.t_if_in = pre;
+      t.t_if_out = post;
+
+      const std::int64_t tb_in = buffer_stream_cycles(ip, fn, /*input=*/true);
+      const std::int64_t tb_out = buffer_stream_cycles(ip, fn, /*input=*/false);
+      std::int64_t core;
+      if (ip.pipelined) {
+        t.t_b = std::max(tb_in, tb_out);
+        core = std::max(t.t_ip, t.t_b);
+      } else {
+        t.t_b = tb_in + tb_out;
+        core = tb_in + t.t_ip + tb_out;
+      }
+
+      // Parallel code runs on the kernel while the IP churns (Fig. 2); the
+      // credit is MIN(T_IP, T_C), never more than the core it hides inside.
+      if (supports_parallel_execution(type) && parallel_cycles > 0) {
+        t.overlap = std::min({t.t_ip, parallel_cycles, core});
+      }
+      t.total_cycles = t.t_if_in + core + t.t_if_out - t.overlap;
+      break;
+    }
+  }
+  return t;
+}
+
+InterfaceCost interface_cost(InterfaceType type, const iplib::IpDescriptor& ip,
+                             const iplib::IpFunction& fn, const KernelParams& kernel) {
+  const Applicability app = applicable(type, ip, kernel);
+  PARTITA_ASSERT_MSG(app.ok, "interface_cost on inapplicable type");
+
+  InterfaceCost c;
+  c.transformer = kernel.protocol_transformer_area(ip.protocol);
+
+  const InterfaceProgram prog = expand_template(type, ip, fn, kernel);
+  switch (type) {
+    case InterfaceType::kType0:
+      c.controller = kernel.ucode_word_area * static_cast<double>(prog.static_words());
+      break;
+    case InterfaceType::kType1:
+      c.controller = kernel.ucode_word_area * static_cast<double>(prog.static_words());
+      c.buffers = kernel.buffer_word_area * static_cast<double>(fn.n_in + fn.n_out) +
+                  kernel.buffer_port_area * static_cast<double>(ip.in_ports + ip.out_ports);
+      break;
+    case InterfaceType::kType2:
+      c.controller = kernel.fsm_base_area +
+                     kernel.fsm_per_port_area *
+                         static_cast<double>(ip.in_ports + ip.out_ports) +
+                     (ip.in_rate != ip.out_rate ? kernel.fsm_split_rate_area : 0.0);
+      break;
+    case InterfaceType::kType3:
+      c.controller = kernel.fsm_base_area +
+                     kernel.fsm_per_port_area *
+                         static_cast<double>(ip.in_ports + ip.out_ports) +
+                     (ip.in_rate != ip.out_rate ? kernel.fsm_split_rate_area : 0.0);
+      c.buffers = kernel.buffer_word_area * static_cast<double>(fn.n_in + fn.n_out) +
+                  kernel.buffer_port_area * static_cast<double>(ip.in_ports + ip.out_ports);
+      break;
+  }
+  return c;
+}
+
+double interface_power(InterfaceType type, const iplib::IpDescriptor& ip,
+                       const KernelParams& kernel) {
+  double p = 0.0;
+  if (!is_software(type)) p += kernel.fsm_power;
+  if (is_buffered(type)) {
+    p += kernel.buffer_power_per_port * static_cast<double>(ip.in_ports + ip.out_ports);
+  }
+  if (ip.protocol != iplib::Protocol::kSynchronous) p += kernel.transformer_power;
+  return p;
+}
+
+}  // namespace partita::iface

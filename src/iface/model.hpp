@@ -1,0 +1,79 @@
+// Analytic timing and area model of the four interface types (Section 3,
+// "Performance gain and implementation cost").
+//
+// Timing, per one execution of the S-instruction:
+//
+//   type 0/2 (unbuffered, pipelined IP):  T = MAX(T_IP, T_IF)
+//   type 0/2 (non-pipelined IP):          T = T_IF + T_IP
+//   type 1/3 (buffered):  T = T_IF_IN + MAX(T_IP, T_B) + T_IF_OUT
+//                             - MIN(T_IP, T_C)          (parallel code T_C)
+//                         (non-pipelined: T_B splits into in + out phases
+//                          sequential with T_IP)
+//
+// Type 0 additionally slows the IP clock when the IP wants data faster than
+// the four-cycle software template can deliver (T_IP scales by
+// sw_template_rate / in_rate).
+//
+// Area: A = A_CNT + A_B + A_PT per interface instance (A_IP is accounted
+// once per chip by the selector). A_CNT is code memory for software types
+// (word count of the expanded template) and FSM area for hardware types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "iface/kernel.hpp"
+#include "iface/program.hpp"
+#include "iface/types.hpp"
+#include "iplib/ip.hpp"
+
+namespace partita::iface {
+
+/// Why an interface type can(not) serve an IP.
+struct Applicability {
+  bool ok = true;
+  std::string reason;  // set when !ok
+};
+
+/// Section 3 rules: type 0/2 are limited to two in/out ports (one operand per
+/// data memory per cycle); type 0 additionally cannot serve IPs whose input
+/// and output data rates differ (the software template cannot be split).
+Applicability applicable(InterfaceType type, const iplib::IpDescriptor& ip,
+                         const KernelParams& kernel);
+
+/// Timing breakdown for one S-instruction execution.
+struct InterfaceTiming {
+  std::int64_t total_cycles = 0;  // net execution time, overlap already deducted
+  std::int64_t t_ip = 0;          // effective IP time (clock slowdown applied)
+  std::int64_t t_if = 0;          // transfer schedule, types 0/2
+  std::int64_t t_if_in = 0;       // buffer fill, types 1/3
+  std::int64_t t_b = 0;           // buffer<->IP transfer, types 1/3
+  std::int64_t t_if_out = 0;      // buffer drain, types 1/3
+  std::int64_t overlap = 0;       // MIN(T_IP, T_C) actually credited
+  double clock_slowdown = 1.0;    // >1 when type-0 slowed the IP clock
+};
+
+/// Computes the timing of executing `fn` on `ip` through `type`, with
+/// `parallel_cycles` (T_C) of kernel code available to overlap. The type must
+/// be applicable. Parallel code is credited only for buffered types.
+InterfaceTiming interface_timing(InterfaceType type, const iplib::IpDescriptor& ip,
+                                 const iplib::IpFunction& fn, std::int64_t parallel_cycles,
+                                 const KernelParams& kernel);
+
+/// Area breakdown of one interface instance (excludes the IP itself).
+struct InterfaceCost {
+  double controller = 0;   // A_CNT: code memory or FSM
+  double buffers = 0;      // A_B
+  double transformer = 0;  // protocol transformer
+  double total() const { return controller + buffers + transformer; }
+};
+
+InterfaceCost interface_cost(InterfaceType type, const iplib::IpDescriptor& ip,
+                             const iplib::IpFunction& fn, const KernelParams& kernel);
+
+/// Power draw of one interface instance (excludes the IP itself): zero for
+/// pure software controllers, FSM + buffer + transformer terms otherwise.
+double interface_power(InterfaceType type, const iplib::IpDescriptor& ip,
+                       const KernelParams& kernel);
+
+}  // namespace partita::iface

@@ -1,0 +1,281 @@
+#include "iface/program.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace partita::iface {
+
+std::string_view to_string(IfOp op) {
+  switch (op) {
+    case IfOp::kSetCounter:
+      return "set_cnt";
+    case IfOp::kLoadX:
+      return "load_x";
+    case IfOp::kLoadY:
+      return "load_y";
+    case IfOp::kStoreX:
+      return "store_x";
+    case IfOp::kStoreY:
+      return "store_y";
+    case IfOp::kToIp:
+      return "to_ip";
+    case IfOp::kFromIp:
+      return "from_ip";
+    case IfOp::kToBuffer:
+      return "to_buf";
+    case IfOp::kFromBuffer:
+      return "from_buf";
+    case IfOp::kStartIp:
+      return "start_ip";
+    case IfOp::kDecCounter:
+      return "dec_cnt";
+    case IfOp::kBranchNZ:
+      return "br_nz";
+    case IfOp::kBusConnect:
+      return "bus_connect";
+    case IfOp::kDmaRead:
+      return "dma_read";
+    case IfOp::kDmaWrite:
+      return "dma_write";
+    case IfOp::kNop:
+      return "nop";
+  }
+  return "?";
+}
+
+std::int64_t batches(std::int64_t items, int per_cycle) {
+  PARTITA_ASSERT(per_cycle > 0);
+  return (items + per_cycle - 1) / per_cycle;
+}
+
+std::int64_t InterfaceProgram::static_words() const {
+  std::int64_t w = 0;
+  for (const IfSection& s : sections) w += s.words();
+  return w;
+}
+
+std::int64_t InterfaceProgram::execution_cycles() const {
+  std::int64_t c = 0;
+  for (const IfSection& s : sections) c += s.cycles();
+  return c;
+}
+
+std::int64_t InterfaceProgram::section_cycles(std::string_view name) const {
+  const IfSection* s = find_section(name);
+  return s ? s->cycles() : 0;
+}
+
+const IfSection* InterfaceProgram::find_section(std::string_view name) const {
+  auto it = std::find_if(sections.begin(), sections.end(),
+                         [&](const IfSection& s) { return s.name == name; });
+  return it == sections.end() ? nullptr : &*it;
+}
+
+std::string InterfaceProgram::dump() const {
+  std::ostringstream os;
+  os << "interface program (" << short_name(type) << ")\n";
+  for (const IfSection& s : sections) {
+    os << "  section " << s.name << " x" << s.iterations << ":\n";
+    for (std::size_t i = 0; i < s.body.size(); ++i) {
+      os << "    " << i << ":";
+      for (IfOp op : s.body[i].ops) os << ' ' << to_string(op);
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+IfLine line(std::initializer_list<IfOp> ops) { return IfLine{std::vector<IfOp>(ops)}; }
+
+/// Pads a section body with NOP lines up to `target` lines per iteration
+/// (rate matching: slower IPs get fed every in_rate cycles).
+void pad_to(std::vector<IfLine>& body, std::int64_t target) {
+  while (static_cast<std::int64_t>(body.size()) < target) {
+    body.push_back(line({IfOp::kNop}));
+  }
+}
+
+/// Splits total transferred batches into fill/steady/drain iteration counts
+/// given the pipeline depth (batches in flight before the first result).
+struct Phases {
+  std::int64_t fill = 0;
+  std::int64_t steady = 0;
+  std::int64_t drain = 0;
+};
+
+Phases phases(std::int64_t in_batches, std::int64_t out_batches, std::int64_t depth) {
+  Phases p;
+  p.steady = std::max<std::int64_t>(
+      0, std::min(in_batches - std::min(in_batches, depth), out_batches));
+  p.fill = in_batches - p.steady;
+  p.drain = out_batches - p.steady;
+  return p;
+}
+
+InterfaceProgram expand_type0(const iplib::IpDescriptor& ip, const iplib::IpFunction& fn,
+                              const KernelParams& k) {
+  PARTITA_ASSERT_MSG(ip.in_ports <= k.operands_per_cycle &&
+                         ip.out_ports <= k.operands_per_cycle,
+                     "type-0 cannot serve IPs with more than two in/out ports");
+  PARTITA_ASSERT_MSG(ip.in_rate == ip.out_rate,
+                     "type-0 cannot serve IPs with different in/out rates");
+
+  // Template batch period: the Fig. 4 loop is four words; IPs slower than
+  // that get NOP padding, faster ones are handled by slowing the IP clock
+  // (the timing model applies the slowdown to T_IP, the template stays at
+  // its natural rate).
+  const std::int64_t rate = std::max<std::int64_t>(k.sw_template_rate, ip.in_rate);
+  const std::int64_t in_b = batches(fn.n_in, k.operands_per_cycle);
+  const std::int64_t out_b = batches(fn.n_out, k.operands_per_cycle);
+  const double slowdown =
+      ip.in_rate < k.sw_template_rate
+          ? static_cast<double>(k.sw_template_rate) / static_cast<double>(ip.in_rate)
+          : 1.0;
+  const auto eff_latency = static_cast<std::int64_t>(ip.latency * slowdown);
+  const std::int64_t depth =
+      ip.pipelined ? (eff_latency + rate - 1) / rate : in_b;  // non-pipelined: feed all first
+  const Phases ph = phases(in_b, out_b, depth);
+
+  InterfaceProgram prog;
+  prog.type = InterfaceType::kType0;
+
+  prog.sections.push_back({"init", {line({IfOp::kSetCounter})}, 1});
+
+  if (ph.fill > 0) {
+    std::vector<IfLine> body = {
+        line({IfOp::kLoadX, IfOp::kLoadY}),
+        line({IfOp::kToIp}),
+        line({IfOp::kDecCounter}),
+        line({IfOp::kBranchNZ}),
+    };
+    pad_to(body, rate);
+    prog.sections.push_back({"fill", std::move(body), ph.fill});
+  }
+  if (ph.steady > 0) {
+    std::vector<IfLine> body = {
+        line({IfOp::kLoadX, IfOp::kLoadY}),
+        line({IfOp::kToIp, IfOp::kFromIp}),
+        line({IfOp::kStoreX, IfOp::kStoreY, IfOp::kDecCounter}),
+        line({IfOp::kBranchNZ}),
+    };
+    pad_to(body, rate);
+    prog.sections.push_back({"steady", std::move(body), ph.steady});
+  }
+  if (ph.drain > 0) {
+    std::vector<IfLine> body = {
+        line({IfOp::kFromIp}),
+        line({IfOp::kStoreX, IfOp::kStoreY}),
+        line({IfOp::kDecCounter}),
+        line({IfOp::kBranchNZ}),
+    };
+    pad_to(body, rate);
+    prog.sections.push_back({"drain", std::move(body), ph.drain});
+  }
+  return prog;
+}
+
+InterfaceProgram expand_type1(const iplib::IpDescriptor& ip, const iplib::IpFunction& fn,
+                              const KernelParams& k) {
+  (void)ip;  // any port count / rate combination is bufferable
+  const std::int64_t in_b = batches(fn.n_in, k.operands_per_cycle);
+  const std::int64_t out_b = batches(fn.n_out, k.operands_per_cycle);
+
+  InterfaceProgram prog;
+  prog.type = InterfaceType::kType1;
+  prog.sections.push_back({"init", {line({IfOp::kSetCounter})}, 1});
+  if (in_b > 0) {
+    std::vector<IfLine> body = {
+        line({IfOp::kLoadX, IfOp::kLoadY, IfOp::kDecCounter}),
+        line({IfOp::kToBuffer, IfOp::kBranchNZ}),
+    };
+    pad_to(body, k.sw_buffer_rate);
+    prog.sections.push_back({"buffer_in", std::move(body), in_b});
+  }
+  prog.sections.push_back({"start", {line({IfOp::kStartIp})}, 1});
+  // The IP runs here; the kernel is free to execute parallel code.
+  if (out_b > 0) {
+    std::vector<IfLine> body = {
+        line({IfOp::kFromBuffer, IfOp::kDecCounter}),
+        line({IfOp::kStoreX, IfOp::kStoreY, IfOp::kBranchNZ}),
+    };
+    pad_to(body, k.sw_buffer_rate);
+    prog.sections.push_back({"buffer_out", std::move(body), out_b});
+  }
+  return prog;
+}
+
+InterfaceProgram expand_type2(const iplib::IpDescriptor& ip, const iplib::IpFunction& fn,
+                              const KernelParams& k) {
+  PARTITA_ASSERT_MSG(ip.in_ports <= k.operands_per_cycle &&
+                         ip.out_ports <= k.operands_per_cycle,
+                     "type-2 cannot serve IPs with more than two in/out ports");
+  const std::int64_t in_b = batches(fn.n_in, k.operands_per_cycle);
+  const std::int64_t out_b = batches(fn.n_out, k.operands_per_cycle);
+  // The FSM strobes a read batch every in_rate cycles (the IP's native
+  // acceptance rate; no clock slowdown needed in hardware).
+  const std::int64_t p_in = std::max<std::int64_t>(1, ip.in_rate);
+  const std::int64_t p_out = std::max<std::int64_t>(1, ip.out_rate);
+
+  InterfaceProgram prog;
+  prog.type = InterfaceType::kType2;
+  prog.sections.push_back(
+      {"setup", {line({IfOp::kBusConnect, IfOp::kSetCounter})}, 1});
+  if (in_b > 0) {
+    std::vector<IfLine> body = {line({IfOp::kDmaRead, IfOp::kDecCounter, IfOp::kBranchNZ})};
+    pad_to(body, p_in);
+    prog.sections.push_back({"dma_in", std::move(body), in_b});
+  }
+  if (out_b > 0) {
+    std::vector<IfLine> body = {line({IfOp::kDmaWrite, IfOp::kDecCounter, IfOp::kBranchNZ})};
+    pad_to(body, p_out);
+    prog.sections.push_back({"dma_out", std::move(body), out_b});
+  }
+  return prog;
+}
+
+InterfaceProgram expand_type3(const iplib::IpDescriptor& ip, const iplib::IpFunction& fn,
+                              const KernelParams& k) {
+  (void)ip;
+  const std::int64_t in_b = batches(fn.n_in, k.operands_per_cycle);
+  const std::int64_t out_b = batches(fn.n_out, k.operands_per_cycle);
+
+  InterfaceProgram prog;
+  prog.type = InterfaceType::kType3;
+  prog.sections.push_back(
+      {"setup", {line({IfOp::kBusConnect, IfOp::kSetCounter})}, 1});
+  if (in_b > 0) {
+    // Memory -> in-buffer at full DMA speed (one batch per cycle); the
+    // buffer-to-IP transfer happens at the IP's rate while it runs (T_B).
+    prog.sections.push_back(
+        {"dma_in", {line({IfOp::kDmaRead, IfOp::kDecCounter, IfOp::kBranchNZ})}, in_b});
+  }
+  prog.sections.push_back({"start", {line({IfOp::kStartIp})}, 1});
+  if (out_b > 0) {
+    prog.sections.push_back(
+        {"dma_out", {line({IfOp::kDmaWrite, IfOp::kDecCounter, IfOp::kBranchNZ})}, out_b});
+  }
+  return prog;
+}
+
+}  // namespace
+
+InterfaceProgram expand_template(InterfaceType type, const iplib::IpDescriptor& ip,
+                                 const iplib::IpFunction& fn, const KernelParams& kernel) {
+  switch (type) {
+    case InterfaceType::kType0:
+      return expand_type0(ip, fn, kernel);
+    case InterfaceType::kType1:
+      return expand_type1(ip, fn, kernel);
+    case InterfaceType::kType2:
+      return expand_type2(ip, fn, kernel);
+    case InterfaceType::kType3:
+      return expand_type3(ip, fn, kernel);
+  }
+  PARTITA_UNREACHABLE("bad interface type");
+}
+
+}  // namespace partita::iface

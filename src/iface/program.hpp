@@ -1,0 +1,96 @@
+// Interface program templates (Figs. 4-7 of the paper).
+//
+// Every interface type has a template that, instantiated for a concrete
+// (IP, function) pair, yields the in/out-controller program: micro-code for
+// the software types (0/1), the FSM's DMA schedule for the hardware types
+// (2/3). The expansion is used three ways:
+//
+//   * its code size gives A_CNT for software interfaces (code-memory words);
+//   * its section structure gives the timing terms (T_IF, T_IF_IN, T_IF_OUT);
+//   * the co-simulator executes it cycle by cycle to validate the analytic
+//     model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iface/kernel.hpp"
+#include "iface/types.hpp"
+#include "iplib/ip.hpp"
+
+namespace partita::iface {
+
+/// Primitive operations appearing in interface programs. One program line
+/// (micro-word / FSM state) carries several of them, mirroring the multi-op
+/// lines of Figs. 4-7.
+enum class IfOp : std::uint8_t {
+  kSetCounter,   // cnt_xxx = #...
+  kLoadX,        // in-data_x = DM_x[]
+  kLoadY,        // in-data_y = DM_y[]
+  kStoreX,       // DM_x[] = out-data_x
+  kStoreY,       // DM_y[] = out-data_y
+  kToIp,         // IP_in = in-data
+  kFromIp,       // out-data = IP_out
+  kToBuffer,     // buff_in[][] = in-data
+  kFromBuffer,   // out-data = buff_out[][]
+  kStartIp,      // IP_start = 1
+  kDecCounter,   // cnt = cnt - 1
+  kBranchNZ,     // if (cnt != 0) goto ...
+  kBusConnect,   // tri-state/MUX setup for DMA (types 2/3)
+  kDmaRead,      // addr/rw strobes moving memory -> IP/buffer (one cycle)
+  kDmaWrite,     // addr/rw strobes moving IP/buffer -> memory (one cycle)
+  kNop,          // rate padding
+};
+
+std::string_view to_string(IfOp op);
+
+/// One line of an interface program: the ops issued in a single cycle.
+struct IfLine {
+  std::vector<IfOp> ops;
+};
+
+/// A loop section of the template (e.g. Fig. 4 lines 2-5 executed once per
+/// input-only batch).
+struct IfSection {
+  std::string name;          // "init", "fill", "steady", "drain", "buffer_in"...
+  std::vector<IfLine> body;  // executed once per iteration
+  std::int64_t iterations = 1;
+
+  std::int64_t words() const { return static_cast<std::int64_t>(body.size()); }
+  std::int64_t cycles() const { return words() * iterations; }
+};
+
+/// An instantiated interface program.
+struct InterfaceProgram {
+  InterfaceType type = InterfaceType::kType0;
+  std::vector<IfSection> sections;
+
+  /// Static code size (words of micro-code / FSM states): what occupies code
+  /// memory for software interfaces.
+  std::int64_t static_words() const;
+
+  /// Dynamic execution cycles of the whole program (all sections, all
+  /// iterations). For buffered types this is T_IF_IN + T_IF_OUT + overhead;
+  /// the IP runs between the in and out sections.
+  std::int64_t execution_cycles() const;
+
+  /// Cycles of the named section (0 when absent).
+  std::int64_t section_cycles(std::string_view name) const;
+
+  const IfSection* find_section(std::string_view name) const;
+
+  /// Human-readable dump resembling the paper's figures.
+  std::string dump() const;
+};
+
+/// Batches of two operands per transfer (one via XDM, one via YDM).
+std::int64_t batches(std::int64_t items, int per_cycle);
+
+/// Instantiates the template of `type` for one call of `fn` on `ip`.
+/// Precondition: the type is applicable (see model.hpp); violating port or
+/// rate limits trips an assertion.
+InterfaceProgram expand_template(InterfaceType type, const iplib::IpDescriptor& ip,
+                                 const iplib::IpFunction& fn, const KernelParams& kernel);
+
+}  // namespace partita::iface

@@ -1,0 +1,43 @@
+#include "iface/types.hpp"
+
+namespace partita::iface {
+
+std::string_view to_string(InterfaceType t) {
+  switch (t) {
+    case InterfaceType::kType0:
+      return "type-0 (software, unbuffered)";
+    case InterfaceType::kType1:
+      return "type-1 (software, buffered)";
+    case InterfaceType::kType2:
+      return "type-2 (hardware FSM, unbuffered)";
+    case InterfaceType::kType3:
+      return "type-3 (hardware FSM, buffered)";
+  }
+  return "?";
+}
+
+std::string_view short_name(InterfaceType t) {
+  switch (t) {
+    case InterfaceType::kType0:
+      return "IF0";
+    case InterfaceType::kType1:
+      return "IF1";
+    case InterfaceType::kType2:
+      return "IF2";
+    case InterfaceType::kType3:
+      return "IF3";
+  }
+  return "?";
+}
+
+bool is_software(InterfaceType t) {
+  return t == InterfaceType::kType0 || t == InterfaceType::kType1;
+}
+
+bool is_buffered(InterfaceType t) {
+  return t == InterfaceType::kType1 || t == InterfaceType::kType3;
+}
+
+bool supports_parallel_execution(InterfaceType t) { return is_buffered(t); }
+
+}  // namespace partita::iface

@@ -1,0 +1,39 @@
+// The four interface methods of Section 3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace partita::iface {
+
+/// Interface types, Fig. 3 of the paper. Ordered from cheapest/slowest to
+/// most expensive/powerful.
+enum class InterfaceType : std::uint8_t {
+  kType0,  // software in/out-controller, no buffers
+  kType1,  // software controller + in/out buffers
+  kType2,  // hardware FSM controller (DMA), no buffers
+  kType3,  // hardware FSM controller + buffers
+};
+
+inline constexpr std::array<InterfaceType, 4> kAllInterfaceTypes = {
+    InterfaceType::kType0, InterfaceType::kType1, InterfaceType::kType2,
+    InterfaceType::kType3};
+
+std::string_view to_string(InterfaceType t);
+
+/// "IF0".."IF3", the notation used in the paper's result tables.
+std::string_view short_name(InterfaceType t);
+
+/// True for types whose in/out-controller runs as kernel software (µ-code).
+bool is_software(InterfaceType t);
+
+/// True for types with in/out buffers.
+bool is_buffered(InterfaceType t);
+
+/// True for types that permit the kernel to execute parallel code while the
+/// IP runs: buffering removes memory contention (Section 3). Type 2 is
+/// excluded -- its DMA occupies the data memories.
+bool supports_parallel_execution(InterfaceType t);
+
+}  // namespace partita::iface

@@ -1,0 +1,188 @@
+#include "ilp/branch_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace partita::ilp {
+
+namespace {
+
+/// One open node: the set of binary fixings that defines its subproblem.
+struct Node {
+  /// Bound in internal (minimization) space; nodes with smaller bounds are
+  /// more promising.
+  double bound = -kInfinity;
+  std::vector<std::pair<VarIndex, double>> fixings;  // (var, fixed value)
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound;  // min-heap on bound
+  }
+};
+
+class Solver {
+ public:
+  Solver(const Model& model, const IlpOptions& opt) : model_(model), opt_(opt) {
+    sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+    base_lower_.resize(model.var_count());
+    base_upper_.resize(model.var_count());
+    for (std::size_t j = 0; j < model.var_count(); ++j) {
+      base_lower_[j] = model.var(static_cast<VarIndex>(j)).lower;
+      base_upper_[j] = model.var(static_cast<VarIndex>(j)).upper;
+    }
+  }
+
+  IlpResult run() {
+    std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder>
+        open;
+    open.push(std::make_shared<Node>());
+
+    while (!open.empty()) {
+      if (result_.nodes_explored >= opt_.max_nodes) {
+        finish(IlpStatus::kNodeLimit);
+        return result_;
+      }
+      const std::shared_ptr<Node> node = open.top();
+      open.pop();
+      ++result_.nodes_explored;
+
+      // Bound-based prune (incumbent may have improved since enqueue).
+      if (has_incumbent_ && node->bound >= incumbent_obj_ - opt_.gap_tol) continue;
+
+      // Solve this node's relaxation.
+      std::vector<double> lo = base_lower_, hi = base_upper_;
+      for (const auto& [v, val] : node->fixings) lo[v] = hi[v] = val;
+      const LpResult lp = solve_lp(model_, lo, hi, opt_.lp);
+      result_.lp_iterations += lp.iterations;
+
+      if (lp.status == LpStatus::kInfeasible) continue;
+      if (lp.status == LpStatus::kUnbounded) {
+        // A relaxation unbounded in the optimization direction: with all-
+        // binary decision variables this indicates an unbounded continuous
+        // part; report as no solution.
+        continue;
+      }
+
+      double node_bound;
+      VarIndex branch_var = 0;
+      bool have_branch_var = false;
+
+      if (lp.status == LpStatus::kIterationLimit) {
+        // No usable bound; keep exploring below this node.
+        node_bound = -kInfinity;
+        have_branch_var = pick_any_unfixed(*node, branch_var);
+      } else {
+        node_bound = sign_ * lp.objective;
+        if (has_incumbent_ && node_bound >= incumbent_obj_ - opt_.gap_tol) continue;
+        have_branch_var = pick_most_fractional(lp.x, branch_var);
+        if (!have_branch_var) {
+          // Integral: candidate incumbent.
+          offer_incumbent(lp.x);
+          continue;
+        }
+        try_rounding(lp.x);
+      }
+
+      if (!have_branch_var) continue;
+
+      for (const double val : {1.0, 0.0}) {
+        auto child = std::make_shared<Node>();
+        child->bound = node_bound;
+        child->fixings = node->fixings;
+        child->fixings.emplace_back(branch_var, val);
+        open.push(std::move(child));
+      }
+    }
+
+    finish(IlpStatus::kOptimal);
+    return result_;
+  }
+
+ private:
+  void finish(IlpStatus status_if_ok) {
+    if (!has_incumbent_) {
+      result_.status = status_if_ok == IlpStatus::kNodeLimit ? IlpStatus::kNodeLimit
+                                                             : IlpStatus::kInfeasible;
+      return;
+    }
+    result_.status = status_if_ok;
+    result_.has_solution = true;
+    result_.objective = sign_ * incumbent_obj_;
+    result_.x = incumbent_x_;
+  }
+
+  bool pick_most_fractional(const std::vector<double>& x, VarIndex& out) const {
+    double best = opt_.int_tol;
+    bool found = false;
+    for (std::size_t j = 0; j < model_.var_count(); ++j) {
+      if (model_.var(static_cast<VarIndex>(j)).kind != VarKind::kBinary) continue;
+      const double frac = std::abs(x[j] - std::round(x[j]));
+      const double score = frac;
+      if (score > best ||
+          (found && std::abs(score - best) < 1e-12 &&
+           std::abs(model_.var(static_cast<VarIndex>(j)).objective) >
+               std::abs(model_.var(out).objective))) {
+        best = score;
+        out = static_cast<VarIndex>(j);
+        found = true;
+      }
+    }
+    return found;
+  }
+
+  bool pick_any_unfixed(const Node& node, VarIndex& out) const {
+    for (std::size_t j = 0; j < model_.var_count(); ++j) {
+      if (model_.var(static_cast<VarIndex>(j)).kind != VarKind::kBinary) continue;
+      const bool fixed = std::any_of(node.fixings.begin(), node.fixings.end(),
+                                     [&](const auto& f) { return f.first == j; });
+      if (!fixed) {
+        out = static_cast<VarIndex>(j);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void offer_incumbent(const std::vector<double>& x) {
+    std::vector<double> xi = x;
+    for (std::size_t j = 0; j < model_.var_count(); ++j) {
+      if (model_.var(static_cast<VarIndex>(j)).kind == VarKind::kBinary) {
+        xi[j] = std::round(xi[j]);
+      }
+    }
+    if (!model_.is_feasible(xi)) return;
+    const double obj = sign_ * model_.objective_value(xi);
+    if (!has_incumbent_ || obj < incumbent_obj_ - opt_.gap_tol) {
+      has_incumbent_ = true;
+      incumbent_obj_ = obj;
+      incumbent_x_ = std::move(xi);
+    }
+  }
+
+  /// Cheap primal heuristic: round the fractional LP point and keep it if it
+  /// happens to be feasible.
+  void try_rounding(const std::vector<double>& x) { offer_incumbent(x); }
+
+  const Model& model_;
+  const IlpOptions& opt_;
+  double sign_ = 1.0;
+  std::vector<double> base_lower_, base_upper_;
+
+  bool has_incumbent_ = false;
+  double incumbent_obj_ = kInfinity;
+  std::vector<double> incumbent_x_;
+  IlpResult result_;
+};
+
+}  // namespace
+
+IlpResult solve_ilp(const Model& model, const IlpOptions& opt) {
+  return Solver(model, opt).run();
+}
+
+}  // namespace partita::ilp

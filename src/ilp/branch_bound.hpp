@@ -1,0 +1,45 @@
+// Branch & bound for 0/1 ILPs over the simplex LP relaxation.
+//
+// Best-bound-first search; branching on the most fractional binary variable
+// (ties broken toward the largest objective weight). The LP bound prunes
+// nodes that cannot beat the incumbent; an LP-rounding heuristic at every
+// node keeps the incumbent tight so the small selection problems of the
+// paper close in a handful of nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
+
+namespace partita::ilp {
+
+enum class IlpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kNodeLimit,  // search truncated; best incumbent (if any) returned
+};
+
+struct IlpResult {
+  IlpStatus status = IlpStatus::kInfeasible;
+  bool has_solution = false;
+  double objective = 0.0;
+  std::vector<double> x;
+  int nodes_explored = 0;
+  int lp_iterations = 0;
+};
+
+struct IlpOptions {
+  int max_nodes = 200000;
+  LpOptions lp;
+  /// A variable within int_tol of an integer counts as integral.
+  double int_tol = 1e-6;
+  /// Prune nodes whose bound is within gap_tol of the incumbent.
+  double gap_tol = 1e-9;
+};
+
+/// Solves the model to proven optimality (unless the node limit strikes).
+IlpResult solve_ilp(const Model& model, const IlpOptions& opt = {});
+
+}  // namespace partita::ilp

@@ -1,0 +1,412 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace partita::ilp {
+
+namespace {
+
+enum class ColStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
+
+class Tableau {
+ public:
+  Tableau(const Model& model, const std::vector<double>& lower,
+          const std::vector<double>& upper, const LpOptions& opt)
+      : model_(model), opt_(opt) {
+    n_struct_ = model.var_count();
+    m_ = model.row_count();
+    build(lower, upper);
+  }
+
+  LpResult solve() {
+    LpResult res;
+
+    // ---- Phase 1: drive artificials to zero --------------------------------
+    if (any_artificial_) {
+      set_phase1_costs();
+      const LpStatus s1 = optimize(res.iterations);
+      if (s1 == LpStatus::kIterationLimit) {
+        res.status = s1;
+        return res;
+      }
+      // Phase 1 is bounded below by 0, so kUnbounded cannot happen.
+      if (current_objective() > 1e-6) {
+        res.status = LpStatus::kInfeasible;
+        return res;
+      }
+      pivot_out_artificials();
+    }
+
+    // ---- Phase 2: real objective -------------------------------------------
+    set_phase2_costs();
+    const LpStatus s2 = optimize(res.iterations);
+    res.status = s2;
+    if (s2 != LpStatus::kOptimal) return res;
+
+    res.x.assign(n_struct_, 0.0);
+    const std::vector<double> xs = solution_values();
+    for (std::size_t j = 0; j < n_struct_; ++j) res.x[j] = xs[j];
+    double obj = 0;
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      obj += model_.var(static_cast<VarIndex>(j)).objective * res.x[j];
+    }
+    res.objective = obj;
+    return res;
+  }
+
+ private:
+  // --- construction ---------------------------------------------------------
+
+  void build(const std::vector<double>& lower, const std::vector<double>& upper) {
+    // Column layout: [structural | slack per row | artificial per row (maybe)]
+    n_total_ = n_struct_ + m_;  // artificials appended lazily
+    a_.assign(m_, {});
+    rhs_.assign(m_, 0.0);
+    lb_.assign(n_total_, 0.0);
+    ub_.assign(n_total_, kInfinity);
+    status_.assign(n_total_, ColStatus::kAtLower);
+    basis_.assign(m_, 0);
+
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      lb_[j] = lower[j];
+      ub_[j] = upper[j];
+      PARTITA_ASSERT_MSG(std::isfinite(lb_[j]), "structural vars need finite lower bounds");
+      PARTITA_ASSERT_MSG(lb_[j] <= ub_[j] + opt_.eps, "empty variable domain");
+    }
+
+    for (std::size_t i = 0; i < m_; ++i) {
+      a_[i].assign(n_total_, 0.0);
+      const Row& row = model_.row(static_cast<RowIndex>(i));
+      for (const Term& t : row.terms) a_[i][t.var] = t.coeff;
+      rhs_[i] = row.rhs;
+      const std::size_t slack = n_struct_ + i;
+      switch (row.sense) {
+        case RowSense::kLessEqual:
+          a_[i][slack] = 1.0;
+          lb_[slack] = 0.0;
+          ub_[slack] = kInfinity;
+          break;
+        case RowSense::kGreaterEqual:
+          a_[i][slack] = -1.0;
+          lb_[slack] = 0.0;
+          ub_[slack] = kInfinity;
+          break;
+        case RowSense::kEqual:
+          a_[i][slack] = 1.0;
+          lb_[slack] = 0.0;
+          ub_[slack] = 0.0;
+          break;
+      }
+    }
+
+    // Nonbasic structural variables rest at their (finite) lower bound.
+    for (std::size_t j = 0; j < n_struct_; ++j) status_[j] = ColStatus::kAtLower;
+
+    // Initial basis: the slack of each row where that works, else an
+    // artificial.
+    std::vector<std::size_t> needs_artificial;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t slack = n_struct_ + i;
+      const double activity = row_activity_nonbasic(i, slack);
+      const double needed = (rhs_[i] - activity) / a_[i][slack];
+      if (needed >= lb_[slack] - opt_.eps && needed <= ub_[slack] + opt_.eps) {
+        make_basic(i, slack);
+      } else {
+        // Slack parks at the bound nearest the needed value.
+        status_[slack] = needed < lb_[slack] ? ColStatus::kAtLower : ColStatus::kAtUpper;
+        needs_artificial.push_back(i);
+      }
+    }
+
+    any_artificial_ = !needs_artificial.empty();
+    if (any_artificial_) {
+      const std::size_t base = n_total_;
+      n_total_ += needs_artificial.size();
+      lb_.resize(n_total_, 0.0);
+      ub_.resize(n_total_, kInfinity);
+      status_.resize(n_total_, ColStatus::kAtLower);
+      for (auto& arow : a_) arow.resize(n_total_, 0.0);
+      first_artificial_ = base;
+      for (std::size_t k = 0; k < needs_artificial.size(); ++k) {
+        const std::size_t i = needs_artificial[k];
+        const std::size_t art = base + k;
+        // Residual the artificial must absorb given all nonbasics at bound.
+        const double residual = rhs_[i] - row_activity_nonbasic(i, /*skip=*/art);
+        a_[i][art] = residual >= 0 ? 1.0 : -1.0;
+        make_basic(i, art);
+      }
+    } else {
+      first_artificial_ = n_total_;
+    }
+    cost_.assign(n_total_, 0.0);
+  }
+
+  /// Activity of row i from all nonbasic columns at their bounds, skipping
+  /// column `skip`.
+  double row_activity_nonbasic(std::size_t i, std::size_t skip) const {
+    double v = 0;
+    for (std::size_t j = 0; j < n_total_; ++j) {
+      if (j == skip || status_[j] == ColStatus::kBasic) continue;
+      const double xj = status_[j] == ColStatus::kAtLower ? lb_[j] : ub_[j];
+      if (xj != 0.0) v += a_[i][j] * xj;
+    }
+    return v;
+  }
+
+  /// Makes column j basic in row i, scaling/eliminating so the basis column
+  /// is a unit vector.
+  void make_basic(std::size_t i, std::size_t j) {
+    const double piv = a_[i][j];
+    PARTITA_ASSERT_MSG(std::abs(piv) > opt_.eps, "zero pivot while forming basis");
+    if (piv != 1.0) {
+      for (double& v : a_[i]) v /= piv;
+      rhs_[i] /= piv;
+    }
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == i) continue;
+      const double f = a_[r][j];
+      if (std::abs(f) > opt_.eps) {
+        for (std::size_t c = 0; c < n_total_; ++c) a_[r][c] -= f * a_[i][c];
+        rhs_[r] -= f * rhs_[i];
+      } else {
+        a_[r][j] = 0.0;
+      }
+    }
+    basis_[i] = j;
+    status_[j] = ColStatus::kBasic;
+  }
+
+  // --- pricing and iteration ------------------------------------------------
+
+  void set_phase1_costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (std::size_t j = first_artificial_; j < n_total_; ++j) cost_[j] = 1.0;
+  }
+
+  void set_phase2_costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    const double sgn = model_.sense() == Sense::kMinimize ? 1.0 : -1.0;
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      cost_[j] = sgn * model_.var(static_cast<VarIndex>(j)).objective;
+    }
+    // Artificials must not re-enter.
+    for (std::size_t j = first_artificial_; j < n_total_; ++j) {
+      if (status_[j] != ColStatus::kBasic) {
+        ub_[j] = 0.0;
+        status_[j] = ColStatus::kAtLower;
+      }
+    }
+  }
+
+  /// Values of ALL columns at the current basic solution.
+  std::vector<double> solution_values() const {
+    std::vector<double> x(n_total_, 0.0);
+    for (std::size_t j = 0; j < n_total_; ++j) {
+      if (status_[j] == ColStatus::kAtLower) x[j] = lb_[j];
+      else if (status_[j] == ColStatus::kAtUpper) x[j] = ub_[j];
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      double v = rhs_[i];
+      for (std::size_t j = 0; j < n_total_; ++j) {
+        if (status_[j] != ColStatus::kBasic && x[j] != 0.0) v -= a_[i][j] * x[j];
+      }
+      x[basis_[i]] = v;
+    }
+    return x;
+  }
+
+  void refresh_basic_values() {
+    const std::vector<double> x = solution_values();
+    xb_.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) xb_[i] = x[basis_[i]];
+  }
+
+  double current_objective() const {
+    double obj = 0;
+    for (std::size_t j = 0; j < n_total_; ++j) {
+      if (status_[j] == ColStatus::kBasic || cost_[j] == 0.0) continue;
+      obj += cost_[j] * (status_[j] == ColStatus::kAtLower ? lb_[j] : ub_[j]);
+    }
+    for (std::size_t i = 0; i < m_; ++i) obj += cost_[basis_[i]] * xb_[i];
+    return obj;
+  }
+
+  /// Reduced cost of column j: c_j - c_B^T * (B^-1 a_j).
+  double reduced_cost(std::size_t j) const {
+    double d = cost_[j];
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double cb = cost_[basis_[i]];
+      if (cb != 0.0) d -= cb * a_[i][j];
+    }
+    return d;
+  }
+
+  LpStatus optimize(int& iterations) {
+    refresh_basic_values();
+    int stall = 0;
+    double last_obj = current_objective();
+    bool bland = false;
+    int since_refresh = 0;
+
+    while (true) {
+      if (iterations++ >= opt_.max_iterations) return LpStatus::kIterationLimit;
+      if (++since_refresh >= 256) {  // numerical hygiene
+        refresh_basic_values();
+        since_refresh = 0;
+      }
+
+      // --- entering column ---------------------------------------------
+      std::size_t enter = n_total_;
+      int direction = 0;  // +1 increase from lower, -1 decrease from upper
+      double best_score = opt_.eps;
+      for (std::size_t j = 0; j < n_total_; ++j) {
+        if (status_[j] == ColStatus::kBasic) continue;
+        if (lb_[j] == ub_[j]) continue;  // fixed column can never move
+        const double d = reduced_cost(j);
+        if (status_[j] == ColStatus::kAtLower && d < -best_score) {
+          enter = j;
+          direction = +1;
+          if (bland) break;
+          best_score = -d;
+        } else if (status_[j] == ColStatus::kAtUpper && d > best_score) {
+          enter = j;
+          direction = -1;
+          if (bland) break;
+          best_score = d;
+        }
+      }
+      if (enter == n_total_) return LpStatus::kOptimal;
+
+      // --- ratio test ----------------------------------------------------
+      double theta = ub_[enter] - lb_[enter];  // bound flip distance
+      std::size_t leave_row = m_;              // m_ => bound flip
+      bool leave_at_upper = false;
+
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double alpha = a_[i][enter] * direction;
+        const std::size_t bj = basis_[i];
+        if (alpha > opt_.eps) {
+          // Basic variable decreases toward its lower bound.
+          if (!std::isfinite(lb_[bj])) continue;
+          const double limit = (xb_[i] - lb_[bj]) / alpha;
+          if (limit < theta - opt_.eps ||
+              (bland && limit < theta + opt_.eps && leave_row != m_ && bj < basis_[leave_row])) {
+            theta = std::max(0.0, limit);
+            leave_row = i;
+            leave_at_upper = false;
+          }
+        } else if (alpha < -opt_.eps) {
+          // Basic variable increases toward its upper bound.
+          if (!std::isfinite(ub_[bj])) continue;
+          const double limit = (ub_[bj] - xb_[i]) / (-alpha);
+          if (limit < theta - opt_.eps ||
+              (bland && limit < theta + opt_.eps && leave_row != m_ && bj < basis_[leave_row])) {
+            theta = std::max(0.0, limit);
+            leave_row = i;
+            leave_at_upper = true;
+          }
+        }
+      }
+
+      if (!std::isfinite(theta)) return LpStatus::kUnbounded;
+
+      if (leave_row == m_) {
+        // Bound flip: the entering variable traverses its whole interval;
+        // basic values absorb the move.
+        for (std::size_t i = 0; i < m_; ++i) {
+          xb_[i] -= theta * direction * a_[i][enter];
+        }
+        status_[enter] =
+            status_[enter] == ColStatus::kAtLower ? ColStatus::kAtUpper : ColStatus::kAtLower;
+      } else {
+        const double enter_start =
+            status_[enter] == ColStatus::kAtLower ? lb_[enter] : ub_[enter];
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (i != leave_row) xb_[i] -= theta * direction * a_[i][enter];
+        }
+        const std::size_t leave = basis_[leave_row];
+        status_[leave] = leave_at_upper ? ColStatus::kAtUpper : ColStatus::kAtLower;
+        make_basic(leave_row, enter);
+        xb_[leave_row] = enter_start + theta * direction;
+      }
+
+      // --- stall detection / Bland fallback ------------------------------
+      const double obj = current_objective();
+      if (obj < last_obj - 1e-12) {
+        stall = 0;
+        bland = false;
+      } else if (++stall > 64) {
+        bland = true;  // anti-cycling
+      }
+      last_obj = obj;
+    }
+  }
+
+  void pivot_out_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      // Find any eligible non-artificial column with a nonzero tableau entry.
+      std::size_t enter = n_total_;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (status_[j] == ColStatus::kBasic) continue;
+        if (std::abs(a_[i][j]) > 1e-7) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n_total_) {
+        // Redundant row: freeze the artificial at zero.
+        ub_[basis_[i]] = 0.0;
+        continue;
+      }
+      make_basic(i, enter);
+    }
+    refresh_basic_values();
+  }
+
+  const Model& model_;
+  const LpOptions& opt_;
+  std::size_t n_struct_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t m_ = 0;
+  std::size_t first_artificial_ = 0;
+  bool any_artificial_ = false;
+
+  std::vector<std::vector<double>> a_;  // B^-1 * A, maintained by pivoting
+  std::vector<double> rhs_;             // B^-1 * b
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<ColStatus> status_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> xb_;  // values of the basic variables, by row
+};
+
+}  // namespace
+
+LpResult solve_lp(const Model& model, const LpOptions& opt) {
+  std::vector<double> lower(model.var_count()), upper(model.var_count());
+  for (std::size_t j = 0; j < model.var_count(); ++j) {
+    lower[j] = model.var(static_cast<VarIndex>(j)).lower;
+    upper[j] = model.var(static_cast<VarIndex>(j)).upper;
+  }
+  return solve_lp(model, lower, upper, opt);
+}
+
+LpResult solve_lp(const Model& model, const std::vector<double>& lower,
+                  const std::vector<double>& upper, const LpOptions& opt) {
+  PARTITA_ASSERT(lower.size() == model.var_count() && upper.size() == model.var_count());
+  for (std::size_t j = 0; j < model.var_count(); ++j) {
+    if (lower[j] > upper[j] + opt.eps) {
+      LpResult res;
+      res.status = LpStatus::kInfeasible;  // empty domain from branching
+      return res;
+    }
+  }
+  Tableau t(model, lower, upper, opt);
+  return t.solve();
+}
+
+}  // namespace partita::ilp

@@ -1,0 +1,57 @@
+// Bounded-variable two-phase primal simplex.
+//
+// Solves the LP relaxation of a Model (binary variables relaxed to their
+// [lower, upper] interval, optionally tightened per call -- that is how the
+// branch & bound fixes variables). Dense tableau implementation:
+//
+//   * every row is turned into an equality with a slack column
+//     (<=: s in [0,inf); >=: -s with s in [0,inf), row pre-scaled; =: s fixed
+//     to 0);
+//   * infeasible initial slacks get a phase-1 artificial column;
+//   * phase 1 minimizes the sum of artificials, phase 2 the real objective;
+//   * nonbasic variables rest at either bound (upper-bound technique), so
+//     binaries do not explode the row count;
+//   * Dantzig pricing with a Bland's-rule fallback after a stall, which
+//     guarantees termination.
+//
+// Problem sizes in this project are tiny by LP standards (hundreds of
+// columns), so a dense O(m*n) iteration is the right trade-off.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace partita::ilp {
+
+enum class LpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  /// Objective in the model's own sense (max problems report the max value).
+  double objective = 0.0;
+  /// Values of the structural (model) variables.
+  std::vector<double> x;
+  int iterations = 0;
+};
+
+struct LpOptions {
+  int max_iterations = 20000;
+  double eps = 1e-9;
+};
+
+/// Solves the LP relaxation with the model's own bounds.
+LpResult solve_lp(const Model& model, const LpOptions& opt = {});
+
+/// Solves with per-variable bound overrides (sizes must equal var_count()).
+/// Used by branch & bound to fix binaries to 0 or 1.
+LpResult solve_lp(const Model& model, const std::vector<double>& lower,
+                  const std::vector<double>& upper, const LpOptions& opt = {});
+
+}  // namespace partita::ilp

@@ -1,0 +1,32 @@
+#include "iplib/ip.hpp"
+
+#include <algorithm>
+
+namespace partita::iplib {
+
+std::string_view to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kSynchronous:
+      return "sync";
+    case Protocol::kHandshake:
+      return "handshake";
+    case Protocol::kStream:
+      return "stream";
+  }
+  return "?";
+}
+
+const IpFunction* IpDescriptor::find_function(std::string_view fn) const {
+  auto it = std::find_if(functions.begin(), functions.end(),
+                         [&](const IpFunction& f) { return f.function == fn; });
+  return it == functions.end() ? nullptr : &*it;
+}
+
+std::int64_t IpDescriptor::execution_cycles(const IpFunction& f) const {
+  if (f.ip_cycles > 0) return f.ip_cycles;
+  const std::int64_t in_time = f.n_in * in_rate;
+  const std::int64_t out_time = f.n_out * out_rate;
+  return latency + std::max(in_time, out_time);
+}
+
+}  // namespace partita::iplib

@@ -1,0 +1,85 @@
+// IP block descriptors.
+//
+// An IP is characterized exactly by the properties Section 3 of the paper
+// feeds into interface selection: number of in/out ports, input/output data
+// rates, latency, pipelining, silicon area, the communication protocol its
+// pins speak (transformed to the kernel's synchronous standard by the
+// protocol transformer), and the set of functions it can execute. An IP with
+// one function is an S-IP, with several an M-IP (Definition 2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace partita::iplib {
+
+/// Identifies an IP inside an IpLibrary.
+struct IpId {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+  bool valid() const { return value != std::numeric_limits<std::uint32_t>::max(); }
+  bool operator==(const IpId&) const = default;
+  auto operator<=>(const IpId&) const = default;
+};
+
+/// Native protocol of the IP's pins. The interface's protocol transformer
+/// converts anything to the kernel-standard synchronous protocol; exotic
+/// protocols cost extra transformer area (see iface::protocol_transformer_area).
+enum class Protocol : std::uint8_t {
+  kSynchronous,   // already the kernel standard
+  kHandshake,     // req/ack asynchronous handshake
+  kStream,        // free-running valid-qualified stream
+};
+
+std::string_view to_string(Protocol p);
+
+/// One function an IP can execute.
+struct IpFunction {
+  /// Name of the application function this entry implements (matches
+  /// ir::Function::name of an s-call candidate).
+  std::string function;
+  /// Execution time of the IP for one call of the function (the paper's
+  /// T_IP), in kernel clock cycles at the IP's native rate.
+  std::int64_t ip_cycles = 0;
+  /// Number of input operands / output results one call transfers.
+  std::int64_t n_in = 0;
+  std::int64_t n_out = 0;
+};
+
+/// A reusable hardware block.
+struct IpDescriptor {
+  IpId id{};
+  std::string name;
+  std::vector<IpFunction> functions;
+
+  std::int32_t in_ports = 1;
+  std::int32_t out_ports = 1;
+  /// Clock cycles between successive input (output) data items the IP can
+  /// accept (produce). Rates below 4 exceed what the type-0 software
+  /// template can feed and force a slowed IP clock (Section 3, Type 0).
+  std::int32_t in_rate = 4;
+  std::int32_t out_rate = 4;
+  /// Input-to-first-output latency in cycles.
+  std::int32_t latency = 0;
+  bool pipelined = true;
+  /// Relative silicon area (the paper's dimensionless area units).
+  double area = 0.0;
+  /// Active power draw while the IP runs (relative units; the paper's IMP
+  /// records carry "area, power and performance gain").
+  double power = 0.0;
+  Protocol protocol = Protocol::kSynchronous;
+
+  bool is_multi_function() const { return functions.size() > 1; }
+
+  /// Finds the function entry by name; nullptr if this IP cannot execute it.
+  const IpFunction* find_function(std::string_view fn) const;
+
+  /// T_IP for one call of `f`: the declared cycle count, or, when declared as
+  /// 0, the pipelined-streaming estimate latency + max(n_in*in_rate,
+  /// n_out*out_rate).
+  std::int64_t execution_cycles(const IpFunction& f) const;
+};
+
+}  // namespace partita::iplib

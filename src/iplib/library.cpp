@@ -1,0 +1,49 @@
+#include "iplib/library.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace partita::iplib {
+
+IpId IpLibrary::add(IpDescriptor ip) {
+  PARTITA_ASSERT_MSG(by_name_.find(ip.name) == by_name_.end(), "duplicate IP name");
+  PARTITA_ASSERT_MSG(!ip.functions.empty(), "IP must implement at least one function");
+  PARTITA_ASSERT_MSG(ip.in_ports >= 1 && ip.out_ports >= 1, "IP needs ports");
+  PARTITA_ASSERT_MSG(ip.in_rate >= 1 && ip.out_rate >= 1, "rates are >= 1 cycle");
+  const IpId id{static_cast<std::uint32_t>(ips_.size())};
+  ip.id = id;
+  by_name_.emplace(ip.name, id);
+  ips_.push_back(std::move(ip));
+  return id;
+}
+
+IpId IpLibrary::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? IpId{} : it->second;
+}
+
+std::vector<Implementor> IpLibrary::implementors_of(std::string_view function) const {
+  std::vector<Implementor> out;
+  for (const IpDescriptor& ip : ips_) {
+    if (const IpFunction* f = ip.find_function(function)) {
+      out.push_back({ip.id, f});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> IpLibrary::supported_functions() const {
+  std::vector<std::string> out;
+  for (const IpDescriptor& ip : ips_) {
+    for (const IpFunction& f : ip.functions) {
+      if (std::find(out.begin(), out.end(), f.function) == out.end()) {
+        out.push_back(f.function);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace partita::iplib

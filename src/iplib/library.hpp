@@ -1,0 +1,43 @@
+// The IP library: the pool of reusable blocks the selector may instantiate.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "iplib/ip.hpp"
+
+namespace partita::iplib {
+
+/// A (IP, function-entry) pair: one way of executing one application function
+/// in hardware.
+struct Implementor {
+  IpId ip;
+  const IpFunction* function = nullptr;
+};
+
+class IpLibrary {
+ public:
+  /// Adds a descriptor; the name must be unique. Returns the assigned id.
+  IpId add(IpDescriptor ip);
+
+  const IpDescriptor& ip(IpId id) const { return ips_[id.value]; }
+  std::size_t size() const { return ips_.size(); }
+  const std::vector<IpDescriptor>& all() const { return ips_; }
+
+  /// Finds an IP by name; invalid id if absent.
+  IpId find(std::string_view name) const;
+
+  /// Every IP (with the matching function entry) able to execute `function`.
+  std::vector<Implementor> implementors_of(std::string_view function) const;
+
+  /// Names of all application functions at least one IP can execute.
+  std::vector<std::string> supported_functions() const;
+
+ private:
+  std::vector<IpDescriptor> ips_;
+  std::unordered_map<std::string, IpId> by_name_;
+};
+
+}  // namespace partita::iplib

@@ -1,0 +1,185 @@
+#include "iplib/loader.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace partita::iplib {
+
+namespace {
+
+using support::split_ws;
+using support::SourceLoc;
+
+class Loader {
+ public:
+  Loader(std::string_view text, support::DiagnosticEngine& diags)
+      : diags_(diags) {
+    for (std::string_view line : support::split(text, '\n')) {
+      const auto hash = line.find('#');
+      if (hash != std::string_view::npos) line = line.substr(0, hash);
+      lines_.push_back(support::trim(line));
+    }
+  }
+
+  std::optional<IpLibrary> run() {
+    IpLibrary lib;
+    std::size_t i = 0;
+    while (i < lines_.size()) {
+      if (lines_[i].empty()) {
+        ++i;
+        continue;
+      }
+      auto toks = split_ws(lines_[i]);
+      if (toks.size() != 3 || toks[0] != "ip" || toks[2] != "{") {
+        error(i, "expected 'ip <name> {'");
+        return std::nullopt;
+      }
+      IpDescriptor ip;
+      ip.name = std::string(toks[1]);
+      ++i;
+      if (!parse_body(ip, i)) return std::nullopt;
+      if (ip.functions.empty()) {
+        error(i, "ip '" + ip.name + "' declares no functions");
+        return std::nullopt;
+      }
+      if (lib.find(ip.name).valid()) {
+        error(i, "duplicate ip name '" + ip.name + "'");
+        return std::nullopt;
+      }
+      lib.add(std::move(ip));
+    }
+    return lib;
+  }
+
+ private:
+  void error(std::size_t line_idx, std::string msg) {
+    diags_.error(std::move(msg), SourceLoc{static_cast<std::uint32_t>(line_idx + 1), 1});
+  }
+
+  bool parse_i64(std::size_t i, std::string_view tok, std::int64_t& out) {
+    if (!support::parse_int(tok, out)) {
+      error(i, "expected integer, found '" + std::string(tok) + "'");
+      return false;
+    }
+    return true;
+  }
+
+  bool parse_body(IpDescriptor& ip, std::size_t& i) {
+    for (; i < lines_.size(); ++i) {
+      if (lines_[i].empty()) continue;
+      if (lines_[i] == "}") {
+        ++i;
+        return true;
+      }
+      auto t = split_ws(lines_[i]);
+      const std::string_view key = t[0];
+
+      if (key == "area" && t.size() == 2) {
+        double a = 0;
+        if (!support::parse_double(t[1], a) || a < 0) {
+          error(i, "bad area");
+          return false;
+        }
+        ip.area = a;
+      } else if (key == "power" && t.size() == 2) {
+        double pw = 0;
+        if (!support::parse_double(t[1], pw) || pw < 0) {
+          error(i, "bad power");
+          return false;
+        }
+        ip.power = pw;
+      } else if (key == "ports" && t.size() == 5 && t[1] == "in" && t[3] == "out") {
+        std::int64_t pin = 0, pout = 0;
+        if (!parse_i64(i, t[2], pin) || !parse_i64(i, t[4], pout)) return false;
+        if (pin < 1 || pout < 1) {
+          error(i, "ports must be >= 1");
+          return false;
+        }
+        ip.in_ports = static_cast<std::int32_t>(pin);
+        ip.out_ports = static_cast<std::int32_t>(pout);
+      } else if (key == "rate" && t.size() == 5 && t[1] == "in" && t[3] == "out") {
+        std::int64_t rin = 0, rout = 0;
+        if (!parse_i64(i, t[2], rin) || !parse_i64(i, t[4], rout)) return false;
+        if (rin < 1 || rout < 1) {
+          error(i, "rates must be >= 1");
+          return false;
+        }
+        ip.in_rate = static_cast<std::int32_t>(rin);
+        ip.out_rate = static_cast<std::int32_t>(rout);
+      } else if (key == "latency" && t.size() == 2) {
+        std::int64_t lat = 0;
+        if (!parse_i64(i, t[1], lat) || lat < 0) {
+          error(i, "bad latency");
+          return false;
+        }
+        ip.latency = static_cast<std::int32_t>(lat);
+      } else if (key == "pipelined" && t.size() == 1) {
+        ip.pipelined = true;
+      } else if (key == "combinational" && t.size() == 1) {
+        ip.pipelined = false;
+      } else if (key == "protocol" && t.size() == 2) {
+        if (t[1] == "sync") ip.protocol = Protocol::kSynchronous;
+        else if (t[1] == "handshake") ip.protocol = Protocol::kHandshake;
+        else if (t[1] == "stream") ip.protocol = Protocol::kStream;
+        else {
+          error(i, "unknown protocol '" + std::string(t[1]) + "'");
+          return false;
+        }
+      } else if (key == "fn" && t.size() == 8 && t[2] == "cycles" && t[4] == "in" &&
+                 t[6] == "out") {
+        IpFunction f;
+        f.function = std::string(t[1]);
+        std::int64_t cyc = 0, nin = 0, nout = 0;
+        if (!parse_i64(i, t[3], cyc) || !parse_i64(i, t[5], nin) || !parse_i64(i, t[7], nout)) {
+          return false;
+        }
+        if (cyc < 0 || nin < 0 || nout < 0) {
+          error(i, "fn values must be non-negative");
+          return false;
+        }
+        f.ip_cycles = cyc;
+        f.n_in = nin;
+        f.n_out = nout;
+        ip.functions.push_back(std::move(f));
+      } else {
+        error(i, "unrecognized line '" + std::string(lines_[i]) + "'");
+        return false;
+      }
+    }
+    error(i, "missing '}' at end of ip block");
+    return false;
+  }
+
+  support::DiagnosticEngine& diags_;
+  std::vector<std::string_view> lines_;
+};
+
+}  // namespace
+
+std::optional<IpLibrary> load_library(std::string_view text,
+                                      support::DiagnosticEngine& diags) {
+  return Loader(text, diags).run();
+}
+
+std::string save_library(const IpLibrary& lib) {
+  std::ostringstream os;
+  for (const IpDescriptor& ip : lib.all()) {
+    os << "ip " << ip.name << " {\n";
+    os << "  area " << support::compact_double(ip.area) << '\n';
+    if (ip.power > 0) os << "  power " << support::compact_double(ip.power) << '\n';
+    os << "  ports in " << ip.in_ports << " out " << ip.out_ports << '\n';
+    os << "  rate in " << ip.in_rate << " out " << ip.out_rate << '\n';
+    os << "  latency " << ip.latency << '\n';
+    os << (ip.pipelined ? "  pipelined\n" : "  combinational\n");
+    os << "  protocol " << to_string(ip.protocol) << '\n';
+    for (const IpFunction& f : ip.functions) {
+      os << "  fn " << f.function << " cycles " << f.ip_cycles << " in " << f.n_in
+         << " out " << f.n_out << '\n';
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace partita::iplib

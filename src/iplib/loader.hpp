@@ -1,0 +1,34 @@
+// Text loader for IP libraries.
+//
+// Format (one `ip` block per IP; '#' comments):
+//
+//   ip IP12 {
+//     area 3
+//     ports in 2 out 2
+//     rate in 4 out 4
+//     latency 8
+//     pipelined            # or: combinational
+//     protocol sync        # sync | handshake | stream
+//     fn fir cycles 2000 in 64 out 64
+//     fn iir cycles 0 in 64 out 64   # cycles 0 => derived estimate
+//   }
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "iplib/library.hpp"
+#include "support/diagnostics.hpp"
+
+namespace partita::iplib {
+
+/// Parses the textual library format. Returns nullopt (plus diagnostics) on
+/// any error.
+std::optional<IpLibrary> load_library(std::string_view text,
+                                      support::DiagnosticEngine& diags);
+
+/// Serializes a library back into loader syntax (round-trips through
+/// load_library).
+std::string save_library(const IpLibrary& lib);
+
+}  // namespace partita::iplib

@@ -1,0 +1,85 @@
+#include "ir/function.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace partita::ir {
+
+Function& Module::create_function(std::string name) {
+  PARTITA_ASSERT_MSG(func_by_name_.find(name) == func_by_name_.end(),
+                     "duplicate function name");
+  const FuncId id{static_cast<std::uint32_t>(funcs_.size())};
+  funcs_.emplace_back(id, name);
+  func_by_name_.emplace(std::move(name), id);
+  return funcs_.back();
+}
+
+FuncId Module::find_function(std::string_view name) const {
+  auto it = func_by_name_.find(std::string(name));
+  return it == func_by_name_.end() ? FuncId::invalid() : it->second;
+}
+
+SymbolId Module::intern_symbol(std::string_view name) {
+  auto it = symbol_by_name_.find(std::string(name));
+  if (it != symbol_by_name_.end()) return it->second;
+  const SymbolId id{static_cast<std::uint32_t>(symbols_.size())};
+  symbols_.emplace_back(name);
+  symbol_by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+CallSiteId Module::register_call_site(FuncId caller, StmtId stmt, FuncId callee) {
+  const CallSiteId id{static_cast<std::uint32_t>(call_sites_.size())};
+  call_sites_.push_back({id, caller, stmt, callee});
+  function(caller).stmt(stmt).call_site = id;
+  return id;
+}
+
+std::vector<FuncId> Module::callees_of(FuncId f) const {
+  std::vector<FuncId> out;
+  function(f).for_each_stmt([&](StmtId, const Stmt& s) {
+    if (s.kind == StmtKind::kCall && s.callee.valid()) {
+      if (std::find(out.begin(), out.end(), s.callee) == out.end()) {
+        out.push_back(s.callee);
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<FuncId> Module::bottom_up_order() const {
+  std::vector<FuncId> order;
+  std::vector<std::uint8_t> state(funcs_.size(), 0);  // 0=unseen 1=visiting 2=done
+
+  // Iterative DFS post-order.
+  struct Frame {
+    FuncId f;
+    std::vector<FuncId> callees;
+    std::size_t next = 0;
+  };
+  for (std::uint32_t root = 0; root < funcs_.size(); ++root) {
+    if (state[root] != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({FuncId{root}, callees_of(FuncId{root})});
+    state[root] = 1;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next < top.callees.size()) {
+        const FuncId c = top.callees[top.next++];
+        PARTITA_ASSERT_MSG(state[c.value()] != 1, "recursive call graph");
+        if (state[c.value()] == 0) {
+          state[c.value()] = 1;
+          stack.push_back({c, callees_of(c)});
+        }
+      } else {
+        state[top.f.value()] = 2;
+        order.push_back(top.f);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace partita::ir

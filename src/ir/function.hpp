@@ -1,0 +1,137 @@
+// Functions, modules, symbol table and the call graph.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ids.hpp"
+#include "ir/stmt.hpp"
+
+namespace partita::ir {
+
+/// A function: a statement arena plus its top-level body sequence.
+///
+/// `sw_cycles` is the software execution time of one invocation on the
+/// ASIP-core (the paper's T_SW for this function when it is an s-call);
+/// for leaf s-callable functions it may be declared directly, otherwise it
+/// is computed by the profiler from the body.
+class Function {
+ public:
+  Function(FuncId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+  FuncId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// True if this function can be implemented by an IP (Definition 1:
+  /// candidates for s-calls).
+  bool ip_mappable() const { return ip_mappable_; }
+  void set_ip_mappable(bool v) { ip_mappable_ = v; }
+
+  /// Declared software cycle count (leaf functions); nullopt means "derive
+  /// from the body via the profiler".
+  std::optional<std::int64_t> declared_sw_cycles() const { return declared_sw_cycles_; }
+  void set_declared_sw_cycles(std::int64_t c) { declared_sw_cycles_ = c; }
+
+  StmtId add_stmt(Stmt s) {
+    const StmtId id{static_cast<std::uint32_t>(stmts_.size())};
+    stmts_.push_back(std::move(s));
+    return id;
+  }
+
+  const Stmt& stmt(StmtId id) const { return stmts_[id.value()]; }
+  Stmt& stmt(StmtId id) { return stmts_[id.value()]; }
+  std::size_t stmt_count() const { return stmts_.size(); }
+
+  const std::vector<StmtId>& body() const { return body_; }
+  std::vector<StmtId>& body() { return body_; }
+
+  /// Calls visit(id, stmt) for every statement in the arena.
+  template <typename F>
+  void for_each_stmt(F&& visit) const {
+    for (std::uint32_t i = 0; i < stmts_.size(); ++i) {
+      visit(StmtId{i}, stmts_[i]);
+    }
+  }
+
+ private:
+  FuncId id_;
+  std::string name_;
+  bool ip_mappable_ = false;
+  std::optional<std::int64_t> declared_sw_cycles_;
+  std::vector<Stmt> stmts_;
+  std::vector<StmtId> body_;
+};
+
+/// Identifies one static call occurrence: which function contains it and
+/// which statement it is.
+struct CallSite {
+  CallSiteId id;
+  FuncId caller;
+  StmtId stmt;
+  FuncId callee;
+};
+
+/// A whole application: functions, symbols, call sites.
+class Module {
+ public:
+  explicit Module(std::string name = "module") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates an empty function; the name must be unique.
+  Function& create_function(std::string name);
+
+  Function& function(FuncId id) { return funcs_[id.value()]; }
+  const Function& function(FuncId id) const { return funcs_[id.value()]; }
+  std::size_t function_count() const { return funcs_.size(); }
+
+  /// Finds a function by name; invalid FuncId if absent.
+  FuncId find_function(std::string_view name) const;
+
+  template <typename F>
+  void for_each_function(F&& visit) const {
+    for (const Function& f : funcs_) visit(f);
+  }
+
+  /// Interns a symbol name, returning a stable id.
+  SymbolId intern_symbol(std::string_view name);
+  const std::string& symbol_name(SymbolId id) const { return symbols_[id.value()]; }
+  std::size_t symbol_count() const { return symbols_.size(); }
+
+  /// Registers a call statement as a call site; returns its module-wide id.
+  /// Called by the frontend / builders after adding a kCall statement.
+  CallSiteId register_call_site(FuncId caller, StmtId stmt, FuncId callee);
+
+  const CallSite& call_site(CallSiteId id) const { return call_sites_[id.value()]; }
+  const std::vector<CallSite>& call_sites() const { return call_sites_; }
+
+  /// The entry function ("main" by default); must be set before analysis.
+  FuncId entry() const { return entry_; }
+  void set_entry(FuncId f) { entry_ = f; }
+
+  /// All direct callees of f (deduplicated, in first-occurrence order).
+  std::vector<FuncId> callees_of(FuncId f) const;
+
+  /// Functions in reverse-topological order of the call graph (callees before
+  /// callers). Requires an acyclic call graph (no recursion) — verified by
+  /// verify_module.
+  std::vector<FuncId> bottom_up_order() const;
+
+ private:
+  std::string name_;
+  // deque: create_function must not invalidate references to earlier
+  // functions (builders commonly hold several at once).
+  std::deque<Function> funcs_;
+  std::unordered_map<std::string, FuncId> func_by_name_;
+  std::vector<std::string> symbols_;
+  std::unordered_map<std::string, SymbolId> symbol_by_name_;
+  std::vector<CallSite> call_sites_;
+  FuncId entry_;
+};
+
+}  // namespace partita::ir

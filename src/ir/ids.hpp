@@ -1,0 +1,59 @@
+// Strongly-typed indices into the IR arenas.
+//
+// Every IR object lives in a flat vector owned by its parent (Module owns
+// Functions, Function owns Stmts, MopList owns Mops...). These wrappers keep
+// the indices from being mixed up while staying trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace partita::ir {
+
+namespace detail {
+
+/// CRTP-free tagged index. Tag is a phantom type, one per arena.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value_(v) {}
+
+  constexpr bool valid() const { return value_ != kInvalid; }
+  constexpr std::uint32_t value() const { return value_; }
+
+  constexpr bool operator==(const Id&) const = default;
+  constexpr auto operator<=>(const Id&) const = default;
+
+  static constexpr Id invalid() { return Id{}; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t value_ = kInvalid;
+};
+
+}  // namespace detail
+
+struct FuncTag;
+struct StmtTag;
+struct MopTag;
+struct SymbolTag;
+struct CallSiteTag;
+
+using FuncId = detail::Id<FuncTag>;
+using StmtId = detail::Id<StmtTag>;
+using MopId = detail::Id<MopTag>;
+using SymbolId = detail::Id<SymbolTag>;
+/// Identifies one *static* call site (an s-call occurrence, "SC_i" in the
+/// paper) across the whole module.
+using CallSiteId = detail::Id<CallSiteTag>;
+
+}  // namespace partita::ir
+
+template <typename Tag>
+struct std::hash<partita::ir::detail::Id<Tag>> {
+  std::size_t operator()(const partita::ir::detail::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

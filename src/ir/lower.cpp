@@ -1,0 +1,188 @@
+#include "ir/lower.hpp"
+
+#include "support/assert.hpp"
+
+namespace partita::ir {
+
+namespace {
+
+/// Emits one micro-word's worth of straight-line DSP work. `phase` rotates
+/// through a small set of realistic patterns so a segment's MOP list looks
+/// like filter code rather than a NOP sled. Every pattern advances the X
+/// address pointer, so consecutive patterns conflict on the AGU-X field and
+/// the packer emits exactly one micro-word per pattern -- a segment of N
+/// cycles really schedules to N words.
+void emit_cycle(MopList& mops, StmtId origin, SymbolId sym, std::uint32_t phase) {
+  auto mk = [&](MopKind k) {
+    Mop m;
+    m.kind = k;
+    m.origin = origin;
+    return m;
+  };
+  // The per-cycle AGU pointer update shared by all patterns.
+  Mop agu = mk(MopKind::kAguAdd);
+  agu.mem = Memory::kX;
+  agu.mem_symbol = sym;
+  agu.imm = 1;
+  mops.add(agu);
+
+  switch (phase % 4) {
+    case 0: {  // dual operand fetch + MAC: the inner-product cycle
+      Mop lx = mk(MopKind::kLoad);
+      lx.mem = Memory::kX;
+      lx.mem_symbol = sym;
+      lx.dst = Reg{1};
+      mops.add(lx);
+      Mop ly = mk(MopKind::kLoad);
+      ly.mem = Memory::kY;
+      ly.mem_symbol = sym;
+      ly.dst = Reg{2};
+      mops.add(ly);
+      Mop mac = mk(MopKind::kMac);
+      mac.dst = Reg{0};
+      mac.src0 = Reg{1};
+      mac.src1 = Reg{2};
+      mops.add(mac);
+      break;
+    }
+    case 1: {  // pointer-heavy cycle: Y pointer + accumulate
+      Mop aguy = mk(MopKind::kAguAdd);
+      aguy.mem = Memory::kY;
+      aguy.mem_symbol = sym;
+      aguy.imm = 1;
+      mops.add(aguy);
+      Mop add = mk(MopKind::kAdd);
+      add.dst = Reg{3};
+      add.src0 = Reg{3};
+      add.src1 = Reg{0};
+      mops.add(add);
+      break;
+    }
+    case 2: {  // result store + shift (scaling)
+      Mop st = mk(MopKind::kStore);
+      st.mem = Memory::kX;
+      st.mem_symbol = sym;
+      st.src0 = Reg{0};
+      mops.add(st);
+      Mop sh = mk(MopKind::kShift);
+      sh.dst = Reg{0};
+      sh.src0 = Reg{0};
+      sh.imm = 1;
+      mops.add(sh);
+      break;
+    }
+    case 3: {  // plain ALU cycle
+      Mop sub = mk(MopKind::kSub);
+      sub.dst = Reg{4};
+      sub.src0 = Reg{4};
+      sub.src1 = Reg{1};
+      mops.add(sub);
+      break;
+    }
+  }
+}
+
+class Lowerer {
+ public:
+  Lowerer(const Module& module, const Function& fn) : module_(module), fn_(fn) {
+    out_.func = fn.id();
+  }
+
+  LoweredFunction run() {
+    lower_seq(fn_.body());
+    out_.schedule_cycles = out_.mops.pack_schedule();
+    return std::move(out_);
+  }
+
+ private:
+  void lower_seq(const std::vector<StmtId>& seq) {
+    for (StmtId id : seq) lower_stmt(id);
+  }
+
+  void lower_stmt(StmtId id) {
+    const Stmt& s = fn_.stmt(id);
+    const auto begin = static_cast<std::uint32_t>(out_.mops.size());
+    switch (s.kind) {
+      case StmtKind::kSeg: {
+        const SymbolId sym = s.writes.empty()
+                                 ? (s.reads.empty() ? SymbolId{} : s.reads.front())
+                                 : s.writes.front();
+        for (std::int64_t c = 0; c < s.cycles; ++c) {
+          emit_cycle(out_.mops, id, sym, static_cast<std::uint32_t>(c));
+        }
+        break;
+      }
+      case StmtKind::kCall: {
+        Mop call;
+        call.kind = MopKind::kCall;
+        call.callee = s.callee;
+        call.call_site = s.call_site;
+        call.origin = id;
+        out_.mops.add(call);
+        break;
+      }
+      case StmtKind::kIf: {
+        Mop cmp;
+        cmp.kind = MopKind::kCmp;
+        cmp.src0 = Reg{5};
+        cmp.src1 = Reg{6};
+        cmp.origin = id;
+        out_.mops.add(cmp);
+        Mop br;
+        br.kind = MopKind::kBranchIf;
+        br.origin = id;
+        out_.mops.add(br);
+        lower_seq(s.then_stmts);
+        Mop skip;
+        skip.kind = MopKind::kBranch;
+        skip.origin = id;
+        out_.mops.add(skip);
+        lower_seq(s.else_stmts);
+        break;
+      }
+      case StmtKind::kLoop: {
+        Mop init;
+        init.kind = MopKind::kConst;
+        init.dst = Reg{7};
+        init.imm = static_cast<std::int32_t>(s.trip_count);
+        init.origin = id;
+        out_.mops.add(init);
+        lower_seq(s.body_stmts);
+        Mop dec;
+        dec.kind = MopKind::kSub;
+        dec.dst = Reg{7};
+        dec.src0 = Reg{7};
+        dec.origin = id;
+        out_.mops.add(dec);
+        Mop back;
+        back.kind = MopKind::kBranchIf;
+        back.origin = id;
+        out_.mops.add(back);
+        break;
+      }
+    }
+    const auto end = static_cast<std::uint32_t>(out_.mops.size());
+    out_.stmt_range.emplace(id, MopRange{begin, end});
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  LoweredFunction out_;
+};
+
+}  // namespace
+
+LoweredFunction lower_function(const Module& module, const Function& fn) {
+  return Lowerer(module, fn).run();
+}
+
+LoweredModule lower_module(const Module& module) {
+  LoweredModule out;
+  out.functions.reserve(module.function_count());
+  for (std::uint32_t i = 0; i < module.function_count(); ++i) {
+    out.functions.push_back(lower_function(module, module.function(FuncId{i})));
+  }
+  return out;
+}
+
+}  // namespace partita::ir

@@ -1,0 +1,57 @@
+// Lowering from the statement IR to MOP lists.
+//
+// The paper's flow transforms the C application into a MOP list before any
+// instruction matching happens. Our frontend produces the statement IR; this
+// pass expands every statement into micro-operations:
+//
+//   seg N      -> N micro-words of a realistic DSP mix (dual loads + MAC,
+//                 stores + ALU, plain ALU), so the packed schedule of the
+//                 segment is exactly N cycles;
+//   call f     -> one kCall MOP;
+//   if         -> kCmp + kBranchIf + then-arm + kBranch + else-arm;
+//   loop N     -> loop-control MOPs + one body expansion (trip counts stay in
+//                 the statement/profile level; the simulator re-executes the
+//                 body range N times).
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/mop.hpp"
+
+namespace partita::ir {
+
+/// Half-open range of MOP indices belonging to one statement.
+struct MopRange {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::uint32_t size() const { return end - begin; }
+};
+
+/// Lowering result for one function.
+struct LoweredFunction {
+  FuncId func;
+  MopList mops;
+  /// Statement -> the contiguous MOP range lowered from it (control
+  /// statements cover their whole sub-tree).
+  std::unordered_map<StmtId, MopRange> stmt_range;
+  /// Packed micro-word schedule length of one straight-line pass.
+  std::size_t schedule_cycles = 0;
+};
+
+/// Lowering result for a whole module, indexed by FuncId value.
+struct LoweredModule {
+  std::vector<LoweredFunction> functions;
+
+  const LoweredFunction& of(FuncId f) const { return functions[f.value()]; }
+};
+
+/// Lowers every function of the module. The module must verify cleanly.
+LoweredModule lower_module(const Module& module);
+
+/// Lowers a single function.
+LoweredFunction lower_function(const Module& module, const Function& fn);
+
+}  // namespace partita::ir

@@ -1,0 +1,141 @@
+#include "ir/mop.hpp"
+
+#include "support/assert.hpp"
+
+namespace partita::ir {
+
+std::string_view to_string(Memory m) { return m == Memory::kX ? "X" : "Y"; }
+
+namespace {
+
+// Indexed by MopKind; keep in sync with the enum.
+constexpr MopInfo kMopInfo[] = {
+    /* kNop        */ {"nop", false, false, false, 1},
+    /* kAdd        */ {"add", false, false, true, 1},
+    /* kSub        */ {"sub", false, false, true, 1},
+    /* kMul        */ {"mul", false, false, true, 1},
+    /* kMac        */ {"mac", false, false, true, 1},
+    /* kShift      */ {"shift", false, false, true, 1},
+    /* kAnd        */ {"and", false, false, true, 1},
+    /* kOr         */ {"or", false, false, true, 1},
+    /* kXor        */ {"xor", false, false, true, 1},
+    /* kCmp        */ {"cmp", false, false, true, 1},
+    /* kMove       */ {"move", false, false, false, 1},
+    /* kConst      */ {"const", false, false, false, 1},
+    /* kLoad       */ {"load", true, false, false, 1},
+    /* kStore      */ {"store", true, false, false, 1},
+    /* kAguAdd     */ {"agu_add", false, false, false, 1},
+    /* kBranch     */ {"br", false, true, false, 1},
+    /* kBranchIf   */ {"br_if", false, true, false, 1},
+    /* kCall       */ {"call", false, true, false, 1},
+    /* kReturn     */ {"ret", false, true, false, 1},
+    /* kIpDispatch */ {"ip_dispatch", false, true, false, 1},
+};
+
+}  // namespace
+
+std::string_view to_string(MopKind k) { return mop_info(k).name; }
+
+const MopInfo& mop_info(MopKind k) {
+  const auto idx = static_cast<std::size_t>(k);
+  PARTITA_ASSERT(idx < std::size(kMopInfo));
+  return kMopInfo[idx];
+}
+
+std::string_view to_string(UField f) {
+  switch (f) {
+    case UField::kAlu:
+      return "alu";
+    case UField::kMul:
+      return "mul";
+    case UField::kMoveX:
+      return "move_x";
+    case UField::kMoveY:
+      return "move_y";
+    case UField::kAguX:
+      return "agu_x";
+    case UField::kAguY:
+      return "agu_y";
+    case UField::kSeq:
+      return "seq";
+    case UField::kMisc:
+      return "misc";
+  }
+  return "?";
+}
+
+UField field_for(const Mop& m) {
+  switch (m.kind) {
+    case MopKind::kMul:
+    case MopKind::kMac:
+      return UField::kMul;
+    case MopKind::kAdd:
+    case MopKind::kSub:
+    case MopKind::kShift:
+    case MopKind::kAnd:
+    case MopKind::kOr:
+    case MopKind::kXor:
+    case MopKind::kCmp:
+      return UField::kAlu;
+    case MopKind::kLoad:
+    case MopKind::kStore:
+      PARTITA_ASSERT(m.mem.has_value());
+      return *m.mem == Memory::kX ? UField::kMoveX : UField::kMoveY;
+    case MopKind::kAguAdd:
+      PARTITA_ASSERT(m.mem.has_value());
+      return *m.mem == Memory::kX ? UField::kAguX : UField::kAguY;
+    case MopKind::kMove:
+    case MopKind::kConst:
+      // Register moves ride the X move port by convention; the packer will
+      // fall back to the Y port if X is busy.
+      return UField::kMoveX;
+    case MopKind::kBranch:
+    case MopKind::kBranchIf:
+    case MopKind::kCall:
+    case MopKind::kReturn:
+    case MopKind::kIpDispatch:
+      return UField::kSeq;
+    case MopKind::kNop:
+      return UField::kMisc;
+  }
+  return UField::kMisc;
+}
+
+std::size_t MopList::pack_schedule() {
+  schedule_.clear();
+  MicroWord current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      schedule_.push_back(current);
+      current = MicroWord{};
+    }
+  };
+
+  for (std::uint32_t i = 0; i < mops_.size(); ++i) {
+    const MopId id{i};
+    const Mop& m = mops_[i];
+    UField f = field_for(m);
+
+    // Register moves may use either memory port's move field.
+    if ((m.kind == MopKind::kMove || m.kind == MopKind::kConst) &&
+        current.field[static_cast<std::size_t>(UField::kMoveX)].valid() &&
+        !current.field[static_cast<std::size_t>(UField::kMoveY)].valid()) {
+      f = UField::kMoveY;
+    }
+
+    auto& slot = current.field[static_cast<std::size_t>(f)];
+    if (slot.valid()) {
+      flush();
+    }
+    current.field[static_cast<std::size_t>(f)] = id;
+
+    // Control MOPs end the word: the sequencer redirects fetch.
+    if (m.is_control()) {
+      flush();
+    }
+  }
+  flush();
+  return schedule_.size();
+}
+
+}  // namespace partita::ir

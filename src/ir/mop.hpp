@@ -1,0 +1,164 @@
+// MOP-level IR: the micro-operation list the Partita kernel executes.
+//
+// The target ASIP (Section 2 of the paper) is a pipelined, micro-programmed
+// DSP core with a separate address-generation unit and two data memories
+// (XDM / YDM) that can be accessed in the same cycle. A micro-code word has
+// eight fields so that an arithmetic operation, two memory moves, two AGU
+// updates and sequencing can be issued together; each field's operation is a
+// MOP (micro-operation).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/ids.hpp"
+
+namespace partita::ir {
+
+/// Which data memory a memory MOP touches.
+enum class Memory : std::uint8_t { kX, kY };
+
+std::string_view to_string(Memory m);
+
+/// Micro-operation opcodes. The set mirrors a 1990s fixed-point DSP kernel:
+/// single-cycle ALU/MAC ops, register moves, dual-memory loads/stores, AGU
+/// updates, and sequencing. `kCall` marks a (possibly s-call) function call;
+/// `kIpDispatch` is emitted when an s-call has been turned into an
+/// S-instruction and is executed by an IP through an interface.
+enum class MopKind : std::uint8_t {
+  kNop,
+  kAdd,
+  kSub,
+  kMul,
+  kMac,    // multiply-accumulate
+  kShift,  // arithmetic shift
+  kAnd,
+  kOr,
+  kXor,
+  kCmp,
+  kMove,    // register-to-register move
+  kConst,   // load immediate
+  kLoad,    // memory -> register (X or Y)
+  kStore,   // register -> memory (X or Y)
+  kAguAdd,  // address-generation-unit pointer update
+  kBranch,  // unconditional branch (block-local sequencing)
+  kBranchIf,
+  kCall,
+  kReturn,
+  kIpDispatch,  // S-instruction entry point (handled by an interface)
+};
+
+std::string_view to_string(MopKind k);
+
+/// Static properties of each MopKind.
+struct MopInfo {
+  std::string_view name;
+  bool is_memory = false;      // touches XDM/YDM
+  bool is_control = false;     // branch/call/return
+  bool is_arith = false;       // uses the ALU/MAC datapath
+  std::uint8_t base_cycles = 1;
+};
+
+const MopInfo& mop_info(MopKind k);
+
+/// A register operand (the kernel has a flat general-register file).
+struct Reg {
+  std::uint16_t index = 0;
+  bool operator==(const Reg&) const = default;
+};
+
+/// One micro-operation.
+///
+/// Operand encoding is deliberately simple: up to two register sources, one
+/// register destination, an optional memory reference (memory + symbolic
+/// base), and an optional immediate. Calls carry the callee FuncId and the
+/// module-wide CallSiteId of the occurrence.
+struct Mop {
+  MopKind kind = MopKind::kNop;
+  Reg dst{};
+  Reg src0{};
+  Reg src1{};
+  std::optional<Memory> mem;       // for kLoad/kStore/kAguAdd
+  SymbolId mem_symbol;             // symbolic base address, if is_memory
+  std::int32_t imm = 0;            // for kConst / kShift amounts / AGU strides
+  FuncId callee;                   // for kCall / kIpDispatch
+  CallSiteId call_site;            // for kCall / kIpDispatch
+  StmtId origin;                   // statement this MOP was lowered from
+
+  bool is_memory() const { return mop_info(kind).is_memory; }
+  bool is_control() const { return mop_info(kind).is_control; }
+};
+
+/// Field slots of the 8-field micro-code word (Section 2).
+enum class UField : std::uint8_t {
+  kAlu,      // arithmetic operation
+  kMul,      // multiplier / MAC
+  kMoveX,    // move / load / store on the X memory port
+  kMoveY,    // move / load / store on the Y memory port
+  kAguX,     // X address generation
+  kAguY,     // Y address generation
+  kSeq,      // sequencer (branch targets, loop counters)
+  kMisc,     // flags, IP start strobes
+};
+
+inline constexpr std::size_t kNumUFields = 8;
+
+std::string_view to_string(UField f);
+
+/// One packed micro-code word: up to eight MOPs issued in a single cycle.
+/// Unused fields hold invalid MopIds.
+struct MicroWord {
+  std::array<MopId, kNumUFields> field{};
+
+  bool empty() const {
+    for (const MopId& m : field) {
+      if (m.valid()) return false;
+    }
+    return true;
+  }
+  std::size_t occupancy() const {
+    std::size_t n = 0;
+    for (const MopId& m : field) n += m.valid() ? 1 : 0;
+    return n;
+  }
+};
+
+/// A flat list of MOPs plus an optional micro-word schedule over them.
+class MopList {
+ public:
+  MopId add(Mop m) {
+    const MopId id{static_cast<std::uint32_t>(mops_.size())};
+    mops_.push_back(std::move(m));
+    return id;
+  }
+
+  const Mop& operator[](MopId id) const { return mops_[id.value()]; }
+  Mop& operator[](MopId id) { return mops_[id.value()]; }
+
+  std::size_t size() const { return mops_.size(); }
+  bool empty() const { return mops_.empty(); }
+
+  const std::vector<Mop>& mops() const { return mops_; }
+
+  /// The packed schedule, if pack_schedule() was run (one entry per cycle).
+  const std::vector<MicroWord>& schedule() const { return schedule_; }
+
+  /// Greedily packs the MOP list into micro-words respecting field classes:
+  /// at most one ALU/MAC op, one X-port move, one Y-port move, one AGU update
+  /// per memory, and one sequencing op per cycle. Control MOPs terminate a
+  /// word. Returns the schedule length in cycles.
+  std::size_t pack_schedule();
+
+ private:
+  std::vector<Mop> mops_;
+  std::vector<MicroWord> schedule_;
+};
+
+/// Which micro-word field a MOP occupies.
+UField field_for(const Mop& m);
+
+}  // namespace partita::ir

@@ -1,0 +1,155 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace partita::ir {
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const Module& module, std::ostringstream& os) : module_(module), os_(os) {}
+
+  void print_fn(const Function& fn) {
+    os_ << "func " << fn.name();
+    if (fn.ip_mappable()) os_ << " scall";
+    if (fn.declared_sw_cycles()) os_ << " sw_cycles " << *fn.declared_sw_cycles();
+    if (fn.body().empty()) {
+      os_ << ";\n";
+      return;
+    }
+    os_ << " {\n";
+    indent_ = 1;
+    print_seq(fn, fn.body());
+    os_ << "}\n";
+  }
+
+ private:
+  void pad() { os_ << std::string(indent_ * 2, ' '); }
+
+  void print_rw(const Stmt& s) {
+    auto list = [&](const char* kw, const std::vector<SymbolId>& syms) {
+      if (syms.empty()) return;
+      os_ << ' ' << kw << '(';
+      for (std::size_t i = 0; i < syms.size(); ++i) {
+        if (i) os_ << ", ";
+        os_ << module_.symbol_name(syms[i]);
+      }
+      os_ << ')';
+    };
+    list("reads", s.reads);
+    list("writes", s.writes);
+  }
+
+  void print_seq(const Function& fn, const std::vector<StmtId>& seq) {
+    for (StmtId id : seq) print_stmt(fn, fn.stmt(id));
+  }
+
+  void print_stmt(const Function& fn, const Stmt& s) {
+    pad();
+    switch (s.kind) {
+      case StmtKind::kSeg:
+        os_ << "seg";
+        if (!s.label.empty()) os_ << ' ' << s.label;
+        os_ << ' ' << s.cycles;
+        print_rw(s);
+        os_ << ";\n";
+        break;
+      case StmtKind::kCall:
+        os_ << "call " << module_.function(s.callee).name();
+        print_rw(s);
+        os_ << ";\n";
+        break;
+      case StmtKind::kIf:
+        os_ << "if prob " << support::compact_double(s.taken_prob) << " {\n";
+        ++indent_;
+        print_seq(fn, s.then_stmts);
+        --indent_;
+        pad();
+        if (s.else_stmts.empty()) {
+          os_ << "}\n";
+        } else {
+          os_ << "} else {\n";
+          ++indent_;
+          print_seq(fn, s.else_stmts);
+          --indent_;
+          pad();
+          os_ << "}\n";
+        }
+        break;
+      case StmtKind::kLoop:
+        os_ << "loop " << s.trip_count << " {\n";
+        ++indent_;
+        print_seq(fn, s.body_stmts);
+        --indent_;
+        pad();
+        os_ << "}\n";
+        break;
+    }
+  }
+
+  const Module& module_;
+  std::ostringstream& os_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string print_function(const Module& module, const Function& fn) {
+  std::ostringstream os;
+  Printer(module, os).print_fn(fn);
+  return os.str();
+}
+
+std::string print_module(const Module& module) {
+  std::ostringstream os;
+  os << "module " << module.name() << ";\n\n";
+  // Leaf declarations first so callees exist before their callers parse.
+  module.for_each_function([&](const Function& fn) {
+    if (fn.body().empty()) os << print_function(module, fn);
+  });
+  module.for_each_function([&](const Function& fn) {
+    if (!fn.body().empty()) {
+      os << '\n' << print_function(module, fn);
+    }
+  });
+  if (module.entry().valid()) {
+    os << "\nentry " << module.function(module.entry()).name() << ";\n";
+  }
+  return os.str();
+}
+
+std::string print_mops(const Module& module, const LoweredFunction& lowered) {
+  std::ostringstream os;
+  const MopList& mops = lowered.mops;
+  os << "; MOP list of " << module.function(lowered.func).name() << " (" << mops.size()
+     << " mops, " << lowered.schedule_cycles << " packed cycles)\n";
+  for (std::uint32_t i = 0; i < mops.size(); ++i) {
+    const Mop& m = mops[MopId{i}];
+    os << i << ": " << to_string(m.kind);
+    if (m.mem) os << '.' << to_string(*m.mem);
+    if (m.kind == MopKind::kCall || m.kind == MopKind::kIpDispatch) {
+      os << ' ' << module.function(m.callee).name();
+    }
+    os << '\n';
+  }
+  if (!mops.schedule().empty()) {
+    os << "; schedule: " << mops.schedule().size() << " words\n";
+    for (std::size_t w = 0; w < mops.schedule().size(); ++w) {
+      os << ";   w" << w << ':';
+      const MicroWord& word = mops.schedule()[w];
+      for (std::size_t f = 0; f < kNumUFields; ++f) {
+        if (word.field[f].valid()) {
+          os << ' ' << to_string(static_cast<UField>(f)) << '='
+             << to_string(mops[word.field[f]].kind);
+        }
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace partita::ir

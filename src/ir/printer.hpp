@@ -1,0 +1,24 @@
+// Textual dump of modules (KL-like syntax) and MOP lists, for debugging,
+// golden tests and example output.
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+#include "ir/lower.hpp"
+
+namespace partita::ir {
+
+/// Renders the whole module in kernel-language-like syntax. The output of
+/// print_module parses back through the frontend (round-trip property tested
+/// in tests/frontend_test.cpp).
+std::string print_module(const Module& module);
+
+/// Renders one function.
+std::string print_function(const Module& module, const Function& fn);
+
+/// Renders a MOP list, one MOP per line, with the packed micro-word schedule
+/// when present.
+std::string print_mops(const Module& module, const LoweredFunction& lowered);
+
+}  // namespace partita::ir

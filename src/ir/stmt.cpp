@@ -1,0 +1,19 @@
+#include "ir/stmt.hpp"
+
+namespace partita::ir {
+
+std::string_view to_string(StmtKind k) {
+  switch (k) {
+    case StmtKind::kSeg:
+      return "seg";
+    case StmtKind::kCall:
+      return "call";
+    case StmtKind::kIf:
+      return "if";
+    case StmtKind::kLoop:
+      return "loop";
+  }
+  return "?";
+}
+
+}  // namespace partita::ir

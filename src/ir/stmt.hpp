@@ -1,0 +1,62 @@
+// Statement-level IR.
+//
+// The selection algorithm of the paper works on the structure of the
+// application: function calls that could become S-instructions (s-calls),
+// straight-line code segments between them, conditional branches that create
+// distinct execution paths, and loops that scale profile frequencies. The
+// statement IR captures exactly that; lower.cpp expands it into a MOP list
+// when cycle-accurate material is needed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ids.hpp"
+
+namespace partita::ir {
+
+enum class StmtKind : std::uint8_t {
+  kSeg,   // straight-line code segment with a known software cycle count
+  kCall,  // call to another function (an s-call if callee is IP-mappable)
+  kIf,    // two-armed conditional: creates execution paths
+  kLoop,  // counted loop: multiplies execution frequency of its body
+};
+
+std::string_view to_string(StmtKind k);
+
+/// One statement. A tagged struct rather than a class hierarchy: the IR is
+/// data, passes are free functions, and a flat arena keeps ids stable.
+struct Stmt {
+  StmtKind kind = StmtKind::kSeg;
+
+  /// Optional label for diagnostics and table printing (e.g. "win_filter").
+  std::string label;
+
+  // --- kSeg ---
+  /// Software execution cycles of the segment (one execution).
+  std::int64_t cycles = 0;
+
+  // --- kCall ---
+  FuncId callee;
+  /// Module-unique id of this static call occurrence; assigned by Module.
+  CallSiteId call_site;
+
+  // --- kIf ---
+  std::vector<StmtId> then_stmts;
+  std::vector<StmtId> else_stmts;
+  /// Profile probability of taking the then-arm, in [0,1].
+  double taken_prob = 0.5;
+
+  // --- kLoop ---
+  std::vector<StmtId> body_stmts;
+  /// Typical trip count from the sample-execution profile.
+  std::int64_t trip_count = 1;
+
+  // --- data dependence (kSeg / kCall) ---
+  /// Symbols read / written; the CDFG derives dependence edges from these.
+  std::vector<SymbolId> reads;
+  std::vector<SymbolId> writes;
+};
+
+}  // namespace partita::ir

@@ -1,0 +1,157 @@
+#include "ir/verify.hpp"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace partita::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  Verifier(const Module& module, support::DiagnosticEngine& diags)
+      : module_(module), diags_(diags) {}
+
+  bool run() {
+    check_entry();
+    for (std::uint32_t i = 0; i < module_.function_count(); ++i) {
+      check_function(module_.function(FuncId{i}));
+    }
+    check_call_graph_acyclic();
+    check_call_sites();
+    return !diags_.has_errors();
+  }
+
+ private:
+  void error(const std::string& msg) { diags_.error(msg); }
+
+  void check_entry() {
+    if (!module_.entry().valid()) {
+      error("module has no entry function");
+      return;
+    }
+    if (module_.entry().value() >= module_.function_count()) {
+      error("entry function id out of range");
+    }
+  }
+
+  void check_function(const Function& fn) {
+    seen_.assign(fn.stmt_count(), false);
+    check_seq(fn, fn.body());
+
+    if (fn.ip_mappable() && fn.body().empty() && !fn.declared_sw_cycles()) {
+      error("ip-mappable leaf function '" + fn.name() +
+            "' has neither a body nor declared sw_cycles");
+    }
+  }
+
+  void check_seq(const Function& fn, const std::vector<StmtId>& seq) {
+    for (StmtId id : seq) {
+      if (!id.valid() || id.value() >= fn.stmt_count()) {
+        error("statement id out of range in function '" + fn.name() + "'");
+        continue;
+      }
+      if (seen_[id.value()]) {
+        error("statement owned by two parents in function '" + fn.name() + "'");
+        continue;
+      }
+      seen_[id.value()] = true;
+      check_stmt(fn, fn.stmt(id));
+    }
+  }
+
+  void check_stmt(const Function& fn, const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kSeg:
+        if (s.cycles < 0) {
+          error("negative segment cycle count in '" + fn.name() + "'");
+        }
+        break;
+      case StmtKind::kCall: {
+        if (!s.callee.valid() || s.callee.value() >= module_.function_count()) {
+          error("call to unknown function in '" + fn.name() + "'");
+          break;
+        }
+        if (!s.call_site.valid()) {
+          error("call statement not registered as a call site in '" + fn.name() + "'");
+        }
+        break;
+      }
+      case StmtKind::kIf:
+        if (s.taken_prob < 0.0 || s.taken_prob > 1.0) {
+          error("if probability outside [0,1] in '" + fn.name() + "'");
+        }
+        check_seq(fn, s.then_stmts);
+        check_seq(fn, s.else_stmts);
+        break;
+      case StmtKind::kLoop:
+        if (s.trip_count < 1) {
+          error("loop trip count < 1 in '" + fn.name() + "'");
+        }
+        check_seq(fn, s.body_stmts);
+        break;
+    }
+  }
+
+  void check_call_graph_acyclic() {
+    const std::size_t n = module_.function_count();
+    std::vector<std::uint8_t> state(n, 0);
+    for (std::uint32_t root = 0; root < n; ++root) {
+      if (state[root] != 0) continue;
+      if (dfs_cycle(FuncId{root}, state)) return;  // one report is enough
+    }
+  }
+
+  bool dfs_cycle(FuncId f, std::vector<std::uint8_t>& state) {
+    state[f.value()] = 1;
+    for (FuncId c : module_.callees_of(f)) {
+      if (state[c.value()] == 1) {
+        error("recursive call graph involving '" + module_.function(c).name() + "'");
+        return true;
+      }
+      if (state[c.value()] == 0 && dfs_cycle(c, state)) return true;
+    }
+    state[f.value()] = 2;
+    return false;
+  }
+
+  void check_call_sites() {
+    std::unordered_set<std::uint32_t> referenced;
+    for (const CallSite& cs : module_.call_sites()) {
+      if (!cs.caller.valid() || cs.caller.value() >= module_.function_count()) {
+        error("call site with invalid caller");
+        continue;
+      }
+      const Function& caller = module_.function(cs.caller);
+      if (!cs.stmt.valid() || cs.stmt.value() >= caller.stmt_count()) {
+        error("call site with invalid statement in '" + caller.name() + "'");
+        continue;
+      }
+      const Stmt& s = caller.stmt(cs.stmt);
+      if (s.kind != StmtKind::kCall) {
+        error("call site does not reference a call statement in '" + caller.name() + "'");
+        continue;
+      }
+      if (s.callee != cs.callee) {
+        error("call-site callee mismatch in '" + caller.name() + "'");
+      }
+      if (s.call_site != cs.id) {
+        error("call-site back-reference mismatch in '" + caller.name() + "'");
+      }
+      referenced.insert(cs.id.value());
+    }
+  }
+
+  const Module& module_;
+  support::DiagnosticEngine& diags_;
+  std::vector<bool> seen_;
+};
+
+}  // namespace
+
+bool verify_module(const Module& module, support::DiagnosticEngine& diags) {
+  return Verifier(module, diags).run();
+}
+
+}  // namespace partita::ir

@@ -1,0 +1,28 @@
+// Module validation.
+//
+// All analyses assume a structurally sane module; verify_module checks the
+// assumptions up front and reports problems through a DiagnosticEngine so a
+// driver can show everything that is wrong with a hand-written KL file.
+#pragma once
+
+#include "ir/function.hpp"
+#include "support/diagnostics.hpp"
+
+namespace partita::ir {
+
+/// Checks:
+///  * an entry function is set and exists;
+///  * every call statement targets an existing function and is registered as
+///    a call site consistent with the module table;
+///  * the call graph is acyclic (the hierarchy handling of Section 4 flattens
+///    IMPs bottom-up, which requires no recursion);
+///  * statement trees are well-formed: children ids in range, no statement
+///    owned by two parents, probabilities in [0,1], trip counts >= 1,
+///    segment cycle counts >= 0;
+///  * IP-mappable leaf functions carry a software cycle count (declared or
+///    derivable from a non-empty body).
+///
+/// Returns true when no errors were emitted.
+bool verify_module(const Module& module, support::DiagnosticEngine& diags);
+
+}  // namespace partita::ir

@@ -1,0 +1,41 @@
+#include "isel/imp.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace partita::isel {
+
+std::string_view to_string(PcUse u) {
+  switch (u) {
+    case PcUse::kNone:
+      return "no-pc";
+    case PcUse::kPlain:
+      return "pc";
+    case PcUse::kWithScallSw:
+      return "pc+sw-scall";
+  }
+  return "?";
+}
+
+std::string Imp::cell(const iplib::IpLibrary& lib) const {
+  std::ostringstream os;
+  os << lib.ip(ip).name << ',' << iface::short_name(iface_type) << ',' << gain << ','
+     << support::compact_double(interface_area);
+  return os.str();
+}
+
+std::string Imp::describe(const iplib::IpLibrary& lib) const {
+  std::ostringstream os;
+  os << lib.ip(ip).name << " (" << ip_function->function << ") via "
+     << iface::short_name(iface_type);
+  if (flattened) os << " [flattened x" << support::compact_double(inner_calls_per_exec) << "]";
+  if (pc_use != PcUse::kNone) {
+    os << " [" << to_string(pc_use) << " T_C=" << parallel_cycles << "]";
+  }
+  os << " gain/exec=" << gain_per_exec << " gain=" << gain
+     << " if-area=" << support::compact_double(interface_area);
+  return os.str();
+}
+
+}  // namespace partita::isel

@@ -1,0 +1,36 @@
+#include "isel/scall.hpp"
+
+namespace partita::isel {
+
+bool ip_reachable(const ir::Module& module, const iplib::IpLibrary& lib, ir::FuncId func) {
+  const ir::Function& fn = module.function(func);
+  if (fn.ip_mappable() && !lib.implementors_of(fn.name()).empty()) return true;
+  for (ir::FuncId callee : module.callees_of(func)) {
+    if (ip_reachable(module, lib, callee)) return true;
+  }
+  return false;
+}
+
+std::vector<SCall> find_scalls(const ir::Module& module,
+                               const profile::ModuleProfile& prof,
+                               const iplib::IpLibrary& lib, const cdfg::Cdfg& entry_cdfg) {
+  std::vector<SCall> out;
+  for (const ir::CallSite& cs : module.call_sites()) {
+    if (cs.caller != module.entry()) continue;
+    const ir::Function& callee = module.function(cs.callee);
+    if (!callee.ip_mappable() && !ip_reachable(module, lib, cs.callee)) continue;
+    if (!ip_reachable(module, lib, cs.callee)) continue;
+
+    SCall sc;
+    sc.site = cs.id;
+    sc.callee = cs.callee;
+    sc.callee_name = callee.name();
+    sc.t_sw = prof.cycles_of(cs.callee);
+    sc.frequency = prof.frequency_of(cs.id);
+    sc.node = entry_cdfg.node_of_call(cs.id);
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace partita::isel

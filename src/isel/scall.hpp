@@ -1,0 +1,45 @@
+// S-instruction candidate (s-call) discovery.
+//
+// Definition 1: a function call is an s-call candidate when the callee can be
+// implemented by an IP. Following the paper's hierarchy handling, the ILP
+// formulation sees only the *top-level* s-calls (call sites in the entry
+// function); s-calls nested inside callees are folded into the top-level
+// IMPs by IMP flattening (enumerate.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.hpp"
+#include "iplib/library.hpp"
+#include "ir/function.hpp"
+#include "profile/profile.hpp"
+
+namespace partita::isel {
+
+/// One top-level s-call: SC_i in the paper.
+struct SCall {
+  ir::CallSiteId site;
+  ir::FuncId callee;
+  std::string callee_name;
+  /// Software execution cycles of one call (the paper's T_SW).
+  std::int64_t t_sw = 0;
+  /// Expected executions per run (profile frequency).
+  double frequency = 1.0;
+  /// The call's node in the entry function's CDFG.
+  cdfg::NodeIndex node = cdfg::kInvalidNode;
+};
+
+/// Finds the top-level s-calls: call sites in the entry function whose callee
+/// is IP-mappable and is executable either directly by a library IP or
+/// indirectly through an IP-mappable descendant (hierarchy).
+/// `entry_cdfg` must be the CDFG of the entry function.
+std::vector<SCall> find_scalls(const ir::Module& module,
+                               const profile::ModuleProfile& prof,
+                               const iplib::IpLibrary& lib, const cdfg::Cdfg& entry_cdfg);
+
+/// True when `func` (or, transitively, one of its callees) can be executed by
+/// some IP in the library.
+bool ip_reachable(const ir::Module& module, const iplib::IpLibrary& lib, ir::FuncId func);
+
+}  // namespace partita::isel

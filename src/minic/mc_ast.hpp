@@ -1,0 +1,132 @@
+// MiniC abstract syntax tree.
+//
+// MiniC is the C-subset frontend: the paper's flow starts from "the
+// application program written in C", and this module lets the reproduction
+// do the same for programs that fit the subset. The compiler
+// (mc_codegen.hpp) derives everything KL declares by hand -- per-statement
+// cycle estimates from the operation mix, reads/writes sets from variable
+// accesses, loop trip counts from constant `for` bounds, and branch
+// probabilities from `__prob()` annotations.
+//
+// Subset: `int` scalars and fixed-size arrays (globals and locals),
+// `void` functions with `in`/`out`/`inout` parameters, assignments over
+// +,-,*,/,%,&,|,^,<<,>> and unary -, array indexing, `for` loops with the
+// canonical `(i = a; i < b; i = i + s)` shape, `if`/`else`, and calls.
+// Function attributes: `__scall` marks an s-call candidate, `__cycles(N)`
+// declares a profiled body-less leaf.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace partita::minic {
+
+// --- expressions ---------------------------------------------------------
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kAnd, kOr, kXor, kShl, kShr,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : std::uint8_t {
+  kIntLiteral,
+  kVarRef,     // scalar variable
+  kIndex,      // array[expr]
+  kUnaryNeg,
+  kBinary,
+  kProb,       // __prob(p) -- only valid as an if-condition
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kIntLiteral;
+  support::SourceLoc loc;
+
+  std::int64_t int_value = 0;   // kIntLiteral
+  std::string name;             // kVarRef / kIndex (array name)
+  ExprPtr index;                // kIndex
+  ExprPtr operand;              // kUnaryNeg
+  BinOp op = BinOp::kAdd;       // kBinary
+  ExprPtr lhs, rhs;             // kBinary
+  double prob = 0.5;            // kProb
+};
+
+// --- statements ----------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : std::uint8_t {
+  kAssign,   // lvalue = expr;
+  kCall,     // f(args);
+  kIf,
+  kFor,
+  kBlock,
+  kLocalDecl,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kAssign;
+  support::SourceLoc loc;
+
+  // kAssign: target variable or array element.
+  std::string target;
+  ExprPtr target_index;  // non-null for array element
+  ExprPtr value;
+
+  // kCall
+  std::string callee;
+  std::vector<ExprPtr> args;  // restricted to variable / array names
+
+  // kIf
+  ExprPtr condition;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+
+  // kFor: for (var = from; var < to; var = var + step) body
+  std::string loop_var;
+  std::int64_t from = 0, to = 0, step = 1;
+  std::vector<StmtPtr> body;
+
+  // kLocalDecl
+  std::string decl_name;
+  std::int64_t array_size = 0;  // 0 => scalar
+};
+
+// --- declarations ----------------------------------------------------------
+
+enum class ParamDir : std::uint8_t { kIn, kOut, kInOut };
+
+struct Param {
+  ParamDir dir = ParamDir::kIn;
+  std::string name;
+  bool is_array = false;
+};
+
+struct Function {
+  std::string name;
+  bool is_scall = false;
+  std::int64_t declared_cycles = 0;  // from __cycles(N); 0 = compute from body
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  bool has_body = false;
+  support::SourceLoc loc;
+};
+
+struct Global {
+  std::string name;
+  std::int64_t array_size = 0;  // 0 => scalar
+};
+
+struct Program {
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+};
+
+}  // namespace partita::minic

@@ -1,0 +1,280 @@
+#include "minic/mc_codegen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "minic/mc_parser.hpp"
+#include "support/assert.hpp"
+
+namespace partita::minic {
+
+std::int64_t expr_cost(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kVarRef:
+    case ExprKind::kProb:
+      return 0;
+    case ExprKind::kIndex:
+      return 1 + (e.index ? expr_cost(*e.index) : 0);  // AGU + load
+    case ExprKind::kUnaryNeg:
+      return 1 + (e.operand ? expr_cost(*e.operand) : 0);
+    case ExprKind::kBinary:
+      return 1 + (e.lhs ? expr_cost(*e.lhs) : 0) + (e.rhs ? expr_cost(*e.rhs) : 0);
+  }
+  return 0;
+}
+
+namespace {
+
+/// Accumulates reads/writes symbol names from expressions.
+void collect_reads(const Expr& e, std::set<std::string>& reads) {
+  switch (e.kind) {
+    case ExprKind::kIntLiteral:
+    case ExprKind::kProb:
+      break;
+    case ExprKind::kVarRef:
+      reads.insert(e.name);
+      break;
+    case ExprKind::kIndex:
+      reads.insert(e.name);
+      if (e.index) collect_reads(*e.index, reads);
+      break;
+    case ExprKind::kUnaryNeg:
+      if (e.operand) collect_reads(*e.operand, reads);
+      break;
+    case ExprKind::kBinary:
+      if (e.lhs) collect_reads(*e.lhs, reads);
+      if (e.rhs) collect_reads(*e.rhs, reads);
+      break;
+  }
+}
+
+class Compiler {
+ public:
+  Compiler(const Program& prog, std::string module_name, support::DiagnosticEngine& diags)
+      : prog_(prog), diags_(diags), module_(std::move(module_name)) {}
+
+  std::optional<ir::Module> run() {
+    // Pass 1: declare functions and build the signature table.
+    for (const Function& fn : prog_.functions) {
+      if (module_.find_function(fn.name).valid()) {
+        diags_.error("duplicate function '" + fn.name + "'", fn.loc);
+        return std::nullopt;
+      }
+      ir::Function& f = module_.create_function(fn.name);
+      if (fn.is_scall) f.set_ip_mappable(true);
+      if (!fn.has_body) f.set_declared_sw_cycles(fn.declared_cycles);
+      signatures_[fn.name] = &fn;
+    }
+    const ir::FuncId entry = module_.find_function("main");
+    if (!entry.valid()) {
+      diags_.error("MiniC program needs a 'void main()'");
+      return std::nullopt;
+    }
+    module_.set_entry(entry);
+
+    // Pass 2: compile bodies.
+    for (const Function& fn : prog_.functions) {
+      if (!fn.has_body) continue;
+      if (!compile_function(fn)) return std::nullopt;
+    }
+    if (diags_.has_errors()) return std::nullopt;
+    return std::move(module_);
+  }
+
+ private:
+  struct SegAccum {
+    std::int64_t cycles = 0;
+    std::set<std::string> reads, writes;
+    bool empty() const { return cycles == 0 && reads.empty() && writes.empty(); }
+  };
+
+  bool compile_function(const Function& fn) {
+    current_ = &module_.function(module_.find_function(fn.name));
+    scope_.clear();
+    for (const Global& g : prog_.globals) scope_.insert(g.name);
+    for (const Param& p : fn.params) scope_.insert(p.name);
+
+    std::vector<ir::StmtId> body;
+    SegAccum acc;
+    if (!compile_seq(fn.body, body, acc)) return false;
+    flush_seg(acc, body);
+    current_->body() = std::move(body);
+    return true;
+  }
+
+  ir::SymbolId sym(const std::string& name) { return module_.intern_symbol(name); }
+
+  void flush_seg(SegAccum& acc, std::vector<ir::StmtId>& out) {
+    if (acc.empty()) return;
+    ir::Stmt seg;
+    seg.kind = ir::StmtKind::kSeg;
+    seg.cycles = std::max<std::int64_t>(acc.cycles, 1);
+    for (const std::string& r : acc.reads) seg.reads.push_back(sym(r));
+    for (const std::string& w : acc.writes) seg.writes.push_back(sym(w));
+    out.push_back(current_->add_stmt(std::move(seg)));
+    acc = SegAccum{};
+  }
+
+  bool check_declared(const std::set<std::string>& names, support::SourceLoc loc) {
+    for (const std::string& n : names) {
+      if (!scope_.count(n)) {
+        diags_.error("use of undeclared variable '" + n + "'", loc);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool compile_seq(const std::vector<StmtPtr>& stmts, std::vector<ir::StmtId>& out,
+                   SegAccum& acc) {
+    for (const StmtPtr& sp : stmts) {
+      if (!compile_stmt(*sp, out, acc)) return false;
+    }
+    return true;
+  }
+
+  bool compile_stmt(const Stmt& s, std::vector<ir::StmtId>& out, SegAccum& acc) {
+    switch (s.kind) {
+      case StmtKind::kLocalDecl:
+        scope_.insert(s.decl_name);
+        return true;
+
+      case StmtKind::kBlock:
+        return compile_seq(s.body, out, acc);
+
+      case StmtKind::kAssign: {
+        std::set<std::string> reads;
+        if (s.value) collect_reads(*s.value, reads);
+        if (s.target_index) collect_reads(*s.target_index, reads);
+        if (!check_declared(reads, s.loc)) return false;
+        if (!scope_.count(s.target)) {
+          diags_.error("assignment to undeclared variable '" + s.target + "'", s.loc);
+          return false;
+        }
+        acc.cycles += (s.value ? expr_cost(*s.value) : 0) +
+                      (s.target_index ? 1 + expr_cost(*s.target_index) : 1);
+        acc.reads.insert(reads.begin(), reads.end());
+        acc.writes.insert(s.target);
+        return true;
+      }
+
+      case StmtKind::kCall: {
+        auto sig_it = signatures_.find(s.callee);
+        if (sig_it == signatures_.end()) {
+          diags_.error("call to unknown function '" + s.callee + "'", s.loc);
+          return false;
+        }
+        const Function& callee = *sig_it->second;
+        if (s.args.size() != callee.params.size()) {
+          diags_.error("'" + s.callee + "' expects " +
+                           std::to_string(callee.params.size()) + " arguments, got " +
+                           std::to_string(s.args.size()),
+                       s.loc);
+          return false;
+        }
+        flush_seg(acc, out);
+
+        ir::Stmt call;
+        call.kind = ir::StmtKind::kCall;
+        call.callee = module_.find_function(s.callee);
+        for (std::size_t a = 0; a < s.args.size(); ++a) {
+          const std::string& arg = s.args[a]->name;
+          if (!scope_.count(arg)) {
+            diags_.error("use of undeclared variable '" + arg + "'", s.args[a]->loc);
+            return false;
+          }
+          const ParamDir dir = callee.params[a].dir;
+          if (dir == ParamDir::kIn || dir == ParamDir::kInOut) {
+            call.reads.push_back(sym(arg));
+          }
+          if (dir == ParamDir::kOut || dir == ParamDir::kInOut) {
+            call.writes.push_back(sym(arg));
+          }
+        }
+        const ir::StmtId id = current_->add_stmt(std::move(call));
+        out.push_back(id);
+        module_.register_call_site(current_->id(), id, module_.find_function(s.callee));
+        return true;
+      }
+
+      case StmtKind::kIf: {
+        // Condition evaluation cost joins the preceding segment.
+        double prob = 0.5;
+        if (s.condition) {
+          if (s.condition->kind == ExprKind::kProb) {
+            prob = s.condition->prob;
+          } else {
+            std::set<std::string> reads;
+            collect_reads(*s.condition, reads);
+            if (!check_declared(reads, s.loc)) return false;
+            acc.cycles += expr_cost(*s.condition);
+            acc.reads.insert(reads.begin(), reads.end());
+          }
+        }
+        flush_seg(acc, out);
+
+        ir::Stmt iff;
+        iff.kind = ir::StmtKind::kIf;
+        iff.taken_prob = prob;
+        SegAccum then_acc, else_acc;
+        if (!compile_seq(s.then_body, iff.then_stmts, then_acc)) return false;
+        flush_into(then_acc, iff.then_stmts);
+        if (!compile_seq(s.else_body, iff.else_stmts, else_acc)) return false;
+        flush_into(else_acc, iff.else_stmts);
+        out.push_back(current_->add_stmt(std::move(iff)));
+        return true;
+      }
+
+      case StmtKind::kFor: {
+        flush_seg(acc, out);
+        const std::int64_t span = s.to - s.from;
+        const std::int64_t trips = span <= 0 ? 0 : (span + s.step - 1) / s.step;
+        if (trips <= 0) return true;  // statically empty loop: drop
+
+        scope_.insert(s.loop_var);
+        ir::Stmt loop;
+        loop.kind = ir::StmtKind::kLoop;
+        loop.trip_count = trips;
+        SegAccum body_acc;
+        // Per-iteration loop control: increment + compare on the loop var.
+        body_acc.cycles += 2;
+        body_acc.reads.insert(s.loop_var);
+        body_acc.writes.insert(s.loop_var);
+        if (!compile_seq(s.body, loop.body_stmts, body_acc)) return false;
+        flush_into(body_acc, loop.body_stmts);
+        out.push_back(current_->add_stmt(std::move(loop)));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// flush_seg variant targeting a nested statement list.
+  void flush_into(SegAccum& acc, std::vector<ir::StmtId>& list) { flush_seg(acc, list); }
+
+  const Program& prog_;
+  support::DiagnosticEngine& diags_;
+  ir::Module module_;
+  ir::Function* current_ = nullptr;
+  std::set<std::string> scope_;
+  std::map<std::string, const Function*> signatures_;
+};
+
+}  // namespace
+
+std::optional<ir::Module> mc_compile(const Program& prog, std::string module_name,
+                                     support::DiagnosticEngine& diags) {
+  return Compiler(prog, std::move(module_name), diags).run();
+}
+
+std::optional<ir::Module> mc_compile_source(std::string_view source,
+                                            std::string module_name,
+                                            support::DiagnosticEngine& diags) {
+  std::optional<Program> prog = mc_parse(source, diags);
+  if (!prog) return std::nullopt;
+  return mc_compile(*prog, std::move(module_name), diags);
+}
+
+}  // namespace partita::minic

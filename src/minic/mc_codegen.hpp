@@ -1,0 +1,43 @@
+// MiniC -> statement-IR compilation.
+//
+// What Partita's real front end did for C, this does for the MiniC subset:
+//
+//  * straight-line runs of assignments compile into one `seg` whose cycle
+//    count is an operation-mix estimate (loads/stores and each ALU op cost
+//    one cycle -- the single-cycle MOP model of the target kernel) and whose
+//    reads/writes sets are derived from the variables the expressions touch;
+//  * `for` loops with constant bounds become counted Loop statements (plus a
+//    2-cycle per-iteration control seg);
+//  * `if` becomes a two-armed conditional; `__prob(p)` conditions set the
+//    profile probability, data conditions default to 0.5;
+//  * calls become call statements whose reads/writes follow the callee's
+//    `in`/`out`/`inout` parameter directions -- this is where the dependence
+//    information that drives parallel-code extraction comes from;
+//  * `__scall` functions are marked IP-mappable; `__cycles(N)` prototypes
+//    become declared-cycle leaves.
+//
+// The result verifies under ir::verify_module and feeds the ordinary Flow.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/function.hpp"
+#include "minic/mc_ast.hpp"
+
+namespace partita::minic {
+
+/// Cycle estimate of evaluating an expression (loads + ALU ops).
+std::int64_t expr_cost(const Expr& e);
+
+/// Compiles a parsed program. Returns nullopt plus diagnostics on semantic
+/// errors (unknown callee, undeclared variable, missing main, bad arity).
+std::optional<ir::Module> mc_compile(const Program& prog, std::string module_name,
+                                     support::DiagnosticEngine& diags);
+
+/// Convenience: parse + compile in one step.
+std::optional<ir::Module> mc_compile_source(std::string_view source,
+                                            std::string module_name,
+                                            support::DiagnosticEngine& diags);
+
+}  // namespace partita::minic

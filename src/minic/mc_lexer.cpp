@@ -1,0 +1,217 @@
+#include "minic/mc_lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/strings.hpp"
+
+namespace partita::minic {
+
+std::string_view to_string(McTok t) {
+  switch (t) {
+    case McTok::kIdent: return "identifier";
+    case McTok::kInt: return "integer";
+    case McTok::kFloat: return "float";
+    case McTok::kKwInt: return "'int'";
+    case McTok::kKwVoid: return "'void'";
+    case McTok::kKwIf: return "'if'";
+    case McTok::kKwElse: return "'else'";
+    case McTok::kKwFor: return "'for'";
+    case McTok::kKwIn: return "'in'";
+    case McTok::kKwOut: return "'out'";
+    case McTok::kKwInOut: return "'inout'";
+    case McTok::kKwScall: return "'__scall'";
+    case McTok::kKwCycles: return "'__cycles'";
+    case McTok::kKwProb: return "'__prob'";
+    case McTok::kLParen: return "'('";
+    case McTok::kRParen: return "')'";
+    case McTok::kLBrace: return "'{'";
+    case McTok::kRBrace: return "'}'";
+    case McTok::kLBracket: return "'['";
+    case McTok::kRBracket: return "']'";
+    case McTok::kComma: return "','";
+    case McTok::kSemi: return "';'";
+    case McTok::kAssign: return "'='";
+    case McTok::kPlus: return "'+'";
+    case McTok::kMinus: return "'-'";
+    case McTok::kStar: return "'*'";
+    case McTok::kSlash: return "'/'";
+    case McTok::kPercent: return "'%'";
+    case McTok::kAmp: return "'&'";
+    case McTok::kPipe: return "'|'";
+    case McTok::kCaret: return "'^'";
+    case McTok::kShl: return "'<<'";
+    case McTok::kShr: return "'>>'";
+    case McTok::kLt: return "'<'";
+    case McTok::kLe: return "'<='";
+    case McTok::kGt: return "'>'";
+    case McTok::kGe: return "'>='";
+    case McTok::kEq: return "'=='";
+    case McTok::kNe: return "'!='";
+    case McTok::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string_view, McTok>& keywords() {
+  static const std::map<std::string_view, McTok> kw = {
+      {"int", McTok::kKwInt},       {"void", McTok::kKwVoid},
+      {"if", McTok::kKwIf},         {"else", McTok::kKwElse},
+      {"for", McTok::kKwFor},       {"in", McTok::kKwIn},
+      {"out", McTok::kKwOut},       {"inout", McTok::kKwInOut},
+      {"__scall", McTok::kKwScall}, {"__cycles", McTok::kKwCycles},
+      {"__prob", McTok::kKwProb},
+  };
+  return kw;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<McToken> mc_lex(std::string_view src, support::DiagnosticEngine& diags) {
+  std::vector<McToken> out;
+  std::uint32_t line = 1, col = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (src[i + k] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    i += n;
+  };
+  auto loc = [&] { return support::SourceLoc{line, col}; };
+  auto push = [&](McTok kind, std::size_t len) {
+    McToken t;
+    t.kind = kind;
+    t.text = src.substr(i, len);
+    t.loc = loc();
+    out.push_back(t);
+    advance(len);
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // comments
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      std::size_t n = 0;
+      while (i + n < src.size() && src[i + n] != '\n') ++n;
+      advance(n);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      std::size_t n = 2;
+      while (i + n + 1 < src.size() && !(src[i + n] == '*' && src[i + n + 1] == '/')) ++n;
+      if (i + n + 1 >= src.size()) {
+        diags.error("unterminated block comment", loc());
+        advance(src.size() - i);
+        continue;
+      }
+      advance(n + 2);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t n = 1;
+      while (i + n < src.size() && ident_char(src[i + n])) ++n;
+      const std::string_view word = src.substr(i, n);
+      auto kw = keywords().find(word);
+      push(kw != keywords().end() ? kw->second : McTok::kIdent, n);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t n = 1;
+      bool is_float = false;
+      while (i + n < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[i + n])) || src[i + n] == '.')) {
+        if (src[i + n] == '.') is_float = true;
+        ++n;
+      }
+      McToken t;
+      t.kind = is_float ? McTok::kFloat : McTok::kInt;
+      t.text = src.substr(i, n);
+      t.loc = loc();
+      if (is_float) {
+        if (!support::parse_double(t.text, t.float_value)) {
+          diags.error("malformed float literal", t.loc);
+        }
+      } else if (!support::parse_int(t.text, t.int_value)) {
+        diags.error("malformed integer literal", t.loc);
+      }
+      out.push_back(t);
+      advance(n);
+      continue;
+    }
+
+    auto two = [&](char second) {
+      return i + 1 < src.size() && src[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(McTok::kLParen, 1); continue;
+      case ')': push(McTok::kRParen, 1); continue;
+      case '{': push(McTok::kLBrace, 1); continue;
+      case '}': push(McTok::kRBrace, 1); continue;
+      case '[': push(McTok::kLBracket, 1); continue;
+      case ']': push(McTok::kRBracket, 1); continue;
+      case ',': push(McTok::kComma, 1); continue;
+      case ';': push(McTok::kSemi, 1); continue;
+      case '+': push(McTok::kPlus, 1); continue;
+      case '-': push(McTok::kMinus, 1); continue;
+      case '*': push(McTok::kStar, 1); continue;
+      case '/': push(McTok::kSlash, 1); continue;
+      case '%': push(McTok::kPercent, 1); continue;
+      case '&': push(McTok::kAmp, 1); continue;
+      case '|': push(McTok::kPipe, 1); continue;
+      case '^': push(McTok::kCaret, 1); continue;
+      case '<':
+        if (two('<')) push(McTok::kShl, 2);
+        else if (two('=')) push(McTok::kLe, 2);
+        else push(McTok::kLt, 1);
+        continue;
+      case '>':
+        if (two('>')) push(McTok::kShr, 2);
+        else if (two('=')) push(McTok::kGe, 2);
+        else push(McTok::kGt, 1);
+        continue;
+      case '=':
+        if (two('=')) push(McTok::kEq, 2);
+        else push(McTok::kAssign, 1);
+        continue;
+      case '!':
+        if (two('=')) {
+          push(McTok::kNe, 2);
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    diags.error(std::string("unexpected character '") + c + "'", loc());
+    advance(1);
+  }
+
+  McToken eof;
+  eof.kind = McTok::kEof;
+  eof.loc = loc();
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace partita::minic

@@ -1,0 +1,69 @@
+// MiniC lexer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace partita::minic {
+
+enum class McTok : std::uint8_t {
+  kIdent,
+  kInt,
+  kFloat,     // only inside __prob(...)
+  kKwInt,     // int
+  kKwVoid,    // void
+  kKwIf,
+  kKwElse,
+  kKwFor,
+  kKwIn,
+  kKwOut,
+  kKwInOut,
+  kKwScall,   // __scall
+  kKwCycles,  // __cycles
+  kKwProb,    // __prob
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kAssign,  // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kShl,  // <<
+  kShr,  // >>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,  // ==
+  kNe,  // !=
+  kEof,
+};
+
+std::string_view to_string(McTok t);
+
+struct McToken {
+  McTok kind = McTok::kEof;
+  std::string_view text;
+  std::int64_t int_value = 0;
+  double float_value = 0;
+  support::SourceLoc loc;
+};
+
+/// Tokenizes MiniC source. `//` and `/* */` comments are skipped. Errors go
+/// to `diags`; the stream always ends with kEof.
+std::vector<McToken> mc_lex(std::string_view source, support::DiagnosticEngine& diags);
+
+}  // namespace partita::minic

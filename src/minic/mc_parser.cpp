@@ -1,0 +1,418 @@
+#include "minic/mc_parser.hpp"
+
+namespace partita::minic {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<McToken> toks, support::DiagnosticEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::optional<Program> run() {
+    Program prog;
+    while (!at(McTok::kEof)) {
+      if (at(McTok::kKwInt)) {
+        // global variable
+        next();
+        Global g;
+        if (!parse_var_tail(g.name, g.array_size)) return std::nullopt;
+        prog.globals.push_back(std::move(g));
+      } else if (at(McTok::kKwScall) || at(McTok::kKwCycles) || at(McTok::kKwVoid)) {
+        Function fn;
+        if (!parse_function(fn)) return std::nullopt;
+        prog.functions.push_back(std::move(fn));
+      } else {
+        error("expected a global declaration or function");
+        return std::nullopt;
+      }
+    }
+    return prog;
+  }
+
+ private:
+  // --- token plumbing ------------------------------------------------------
+
+  const McToken& cur() const { return toks_[pos_]; }
+  const McToken& next() { return toks_[pos_++]; }
+  bool at(McTok k) const { return cur().kind == k; }
+  bool accept(McTok k) {
+    if (!at(k)) return false;
+    next();
+    return true;
+  }
+  bool expect(McTok k) {
+    if (accept(k)) return true;
+    error("expected " + std::string(to_string(k)) + ", found " +
+          std::string(to_string(cur().kind)));
+    return false;
+  }
+  void error(std::string msg) { diags_.error(std::move(msg), cur().loc); }
+
+  // --- declarations ---------------------------------------------------------
+
+  /// After 'int': NAME [ '[' INT ']' ] ';'
+  bool parse_var_tail(std::string& name, std::int64_t& array_size) {
+    if (!at(McTok::kIdent)) {
+      error("expected variable name");
+      return false;
+    }
+    name = std::string(next().text);
+    array_size = 0;
+    if (accept(McTok::kLBracket)) {
+      if (!at(McTok::kInt)) {
+        error("expected constant array size");
+        return false;
+      }
+      array_size = next().int_value;
+      if (array_size < 1) {
+        error("array size must be positive");
+        return false;
+      }
+      if (!expect(McTok::kRBracket)) return false;
+    }
+    return expect(McTok::kSemi);
+  }
+
+  bool parse_function(Function& fn) {
+    fn.loc = cur().loc;
+    if (accept(McTok::kKwScall)) fn.is_scall = true;
+    if (accept(McTok::kKwCycles)) {
+      if (!expect(McTok::kLParen)) return false;
+      if (!at(McTok::kInt)) {
+        error("expected cycle count in __cycles(...)");
+        return false;
+      }
+      fn.declared_cycles = next().int_value;
+      if (!expect(McTok::kRParen)) return false;
+    }
+    if (!expect(McTok::kKwVoid)) return false;
+    if (!at(McTok::kIdent)) {
+      error("expected function name");
+      return false;
+    }
+    fn.name = std::string(next().text);
+    if (!expect(McTok::kLParen)) return false;
+    if (!at(McTok::kRParen)) {
+      do {
+        Param p;
+        if (accept(McTok::kKwIn)) p.dir = ParamDir::kIn;
+        else if (accept(McTok::kKwOut)) p.dir = ParamDir::kOut;
+        else if (accept(McTok::kKwInOut)) p.dir = ParamDir::kInOut;
+        else {
+          error("expected parameter direction (in/out/inout)");
+          return false;
+        }
+        if (!expect(McTok::kKwInt)) return false;
+        if (!at(McTok::kIdent)) {
+          error("expected parameter name");
+          return false;
+        }
+        p.name = std::string(next().text);
+        if (accept(McTok::kLBracket)) {
+          if (!expect(McTok::kRBracket)) return false;
+          p.is_array = true;
+        }
+        fn.params.push_back(std::move(p));
+      } while (accept(McTok::kComma));
+    }
+    if (!expect(McTok::kRParen)) return false;
+
+    if (accept(McTok::kSemi)) {
+      fn.has_body = false;
+      if (fn.declared_cycles <= 0) {
+        diags_.error("prototype '" + fn.name + "' needs __cycles(N)", fn.loc);
+        return false;
+      }
+      return true;
+    }
+    fn.has_body = true;
+    return parse_block(fn.body);
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  bool parse_block(std::vector<StmtPtr>& out) {
+    if (!expect(McTok::kLBrace)) return false;
+    while (!at(McTok::kRBrace)) {
+      if (at(McTok::kEof)) {
+        error("unexpected end of input inside '{...}'");
+        return false;
+      }
+      StmtPtr s;
+      if (!parse_stmt(s)) return false;
+      out.push_back(std::move(s));
+    }
+    next();  // '}'
+    return true;
+  }
+
+  bool parse_stmt(StmtPtr& out) {
+    out = std::make_unique<Stmt>();
+    out->loc = cur().loc;
+
+    if (at(McTok::kKwInt)) {  // local declaration
+      next();
+      out->kind = StmtKind::kLocalDecl;
+      return parse_var_tail(out->decl_name, out->array_size);
+    }
+    if (at(McTok::kKwIf)) return parse_if(*out);
+    if (at(McTok::kKwFor)) return parse_for(*out);
+    if (at(McTok::kLBrace)) {
+      out->kind = StmtKind::kBlock;
+      return parse_block(out->body);
+    }
+
+    // assignment or call -- both start with an identifier.
+    if (!at(McTok::kIdent)) {
+      error("expected a statement");
+      return false;
+    }
+    const std::string name(next().text);
+    if (at(McTok::kLParen)) {  // call
+      next();
+      out->kind = StmtKind::kCall;
+      out->callee = name;
+      if (!at(McTok::kRParen)) {
+        do {
+          if (!at(McTok::kIdent)) {
+            error("call arguments must be variable names");
+            return false;
+          }
+          auto arg = std::make_unique<Expr>();
+          arg->kind = ExprKind::kVarRef;
+          arg->loc = cur().loc;
+          arg->name = std::string(next().text);
+          out->args.push_back(std::move(arg));
+        } while (accept(McTok::kComma));
+      }
+      if (!expect(McTok::kRParen)) return false;
+      return expect(McTok::kSemi);
+    }
+
+    // assignment
+    out->kind = StmtKind::kAssign;
+    out->target = name;
+    if (accept(McTok::kLBracket)) {
+      if (!parse_expr(out->target_index)) return false;
+      if (!expect(McTok::kRBracket)) return false;
+    }
+    if (!expect(McTok::kAssign)) return false;
+    if (!parse_expr(out->value)) return false;
+    return expect(McTok::kSemi);
+  }
+
+  bool parse_if(Stmt& s) {
+    next();  // 'if'
+    s.kind = StmtKind::kIf;
+    if (!expect(McTok::kLParen)) return false;
+    if (at(McTok::kKwProb)) {
+      next();
+      if (!expect(McTok::kLParen)) return false;
+      auto prob = std::make_unique<Expr>();
+      prob->kind = ExprKind::kProb;
+      prob->loc = cur().loc;
+      if (at(McTok::kFloat)) prob->prob = next().float_value;
+      else if (at(McTok::kInt)) prob->prob = static_cast<double>(next().int_value);
+      else {
+        error("expected probability in __prob(...)");
+        return false;
+      }
+      if (prob->prob < 0.0 || prob->prob > 1.0) {
+        error("probability must be within [0,1]");
+        return false;
+      }
+      if (!expect(McTok::kRParen)) return false;
+      s.condition = std::move(prob);
+    } else {
+      ExprPtr lhs;
+      if (!parse_expr(lhs)) return false;
+      BinOp rel;
+      if (accept(McTok::kLt)) rel = BinOp::kLt;
+      else if (accept(McTok::kLe)) rel = BinOp::kLe;
+      else if (accept(McTok::kGt)) rel = BinOp::kGt;
+      else if (accept(McTok::kGe)) rel = BinOp::kGe;
+      else if (accept(McTok::kEq)) rel = BinOp::kEq;
+      else if (accept(McTok::kNe)) rel = BinOp::kNe;
+      else {
+        error("expected a comparison in if-condition");
+        return false;
+      }
+      ExprPtr rhs;
+      if (!parse_expr(rhs)) return false;
+      auto cond = std::make_unique<Expr>();
+      cond->kind = ExprKind::kBinary;
+      cond->op = rel;
+      cond->lhs = std::move(lhs);
+      cond->rhs = std::move(rhs);
+      s.condition = std::move(cond);
+    }
+    if (!expect(McTok::kRParen)) return false;
+    if (!parse_block(s.then_body)) return false;
+    if (accept(McTok::kKwElse)) {
+      if (!parse_block(s.else_body)) return false;
+    }
+    return true;
+  }
+
+  bool parse_for(Stmt& s) {
+    next();  // 'for'
+    s.kind = StmtKind::kFor;
+    if (!expect(McTok::kLParen)) return false;
+    if (!at(McTok::kIdent)) {
+      error("expected loop variable");
+      return false;
+    }
+    s.loop_var = std::string(next().text);
+    if (!expect(McTok::kAssign)) return false;
+    std::int64_t sign = accept(McTok::kMinus) ? -1 : 1;
+    if (!at(McTok::kInt)) {
+      error("loop bounds must be integer constants");
+      return false;
+    }
+    s.from = sign * next().int_value;
+    if (!expect(McTok::kSemi)) return false;
+    if (!at(McTok::kIdent) || std::string(cur().text) != s.loop_var) {
+      error("loop condition must test the loop variable");
+      return false;
+    }
+    next();
+    if (!expect(McTok::kLt)) return false;
+    if (!at(McTok::kInt)) {
+      error("loop bounds must be integer constants");
+      return false;
+    }
+    s.to = next().int_value;
+    if (!expect(McTok::kSemi)) return false;
+    // var = var + step
+    if (!at(McTok::kIdent) || std::string(cur().text) != s.loop_var) {
+      error("loop increment must assign the loop variable");
+      return false;
+    }
+    next();
+    if (!expect(McTok::kAssign)) return false;
+    if (!at(McTok::kIdent) || std::string(cur().text) != s.loop_var) {
+      error("loop increment must be 'i = i + step'");
+      return false;
+    }
+    next();
+    if (!expect(McTok::kPlus)) return false;
+    if (!at(McTok::kInt)) {
+      error("loop step must be an integer constant");
+      return false;
+    }
+    s.step = next().int_value;
+    if (s.step < 1) {
+      error("loop step must be positive");
+      return false;
+    }
+    if (!expect(McTok::kRParen)) return false;
+    return parse_block(s.body);
+  }
+
+  // --- expressions ------------------------------------------------------------
+  // precedence (low to high): | , ^ , & , << >> , + - , * / %
+
+  bool parse_expr(ExprPtr& out) { return parse_or(out); }
+
+  bool parse_binary_level(ExprPtr& out, bool (Parser::*sub)(ExprPtr&),
+                          std::initializer_list<std::pair<McTok, BinOp>> ops) {
+    if (!(this->*sub)(out)) return false;
+    while (true) {
+      bool matched = false;
+      for (const auto& [tok, op] : ops) {
+        if (at(tok)) {
+          next();
+          ExprPtr rhs;
+          if (!(this->*sub)(rhs)) return false;
+          auto node = std::make_unique<Expr>();
+          node->kind = ExprKind::kBinary;
+          node->op = op;
+          node->lhs = std::move(out);
+          node->rhs = std::move(rhs);
+          out = std::move(node);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return true;
+    }
+  }
+
+  bool parse_or(ExprPtr& out) {
+    return parse_binary_level(out, &Parser::parse_xor, {{McTok::kPipe, BinOp::kOr}});
+  }
+  bool parse_xor(ExprPtr& out) {
+    return parse_binary_level(out, &Parser::parse_and, {{McTok::kCaret, BinOp::kXor}});
+  }
+  bool parse_and(ExprPtr& out) {
+    return parse_binary_level(out, &Parser::parse_shift, {{McTok::kAmp, BinOp::kAnd}});
+  }
+  bool parse_shift(ExprPtr& out) {
+    return parse_binary_level(out, &Parser::parse_additive,
+                              {{McTok::kShl, BinOp::kShl}, {McTok::kShr, BinOp::kShr}});
+  }
+  bool parse_additive(ExprPtr& out) {
+    return parse_binary_level(out, &Parser::parse_multiplicative,
+                              {{McTok::kPlus, BinOp::kAdd}, {McTok::kMinus, BinOp::kSub}});
+  }
+  bool parse_multiplicative(ExprPtr& out) {
+    return parse_binary_level(out, &Parser::parse_unary,
+                              {{McTok::kStar, BinOp::kMul},
+                               {McTok::kSlash, BinOp::kDiv},
+                               {McTok::kPercent, BinOp::kMod}});
+  }
+
+  bool parse_unary(ExprPtr& out) {
+    if (accept(McTok::kMinus)) {
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnaryNeg;
+      node->loc = cur().loc;
+      if (!parse_unary(node->operand)) return false;
+      out = std::move(node);
+      return true;
+    }
+    return parse_primary(out);
+  }
+
+  bool parse_primary(ExprPtr& out) {
+    out = std::make_unique<Expr>();
+    out->loc = cur().loc;
+    if (at(McTok::kInt)) {
+      out->kind = ExprKind::kIntLiteral;
+      out->int_value = next().int_value;
+      return true;
+    }
+    if (at(McTok::kIdent)) {
+      out->name = std::string(next().text);
+      if (accept(McTok::kLBracket)) {
+        out->kind = ExprKind::kIndex;
+        if (!parse_expr(out->index)) return false;
+        return expect(McTok::kRBracket);
+      }
+      out->kind = ExprKind::kVarRef;
+      return true;
+    }
+    if (accept(McTok::kLParen)) {
+      if (!parse_expr(out)) return false;
+      return expect(McTok::kRParen);
+    }
+    error("expected an expression");
+    return false;
+  }
+
+  std::vector<McToken> toks_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Program> mc_parse(std::string_view source,
+                                support::DiagnosticEngine& diags) {
+  std::vector<McToken> toks = mc_lex(source, diags);
+  if (diags.has_errors()) return std::nullopt;
+  return Parser(std::move(toks), diags).run();
+}
+
+}  // namespace partita::minic

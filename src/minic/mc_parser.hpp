@@ -1,0 +1,35 @@
+// MiniC parser.
+//
+// Grammar (see mc_ast.hpp for the subset rationale):
+//
+//   program  := (global | function)*
+//   global   := "int" IDENT ["[" INT "]"] ";"
+//   function := ["__scall"] ["__cycles" "(" INT ")"] "void" IDENT
+//               "(" [param ("," param)*] ")" (";" | block)
+//   param    := ("in"|"out"|"inout") "int" IDENT ["[" "]"]
+//   block    := "{" stmt* "}"
+//   stmt     := local | assign | callstmt | ifstmt | forstmt | block
+//   local    := "int" IDENT ["[" INT "]"] ";"
+//   assign   := IDENT ["[" expr "]"] "=" expr ";"
+//   callstmt := IDENT "(" [arg ("," arg)*] ")" ";"      arg := IDENT
+//   ifstmt   := "if" "(" cond ")" block ["else" block]
+//   cond     := "__prob" "(" NUMBER ")" | expr relop expr
+//   forstmt  := "for" "(" IDENT "=" INT ";" IDENT "<" INT ";"
+//               IDENT "=" IDENT "+" INT ")" block
+//   expr     := standard precedence over | ^ & << >> + - * / % and unary -,
+//               primaries: INT, IDENT, IDENT "[" expr "]", "(" expr ")"
+#pragma once
+
+#include <optional>
+
+#include "minic/mc_ast.hpp"
+#include "minic/mc_lexer.hpp"
+
+namespace partita::minic {
+
+/// Parses a MiniC translation unit. Returns nullopt plus diagnostics on any
+/// error.
+std::optional<Program> mc_parse(std::string_view source,
+                                support::DiagnosticEngine& diags);
+
+}  // namespace partita::minic

@@ -1,0 +1,81 @@
+#include "profile/interpreter.hpp"
+
+#include "support/assert.hpp"
+
+namespace partita::profile {
+
+namespace {
+
+class Interp {
+ public:
+  Interp(const ir::Module& module, support::Rng& rng, SampleRun& out)
+      : module_(module), rng_(rng), out_(out) {}
+
+  void run_function(const ir::Function& fn) {
+    if (fn.declared_sw_cycles()) {
+      out_.cycles += *fn.declared_sw_cycles();
+      return;
+    }
+    run_seq(fn, fn.body());
+  }
+
+ private:
+  void run_seq(const ir::Function& fn, const std::vector<ir::StmtId>& seq) {
+    for (ir::StmtId id : seq) run_stmt(fn, fn.stmt(id));
+  }
+
+  void run_stmt(const ir::Function& fn, const ir::Stmt& s) {
+    switch (s.kind) {
+      case ir::StmtKind::kSeg:
+        out_.cycles += s.cycles;
+        break;
+      case ir::StmtKind::kCall:
+        out_.call_site_executions[s.call_site.value()] += 1;
+        run_function(module_.function(s.callee));
+        break;
+      case ir::StmtKind::kIf:
+        if (rng_.chance(s.taken_prob)) run_seq(fn, s.then_stmts);
+        else run_seq(fn, s.else_stmts);
+        break;
+      case ir::StmtKind::kLoop:
+        for (std::int64_t i = 0; i < s.trip_count; ++i) run_seq(fn, s.body_stmts);
+        break;
+    }
+  }
+
+  const ir::Module& module_;
+  support::Rng& rng_;
+  SampleRun& out_;
+};
+
+}  // namespace
+
+SampleRun sample_execute(const ir::Module& module, support::Rng& rng) {
+  PARTITA_ASSERT(module.entry().valid());
+  SampleRun out;
+  out.call_site_executions.assign(module.call_sites().size(), 0);
+  Interp(module, rng, out).run_function(module.function(module.entry()));
+  return out;
+}
+
+SampleRun sample_execute_average(const ir::Module& module, support::Rng& rng,
+                                 std::size_t runs) {
+  PARTITA_ASSERT(runs > 0);
+  SampleRun acc;
+  acc.call_site_executions.assign(module.call_sites().size(), 0);
+  for (std::size_t r = 0; r < runs; ++r) {
+    const SampleRun one = sample_execute(module, rng);
+    acc.cycles += one.cycles;
+    for (std::size_t i = 0; i < acc.call_site_executions.size(); ++i) {
+      acc.call_site_executions[i] += one.call_site_executions[i];
+    }
+  }
+  acc.cycles = (acc.cycles + static_cast<std::int64_t>(runs) / 2) /
+               static_cast<std::int64_t>(runs);
+  for (auto& c : acc.call_site_executions) {
+    c = (c + static_cast<std::int64_t>(runs) / 2) / static_cast<std::int64_t>(runs);
+  }
+  return acc;
+}
+
+}  // namespace partita::profile

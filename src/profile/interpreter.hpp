@@ -1,0 +1,32 @@
+// Monte-Carlo sample executor.
+//
+// Plays the role of Partita's sample execution on typical input data: runs
+// the statement IR end-to-end, resolving each conditional with its profile
+// probability and a deterministic RNG, and counts cycles and call-site
+// executions. Averaged over enough runs the counts converge to the analytic
+// expected profile (property-tested in tests/profile_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "support/rng.hpp"
+
+namespace partita::profile {
+
+/// Result of one (or several averaged) sample run(s).
+struct SampleRun {
+  std::int64_t cycles = 0;
+  /// Executions of each call site, indexed by CallSiteId value.
+  std::vector<std::int64_t> call_site_executions;
+};
+
+/// Executes the entry function once.
+SampleRun sample_execute(const ir::Module& module, support::Rng& rng);
+
+/// Executes `runs` times and returns per-run averages (cycles rounded).
+SampleRun sample_execute_average(const ir::Module& module, support::Rng& rng,
+                                 std::size_t runs);
+
+}  // namespace partita::profile

@@ -1,0 +1,104 @@
+#include "profile/profile.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace partita::profile {
+
+namespace {
+
+/// Expected cycles of one execution of a statement sequence, given per-
+/// function cycle numbers for callees.
+std::int64_t seq_cycles(const ir::Function& fn, const std::vector<ir::StmtId>& seq,
+                        const std::vector<std::int64_t>& func_cycles);
+
+std::int64_t stmt_cycles(const ir::Function& fn, const ir::Stmt& s,
+                         const std::vector<std::int64_t>& func_cycles) {
+  switch (s.kind) {
+    case ir::StmtKind::kSeg:
+      return s.cycles;
+    case ir::StmtKind::kCall:
+      return func_cycles[s.callee.value()];
+    case ir::StmtKind::kIf: {
+      const double t = static_cast<double>(seq_cycles(fn, s.then_stmts, func_cycles));
+      const double e = static_cast<double>(seq_cycles(fn, s.else_stmts, func_cycles));
+      return static_cast<std::int64_t>(std::llround(s.taken_prob * t + (1 - s.taken_prob) * e));
+    }
+    case ir::StmtKind::kLoop:
+      return s.trip_count * seq_cycles(fn, s.body_stmts, func_cycles);
+  }
+  return 0;
+}
+
+std::int64_t seq_cycles(const ir::Function& fn, const std::vector<ir::StmtId>& seq,
+                        const std::vector<std::int64_t>& func_cycles) {
+  std::int64_t total = 0;
+  for (ir::StmtId id : seq) total += stmt_cycles(fn, fn.stmt(id), func_cycles);
+  return total;
+}
+
+/// Accumulates call-site and function frequencies below one statement
+/// sequence executed `mult` times per run.
+void walk_frequencies(const ir::Module& module, const ir::Function& fn,
+                      const std::vector<ir::StmtId>& seq, double mult,
+                      ModuleProfile& out);
+
+void visit_stmt(const ir::Module& module, const ir::Function& fn, const ir::Stmt& s,
+                double mult, ModuleProfile& out) {
+  switch (s.kind) {
+    case ir::StmtKind::kSeg:
+      break;
+    case ir::StmtKind::kCall: {
+      out.call_site_frequency[s.call_site.value()] += mult;
+      out.function_frequency[s.callee.value()] += mult;
+      const ir::Function& callee = module.function(s.callee);
+      if (!callee.declared_sw_cycles()) {
+        walk_frequencies(module, callee, callee.body(), mult, out);
+      }
+      break;
+    }
+    case ir::StmtKind::kIf:
+      walk_frequencies(module, fn, s.then_stmts, mult * s.taken_prob, out);
+      walk_frequencies(module, fn, s.else_stmts, mult * (1 - s.taken_prob), out);
+      break;
+    case ir::StmtKind::kLoop:
+      walk_frequencies(module, fn, s.body_stmts, mult * static_cast<double>(s.trip_count),
+                       out);
+      break;
+  }
+}
+
+void walk_frequencies(const ir::Module& module, const ir::Function& fn,
+                      const std::vector<ir::StmtId>& seq, double mult,
+                      ModuleProfile& out) {
+  for (ir::StmtId id : seq) visit_stmt(module, fn, fn.stmt(id), mult, out);
+}
+
+}  // namespace
+
+ModuleProfile profile_module(const ir::Module& module) {
+  ModuleProfile out;
+  out.function_cycles.assign(module.function_count(), 0);
+  out.call_site_frequency.assign(module.call_sites().size(), 0.0);
+  out.function_frequency.assign(module.function_count(), 0.0);
+
+  // Bottom-up: callees have final numbers before callers are evaluated.
+  for (ir::FuncId f : module.bottom_up_order()) {
+    const ir::Function& fn = module.function(f);
+    if (fn.declared_sw_cycles()) {
+      out.function_cycles[f.value()] = *fn.declared_sw_cycles();
+    } else {
+      out.function_cycles[f.value()] = seq_cycles(fn, fn.body(), out.function_cycles);
+    }
+  }
+
+  PARTITA_ASSERT(module.entry().valid());
+  out.function_frequency[module.entry().value()] += 1.0;
+  const ir::Function& entry = module.function(module.entry());
+  walk_frequencies(module, entry, entry.body(), 1.0, out);
+  out.total_cycles = out.function_cycles[module.entry().value()];
+  return out;
+}
+
+}  // namespace partita::profile

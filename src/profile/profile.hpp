@@ -1,0 +1,44 @@
+// Static (expected-value) profiling.
+//
+// Partita sample-executes the MOP list on typical input data to obtain the
+// running-frequency profile. Our statement IR carries the distilled result of
+// such a sample run -- loop trip counts and branch probabilities -- so the
+// expected profile can be computed analytically; interpreter.hpp provides the
+// matching Monte-Carlo sample executor used to cross-check it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace partita::profile {
+
+/// Expected-value profile of a module.
+struct ModuleProfile {
+  /// Expected software cycles of ONE invocation of each function (indexed by
+  /// FuncId value), including everything it calls, with conditional arms
+  /// weighted by probability and loop bodies by trip count. This is the
+  /// paper's T_SW for the function when it becomes an s-call.
+  std::vector<std::int64_t> function_cycles;
+
+  /// Expected number of executions of each call site (indexed by CallSiteId
+  /// value) in one run of the entry function.
+  std::vector<double> call_site_frequency;
+
+  /// Expected number of invocations of each function per run.
+  std::vector<double> function_frequency;
+
+  /// Expected software cycles of one whole run (entry invoked once).
+  std::int64_t total_cycles = 0;
+
+  std::int64_t cycles_of(ir::FuncId f) const { return function_cycles[f.value()]; }
+  double frequency_of(ir::CallSiteId cs) const { return call_site_frequency[cs.value()]; }
+};
+
+/// Computes the expected profile. The module must verify cleanly (acyclic
+/// call graph). Functions with a declared sw_cycles use the declaration;
+/// otherwise the body is evaluated bottom-up.
+ModuleProfile profile_module(const ir::Module& module);
+
+}  // namespace partita::profile

@@ -1,0 +1,166 @@
+#include "report/chip_report.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "cinst/cinst.hpp"
+#include "iface/fsm.hpp"
+#include "ir/lower.hpp"
+#include "support/assert.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace partita::report {
+
+ChipReport generate_report(const select::Flow& flow, const select::Selection& selection,
+                           const ReportOptions& opts) {
+  PARTITA_ASSERT_MSG(selection.feasible, "cannot report an infeasible selection");
+  ChipReport rep;
+  const ir::Module& module = flow.module();
+  const iplib::IpLibrary& lib = flow.library();
+  const isel::ImpDatabase& db = flow.imp_database();
+
+  // --- C-instruction plan --------------------------------------------------
+  const ir::LoweredModule lowered = ir::lower_module(module);
+  const std::vector<cinst::Candidate> candidates =
+      cinst::mine_candidates(module, lowered, flow.profile());
+  cinst::PlanOptions cplan_opts;
+  cplan_opts.urom_word_budget = opts.cinst_urom_budget;
+  cplan_opts.max_cinstructions = opts.max_cinstructions;
+  const cinst::CInstPlan cplan = cinst::plan_cinstructions(candidates, cplan_opts);
+
+  // --- instruction set -----------------------------------------------------
+  // P-class opcode frequencies come from the application's dynamic op mix:
+  // static MOP counts per kind weighted by each function's profiled
+  // execution frequency.
+  {
+    std::vector<double> kind_freq;
+    for (std::uint32_t f = 0; f < module.function_count(); ++f) {
+      const double weight = flow.profile().function_frequency[f];
+      if (weight <= 0) continue;
+      for (const ir::Mop& mop : lowered.functions[f].mops.mops()) {
+        const auto idx = static_cast<std::size_t>(mop.kind);
+        if (kind_freq.size() <= idx) kind_freq.resize(idx + 1, 0.0);
+        kind_freq[idx] += weight;
+      }
+    }
+    rep.isa.seed_p_class_weighted(kind_freq, /*fallback=*/1.0);
+  }
+  for (const cinst::Candidate& c : cplan.chosen) {
+    ucode::Instruction instr;
+    instr.name = c.name();
+    instr.cls = ucode::InstrClass::kC;
+    instr.frequency = c.dynamic_occurrences;
+    instr.urom_words = c.urom_words();
+    rep.isa.add(instr);
+  }
+
+  // Merged S-instructions: one per distinct (IP, interface type).
+  struct SMerge {
+    const isel::Imp* imp;
+    double frequency = 0;
+  };
+  std::map<std::pair<std::uint32_t, int>, SMerge> merged;
+  for (isel::ImpIndex idx : selection.chosen) {
+    const isel::Imp& imp = db.imps()[idx];
+    const isel::SCall* sc = db.scall_of(imp.scall);
+    SMerge& m = merged[{imp.ip.value, static_cast<int>(imp.iface_type)}];
+    m.imp = &imp;
+    m.frequency += sc ? sc->frequency : 1.0;
+  }
+
+  // --- u-ROM ---------------------------------------------------------------
+  ucode::Urom urom(opts.urom_word_bits);
+  for (const cinst::Candidate& c : cplan.chosen) {
+    std::vector<ucode::UWord> words;
+    for (ir::MopKind k : c.pattern) words.push_back({std::string(ir::to_string(k))});
+    urom.add_sequence(c.name(), std::move(words));
+  }
+  for (auto& [key, m] : merged) {
+    const iplib::IpDescriptor& ip = lib.ip(m.imp->ip);
+    const iface::InterfaceProgram prog = iface::expand_template(
+        m.imp->iface_type, ip, *m.imp->ip_function, opts.kernel);
+
+    ucode::Instruction instr;
+    instr.name = "s_" + ip.name + "_" + std::string(iface::short_name(m.imp->iface_type));
+    instr.cls = ucode::InstrClass::kS;
+    instr.frequency = m.frequency;
+    instr.iface_type = m.imp->iface_type;
+
+    if (iface::is_software(m.imp->iface_type)) {
+      // Software interfaces store their whole template in the u-ROM.
+      instr.urom_words = prog.static_words();
+      urom.add_sequence(instr.name, ucode::words_from_program(prog));
+    } else {
+      // Hardware interfaces need only a start/hand-off word; the FSM runs
+      // autonomously.
+      instr.urom_words = 1;
+      urom.add_sequence(instr.name, {ucode::UWord{"start_ip"}});
+      iface::ControllerFsm fsm = iface::ControllerFsm::synthesize(prog);
+      rep.fsm_states += static_cast<int>(fsm.states().size());
+    }
+    rep.isa.add(instr);
+  }
+  urom.optimize();
+  rep.urom = urom.stats();
+
+  rep.isa.encode();
+  rep.expected_opcode_bits = rep.isa.expected_opcode_bits();
+
+  // --- totals ----------------------------------------------------------------
+  rep.accelerator_area = selection.total_area();
+  rep.total_area = opts.kernel_base_area + rep.accelerator_area;
+  rep.total_power = opts.kernel_base_power + selection.total_power();
+  rep.software_cycles = flow.profile().total_cycles;
+  rep.guaranteed_cycles = rep.software_cycles - selection.min_path_gain;
+
+  // --- rendering ---------------------------------------------------------------
+  std::ostringstream os;
+  os << "==================== generated ASIP report ====================\n";
+  os << "application: " << module.name() << "\n\n";
+
+  os << "instruction set: " << rep.isa.count_of(ucode::InstrClass::kP) << " P + "
+     << rep.isa.count_of(ucode::InstrClass::kC) << " C + "
+     << rep.isa.count_of(ucode::InstrClass::kS) << " S instructions\n";
+  os << "opcodes: fixed would take " << rep.isa.fixed_opcode_bits()
+     << " bits; Huffman expects " << support::compact_double(rep.expected_opcode_bits)
+     << " bits/fetch\n\n";
+
+  {
+    support::TextTable t({"class", "name", "freq", "uROM words", "opcode bits"});
+    t.set_alignment({support::Align::kLeft, support::Align::kLeft, support::Align::kRight,
+                     support::Align::kRight, support::Align::kRight});
+    for (const ucode::Instruction& i : rep.isa.instructions()) {
+      if (i.cls == ucode::InstrClass::kP) continue;  // keep the table short
+      t.add_row({std::string(to_string(i.cls)), i.name, support::compact_double(i.frequency),
+                 std::to_string(i.urom_words), std::to_string(i.opcode_bits)});
+    }
+    if (t.row_count() > 0) os << t.render() << '\n';
+  }
+
+  os << "u-ROM: " << rep.urom.raw_words << " raw words -> " << rep.urom.unique_words
+     << " unique + " << rep.urom.pointer_bits << "-bit pointers ("
+     << rep.urom.raw_bits << " -> " << rep.urom.optimized_bits << " bits, x"
+     << support::compact_double(rep.urom.compression_ratio()) << ")\n";
+  os << "hardware controllers: " << rep.fsm_states << " FSM states synthesized\n\n";
+
+  os << "IPs instantiated:\n";
+  for (iplib::IpId ip : selection.ips_used) {
+    const iplib::IpDescriptor& d = lib.ip(ip);
+    os << "  " << d.name << "  area " << support::compact_double(d.area);
+    if (d.power > 0) os << "  power " << support::compact_double(d.power);
+    os << '\n';
+  }
+  os << "\narea : kernel " << support::compact_double(opts.kernel_base_area) << " + IPs "
+     << support::compact_double(selection.ip_area) << " + interfaces "
+     << support::compact_double(selection.interface_area) << " = "
+     << support::compact_double(rep.total_area) << '\n';
+  os << "power: " << support::compact_double(rep.total_power) << '\n';
+  os << "cycles: " << support::with_commas(rep.software_cycles) << " software -> "
+     << support::with_commas(rep.guaranteed_cycles) << " guaranteed ("
+     << support::with_commas(rep.software_cycles - rep.guaranteed_cycles) << " gain)\n";
+  rep.text = os.str();
+  return rep;
+}
+
+}  // namespace partita::report

@@ -1,0 +1,59 @@
+// Generated-ASIP report.
+//
+// Section 2 of the paper sketches what happens after selection: hardware
+// modules are generated (decoding unit, fetch unit, interfaces), all new
+// instructions are encoded, and the u-ROM is optimized to include the C- and
+// S-instruction micro-code. This module performs that back-end bookkeeping
+// for a Selection and renders a full chip summary:
+//
+//  * instruction set: P-class seeded from the kernel's MOP repertoire,
+//    C-class from the frequent-pattern miner (cinst), S-class one per merged
+//    (IP, interface) pair of the selection -- with Huffman opcode encoding;
+//  * u-ROM: micro-code sequences of every C/S instruction, two-level
+//    optimized, bits before/after;
+//  * hardware: IPs (area/power, counted once), interface controllers
+//    (synthesized FSM state counts for types 2/3), buffers, protocol
+//    transformers;
+//  * performance: profiled software cycles vs the guaranteed accelerated
+//    cycles.
+#pragma once
+
+#include <string>
+
+#include "select/flow.hpp"
+#include "ucode/isa.hpp"
+#include "ucode/urom.hpp"
+
+namespace partita::report {
+
+struct ReportOptions {
+  iface::KernelParams kernel;
+  /// Fixed area/power of the ASIP core itself (datapath, register file,
+  /// AGU, sequencer) in the same relative units as the IPs.
+  double kernel_base_area = 40.0;
+  double kernel_base_power = 1.0;
+  /// Raw micro-word width for u-ROM sizing.
+  int urom_word_bits = 64;
+  /// Budget passed to the C-instruction planner.
+  std::int64_t cinst_urom_budget = 48;
+  std::size_t max_cinstructions = 8;
+};
+
+struct ChipReport {
+  ucode::InstructionSet isa;
+  ucode::UromStats urom;
+  double accelerator_area = 0.0;   // IPs + interfaces
+  double total_area = 0.0;         // + kernel base
+  double total_power = 0.0;
+  std::int64_t software_cycles = 0;
+  std::int64_t guaranteed_cycles = 0;  // software - min-path gain
+  int fsm_states = 0;                  // synthesized hardware controllers
+  double expected_opcode_bits = 0.0;
+  std::string text;                    // rendered report
+};
+
+/// Builds the report for a feasible selection.
+ChipReport generate_report(const select::Flow& flow, const select::Selection& selection,
+                           const ReportOptions& opts = {});
+
+}  // namespace partita::report

@@ -1,0 +1,234 @@
+#include "rtl/verilog.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace partita::rtl {
+
+namespace {
+
+int bits_for_count(std::size_t n) {
+  int bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+/// Strobe wire name for an interface micro-op.
+std::string strobe_name(iface::IfOp op) {
+  std::string s = "do_" + std::string(to_string(op));
+  std::replace(s.begin(), s.end(), '+', '_');
+  return s;
+}
+
+std::string bin(std::uint32_t value, int bits) {
+  std::string out;
+  for (int b = bits - 1; b >= 0; --b) out += ((value >> b) & 1) ? '1' : '0';
+  return out;
+}
+
+}  // namespace
+
+std::string sanitize_identifier(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) out = "m_" + out;
+  return out;
+}
+
+std::string emit_controller(const iface::ControllerFsm& fsm, std::string module_name) {
+  const auto& states = fsm.states();
+  const int state_bits = bits_for_count(states.size() + 1);  // + accept
+  const std::uint32_t accept = fsm.accept_state();
+
+  // Collect the distinct strobes this controller asserts.
+  std::vector<iface::IfOp> strobes;
+  for (const iface::FsmState& st : states) {
+    for (iface::IfOp op : st.ops) {
+      if (std::find(strobes.begin(), strobes.end(), op) == strobes.end()) {
+        strobes.push_back(op);
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "// Auto-generated in/out-controller (" << states.size() << " states, "
+     << fsm.counter_count() << " loop counters)\n";
+  os << "module " << module_name << " (\n";
+  os << "  input  wire clk,\n";
+  os << "  input  wire rst_n,\n";
+  os << "  input  wire start,\n";
+  os << "  output reg  done";
+  for (iface::IfOp op : strobes) {
+    os << ",\n  output reg  " << strobe_name(op);
+  }
+  os << "\n);\n\n";
+
+  os << "  localparam STATE_BITS = " << state_bits << ";\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    os << "  localparam [STATE_BITS-1:0] S" << i << " = " << state_bits << "'d" << i
+       << ";\n";
+  }
+  os << "  localparam [STATE_BITS-1:0] S_DONE = " << state_bits << "'d" << accept
+     << ";\n\n";
+  os << "  reg [STATE_BITS-1:0] state;\n";
+  for (std::size_t c = 0; c < fsm.counter_count(); ++c) {
+    os << "  reg [15:0] cnt" << c << ";\n";
+  }
+  os << '\n';
+
+  // Counter load values come from the instantiating wrapper via parameters.
+  for (std::size_t c = 0; c < fsm.counter_count(); ++c) {
+    os << "  parameter CNT" << c << "_INIT = 16'd0;\n";
+  }
+  os << '\n';
+
+  os << "  always @(posedge clk or negedge rst_n) begin\n";
+  os << "    if (!rst_n) begin\n";
+  os << "      state <= S_DONE;\n      done  <= 1'b1;\n";
+  os << "    end else if (start && state == S_DONE) begin\n";
+  os << "      state <= S0;\n      done  <= 1'b0;\n";
+  for (std::size_t c = 0; c < fsm.counter_count(); ++c) {
+    os << "      cnt" << c << " <= CNT" << c << "_INIT;\n";
+  }
+  os << "    end else begin\n";
+  os << "      case (state)\n";
+
+  // Map loop-tail states to their counters.
+  std::map<std::uint32_t, std::size_t> tail_counter;
+  {
+    std::size_t next_counter = 0;
+    for (const iface::FsmState& st : states) {
+      if (st.loop_tail) tail_counter[st.id] = next_counter++;
+    }
+  }
+
+  for (const iface::FsmState& st : states) {
+    os << "        S" << st.id << ": ";
+    const std::string next = st.next == accept ? std::string("S_DONE")
+                                               : "S" + std::to_string(st.next);
+    if (st.loop_tail) {
+      const std::size_t c = tail_counter.at(st.id);
+      os << "begin\n";
+      os << "          cnt" << c << " <= cnt" << c << " - 16'd1;\n";
+      os << "          if (cnt" << c << " != 16'd1) state <= S" << st.loop_target
+         << "; else state <= " << next << ";\n";
+      os << "        end\n";
+    } else {
+      os << "state <= " << next << ";\n";
+    }
+  }
+  os << "        S_DONE: done <= 1'b1;\n";
+  os << "        default: state <= S_DONE;\n";
+  os << "      endcase\n";
+  os << "    end\n";
+  os << "  end\n\n";
+
+  // Moore strobes.
+  os << "  always @(*) begin\n";
+  for (iface::IfOp op : strobes) {
+    os << "    " << strobe_name(op) << " = 1'b0;\n";
+  }
+  os << "    case (state)\n";
+  for (const iface::FsmState& st : states) {
+    if (st.ops.empty()) continue;
+    os << "      S" << st.id << ": begin";
+    for (iface::IfOp op : st.ops) os << ' ' << strobe_name(op) << " = 1'b1;";
+    os << " end\n";
+  }
+  os << "      default: ;\n";
+  os << "    endcase\n";
+  os << "  end\n\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+std::string emit_urom(const ucode::Urom& urom, std::string module_name) {
+  PARTITA_ASSERT_MSG(urom.optimized(), "emit_urom needs an optimized Urom");
+  const auto& nano = urom.nano_store();
+  const int ptr_bits = bits_for_count(std::max<std::size_t>(nano.size(), 2));
+
+  // Flatten all pointer rows into one micro-store with per-sequence bases.
+  std::vector<std::uint32_t> micro;
+  std::vector<std::pair<std::string, std::uint32_t>> bases;
+  for (std::size_t s = 0; s < urom.sequence_count(); ++s) {
+    bases.emplace_back(urom.sequence_name(s), static_cast<std::uint32_t>(micro.size()));
+    const auto& row = urom.pointer_row(s);
+    micro.insert(micro.end(), row.begin(), row.end());
+  }
+  const int addr_bits = bits_for_count(std::max<std::size_t>(micro.size(), 2));
+
+  std::ostringstream os;
+  os << "// Auto-generated two-level micro-store: " << micro.size()
+     << " micro words -> " << nano.size() << " nano words\n";
+  os << "module " << module_name << " (\n";
+  os << "  input  wire [" << addr_bits - 1 << ":0] uaddr,\n";
+  os << "  output reg  [" << ptr_bits - 1 << ":0] nano_sel\n";
+  os << ");\n\n";
+  for (const auto& [name, base] : bases) {
+    os << "  // " << sanitize_identifier(name) << " starts at " << base << '\n';
+  }
+  os << "\n  always @(*) begin\n    case (uaddr)\n";
+  for (std::size_t a = 0; a < micro.size(); ++a) {
+    os << "      " << addr_bits << "'d" << a << ": nano_sel = " << ptr_bits << "'d"
+       << micro[a] << ";\n";
+  }
+  os << "      default: nano_sel = " << ptr_bits << "'d0;\n";
+  os << "    endcase\n  end\n\n";
+
+  os << "  // nano-store contents (field signatures):\n";
+  for (std::size_t n = 0; n < nano.size(); ++n) {
+    os << "  //   " << n << ": " << nano[n].signature << '\n';
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+std::string emit_decoder(const ucode::InstructionSet& isa, std::string module_name) {
+  int max_bits = 1;
+  for (const ucode::Instruction& i : isa.instructions()) {
+    PARTITA_ASSERT_MSG(i.opcode_bits > 0, "encode() the instruction set first");
+    max_bits = std::max(max_bits, i.opcode_bits);
+  }
+  const std::size_t n = isa.size();
+
+  std::ostringstream os;
+  os << "// Auto-generated instruction decoder: " << n << " instructions, opcodes up to "
+     << max_bits << " bits (canonical Huffman)\n";
+  os << "module " << module_name << " (\n";
+  os << "  input  wire [" << max_bits - 1 << ":0] opcode,\n";
+  os << "  output reg  [" << n - 1 << ":0] select,\n";
+  os << "  output reg  [3:0] length\n";
+  os << ");\n\n";
+  os << "  always @(*) begin\n";
+  os << "    select = " << n << "'d0;\n";
+  os << "    length = 4'd0;\n";
+  os << "    casez (opcode)\n";
+
+  // Sort by opcode length so shorter (higher-priority) codes come first;
+  // casez with z-padded suffixes implements the prefix decode.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return isa.instructions()[a].opcode_bits < isa.instructions()[b].opcode_bits;
+  });
+
+  for (std::size_t idx : order) {
+    const ucode::Instruction& instr = isa.instructions()[idx];
+    std::string pattern = bin(instr.opcode, instr.opcode_bits);
+    pattern += std::string(static_cast<std::size_t>(max_bits - instr.opcode_bits), '?');
+    os << "      " << max_bits << "'b" << pattern << ": begin select["
+       << idx << "] = 1'b1; length = 4'd" << instr.opcode_bits << "; end  // "
+       << sanitize_identifier(instr.name) << '\n';
+  }
+  os << "      default: ;\n";
+  os << "    endcase\n  end\nendmodule\n";
+  return os.str();
+}
+
+}  // namespace partita::rtl

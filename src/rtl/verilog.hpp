@@ -1,0 +1,46 @@
+// Verilog-2001 emission for the generated hardware.
+//
+// Section 2: "After generating instructions we start to generate hardware
+// modules required... the corresponding IP's are integrated with appropriate
+// interfaces. Other necessary hardware modules such as the decoding unit and
+// the fetch unit are also synthesized." This module renders those pieces as
+// readable Verilog:
+//
+//  * emit_controller()  -- the type-2/3 in/out-controller FSM (state
+//    register, counted loops, DMA/buffer strobes, protocol-transformer
+//    hand-off signals);
+//  * emit_urom()        -- the optimized two-level micro-store: a pointer
+//    ROM per instruction plus the shared nano-store, as case statements;
+//  * emit_decoder()     -- the instruction decoder for the Huffman opcode
+//    table (priority casez over the instruction register).
+//
+// The output is structural/behavioral RTL meant for inspection and
+// simulation, mirroring what Partita's back end would hand to synthesis; no
+// vendor flow is assumed.
+#pragma once
+
+#include <string>
+
+#include "iface/fsm.hpp"
+#include "ucode/isa.hpp"
+#include "ucode/urom.hpp"
+
+namespace partita::rtl {
+
+/// Sanitizes an arbitrary name into a Verilog identifier.
+std::string sanitize_identifier(std::string_view name);
+
+/// Verilog module for one hardware interface controller.
+/// `module_name` must be a valid identifier (see sanitize_identifier).
+std::string emit_controller(const iface::ControllerFsm& fsm, std::string module_name);
+
+/// Verilog for the optimized micro-store: nano-store ROM plus per-sequence
+/// pointer ROMs. The Urom must have been optimize()d.
+std::string emit_urom(const ucode::Urom& urom, std::string module_name);
+
+/// Verilog instruction decoder for an encoded InstructionSet: a casez
+/// priority decode of the (variable-length, left-aligned) opcode register
+/// into a one-hot select bus.
+std::string emit_decoder(const ucode::InstructionSet& isa, std::string module_name);
+
+}  // namespace partita::rtl

@@ -1,0 +1,44 @@
+#include "select/accel_lower.hpp"
+
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace partita::select {
+
+AcceleratedLowering lower_accelerated(const ir::Module& module,
+                                      const Selection& selection,
+                                      const isel::ImpDatabase& db) {
+  PARTITA_ASSERT_MSG(selection.feasible, "cannot lower an infeasible selection");
+  AcceleratedLowering out;
+  out.lowered = ir::lower_function(module, module.function(module.entry()));
+
+  // Which call sites become S-instruction dispatches?
+  std::unordered_map<std::uint32_t, bool> dispatch;  // site -> direct (not flattened)
+  for (isel::ImpIndex idx : selection.chosen) {
+    const isel::Imp& imp = db.imps()[idx];
+    dispatch[imp.scall.value()] = !imp.flattened;
+  }
+
+  ir::MopList& mops = out.lowered.mops;
+  for (std::uint32_t i = 0; i < mops.size(); ++i) {
+    ir::Mop& m = mops[ir::MopId{i}];
+    if (m.kind != ir::MopKind::kCall || !m.call_site.valid()) continue;
+    auto it = dispatch.find(m.call_site.value());
+    if (it == dispatch.end()) continue;
+    if (it->second) {
+      m.kind = ir::MopKind::kIpDispatch;
+      ++out.dispatch_mops;
+    } else {
+      ++out.flattened_calls;
+    }
+  }
+
+  // Re-pack: the dispatch occupies the sequencer field exactly like a call,
+  // so the schedule length is unchanged -- asserted, not assumed.
+  const std::size_t cycles = mops.pack_schedule();
+  PARTITA_ASSERT(cycles == out.lowered.schedule_cycles);
+  return out;
+}
+
+}  // namespace partita::select

@@ -1,0 +1,32 @@
+// Accelerated MOP-level lowering.
+//
+// After selection, the kernel's code image changes: every s-call implemented
+// on an IP is fetched as an S-instruction that hands control to the
+// interface (micro-coded for types 0/1, a start strobe for types 2/3)
+// instead of a plain call. This pass produces that final MOP list: the entry
+// function is lowered normally and the kCall micro-operation of each
+// selected, non-flattened s-call is rewritten into kIpDispatch (flattened
+// selections keep the software call -- the acceleration happens inside the
+// callee). The result is what the fetch/decode units of the generated ASIP
+// actually execute, and what print_mops renders for inspection.
+#pragma once
+
+#include "ir/lower.hpp"
+#include "select/selection.hpp"
+
+namespace partita::select {
+
+struct AcceleratedLowering {
+  ir::LoweredFunction lowered;
+  /// Number of call MOPs rewritten into IP dispatches.
+  int dispatch_mops = 0;
+  /// Number of selected s-calls left as software calls (flattened IMPs).
+  int flattened_calls = 0;
+};
+
+/// Lowers the module's entry function under `selection`.
+AcceleratedLowering lower_accelerated(const ir::Module& module,
+                                      const Selection& selection,
+                                      const isel::ImpDatabase& db);
+
+}  // namespace partita::select

@@ -1,0 +1,39 @@
+// Machine-readable selection export (JSON).
+//
+// Downstream tooling (regression dashboards, design-space plots, the RTL
+// flow) wants selections in a structured format rather than the paper-style
+// table. The emitter is hand-rolled -- the schema is small and the project
+// has no external dependencies.
+//
+// Schema:
+//   {
+//     "feasible": true,
+//     "required_gain": 123,            // caller-provided context
+//     "guaranteed_gain": 456,
+//     "area": {"total": 12.5, "ip": 11.0, "interface": 1.5},
+//     "power": {"total": 1.2, "ip": 1.0, "interface": 0.2},
+//     "s_instructions": 2,
+//     "selected_scalls": 3,
+//     "ips": ["IP12", "IP13"],
+//     "imps": [ {"scall": 7, "callee": "win_filter", "ip": "IP12",
+//                "interface": "IF0", "gain": 115037, "gain_per_exec": 13000,
+//                "interface_area": 0.26, "flattened": false,
+//                "parallel_code": 0, "consumed_scalls": []} ]
+//   }
+#pragma once
+
+#include <string>
+
+#include "select/selection.hpp"
+
+namespace partita::select {
+
+/// Serializes a selection (feasible or not). `required_gain` is echoed into
+/// the output for context.
+std::string to_json(const Selection& sel, const isel::ImpDatabase& db,
+                    const iplib::IpLibrary& lib, std::int64_t required_gain);
+
+/// Escapes a string for inclusion in JSON output.
+std::string json_escape(std::string_view s);
+
+}  // namespace partita::select

@@ -1,0 +1,36 @@
+#include "select/flow.hpp"
+
+#include "ir/verify.hpp"
+#include "isel/scall.hpp"
+#include "support/assert.hpp"
+
+namespace partita::select {
+
+Flow::Flow(const ir::Module& module, const iplib::IpLibrary& library,
+           const isel::EnumerateOptions& opts)
+    : module_(&module), library_(&library) {
+  support::DiagnosticEngine diags;
+  if (!ir::verify_module(module, diags)) {
+    std::fprintf(stderr, "flow: module does not verify:\n%s", diags.render_all().c_str());
+    PARTITA_ASSERT_MSG(false, "Flow requires a verified module");
+  }
+
+  profile_ = profile::profile_module(module);
+
+  entry_cdfg_ = std::make_unique<cdfg::Cdfg>(module, module.function(module.entry()));
+  entry_cdfg_->annotate_call_cycles(
+      [this](ir::FuncId f) { return profile_.cycles_of(f); });
+  paths_ = cdfg::enumerate_paths(*entry_cdfg_);
+
+  const std::vector<isel::SCall> scalls =
+      isel::find_scalls(module, profile_, library, *entry_cdfg_);
+  db_ = std::make_unique<isel::ImpDatabase>(module, profile_, library, *entry_cdfg_,
+                                            paths_, scalls, opts);
+  selector_ = std::make_unique<Selector>(*db_, library, *entry_cdfg_, paths_);
+}
+
+std::int64_t Flow::max_feasible_gain(const SelectOptions& opt) const {
+  return selector_->max_feasible_gain(opt);
+}
+
+}  // namespace partita::select

@@ -1,0 +1,62 @@
+// End-to-end flow facade.
+//
+// Owns every analysis stage between a parsed module + IP library and the
+// selector: profile, entry-function CDFG (with call cycles annotated),
+// execution paths, s-call discovery and the IMP database. Benches, examples
+// and integration tests all drive this one object instead of wiring the
+// stages by hand.
+#pragma once
+
+#include <memory>
+
+#include "isel/enumerate.hpp"
+#include "select/greedy.hpp"
+#include "select/selector.hpp"
+
+namespace partita::select {
+
+class Flow {
+ public:
+  /// The module must verify cleanly (asserted). References must outlive the
+  /// Flow.
+  Flow(const ir::Module& module, const iplib::IpLibrary& library,
+       const isel::EnumerateOptions& opts = {});
+
+  const ir::Module& module() const { return *module_; }
+  const iplib::IpLibrary& library() const { return *library_; }
+  const profile::ModuleProfile& profile() const { return profile_; }
+  const cdfg::Cdfg& entry_cdfg() const { return *entry_cdfg_; }
+  const std::vector<cdfg::ExecPath>& paths() const { return paths_; }
+  const std::vector<isel::SCall>& scalls() const { return db_->scalls(); }
+  const isel::ImpDatabase& imp_database() const { return *db_; }
+  const Selector& selector() const { return *selector_; }
+
+  /// Optimal selection with uniform required gain.
+  Selection select(std::int64_t required_gain, const SelectOptions& opt = {}) const {
+    return selector_->select(required_gain, opt);
+  }
+
+  Selection greedy(std::int64_t required_gain) const {
+    return greedy_select(*db_, *library_, *entry_cdfg_, paths_, required_gain);
+  }
+
+  Selection prior_art(std::int64_t required_gain) const {
+    return prior_art_select(*db_, *library_, *entry_cdfg_, paths_, required_gain);
+  }
+
+  /// Largest uniform required gain that is still feasible: maximizes the
+  /// minimum per-path gain subject to the same constraint system (one ILP
+  /// solve with an auxiliary continuous variable).
+  std::int64_t max_feasible_gain(const SelectOptions& opt = {}) const;
+
+ private:
+  const ir::Module* module_;
+  const iplib::IpLibrary* library_;
+  profile::ModuleProfile profile_;
+  std::unique_ptr<cdfg::Cdfg> entry_cdfg_;
+  std::vector<cdfg::ExecPath> paths_;
+  std::unique_ptr<isel::ImpDatabase> db_;
+  std::unique_ptr<Selector> selector_;
+};
+
+}  // namespace partita::select

@@ -1,0 +1,79 @@
+#include "select/selection.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace partita::select {
+
+std::int64_t path_gain(const std::vector<isel::ImpIndex>& chosen,
+                       const isel::ImpDatabase& db, const cdfg::Cdfg& entry_cdfg,
+                       const cdfg::ExecPath& path) {
+  std::int64_t g = 0;
+  for (isel::ImpIndex idx : chosen) {
+    const isel::Imp& imp = db.imps()[idx];
+    const isel::SCall* sc = db.scall_of(imp.scall);
+    if (!sc || sc->node == cdfg::kInvalidNode) continue;
+    if (!path.contains(sc->node)) continue;
+    g += imp.gain_per_exec * entry_cdfg.node(sc->node).loop_frequency;
+  }
+  return g;
+}
+
+Selection decode_selection(const std::vector<isel::ImpIndex>& chosen,
+                           const isel::ImpDatabase& db, const iplib::IpLibrary& lib,
+                           const cdfg::Cdfg& entry_cdfg,
+                           const std::vector<cdfg::ExecPath>& paths) {
+  Selection sel;
+  sel.feasible = true;
+  sel.chosen = chosen;
+  std::sort(sel.chosen.begin(), sel.chosen.end(),
+            [&](isel::ImpIndex a, isel::ImpIndex b) {
+              return db.imps()[a].scall < db.imps()[b].scall;
+            });
+
+  std::vector<std::pair<std::uint32_t, int>> s_instr;  // (ip, iface) pairs
+  for (isel::ImpIndex idx : sel.chosen) {
+    const isel::Imp& imp = db.imps()[idx];
+    if (std::find(sel.ips_used.begin(), sel.ips_used.end(), imp.ip) ==
+        sel.ips_used.end()) {
+      sel.ips_used.push_back(imp.ip);
+      sel.ip_area += lib.ip(imp.ip).area;
+      sel.ip_power += lib.ip(imp.ip).power;
+    }
+    sel.interface_area += imp.interface_area;
+    sel.interface_power += imp.interface_power;
+    const std::pair<std::uint32_t, int> key{imp.ip.value,
+                                            static_cast<int>(imp.iface_type)};
+    if (std::find(s_instr.begin(), s_instr.end(), key) == s_instr.end()) {
+      s_instr.push_back(key);
+    }
+  }
+  sel.s_instructions = static_cast<int>(s_instr.size());
+  sel.selected_scalls = static_cast<int>(sel.chosen.size());
+
+  sel.min_path_gain = std::numeric_limits<std::int64_t>::max();
+  for (const cdfg::ExecPath& p : paths) {
+    sel.min_path_gain = std::min(sel.min_path_gain, path_gain(sel.chosen, db, entry_cdfg, p));
+  }
+  if (paths.empty()) sel.min_path_gain = 0;
+  return sel;
+}
+
+std::string Selection::describe(const isel::ImpDatabase& db,
+                                const iplib::IpLibrary& lib) const {
+  if (!feasible) return "(infeasible)";
+  std::ostringstream os;
+  bool first = true;
+  for (isel::ImpIndex idx : chosen) {
+    const isel::Imp& imp = db.imps()[idx];
+    if (!first) os << ", ";
+    first = false;
+    os << "SC" << imp.scall.value() << ":" << imp.cell(lib);
+  }
+  return os.str();
+}
+
+}  // namespace partita::select

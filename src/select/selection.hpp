@@ -1,0 +1,67 @@
+// Selection results: the decoded solution of the optimal S-instruction
+// generation problem, in the shape of the paper's result tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cdfg/paths.hpp"
+#include "isel/enumerate.hpp"
+
+namespace partita::select {
+
+/// The decoded outcome of one selection run (one RG row of Tables 1-3).
+struct Selection {
+  bool feasible = false;
+
+  /// Indices into the IMP database of the selected IMPs, one per implemented
+  /// s-call, ordered by s-call id.
+  std::vector<isel::ImpIndex> chosen;
+
+  /// Distinct IPs instantiated and their summed area (each counted once).
+  std::vector<iplib::IpId> ips_used;
+  double ip_area = 0.0;
+  /// Summed interface area of the selected IMPs (c_ij).
+  double interface_area = 0.0;
+  double total_area() const { return ip_area + interface_area; }
+
+  /// Power of the accelerator subsystem: distinct IPs (once each) plus the
+  /// selected interfaces.
+  double ip_power = 0.0;
+  double interface_power = 0.0;
+  double total_power() const { return ip_power + interface_power; }
+
+  /// Number of S-instructions after merging: s-calls implemented with the
+  /// same IP and the same interface type share one S-instruction (column S).
+  int s_instructions = 0;
+  /// Number of s-calls implemented with IPs (column O).
+  int selected_scalls = 0;
+
+  /// Guaranteed gain: the minimum over all execution paths of the achieved
+  /// gain (column G is reported against this).
+  std::int64_t min_path_gain = 0;
+
+  /// Solver statistics.
+  int ilp_nodes = 0;
+  int lp_iterations = 0;
+
+  /// "SC13: IP12,IF0,115037,3"-style summary, paper notation.
+  std::string describe(const isel::ImpDatabase& db, const iplib::IpLibrary& lib) const;
+};
+
+/// Computes the derived fields (areas, S, O, min-path gain) for a set of
+/// chosen IMPs. Used by both the ILP selector and the baselines.
+Selection decode_selection(const std::vector<isel::ImpIndex>& chosen,
+                           const isel::ImpDatabase& db, const iplib::IpLibrary& lib,
+                           const cdfg::Cdfg& entry_cdfg,
+                           const std::vector<cdfg::ExecPath>& paths);
+
+/// Achieved gain of a chosen IMP set on one execution path: the sum of
+/// per-execution gains times the loop frequency of each s-call node on the
+/// path.
+std::int64_t path_gain(const std::vector<isel::ImpIndex>& chosen,
+                       const isel::ImpDatabase& db, const cdfg::Cdfg& entry_cdfg,
+                       const cdfg::ExecPath& path);
+
+}  // namespace partita::select

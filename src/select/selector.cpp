@@ -1,0 +1,235 @@
+#include "select/selector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "support/assert.hpp"
+
+namespace partita::select {
+
+namespace {
+
+/// Signature used by Problem 1's "same function => same implementation"
+/// coupling: what the paper calls implementing two s-calls "in the same way".
+struct ImplSignature {
+  std::uint32_t ip;
+  int iface;
+  bool operator<(const ImplSignature& o) const {
+    return ip != o.ip ? ip < o.ip : iface < o.iface;
+  }
+};
+
+ImplSignature signature_of(const isel::Imp& imp) {
+  return {imp.ip.value, static_cast<int>(imp.iface_type)};
+}
+
+}  // namespace
+
+ilp::Model Selector::build_model(const std::vector<std::int64_t>& required_gains,
+                                 const SelectOptions& opt) const {
+  PARTITA_ASSERT(required_gains.size() == paths_.size());
+  const std::vector<isel::Imp>& imps = db_.imps();
+
+  ilp::Model m;
+  m.set_sense(ilp::Sense::kMinimize);
+
+  // --- x_ij ------------------------------------------------------------
+  std::vector<ilp::VarIndex> x(imps.size());
+  for (std::size_t j = 0; j < imps.size(); ++j) {
+    x[j] = m.add_binary("x_sc" + std::to_string(imps[j].scall.value()) + "_imp" +
+                            std::to_string(j),
+                        imps[j].interface_area);
+    if (!opt.problem2 && imps[j].pc_use == isel::PcUse::kWithScallSw) {
+      // Problem 1 forbids s-call software inside a PC.
+      m.var(x[j]).upper = 0.0;
+    }
+    if (opt.imp_filter && !opt.imp_filter(imps[j])) {
+      m.var(x[j]).upper = 0.0;
+    }
+  }
+
+  // --- z_k (fixed charge per IP actually used) --------------------------
+  std::map<std::uint32_t, ilp::VarIndex> z;
+  for (const isel::Imp& imp : imps) {
+    if (!z.count(imp.ip.value)) {
+      z[imp.ip.value] =
+          m.add_binary("z_" + lib_.ip(imp.ip).name, lib_.ip(imp.ip).area);
+    }
+  }
+
+  // --- Eq. 1: at most one IMP per s-call --------------------------------
+  for (const isel::SCall& sc : db_.scalls()) {
+    std::vector<ilp::Term> terms;
+    for (isel::ImpIndex j : db_.imps_for(sc.site)) terms.push_back({x[j], 1.0});
+    if (!terms.empty()) {
+      m.add_row("one_imp_sc" + std::to_string(sc.site.value()), std::move(terms),
+                ilp::RowSense::kLessEqual, 1.0);
+    }
+  }
+
+  // --- Eq. 2: per-path required gain -------------------------------------
+  for (std::size_t p = 0; p < paths_.size(); ++p) {
+    if (required_gains[p] <= 0) continue;
+    std::vector<ilp::Term> terms;
+    for (std::size_t j = 0; j < imps.size(); ++j) {
+      const isel::SCall* sc = db_.scall_of(imps[j].scall);
+      if (!sc || sc->node == cdfg::kInvalidNode || !paths_[p].contains(sc->node)) continue;
+      const double coeff = static_cast<double>(imps[j].gain_per_exec) *
+                           static_cast<double>(entry_cdfg_.node(sc->node).loop_frequency);
+      terms.push_back({x[j], coeff});
+    }
+    m.add_row("gain_path" + std::to_string(p), std::move(terms),
+              ilp::RowSense::kGreaterEqual, static_cast<double>(required_gains[p]));
+  }
+
+  // --- fixed charge: IP area counted once --------------------------------
+  // M is the number of IMPs that could possibly use the IP -- the tightest
+  // valid constant, which keeps the LP relaxation strong.
+  for (const auto& [ip_raw, zvar] : z) {
+    std::vector<ilp::Term> terms;
+    for (std::size_t j = 0; j < imps.size(); ++j) {
+      if (imps[j].ip.value == ip_raw) terms.push_back({x[j], 1.0});
+    }
+    const double big_m = static_cast<double>(terms.size());
+    terms.push_back({zvar, -big_m});
+    m.add_row("fc_ip" + std::to_string(ip_raw), std::move(terms),
+              ilp::RowSense::kLessEqual, 0.0);
+  }
+
+  // --- optional power budget ---------------------------------------------
+  if (opt.max_power) {
+    std::vector<ilp::Term> terms;
+    for (std::size_t j = 0; j < imps.size(); ++j) {
+      if (imps[j].interface_power > 0) terms.push_back({x[j], imps[j].interface_power});
+    }
+    for (const auto& [ip_raw, zvar] : z) {
+      const double p = lib_.ip(iplib::IpId{ip_raw}).power;
+      if (p > 0) terms.push_back({zvar, p});
+    }
+    m.add_row("power_budget", std::move(terms), ilp::RowSense::kLessEqual, *opt.max_power);
+  }
+
+  // --- Problem 1: same function => same implementation -------------------
+  if (!opt.problem2) {
+    const auto& scalls = db_.scalls();
+    for (std::size_t a = 0; a < scalls.size(); ++a) {
+      for (std::size_t b = a + 1; b < scalls.size(); ++b) {
+        if (scalls[a].callee != scalls[b].callee) continue;
+        // For every implementation signature, both s-calls commit equally.
+        std::map<ImplSignature, std::pair<std::vector<ilp::Term>, std::vector<ilp::Term>>>
+            by_sig;
+        for (isel::ImpIndex j : db_.imps_for(scalls[a].site)) {
+          by_sig[signature_of(db_.imps()[j])].first.push_back({x[j], 1.0});
+        }
+        for (isel::ImpIndex j : db_.imps_for(scalls[b].site)) {
+          by_sig[signature_of(db_.imps()[j])].second.push_back({x[j], 1.0});
+        }
+        int sig_idx = 0;
+        for (auto& [sig, pair] : by_sig) {
+          std::vector<ilp::Term> terms = pair.first;
+          for (ilp::Term t : pair.second) terms.push_back({t.var, -1.0});
+          m.add_row("p1_sc" + std::to_string(scalls[a].site.value()) + "_sc" +
+                        std::to_string(scalls[b].site.value()) + "_" +
+                        std::to_string(sig_idx++),
+                    std::move(terms), ilp::RowSense::kEqual, 0.0);
+        }
+      }
+    }
+  }
+
+  // --- SC-PC conflicts (Problem 2 selection rule) -------------------------
+  // Aggregated form: selecting IMP-A (whose PC absorbs SC_m's software)
+  // excludes every IMP of SC_m at once:  x_A + sum_j x_mj <= 1. Equivalent
+  // to the pairwise rule but one row per (A, SC_m) and a tighter relaxation.
+  if (opt.problem2) {
+    for (std::size_t a = 0; a < imps.size(); ++a) {
+      for (ir::CallSiteId consumed : imps[a].pc_consumed_scalls) {
+        std::vector<ilp::Term> terms{{x[a], 1.0}};
+        for (isel::ImpIndex b : db_.imps_for(consumed)) terms.push_back({x[b], 1.0});
+        if (terms.size() > 1) {
+          m.add_row("scpc_" + std::to_string(a) + "_sc" +
+                        std::to_string(consumed.value()),
+                    std::move(terms), ilp::RowSense::kLessEqual, 1.0);
+        }
+      }
+    }
+  }
+
+  return m;
+}
+
+Selection Selector::select_per_path(const std::vector<std::int64_t>& required_gains,
+                                    const SelectOptions& opt) const {
+  const ilp::Model m = build_model(required_gains, opt);
+  const ilp::IlpResult r = ilp::solve_ilp(m, opt.ilp);
+
+  Selection sel;
+  sel.ilp_nodes = r.nodes_explored;
+  sel.lp_iterations = r.lp_iterations;
+  if (!r.has_solution) {
+    sel.feasible = false;
+    return sel;
+  }
+
+  std::vector<isel::ImpIndex> chosen;
+  for (std::size_t j = 0; j < db_.imps().size(); ++j) {
+    if (r.x[j] > 0.5) chosen.push_back(static_cast<isel::ImpIndex>(j));
+  }
+  Selection out = decode_selection(chosen, db_, lib_, entry_cdfg_, paths_);
+  out.ilp_nodes = r.nodes_explored;
+  out.lp_iterations = r.lp_iterations;
+  return out;
+}
+
+Selection Selector::select(std::int64_t required_gain, const SelectOptions& opt) const {
+  return select_per_path(
+      std::vector<std::int64_t>(paths_.size(), required_gain), opt);
+}
+
+std::int64_t Selector::max_feasible_gain(const SelectOptions& opt) const {
+  // Base model with a token requirement of 1 so every path row materializes.
+  ilp::Model m = build_model(std::vector<std::int64_t>(paths_.size(), 1), opt);
+
+  // Upper bound for G_min: everything selected at once (ignoring conflicts).
+  double ub = 1.0;
+  for (const isel::Imp& imp : db_.imps()) {
+    ub += static_cast<double>(std::max<std::int64_t>(imp.gain, imp.gain_per_exec)) *
+          1024.0;  // generous headroom for loop frequencies
+  }
+
+  m.set_sense(ilp::Sense::kMaximize);
+  for (std::size_t v = 0; v < m.var_count(); ++v) {
+    m.var(static_cast<ilp::VarIndex>(v)).objective = 0.0;  // area is irrelevant here
+  }
+  const ilp::VarIndex gmin = m.add_continuous("G_min", 0.0, ub, 1.0);
+
+  // Rebuild the gain rows as  sum(gains) - G_min >= 0.
+  ilp::Model m2;
+  m2.set_sense(ilp::Sense::kMaximize);
+  for (std::size_t v = 0; v < m.var_count(); ++v) {
+    const ilp::Variable& var = m.var(static_cast<ilp::VarIndex>(v));
+    if (var.kind == ilp::VarKind::kBinary) {
+      const ilp::VarIndex nv = m2.add_binary(var.name, var.objective);
+      m2.var(nv).upper = var.upper;  // preserve filter-forced zeros
+    } else {
+      m2.add_continuous(var.name, var.lower, var.upper, var.objective);
+    }
+  }
+  for (const ilp::Row& row : m.rows()) {
+    if (row.name.rfind("gain_path", 0) == 0) {
+      std::vector<ilp::Term> terms = row.terms;
+      terms.push_back({gmin, -1.0});
+      m2.add_row(row.name, std::move(terms), ilp::RowSense::kGreaterEqual, 0.0);
+    } else {
+      m2.add_row(row.name, row.terms, row.sense, row.rhs);
+    }
+  }
+
+  const ilp::IlpResult r = ilp::solve_ilp(m2, opt.ilp);
+  if (!r.has_solution) return 0;
+  return static_cast<std::int64_t>(r.objective);
+}
+
+}  // namespace partita::select

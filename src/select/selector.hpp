@@ -1,0 +1,71 @@
+// The optimal S-instruction generation problem as a 0/1 ILP (Section 4).
+//
+// Decision variables:
+//   x_ij = 1 iff IMP_ij implements SC_i   (one binary per database IMP)
+//   z_k  = 1 iff IP k is instantiated     (fixed-charge)
+//
+// Constraints:
+//   Eq. 1   sum_j x_ij <= 1                       per s-call
+//   Eq. 2   sum_{SC_i on P_k} sum_j g^k_ij x_ij >= T_k   per execution path,
+//           where g^k_ij = gain_per_exec(IMP_ij) * loop frequency of SC_i
+//   FC      sum_{ij : s_ijk=1} x_ij <= M z_k      fixed charge, M = |IMPs|
+//   P1      x_iA = x_jB for matching IMPs of s-calls to the same function
+//           (Problem 1 only: same function => same implementation)
+//   SC-PC   x_A + x_B <= 1 when IMP-A's parallel code contains SC_m's
+//           software body and IMP-B implements SC_m (Problem 2)
+//
+// Objective: minimize  sum_k a_k z_k + sum_ij c_ij x_ij   (Eq. 3)
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ilp/branch_bound.hpp"
+#include "select/selection.hpp"
+
+namespace partita::select {
+
+struct SelectOptions {
+  /// Problem 2 (default): s-calls to the same function may differ, SC-PC
+  /// conflict rows enforce the selection rule. Problem 1: same function =>
+  /// same implementation, PC-with-software-s-call IMPs are excluded.
+  bool problem2 = true;
+  /// Optional IMP filter: rejected IMPs are forced to 0 (used by the
+  /// prior-art baseline and the interface ablations).
+  std::function<bool(const isel::Imp&)> imp_filter;
+  /// Optional power budget: sum of IP power (once per instantiated IP) and
+  /// interface power of the selected IMPs must stay below this.
+  std::optional<double> max_power;
+  ilp::IlpOptions ilp;
+};
+
+class Selector {
+ public:
+  Selector(const isel::ImpDatabase& db, const iplib::IpLibrary& lib,
+           const cdfg::Cdfg& entry_cdfg, const std::vector<cdfg::ExecPath>& paths)
+      : db_(db), lib_(lib), entry_cdfg_(entry_cdfg), paths_(paths) {}
+
+  /// Solves with the same required gain T_k = required_gain on every path.
+  Selection select(std::int64_t required_gain, const SelectOptions& opt = {}) const;
+
+  /// Solves with per-path required gains (size must match the path list).
+  Selection select_per_path(const std::vector<std::int64_t>& required_gains,
+                            const SelectOptions& opt = {}) const;
+
+  /// Exposes the built ILP (for tests and debugging dumps).
+  ilp::Model build_model(const std::vector<std::int64_t>& required_gains,
+                         const SelectOptions& opt) const;
+
+  /// The largest uniform required gain that stays feasible: maximizes an
+  /// auxiliary G_min variable with  sum(path gains) >= G_min  on every path,
+  /// under the full constraint system. Returns 0 when no IMP exists.
+  std::int64_t max_feasible_gain(const SelectOptions& opt = {}) const;
+
+ private:
+  const isel::ImpDatabase& db_;
+  const iplib::IpLibrary& lib_;
+  const cdfg::Cdfg& entry_cdfg_;
+  const std::vector<cdfg::ExecPath>& paths_;
+};
+
+}  // namespace partita::select

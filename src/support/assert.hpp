@@ -1,0 +1,31 @@
+// Lightweight assertion macros for internal invariants.
+//
+// PARTITA_ASSERT is active in all build types (the library is an offline
+// design tool; correctness beats the last few percent of speed), and prints
+// the failing expression together with an optional message before aborting.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace partita::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "partita: assertion `%s` failed at %s:%d%s%s\n", expr, file, line,
+               msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace partita::support
+
+#define PARTITA_ASSERT(expr)                                                      \
+  ((expr) ? static_cast<void>(0)                                                  \
+          : ::partita::support::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define PARTITA_ASSERT_MSG(expr, msg)                                             \
+  ((expr) ? static_cast<void>(0)                                                  \
+          : ::partita::support::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#define PARTITA_UNREACHABLE(msg)                                                  \
+  ::partita::support::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,57 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace partita::support {
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render() const {
+  std::ostringstream os;
+  os << to_string(severity);
+  if (loc.valid()) {
+    os << " at " << loc.line << ':' << loc.column;
+  }
+  os << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::note(std::string message, SourceLoc loc) {
+  diags_.push_back({Severity::kNote, std::move(message), loc});
+}
+
+void DiagnosticEngine::warning(std::string message, SourceLoc loc) {
+  diags_.push_back({Severity::kWarning, std::move(message), loc});
+  ++warning_count_;
+}
+
+void DiagnosticEngine::error(std::string message, SourceLoc loc) {
+  diags_.push_back({Severity::kError, std::move(message), loc});
+  ++error_count_;
+}
+
+std::string DiagnosticEngine::render_all() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << d.render() << '\n';
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+  warning_count_ = 0;
+}
+
+}  // namespace partita::support

@@ -1,0 +1,70 @@
+// Diagnostic reporting for the Partita tool chain.
+//
+// Front-end and analysis passes do not throw on user-input errors; they emit
+// Diagnostics into a DiagnosticEngine so a driver can report *all* problems in
+// one run (the usual compiler UX). Internal invariant violations still use
+// PARTITA_ASSERT.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace partita::support {
+
+/// Severity of a diagnostic message.
+enum class Severity : std::uint8_t {
+  kNote,
+  kWarning,
+  kError,
+};
+
+/// Converts a severity to its display name ("note", "warning", "error").
+std::string_view to_string(Severity s);
+
+/// A location inside a kernel-language source buffer (1-based line/column).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  bool valid() const { return line != 0; }
+  bool operator==(const SourceLoc&) const = default;
+};
+
+/// One diagnostic message, optionally attached to a source location.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceLoc loc;
+
+  /// Renders as "error at 3:7: message" or "error: message".
+  std::string render() const;
+};
+
+/// Collects diagnostics emitted by a pass; cheap to pass by reference.
+class DiagnosticEngine {
+ public:
+  void note(std::string message, SourceLoc loc = {});
+  void warning(std::string message, SourceLoc loc = {});
+  void error(std::string message, SourceLoc loc = {});
+
+  bool has_errors() const { return error_count_ > 0; }
+  std::size_t error_count() const { return error_count_; }
+  std::size_t warning_count() const { return warning_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// Renders every diagnostic, one per line.
+  std::string render_all() const;
+
+  /// Drops all collected diagnostics and resets the counters.
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+  std::size_t warning_count_ = 0;
+};
+
+}  // namespace partita::support

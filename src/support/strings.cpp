@@ -1,0 +1,104 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace partita::support {
+
+namespace {
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && is_space(s[b])) ++b;
+  std::size_t e = s.size();
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool is_integer(std::string_view s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-') ? 1 : 0;
+  if (i == s.size()) return false;
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+bool parse_int(std::string_view s, std::int64_t& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  // std::from_chars for double is unreliable across toolchains; use strtod on
+  // a NUL-terminated copy.
+  std::string buf(s);
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtod(buf.c_str(), &end);
+  return errno == 0 && end == buf.c_str() + buf.size();
+}
+
+std::string with_commas(std::int64_t n) {
+  const bool neg = n < 0;
+  std::string digits = std::to_string(neg ? -n : n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+std::string compact_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace partita::support

@@ -1,0 +1,63 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace partita::support {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  PARTITA_ASSERT(!header_.empty());
+  align_.assign(header_.size(), Align::kLeft);
+}
+
+void TextTable::set_alignment(std::vector<Align> align) {
+  PARTITA_ASSERT(align.size() == header_.size());
+  align_ = std::move(align);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PARTITA_ASSERT_MSG(row.size() == header_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::ostringstream& os, const std::string& cell, std::size_t c) {
+    const std::size_t pad = width[c] - cell.size();
+    if (align_[c] == Align::kRight) os << std::string(pad, ' ') << cell;
+    else os << cell << std::string(pad, ' ');
+  };
+
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << " | ";
+    emit_cell(os, header_[c], c);
+  }
+  os << '\n';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << "-+-";
+    os << std::string(width[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << " | ";
+      emit_cell(os, row[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace partita::support

@@ -1,0 +1,42 @@
+// ASCII table renderer used by the benchmark harness to print paper-style
+// result tables (Tables 1-3 of the DAC'99 paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace partita::support {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Builds fixed-width ASCII tables:
+///
+///   TextTable t({"RG", "G", "A"});
+///   t.add_row({"47740", "115037", "3"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Sets per-column alignment; default is left for all columns.
+  void set_alignment(std::vector<Align> align);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   RG     | G      | A
+  ///   -------+--------+---
+  ///   47740  | 115037 | 3
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace partita::support

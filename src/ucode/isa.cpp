@@ -1,0 +1,226 @@
+#include "ucode/isa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+
+#include "ir/mop.hpp"
+#include "support/assert.hpp"
+
+namespace partita::ucode {
+
+std::string_view to_string(InstrClass c) {
+  switch (c) {
+    case InstrClass::kP:
+      return "P";
+    case InstrClass::kC:
+      return "C";
+    case InstrClass::kS:
+      return "S";
+  }
+  return "?";
+}
+
+namespace {
+
+// One primitive instruction per directly-executed MopKind (IpDispatch is
+// S-class by definition; Nop is the implicit filler).
+constexpr ir::MopKind kPrimitives[] = {
+    ir::MopKind::kAdd,    ir::MopKind::kSub,    ir::MopKind::kMul,
+    ir::MopKind::kMac,    ir::MopKind::kShift,  ir::MopKind::kAnd,
+    ir::MopKind::kOr,     ir::MopKind::kXor,    ir::MopKind::kCmp,
+    ir::MopKind::kMove,   ir::MopKind::kConst,  ir::MopKind::kLoad,
+    ir::MopKind::kStore,  ir::MopKind::kAguAdd, ir::MopKind::kBranch,
+    ir::MopKind::kBranchIf, ir::MopKind::kCall, ir::MopKind::kReturn,
+};
+
+}  // namespace
+
+void InstructionSet::seed_p_class(double base_frequency) {
+  for (ir::MopKind k : kPrimitives) {
+    Instruction instr;
+    instr.name = std::string(ir::to_string(k));
+    instr.cls = InstrClass::kP;
+    instr.frequency = base_frequency;
+    instr.urom_words = 1;
+    instrs_.push_back(std::move(instr));
+  }
+  encoded_ = false;
+}
+
+void InstructionSet::seed_p_class_weighted(const std::vector<double>& kind_frequency,
+                                           double fallback) {
+  for (ir::MopKind k : kPrimitives) {
+    Instruction instr;
+    instr.name = std::string(ir::to_string(k));
+    instr.cls = InstrClass::kP;
+    const auto idx = static_cast<std::size_t>(k);
+    instr.frequency =
+        idx < kind_frequency.size() && kind_frequency[idx] > 0 ? kind_frequency[idx]
+                                                               : fallback;
+    instr.urom_words = 1;
+    instrs_.push_back(std::move(instr));
+  }
+  encoded_ = false;
+}
+
+std::size_t InstructionSet::add(Instruction instr) {
+  instrs_.push_back(std::move(instr));
+  encoded_ = false;
+  return instrs_.size() - 1;
+}
+
+std::size_t InstructionSet::count_of(InstrClass c) const {
+  return static_cast<std::size_t>(
+      std::count_if(instrs_.begin(), instrs_.end(),
+                    [&](const Instruction& i) { return i.cls == c; }));
+}
+
+int InstructionSet::fixed_opcode_bits() const {
+  if (instrs_.size() <= 1) return 1;
+  int bits = 0;
+  std::size_t cap = 1;
+  while (cap < instrs_.size()) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+void InstructionSet::encode() {
+  PARTITA_ASSERT_MSG(!instrs_.empty(), "cannot encode an empty instruction set");
+
+  if (instrs_.size() == 1) {
+    instrs_[0].opcode = 0;
+    instrs_[0].opcode_bits = 1;
+    encoded_ = true;
+    return;
+  }
+
+  // --- Huffman over frequencies ------------------------------------------
+  struct Node {
+    double weight;
+    int id;          // tie-break: lower id first (deterministic)
+    int left = -1;   // children into the node arena; -1 for leaves
+    int right = -1;
+    int instr = -1;  // leaf: instruction index
+  };
+  std::vector<Node> arena;
+  auto cmp = [&](int a, int b) {
+    if (arena[a].weight != arena[b].weight) return arena[a].weight > arena[b].weight;
+    return arena[a].id > arena[b].id;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+  int next_id = 0;
+  for (std::size_t i = 0; i < instrs_.size(); ++i) {
+    Node leaf;
+    leaf.weight = std::max(instrs_[i].frequency, 1e-9);
+    leaf.id = next_id++;
+    leaf.instr = static_cast<int>(i);
+    arena.push_back(leaf);
+    heap.push(static_cast<int>(arena.size() - 1));
+  }
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    Node parent;
+    parent.weight = arena[a].weight + arena[b].weight;
+    parent.id = next_id++;
+    parent.left = a;
+    parent.right = b;
+    arena.push_back(parent);
+    heap.push(static_cast<int>(arena.size() - 1));
+  }
+
+  // Depth of each leaf = code length.
+  std::vector<int> lengths(instrs_.size(), 0);
+  struct Frame {
+    int node;
+    int depth;
+  };
+  std::vector<Frame> stack{{static_cast<int>(arena.size() - 1), 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& n = arena[f.node];
+    if (n.instr >= 0) {
+      lengths[static_cast<std::size_t>(n.instr)] = std::max(f.depth, 1);
+      continue;
+    }
+    stack.push_back({n.left, f.depth + 1});
+    stack.push_back({n.right, f.depth + 1});
+  }
+
+  // --- canonical code assignment -----------------------------------------
+  std::vector<std::size_t> order(instrs_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (std::size_t idx : order) {
+    code <<= (lengths[idx] - prev_len);
+    instrs_[idx].opcode = code;
+    instrs_[idx].opcode_bits = lengths[idx];
+    prev_len = lengths[idx];
+    ++code;
+  }
+  encoded_ = true;
+  PARTITA_ASSERT(codes_are_prefix_free());
+}
+
+double InstructionSet::expected_opcode_bits() const {
+  PARTITA_ASSERT_MSG(encoded_, "encode() first");
+  double total_w = 0, total_bits = 0;
+  for (const Instruction& i : instrs_) {
+    const double w = std::max(i.frequency, 1e-9);
+    total_w += w;
+    total_bits += w * i.opcode_bits;
+  }
+  return total_w > 0 ? total_bits / total_w : 0.0;
+}
+
+bool InstructionSet::codes_are_prefix_free() const {
+  // Kraft sum == 1 for a complete prefix code, <= 1 for any prefix code;
+  // additionally no code may prefix another.
+  double kraft = 0;
+  for (const Instruction& i : instrs_) {
+    if (i.opcode_bits <= 0) return false;
+    kraft += std::ldexp(1.0, -i.opcode_bits);
+  }
+  if (kraft > 1.0 + 1e-9) return false;
+  for (std::size_t a = 0; a < instrs_.size(); ++a) {
+    for (std::size_t b = 0; b < instrs_.size(); ++b) {
+      if (a == b) continue;
+      const Instruction& s = instrs_[a];  // candidate prefix
+      const Instruction& l = instrs_[b];
+      if (s.opcode_bits <= l.opcode_bits &&
+          (l.opcode >> (l.opcode_bits - s.opcode_bits)) == s.opcode) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string InstructionSet::dump() const {
+  std::ostringstream os;
+  for (const Instruction& i : instrs_) {
+    os << to_string(i.cls) << " | " << i.name << " | freq " << i.frequency << " | "
+       << i.urom_words << " words";
+    if (encoded_) {
+      os << " | opcode ";
+      for (int b = i.opcode_bits - 1; b >= 0; --b) os << ((i.opcode >> b) & 1);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace partita::ucode

@@ -1,0 +1,93 @@
+// Instruction-set assembly and encoding.
+//
+// Section 2 of the paper: the generated ASIP supports three instruction
+// classes -- P (primitive, always present), C (application-specific,
+// micro-coded, compress code memory), and S (the IP-backed instructions this
+// reproduction generates). After selection, "all newly generated
+// instructions are encoded in the instruction space".
+//
+// This module assembles the final instruction set from a Selection and
+// encodes it. Two encodings are provided:
+//
+//  * fixed-width -- ceil(log2(n)) opcode bits for n instructions (the
+//    baseline);
+//  * frequency-aware Huffman -- shorter opcodes for hotter instructions,
+//    canonicalized, reported as expected opcode bits per fetch. This is the
+//    knob that keeps code memory reasonable when C/S instructions multiply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iface/types.hpp"
+#include "ir/ids.hpp"
+
+namespace partita::ucode {
+
+enum class InstrClass : std::uint8_t { kP, kC, kS };
+
+std::string_view to_string(InstrClass c);
+
+struct Instruction {
+  std::string name;
+  InstrClass cls = InstrClass::kP;
+  /// Expected executions per application run (profile weight for encoding).
+  double frequency = 0.0;
+  /// Micro-words this instruction occupies in the u-ROM (1 for P-class).
+  std::int64_t urom_words = 1;
+  /// For S-instructions: the interface type driven (display only).
+  iface::InterfaceType iface_type = iface::InterfaceType::kType0;
+
+  /// Assigned opcode (after encode()): value + bit length.
+  std::uint32_t opcode = 0;
+  int opcode_bits = 0;
+};
+
+/// The assembled instruction set of one generated ASIP.
+class InstructionSet {
+ public:
+  /// Seeds the always-present P-class (arithmetic, moves, memory, control --
+  /// one per MopKind the kernel executes directly) with the given baseline
+  /// frequency per instruction.
+  void seed_p_class(double base_frequency = 1.0);
+
+  /// Seeds the P-class with per-kind frequencies (indexed by MopKind value;
+  /// missing entries fall back to `fallback`). Used by the report generator
+  /// to weight opcodes by the application's real dynamic op mix.
+  void seed_p_class_weighted(const std::vector<double>& kind_frequency,
+                             double fallback = 1.0);
+
+  /// Adds one instruction; returns its index.
+  std::size_t add(Instruction instr);
+
+  const std::vector<Instruction>& instructions() const { return instrs_; }
+  std::size_t size() const { return instrs_.size(); }
+
+  std::size_t count_of(InstrClass c) const;
+
+  /// Fixed-width opcode bits for the current instruction count.
+  int fixed_opcode_bits() const;
+
+  /// Assigns canonical Huffman opcodes by frequency (ties broken by index
+  /// for determinism). Instructions with zero frequency are treated as
+  /// frequency epsilon so they still receive a code.
+  void encode();
+
+  /// Expected opcode bits per executed instruction under the Huffman
+  /// encoding; equals fixed_opcode_bits() when frequencies are uniform-ish.
+  double expected_opcode_bits() const;
+
+  /// Kraft-inequality check of the assigned code (exact prefix codes sum to
+  /// 1); used by tests and asserts in debug builds.
+  bool codes_are_prefix_free() const;
+
+  /// One-line-per-instruction dump.
+  std::string dump() const;
+
+ private:
+  std::vector<Instruction> instrs_;
+  bool encoded_ = false;
+};
+
+}  // namespace partita::ucode

@@ -1,0 +1,97 @@
+#include "ucode/urom.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace partita::ucode {
+
+UWord word_from_line(const iface::IfLine& line) {
+  std::string sig;
+  for (std::size_t i = 0; i < line.ops.size(); ++i) {
+    if (i) sig += '+';
+    sig += to_string(line.ops[i]);
+  }
+  if (sig.empty()) sig = "nop";
+  return UWord{std::move(sig)};
+}
+
+std::vector<UWord> words_from_program(const iface::InterfaceProgram& prog) {
+  std::vector<UWord> words;
+  for (const iface::IfSection& section : prog.sections) {
+    for (const iface::IfLine& line : section.body) {
+      words.push_back(word_from_line(line));
+    }
+  }
+  return words;
+}
+
+std::size_t Urom::add_sequence(std::string name, std::vector<UWord> words) {
+  PARTITA_ASSERT_MSG(!optimized_, "add_sequence after optimize()");
+  seqs_.push_back({std::move(name), std::move(words), {}});
+  return seqs_.size() - 1;
+}
+
+void Urom::optimize() {
+  if (optimized_) return;
+  std::unordered_map<std::string, std::uint32_t> index;
+  for (Sequence& seq : seqs_) {
+    seq.pointers.clear();
+    seq.pointers.reserve(seq.words.size());
+    for (const UWord& w : seq.words) {
+      auto [it, inserted] = index.emplace(w.signature, static_cast<std::uint32_t>(nano_.size()));
+      if (inserted) nano_.push_back(w);
+      seq.pointers.push_back(it->second);
+    }
+  }
+  optimized_ = true;
+}
+
+namespace {
+std::int64_t bits_for(std::int64_t n) {
+  std::int64_t bits = 1;
+  while ((std::int64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+}  // namespace
+
+UromStats Urom::stats() const {
+  UromStats s;
+  s.sequences = static_cast<std::int64_t>(seqs_.size());
+  for (const Sequence& seq : seqs_) {
+    s.raw_words += static_cast<std::int64_t>(seq.words.size());
+  }
+  s.raw_bits = s.raw_words * word_bits_;
+  if (optimized_) {
+    s.unique_words = static_cast<std::int64_t>(nano_.size());
+    s.pointer_bits = nano_.empty() ? 0 : bits_for(s.unique_words);
+    s.optimized_bits = s.unique_words * word_bits_ + s.raw_words * s.pointer_bits;
+  } else {
+    s.unique_words = s.raw_words;
+    s.optimized_bits = s.raw_bits;
+  }
+  return s;
+}
+
+std::string Urom::dump() const {
+  std::ostringstream os;
+  const UromStats s = stats();
+  os << "u-ROM: " << s.sequences << " sequences, " << s.raw_words << " raw words";
+  if (optimized_) {
+    os << ", " << s.unique_words << " unique (" << s.pointer_bits << "-bit pointers), "
+       << s.raw_bits << " -> " << s.optimized_bits << " bits";
+  }
+  os << '\n';
+  for (const Sequence& seq : seqs_) {
+    os << "  " << seq.name << " (" << seq.words.size() << " words)";
+    if (optimized_) {
+      os << " ->";
+      for (std::uint32_t p : seq.pointers) os << ' ' << p;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace partita::ucode

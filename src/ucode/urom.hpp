@@ -1,0 +1,91 @@
+// Micro-ROM construction and optimization.
+//
+// Every C- and S-instruction executes as a micro-code sequence; Section 2:
+// "the u-ROM is optimized with including the u-codes for the C-instructions
+// and S-instructions". We rebuild that step:
+//
+//  * sequences are registered per instruction (S-instructions contribute the
+//    static body of their expanded interface template, Figs. 4-7);
+//  * the optimizer applies two-level micro-programming: identical micro-words
+//    across all sequences collapse into a nano-store, and the per-instruction
+//    micro-store rows shrink to pointers of ceil(log2(|nano|)) bits. The
+//    interface templates share most of their vocabulary (load/store/dec/
+//    branch lines), so the win is substantial and measurable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iface/program.hpp"
+
+namespace partita::ucode {
+
+/// One micro-word, canonicalized to its field signature.
+struct UWord {
+  std::string signature;
+  bool operator==(const UWord&) const = default;
+};
+
+/// Builds a UWord per template line (op mnemonics joined with '+').
+UWord word_from_line(const iface::IfLine& line);
+
+/// Flattens an interface program into its static micro-word sequence (one
+/// entry per stored word; loop bodies appear once -- hardware loop counters
+/// re-execute them).
+std::vector<UWord> words_from_program(const iface::InterfaceProgram& prog);
+
+struct UromStats {
+  std::int64_t sequences = 0;
+  std::int64_t raw_words = 0;      // sum of sequence lengths
+  std::int64_t unique_words = 0;   // nano-store size after optimize()
+  std::int64_t pointer_bits = 0;   // bits per micro-store pointer
+  /// Total storage bits: raw (single-level) vs optimized (two-level).
+  std::int64_t raw_bits = 0;
+  std::int64_t optimized_bits = 0;
+  double compression_ratio() const {
+    return raw_bits > 0 ? static_cast<double>(optimized_bits) / static_cast<double>(raw_bits)
+                        : 1.0;
+  }
+};
+
+class Urom {
+ public:
+  /// Width of one raw micro-word in bits (eight 8-bit fields by default).
+  explicit Urom(int word_bits = 64) : word_bits_(word_bits) {}
+
+  /// Registers an instruction's micro-code; returns its sequence index.
+  std::size_t add_sequence(std::string name, std::vector<UWord> words);
+
+  std::size_t sequence_count() const { return seqs_.size(); }
+  const std::vector<UWord>& sequence(std::size_t i) const { return seqs_[i].words; }
+  const std::string& sequence_name(std::size_t i) const { return seqs_[i].name; }
+
+  /// Runs two-level optimization; idempotent.
+  void optimize();
+
+  bool optimized() const { return optimized_; }
+  const std::vector<UWord>& nano_store() const { return nano_; }
+  /// Pointer row of a sequence into the nano-store (after optimize()).
+  const std::vector<std::uint32_t>& pointer_row(std::size_t i) const {
+    return seqs_[i].pointers;
+  }
+
+  UromStats stats() const;
+
+  std::string dump() const;
+
+ private:
+  struct Sequence {
+    std::string name;
+    std::vector<UWord> words;
+    std::vector<std::uint32_t> pointers;  // filled by optimize()
+  };
+
+  int word_bits_;
+  std::vector<Sequence> seqs_;
+  std::vector<UWord> nano_;
+  bool optimized_ = false;
+};
+
+}  // namespace partita::ucode

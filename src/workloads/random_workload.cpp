@@ -1,0 +1,155 @@
+#include "workloads/random_workload.hpp"
+
+#include <sstream>
+
+#include "frontend/parser.hpp"
+#include "iplib/loader.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace partita::workloads {
+
+namespace {
+
+struct Generator {
+  const RandomWorkloadParams& p;
+  support::Rng rng;
+  std::ostringstream kl;
+  int next_sym = 0;
+
+  explicit Generator(const RandomWorkloadParams& params, std::uint64_t seed)
+      : p(params), rng(seed) {}
+
+  std::string fresh_sym() { return "v" + std::to_string(next_sym++); }
+
+  std::string gen_kl() {
+    kl << "module random_workload;\n\n";
+    for (int f = 0; f < p.leaf_functions; ++f) {
+      kl << "func kern" << f << " scall sw_cycles "
+         << rng.uniform_int(p.min_leaf_cycles, p.max_leaf_cycles) << ";\n";
+    }
+    kl << "\nfunc main {\n";
+    std::string live = fresh_sym();
+    kl << "  seg init 100 writes(" << live << ");\n";
+
+    int emitted = 0;
+    emit_group(live, 1, emitted, p.call_sites);
+    kl << "}\n";
+    return kl.str();
+  }
+
+  /// Emits statements until `emitted` reaches `budget`; may wrap chunks in
+  /// loops or conditionals. `live` is the symbol carrying the value chain;
+  /// half the statements depend on it (serial), half are independent
+  /// (parallel-code material).
+  void emit_group(std::string& live, int depth, int& emitted, int budget) {
+    while (emitted < budget) {
+      const double dice = rng.uniform01();
+      if (depth < 3 && dice < p.if_probability && budget - emitted >= 2) {
+        kl << std::string(depth * 2, ' ') << "if prob "
+           << (0.2 + 0.6 * rng.uniform01()) << " {\n";
+        int inner_budget = emitted + static_cast<int>(rng.uniform_int(1, 2));
+        emit_group(live, depth + 1, emitted, std::min(inner_budget, budget));
+        kl << std::string(depth * 2, ' ') << "} else {\n";
+        std::string else_live = live;
+        kl << std::string((depth + 1) * 2, ' ') << "seg cold "
+           << rng.uniform_int(50, 2000) << " reads(" << else_live << ");\n";
+        kl << std::string(depth * 2, ' ') << "}\n";
+      } else if (depth < 3 && dice < p.if_probability + 0.2 && budget - emitted >= 2) {
+        kl << std::string(depth * 2, ' ') << "loop "
+           << rng.uniform_int(2, p.max_loop_trip) << " {\n";
+        int inner_budget = emitted + static_cast<int>(rng.uniform_int(1, 3));
+        emit_group(live, depth + 1, emitted, std::min(inner_budget, budget));
+        kl << std::string(depth * 2, ' ') << "}\n";
+      } else {
+        emit_leaf_stmt(live, depth, emitted);
+      }
+    }
+  }
+
+  void emit_leaf_stmt(std::string& live, int depth, int& emitted) {
+    const std::string pad(depth * 2, ' ');
+    if (rng.chance(0.75)) {
+      const int f = static_cast<int>(rng.uniform_int(0, p.leaf_functions - 1));
+      const std::string out = fresh_sym();
+      if (rng.chance(0.5)) {
+        // Serial: depends on the live chain.
+        kl << pad << "call kern" << f << " reads(" << live << ") writes(" << out
+           << ");\n";
+        live = out;
+      } else {
+        // Independent call: PC material / SC-PC conflict material.
+        kl << pad << "call kern" << f << " writes(" << out << ");\n";
+      }
+      ++emitted;
+    } else {
+      const std::string out = fresh_sym();
+      if (rng.chance(0.5)) {
+        kl << pad << "seg work " << rng.uniform_int(50, 5000) << " reads(" << live
+           << ") writes(" << out << ");\n";
+        live = out;
+      } else {
+        kl << pad << "seg side " << rng.uniform_int(50, 5000) << " writes(" << out
+           << ");\n";
+      }
+    }
+  }
+
+  std::string gen_library() {
+    std::ostringstream lib;
+    for (int i = 0; i < p.ips; ++i) {
+      const bool multi = rng.chance(p.multi_function_ip_probability) &&
+                         p.leaf_functions >= 2;
+      lib << "ip RIP" << i << " {\n";
+      lib << "  area " << rng.uniform_int(1, 30) << "\n";
+      const int in_ports = rng.chance(0.2) ? 4 : 2;
+      lib << "  ports in " << in_ports << " out 2\n";
+      const int in_rate = static_cast<int>(rng.uniform_int(1, 6));
+      const int out_rate = rng.chance(0.8) ? in_rate : static_cast<int>(rng.uniform_int(1, 6));
+      lib << "  rate in " << in_rate << " out " << out_rate << "\n";
+      lib << "  latency " << rng.uniform_int(2, 40) << "\n";
+      lib << (rng.chance(0.9) ? "  pipelined\n" : "  combinational\n");
+      const char* proto = rng.chance(0.7) ? "sync" : (rng.chance(0.5) ? "handshake" : "stream");
+      lib << "  protocol " << proto << "\n";
+      const int nfuncs = multi ? 2 : 1;
+      std::vector<int> picked;
+      for (int k = 0; k < nfuncs; ++k) {
+        int f;
+        do {
+          f = static_cast<int>(rng.uniform_int(0, p.leaf_functions - 1));
+        } while (std::find(picked.begin(), picked.end(), f) != picked.end());
+        picked.push_back(f);
+        lib << "  fn kern" << f << " cycles " << rng.uniform_int(50, 20000) << " in "
+            << rng.uniform_int(4, 128) << " out " << rng.uniform_int(2, 128) << "\n";
+      }
+      lib << "}\n";
+    }
+    return lib.str();
+  }
+};
+
+}  // namespace
+
+std::string random_workload_kl(const RandomWorkloadParams& params, std::uint64_t seed) {
+  Generator gen(params, seed);
+  return gen.gen_kl();
+}
+
+Workload random_workload(const RandomWorkloadParams& params, std::uint64_t seed) {
+  Generator gen(params, seed);
+  const std::string kl = gen.gen_kl();
+  const std::string lib_text = gen.gen_library();
+
+  support::DiagnosticEngine diags;
+  std::optional<ir::Module> module = frontend::parse_module(kl, diags);
+  if (!module) {
+    std::fprintf(stderr, "random workload KL errors:\n%s\nsource:\n%s\n",
+                 diags.render_all().c_str(), kl.c_str());
+    PARTITA_ASSERT_MSG(false, "random workload failed to parse");
+  }
+  std::optional<iplib::IpLibrary> lib = iplib::load_library(lib_text, diags);
+  PARTITA_ASSERT_MSG(lib.has_value(), "random library failed to parse");
+  return Workload{"random_" + std::to_string(seed), std::move(*module), std::move(*lib)};
+}
+
+}  // namespace partita::workloads

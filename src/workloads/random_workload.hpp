@@ -1,0 +1,35 @@
+// Parameterized random workload generation.
+//
+// Emits a random-but-valid application in KL text plus a matching random IP
+// library, then runs both through the real frontend/loader. Used by the
+// property tests (the full pipeline must hold its invariants on arbitrary
+// instances) and by the solver-scaling bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workloads.hpp"
+
+namespace partita::workloads {
+
+struct RandomWorkloadParams {
+  int leaf_functions = 6;     // s-callable kernels
+  int call_sites = 12;        // top-level call statements
+  int max_loop_trip = 8;      // loops wrap random sub-sequences
+  double if_probability = 0.3;  // chance a statement group becomes an if
+  int ips = 8;                // library size
+  double multi_function_ip_probability = 0.3;
+  std::int64_t min_leaf_cycles = 500;
+  std::int64_t max_leaf_cycles = 50000;
+};
+
+/// Generates a workload; identical (params, seed) pairs produce identical
+/// workloads on every platform.
+Workload random_workload(const RandomWorkloadParams& params, std::uint64_t seed);
+
+/// The KL text of the last structure generated for (params, seed) -- the
+/// generator is pure, so this simply regenerates it.
+std::string random_workload_kl(const RandomWorkloadParams& params, std::uint64_t seed);
+
+}  // namespace partita::workloads

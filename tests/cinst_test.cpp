@@ -1,0 +1,154 @@
+// Tests for C-instruction candidate mining and the knapsack planner.
+#include <gtest/gtest.h>
+
+#include "cinst/cinst.hpp"
+#include "frontend/parser.hpp"
+#include "ir/lower.hpp"
+#include "profile/profile.hpp"
+
+namespace partita::cinst {
+namespace {
+
+struct Fixture {
+  ir::Module module;
+  ir::LoweredModule lowered;
+  profile::ModuleProfile prof;
+
+  explicit Fixture(std::string_view kl) {
+    support::DiagnosticEngine diags;
+    auto m = frontend::parse_module(kl, diags);
+    EXPECT_TRUE(m.has_value()) << diags.render_all();
+    module = std::move(*m);
+    lowered = ir::lower_module(module);
+    prof = profile::profile_module(module);
+  }
+};
+
+TEST(Mine, FindsRepeatingPatterns) {
+  // A 40-cycle segment cycles through the 4-phase lowering pattern ten
+  // times: plenty of repeated windows.
+  Fixture f("module t; func main { seg hot 40 writes(x); }");
+  const auto cands = mine_candidates(f.module, f.lowered, f.prof);
+  ASSERT_FALSE(cands.empty());
+  for (const Candidate& c : cands) {
+    EXPECT_GE(c.length(), 2);
+    EXPECT_LE(c.length(), 6);
+    EXPECT_GE(c.static_occurrences, 2);
+    EXPECT_GT(c.fetch_cycles_saved(), 0.0);
+  }
+}
+
+TEST(Mine, WeighsByFunctionFrequency) {
+  Fixture hot(R"(
+module t;
+func work { seg body 40 writes(x); }
+func main { loop 50 { call work; } }
+)");
+  Fixture cold(R"(
+module t;
+func work { seg body 40 writes(x); }
+func main { call work; }
+)");
+  const auto c_hot = mine_candidates(hot.module, hot.lowered, hot.prof);
+  const auto c_cold = mine_candidates(cold.module, cold.lowered, cold.prof);
+  ASSERT_FALSE(c_hot.empty());
+  ASSERT_FALSE(c_cold.empty());
+  EXPECT_GT(c_hot.front().dynamic_occurrences, c_cold.front().dynamic_occurrences * 10);
+}
+
+TEST(Mine, ControlOpsBreakWindows) {
+  // A function whose straight-line runs are all length 1 (call after every
+  // segment cycle) yields no candidates.
+  Fixture f(R"(
+module t;
+func leaf sw_cycles 10;
+func main {
+  seg a 1 writes(x);
+  call leaf;
+  seg b 1 reads(x);
+  call leaf;
+  seg c 1 reads(x);
+}
+)");
+  MineOptions opts;
+  opts.min_length = 4;  // single-cycle patterns emit at most 4 MOPs
+  const auto cands = mine_candidates(f.module, f.lowered, f.prof, opts);
+  // Runs are too short for length-4 windows spanning statement boundaries
+  // broken by calls.
+  for (const Candidate& c : cands) {
+    EXPECT_LE(c.length() * c.static_occurrences, 12);
+  }
+}
+
+TEST(Mine, RespectsCandidateCap) {
+  Fixture f("module t; func main { seg hot 100 writes(x); }");
+  MineOptions opts;
+  opts.max_candidates = 3;
+  EXPECT_LE(mine_candidates(f.module, f.lowered, f.prof, opts).size(), 3u);
+}
+
+TEST(Mine, DeterministicOrdering) {
+  Fixture f("module t; func main { seg hot 60 writes(x); }");
+  const auto a = mine_candidates(f.module, f.lowered, f.prof);
+  const auto b = mine_candidates(f.module, f.lowered, f.prof);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].pattern, b[i].pattern);
+}
+
+// --- planner ------------------------------------------------------------------
+
+Candidate make_candidate(int len, std::int64_t stat, double dyn) {
+  Candidate c;
+  for (int i = 0; i < len; ++i) c.pattern.push_back(ir::MopKind::kAdd);
+  c.pattern[0] = static_cast<ir::MopKind>(len % 8);  // make patterns distinct
+  c.static_occurrences = stat;
+  c.dynamic_occurrences = dyn;
+  return c;
+}
+
+TEST(Plan, EmptyInputEmptyPlan) {
+  const CInstPlan plan = plan_cinstructions({});
+  EXPECT_TRUE(plan.chosen.empty());
+  EXPECT_EQ(plan.urom_words, 0);
+}
+
+TEST(Plan, RespectsUromBudget) {
+  std::vector<Candidate> cands = {make_candidate(6, 10, 100), make_candidate(5, 10, 90),
+                                  make_candidate(4, 10, 80)};
+  PlanOptions opts;
+  opts.urom_word_budget = 9;  // fits 5+4 or 6 alone
+  const CInstPlan plan = plan_cinstructions(cands, opts);
+  EXPECT_LE(plan.urom_words, 9);
+  EXPECT_DOUBLE_EQ(plan.fetch_cycles_saved, 90 * 4 + 80 * 3);  // 5+4 beats 6
+}
+
+TEST(Plan, RespectsCountCap) {
+  std::vector<Candidate> cands;
+  for (int i = 0; i < 6; ++i) cands.push_back(make_candidate(2 + (i % 3), 5, 50 + i));
+  PlanOptions opts;
+  opts.max_cinstructions = 2;
+  const CInstPlan plan = plan_cinstructions(cands, opts);
+  EXPECT_LE(plan.chosen.size(), 2u);
+}
+
+TEST(Plan, PicksOptimalSubset) {
+  // Knapsack: budget 6; items (words, value): (4, 10), (3, 7), (3, 7).
+  // Optimal = the two 3-word items (14) not the 4-word item.
+  std::vector<Candidate> cands = {make_candidate(4, 5, 10.0 / 3.0),
+                                  make_candidate(3, 5, 3.5), make_candidate(3, 5, 3.5)};
+  // fetch savings: len-1 multiplier -> (4-1)*10/3 = 10, (3-1)*3.5 = 7 each.
+  PlanOptions opts;
+  opts.urom_word_budget = 6;
+  const CInstPlan plan = plan_cinstructions(cands, opts);
+  EXPECT_EQ(plan.chosen.size(), 2u);
+  EXPECT_NEAR(plan.fetch_cycles_saved, 14.0, 1e-9);
+}
+
+TEST(Plan, NameIsStable) {
+  Candidate c;
+  c.pattern = {ir::MopKind::kLoad, ir::MopKind::kMac};
+  EXPECT_EQ(c.name(), "c_load_mac");
+}
+
+}  // namespace
+}  // namespace partita::cinst

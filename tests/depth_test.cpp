@@ -1,0 +1,180 @@
+// Second-round depth tests: template phase accounting, packer properties on
+// random MOP lists, MiniC scoping corners, flattening-depth behaviour.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "iface/model.hpp"
+#include "ir/lower.hpp"
+#include "minic/mc_codegen.hpp"
+#include "select/flow.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita {
+namespace {
+
+// --- interface template phase accounting ----------------------------------------
+
+iplib::IpDescriptor ip_with(int in_rate, int out_rate, int latency, bool pipelined,
+                            std::int64_t n_in, std::int64_t n_out) {
+  iplib::IpDescriptor ip;
+  ip.name = "T";
+  ip.in_rate = in_rate;
+  ip.out_rate = out_rate;
+  ip.latency = latency;
+  ip.pipelined = pipelined;
+  ip.functions.push_back({"f", 5000, n_in, n_out});
+  return ip;
+}
+
+TEST(TemplatePhases, NonPipelinedType0FeedsEverythingFirst) {
+  // A combinational array consumes all inputs before the first output: the
+  // template must have no steady section (fill covers every input batch).
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = ip_with(4, 4, 24, /*pipelined=*/false, 64, 64);
+  const iface::InterfaceProgram p =
+      iface::expand_template(iface::InterfaceType::kType0, ip, ip.functions[0], k);
+  EXPECT_EQ(p.find_section("steady"), nullptr);
+  ASSERT_NE(p.find_section("fill"), nullptr);
+  EXPECT_EQ(p.find_section("fill")->iterations, 32);  // all input batches
+  ASSERT_NE(p.find_section("drain"), nullptr);
+  EXPECT_EQ(p.find_section("drain")->iterations, 32);
+}
+
+TEST(TemplatePhases, AsymmetricOutputCounts) {
+  // Few results (correlator-style): drain is short, fill long.
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = ip_with(4, 4, 8, true, 320, 8);
+  const iface::InterfaceProgram p =
+      iface::expand_template(iface::InterfaceType::kType0, ip, ip.functions[0], k);
+  std::int64_t in_iters = 0, out_iters = 0;
+  if (const auto* s = p.find_section("fill")) in_iters += s->iterations;
+  if (const auto* s = p.find_section("steady")) {
+    in_iters += s->iterations;
+    out_iters += s->iterations;
+  }
+  if (const auto* s = p.find_section("drain")) out_iters += s->iterations;
+  EXPECT_EQ(in_iters, 160);  // 320/2 batches in
+  EXPECT_EQ(out_iters, 4);   // 8/2 batches out
+}
+
+TEST(TemplatePhases, Type2SplitRatesScheduleIndependently) {
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = ip_with(1, 4, 8, true, 64, 64);
+  const iface::InterfaceProgram p =
+      iface::expand_template(iface::InterfaceType::kType2, ip, ip.functions[0], k);
+  ASSERT_NE(p.find_section("dma_in"), nullptr);
+  ASSERT_NE(p.find_section("dma_out"), nullptr);
+  EXPECT_EQ(p.find_section("dma_in")->words(), 1);   // strobe every cycle
+  EXPECT_EQ(p.find_section("dma_out")->words(), 4);  // strobe every 4th
+}
+
+// --- packer properties on random MOP lists ---------------------------------------
+
+class PackerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackerProperty, ScheduleIsCompleteAndFieldSafe) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::uniform_int_distribution<int> kind_d(0, 19);
+
+  ir::MopList mops;
+  for (int i = 0; i < 200; ++i) {
+    ir::Mop m;
+    m.kind = static_cast<ir::MopKind>(kind_d(rng));
+    if (m.kind == ir::MopKind::kLoad || m.kind == ir::MopKind::kStore ||
+        m.kind == ir::MopKind::kAguAdd) {
+      m.mem = (rng() % 2) ? ir::Memory::kX : ir::Memory::kY;
+    }
+    if (m.kind == ir::MopKind::kCall || m.kind == ir::MopKind::kIpDispatch) {
+      m.callee = ir::FuncId{0};
+    }
+    mops.add(m);
+  }
+  const std::size_t cycles = mops.pack_schedule();
+  EXPECT_LE(cycles, mops.size());
+  EXPECT_GE(cycles * ir::kNumUFields, mops.size());
+
+  // Every MOP appears exactly once and no word double-books a field.
+  std::vector<int> seen(mops.size(), 0);
+  for (const ir::MicroWord& w : mops.schedule()) {
+    for (std::size_t f = 0; f < ir::kNumUFields; ++f) {
+      if (w.field[f].valid()) seen[w.field[f].value()]++;
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackerProperty, ::testing::Range(0, 10));
+
+// --- MiniC scoping corners ---------------------------------------------------------
+
+TEST(McScoping, BlockLocalsVisibleAfterBlock) {
+  // MiniC has function scope (like pre-C99 C): a block-local decl stays
+  // visible for the rest of the function.
+  support::DiagnosticEngine diags;
+  auto m = minic::mc_compile_source(R"(
+void main() {
+  { int t; t = 1; }
+  t = 2;
+}
+)",
+                                    "t", diags);
+  EXPECT_TRUE(m.has_value()) << diags.render_all();
+}
+
+TEST(McScoping, LoopVarUsableInBody) {
+  support::DiagnosticEngine diags;
+  auto m = minic::mc_compile_source(R"(
+int a[8];
+void main() {
+  for (i = 0; i < 8; i = i + 1) { a[i] = i; }
+}
+)",
+                                    "t", diags);
+  ASSERT_TRUE(m.has_value()) << diags.render_all();
+}
+
+TEST(McScoping, StaticallyEmptyLoopDropped) {
+  support::DiagnosticEngine diags;
+  auto m = minic::mc_compile_source(R"(
+int a;
+void main() {
+  a = 1;
+  for (i = 5; i < 5; i = i + 1) { a = 2; }
+}
+)",
+                                    "t", diags);
+  ASSERT_TRUE(m.has_value()) << diags.render_all();
+  const ir::Function& main_fn = m->function(m->entry());
+  for (const ir::StmtId id : main_fn.body()) {
+    EXPECT_NE(main_fn.stmt(id).kind, ir::StmtKind::kLoop);
+  }
+}
+
+// --- flattening depth cap -----------------------------------------------------------
+
+TEST(FlattenDepth, CapRemovesDeepImps) {
+  workloads::Workload w = workloads::jpeg_encoder();
+  isel::EnumerateOptions shallow;
+  shallow.max_flatten_depth = 1;
+  select::Flow flow(w.module, w.library, shallow);
+  for (const isel::Imp& imp : flow.imp_database().imps()) {
+    EXPECT_LE(imp.flatten_depth, 1) << imp.describe(w.library);
+  }
+}
+
+TEST(FlattenDepth, DeeperFlatteningNeverReducesMaxGain) {
+  workloads::Workload w = workloads::jpeg_encoder();
+  std::int64_t prev = -1;
+  for (int cap : {0, 1, 2, 3}) {
+    isel::EnumerateOptions opts;
+    opts.max_flatten_depth = cap;
+    select::Flow flow(w.module, w.library, opts);
+    const std::int64_t gmax = flow.max_feasible_gain();
+    EXPECT_GE(gmax, prev) << "cap " << cap;
+    prev = gmax;
+  }
+}
+
+}  // namespace
+}  // namespace partita

@@ -1,0 +1,126 @@
+// Tests for the area/gain Pareto-frontier enumeration.
+#include <gtest/gtest.h>
+
+#include "dse/pareto.hpp"
+#include "select/flow.hpp"
+#include "support/strings.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita::dse {
+namespace {
+
+TEST(Pareto, FrontierIsMonotone) {
+  workloads::Workload w = workloads::fig10_case();
+  select::Flow flow(w.module, w.library);
+  const auto frontier = pareto_frontier(flow.selector());
+  ASSERT_GE(frontier.size(), 3u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].gain, frontier[i - 1].gain);
+    EXPECT_GT(frontier[i].selection.total_area(),
+              frontier[i - 1].selection.total_area());
+  }
+}
+
+TEST(Pareto, EndsAtMaxFeasibleGain) {
+  workloads::Workload w = workloads::fig9_case();
+  select::Flow flow(w.module, w.library);
+  const auto frontier = pareto_frontier(flow.selector());
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_EQ(frontier.back().gain, flow.max_feasible_gain());
+}
+
+TEST(Pareto, FirstPointIsCheapestPositiveGain) {
+  workloads::Workload w = workloads::fig9_case();
+  select::Flow flow(w.module, w.library);
+  const auto frontier = pareto_frontier(flow.selector());
+  ASSERT_FALSE(frontier.empty());
+  // The cheapest design meeting gain >= 1 costs exactly the first area.
+  const select::Selection one = flow.select(1);
+  ASSERT_TRUE(one.feasible);
+  EXPECT_DOUBLE_EQ(frontier.front().selection.total_area(), one.total_area());
+}
+
+TEST(Pareto, EveryPointOptimalForItsGain) {
+  workloads::Workload w = workloads::fig10_case();
+  select::Flow flow(w.module, w.library);
+  const auto frontier = pareto_frontier(flow.selector());
+  for (const ParetoPoint& p : frontier) {
+    const select::Selection re = flow.select(p.gain);
+    ASSERT_TRUE(re.feasible);
+    EXPECT_NEAR(re.total_area(), p.selection.total_area(), 1e-9) << "gain " << p.gain;
+  }
+}
+
+TEST(Pareto, RespectsMaxPoints) {
+  workloads::Workload w = workloads::gsm_encoder();
+  select::Flow flow(w.module, w.library);
+  ParetoOptions opts;
+  opts.max_points = 2;
+  EXPECT_LE(pareto_frontier(flow.selector(), opts).size(), 2u);
+}
+
+TEST(Pareto, MinGainSkipsCheapDesigns) {
+  workloads::Workload w = workloads::fig10_case();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  ParetoOptions opts;
+  opts.min_gain = gmax / 2;
+  const auto frontier = pareto_frontier(flow.selector(), opts);
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_GE(frontier.front().gain, gmax / 2);
+}
+
+TEST(Pareto, GainStepSubsamplesFrontier) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  ParetoOptions coarse;
+  coarse.gain_step = gmax / 8;
+  const auto frontier = pareto_frontier(flow.selector(), coarse);
+  ASSERT_FALSE(frontier.empty());
+  EXPECT_LE(frontier.size(), 12u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].gain, frontier[i - 1].gain);
+    EXPECT_GT(frontier[i].selection.total_area(),
+              frontier[i - 1].selection.total_area());
+  }
+  // The subsampled frontier still tops out within a step of the maximum.
+  EXPECT_GE(frontier.back().gain, gmax - coarse.gain_step);
+}
+
+TEST(Pareto, RenderedTableListsAllPoints) {
+  workloads::Workload w = workloads::fig9_case();
+  select::Flow flow(w.module, w.library);
+  const auto frontier = pareto_frontier(flow.selector());
+  const std::string table = render_frontier(frontier, flow.imp_database(), w.library);
+  for (const ParetoPoint& p : frontier) {
+    EXPECT_NE(table.find(partita::support::with_commas(p.gain)), std::string::npos);
+  }
+}
+
+class ParetoRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParetoRandomProperty, NoDominatedPoints) {
+  workloads::RandomWorkloadParams params;
+  params.call_sites = 7;
+  params.ips = 5;
+  workloads::Workload w =
+      workloads::random_workload(params, static_cast<std::uint64_t>(GetParam()));
+  select::Flow flow(w.module, w.library);
+  const auto frontier = pareto_frontier(flow.selector());
+  for (std::size_t a = 0; a < frontier.size(); ++a) {
+    for (std::size_t b = 0; b < frontier.size(); ++b) {
+      if (a == b) continue;
+      const bool dominated =
+          frontier[b].gain >= frontier[a].gain &&
+          frontier[b].selection.total_area() <= frontier[a].selection.total_area() - 1e-9;
+      EXPECT_FALSE(dominated) << "point " << a << " dominated by " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoRandomProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace partita::dse

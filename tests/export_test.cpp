@@ -1,0 +1,129 @@
+// Tests for the JSON selection export.
+#include <gtest/gtest.h>
+
+#include "select/export.hpp"
+#include "select/flow.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita::select {
+namespace {
+
+bool balanced(const std::string& s) {
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') ++braces;
+    else if (c == '}') --braces;
+    else if (c == '[') ++brackets;
+    else if (c == ']') --brackets;
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(Export, FeasibleSelectionSerializes) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  const Selection sel = flow.select(rg);
+  ASSERT_TRUE(sel.feasible);
+  const std::string json = to_json(sel, flow.imp_database(), w.library, rg);
+
+  EXPECT_TRUE(balanced(json)) << json;
+  EXPECT_NE(json.find("\"feasible\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"guaranteed_gain\": " + std::to_string(sel.min_path_gain)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"s_instructions\": " + std::to_string(sel.s_instructions)),
+            std::string::npos);
+  // Every chosen IMP appears with its callee name.
+  for (isel::ImpIndex idx : sel.chosen) {
+    const isel::SCall* sc = flow.imp_database().scall_of(flow.imp_database().imps()[idx].scall);
+    ASSERT_NE(sc, nullptr);
+    EXPECT_NE(json.find("\"callee\": \"" + sc->callee_name + "\""), std::string::npos);
+  }
+}
+
+TEST(Export, InfeasibleSelectionSerializes) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() * 2;
+  const Selection sel = flow.select(rg);
+  ASSERT_FALSE(sel.feasible);
+  const std::string json = to_json(sel, flow.imp_database(), w.library, rg);
+  EXPECT_TRUE(balanced(json));
+  EXPECT_NE(json.find("\"feasible\": false"), std::string::npos);
+  EXPECT_EQ(json.find("\"imps\""), std::string::npos);
+}
+
+TEST(Export, ConsumedScallsListed) {
+  workloads::Workload w = workloads::fig9_case();
+  Flow flow(w.module, w.library);
+  const Selection sel = flow.select(flow.max_feasible_gain());
+  ASSERT_TRUE(sel.feasible);
+  const std::string json = to_json(sel, flow.imp_database(), w.library, 0);
+  EXPECT_TRUE(balanced(json));
+  // The top design consumes an s-call as parallel code.
+  EXPECT_NE(json.find("\"consumed_scalls\": [1]"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace partita::select
+
+#include "ir/printer.hpp"
+#include "select/accel_lower.hpp"
+
+namespace partita::select {
+namespace {
+
+TEST(AccelLower, DirectSelectionsBecomeDispatches) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const Selection sel = flow.select(flow.max_feasible_gain() / 2);
+  ASSERT_TRUE(sel.feasible);
+
+  const AcceleratedLowering acc = lower_accelerated(w.module, sel, flow.imp_database());
+  int direct = 0, flattened = 0;
+  for (isel::ImpIndex idx : sel.chosen) {
+    (flow.imp_database().imps()[idx].flattened ? flattened : direct)++;
+  }
+  EXPECT_EQ(acc.dispatch_mops, direct);
+  EXPECT_EQ(acc.flattened_calls, flattened);
+
+  // The dump shows the dispatches with their callee names.
+  const std::string dump = ir::print_mops(w.module, acc.lowered);
+  if (direct > 0) {
+    EXPECT_NE(dump.find("ip_dispatch"), std::string::npos);
+  }
+}
+
+TEST(AccelLower, JpegFlattenedKeepsSoftwareCall) {
+  workloads::Workload w = workloads::jpeg_encoder();
+  Flow flow(w.module, w.library);
+  const Selection sel = flow.select(flow.max_feasible_gain() / 3);  // cmul-flatten row
+  ASSERT_TRUE(sel.feasible);
+  bool any_flat = false;
+  for (isel::ImpIndex idx : sel.chosen) {
+    any_flat |= flow.imp_database().imps()[idx].flattened;
+  }
+  ASSERT_TRUE(any_flat);
+  const AcceleratedLowering acc = lower_accelerated(w.module, sel, flow.imp_database());
+  EXPECT_GT(acc.flattened_calls, 0);
+}
+
+}  // namespace
+}  // namespace partita::select

@@ -1,0 +1,185 @@
+// Tests for the KL lexer and parser, including error reporting and the
+// printer round-trip property.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verify.hpp"
+
+namespace partita::frontend {
+namespace {
+
+using support::DiagnosticEngine;
+
+// --- lexer ---------------------------------------------------------------------
+
+TEST(Lexer, TokenizesBasics) {
+  DiagnosticEngine diags;
+  const auto toks = lex("func f { seg 42; }", diags);
+  ASSERT_FALSE(diags.has_errors());
+  ASSERT_EQ(toks.size(), 8u);  // func f { seg 42 ; } EOF
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[4].kind, TokKind::kInt);
+  EXPECT_EQ(toks[4].int_value, 42);
+  EXPECT_EQ(toks.back().kind, TokKind::kEof);
+}
+
+TEST(Lexer, SkipsComments) {
+  DiagnosticEngine diags;
+  const auto toks = lex("a # comment to end\nb", diags);
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].loc.line, 2u);
+}
+
+TEST(Lexer, FloatsAndNegatives) {
+  DiagnosticEngine diags;
+  const auto toks = lex("0.5 -3 1e4", diags);
+  ASSERT_FALSE(diags.has_errors());
+  EXPECT_EQ(toks[0].kind, TokKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 0.5);
+  EXPECT_EQ(toks[1].int_value, -3);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 1e4);
+}
+
+TEST(Lexer, ReportsBadCharacter) {
+  DiagnosticEngine diags;
+  lex("a $ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine diags;
+  const auto toks = lex("a\n  b", diags);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+// --- parser --------------------------------------------------------------------
+
+constexpr std::string_view kSmall = R"(
+module t;
+func leaf scall sw_cycles 500;
+func main {
+  seg warmup 10 writes(a);
+  call leaf reads(a) writes(b);
+  if prob 0.25 {
+    seg hot 20 reads(b);
+  } else {
+    seg cold 5 reads(b);
+  }
+  loop 3 {
+    seg body 7;
+  }
+}
+)";
+
+TEST(Parser, ParsesSmallModule) {
+  DiagnosticEngine diags;
+  auto m = parse_module(kSmall, diags);
+  ASSERT_TRUE(m.has_value()) << diags.render_all();
+  EXPECT_EQ(m->name(), "t");
+  EXPECT_EQ(m->function_count(), 2u);
+  EXPECT_TRUE(m->entry().valid());
+  const ir::Function& leaf = m->function(m->find_function("leaf"));
+  EXPECT_TRUE(leaf.ip_mappable());
+  EXPECT_EQ(leaf.declared_sw_cycles(), 500);
+
+  support::DiagnosticEngine vd;
+  EXPECT_TRUE(ir::verify_module(*m, vd)) << vd.render_all();
+}
+
+TEST(Parser, StatementDetails) {
+  DiagnosticEngine diags;
+  auto m = parse_module(kSmall, diags);
+  ASSERT_TRUE(m);
+  const ir::Function& main_fn = m->function(m->entry());
+  ASSERT_EQ(main_fn.body().size(), 4u);
+  const ir::Stmt& seg = main_fn.stmt(main_fn.body()[0]);
+  EXPECT_EQ(seg.kind, ir::StmtKind::kSeg);
+  EXPECT_EQ(seg.label, "warmup");
+  EXPECT_EQ(seg.cycles, 10);
+  ASSERT_EQ(seg.writes.size(), 1u);
+  const ir::Stmt& iff = main_fn.stmt(main_fn.body()[2]);
+  EXPECT_EQ(iff.kind, ir::StmtKind::kIf);
+  EXPECT_DOUBLE_EQ(iff.taken_prob, 0.25);
+  EXPECT_EQ(iff.then_stmts.size(), 1u);
+  EXPECT_EQ(iff.else_stmts.size(), 1u);
+  const ir::Stmt& loop = main_fn.stmt(main_fn.body()[3]);
+  EXPECT_EQ(loop.trip_count, 3);
+}
+
+TEST(Parser, ForwardReferences) {
+  DiagnosticEngine diags;
+  auto m = parse_module(R"(
+module t;
+func main { call later; }
+func later scall sw_cycles 9;
+)",
+                        diags);
+  ASSERT_TRUE(m.has_value()) << diags.render_all();
+  EXPECT_EQ(m->call_sites().size(), 1u);
+}
+
+TEST(Parser, ExplicitEntryDirective) {
+  DiagnosticEngine diags;
+  auto m = parse_module(R"(
+module t;
+func start { seg 1; }
+entry start;
+)",
+                        diags);
+  ASSERT_TRUE(m.has_value()) << diags.render_all();
+  EXPECT_EQ(m->function(m->entry()).name(), "start");
+}
+
+TEST(Parser, ErrorOnUnknownCallee) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_module("module t; func main { call ghost; }", diags).has_value());
+  EXPECT_NE(diags.render_all().find("ghost"), std::string::npos);
+}
+
+TEST(Parser, ErrorOnDuplicateFunction) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse_module("module t; func f { seg 1; } func f { seg 2; }", diags).has_value());
+}
+
+TEST(Parser, ErrorOnMissingEntry) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_module("module t; func not_main { seg 1; }", diags).has_value());
+}
+
+TEST(Parser, ErrorOnBadProbability) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse_module("module t; func main { if prob 1.5 { seg 1; } }", diags).has_value());
+}
+
+TEST(Parser, ErrorOnZeroTripLoop) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_module("module t; func main { loop 0 { seg 1; } }", diags).has_value());
+}
+
+TEST(Parser, ErrorOnUnterminatedBlock) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_module("module t; func main { seg 1;", diags).has_value());
+}
+
+// --- round-trip property ---------------------------------------------------------
+
+TEST(Parser, PrintParseRoundTrip) {
+  DiagnosticEngine diags;
+  auto m1 = parse_module(kSmall, diags);
+  ASSERT_TRUE(m1);
+  const std::string printed1 = ir::print_module(*m1);
+  auto m2 = parse_module(printed1, diags);
+  ASSERT_TRUE(m2.has_value()) << diags.render_all() << "\n" << printed1;
+  const std::string printed2 = ir::print_module(*m2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+}  // namespace
+}  // namespace partita::frontend

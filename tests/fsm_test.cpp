@@ -1,0 +1,79 @@
+// Tests for hardware in/out-controller FSM synthesis (types 2/3).
+#include <gtest/gtest.h>
+
+#include "iface/fsm.hpp"
+#include "iface/model.hpp"
+
+namespace partita::iface {
+namespace {
+
+iplib::IpDescriptor make_ip(int in_rate = 4, int out_rate = 4, std::int64_t n_in = 64,
+                            std::int64_t n_out = 64) {
+  iplib::IpDescriptor ip;
+  ip.name = "T";
+  ip.area = 10;
+  ip.in_rate = in_rate;
+  ip.out_rate = out_rate;
+  ip.latency = 16;
+  ip.functions.push_back({"f", 5000, n_in, n_out});
+  return ip;
+}
+
+TEST(Fsm, SynthesizesStatesPerTemplateLine) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceProgram prog = expand_template(InterfaceType::kType2, ip, ip.functions[0], k);
+  const ControllerFsm fsm = ControllerFsm::synthesize(prog);
+  // One state per line of every section.
+  std::size_t lines = 0;
+  for (const IfSection& s : prog.sections) lines += s.body.size();
+  EXPECT_EQ(fsm.states().size(), lines);
+  EXPECT_GT(fsm.counter_count(), 0u);  // counted DMA loops
+}
+
+TEST(Fsm, SimulationMatchesTemplateCycles) {
+  const KernelParams k;
+  for (InterfaceType type : {InterfaceType::kType2, InterfaceType::kType3}) {
+    for (const auto& [in_rate, out_rate] : std::vector<std::pair<int, int>>{
+             {4, 4}, {2, 4}, {1, 2}, {1, 1}}) {
+      const iplib::IpDescriptor ip = make_ip(in_rate, out_rate);
+      const InterfaceProgram prog = expand_template(type, ip, ip.functions[0], k);
+      const ControllerFsm fsm = ControllerFsm::synthesize(prog);
+      EXPECT_EQ(fsm.simulate(), prog.execution_cycles())
+          << to_string(type) << " rates " << in_rate << '/' << out_rate;
+    }
+  }
+}
+
+TEST(Fsm, SingleBatchHasNoLoops) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip(4, 4, /*n_in=*/2, /*n_out=*/2);
+  const InterfaceProgram prog = expand_template(InterfaceType::kType3, ip, ip.functions[0], k);
+  const ControllerFsm fsm = ControllerFsm::synthesize(prog);
+  EXPECT_EQ(fsm.counter_count(), 0u);  // one batch per direction: no back edges
+  EXPECT_EQ(fsm.simulate(), prog.execution_cycles());
+}
+
+TEST(Fsm, AreaScalesWithStates) {
+  const KernelParams k;
+  const iplib::IpDescriptor small = make_ip(1, 1);
+  const iplib::IpDescriptor big = make_ip(8, 8);  // padded strobe bodies
+  const auto fsm_small = ControllerFsm::synthesize(
+      expand_template(InterfaceType::kType2, small, small.functions[0], k));
+  const auto fsm_big = ControllerFsm::synthesize(
+      expand_template(InterfaceType::kType2, big, big.functions[0], k));
+  EXPECT_GT(fsm_big.estimated_area(), fsm_small.estimated_area());
+}
+
+TEST(Fsm, DumpListsStates) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const auto fsm = ControllerFsm::synthesize(
+      expand_template(InterfaceType::kType2, ip, ip.functions[0], k));
+  const std::string d = fsm.dump();
+  EXPECT_NE(d.find("dma_in"), std::string::npos);
+  EXPECT_NE(d.find("loop ->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace partita::iface

@@ -1,0 +1,288 @@
+// Tests for the interface templates and the Section 3 timing/area model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iface/model.hpp"
+#include "iface/program.hpp"
+#include "iface/types.hpp"
+
+namespace partita::iface {
+namespace {
+
+iplib::IpDescriptor make_ip(int in_ports = 2, int out_ports = 2, int in_rate = 4,
+                            int out_rate = 4, int latency = 16, bool pipelined = true) {
+  iplib::IpDescriptor ip;
+  ip.name = "T";
+  ip.area = 10;
+  ip.in_ports = in_ports;
+  ip.out_ports = out_ports;
+  ip.in_rate = in_rate;
+  ip.out_rate = out_rate;
+  ip.latency = latency;
+  ip.pipelined = pipelined;
+  ip.functions.push_back({"f", 5000, 64, 64});
+  return ip;
+}
+
+const iplib::IpFunction& fn_of(const iplib::IpDescriptor& ip) { return ip.functions[0]; }
+
+// --- type metadata ------------------------------------------------------------
+
+TEST(Types, Classification) {
+  EXPECT_TRUE(is_software(InterfaceType::kType0));
+  EXPECT_TRUE(is_software(InterfaceType::kType1));
+  EXPECT_FALSE(is_software(InterfaceType::kType2));
+  EXPECT_TRUE(is_buffered(InterfaceType::kType1));
+  EXPECT_TRUE(is_buffered(InterfaceType::kType3));
+  EXPECT_FALSE(supports_parallel_execution(InterfaceType::kType0));
+  EXPECT_FALSE(supports_parallel_execution(InterfaceType::kType2));
+  EXPECT_TRUE(supports_parallel_execution(InterfaceType::kType3));
+  EXPECT_EQ(short_name(InterfaceType::kType2), "IF2");
+}
+
+// --- applicability (Section 3 rules) --------------------------------------------
+
+TEST(Applicability, UnbufferedTypesRejectWideIps) {
+  const KernelParams k;
+  const iplib::IpDescriptor wide = make_ip(/*in_ports=*/4);
+  EXPECT_FALSE(applicable(InterfaceType::kType0, wide, k).ok);
+  EXPECT_FALSE(applicable(InterfaceType::kType2, wide, k).ok);
+  EXPECT_TRUE(applicable(InterfaceType::kType1, wide, k).ok);
+  EXPECT_TRUE(applicable(InterfaceType::kType3, wide, k).ok);
+}
+
+TEST(Applicability, Type0RejectsRateMismatch) {
+  const KernelParams k;
+  const iplib::IpDescriptor mismatch = make_ip(2, 2, /*in_rate=*/2, /*out_rate=*/4);
+  EXPECT_FALSE(applicable(InterfaceType::kType0, mismatch, k).ok);
+  EXPECT_TRUE(applicable(InterfaceType::kType2, mismatch, k).ok);  // split FSM
+  EXPECT_TRUE(applicable(InterfaceType::kType1, mismatch, k).ok);
+}
+
+// --- templates (Figs. 4-7) -------------------------------------------------------
+
+TEST(Templates, Type0HasFillSteadyDrain) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceProgram p = expand_template(InterfaceType::kType0, ip, fn_of(ip), k);
+  EXPECT_EQ(p.type, InterfaceType::kType0);
+  ASSERT_NE(p.find_section("init"), nullptr);
+  ASSERT_NE(p.find_section("steady"), nullptr);
+  // fill + steady == input batches; steady + drain == output batches.
+  const std::int64_t in_b = batches(64, 2);
+  const std::int64_t fill = p.find_section("fill") ? p.find_section("fill")->iterations : 0;
+  const std::int64_t steady = p.find_section("steady")->iterations;
+  const std::int64_t drain =
+      p.find_section("drain") ? p.find_section("drain")->iterations : 0;
+  EXPECT_EQ(fill + steady, in_b);
+  EXPECT_EQ(steady + drain, batches(64, 2));
+}
+
+TEST(Templates, Type0PadsSlowIps) {
+  const KernelParams k;
+  const iplib::IpDescriptor slow = make_ip(2, 2, /*in_rate=*/8, /*out_rate=*/8);
+  const InterfaceProgram p = expand_template(InterfaceType::kType0, slow, fn_of(slow), k);
+  // Every loop section body must be padded to 8 lines (one batch per 8 cycles).
+  for (const IfSection& s : p.sections) {
+    if (s.name == "init") continue;
+    EXPECT_EQ(s.words(), 8) << s.name;
+  }
+}
+
+TEST(Templates, Type1SplitsIntoBufferPhases) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceProgram p = expand_template(InterfaceType::kType1, ip, fn_of(ip), k);
+  ASSERT_NE(p.find_section("buffer_in"), nullptr);
+  ASSERT_NE(p.find_section("start"), nullptr);
+  ASSERT_NE(p.find_section("buffer_out"), nullptr);
+  EXPECT_EQ(p.find_section("buffer_in")->iterations, batches(64, 2));
+  // The kernel moves one batch per sw_buffer_rate cycles.
+  EXPECT_EQ(p.find_section("buffer_in")->words(), k.sw_buffer_rate);
+}
+
+TEST(Templates, Type2UsesDmaStrobes) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceProgram p = expand_template(InterfaceType::kType2, ip, fn_of(ip), k);
+  ASSERT_NE(p.find_section("setup"), nullptr);
+  ASSERT_NE(p.find_section("dma_in"), nullptr);
+  // One strobe line padded to the IP's native rate.
+  EXPECT_EQ(p.find_section("dma_in")->words(), 4);
+  EXPECT_EQ(p.find_section("dma_in")->iterations, batches(64, 2));
+  bool has_read = false;
+  for (const IfLine& l : p.find_section("dma_in")->body) {
+    for (IfOp op : l.ops) has_read |= op == IfOp::kDmaRead;
+  }
+  EXPECT_TRUE(has_read);
+}
+
+TEST(Templates, Type3MovesOneBatchPerCycle) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceProgram p = expand_template(InterfaceType::kType3, ip, fn_of(ip), k);
+  EXPECT_EQ(p.find_section("dma_in")->words(), 1);
+  EXPECT_EQ(p.section_cycles("dma_in"), batches(64, 2));
+}
+
+TEST(Templates, DumpIsReadable) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const std::string dump = expand_template(InterfaceType::kType0, ip, fn_of(ip), k).dump();
+  EXPECT_NE(dump.find("section"), std::string::npos);
+  EXPECT_NE(dump.find("load_x"), std::string::npos);
+}
+
+// --- timing model (Section 3 equations) --------------------------------------------
+
+TEST(Timing, Type0IsMaxOfIpAndTransfer) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();  // t_ip = 5000 dominates
+  const InterfaceTiming t = interface_timing(InterfaceType::kType0, ip, fn_of(ip), 0, k);
+  EXPECT_EQ(t.t_ip, 5000);
+  EXPECT_GT(t.t_if, 0);
+  EXPECT_EQ(t.total_cycles, std::max(t.t_ip, t.t_if));
+  EXPECT_EQ(t.overlap, 0);
+  EXPECT_DOUBLE_EQ(t.clock_slowdown, 1.0);
+}
+
+TEST(Timing, Type0TransferBoundWhenIpFast) {
+  const KernelParams k;
+  iplib::IpDescriptor ip = make_ip();
+  ip.functions[0].ip_cycles = 10;  // trivial IP work; transfer dominates
+  const InterfaceTiming t = interface_timing(InterfaceType::kType0, ip, fn_of(ip), 0, k);
+  EXPECT_EQ(t.total_cycles, t.t_if);
+}
+
+TEST(Timing, Type0SlowsClockForFastIps) {
+  const KernelParams k;
+  const iplib::IpDescriptor fast = make_ip(2, 2, /*in_rate=*/2, /*out_rate=*/2);
+  const InterfaceTiming t = interface_timing(InterfaceType::kType0, fast, fn_of(fast), 0, k);
+  EXPECT_DOUBLE_EQ(t.clock_slowdown, 2.0);
+  EXPECT_EQ(t.t_ip, 10000);  // 5000 stretched by 2x
+}
+
+TEST(Timing, Type2AvoidsClockSlowdown) {
+  const KernelParams k;
+  const iplib::IpDescriptor fast = make_ip(2, 2, 2, 2);
+  const InterfaceTiming t0 = interface_timing(InterfaceType::kType0, fast, fn_of(fast), 0, k);
+  const InterfaceTiming t2 = interface_timing(InterfaceType::kType2, fast, fn_of(fast), 0, k);
+  EXPECT_LT(t2.total_cycles, t0.total_cycles);  // the Table 2 SC10 effect
+  EXPECT_EQ(t2.t_ip, 5000);
+}
+
+TEST(Timing, BufferedFollowsAdditiveFormula) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceTiming t = interface_timing(InterfaceType::kType1, ip, fn_of(ip), 0, k);
+  EXPECT_EQ(t.total_cycles, t.t_if_in + std::max(t.t_ip, t.t_b) + t.t_if_out);
+  EXPECT_GT(t.t_if_in, 0);
+  EXPECT_GT(t.t_if_out, 0);
+}
+
+TEST(Timing, ParallelCodeCreditIsMinOfIpAndPc) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceTiming small =
+      interface_timing(InterfaceType::kType3, ip, fn_of(ip), 1200, k);
+  EXPECT_EQ(small.overlap, 1200);  // T_C < T_IP
+  const InterfaceTiming big =
+      interface_timing(InterfaceType::kType3, ip, fn_of(ip), 99999, k);
+  EXPECT_EQ(big.overlap, 5000);  // capped at T_IP
+  EXPECT_EQ(big.total_cycles, small.total_cycles - (5000 - 1200));
+}
+
+TEST(Timing, UnbufferedTypesIgnoreParallelCode) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceTiming t0 = interface_timing(InterfaceType::kType0, ip, fn_of(ip), 5000, k);
+  const InterfaceTiming t2 = interface_timing(InterfaceType::kType2, ip, fn_of(ip), 5000, k);
+  EXPECT_EQ(t0.overlap, 0);
+  EXPECT_EQ(t2.overlap, 0);
+}
+
+TEST(Timing, NonPipelinedIpSerializesTransfer) {
+  const KernelParams k;
+  const iplib::IpDescriptor np = make_ip(2, 2, 4, 4, 16, /*pipelined=*/false);
+  const InterfaceTiming t = interface_timing(InterfaceType::kType0, np, fn_of(np), 0, k);
+  EXPECT_EQ(t.total_cycles, t.t_if + t.t_ip);
+  const InterfaceTiming t1 = interface_timing(InterfaceType::kType1, np, fn_of(np), 0, k);
+  EXPECT_GT(t1.t_b, 0);
+  EXPECT_EQ(t1.total_cycles, t1.t_if_in + t1.t_b + t1.t_ip + t1.t_if_out);
+}
+
+TEST(Timing, BufferStreamRateUsesAllPorts) {
+  const KernelParams k;
+  // 4 input ports at rate 1: 64 items stream in 16 cycles.
+  iplib::IpDescriptor wide = make_ip(4, 4, 1, 1);
+  wide.functions[0].ip_cycles = 10;
+  const InterfaceTiming t = interface_timing(InterfaceType::kType3, wide, fn_of(wide), 0, k);
+  EXPECT_EQ(t.t_b, 16);
+}
+
+// --- cost model ----------------------------------------------------------------------
+
+TEST(Cost, SoftwareControllersCostCodeMemory) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceProgram p = expand_template(InterfaceType::kType0, ip, fn_of(ip), k);
+  const InterfaceCost c = interface_cost(InterfaceType::kType0, ip, fn_of(ip), k);
+  EXPECT_DOUBLE_EQ(c.controller, k.ucode_word_area * static_cast<double>(p.static_words()));
+  EXPECT_DOUBLE_EQ(c.buffers, 0.0);
+}
+
+TEST(Cost, BufferedTypesPayForBuffers) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const InterfaceCost c1 = interface_cost(InterfaceType::kType1, ip, fn_of(ip), k);
+  const InterfaceCost c3 = interface_cost(InterfaceType::kType3, ip, fn_of(ip), k);
+  EXPECT_GT(c1.buffers, 0.0);
+  EXPECT_GT(c3.buffers, 0.0);
+  // Buffer area scales with the data footprint.
+  EXPECT_NEAR(c1.buffers,
+              k.buffer_word_area * 128 + k.buffer_port_area * 4, 1e-12);
+}
+
+TEST(Cost, FsmSplitRateSurcharge) {
+  const KernelParams k;
+  const iplib::IpDescriptor even = make_ip();
+  const iplib::IpDescriptor split = make_ip(2, 2, 2, 4);
+  const double c_even = interface_cost(InterfaceType::kType2, even, fn_of(even), k).controller;
+  const double c_split =
+      interface_cost(InterfaceType::kType2, split, fn_of(split), k).controller;
+  EXPECT_NEAR(c_split - c_even, k.fsm_split_rate_area, 1e-12);
+}
+
+TEST(Cost, ProtocolTransformerArea) {
+  const KernelParams k;
+  iplib::IpDescriptor hs = make_ip();
+  hs.protocol = iplib::Protocol::kHandshake;
+  const InterfaceCost c = interface_cost(InterfaceType::kType0, hs, fn_of(hs), k);
+  EXPECT_DOUBLE_EQ(c.transformer, k.protocol_transformer_area(iplib::Protocol::kHandshake));
+  EXPECT_GT(c.total(), c.controller);
+}
+
+TEST(Cost, CheapestTypeIsType0) {
+  // The paper's premise: the software unbuffered interface is the cheapest.
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const double a0 = interface_cost(InterfaceType::kType0, ip, fn_of(ip), k).total();
+  for (InterfaceType t :
+       {InterfaceType::kType1, InterfaceType::kType2, InterfaceType::kType3}) {
+    EXPECT_LE(a0, interface_cost(t, ip, fn_of(ip), k).total()) << to_string(t);
+  }
+}
+
+TEST(Cost, Type3MostExpensive) {
+  const KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  const double a3 = interface_cost(InterfaceType::kType3, ip, fn_of(ip), k).total();
+  for (InterfaceType t :
+       {InterfaceType::kType0, InterfaceType::kType1, InterfaceType::kType2}) {
+    EXPECT_GE(a3, interface_cost(t, ip, fn_of(ip), k).total()) << to_string(t);
+  }
+}
+
+}  // namespace
+}  // namespace partita::iface

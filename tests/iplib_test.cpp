@@ -1,0 +1,167 @@
+// Tests for IP descriptors, the library container and the text loader.
+#include <gtest/gtest.h>
+
+#include "iplib/ip.hpp"
+#include "iplib/library.hpp"
+#include "iplib/loader.hpp"
+
+namespace partita::iplib {
+namespace {
+
+IpDescriptor sample_ip() {
+  IpDescriptor ip;
+  ip.name = "FIR16";
+  ip.area = 7.5;
+  ip.in_ports = 2;
+  ip.out_ports = 2;
+  ip.in_rate = 4;
+  ip.out_rate = 4;
+  ip.latency = 12;
+  ip.pipelined = true;
+  ip.functions.push_back({"fir", 2000, 64, 64});
+  return ip;
+}
+
+TEST(IpDescriptor, FindFunction) {
+  const IpDescriptor ip = sample_ip();
+  EXPECT_NE(ip.find_function("fir"), nullptr);
+  EXPECT_EQ(ip.find_function("dct"), nullptr);
+  EXPECT_FALSE(ip.is_multi_function());
+}
+
+TEST(IpDescriptor, DeclaredExecutionCycles) {
+  const IpDescriptor ip = sample_ip();
+  EXPECT_EQ(ip.execution_cycles(ip.functions[0]), 2000);
+}
+
+TEST(IpDescriptor, DerivedExecutionCycles) {
+  IpDescriptor ip = sample_ip();
+  ip.functions[0].ip_cycles = 0;  // derive: latency + max(64*4, 64*4)
+  EXPECT_EQ(ip.execution_cycles(ip.functions[0]), 12 + 64 * 4);
+}
+
+TEST(IpLibrary, AddAndFind) {
+  IpLibrary lib;
+  const IpId id = lib.add(sample_ip());
+  EXPECT_TRUE(lib.find("FIR16").valid());
+  EXPECT_EQ(lib.find("FIR16"), id);
+  EXPECT_FALSE(lib.find("nope").valid());
+  EXPECT_EQ(lib.ip(id).area, 7.5);
+}
+
+TEST(IpLibrary, ImplementorsOf) {
+  IpLibrary lib;
+  lib.add(sample_ip());
+  IpDescriptor multi = sample_ip();
+  multi.name = "MULTI";
+  multi.functions.push_back({"dct", 4000, 64, 64});
+  lib.add(multi);
+  EXPECT_EQ(lib.implementors_of("fir").size(), 2u);
+  EXPECT_EQ(lib.implementors_of("dct").size(), 1u);
+  EXPECT_TRUE(lib.implementors_of("fft").empty());
+  const auto funcs = lib.supported_functions();
+  EXPECT_EQ(funcs.size(), 2u);  // fir, dct
+}
+
+// --- loader ---------------------------------------------------------------------
+
+constexpr std::string_view kLibText = R"(
+# test library
+ip ACC1 {
+  area 3.5
+  ports in 4 out 2
+  rate in 2 out 4
+  latency 16
+  pipelined
+  protocol handshake
+  fn fir cycles 2000 in 64 out 64
+  fn iir cycles 0 in 32 out 32
+}
+ip ACC2 {
+  area 1
+  ports in 1 out 1
+  rate in 4 out 4
+  latency 4
+  combinational
+  protocol sync
+  fn quant cycles 100 in 8 out 8
+}
+)";
+
+TEST(Loader, ParsesFullLibrary) {
+  support::DiagnosticEngine diags;
+  auto lib = load_library(kLibText, diags);
+  ASSERT_TRUE(lib.has_value()) << diags.render_all();
+  EXPECT_EQ(lib->size(), 2u);
+  const IpDescriptor& acc1 = lib->ip(lib->find("ACC1"));
+  EXPECT_DOUBLE_EQ(acc1.area, 3.5);
+  EXPECT_EQ(acc1.in_ports, 4);
+  EXPECT_EQ(acc1.in_rate, 2);
+  EXPECT_EQ(acc1.out_rate, 4);
+  EXPECT_EQ(acc1.latency, 16);
+  EXPECT_TRUE(acc1.pipelined);
+  EXPECT_EQ(acc1.protocol, Protocol::kHandshake);
+  ASSERT_EQ(acc1.functions.size(), 2u);
+  EXPECT_TRUE(acc1.is_multi_function());
+  const IpDescriptor& acc2 = lib->ip(lib->find("ACC2"));
+  EXPECT_FALSE(acc2.pipelined);
+  EXPECT_EQ(acc2.protocol, Protocol::kSynchronous);
+}
+
+TEST(Loader, RejectsDuplicateName) {
+  support::DiagnosticEngine diags;
+  const std::string text = std::string(kLibText) + R"(
+ip ACC1 {
+  area 1
+  fn x cycles 1 in 1 out 1
+}
+)";
+  EXPECT_FALSE(load_library(text, diags).has_value());
+}
+
+TEST(Loader, RejectsMissingFunctions) {
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(load_library("ip EMPTY {\n area 1\n}\n", diags).has_value());
+}
+
+TEST(Loader, RejectsBadRate) {
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(load_library(R"(
+ip X {
+  rate in 0 out 4
+  fn f cycles 1 in 1 out 1
+}
+)",
+                            diags)
+                   .has_value());
+}
+
+TEST(Loader, RejectsUnknownProtocol) {
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(load_library(R"(
+ip X {
+  protocol carrier_pigeon
+  fn f cycles 1 in 1 out 1
+}
+)",
+                            diags)
+                   .has_value());
+}
+
+TEST(Loader, RejectsUnterminatedBlock) {
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(load_library("ip X {\n area 1\n fn f cycles 1 in 1 out 1\n", diags).has_value());
+}
+
+TEST(Loader, SaveLoadRoundTrip) {
+  support::DiagnosticEngine diags;
+  auto lib1 = load_library(kLibText, diags);
+  ASSERT_TRUE(lib1);
+  const std::string saved1 = save_library(*lib1);
+  auto lib2 = load_library(saved1, diags);
+  ASSERT_TRUE(lib2.has_value()) << diags.render_all() << saved1;
+  EXPECT_EQ(save_library(*lib2), saved1);
+}
+
+}  // namespace
+}  // namespace partita::iplib

@@ -1,0 +1,279 @@
+// Tests for the IR: MOPs and micro-word packing, modules/functions,
+// lowering, verification and printing.
+#include <gtest/gtest.h>
+
+#include "ir/function.hpp"
+#include "ir/lower.hpp"
+#include "ir/mop.hpp"
+#include "ir/printer.hpp"
+#include "ir/verify.hpp"
+
+namespace partita::ir {
+namespace {
+
+// --- MOP / micro-word packing -------------------------------------------------
+
+TEST(Mop, InfoTableConsistent) {
+  EXPECT_TRUE(mop_info(MopKind::kLoad).is_memory);
+  EXPECT_TRUE(mop_info(MopKind::kCall).is_control);
+  EXPECT_TRUE(mop_info(MopKind::kMac).is_arith);
+  EXPECT_EQ(to_string(MopKind::kAguAdd), "agu_add");
+}
+
+TEST(MicroWord, FieldAssignment) {
+  Mop load;
+  load.kind = MopKind::kLoad;
+  load.mem = Memory::kX;
+  EXPECT_EQ(field_for(load), UField::kMoveX);
+  load.mem = Memory::kY;
+  EXPECT_EQ(field_for(load), UField::kMoveY);
+
+  Mop mul;
+  mul.kind = MopKind::kMul;
+  EXPECT_EQ(field_for(mul), UField::kMul);
+
+  Mop br;
+  br.kind = MopKind::kBranch;
+  EXPECT_EQ(field_for(br), UField::kSeq);
+}
+
+TEST(MopList, PacksParallelOpsIntoOneWord) {
+  // loadX + loadY + mac fit one micro-word: the classic dual-fetch MAC cycle.
+  MopList mops;
+  Mop lx;
+  lx.kind = MopKind::kLoad;
+  lx.mem = Memory::kX;
+  mops.add(lx);
+  Mop ly;
+  ly.kind = MopKind::kLoad;
+  ly.mem = Memory::kY;
+  mops.add(ly);
+  Mop mac;
+  mac.kind = MopKind::kMac;
+  mops.add(mac);
+  EXPECT_EQ(mops.pack_schedule(), 1u);
+  EXPECT_EQ(mops.schedule()[0].occupancy(), 3u);
+}
+
+TEST(MopList, FieldConflictForcesNewWord) {
+  MopList mops;
+  for (int i = 0; i < 3; ++i) {
+    Mop add;
+    add.kind = MopKind::kAdd;
+    mops.add(add);
+  }
+  EXPECT_EQ(mops.pack_schedule(), 3u);  // one ALU op per word
+}
+
+TEST(MopList, ControlOpsTerminateWord) {
+  MopList mops;
+  Mop add;
+  add.kind = MopKind::kAdd;
+  mops.add(add);
+  Mop call;
+  call.kind = MopKind::kCall;
+  mops.add(call);
+  Mop add2;
+  add2.kind = MopKind::kAdd;
+  mops.add(add2);
+  EXPECT_EQ(mops.pack_schedule(), 2u);  // [add, call] | [add2]
+}
+
+TEST(MopList, RegisterMovesFallBackToYPort) {
+  MopList mops;
+  Mop m1;
+  m1.kind = MopKind::kMove;
+  mops.add(m1);
+  Mop m2;
+  m2.kind = MopKind::kMove;
+  mops.add(m2);
+  EXPECT_EQ(mops.pack_schedule(), 1u);  // X port + Y port
+}
+
+// --- module / function ----------------------------------------------------------
+
+Module simple_module() {
+  Module m("t");
+  Function& leaf = m.create_function("leaf");
+  leaf.set_ip_mappable(true);
+  leaf.set_declared_sw_cycles(100);
+  Function& main_fn = m.create_function("main");
+  Stmt seg;
+  seg.kind = StmtKind::kSeg;
+  seg.cycles = 10;
+  const StmtId s0 = main_fn.add_stmt(seg);
+  Stmt call;
+  call.kind = StmtKind::kCall;
+  call.callee = leaf.id();
+  const StmtId s1 = main_fn.add_stmt(call);
+  main_fn.body() = {s0, s1};
+  m.register_call_site(main_fn.id(), s1, leaf.id());
+  m.set_entry(main_fn.id());
+  return m;
+}
+
+TEST(Module, SymbolInterning) {
+  Module m("t");
+  const SymbolId a = m.intern_symbol("x");
+  const SymbolId b = m.intern_symbol("x");
+  const SymbolId c = m.intern_symbol("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(m.symbol_name(c), "y");
+}
+
+TEST(Module, FindFunction) {
+  Module m = simple_module();
+  EXPECT_TRUE(m.find_function("leaf").valid());
+  EXPECT_FALSE(m.find_function("nope").valid());
+}
+
+TEST(Module, CallSiteRegistration) {
+  Module m = simple_module();
+  ASSERT_EQ(m.call_sites().size(), 1u);
+  const CallSite& cs = m.call_site(CallSiteId{0});
+  EXPECT_EQ(m.function(cs.callee).name(), "leaf");
+  EXPECT_EQ(m.function(cs.caller).name(), "main");
+}
+
+TEST(Module, BottomUpOrderPutsCalleesFirst) {
+  Module m = simple_module();
+  const auto order = m.bottom_up_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(m.function(order[0]).name(), "leaf");
+  EXPECT_EQ(m.function(order[1]).name(), "main");
+}
+
+// --- verification ----------------------------------------------------------------
+
+TEST(Verify, AcceptsWellFormedModule) {
+  Module m = simple_module();
+  support::DiagnosticEngine diags;
+  EXPECT_TRUE(verify_module(m, diags)) << diags.render_all();
+}
+
+TEST(Verify, RejectsMissingEntry) {
+  Module m("t");
+  m.create_function("f");
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+}
+
+TEST(Verify, RejectsRecursion) {
+  Module m("t");
+  Function& f = m.create_function("f");
+  Stmt call;
+  call.kind = StmtKind::kCall;
+  call.callee = f.id();
+  const StmtId s = f.add_stmt(call);
+  f.body() = {s};
+  m.register_call_site(f.id(), s, f.id());
+  m.set_entry(f.id());
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+  EXPECT_NE(diags.render_all().find("recursive"), std::string::npos);
+}
+
+TEST(Verify, RejectsBadProbability) {
+  Module m("t");
+  Function& f = m.create_function("main");
+  Stmt iff;
+  iff.kind = StmtKind::kIf;
+  iff.taken_prob = 1.5;
+  const StmtId s = f.add_stmt(iff);
+  f.body() = {s};
+  m.set_entry(f.id());
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+}
+
+TEST(Verify, RejectsUnregisteredCall) {
+  Module m("t");
+  Function& leaf = m.create_function("leaf");
+  leaf.set_declared_sw_cycles(10);
+  Function& f = m.create_function("main");
+  Stmt call;
+  call.kind = StmtKind::kCall;
+  call.callee = leaf.id();
+  const StmtId s = f.add_stmt(call);  // never registered as a call site
+  f.body() = {s};
+  m.set_entry(f.id());
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+}
+
+TEST(Verify, RejectsLeafScallWithoutCycles) {
+  Module m("t");
+  Function& leaf = m.create_function("leaf");
+  leaf.set_ip_mappable(true);  // no body, no declared cycles
+  Function& f = m.create_function("main");
+  (void)f;
+  m.set_entry(m.find_function("main"));
+  support::DiagnosticEngine diags;
+  EXPECT_FALSE(verify_module(m, diags));
+}
+
+// --- lowering ----------------------------------------------------------------------
+
+TEST(Lower, SegmentPacksToDeclaredCycles) {
+  Module m("t");
+  Function& f = m.create_function("main");
+  Stmt seg;
+  seg.kind = StmtKind::kSeg;
+  seg.cycles = 37;
+  const StmtId s = f.add_stmt(seg);
+  f.body() = {s};
+  m.set_entry(f.id());
+  const LoweredFunction lowered = lower_function(m, f);
+  EXPECT_EQ(lowered.schedule_cycles, 37u);
+}
+
+TEST(Lower, CallBecomesSingleCallMop) {
+  Module m = simple_module();
+  const LoweredFunction lowered = lower_function(m, m.function(m.entry()));
+  int calls = 0;
+  for (const Mop& mop : lowered.mops.mops()) {
+    if (mop.kind == MopKind::kCall) {
+      ++calls;
+      EXPECT_EQ(m.function(mop.callee).name(), "leaf");
+      EXPECT_TRUE(mop.call_site.valid());
+    }
+  }
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Lower, StmtRangesCoverAllMops) {
+  Module m = simple_module();
+  const LoweredFunction lowered = lower_function(m, m.function(m.entry()));
+  std::size_t covered = 0;
+  for (const auto& [stmt, range] : lowered.stmt_range) covered += range.size();
+  EXPECT_EQ(covered, lowered.mops.size());
+}
+
+TEST(Lower, WholeModule) {
+  Module m = simple_module();
+  const LoweredModule lowered = lower_module(m);
+  EXPECT_EQ(lowered.functions.size(), 2u);
+  EXPECT_TRUE(lowered.of(m.entry()).mops.size() > 0);
+}
+
+// --- printing ------------------------------------------------------------------------
+
+TEST(Printer, MentionsAllFunctions) {
+  Module m = simple_module();
+  const std::string text = print_module(m);
+  EXPECT_NE(text.find("func leaf scall sw_cycles 100;"), std::string::npos);
+  EXPECT_NE(text.find("func main"), std::string::npos);
+  EXPECT_NE(text.find("call leaf"), std::string::npos);
+}
+
+TEST(Printer, DumpsMopsWithSchedule) {
+  Module m = simple_module();
+  LoweredFunction lowered = lower_function(m, m.function(m.entry()));
+  const std::string text = print_mops(m, lowered);
+  EXPECT_NE(text.find("call leaf"), std::string::npos);
+  EXPECT_NE(text.find("schedule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace partita::ir

@@ -1,0 +1,319 @@
+// Tests for s-call discovery and IMP enumeration, including hierarchy
+// flattening and parallel-code variants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "cdfg/paths.hpp"
+#include "frontend/parser.hpp"
+#include "iplib/loader.hpp"
+#include "isel/enumerate.hpp"
+#include "isel/scall.hpp"
+#include "profile/profile.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita::isel {
+namespace {
+
+struct Fixture {
+  ir::Module module;
+  iplib::IpLibrary library;
+  profile::ModuleProfile prof;
+  std::unique_ptr<cdfg::Cdfg> g;
+  std::vector<cdfg::ExecPath> paths;
+  std::vector<SCall> scalls;
+  std::unique_ptr<ImpDatabase> db;
+
+  Fixture(std::string_view kl, std::string_view lib_text, EnumerateOptions opts = {}) {
+    support::DiagnosticEngine diags;
+    auto m = frontend::parse_module(kl, diags);
+    EXPECT_TRUE(m.has_value()) << diags.render_all();
+    module = std::move(*m);
+    auto lib = iplib::load_library(lib_text, diags);
+    EXPECT_TRUE(lib.has_value()) << diags.render_all();
+    library = std::move(*lib);
+    prof = profile::profile_module(module);
+    g = std::make_unique<cdfg::Cdfg>(module, module.function(module.entry()));
+    g->annotate_call_cycles([this](ir::FuncId f) { return prof.cycles_of(f); });
+    paths = cdfg::enumerate_paths(*g);
+    scalls = find_scalls(module, prof, library, *g);
+    db = std::make_unique<ImpDatabase>(module, prof, library, *g, paths, scalls, opts);
+  }
+};
+
+constexpr std::string_view kTwoCallsKl = R"(
+module t;
+func fir scall sw_cycles 10000;
+func other sw_cycles 500;
+func main {
+  seg pre 100 writes(a);
+  call fir reads(a) writes(x);
+  call other reads(a) writes(h);
+  seg post 50 reads(x, h);
+}
+)";
+
+constexpr std::string_view kFirLib = R"(
+ip FIR_IP {
+  area 8
+  ports in 2 out 2
+  rate in 4 out 4
+  latency 16
+  pipelined
+  protocol sync
+  fn fir cycles 3000 in 64 out 64
+}
+)";
+
+TEST(SCallDiscovery, OnlyIpMappableCallsCount) {
+  Fixture f(kTwoCallsKl, kFirLib);
+  ASSERT_EQ(f.scalls.size(), 1u);
+  EXPECT_EQ(f.scalls[0].callee_name, "fir");
+  EXPECT_EQ(f.scalls[0].t_sw, 10000);
+  EXPECT_DOUBLE_EQ(f.scalls[0].frequency, 1.0);
+  EXPECT_NE(f.scalls[0].node, cdfg::kInvalidNode);
+}
+
+TEST(SCallDiscovery, ScallWithoutLibrarySupportIsDropped) {
+  Fixture f(kTwoCallsKl, R"(
+ip OTHER_IP {
+  area 1
+  fn somethingelse cycles 1 in 1 out 1
+}
+)");
+  EXPECT_TRUE(f.scalls.empty());
+}
+
+TEST(SCallDiscovery, FrequencyFromLoops) {
+  Fixture f(R"(
+module t;
+func fir scall sw_cycles 1000;
+func main { loop 6 { call fir; } }
+)",
+            kFirLib);
+  ASSERT_EQ(f.scalls.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.scalls[0].frequency, 6.0);
+}
+
+TEST(Enumerate, GeneratesPositiveGainImpsOnly) {
+  Fixture f(kTwoCallsKl, kFirLib);
+  ASSERT_FALSE(f.db->imps().empty());
+  for (const Imp& imp : f.db->imps()) {
+    EXPECT_GT(imp.gain_per_exec, 0);
+    EXPECT_GT(imp.gain, 0);
+    EXPECT_GE(imp.interface_area, 0.0);
+  }
+}
+
+TEST(Enumerate, SkipsInapplicableInterfaces) {
+  // 4-port IP: type 0 and type 2 must not appear.
+  Fixture f(kTwoCallsKl, R"(
+ip WIDE {
+  area 8
+  ports in 4 out 4
+  rate in 2 out 2
+  latency 8
+  pipelined
+  protocol sync
+  fn fir cycles 3000 in 64 out 64
+}
+)");
+  ASSERT_FALSE(f.db->imps().empty());
+  for (const Imp& imp : f.db->imps()) {
+    EXPECT_TRUE(iface::is_buffered(imp.iface_type)) << imp.describe(f.library);
+  }
+}
+
+TEST(Enumerate, RespectsAllowedTypesOption) {
+  EnumerateOptions opts;
+  opts.allowed_types = {iface::InterfaceType::kType0};
+  Fixture f(kTwoCallsKl, kFirLib, opts);
+  for (const Imp& imp : f.db->imps()) {
+    EXPECT_EQ(imp.iface_type, iface::InterfaceType::kType0);
+  }
+}
+
+TEST(Enumerate, ParallelCodeVariantOnBufferedTypes) {
+  // `other` is not an s-call (no IP), so it joins the PC freely.
+  Fixture f(kTwoCallsKl, kFirLib);
+  bool found_pc = false;
+  for (const Imp& imp : f.db->imps()) {
+    if (imp.pc_use == PcUse::kPlain) {
+      EXPECT_TRUE(iface::is_buffered(imp.iface_type));
+      EXPECT_EQ(imp.parallel_cycles, 500);
+      found_pc = true;
+    }
+  }
+  EXPECT_TRUE(found_pc);
+}
+
+TEST(Enumerate, Problem2PrefixVariants) {
+  // The IP is *slower* than software (the paper: "a slower IP with a
+  // parallel code may be better than a faster IP without a parallel code"):
+  // consuming a second s-call keeps paying because T_IP exceeds one body.
+  Fixture f(R"(
+module t;
+func fir scall sw_cycles 10000;
+func main {
+  call fir writes(x);
+  call fir writes(y);
+  call fir writes(z);
+  seg post 20 reads(x, y, z);
+}
+)",
+            R"(
+ip SLOW_FIR {
+  area 8
+  ports in 2 out 2
+  rate in 4 out 4
+  latency 16
+  pipelined
+  protocol sync
+  fn fir cycles 15000 in 64 out 64
+}
+)");
+  // Variants consuming one and two s-calls must both exist for the first
+  // call.
+  std::set<std::size_t> consumed_sizes;
+  for (const Imp& imp : f.db->imps()) {
+    if (imp.scall == ir::CallSiteId{0} && imp.pc_use == PcUse::kWithScallSw) {
+      consumed_sizes.insert(imp.pc_consumed_scalls.size());
+    }
+  }
+  EXPECT_TRUE(consumed_sizes.count(1));
+  EXPECT_TRUE(consumed_sizes.count(2));
+}
+
+TEST(Enumerate, Problem1DisablesScallConsumption) {
+  EnumerateOptions opts;
+  opts.problem2 = false;
+  Fixture f(R"(
+module t;
+func fir scall sw_cycles 10000;
+func main {
+  call fir writes(x);
+  call fir writes(y);
+  seg post 20 reads(x, y);
+}
+)",
+            kFirLib, opts);
+  for (const Imp& imp : f.db->imps()) {
+    EXPECT_NE(imp.pc_use, PcUse::kWithScallSw);
+  }
+}
+
+TEST(Enumerate, DominancePruningKeepsBestPerIp) {
+  Fixture f(kTwoCallsKl, kFirLib);
+  // For a 2-port rate-4 IP, type 0 has the same gain as type 2 with less
+  // area: type 2's no-PC IMP must have been pruned.
+  for (const Imp& imp : f.db->imps()) {
+    if (imp.pc_use == PcUse::kNone) {
+      EXPECT_NE(imp.iface_type, iface::InterfaceType::kType2) << imp.describe(f.library);
+    }
+  }
+}
+
+// --- hierarchy / IMP flattening -------------------------------------------------
+
+constexpr std::string_view kHierKl = R"(
+module t;
+func cmul scall sw_cycles 40;
+func fft scall {
+  loop 32 { call cmul; }
+  seg glue 720;
+}
+func main {
+  loop 10 { call fft reads(sig) writes(spec); }
+  seg post 100 reads(spec);
+}
+)";
+
+constexpr std::string_view kHierLib = R"(
+ip FFT_IP {
+  area 12
+  ports in 2 out 2
+  rate in 4 out 4
+  latency 16
+  pipelined
+  protocol sync
+  fn fft cycles 400 in 64 out 64
+}
+ip CMUL_IP {
+  area 3
+  ports in 2 out 2
+  rate in 4 out 4
+  latency 2
+  pipelined
+  protocol sync
+  fn cmul cycles 6 in 4 out 2
+}
+)";
+
+TEST(Flatten, GeneratesLiftedImps) {
+  Fixture f(kHierKl, kHierLib);
+  ASSERT_EQ(f.scalls.size(), 1u);  // only the fft site is top-level
+  EXPECT_EQ(f.scalls[0].t_sw, 32 * 40 + 720);
+
+  bool direct = false, flattened = false;
+  for (const Imp& imp : f.db->imps()) {
+    if (imp.flattened) {
+      flattened = true;
+      EXPECT_EQ(imp.ip_function->function, "cmul");
+      EXPECT_DOUBLE_EQ(imp.inner_calls_per_exec, 32.0);
+      EXPECT_EQ(imp.flatten_depth, 1);
+    } else {
+      direct = true;
+      EXPECT_EQ(imp.ip_function->function, "fft");
+    }
+  }
+  EXPECT_TRUE(direct);
+  EXPECT_TRUE(flattened);
+}
+
+TEST(Flatten, GainScalesWithInnerCallCount) {
+  Fixture f(kHierKl, kHierLib);
+  for (const Imp& imp : f.db->imps()) {
+    if (!imp.flattened) continue;
+    // cmul: T_SW 40, IP total = max(6, t_if); t_if = 1 + 4 * (2 batches + 1
+    // fill) = small; saved per cmul * 32 inner calls.
+    const std::int64_t per_cmul = imp.gain_per_exec / 32;
+    EXPECT_GT(per_cmul, 20);
+    EXPECT_LT(per_cmul, 40);
+    // Top-level frequency 10 multiplies into the total gain.
+    EXPECT_EQ(imp.gain, imp.gain_per_exec * 10);
+  }
+}
+
+TEST(Flatten, JpegLadderHasAllLevels) {
+  workloads::Workload w = workloads::jpeg_encoder();
+  profile::ModuleProfile prof = profile::profile_module(w.module);
+  cdfg::Cdfg g(w.module, w.module.function(w.module.entry()));
+  g.annotate_call_cycles([&](ir::FuncId f) { return prof.cycles_of(f); });
+  auto paths = cdfg::enumerate_paths(g);
+  auto scalls = find_scalls(w.module, prof, w.library, g);
+  ImpDatabase db(w.module, prof, w.library, g, paths, scalls, {});
+
+  // The dct2d s-call must offer IMPs at depth 0 (2D-DCT IP), 1 (1D-DCT),
+  // 2 (FFT) and 3 (C-MUL).
+  std::set<int> depths;
+  for (const Imp& imp : db.imps()) {
+    const SCall* sc = db.scall_of(imp.scall);
+    ASSERT_NE(sc, nullptr);
+    if (sc->callee_name == "dct2d") depths.insert(imp.flatten_depth);
+  }
+  EXPECT_TRUE(depths.count(0));
+  EXPECT_TRUE(depths.count(1));
+  EXPECT_TRUE(depths.count(2));
+  EXPECT_TRUE(depths.count(3));
+}
+
+TEST(Enumerate, DumpMentionsEverySCall) {
+  Fixture f(kHierKl, kHierLib);
+  const std::string dump = f.db->dump(f.library);
+  EXPECT_NE(dump.find("fft"), std::string::npos);
+  EXPECT_NE(dump.find("IMP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace partita::isel

@@ -1,0 +1,91 @@
+// Tests for the power model: IP power, interface power, and the optional
+// power budget in the selector.
+#include <gtest/gtest.h>
+
+#include "iface/model.hpp"
+#include "iplib/loader.hpp"
+#include "select/flow.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita {
+namespace {
+
+TEST(Power, LoaderRoundTripsPower) {
+  support::DiagnosticEngine diags;
+  auto lib = iplib::load_library(R"(
+ip P1 {
+  area 4
+  power 0.75
+  fn f cycles 100 in 8 out 8
+}
+)",
+                                 diags);
+  ASSERT_TRUE(lib.has_value()) << diags.render_all();
+  EXPECT_DOUBLE_EQ(lib->ip(lib->find("P1")).power, 0.75);
+  auto lib2 = iplib::load_library(iplib::save_library(*lib), diags);
+  ASSERT_TRUE(lib2.has_value());
+  EXPECT_DOUBLE_EQ(lib2->ip(lib2->find("P1")).power, 0.75);
+}
+
+TEST(Power, InterfacePowerByType) {
+  iface::KernelParams k;
+  iplib::IpDescriptor ip;
+  ip.name = "X";
+  ip.functions.push_back({"f", 100, 8, 8});
+  // Software controllers draw nothing extra.
+  EXPECT_DOUBLE_EQ(iface::interface_power(iface::InterfaceType::kType0, ip, k), 0.0);
+  // FSM types draw the FSM constant; buffered add per-port draw.
+  EXPECT_DOUBLE_EQ(iface::interface_power(iface::InterfaceType::kType2, ip, k), k.fsm_power);
+  EXPECT_GT(iface::interface_power(iface::InterfaceType::kType3, ip, k), k.fsm_power);
+  EXPECT_GT(iface::interface_power(iface::InterfaceType::kType1, ip, k), 0.0);
+  // Exotic protocols pay the transformer.
+  ip.protocol = iplib::Protocol::kHandshake;
+  EXPECT_DOUBLE_EQ(iface::interface_power(iface::InterfaceType::kType0, ip, k),
+                   k.transformer_power);
+}
+
+TEST(Power, SelectionAccumulatesPower) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const select::Selection sel = flow.select(flow.max_feasible_gain() / 2);
+  ASSERT_TRUE(sel.feasible);
+  double expected_ip_power = 0;
+  for (iplib::IpId ip : sel.ips_used) expected_ip_power += w.library.ip(ip).power;
+  EXPECT_DOUBLE_EQ(sel.ip_power, expected_ip_power);
+  EXPECT_GT(sel.total_power(), 0.0);  // workload IPs carry power annotations
+}
+
+TEST(Power, BudgetConstrainsSelection) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+
+  const select::Selection unconstrained = flow.select(rg);
+  ASSERT_TRUE(unconstrained.feasible);
+
+  select::SelectOptions tight;
+  tight.max_power = unconstrained.total_power() * 0.6;
+  const select::Selection constrained = flow.select(rg, tight);
+  if (constrained.feasible) {
+    EXPECT_LE(constrained.total_power(), *tight.max_power + 1e-9);
+    // Meeting the same gain with less power can only cost area.
+    EXPECT_GE(constrained.total_area() + 1e-9, unconstrained.total_area());
+  }
+
+  select::SelectOptions impossible;
+  impossible.max_power = 1e-6;
+  EXPECT_FALSE(flow.select(rg, impossible).feasible);
+}
+
+TEST(Power, ZeroBudgetStillAllowsSoftwareOnly) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  select::SelectOptions opt;
+  opt.max_power = 0.0;
+  const select::Selection sel = flow.select(0, opt);
+  ASSERT_TRUE(sel.feasible);
+  EXPECT_TRUE(sel.chosen.empty());
+}
+
+}  // namespace
+}  // namespace partita

@@ -1,0 +1,146 @@
+// Tests for the expected-value profiler and the Monte-Carlo sample executor,
+// including the convergence property between the two.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "profile/interpreter.hpp"
+#include "profile/profile.hpp"
+
+namespace partita::profile {
+namespace {
+
+ir::Module parse(std::string_view kl) {
+  support::DiagnosticEngine diags;
+  auto m = frontend::parse_module(kl, diags);
+  EXPECT_TRUE(m.has_value()) << diags.render_all();
+  return std::move(*m);
+}
+
+TEST(Profile, StraightLineCycles) {
+  const ir::Module m = parse("module t; func main { seg a 10; seg b 32; }");
+  const ModuleProfile p = profile_module(m);
+  EXPECT_EQ(p.total_cycles, 42);
+}
+
+TEST(Profile, LoopMultipliesCycles) {
+  const ir::Module m = parse("module t; func main { loop 6 { seg a 10; } }");
+  EXPECT_EQ(profile_module(m).total_cycles, 60);
+}
+
+TEST(Profile, BranchesAreProbabilityWeighted) {
+  const ir::Module m = parse(R"(
+module t;
+func main { if prob 0.25 { seg a 100; } else { seg b 20; } }
+)");
+  EXPECT_EQ(profile_module(m).total_cycles, 40);  // 0.25*100 + 0.75*20
+}
+
+TEST(Profile, DeclaredLeafCyclesUsed) {
+  const ir::Module m = parse(R"(
+module t;
+func leaf scall sw_cycles 777;
+func main { call leaf; }
+)");
+  const ModuleProfile p = profile_module(m);
+  EXPECT_EQ(p.total_cycles, 777);
+  EXPECT_EQ(p.cycles_of(m.find_function("leaf")), 777);
+}
+
+TEST(Profile, BodiedFunctionComputedBottomUp) {
+  const ir::Module m = parse(R"(
+module t;
+func inner scall sw_cycles 100;
+func mid scall { loop 3 { call inner; } seg glue 50; }
+func main { call mid; call mid; }
+)");
+  const ModuleProfile p = profile_module(m);
+  EXPECT_EQ(p.cycles_of(m.find_function("mid")), 350);
+  EXPECT_EQ(p.total_cycles, 700);
+}
+
+TEST(Profile, CallSiteFrequencies) {
+  const ir::Module m = parse(R"(
+module t;
+func leaf scall sw_cycles 10;
+func main {
+  call leaf;
+  loop 4 { call leaf; }
+  if prob 0.5 { call leaf; }
+}
+)");
+  const ModuleProfile p = profile_module(m);
+  ASSERT_EQ(p.call_site_frequency.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.call_site_frequency[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.call_site_frequency[1], 4.0);
+  EXPECT_DOUBLE_EQ(p.call_site_frequency[2], 0.5);
+  EXPECT_DOUBLE_EQ(p.function_frequency[m.find_function("leaf").value()], 5.5);
+}
+
+TEST(Profile, NestedCallSiteFrequencies) {
+  const ir::Module m = parse(R"(
+module t;
+func inner scall sw_cycles 10;
+func mid { loop 8 { call inner; } }
+func main { loop 2 { call mid; } }
+)");
+  const ModuleProfile p = profile_module(m);
+  // inner's site: 2 * 8 executions per run.
+  bool found = false;
+  for (const ir::CallSite& cs : m.call_sites()) {
+    if (m.function(cs.callee).name() == "inner") {
+      EXPECT_DOUBLE_EQ(p.frequency_of(cs.id), 16.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- interpreter -------------------------------------------------------------------
+
+TEST(Interpreter, DeterministicWithoutBranches) {
+  const ir::Module m = parse(R"(
+module t;
+func leaf scall sw_cycles 5;
+func main { seg a 10; loop 3 { call leaf; } }
+)");
+  support::Rng rng(1);
+  const SampleRun run = sample_execute(m, rng);
+  EXPECT_EQ(run.cycles, 25);
+  EXPECT_EQ(run.call_site_executions[0], 3);
+}
+
+TEST(Interpreter, DegenerateBranchProbabilities) {
+  const ir::Module m = parse(R"(
+module t;
+func main { if prob 1.0 { seg a 100; } else { seg b 7; } }
+)");
+  support::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(sample_execute(m, rng).cycles, 100);
+  }
+}
+
+// Property: Monte-Carlo averages converge to the analytic expectation.
+class ProfileConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileConvergence, SampleAverageMatchesExpectation) {
+  const ir::Module m = parse(R"(
+module t;
+func leaf scall sw_cycles 50;
+func main {
+  seg a 10;
+  if prob 0.3 { seg hot 200; call leaf; } else { seg cold 40; }
+  loop 5 { if prob 0.5 { seg x 10; } else { seg y 30; } }
+}
+)");
+  const ModuleProfile expected = profile_module(m);
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const SampleRun avg = sample_execute_average(m, rng, 4000);
+  EXPECT_NEAR(static_cast<double>(avg.cycles), static_cast<double>(expected.total_cycles),
+              0.03 * static_cast<double>(expected.total_cycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileConvergence, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace partita::profile

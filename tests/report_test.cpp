@@ -1,0 +1,79 @@
+// Tests for the generated-ASIP report: instruction classes, u-ROM content,
+// consistency with the selection it describes.
+#include <gtest/gtest.h>
+
+#include "report/chip_report.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita::report {
+namespace {
+
+struct Fixture {
+  workloads::Workload w;
+  select::Flow flow;
+  select::Selection sel;
+
+  explicit Fixture(workloads::Workload wl, int pct = 60)
+      : w(std::move(wl)), flow(w.module, w.library),
+        sel(flow.select(flow.max_feasible_gain() * pct / 100)) {
+    EXPECT_TRUE(sel.feasible);
+  }
+};
+
+TEST(Report, InstructionClassesPresent) {
+  Fixture f(workloads::gsm_encoder());
+  const ChipReport rep = generate_report(f.flow, f.sel);
+  EXPECT_GE(rep.isa.count_of(ucode::InstrClass::kP), 16u);
+  EXPECT_GT(rep.isa.count_of(ucode::InstrClass::kC), 0u);
+  // One S-instruction per merged (IP, interface) pair.
+  EXPECT_EQ(rep.isa.count_of(ucode::InstrClass::kS),
+            static_cast<std::size_t>(f.sel.s_instructions));
+}
+
+TEST(Report, OpcodesEncodedAndPrefixFree) {
+  Fixture f(workloads::gsm_decoder());
+  const ChipReport rep = generate_report(f.flow, f.sel);
+  EXPECT_TRUE(rep.isa.codes_are_prefix_free());
+  EXPECT_GT(rep.expected_opcode_bits, 0.0);
+  EXPECT_LE(rep.expected_opcode_bits, rep.isa.fixed_opcode_bits() + 2.0);
+}
+
+TEST(Report, UromCompresses) {
+  Fixture f(workloads::gsm_encoder());
+  const ChipReport rep = generate_report(f.flow, f.sel);
+  EXPECT_GT(rep.urom.raw_words, 0);
+  EXPECT_LE(rep.urom.unique_words, rep.urom.raw_words);
+  EXPECT_LE(rep.urom.optimized_bits, rep.urom.raw_bits);
+}
+
+TEST(Report, TotalsConsistentWithSelection) {
+  Fixture f(workloads::jpeg_encoder());
+  ReportOptions opts;
+  const ChipReport rep = generate_report(f.flow, f.sel, opts);
+  EXPECT_DOUBLE_EQ(rep.accelerator_area, f.sel.total_area());
+  EXPECT_DOUBLE_EQ(rep.total_area, opts.kernel_base_area + f.sel.total_area());
+  EXPECT_EQ(rep.guaranteed_cycles, rep.software_cycles - f.sel.min_path_gain);
+  EXPECT_GT(rep.total_power, opts.kernel_base_power - 1e-9);
+}
+
+TEST(Report, HardwareInterfacesSynthesizeFsms) {
+  // At full throttle the decoder uses type-2/3 interfaces -> FSM states > 0.
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const select::Selection sel = flow.select(flow.max_feasible_gain());
+  ASSERT_TRUE(sel.feasible);
+  const ChipReport rep = generate_report(flow, sel);
+  EXPECT_GT(rep.fsm_states, 0);
+}
+
+TEST(Report, RenderedTextMentionsEverything) {
+  Fixture f(workloads::gsm_encoder());
+  const ChipReport rep = generate_report(f.flow, f.sel);
+  for (const char* needle :
+       {"instruction set", "u-ROM", "IPs instantiated", "area", "power", "cycles"}) {
+    EXPECT_NE(rep.text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace partita::report

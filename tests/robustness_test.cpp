@@ -1,0 +1,159 @@
+// Robustness: random-input fuzzing of the two text frontends and the IP
+// loader (must diagnose, never crash), plus solver stress on degenerate and
+// larger random instances.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "frontend/parser.hpp"
+#include "ilp/branch_bound.hpp"
+#include "iplib/loader.hpp"
+#include "minic/mc_codegen.hpp"
+
+namespace partita {
+namespace {
+
+// --- fuzzing -------------------------------------------------------------------
+
+std::string random_token_soup(std::mt19937& rng, bool kl_flavored) {
+  static const char* kKlWords[] = {"module", "func",  "seg",   "call", "if",
+                                   "loop",   "reads", "writes", "prob", "scall",
+                                   "sw_cycles", "entry", "else"};
+  static const char* kMcWords[] = {"int",  "void", "for",     "if",      "else",
+                                   "in",   "out",  "inout",   "__scall", "__cycles",
+                                   "__prob"};
+  static const char* kPunct[] = {"{", "}", "(", ")", "[", "]", ";", ",", "=",
+                                 "+", "-", "*", "<", ">", "<<", "!=", "|"};
+  std::string out;
+  const int n = 5 + static_cast<int>(rng() % 120);
+  for (int i = 0; i < n; ++i) {
+    switch (rng() % 4) {
+      case 0:
+        out += kl_flavored ? kKlWords[rng() % std::size(kKlWords)]
+                           : kMcWords[rng() % std::size(kMcWords)];
+        break;
+      case 1:
+        out += kPunct[rng() % std::size(kPunct)];
+        break;
+      case 2:
+        out += "v" + std::to_string(rng() % 9);
+        break;
+      case 3:
+        out += std::to_string(rng() % 10000);
+        break;
+    }
+    out += (rng() % 6 == 0) ? "\n" : " ";
+  }
+  return out;
+}
+
+class FuzzFrontends : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzFrontends, KlParserNeverCrashes) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    support::DiagnosticEngine diags;
+    auto m = frontend::parse_module(random_token_soup(rng, true), diags);
+    if (!m) {
+      EXPECT_TRUE(diags.has_errors());  // rejection must be explained
+    }
+  }
+}
+
+TEST_P(FuzzFrontends, MiniCCompilerNeverCrashes) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 9000);
+  for (int i = 0; i < 50; ++i) {
+    support::DiagnosticEngine diags;
+    auto m = minic::mc_compile_source(random_token_soup(rng, false), "fuzz", diags);
+    if (!m) {
+      EXPECT_TRUE(diags.has_errors());
+    }
+  }
+}
+
+TEST_P(FuzzFrontends, IpLoaderNeverCrashes) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()) + 5000);
+  static const char* kWords[] = {"ip",       "area",    "ports", "rate", "in",
+                                 "out",      "latency", "fn",    "cycles", "{",
+                                 "}",        "pipelined", "protocol", "sync"};
+  for (int i = 0; i < 50; ++i) {
+    std::string soup;
+    const int n = 5 + static_cast<int>(rng() % 60);
+    for (int k = 0; k < n; ++k) {
+      soup += (rng() % 3 == 0) ? std::to_string(rng() % 100)
+                               : kWords[rng() % std::size(kWords)];
+      soup += (rng() % 5 == 0) ? "\n" : " ";
+    }
+    support::DiagnosticEngine diags;
+    auto lib = iplib::load_library(soup, diags);
+    if (!lib) {
+      EXPECT_TRUE(diags.has_errors());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFrontends, ::testing::Range(0, 6));
+
+// --- solver stress --------------------------------------------------------------
+
+TEST(SolverStress, HighlyDegenerateEqualitySystem) {
+  // Many redundant equalities around one feasible point: phase-1 heavy,
+  // degenerate pivots; must still terminate at the optimum.
+  ilp::Model m;
+  m.set_sense(ilp::Sense::kMaximize);
+  std::vector<ilp::VarIndex> x;
+  for (int j = 0; j < 10; ++j) x.push_back(m.add_binary("x" + std::to_string(j), j + 1));
+  for (int r = 0; r < 8; ++r) {
+    std::vector<ilp::Term> terms;
+    for (int j = r; j < 10; j += 2) terms.push_back({x[static_cast<std::size_t>(j)], 1.0});
+    m.add_row("eq" + std::to_string(r), std::move(terms), ilp::RowSense::kEqual,
+              r % 2 ? 2.0 : 1.0);
+  }
+  const ilp::IlpResult r = ilp::solve_ilp(m);
+  // May be infeasible depending on parity structure; it must terminate with
+  // a definite answer either way.
+  EXPECT_NE(r.status, ilp::IlpStatus::kNodeLimit);
+  if (r.has_solution) {
+    EXPECT_TRUE(m.is_feasible(r.x));
+  }
+}
+
+TEST(SolverStress, WideKnapsackCloses) {
+  // 60 binaries, one knapsack row: B&B with the rounding heuristic must
+  // close quickly (fractional LP + one branch level typically suffices).
+  std::mt19937 rng(7);
+  ilp::Model m;
+  m.set_sense(ilp::Sense::kMaximize);
+  std::vector<double> weight(60);
+  std::vector<ilp::Term> row;
+  double total = 0;
+  for (int j = 0; j < 60; ++j) {
+    const double v = 1 + static_cast<double>(rng() % 40);
+    weight[static_cast<std::size_t>(j)] = 1 + static_cast<double>(rng() % 20);
+    m.add_binary("x" + std::to_string(j), v);
+    row.push_back({static_cast<ilp::VarIndex>(j), weight[static_cast<std::size_t>(j)]});
+    total += weight[static_cast<std::size_t>(j)];
+  }
+  m.add_row("cap", std::move(row), ilp::RowSense::kLessEqual, total / 3);
+  const ilp::IlpResult r = ilp::solve_ilp(m);
+  ASSERT_EQ(r.status, ilp::IlpStatus::kOptimal);
+  EXPECT_TRUE(m.is_feasible(r.x));
+  EXPECT_LT(r.nodes_explored, 50000);
+}
+
+TEST(SolverStress, AlternatingSignsObjective) {
+  ilp::Model m;
+  for (int j = 0; j < 12; ++j) {
+    m.add_binary("x" + std::to_string(j), (j % 2 ? 1.0 : -1.0) * (j + 1));
+  }
+  // Minimize: picks all negative-coefficient (even-index) variables.
+  const ilp::IlpResult r = ilp::solve_ilp(m);
+  ASSERT_EQ(r.status, ilp::IlpStatus::kOptimal);
+  double expected = 0;
+  for (int j = 0; j < 12; j += 2) expected -= (j + 1);
+  EXPECT_NEAR(r.objective, expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace partita

@@ -1,0 +1,133 @@
+// Tests for the Verilog emitter: structure, naming, and consistency with
+// the models it renders.
+#include <gtest/gtest.h>
+
+#include "iface/model.hpp"
+#include "rtl/verilog.hpp"
+
+namespace partita::rtl {
+namespace {
+
+iplib::IpDescriptor make_ip() {
+  iplib::IpDescriptor ip;
+  ip.name = "T";
+  ip.in_rate = 2;
+  ip.out_rate = 4;
+  ip.latency = 16;
+  ip.functions.push_back({"f", 5000, 64, 32});
+  return ip;
+}
+
+iface::ControllerFsm make_fsm(iface::InterfaceType type = iface::InterfaceType::kType2) {
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = make_ip();
+  return iface::ControllerFsm::synthesize(
+      iface::expand_template(type, ip, ip.functions[0], k));
+}
+
+TEST(Sanitize, Identifiers) {
+  EXPECT_EQ(sanitize_identifier("IP12-IF0"), "IP12_IF0");
+  EXPECT_EQ(sanitize_identifier("1bad"), "m_1bad");
+  EXPECT_EQ(sanitize_identifier(""), "m_");
+  EXPECT_EQ(sanitize_identifier("fine_name"), "fine_name");
+}
+
+TEST(Controller, EmitsModuleSkeleton) {
+  const std::string v = emit_controller(make_fsm(), "ctrl_t");
+  EXPECT_NE(v.find("module ctrl_t"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(v.find("output reg  done"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk"), std::string::npos);
+}
+
+TEST(Controller, OneLocalparamPerState) {
+  const iface::ControllerFsm fsm = make_fsm();
+  const std::string v = emit_controller(fsm, "ctrl_t");
+  for (std::size_t i = 0; i < fsm.states().size(); ++i) {
+    EXPECT_NE(v.find("] S" + std::to_string(i) + " ="), std::string::npos) << i;
+  }
+  EXPECT_NE(v.find("S_DONE"), std::string::npos);
+}
+
+TEST(Controller, LoopCountersEmitted) {
+  const iface::ControllerFsm fsm = make_fsm();
+  ASSERT_GT(fsm.counter_count(), 0u);
+  const std::string v = emit_controller(fsm, "ctrl_t");
+  for (std::size_t c = 0; c < fsm.counter_count(); ++c) {
+    EXPECT_NE(v.find("reg [15:0] cnt" + std::to_string(c)), std::string::npos);
+    EXPECT_NE(v.find("CNT" + std::to_string(c) + "_INIT"), std::string::npos);
+  }
+}
+
+TEST(Controller, StrobesForDmaOps) {
+  const std::string v = emit_controller(make_fsm(), "ctrl_t");
+  EXPECT_NE(v.find("do_dma_read"), std::string::npos);
+  EXPECT_NE(v.find("do_dma_write"), std::string::npos);
+  EXPECT_NE(v.find("do_bus_connect"), std::string::npos);
+}
+
+TEST(Controller, Type3EmitsStartStrobe) {
+  const std::string v = emit_controller(make_fsm(iface::InterfaceType::kType3), "c3");
+  EXPECT_NE(v.find("do_start_ip"), std::string::npos);
+}
+
+// --- u-ROM ---------------------------------------------------------------------
+
+TEST(UromRtl, EmitsPointerCase) {
+  ucode::Urom urom;
+  urom.add_sequence("seq_a", {{"w1"}, {"w2"}, {"w1"}});
+  urom.add_sequence("seq_b", {{"w2"}});
+  urom.optimize();
+  const std::string v = emit_urom(urom, "urom_t");
+  EXPECT_NE(v.find("module urom_t"), std::string::npos);
+  EXPECT_NE(v.find("nano_sel"), std::string::npos);
+  // 4 micro words total; addresses 0..3 present.
+  for (int a = 0; a < 4; ++a) {
+    EXPECT_NE(v.find("'d" + std::to_string(a) + ": nano_sel"), std::string::npos) << a;
+  }
+  // Sequence base comments.
+  EXPECT_NE(v.find("// seq_a starts at 0"), std::string::npos);
+  EXPECT_NE(v.find("// seq_b starts at 3"), std::string::npos);
+  // Nano-store contents documented.
+  EXPECT_NE(v.find("w1"), std::string::npos);
+}
+
+// --- decoder --------------------------------------------------------------------
+
+TEST(DecoderRtl, PrefixPatternsAndPriority) {
+  ucode::InstructionSet isa;
+  ucode::Instruction hot, cold1, cold2;
+  hot.name = "hot";
+  hot.frequency = 100;
+  cold1.name = "c1";
+  cold1.frequency = 1;
+  cold2.name = "c2";
+  cold2.frequency = 1;
+  isa.add(hot);
+  isa.add(cold1);
+  isa.add(cold2);
+  isa.encode();
+
+  const std::string v = emit_decoder(isa, "dec_t");
+  EXPECT_NE(v.find("module dec_t"), std::string::npos);
+  EXPECT_NE(v.find("casez (opcode)"), std::string::npos);
+  // hot has the 1-bit code "0" -> pattern 0?; colds have 2-bit codes.
+  EXPECT_NE(v.find("2'b0?"), std::string::npos);
+  EXPECT_NE(v.find("2'b10"), std::string::npos);
+  EXPECT_NE(v.find("2'b11"), std::string::npos);
+  // The shortest pattern must appear before the longer ones (priority).
+  EXPECT_LT(v.find("2'b0?"), v.find("2'b10"));
+}
+
+TEST(DecoderRtl, SelectWidthMatchesInstructionCount) {
+  ucode::InstructionSet isa;
+  isa.seed_p_class();
+  isa.encode();
+  const std::string v = emit_decoder(isa, "dec_p");
+  EXPECT_NE(v.find("output reg  [" + std::to_string(isa.size() - 1) + ":0] select"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace partita::rtl

@@ -1,0 +1,302 @@
+// Tests for the core contribution: the ILP formulation (Problems 1 and 2),
+// solution decoding, the selection rule, and the baselines.
+#include <gtest/gtest.h>
+
+#include "select/flow.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita::select {
+namespace {
+
+// --- formulation invariants on the built model ------------------------------------
+
+TEST(Formulation, HasEq1RowsPerSCall) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const ilp::Model m =
+      flow.selector().build_model(std::vector<std::int64_t>(flow.paths().size(), 1), {});
+  std::size_t eq1 = 0, gain_rows = 0, fc = 0;
+  for (const ilp::Row& row : m.rows()) {
+    if (row.name.rfind("one_imp_", 0) == 0) {
+      ++eq1;
+      EXPECT_EQ(row.sense, ilp::RowSense::kLessEqual);
+      EXPECT_DOUBLE_EQ(row.rhs, 1.0);
+    } else if (row.name.rfind("gain_path", 0) == 0) {
+      ++gain_rows;
+      EXPECT_EQ(row.sense, ilp::RowSense::kGreaterEqual);
+    } else if (row.name.rfind("fc_ip", 0) == 0) {
+      ++fc;
+    }
+  }
+  EXPECT_EQ(eq1, flow.scalls().size());
+  EXPECT_EQ(gain_rows, flow.paths().size());
+  EXPECT_GT(fc, 0u);
+}
+
+TEST(Formulation, SelectionSatisfiesEverything) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  const Selection sel = flow.select(rg);
+  ASSERT_TRUE(sel.feasible);
+
+  // Every path actually meets the requirement.
+  for (const cdfg::ExecPath& p : flow.paths()) {
+    EXPECT_GE(path_gain(sel.chosen, flow.imp_database(), flow.entry_cdfg(), p), rg);
+  }
+  EXPECT_GE(sel.min_path_gain, rg);
+
+  // At most one IMP per s-call.
+  std::set<std::uint32_t> seen;
+  for (isel::ImpIndex idx : sel.chosen) {
+    const auto site = flow.imp_database().imps()[idx].scall.value();
+    EXPECT_TRUE(seen.insert(site).second);
+  }
+}
+
+TEST(Formulation, FixedChargeCountsIpOnce) {
+  // The decoder's shared synthesis-filter IP serves several s-calls; the IP
+  // area must appear once.
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const Selection sel = flow.select(flow.max_feasible_gain() * 3 / 4);
+  ASSERT_TRUE(sel.feasible);
+  double expected_ip_area = 0;
+  for (iplib::IpId ip : sel.ips_used) expected_ip_area += w.library.ip(ip).area;
+  EXPECT_DOUBLE_EQ(sel.ip_area, expected_ip_area);
+  // ips_used has no duplicates by construction; selected s-calls can exceed
+  // the IP count only through sharing.
+  std::set<std::uint32_t> distinct;
+  for (iplib::IpId ip : sel.ips_used) EXPECT_TRUE(distinct.insert(ip.value).second);
+}
+
+TEST(Formulation, MergingRuleSLeO) {
+  // S (S-instructions) <= O (implemented s-calls), always.
+  workloads::Workload w = workloads::gsm_encoder();
+  Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  for (int k = 1; k <= 4; ++k) {
+    const Selection sel = flow.select(gmax * k / 4);
+    ASSERT_TRUE(sel.feasible);
+    EXPECT_LE(sel.s_instructions, sel.selected_scalls);
+  }
+}
+
+TEST(Formulation, InfeasibleAboveMaxGain) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  EXPECT_TRUE(flow.select(gmax).feasible);
+  EXPECT_FALSE(flow.select(gmax + gmax / 10 + 1000).feasible);
+}
+
+TEST(Formulation, AreaMonotoneInRequiredGain) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  double prev = -1;
+  for (int k = 1; k <= 8; ++k) {
+    const Selection sel = flow.select(gmax * k / 8);
+    ASSERT_TRUE(sel.feasible) << "k=" << k;
+    EXPECT_GE(sel.total_area(), prev - 1e-9) << "k=" << k;
+    prev = sel.total_area();
+  }
+}
+
+TEST(Formulation, ZeroRequiredGainSelectsNothing) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const Selection sel = flow.select(0);
+  ASSERT_TRUE(sel.feasible);
+  EXPECT_TRUE(sel.chosen.empty());
+  EXPECT_DOUBLE_EQ(sel.total_area(), 0.0);
+}
+
+// --- Problem 1 vs Problem 2 ----------------------------------------------------------
+
+TEST(Problem2, Fig9NeedsSoftwareScallAsParallelCode) {
+  workloads::Workload w = workloads::fig9_case();
+  Flow flow(w.module, w.library);
+
+  SelectOptions p1;
+  p1.problem2 = false;
+  SelectOptions p2;
+  p2.problem2 = true;
+
+  // All three fir() on the IP via the cheapest interface: 3 * 4000.
+  const std::int64_t p1_max = flow.selector().max_feasible_gain(p1);
+  const std::int64_t p2_max = flow.selector().max_feasible_gain(p2);
+  EXPECT_GT(p2_max, p1_max);  // Fig. 9's claim
+
+  const std::int64_t rg = (p1_max + p2_max) / 2;
+  EXPECT_FALSE(flow.select(rg, p1).feasible);
+  const Selection sel = flow.select(rg, p2);
+  ASSERT_TRUE(sel.feasible);
+
+  // The winning solution keeps one fir in software as someone's PC.
+  bool consumed = false;
+  for (isel::ImpIndex idx : sel.chosen) {
+    consumed |= !flow.imp_database().imps()[idx].pc_consumed_scalls.empty();
+  }
+  EXPECT_TRUE(consumed);
+}
+
+TEST(Problem2, Fig10CommonScallSplitsImplementations) {
+  workloads::Workload w = workloads::fig10_case();
+  Flow flow(w.module, w.library);
+
+  SelectOptions p1;
+  p1.problem2 = false;
+  SelectOptions p2;
+
+  const std::int64_t p2_max = flow.selector().max_feasible_gain(p2);
+  const std::int64_t p1_max = flow.selector().max_feasible_gain(p1);
+  ASSERT_GT(p2_max, p1_max);
+  const std::int64_t rg = (p1_max + p2_max) / 2;
+
+  EXPECT_FALSE(flow.select(rg, p1).feasible);
+  const Selection sel = flow.select(rg, p2);
+  ASSERT_TRUE(sel.feasible);
+
+  // The dct IMP must exploit the common fir's software body...
+  bool dct_with_pc = false;
+  std::set<std::uint32_t> implemented_sites;
+  for (isel::ImpIndex idx : sel.chosen) {
+    const isel::Imp& imp = flow.imp_database().imps()[idx];
+    implemented_sites.insert(imp.scall.value());
+    if (imp.ip_function->function == "dct" &&
+        imp.pc_use == isel::PcUse::kWithScallSw) {
+      dct_with_pc = true;
+      // ...and the consumed site must stay in software.
+      for (ir::CallSiteId c : imp.pc_consumed_scalls) {
+        EXPECT_FALSE(implemented_sites.count(c.value()));
+      }
+    }
+  }
+  EXPECT_TRUE(dct_with_pc);
+}
+
+TEST(Problem2, SelectionRuleEnforced) {
+  // No chosen IMP pair may violate the SC-PC conflict.
+  workloads::Workload w = workloads::fig10_case();
+  Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  const Selection sel = flow.select(gmax);
+  ASSERT_TRUE(sel.feasible);
+  std::set<std::uint32_t> implemented;
+  for (isel::ImpIndex idx : sel.chosen) {
+    implemented.insert(flow.imp_database().imps()[idx].scall.value());
+  }
+  for (isel::ImpIndex idx : sel.chosen) {
+    for (ir::CallSiteId consumed : flow.imp_database().imps()[idx].pc_consumed_scalls) {
+      EXPECT_FALSE(implemented.count(consumed.value()))
+          << "IMP consumes a hardware-implemented s-call";
+    }
+  }
+}
+
+TEST(Problem1, SameFunctionSameImplementation) {
+  workloads::Workload w = workloads::fig9_case();  // three calls to fir
+  Flow flow(w.module, w.library);
+  SelectOptions p1;
+  p1.problem2 = false;
+  const std::int64_t rg = flow.selector().max_feasible_gain(p1);
+  const Selection sel = flow.select(rg, p1);
+  ASSERT_TRUE(sel.feasible);
+  // All implemented fir sites share (IP, interface).
+  std::set<std::pair<std::uint32_t, int>> ways;
+  for (isel::ImpIndex idx : sel.chosen) {
+    const isel::Imp& imp = flow.imp_database().imps()[idx];
+    ways.insert({imp.ip.value, static_cast<int>(imp.iface_type)});
+  }
+  EXPECT_LE(ways.size(), 1u);
+  EXPECT_EQ(sel.chosen.size(), 3u);  // all or none under the coupling
+}
+
+// --- baselines ------------------------------------------------------------------------
+
+TEST(Baselines, GreedyFeasibleButNeverCheaperThanIlp) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  for (int k = 1; k <= 3; ++k) {
+    const std::int64_t rg = gmax * k / 4;
+    const Selection ilp_sel = flow.select(rg);
+    const Selection greedy_sel = flow.greedy(rg);
+    ASSERT_TRUE(ilp_sel.feasible);
+    if (greedy_sel.feasible) {
+      EXPECT_GE(greedy_sel.min_path_gain, rg);
+      EXPECT_GE(greedy_sel.total_area(), ilp_sel.total_area() - 1e-9);
+    }
+  }
+}
+
+TEST(Baselines, PriorArtRestrictedToType0NoPc) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const Selection sel = flow.prior_art(flow.max_feasible_gain() / 4);
+  ASSERT_TRUE(sel.feasible);
+  for (isel::ImpIndex idx : sel.chosen) {
+    const isel::Imp& imp = flow.imp_database().imps()[idx];
+    EXPECT_TRUE(prior_art_allows(imp)) << imp.describe(w.library);
+  }
+}
+
+TEST(Baselines, PriorArtFailsWhereFullMethodSucceeds) {
+  // Fig. 9 again: without buffered interfaces + PC the top of the gain range
+  // is unreachable.
+  workloads::Workload w = workloads::fig9_case();
+  Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  EXPECT_TRUE(flow.select(gmax).feasible);
+  EXPECT_FALSE(flow.prior_art(gmax).feasible);
+}
+
+// --- describe / decode -------------------------------------------------------------------
+
+TEST(Decode, DescribeUsesPaperNotation) {
+  workloads::Workload w = workloads::gsm_decoder();
+  Flow flow(w.module, w.library);
+  const Selection sel = flow.select(flow.max_feasible_gain() / 4);
+  ASSERT_TRUE(sel.feasible);
+  const std::string desc = sel.describe(flow.imp_database(), w.library);
+  EXPECT_NE(desc.find("SC"), std::string::npos);
+  EXPECT_NE(desc.find("IF"), std::string::npos);
+  EXPECT_NE(desc.find("IP"), std::string::npos);
+}
+
+// --- property: on random workloads the ILP never loses to greedy -----------------------
+
+class RandomSelection : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSelection, IlpBeatsOrMatchesGreedyAndStaysFeasible) {
+  workloads::RandomWorkloadParams params;
+  params.call_sites = 8;
+  params.leaf_functions = 4;
+  params.ips = 5;
+  workloads::Workload w =
+      workloads::random_workload(params, static_cast<std::uint64_t>(GetParam()));
+  Flow flow(w.module, w.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  if (gmax <= 0) return;  // library happened to be useless for this app
+
+  const std::int64_t rg = gmax / 2;
+  const Selection ilp_sel = flow.select(rg);
+  ASSERT_TRUE(ilp_sel.feasible);
+  EXPECT_GE(ilp_sel.min_path_gain, rg);
+  for (const cdfg::ExecPath& p : flow.paths()) {
+    EXPECT_GE(path_gain(ilp_sel.chosen, flow.imp_database(), flow.entry_cdfg(), p), rg);
+  }
+  const Selection greedy_sel = flow.greedy(rg);
+  if (greedy_sel.feasible) {
+    EXPECT_GE(greedy_sel.total_area(), ilp_sel.total_area() - 1e-9);
+  }
+  // The exact optimum at gmax must also exist.
+  EXPECT_TRUE(flow.select(gmax).feasible);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSelection, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace partita::select

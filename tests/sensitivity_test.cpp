@@ -1,0 +1,178 @@
+// Tests for sensitivity analysis and the IP-library linter.
+#include <gtest/gtest.h>
+
+#include "dse/sensitivity.hpp"
+#include "iface/lint.hpp"
+#include "iplib/loader.hpp"
+#include "select/flow.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita {
+namespace {
+
+// --- sensitivity -----------------------------------------------------------------
+
+TEST(Sensitivity, EssentialIpDetected) {
+  // fig9 has a single IP: banning it must be reported as essential.
+  workloads::Workload w = workloads::fig9_case();
+  select::Flow flow(w.module, w.library);
+  const dse::SensitivityReport rep =
+      dse::analyze_sensitivity(flow.selector(), flow.max_feasible_gain() / 2);
+  ASSERT_TRUE(rep.baseline.feasible);
+  ASSERT_EQ(rep.per_ip.size(), 1u);
+  EXPECT_FALSE(rep.per_ip[0].feasible_without);
+}
+
+TEST(Sensitivity, ReplaceableIpHasPenalty) {
+  // The decoder's workhorse IP5 has alternatives (IP3/IP4): banning it stays
+  // feasible but costs area.
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  const dse::SensitivityReport rep = dse::analyze_sensitivity(flow.selector(), rg);
+  ASSERT_TRUE(rep.baseline.feasible);
+  ASSERT_FALSE(rep.per_ip.empty());
+  for (const dse::IpCriticality& c : rep.per_ip) {
+    if (!c.feasible_without) continue;
+    EXPECT_GE(c.area_penalty, -1e-9) << "banning an IP cannot reduce the optimum";
+    EXPECT_GE(c.alternative.min_path_gain, rg);
+    // The banned IP truly vanished from the alternative.
+    for (iplib::IpId used : c.alternative.ips_used) EXPECT_NE(used, c.ip);
+  }
+}
+
+TEST(Sensitivity, GainSlackMatchesAchievedMinusRequired) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 3;
+  const dse::SensitivityReport rep = dse::analyze_sensitivity(flow.selector(), rg);
+  EXPECT_EQ(rep.gain_slack, rep.baseline.min_path_gain - rg);
+}
+
+TEST(Sensitivity, InfeasibleBaseline) {
+  workloads::Workload w = workloads::fig9_case();
+  select::Flow flow(w.module, w.library);
+  const dse::SensitivityReport rep =
+      dse::analyze_sensitivity(flow.selector(), flow.max_feasible_gain() * 2);
+  EXPECT_FALSE(rep.baseline.feasible);
+  EXPECT_TRUE(rep.per_ip.empty());
+  EXPECT_NE(dse::render_sensitivity(rep, w.library).find("infeasible"),
+            std::string::npos);
+}
+
+TEST(Sensitivity, RenderListsEveryIp) {
+  workloads::Workload w = workloads::gsm_decoder();
+  select::Flow flow(w.module, w.library);
+  const dse::SensitivityReport rep =
+      dse::analyze_sensitivity(flow.selector(), flow.max_feasible_gain() / 2);
+  const std::string text = dse::render_sensitivity(rep, w.library);
+  for (const dse::IpCriticality& c : rep.per_ip) {
+    EXPECT_NE(text.find(w.library.ip(c.ip).name), std::string::npos);
+  }
+}
+
+// --- lint ------------------------------------------------------------------------
+
+iplib::IpLibrary load(std::string_view text) {
+  support::DiagnosticEngine diags;
+  auto lib = iplib::load_library(text, diags);
+  EXPECT_TRUE(lib.has_value()) << diags.render_all();
+  return std::move(*lib);
+}
+
+TEST(Lint, CleanLibraryIsClean) {
+  const iplib::IpLibrary lib = load(R"(
+ip GOOD {
+  area 5
+  ports in 2 out 2
+  rate in 4 out 4
+  latency 8
+  pipelined
+  protocol sync
+  fn f cycles 100 in 16 out 16
+}
+)");
+  const auto findings = iface::lint_library(lib);
+  EXPECT_TRUE(findings.empty()) << iface::render_lint(findings);
+}
+
+TEST(Lint, ZeroAreaIsError) {
+  const iplib::IpLibrary lib = load(R"(
+ip FREE {
+  area 0
+  fn f cycles 100 in 8 out 8
+}
+)");
+  const auto findings = iface::lint_library(lib);
+  EXPECT_TRUE(iface::has_lint_errors(findings));
+  EXPECT_NE(iface::render_lint(findings).find("area must be positive"), std::string::npos);
+}
+
+TEST(Lint, SubTemplateRateWarned) {
+  const iplib::IpLibrary lib = load(R"(
+ip FAST {
+  area 3
+  rate in 2 out 2
+  latency 4
+  fn f cycles 100 in 8 out 8
+}
+)");
+  const auto findings = iface::lint_library(lib);
+  EXPECT_FALSE(iface::has_lint_errors(findings));
+  EXPECT_NE(iface::render_lint(findings).find("slow the IP clock"), std::string::npos);
+}
+
+TEST(Lint, WidePortsWarned) {
+  const iplib::IpLibrary lib = load(R"(
+ip WIDE {
+  area 3
+  ports in 4 out 4
+  rate in 2 out 2
+  latency 4
+  fn f cycles 100 in 8 out 8
+}
+)");
+  const auto findings = iface::lint_library(lib);
+  EXPECT_NE(iface::render_lint(findings).find("buffered interfaces"), std::string::npos);
+}
+
+TEST(Lint, DerivedCyclesNoted) {
+  const iplib::IpLibrary lib = load(R"(
+ip DERIVED {
+  area 3
+  rate in 4 out 4
+  latency 4
+  fn f cycles 0 in 8 out 8
+}
+)");
+  const auto findings = iface::lint_library(lib);
+  EXPECT_NE(iface::render_lint(findings).find("derives T_IP"), std::string::npos);
+}
+
+TEST(Lint, CrowdedFunctionWarned) {
+  std::string text;
+  for (int i = 0; i < 4; ++i) {
+    text += "ip IP" + std::to_string(i) + R"( {
+  area 3
+  rate in 4 out 4
+  latency 4
+  fn f cycles 100 in 8 out 8
+}
+)";
+  }
+  const auto findings = iface::lint_library(load(text));
+  EXPECT_NE(iface::render_lint(findings).find("4 implementors"), std::string::npos);
+}
+
+TEST(Lint, PaperWorkloadLibrariesHaveNoErrors) {
+  for (auto make : {workloads::gsm_encoder, workloads::gsm_decoder,
+                    workloads::jpeg_encoder, workloads::adpcm_codec}) {
+    workloads::Workload w = make();
+    const auto findings = iface::lint_library(w.library);
+    EXPECT_FALSE(iface::has_lint_errors(findings))
+        << w.name << ":\n" << iface::render_lint(findings);
+  }
+}
+
+}  // namespace
+}  // namespace partita

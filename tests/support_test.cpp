@@ -1,0 +1,178 @@
+// Tests for the support utilities: diagnostics, RNG, strings, text tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "support/text_table.hpp"
+
+namespace partita::support {
+namespace {
+
+// --- diagnostics -------------------------------------------------------------
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine d;
+  d.note("fyi");
+  d.warning("hmm");
+  d.error("bad", {3, 7});
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_EQ(d.warning_count(), 1u);
+  EXPECT_EQ(d.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RendersLocation) {
+  Diagnostic d{Severity::kError, "unexpected token", {12, 5}};
+  EXPECT_EQ(d.render(), "error at 12:5: unexpected token");
+  Diagnostic no_loc{Severity::kWarning, "w", {}};
+  EXPECT_EQ(no_loc.render(), "warning: w");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine d;
+  d.error("x");
+  d.clear();
+  EXPECT_FALSE(d.has_errors());
+  EXPECT_TRUE(d.diagnostics().empty());
+}
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(r.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsZeros) {
+  Rng r(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.weighted_index({0.0, 5.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+// --- strings -------------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b\t"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \n "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  foo\t bar \n baz ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ParseInt) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(parse_int("12x", v));
+  EXPECT_FALSE(parse_int("", v));
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("3.5e2", v));
+  EXPECT_DOUBLE_EQ(v, 350.0);
+  EXPECT_FALSE(parse_double("nope", v));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1000), "-1,000");
+}
+
+TEST(Strings, CompactDouble) {
+  EXPECT_EQ(compact_double(3.0), "3");
+  EXPECT_EQ(compact_double(3.5), "3.5");
+}
+
+// --- text table -----------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"RG", "G"});
+  t.set_alignment({Align::kRight, Align::kRight});
+  t.add_row({"1", "22"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find(" RG |  G"), std::string::npos);
+  EXPECT_NE(out.find("333 |  4"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, HeaderRuleMatchesWidth) {
+  TextTable t({"ab"});
+  t.add_row({"xyzw"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace partita::support

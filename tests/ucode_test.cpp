@@ -1,0 +1,208 @@
+// Tests for instruction encoding (P/C/S classes, Huffman opcodes) and the
+// u-ROM two-level optimization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "iface/program.hpp"
+#include "ir/mop.hpp"
+#include "ucode/isa.hpp"
+#include "ucode/urom.hpp"
+
+namespace partita::ucode {
+namespace {
+
+// --- instruction set ------------------------------------------------------------
+
+TEST(Isa, SeedsPClass) {
+  InstructionSet isa;
+  isa.seed_p_class();
+  EXPECT_EQ(isa.count_of(InstrClass::kP), isa.size());
+  EXPECT_GE(isa.size(), 16u);  // add..ret primitives
+}
+
+TEST(Isa, WeightedPClassSeed) {
+  InstructionSet isa;
+  std::vector<double> freq(32, 0.0);
+  freq[static_cast<std::size_t>(ir::MopKind::kMac)] = 500.0;
+  isa.seed_p_class_weighted(freq, /*fallback=*/2.0);
+  bool found_mac = false;
+  for (const Instruction& i : isa.instructions()) {
+    if (i.name == "mac") {
+      EXPECT_DOUBLE_EQ(i.frequency, 500.0);
+      found_mac = true;
+    } else {
+      EXPECT_DOUBLE_EQ(i.frequency, 2.0);
+    }
+  }
+  EXPECT_TRUE(found_mac);
+  // The hot MAC must get one of the shortest opcodes.
+  isa.encode();
+  int min_bits = 99;
+  for (const Instruction& i : isa.instructions()) min_bits = std::min(min_bits, i.opcode_bits);
+  for (const Instruction& i : isa.instructions()) {
+    if (i.name == "mac") {
+      EXPECT_EQ(i.opcode_bits, min_bits);
+    }
+  }
+}
+
+TEST(Isa, FixedWidthBits) {
+  InstructionSet isa;
+  isa.seed_p_class();  // 18 instructions -> 5 bits
+  EXPECT_EQ(isa.fixed_opcode_bits(), 5);
+  for (int i = 0; i < 14; ++i) {
+    Instruction extra;
+    extra.name = "x" + std::to_string(i);
+    extra.cls = InstrClass::kC;
+    isa.add(extra);
+  }
+  EXPECT_EQ(isa.fixed_opcode_bits(), 5);  // 32 exactly
+  Instruction one_more;
+  one_more.name = "y";
+  isa.add(one_more);
+  EXPECT_EQ(isa.fixed_opcode_bits(), 6);  // 33 -> 6 bits
+}
+
+TEST(Isa, HuffmanCodesArePrefixFree) {
+  InstructionSet isa;
+  isa.seed_p_class(1.0);
+  Instruction hot;
+  hot.name = "hot_s";
+  hot.cls = InstrClass::kS;
+  hot.frequency = 1000;
+  isa.add(hot);
+  isa.encode();
+  EXPECT_TRUE(isa.codes_are_prefix_free());
+}
+
+TEST(Isa, HotInstructionsGetShortCodes) {
+  InstructionSet isa;
+  Instruction hot, cold1, cold2;
+  hot.name = "hot";
+  hot.frequency = 100;
+  cold1.name = "c1";
+  cold1.frequency = 1;
+  cold2.name = "c2";
+  cold2.frequency = 1;
+  isa.add(hot);
+  isa.add(cold1);
+  isa.add(cold2);
+  isa.encode();
+  EXPECT_EQ(isa.instructions()[0].opcode_bits, 1);
+  EXPECT_EQ(isa.instructions()[1].opcode_bits, 2);
+  EXPECT_EQ(isa.instructions()[2].opcode_bits, 2);
+}
+
+TEST(Isa, ExpectedBitsBeatFixedOnSkewedFrequencies) {
+  InstructionSet isa;
+  for (int i = 0; i < 16; ++i) {
+    Instruction instr;
+    instr.name = "i" + std::to_string(i);
+    instr.frequency = i == 0 ? 10000 : 1;
+    isa.add(instr);
+  }
+  isa.encode();
+  EXPECT_LT(isa.expected_opcode_bits(), isa.fixed_opcode_bits());
+}
+
+TEST(Isa, UniformFrequenciesNearFixed) {
+  InstructionSet isa;
+  for (int i = 0; i < 16; ++i) {
+    Instruction instr;
+    instr.name = "i" + std::to_string(i);
+    instr.frequency = 1;
+    isa.add(instr);
+  }
+  isa.encode();
+  EXPECT_NEAR(isa.expected_opcode_bits(), 4.0, 1e-9);  // 16 equal -> 4 bits
+}
+
+TEST(Isa, SingleInstructionEdgeCase) {
+  InstructionSet isa;
+  Instruction only;
+  only.name = "solo";
+  isa.add(only);
+  isa.encode();
+  EXPECT_EQ(isa.instructions()[0].opcode_bits, 1);
+  EXPECT_TRUE(isa.codes_are_prefix_free());
+}
+
+TEST(Isa, DumpShowsClassesAndCodes) {
+  InstructionSet isa;
+  isa.seed_p_class();
+  isa.encode();
+  const std::string d = isa.dump();
+  EXPECT_NE(d.find("P | add"), std::string::npos);
+  EXPECT_NE(d.find("opcode"), std::string::npos);
+}
+
+// --- u-ROM -------------------------------------------------------------------
+
+TEST(Urom, WordSignatures) {
+  iface::IfLine line{{iface::IfOp::kLoadX, iface::IfOp::kLoadY}};
+  EXPECT_EQ(word_from_line(line).signature, "load_x+load_y");
+  EXPECT_EQ(word_from_line(iface::IfLine{}).signature, "nop");
+}
+
+TEST(Urom, DeduplicatesAcrossSequences) {
+  Urom rom(64);
+  rom.add_sequence("a", {{"w1"}, {"w2"}, {"w1"}});
+  rom.add_sequence("b", {{"w2"}, {"w3"}});
+  rom.optimize();
+  EXPECT_EQ(rom.nano_store().size(), 3u);  // w1 w2 w3
+  const UromStats s = rom.stats();
+  EXPECT_EQ(s.raw_words, 5);
+  EXPECT_EQ(s.unique_words, 3);
+  EXPECT_EQ(s.pointer_bits, 2);
+  EXPECT_EQ(s.raw_bits, 5 * 64);
+  EXPECT_EQ(s.optimized_bits, 3 * 64 + 5 * 2);
+  EXPECT_LT(s.compression_ratio(), 1.0);
+}
+
+TEST(Urom, PointerRowsReconstructSequences) {
+  Urom rom;
+  rom.add_sequence("a", {{"x"}, {"y"}, {"x"}});
+  rom.optimize();
+  const auto& row = rom.pointer_row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(rom.nano_store()[row[0]].signature, "x");
+  EXPECT_EQ(rom.nano_store()[row[1]].signature, "y");
+  EXPECT_EQ(rom.nano_store()[row[2]].signature, "x");
+}
+
+TEST(Urom, InterfaceTemplatesShareVocabulary) {
+  // Two different IPs' type-0 templates share most micro-words.
+  iplib::IpDescriptor a;
+  a.name = "A";
+  a.functions.push_back({"f", 1000, 64, 64});
+  iplib::IpDescriptor b = a;
+  b.name = "B";
+  b.functions[0].n_in = 32;
+  const iface::KernelParams k;
+
+  Urom rom;
+  rom.add_sequence(
+      "a", words_from_program(iface::expand_template(iface::InterfaceType::kType0, a,
+                                                     a.functions[0], k)));
+  rom.add_sequence(
+      "b", words_from_program(iface::expand_template(iface::InterfaceType::kType0, b,
+                                                     b.functions[0], k)));
+  rom.optimize();
+  const UromStats s = rom.stats();
+  EXPECT_LT(s.unique_words, s.raw_words);  // sharing happened
+  EXPECT_LT(s.compression_ratio(), 0.8);
+}
+
+TEST(Urom, EmptyRomStats) {
+  Urom rom;
+  rom.optimize();
+  const UromStats s = rom.stats();
+  EXPECT_EQ(s.raw_words, 0);
+  EXPECT_EQ(s.optimized_bits, 0);
+  EXPECT_DOUBLE_EQ(s.compression_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace partita::ucode
