@@ -45,6 +45,16 @@ std::string render_paper_table(const select::Flow& flow, const std::vector<Sweep
   return table.render();
 }
 
+void set_solver_counters(benchmark::State& state, const select::Selection& sel) {
+  state.counters["ilp_nodes"] = static_cast<double>(sel.solver.nodes);
+  state.counters["lp_iters"] = static_cast<double>(sel.solver.lp_iterations);
+  state.counters["warm_hit_rate"] = sel.solver.warm_start_hit_rate();
+  state.counters["presolve_fixed"] = static_cast<double>(sel.solver.presolve_fixed);
+  state.counters["clique_props"] = static_cast<double>(sel.solver.clique_propagations);
+  state.counters["solver_threads"] = static_cast<double>(sel.solver.threads);
+  if (sel.truncated) state.counters["optimality_gap"] = sel.optimality_gap;
+}
+
 void print_experiment_header(const std::string& title, const workloads::Workload& w,
                              const select::Flow& flow) {
   std::printf("=== %s ===\n", title.c_str());

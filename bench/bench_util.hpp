@@ -3,6 +3,8 @@
 // control to google-benchmark.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,5 +38,11 @@ std::string render_paper_table(const select::Flow& flow,
 /// mirroring the counts reported in Section 5.
 void print_experiment_header(const std::string& title, const workloads::Workload& w,
                              const select::Flow& flow);
+
+/// Publishes a selection's SolverStats as benchmark counters so they land in
+/// the JSON output (--benchmark_format=json): nodes, LP iterations,
+/// warm-start hit rate, presolve fixings, threads, and the optimality gap
+/// when the search was truncated.
+void set_solver_counters(benchmark::State& state, const select::Selection& sel);
 
 }  // namespace partita::bench

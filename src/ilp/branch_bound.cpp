@@ -1,152 +1,546 @@
 #include "ilp/branch_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <functional>
 #include <memory>
-#include <queue>
+#include <mutex>
+#include <thread>
 
+#include "ilp/presolve.hpp"
 #include "support/assert.hpp"
 
 namespace partita::ilp {
 
 namespace {
 
-/// One open node: the set of binary fixings that defines its subproblem.
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One search-tree node in the arena. A node does not copy its subproblem's
+/// bound vectors: it stores only the fixings it adds on top of its parent
+/// (a range in the shared fix arena), and the full bounds are reconstructed
+/// by walking the parent chain.
 struct Node {
-  /// Bound in internal (minimization) space; nodes with smaller bounds are
-  /// more promising.
-  double bound = -kInfinity;
-  std::vector<std::pair<VarIndex, double>> fixings;  // (var, fixed value)
+  double bound = -kInfinity;  // internal (minimization) bound from the parent LP
+  std::int32_t parent = -1;
+  std::int32_t basis_id = -1;  // parent's optimal basis (arena id), -1 = cold
+  std::uint32_t first_fix = 0;
+  std::uint32_t fix_count = 0;
+  VarIndex branch_var = 0;
+  float branch_frac = 0.0f;  // fractional part of branch_var at the parent
+  bool branch_up = false;    // this node fixed branch_var to 1
+  bool has_parent_obj = false;
+  double parent_obj = 0.0;
 };
 
-struct NodeOrder {
-  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
-    return a->bound > b->bound;  // min-heap on bound
+struct HeapEntry {
+  double bound;
+  std::int32_t id;
+};
+
+/// Min-heap on (bound, id): smaller bound first, then smaller id -- a total
+/// deterministic order.
+struct HeapCmp {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.id > b.id;
   }
+};
+
+/// Fixed-lane worker pool: run(fn) executes fn(lane) for every lane, lane 0
+/// on the calling thread and each other lane always on the same worker
+/// thread. No work stealing -- lane k's computation is a pure function of
+/// lane k's input, which keeps the search reproducible.
+class LanePool {
+ public:
+  explicit LanePool(int lanes) : lanes_(lanes) {
+    for (int k = 1; k < lanes_; ++k) {
+      workers_.emplace_back([this, k] { worker_loop(k); });
+    }
+  }
+
+  ~LanePool() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void run(const std::function<void(int)>& fn) {
+    if (lanes_ <= 1) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      fn_ = &fn;
+      done_ = 0;
+      ++generation_;
+    }
+    cv_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return done_ == lanes_ - 1; });
+    fn_ = nullptr;
+  }
+
+ private:
+  void worker_loop(int lane) {
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::function<void(int)>* fn = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = fn_;
+      }
+      if (fn) (*fn)(lane);
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        ++done_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  const int lanes_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_, done_cv_;
+  const std::function<void(int)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int done_ = 0;
+  bool stop_ = false;
 };
 
 class Solver {
  public:
   Solver(const Model& model, const IlpOptions& opt) : model_(model), opt_(opt) {
     sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
-    base_lower_.resize(model.var_count());
-    base_upper_.resize(model.var_count());
+    lanes_count_ = std::max(1, opt.threads);
+    root_lo_.resize(model.var_count());
+    root_hi_.resize(model.var_count());
     for (std::size_t j = 0; j < model.var_count(); ++j) {
-      base_lower_[j] = model.var(static_cast<VarIndex>(j)).lower;
-      base_upper_[j] = model.var(static_cast<VarIndex>(j)).upper;
+      root_lo_[j] = model.var(static_cast<VarIndex>(j)).lower;
+      root_hi_[j] = model.var(static_cast<VarIndex>(j)).upper;
     }
+    const std::size_t n = model.var_count();
+    pc_sum_[0].assign(n, 0.0);
+    pc_sum_[1].assign(n, 0.0);
+    pc_cnt_[0].assign(n, 0);
+    pc_cnt_[1].assign(n, 0);
   }
 
   IlpResult run() {
-    std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder>
-        open;
-    open.push(std::make_shared<Node>());
+    const Clock::time_point t0 = Clock::now();
+    result_.stats.threads = lanes_count_;
 
-    while (!open.empty()) {
-      if (result_.nodes_explored >= opt_.max_nodes) {
-        finish(IlpStatus::kNodeLimit);
+    // ---- root presolve -----------------------------------------------------
+    if (opt_.presolve) {
+      const Clock::time_point tp = Clock::now();
+      pre_ = presolve(model_, root_lo_, root_hi_);
+      result_.stats.presolve_seconds = seconds_since(tp);
+      result_.stats.presolve_fixed = pre_.fixed_vars;
+      result_.stats.presolve_rounds = pre_.rounds;
+      if (pre_.infeasible) {
+        finish(IlpStatus::kOptimal, t0);  // no incumbent => kInfeasible
         return result_;
       }
-      const std::shared_ptr<Node> node = open.top();
-      open.pop();
-      ++result_.nodes_explored;
-
-      // Bound-based prune (incumbent may have improved since enqueue).
-      if (has_incumbent_ && node->bound >= incumbent_obj_ - opt_.gap_tol) continue;
-
-      // Solve this node's relaxation.
-      std::vector<double> lo = base_lower_, hi = base_upper_;
-      for (const auto& [v, val] : node->fixings) lo[v] = hi[v] = val;
-      const LpResult lp = solve_lp(model_, lo, hi, opt_.lp);
-      result_.lp_iterations += lp.iterations;
-
-      if (lp.status == LpStatus::kInfeasible) continue;
-      if (lp.status == LpStatus::kUnbounded) {
-        // A relaxation unbounded in the optimization direction: with all-
-        // binary decision variables this indicates an unbounded continuous
-        // part; report as no solution.
-        continue;
-      }
-
-      double node_bound;
-      VarIndex branch_var = 0;
-      bool have_branch_var = false;
-
-      if (lp.status == LpStatus::kIterationLimit) {
-        // No usable bound; keep exploring below this node.
-        node_bound = -kInfinity;
-        have_branch_var = pick_any_unfixed(*node, branch_var);
-      } else {
-        node_bound = sign_ * lp.objective;
-        if (has_incumbent_ && node_bound >= incumbent_obj_ - opt_.gap_tol) continue;
-        have_branch_var = pick_most_fractional(lp.x, branch_var);
-        if (!have_branch_var) {
-          // Integral: candidate incumbent.
-          offer_incumbent(lp.x);
-          continue;
-        }
-        try_rounding(lp.x);
-      }
-
-      if (!have_branch_var) continue;
-
-      for (const double val : {1.0, 0.0}) {
-        auto child = std::make_shared<Node>();
-        child->bound = node_bound;
-        child->fixings = node->fixings;
-        child->fixings.emplace_back(branch_var, val);
-        open.push(std::move(child));
-      }
+      root_lo_ = pre_.lower;
+      root_hi_ = pre_.upper;
+    } else {
+      pre_.var_cliques.assign(model_.var_count(), {});
     }
 
-    finish(IlpStatus::kOptimal);
+    // ---- lanes and root node ----------------------------------------------
+    lanes_.resize(lanes_count_);
+    for (Lane& lane : lanes_) {
+      lane.lp = std::make_unique<SimplexSolver>(model_);
+      lane.lo.resize(model_.var_count());
+      lane.hi.resize(model_.var_count());
+    }
+    LanePool pool(lanes_count_);
+
+    nodes_.push_back(Node{});
+    push_open(0);
+
+    // ---- wave loop ---------------------------------------------------------
+    bool truncated = false;
+    while (true) {
+      if (result_.stats.nodes >= opt_.max_nodes) {
+        truncated = true;
+        break;
+      }
+      if (!fill_lanes()) break;  // every lane idle and the heap is empty
+      pool.run([this](int lane) { solve_lane(lane); });
+      for (int k = 0; k < lanes_count_; ++k) reduce_lane(k);
+    }
+
+    finish(truncated ? IlpStatus::kNodeLimit : IlpStatus::kOptimal, t0);
     return result_;
   }
 
  private:
-  void finish(IlpStatus status_if_ok) {
-    if (!has_incumbent_) {
-      result_.status = status_if_ok == IlpStatus::kNodeLimit ? IlpStatus::kNodeLimit
-                                                             : IlpStatus::kInfeasible;
-      return;
-    }
-    result_.status = status_if_ok;
-    result_.has_solution = true;
-    result_.objective = sign_ * incumbent_obj_;
-    result_.x = incumbent_x_;
+  struct Lane {
+    std::unique_ptr<SimplexSolver> lp;
+    std::vector<double> lo, hi;  // reconstructed bounds of the current node
+    std::int32_t node_id = -1;
+    LpResult result;
+    Basis opt_basis;  // optimal basis of the current node's LP
+    int plunge = 0;   // consecutive dives in this lane
+  };
+
+  // --- open set -------------------------------------------------------------
+
+  void push_open(std::int32_t id) {
+    open_.push_back({nodes_[id].bound, id});
+    std::push_heap(open_.begin(), open_.end(), HeapCmp{});
   }
 
-  bool pick_most_fractional(const std::vector<double>& x, VarIndex& out) const {
-    double best = opt_.int_tol;
+  std::int32_t pop_open() {
+    std::pop_heap(open_.begin(), open_.end(), HeapCmp{});
+    const std::int32_t id = open_.back().id;
+    open_.pop_back();
+    return id;
+  }
+
+  /// Assigns a node to every idle lane (plunging lanes keep theirs). Returns
+  /// false when no lane received a node -- the search is exhausted.
+  bool fill_lanes() {
+    bool any = false;
+    for (Lane& lane : lanes_) {
+      if (lane.node_id >= 0) {  // plunge continuation, counted at assignment
+        any = true;
+        continue;
+      }
+      while (!open_.empty() && result_.stats.nodes < opt_.max_nodes) {
+        const std::int32_t id = pop_open();
+        ++result_.stats.nodes;
+        const Node& node = nodes_[id];
+        bool prune = false;
+        if (has_incumbent_) {
+          const double inc = incumbent_obj_.load();
+          if (node.bound > inc + opt_.gap_tol) {
+            prune = true;
+          } else if (node.bound >= inc - opt_.gap_tol) {
+            if (opt_.canonical_ties) {
+              reconstruct_bounds(id, scratch_lo_, scratch_hi_);
+              prune = !lex_improvable(scratch_lo_);
+            } else {
+              prune = true;
+            }
+          }
+        }
+        if (prune) {
+          release_basis(node.basis_id);
+          continue;  // the incumbent improved since enqueue
+        }
+        lane.node_id = id;
+        lane.plunge = 0;
+        any = true;
+        break;
+      }
+    }
+    return any;
+  }
+
+  // --- wave: parallel node relaxations -------------------------------------
+
+  void solve_lane(int k) {
+    Lane& lane = lanes_[k];
+    if (lane.node_id < 0) return;
+    reconstruct_bounds(lane.node_id, lane.lo, lane.hi);
+    const Node& node = nodes_[lane.node_id];
+    if (opt_.warm_start && node.basis_id >= 0) {
+      lane.result = lane.lp->solve_warm(lane.lo, lane.hi, bases_[node.basis_id], opt_.lp);
+    } else {
+      lane.result = lane.lp->solve(lane.lo, lane.hi, opt_.lp);
+    }
+    lane.opt_basis = lane.lp->last_basis();
+  }
+
+  void reconstruct_bounds(std::int32_t id, std::vector<double>& lo,
+                          std::vector<double>& hi) const {
+    lo = root_lo_;
+    hi = root_hi_;
+    // Deltas applied root-first so a (hypothetical) re-fixing resolves to the
+    // deepest decision; order within one node does not matter.
+    std::int32_t chain[256];
+    int depth = 0;
+    for (std::int32_t c = id; c >= 0 && depth < 256; c = nodes_[c].parent) {
+      chain[depth++] = c;
+    }
+    for (int i = depth - 1; i >= 0; --i) {
+      const Node& node = nodes_[chain[i]];
+      for (std::uint32_t f = 0; f < node.fix_count; ++f) {
+        const auto& [v, val] = fixes_[node.first_fix + f];
+        lo[v] = hi[v] = val;
+      }
+    }
+  }
+
+  // --- reduction: deterministic, in lane order ------------------------------
+
+  void reduce_lane(int k) {
+    Lane& lane = lanes_[k];
+    if (lane.node_id < 0) return;
+    const std::int32_t id = lane.node_id;
+    lane.node_id = -1;
+    const Node node = nodes_[id];  // copy: the arena may grow below
+    release_basis(node.basis_id);
+
+    const LpResult& lp = lane.result;
+    result_.stats.lp_iterations += lp.iterations;
+    if (lp.status == LpStatus::kOptimal || lp.status == LpStatus::kInfeasible) {
+      if (lp.warm_started) ++result_.stats.warm_starts;
+      else ++result_.stats.cold_starts;
+    }
+
+    if (lp.status == LpStatus::kInfeasible) return;
+    if (lp.status == LpStatus::kUnbounded) {
+      // A relaxation unbounded in the optimization direction: with all-
+      // binary decision variables this indicates an unbounded continuous
+      // part; report as no solution.
+      return;
+    }
+
+    double node_bound;
+    VarIndex branch_var = 0;
+    double branch_frac = 0.0;
+    bool have_branch_var = false;
+
+    if (lp.status == LpStatus::kIterationLimit) {
+      // No usable bound; keep exploring below this node.
+      node_bound = node.bound;
+      have_branch_var = pick_any_unfixed(lane.lo, lane.hi, branch_var);
+      branch_frac = 0.5;
+    } else {
+      node_bound = sign_ * lp.objective;
+      if (node.has_parent_obj) update_pseudo_cost(node, node_bound);
+      if (pruned_by_bound(node_bound, lane.lo)) return;
+      have_branch_var = pick_branch_var(lp.x, branch_var, branch_frac);
+      if (!have_branch_var) {
+        offer_incumbent(lp.x);  // integral: candidate incumbent
+        return;
+      }
+      try_rounding(lp.x);
+      if (pruned_by_bound(node_bound, lane.lo)) return;
+    }
+    if (!have_branch_var) return;
+
+    // Parent basis for the children's warm starts.
+    std::int32_t basis_id = -1;
+    if (opt_.warm_start && lp.status == LpStatus::kOptimal && !lane.opt_basis.empty()) {
+      basis_id = store_basis(std::move(lane.opt_basis));
+    }
+
+    // Children: the preferred side continues the lane's plunge, the other
+    // goes to the best-bound heap.
+    const std::int32_t down = make_child(id, node_bound, lp.status == LpStatus::kOptimal,
+                                         basis_id, branch_var, branch_frac,
+                                         /*up=*/false, lane.lo, lane.hi);
+    const std::int32_t up = make_child(id, node_bound, lp.status == LpStatus::kOptimal,
+                                       basis_id, branch_var, branch_frac,
+                                       /*up=*/true, lane.lo, lane.hi);
+    if (basis_id >= 0 && basis_refs_[basis_id] == 0) free_basis_slot(basis_id);
+
+    const bool prefer_up =
+        pc_estimate(1, branch_var) * (1.0 - branch_frac) <=
+        pc_estimate(0, branch_var) * branch_frac;
+    std::int32_t dive = prefer_up ? up : down;
+    std::int32_t other = prefer_up ? down : up;
+    if (dive < 0) std::swap(dive, other);
+
+    if (dive >= 0 && lane.plunge < opt_.max_plunge_depth &&
+        result_.stats.nodes < opt_.max_nodes) {
+      lane.node_id = dive;
+      ++lane.plunge;
+      ++result_.stats.nodes;
+    } else if (dive >= 0) {
+      push_open(dive);
+    }
+    if (other >= 0) push_open(other);
+  }
+
+  /// Creates a child node (branch fixing + clique propagation); returns -1
+  /// when the child is pruned or proven infeasible immediately.
+  std::int32_t make_child(std::int32_t parent, double bound, bool bound_usable,
+                          std::int32_t basis_id, VarIndex var, double frac, bool up,
+                          const std::vector<double>& lo, const std::vector<double>& hi) {
+    if (has_incumbent_ && bound > incumbent_obj_.load() + opt_.gap_tol) return -1;
+
+    const std::uint32_t first_fix = static_cast<std::uint32_t>(fixes_.size());
+    fixes_.emplace_back(var, up ? 1.0 : 0.0);
+    if (up) {
+      // Fixing a clique member to 1 zeroes every other member. A sibling
+      // already fixed to 1 proves the child infeasible outright.
+      for (std::uint32_t cl : pre_.var_cliques[var]) {
+        for (VarIndex w : pre_.cliques[cl]) {
+          if (w == var || hi[w] <= 0.5) continue;
+          if (lo[w] > 0.5) {
+            fixes_.resize(first_fix);
+            return -1;
+          }
+          fixes_.emplace_back(w, 0.0);
+          ++result_.stats.clique_propagations;
+        }
+      }
+    }
+
+    // In the incumbent's tie window the child survives only while it can
+    // still improve the canonical (lexicographic) tie-break.
+    if (has_incumbent_ && bound >= incumbent_obj_.load() - opt_.gap_tol) {
+      bool keep = false;
+      if (opt_.canonical_ties) {
+        scratch_lo_ = lo;
+        for (std::uint32_t f = first_fix; f < fixes_.size(); ++f) {
+          scratch_lo_[fixes_[f].first] = fixes_[f].second;
+        }
+        keep = lex_improvable(scratch_lo_);
+      }
+      if (!keep) {
+        fixes_.resize(first_fix);
+        return -1;
+      }
+    }
+
+    Node child;
+    child.bound = bound;
+    child.parent = parent;
+    child.first_fix = first_fix;
+    child.fix_count = static_cast<std::uint32_t>(fixes_.size()) - first_fix;
+    child.branch_var = var;
+    child.branch_frac = static_cast<float>(frac);
+    child.branch_up = up;
+    child.has_parent_obj = bound_usable;
+    child.parent_obj = bound;
+    if (basis_id >= 0) {
+      child.basis_id = basis_id;
+      ++basis_refs_[basis_id];
+    }
+    nodes_.push_back(child);
+    return static_cast<std::int32_t>(nodes_.size()) - 1;
+  }
+
+  // --- basis arena ----------------------------------------------------------
+
+  std::int32_t store_basis(Basis&& basis) {
+    std::int32_t id;
+    if (!basis_free_.empty()) {
+      id = basis_free_.back();
+      basis_free_.pop_back();
+      bases_[id] = std::move(basis);
+      basis_refs_[id] = 0;
+    } else {
+      id = static_cast<std::int32_t>(bases_.size());
+      bases_.push_back(std::move(basis));
+      basis_refs_.push_back(0);
+    }
+    return id;
+  }
+
+  void release_basis(std::int32_t id) {
+    if (id < 0) return;
+    if (--basis_refs_[id] == 0) free_basis_slot(id);
+  }
+
+  void free_basis_slot(std::int32_t id) {
+    bases_[id].status.clear();
+    bases_[id].status.shrink_to_fit();
+    basis_free_.push_back(id);
+  }
+
+  // --- branching ------------------------------------------------------------
+
+  double pc_estimate(int dir, VarIndex v) const {
+    if (pc_cnt_[dir][v] > 0) return pc_sum_[dir][v] / pc_cnt_[dir][v];
+    // Uninitialized: degradation proportional to the objective weight.
+    return std::abs(model_.var(v).objective) + 1.0;
+  }
+
+  void update_pseudo_cost(const Node& node, double node_bound) {
+    const double degradation = std::max(0.0, node_bound - node.parent_obj);
+    const double f = node.branch_frac;
+    const int dir = node.branch_up ? 1 : 0;
+    const double dist = node.branch_up ? std::max(1.0 - f, 1e-6) : std::max(f + 0.0, 1e-6);
+    pc_sum_[dir][node.branch_var] += degradation / dist;
+    ++pc_cnt_[dir][node.branch_var];
+  }
+
+  bool pick_branch_var(const std::vector<double>& x, VarIndex& out,
+                       double& out_frac) const {
+    double best_score = -1.0;
     bool found = false;
     for (std::size_t j = 0; j < model_.var_count(); ++j) {
       if (model_.var(static_cast<VarIndex>(j)).kind != VarKind::kBinary) continue;
       const double frac = std::abs(x[j] - std::round(x[j]));
-      const double score = frac;
-      if (score > best ||
-          (found && std::abs(score - best) < 1e-12 &&
-           std::abs(model_.var(static_cast<VarIndex>(j)).objective) >
-               std::abs(model_.var(out).objective))) {
-        best = score;
+      if (frac <= opt_.int_tol) continue;
+      const double score =
+          std::max(pc_estimate(0, static_cast<VarIndex>(j)) * frac, 1e-12) *
+          std::max(pc_estimate(1, static_cast<VarIndex>(j)) * (1.0 - frac), 1e-12);
+      if (score > best_score) {
+        best_score = score;
         out = static_cast<VarIndex>(j);
+        out_frac = frac;
         found = true;
       }
     }
     return found;
   }
 
-  bool pick_any_unfixed(const Node& node, VarIndex& out) const {
+  bool pick_any_unfixed(const std::vector<double>& lo, const std::vector<double>& hi,
+                        VarIndex& out) const {
     for (std::size_t j = 0; j < model_.var_count(); ++j) {
       if (model_.var(static_cast<VarIndex>(j)).kind != VarKind::kBinary) continue;
-      const bool fixed = std::any_of(node.fixings.begin(), node.fixings.end(),
-                                     [&](const auto& f) { return f.first == j; });
-      if (!fixed) {
+      if (lo[j] < hi[j] - opt_.int_tol) {
         out = static_cast<VarIndex>(j);
         return true;
       }
     }
     return false;
   }
+
+  // --- pruning --------------------------------------------------------------
+
+  /// True while a subtree whose componentwise lower-bound vector is `lo` can
+  /// still contain a solution strictly lex-smaller than the incumbent. Every
+  /// solution in the subtree satisfies x >= lo componentwise, and
+  /// componentwise >= implies lexicographic >=, so this test is a sound
+  /// prune; keeping exactly these nodes alive makes the reported optimum the
+  /// lexicographically smallest optimal vector -- a canonical answer that
+  /// does not depend on search order or thread count.
+  bool lex_improvable(const std::vector<double>& lo) const {
+    for (std::size_t j = 0; j < lo.size(); ++j) {
+      const double d = lo[j] - incumbent_x_[j];
+      if (d < -opt_.int_tol) return true;
+      if (d > opt_.int_tol) return false;
+    }
+    return false;  // equal everywhere: cannot be strictly smaller
+  }
+
+  /// Objective-based prune that keeps equal-objective (tie-window) nodes
+  /// alive while they may still lex-improve the incumbent.
+  bool pruned_by_bound(double bound, const std::vector<double>& lo) const {
+    if (!has_incumbent_) return false;
+    const double inc = incumbent_obj_.load();
+    if (bound > inc + opt_.gap_tol) return true;
+    if (bound < inc - opt_.gap_tol) return false;
+    return !opt_.canonical_ties || !lex_improvable(lo);
+  }
+
+  // --- incumbent ------------------------------------------------------------
 
   void offer_incumbent(const std::vector<double>& x) {
     std::vector<double> xi = x;
@@ -157,9 +551,19 @@ class Solver {
     }
     if (!model_.is_feasible(xi)) return;
     const double obj = sign_ * model_.objective_value(xi);
-    if (!has_incumbent_ || obj < incumbent_obj_ - opt_.gap_tol) {
+    const double inc = incumbent_obj_.load();
+    const bool better = !has_incumbent_ || obj < inc - opt_.gap_tol;
+    // Equal-objective tie-break on the solution vector keeps the reported
+    // selection independent of search order (and therefore of thread count)
+    // whenever ties exist at the optimum.
+    const bool tie_wins = opt_.canonical_ties && has_incumbent_ &&
+                          obj <= inc + opt_.gap_tol &&
+                          std::lexicographical_compare(xi.begin(), xi.end(),
+                                                       incumbent_x_.begin(),
+                                                       incumbent_x_.end());
+    if (better || tie_wins) {
       has_incumbent_ = true;
-      incumbent_obj_ = obj;
+      incumbent_obj_.store(tie_wins ? std::min(obj, inc) : obj);
       incumbent_x_ = std::move(xi);
     }
   }
@@ -168,14 +572,61 @@ class Solver {
   /// happens to be feasible.
   void try_rounding(const std::vector<double>& x) { offer_incumbent(x); }
 
+  // --- wrap-up --------------------------------------------------------------
+
+  void finish(IlpStatus status_if_ok, Clock::time_point t0) {
+    result_.stats.total_seconds = seconds_since(t0);
+    result_.stats.search_seconds =
+        result_.stats.total_seconds - result_.stats.presolve_seconds;
+    result_.nodes_explored = result_.stats.nodes;
+    result_.lp_iterations = result_.stats.lp_iterations;
+
+    // Global lower bound (internal sense): open nodes still in the heap or
+    // parked in a lane, else the incumbent itself.
+    double lb = has_incumbent_ ? incumbent_obj_.load() : kInfinity;
+    if (status_if_ok == IlpStatus::kNodeLimit) {
+      for (const HeapEntry& e : open_) lb = std::min(lb, e.bound);
+      for (const Lane& lane : lanes_) {
+        if (lane.node_id >= 0) lb = std::min(lb, nodes_[lane.node_id].bound);
+      }
+    }
+
+    if (!has_incumbent_) {
+      result_.status = status_if_ok == IlpStatus::kNodeLimit ? IlpStatus::kNodeLimit
+                                                             : IlpStatus::kInfeasible;
+      result_.best_bound = std::isfinite(lb) ? sign_ * lb : 0.0;
+      return;
+    }
+    result_.status = status_if_ok;
+    result_.has_solution = true;
+    result_.objective = sign_ * incumbent_obj_.load();
+    result_.best_bound = sign_ * lb;
+    result_.x = incumbent_x_;
+  }
+
   const Model& model_;
   const IlpOptions& opt_;
   double sign_ = 1.0;
-  std::vector<double> base_lower_, base_upper_;
+  int lanes_count_ = 1;
+  std::vector<double> root_lo_, root_hi_;
+  std::vector<double> scratch_lo_, scratch_hi_;  // prune-time reconstruction
+  PresolveResult pre_;
 
+  // Arenas.
+  std::vector<Node> nodes_;
+  std::vector<std::pair<VarIndex, double>> fixes_;
+  std::vector<Basis> bases_;
+  std::vector<int> basis_refs_;
+  std::vector<std::int32_t> basis_free_;
+
+  // Search state.
+  std::vector<HeapEntry> open_;
+  std::vector<Lane> lanes_;
+  std::atomic<double> incumbent_obj_{kInfinity};
   bool has_incumbent_ = false;
-  double incumbent_obj_ = kInfinity;
   std::vector<double> incumbent_x_;
+  std::vector<double> pc_sum_[2];
+  std::vector<int> pc_cnt_[2];
   IlpResult result_;
 };
 

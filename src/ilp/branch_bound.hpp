@@ -1,10 +1,21 @@
-// Branch & bound for 0/1 ILPs over the simplex LP relaxation.
+// Branch & bound for 0/1 ILPs over the revised-simplex LP relaxation.
 //
-// Best-bound-first search; branching on the most fractional binary variable
-// (ties broken toward the largest objective weight). The LP bound prunes
-// nodes that cannot beat the incumbent; an LP-rounding heuristic at every
-// node keeps the incumbent tight so the small selection problems of the
-// paper close in a handful of nodes.
+// The search combines:
+//   * a root presolve (bound propagation + clique table, see presolve.hpp);
+//   * an arena-backed node pool -- nodes store only the bound *deltas* they
+//     add on top of their parent (branch fixing + clique propagations), and
+//     the full bound vectors are reconstructed by a cheap parent-chain walk;
+//   * warm starts: every child LP starts from its parent's optimal basis via
+//     the dual simplex instead of re-running phase 1 + 2;
+//   * pseudo-cost branching with a best-bound + depth-first-plunging hybrid
+//     node order;
+//   * an optional worker pool. Node relaxations are solved in fixed-size
+//     waves (one lane per thread) and the results are reduced in lane order,
+//     so a given thread count always reproduces the same search -- and the
+//     optimum itself is thread-count independent.
+//
+// An LP-rounding heuristic at every node keeps the incumbent tight so the
+// small selection problems of the paper close in a handful of nodes.
 #pragma once
 
 #include <cstdint>
@@ -21,13 +32,38 @@ enum class IlpStatus : std::uint8_t {
   kNodeLimit,  // search truncated; best incumbent (if any) returned
 };
 
+/// Observability counters for one solve_ilp call. Threaded through the
+/// selection flow into bench JSON and the chip report.
+struct SolverStats {
+  int nodes = 0;            // nodes taken from the open set (incl. pruned)
+  int lp_iterations = 0;    // simplex iterations across all node LPs
+  int warm_starts = 0;      // node LPs started from a parent basis
+  int cold_starts = 0;      // node LPs solved from scratch
+  int presolve_fixed = 0;   // binaries fixed before the first LP
+  int presolve_rounds = 0;  // propagation rounds until fixpoint
+  int clique_propagations = 0;  // extra 0-fixings derived from 1-branches
+  int threads = 1;
+  double presolve_seconds = 0.0;
+  double search_seconds = 0.0;
+  double total_seconds = 0.0;
+  double warm_start_hit_rate() const {
+    const int lps = warm_starts + cold_starts;
+    return lps > 0 ? static_cast<double>(warm_starts) / lps : 0.0;
+  }
+};
+
 struct IlpResult {
   IlpStatus status = IlpStatus::kInfeasible;
   bool has_solution = false;
   double objective = 0.0;
   std::vector<double> x;
-  int nodes_explored = 0;
-  int lp_iterations = 0;
+  /// Best proven bound on the optimum, in the model's sense: equals
+  /// `objective` when status == kOptimal; after a node-limit truncation
+  /// |objective - best_bound| is the remaining optimality gap.
+  double best_bound = 0.0;
+  int nodes_explored = 0;  // == stats.nodes (kept for existing callers)
+  int lp_iterations = 0;   // == stats.lp_iterations
+  SolverStats stats;
 };
 
 struct IlpOptions {
@@ -37,6 +73,23 @@ struct IlpOptions {
   double int_tol = 1e-6;
   /// Prune nodes whose bound is within gap_tol of the incumbent.
   double gap_tol = 1e-9;
+  /// Worker threads for the tree search. Each wave solves up to this many
+  /// node relaxations in parallel; reduction is in lane order, so repeated
+  /// runs with the same thread count reproduce the same search exactly.
+  int threads = 1;
+  /// Root presolve (bound propagation + clique table).
+  bool presolve = true;
+  /// Warm-start child LPs from the parent's optimal basis (dual simplex).
+  bool warm_start = true;
+  /// Consecutive dives before a lane returns to the best-bound node.
+  int max_plunge_depth = 64;
+  /// Canonical tie-breaking: keep equal-objective nodes alive while they can
+  /// still lexicographically improve the incumbent, so the reported solution
+  /// is the lex-smallest optimal vector -- identical across thread counts
+  /// and search orders. Turn off when only the objective value matters
+  /// (e.g. a pure bound query): models with large equal-objective plateaus
+  /// (many zero objective coefficients) then prune ties immediately.
+  bool canonical_ties = true;
 };
 
 /// Solves the model to proven optimality (unless the node limit strikes).

@@ -1,0 +1,144 @@
+#include "ilp/presolve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace partita::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr int kMaxRounds = 10;
+
+double min_contribution(double coeff, double lb, double ub) {
+  return coeff >= 0 ? coeff * lb : coeff * ub;
+}
+
+double max_contribution(double coeff, double lb, double ub) {
+  return coeff >= 0 ? coeff * ub : coeff * lb;
+}
+
+}  // namespace
+
+PresolveResult presolve(const Model& model, const std::vector<double>& lower,
+                        const std::vector<double>& upper) {
+  PresolveResult res;
+  res.lower = lower;
+  res.upper = upper;
+  const std::size_t n = model.var_count();
+
+  auto is_binary = [&](VarIndex v) {
+    return model.var(v).kind == VarKind::kBinary;
+  };
+
+  // Tightens one variable bound; returns true on change, flags infeasibility.
+  auto tighten_ub = [&](VarIndex v, double nu) -> bool {
+    if (!(nu < res.upper[v] - kEps)) return false;
+    if (is_binary(v)) {
+      if (nu < 1.0 - kEps) nu = std::min(nu, 0.0);  // binary: ub < 1 => 0
+      if (nu < -kEps) {
+        res.infeasible = true;
+        return false;
+      }
+      nu = std::max(nu, 0.0);
+      if (!(nu < res.upper[v] - kEps)) return false;
+      ++res.fixed_vars;
+    } else {
+      ++res.tightenings;
+    }
+    res.upper[v] = nu;
+    if (res.lower[v] > res.upper[v] + kEps) res.infeasible = true;
+    return true;
+  };
+  auto tighten_lb = [&](VarIndex v, double nl) -> bool {
+    if (!(nl > res.lower[v] + kEps)) return false;
+    if (is_binary(v)) {
+      if (nl > kEps) nl = std::max(nl, 1.0);  // binary: lb > 0 => 1
+      if (nl > 1.0 + kEps) {
+        res.infeasible = true;
+        return false;
+      }
+      nl = std::min(nl, 1.0);
+      if (!(nl > res.lower[v] + kEps)) return false;
+      ++res.fixed_vars;
+    } else {
+      ++res.tightenings;
+    }
+    res.lower[v] = nl;
+    if (res.lower[v] > res.upper[v] + kEps) res.infeasible = true;
+    return true;
+  };
+
+  // --- activity-based bound propagation to a fixpoint -----------------------
+  bool changed = true;
+  while (changed && !res.infeasible && res.rounds < kMaxRounds) {
+    changed = false;
+    ++res.rounds;
+    for (const Row& row : model.rows()) {
+      double min_act = 0, max_act = 0;
+      for (const Term& t : row.terms) {
+        min_act += min_contribution(t.coeff, res.lower[t.var], res.upper[t.var]);
+        max_act += max_contribution(t.coeff, res.lower[t.var], res.upper[t.var]);
+      }
+      const bool need_le = row.sense != RowSense::kGreaterEqual;
+      const bool need_ge = row.sense != RowSense::kLessEqual;
+      if (need_le && min_act > row.rhs + kEps) {
+        res.infeasible = true;
+        break;
+      }
+      if (need_ge && max_act < row.rhs - kEps) {
+        res.infeasible = true;
+        break;
+      }
+      for (const Term& t : row.terms) {
+        if (res.lower[t.var] >= res.upper[t.var] - kEps) continue;  // fixed
+        if (t.coeff == 0.0) continue;
+        if (need_le) {
+          const double rest = min_act -
+              min_contribution(t.coeff, res.lower[t.var], res.upper[t.var]);
+          if (std::isfinite(rest)) {
+            const double limit = (row.rhs - rest) / t.coeff;
+            changed |= t.coeff > 0 ? tighten_ub(t.var, limit) : tighten_lb(t.var, limit);
+          }
+        }
+        if (need_ge) {
+          const double rest = max_act -
+              max_contribution(t.coeff, res.lower[t.var], res.upper[t.var]);
+          if (std::isfinite(rest)) {
+            const double limit = (row.rhs - rest) / t.coeff;
+            changed |= t.coeff > 0 ? tighten_lb(t.var, limit) : tighten_ub(t.var, limit);
+          }
+        }
+        if (res.infeasible) break;
+      }
+      if (res.infeasible) break;
+    }
+  }
+  if (res.infeasible) return res;
+
+  // --- clique extraction (at-most-one rows over binaries) --------------------
+  res.var_cliques.assign(n, {});
+  for (const Row& row : model.rows()) {
+    if (row.sense == RowSense::kGreaterEqual) continue;
+    if (row.rhs < 1.0 - kEps || row.rhs >= 2.0 - kEps) continue;
+    bool unit = !row.terms.empty();
+    for (const Term& t : row.terms) {
+      if (std::abs(t.coeff - 1.0) > kEps || !is_binary(t.var)) {
+        unit = false;
+        break;
+      }
+    }
+    if (!unit) continue;
+    std::vector<VarIndex> members;
+    for (const Term& t : row.terms) {
+      if (res.upper[t.var] > 0.5) members.push_back(t.var);
+    }
+    if (members.size() < 2) continue;
+    const auto id = static_cast<std::uint32_t>(res.cliques.size());
+    for (VarIndex v : members) res.var_cliques[v].push_back(id);
+    res.cliques.push_back(std::move(members));
+  }
+  return res;
+}
+
+}  // namespace partita::ilp

@@ -1,0 +1,46 @@
+// Presolve for the 0/1 selection ILPs.
+//
+// Runs bound propagation to a fixpoint before any LP is solved:
+//
+//   * activity-based implied bounds: for every row, the minimum/maximum
+//     activity of the other terms implies a bound on each variable; binaries
+//     whose implied interval excludes 0 or 1 are fixed, continuous bounds
+//     are tightened;
+//   * clique extraction: "at most one" rows over binaries (the paper's Eq. 1
+//     rows and the SC-PC conflict rows) are collected as cliques, and fixing
+//     any member to 1 immediately fixes the rest to 0;
+//   * infeasibility detection: a row whose best-case activity already misses
+//     its right-hand side proves the whole (sub)problem infeasible.
+//
+// The result is a tightened root bound vector plus the clique table, which
+// branch & bound also uses to propagate every 1-branch during the search.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace partita::ilp {
+
+struct PresolveResult {
+  bool infeasible = false;
+  /// Tightened bounds (same size as the inputs).
+  std::vector<double> lower, upper;
+  /// Binaries newly fixed (lower == upper where the input was not fixed).
+  int fixed_vars = 0;
+  /// Non-fixing bound tightenings on continuous variables.
+  int tightenings = 0;
+  int rounds = 0;
+  /// At-most-one groups of binary variables, by variable index.
+  std::vector<std::vector<VarIndex>> cliques;
+  /// var -> indices into `cliques` that contain it (empty vector when none).
+  std::vector<std::vector<std::uint32_t>> var_cliques;
+};
+
+/// Propagates `model`'s rows over the given bounds. The inputs are not
+/// modified; sizes must equal model.var_count().
+PresolveResult presolve(const Model& model, const std::vector<double>& lower,
+                        const std::vector<double>& upper);
+
+}  // namespace partita::ilp

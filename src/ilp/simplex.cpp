@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "support/assert.hpp"
@@ -10,381 +11,926 @@ namespace partita::ilp {
 
 namespace {
 
-enum class ColStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
+/// Per-variable primal feasibility tolerance.
+constexpr double kFeasTol = 1e-7;
+/// Total phase-1 infeasibility below this counts as feasible (matches the
+/// old dense implementation's phase-1 exit test).
+constexpr double kPhase1Tol = 1e-6;
+/// Pivots between refactorizations (numerical hygiene).
+constexpr int kRefactorInterval = 128;
+/// Non-improving iterations before switching to Bland's rule.
+constexpr int kStallLimit = 64;
 
-class Tableau {
+}  // namespace
+
+// Reduced-basis kernel
+// --------------------
+// Every basis consists of k structural columns plus m-k logical (unit)
+// columns. Instead of a dense m x m inverse we keep only the k x k matrix
+//
+//   M = A[R, S],   R = rows whose logical column is nonbasic,
+//                  S = the basic structural columns,  |R| = |S| = k,
+//
+// and its inverse. With the invariant "a basic logical always occupies its
+// own row's basis slot", B decomposes (up to row permutation) as
+// [[M, 0], [C, I]], so every ftran/btran/xb computation reduces to one k x k
+// multiply plus sparse column scans, and each pivot is one of four O(k^2)
+// rank-1 updates on M^-1 (grow / column replace / shrink / row replace).
+// For the selection models the row count m (one gain row per execution path)
+// dwarfs the variable count n, so k <= n makes iterations O(k^2 + nnz)
+// instead of O(m^2) and refactorizations O(k^3) instead of O(m^3).
+class SimplexSolver::Impl {
  public:
-  Tableau(const Model& model, const std::vector<double>& lower,
-          const std::vector<double>& upper, const LpOptions& opt)
-      : model_(model), opt_(opt) {
-    n_struct_ = model.var_count();
+  explicit Impl(const Model& model) : model_(model) {
+    n_ = model.var_count();
     m_ = model.row_count();
-    build(lower, upper);
-  }
+    total_ = n_ + m_;
+    sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
 
-  LpResult solve() {
-    LpResult res;
-
-    // ---- Phase 1: drive artificials to zero --------------------------------
-    if (any_artificial_) {
-      set_phase1_costs();
-      const LpStatus s1 = optimize(res.iterations);
-      if (s1 == LpStatus::kIterationLimit) {
-        res.status = s1;
-        return res;
+    // Transpose the row-wise model into sparse columns; logical column n+i
+    // is the unit column of row i with sense-encoded bounds. Entries within
+    // a column are in increasing row order (the build loop runs over rows).
+    std::vector<int> col_nnz(total_, 0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (const Term& t : model.row(static_cast<RowIndex>(i)).terms) ++col_nnz[t.var];
+    }
+    col_start_.assign(total_ + 1, 0);
+    for (std::size_t j = 0; j < n_; ++j) col_start_[j + 1] = col_start_[j] + col_nnz[j];
+    for (std::size_t j = n_; j < total_; ++j) col_start_[j + 1] = col_start_[j] + 1;
+    col_entries_.resize(col_start_[total_]);
+    std::vector<int> fill(n_, 0);
+    rhs_.resize(m_);
+    logical_lb_.resize(m_);
+    logical_ub_.resize(m_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Row& row = model.row(static_cast<RowIndex>(i));
+      for (const Term& t : row.terms) {
+        col_entries_[col_start_[t.var] + fill[t.var]++] = {static_cast<int>(i), t.coeff};
       }
-      // Phase 1 is bounded below by 0, so kUnbounded cannot happen.
-      if (current_objective() > 1e-6) {
-        res.status = LpStatus::kInfeasible;
-        return res;
+      col_entries_[col_start_[n_ + i]] = {static_cast<int>(i), 1.0};
+      rhs_[i] = row.rhs;
+      switch (row.sense) {
+        case RowSense::kLessEqual:
+          logical_lb_[i] = 0.0;
+          logical_ub_[i] = kInfinity;
+          break;
+        case RowSense::kGreaterEqual:
+          logical_lb_[i] = -kInfinity;
+          logical_ub_[i] = 0.0;
+          break;
+        case RowSense::kEqual:
+          logical_lb_[i] = 0.0;
+          logical_ub_[i] = 0.0;
+          break;
       }
-      pivot_out_artificials();
     }
 
-    // ---- Phase 2: real objective -------------------------------------------
-    set_phase2_costs();
-    const LpStatus s2 = optimize(res.iterations);
-    res.status = s2;
-    if (s2 != LpStatus::kOptimal) return res;
+    cost_.assign(total_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      cost_[j] = sign_ * model.var(static_cast<VarIndex>(j)).objective;
+    }
 
-    res.x.assign(n_struct_, 0.0);
-    const std::vector<double> xs = solution_values();
-    for (std::size_t j = 0; j < n_struct_; ++j) res.x[j] = xs[j];
+    lb_.resize(total_);
+    ub_.resize(total_);
+    status_.resize(total_);
+    basis_.resize(m_);
+    xb_.resize(m_);
+    y_.resize(m_);
+    alpha_.resize(m_);
+    rho_.resize(m_);
+    work_.resize(m_);
+
+    kcap_ = std::min(n_, m_);
+    minv_.resize(kcap_ * kcap_);
+    rows_.resize(kcap_);
+    cols_.resize(kcap_);
+    col_slot_.resize(kcap_);
+    row_pos_.assign(m_, -1);
+    col_pos_.assign(n_, -1);
+    red_.resize(kcap_);
+    gwork_.resize(kcap_);
+    twork_.resize(kcap_);
+    kwork_.resize(kcap_);
+  }
+
+  LpResult run(const std::vector<double>& lower, const std::vector<double>& upper,
+               const LpOptions& opt, const Basis* warm, Basis* out_basis) {
+    opt_ = opt;
+    LpResult res;
+
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (lower[j] > upper[j] + opt.eps) {
+        res.status = LpStatus::kInfeasible;  // empty domain from branching
+        return res;
+      }
+      lb_[j] = lower[j];
+      ub_[j] = upper[j];
+      PARTITA_ASSERT_MSG(std::isfinite(lb_[j]) || std::isfinite(ub_[j]),
+                         "structural vars need at least one finite bound");
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      lb_[n_ + i] = logical_lb_[i];
+      ub_[n_ + i] = logical_ub_[i];
+    }
+
+    bool warm_ok = warm != nullptr && load_warm_basis(*warm);
+    if (!warm_ok) load_cold_basis();
+    res.warm_started = warm_ok;
+    compute_xb();
+
+    LpStatus status;
+    if (warm_ok) {
+      status = dual_simplex(res.iterations);
+      // Dual simplex ends primal feasible (or proves infeasibility); a short
+      // primal phase-2 run certifies optimality and mops up any residual
+      // dual infeasibility from tolerance drift.
+      if (status == LpStatus::kOptimal) status = primal(/*phase=*/2, res.iterations);
+    } else {
+      status = LpStatus::kOptimal;
+      if (total_infeasibility() > kPhase1Tol) {
+        status = primal(/*phase=*/1, res.iterations);
+      }
+      if (status == LpStatus::kOptimal) status = primal(/*phase=*/2, res.iterations);
+    }
+    res.status = status;
+    if (status != LpStatus::kOptimal) {
+      have_factorization_ = false;
+      return res;
+    }
+
+    res.x.assign(n_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (status_[j] != BasisStatus::kBasic) res.x[j] = nonbasic_value(j);
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < static_cast<int>(n_)) res.x[basis_[i]] = xb_[i];
+    }
     double obj = 0;
-    for (std::size_t j = 0; j < n_struct_; ++j) {
+    for (std::size_t j = 0; j < n_; ++j) {
       obj += model_.var(static_cast<VarIndex>(j)).objective * res.x[j];
     }
     res.objective = obj;
+
+    if (out_basis) {
+      out_basis->status.assign(status_.begin(), status_.end());
+    }
     return res;
   }
 
  private:
-  // --- construction ---------------------------------------------------------
+  double nonbasic_value(std::size_t j) const {
+    return status_[j] == BasisStatus::kAtLower ? lb_[j] : ub_[j];
+  }
 
-  void build(const std::vector<double>& lower, const std::vector<double>& upper) {
-    // Column layout: [structural | slack per row | artificial per row (maybe)]
-    n_total_ = n_struct_ + m_;  // artificials appended lazily
-    a_.assign(m_, {});
-    rhs_.assign(m_, 0.0);
-    lb_.assign(n_total_, 0.0);
-    ub_.assign(n_total_, kInfinity);
-    status_.assign(n_total_, ColStatus::kAtLower);
-    basis_.assign(m_, 0);
+  /// A[row, col] for one structural column (entries are sorted by row).
+  double coeff_at(int col, int row) const {
+    const auto* first = col_entries_.data() + col_start_[col];
+    const auto* last = col_entries_.data() + col_start_[col + 1];
+    const auto* it = std::lower_bound(
+        first, last, row,
+        [](const std::pair<int, double>& e, int r) { return e.first < r; });
+    return (it != last && it->first == row) ? it->second : 0.0;
+  }
 
-    for (std::size_t j = 0; j < n_struct_; ++j) {
-      lb_[j] = lower[j];
-      ub_[j] = upper[j];
-      PARTITA_ASSERT_MSG(std::isfinite(lb_[j]), "structural vars need finite lower bounds");
-      PARTITA_ASSERT_MSG(lb_[j] <= ub_[j] + opt_.eps, "empty variable domain");
+  // --- basis management -----------------------------------------------------
+
+  void load_cold_basis() {
+    for (std::size_t j = 0; j < n_; ++j) {
+      status_[j] = std::isfinite(lb_[j]) ? BasisStatus::kAtLower : BasisStatus::kAtUpper;
     }
-
     for (std::size_t i = 0; i < m_; ++i) {
-      a_[i].assign(n_total_, 0.0);
-      const Row& row = model_.row(static_cast<RowIndex>(i));
-      for (const Term& t : row.terms) a_[i][t.var] = t.coeff;
-      rhs_[i] = row.rhs;
-      const std::size_t slack = n_struct_ + i;
-      switch (row.sense) {
-        case RowSense::kLessEqual:
-          a_[i][slack] = 1.0;
-          lb_[slack] = 0.0;
-          ub_[slack] = kInfinity;
-          break;
-        case RowSense::kGreaterEqual:
-          a_[i][slack] = -1.0;
-          lb_[slack] = 0.0;
-          ub_[slack] = kInfinity;
-          break;
-        case RowSense::kEqual:
-          a_[i][slack] = 1.0;
-          lb_[slack] = 0.0;
-          ub_[slack] = 0.0;
-          break;
-      }
+      status_[n_ + i] = BasisStatus::kBasic;
+      basis_[i] = static_cast<int>(n_ + i);
+      row_pos_[i] = -1;
+    }
+    std::fill(col_pos_.begin(), col_pos_.end(), -1);
+    k_ = 0;  // all-logical basis: M is empty and B is the identity
+    have_factorization_ = true;
+    pivots_since_refactor_ = 0;
+  }
+
+  /// Imports a basis snapshot; returns false (leaving the solver ready for a
+  /// cold start) when the snapshot is unusable.
+  bool load_warm_basis(const Basis& warm) {
+    if (warm.status.size() != total_) return false;
+
+    // Reuse the current factorization when the imported basis is the one we
+    // just solved with -- the common case when branch & bound plunges into a
+    // child right after its parent.
+    if (have_factorization_ &&
+        std::equal(warm.status.begin(), warm.status.end(), status_.begin())) {
+      sanitize_nonbasic_statuses();
+      return true;
     }
 
-    // Nonbasic structural variables rest at their (finite) lower bound.
-    for (std::size_t j = 0; j < n_struct_; ++j) status_[j] = ColStatus::kAtLower;
+    std::copy(warm.status.begin(), warm.status.end(), status_.begin());
+    sanitize_nonbasic_statuses();
 
-    // Initial basis: the slack of each row where that works, else an
-    // artificial.
-    std::vector<std::size_t> needs_artificial;
+    // Rebuild the reduced representation: rows whose logical is nonbasic
+    // host the basic structural columns, one each.
+    std::vector<int> basic_structs;
+    basic_structs.reserve(kcap_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (status_[j] == BasisStatus::kBasic) basic_structs.push_back(static_cast<int>(j));
+    }
+    std::vector<int> open_rows;
     for (std::size_t i = 0; i < m_; ++i) {
-      const std::size_t slack = n_struct_ + i;
-      const double activity = row_activity_nonbasic(i, slack);
-      const double needed = (rhs_[i] - activity) / a_[i][slack];
-      if (needed >= lb_[slack] - opt_.eps && needed <= ub_[slack] + opt_.eps) {
-        make_basic(i, slack);
-      } else {
-        // Slack parks at the bound nearest the needed value.
-        status_[slack] = needed < lb_[slack] ? ColStatus::kAtLower : ColStatus::kAtUpper;
-        needs_artificial.push_back(i);
+      if (status_[n_ + i] != BasisStatus::kBasic) open_rows.push_back(static_cast<int>(i));
+    }
+    if (basic_structs.size() > open_rows.size()) return false;  // overfull snapshot
+    if (basic_structs.size() > kcap_) return false;
+    // Repair a deficient snapshot by promoting logicals (deterministically:
+    // lowest open rows first).
+    std::size_t excess = open_rows.size() - basic_structs.size();
+    for (std::size_t t = 0; t < excess; ++t) {
+      status_[n_ + open_rows[t]] = BasisStatus::kBasic;
+    }
+    open_rows.erase(open_rows.begin(), open_rows.begin() + excess);
+
+    std::fill(row_pos_.begin(), row_pos_.end(), -1);
+    std::fill(col_pos_.begin(), col_pos_.end(), -1);
+    k_ = basic_structs.size();
+    for (std::size_t i = 0; i < m_; ++i) basis_[i] = static_cast<int>(n_ + i);
+    for (std::size_t idx = 0; idx < k_; ++idx) {
+      rows_[idx] = open_rows[idx];
+      cols_[idx] = basic_structs[idx];
+      col_slot_[idx] = open_rows[idx];
+      row_pos_[open_rows[idx]] = static_cast<int>(idx);
+      col_pos_[basic_structs[idx]] = static_cast<int>(idx);
+      basis_[open_rows[idx]] = basic_structs[idx];
+    }
+    if (!refactorize()) return false;
+    return true;
+  }
+
+  /// A nonbasic column may not rest at an infinite bound.
+  void sanitize_nonbasic_statuses() {
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == BasisStatus::kBasic) continue;
+      if (status_[j] == BasisStatus::kAtUpper && !std::isfinite(ub_[j])) {
+        status_[j] = BasisStatus::kAtLower;
+      } else if (status_[j] == BasisStatus::kAtLower && !std::isfinite(lb_[j])) {
+        status_[j] = BasisStatus::kAtUpper;
       }
     }
+  }
 
-    any_artificial_ = !needs_artificial.empty();
-    if (any_artificial_) {
-      const std::size_t base = n_total_;
-      n_total_ += needs_artificial.size();
-      lb_.resize(n_total_, 0.0);
-      ub_.resize(n_total_, kInfinity);
-      status_.resize(n_total_, ColStatus::kAtLower);
-      for (auto& arow : a_) arow.resize(n_total_, 0.0);
-      first_artificial_ = base;
-      for (std::size_t k = 0; k < needs_artificial.size(); ++k) {
-        const std::size_t i = needs_artificial[k];
-        const std::size_t art = base + k;
-        // Residual the artificial must absorb given all nonbasics at bound.
-        const double residual = rhs_[i] - row_activity_nonbasic(i, /*skip=*/art);
-        a_[i][art] = residual >= 0 ? 1.0 : -1.0;
-        make_basic(i, art);
+  /// Rebuilds minv_ = M^-1 by Gauss-Jordan with partial pivoting on the
+  /// k x k active matrix A[rows_, cols_].
+  bool refactorize() {
+    if (k_ == 0) {
+      have_factorization_ = true;
+      pivots_since_refactor_ = 0;
+      return true;
+    }
+    std::vector<double>& mat = scratch_mat_;
+    mat.assign(kcap_ * kcap_, 0.0);
+    for (std::size_t b = 0; b < k_; ++b) {
+      const int col = cols_[b];
+      for (int e = col_start_[col]; e < col_start_[col + 1]; ++e) {
+        const int a = row_pos_[col_entries_[e].first];
+        if (a >= 0) mat[static_cast<std::size_t>(a) * kcap_ + b] = col_entries_[e].second;
       }
+    }
+    for (std::size_t b = 0; b < k_; ++b) {
+      double* row = &minv_[b * kcap_];
+      std::fill(row, row + k_, 0.0);
+      row[b] = 1.0;
+    }
+
+    for (std::size_t p = 0; p < k_; ++p) {
+      std::size_t piv_row = p;
+      double piv = std::abs(mat[p * kcap_ + p]);
+      for (std::size_t a = p + 1; a < k_; ++a) {
+        const double v = std::abs(mat[a * kcap_ + p]);
+        if (v > piv) {
+          piv = v;
+          piv_row = a;
+        }
+      }
+      if (piv < 1e-9) return false;  // singular snapshot
+      if (piv_row != p) {
+        for (std::size_t c = 0; c < k_; ++c) {
+          std::swap(mat[piv_row * kcap_ + c], mat[p * kcap_ + c]);
+          std::swap(minv_[piv_row * kcap_ + c], minv_[p * kcap_ + c]);
+        }
+      }
+      const double inv = 1.0 / mat[p * kcap_ + p];
+      for (std::size_t c = 0; c < k_; ++c) {
+        mat[p * kcap_ + c] *= inv;
+        minv_[p * kcap_ + c] *= inv;
+      }
+      for (std::size_t a = 0; a < k_; ++a) {
+        if (a == p) continue;
+        const double f = mat[a * kcap_ + p];
+        if (f == 0.0) continue;
+        for (std::size_t c = 0; c < k_; ++c) {
+          mat[a * kcap_ + c] -= f * mat[p * kcap_ + c];
+          minv_[a * kcap_ + c] -= f * minv_[p * kcap_ + c];
+        }
+      }
+    }
+    have_factorization_ = true;
+    pivots_since_refactor_ = 0;
+    return true;
+  }
+
+  /// xb = B^-1 (b - N x_N), from scratch via the reduced inverse.
+  void compute_xb() {
+    std::vector<double>& r = work_;
+    std::copy(rhs_.begin(), rhs_.end(), r.begin());
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == BasisStatus::kBasic) continue;
+      const double xj = nonbasic_value(j);
+      if (xj == 0.0) continue;
+      for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+        r[col_entries_[e].first] -= col_entries_[e].second * xj;
+      }
+    }
+    // u = M^-1 r[R]; structural basics take u, each logical basic takes its
+    // row's residual minus the structural contribution.
+    for (std::size_t b = 0; b < k_; ++b) {
+      double v = 0;
+      const double* mrow = &minv_[b * kcap_];
+      for (std::size_t a = 0; a < k_; ++a) v += mrow[a] * r[rows_[a]];
+      twork_[b] = v;
+    }
+    for (std::size_t i = 0; i < m_; ++i) xb_[i] = r[i];
+    for (std::size_t b = 0; b < k_; ++b) {
+      const double u = twork_[b];
+      if (u == 0.0) continue;
+      const int col = cols_[b];
+      for (int e = col_start_[col]; e < col_start_[col + 1]; ++e) {
+        const int row = col_entries_[e].first;
+        if (row_pos_[row] < 0) xb_[row] -= col_entries_[e].second * u;
+      }
+    }
+    for (std::size_t b = 0; b < k_; ++b) xb_[col_slot_[b]] = twork_[b];
+  }
+
+  double total_infeasibility() const {
+    double t = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const int j = basis_[i];
+      if (xb_[i] < lb_[j] - kFeasTol) t += lb_[j] - xb_[i];
+      else if (xb_[i] > ub_[j] + kFeasTol) t += xb_[i] - ub_[j];
+    }
+    return t;
+  }
+
+  // --- shared linear algebra -------------------------------------------------
+
+  /// y = cb^T B^-1 for the given slot-indexed basic costs. With the slot
+  /// invariant this is y_i = cb_i on logical-basic rows plus one k x k
+  /// transpose solve for the active rows.
+  void btran(const std::vector<double>& cb) {
+    for (std::size_t i = 0; i < m_; ++i) y_[i] = row_pos_[i] < 0 ? cb[i] : 0.0;
+    for (std::size_t b = 0; b < k_; ++b) {
+      double g = cb[col_slot_[b]];
+      const int col = cols_[b];
+      for (int e = col_start_[col]; e < col_start_[col + 1]; ++e) {
+        const int row = col_entries_[e].first;
+        if (row_pos_[row] < 0) g -= y_[row] * col_entries_[e].second;
+      }
+      gwork_[b] = g;
+    }
+    for (std::size_t a = 0; a < k_; ++a) {
+      double v = 0;
+      for (std::size_t b = 0; b < k_; ++b) v += minv_[b * kcap_ + a] * gwork_[b];
+      y_[rows_[a]] = v;
+    }
+  }
+
+  /// rho = row r of B^-1 (a btran with a slot-unit cost vector); the dual
+  /// simplex prices the leaving row with it.
+  void btran_unit(std::size_t r) {
+    std::fill(rho_.begin(), rho_.end(), 0.0);
+    if (row_pos_[r] >= 0) {
+      // Slot r hosts a structural column: only one g entry is nonzero.
+      const std::size_t br = static_cast<std::size_t>(col_pos_[basis_[r]]);
+      for (std::size_t a = 0; a < k_; ++a) rho_[rows_[a]] = minv_[br * kcap_ + a];
     } else {
-      first_artificial_ = n_total_;
-    }
-    cost_.assign(n_total_, 0.0);
-  }
-
-  /// Activity of row i from all nonbasic columns at their bounds, skipping
-  /// column `skip`.
-  double row_activity_nonbasic(std::size_t i, std::size_t skip) const {
-    double v = 0;
-    for (std::size_t j = 0; j < n_total_; ++j) {
-      if (j == skip || status_[j] == ColStatus::kBasic) continue;
-      const double xj = status_[j] == ColStatus::kAtLower ? lb_[j] : ub_[j];
-      if (xj != 0.0) v += a_[i][j] * xj;
-    }
-    return v;
-  }
-
-  /// Makes column j basic in row i, scaling/eliminating so the basis column
-  /// is a unit vector.
-  void make_basic(std::size_t i, std::size_t j) {
-    const double piv = a_[i][j];
-    PARTITA_ASSERT_MSG(std::abs(piv) > opt_.eps, "zero pivot while forming basis");
-    if (piv != 1.0) {
-      for (double& v : a_[i]) v /= piv;
-      rhs_[i] /= piv;
-    }
-    for (std::size_t r = 0; r < m_; ++r) {
-      if (r == i) continue;
-      const double f = a_[r][j];
-      if (std::abs(f) > opt_.eps) {
-        for (std::size_t c = 0; c < n_total_; ++c) a_[r][c] -= f * a_[i][c];
-        rhs_[r] -= f * rhs_[i];
-      } else {
-        a_[r][j] = 0.0;
+      rho_[r] = 1.0;
+      for (std::size_t b = 0; b < k_; ++b) {
+        gwork_[b] = -coeff_at(cols_[b], static_cast<int>(r));
       }
-    }
-    basis_[i] = j;
-    status_[j] = ColStatus::kBasic;
-  }
-
-  // --- pricing and iteration ------------------------------------------------
-
-  void set_phase1_costs() {
-    std::fill(cost_.begin(), cost_.end(), 0.0);
-    for (std::size_t j = first_artificial_; j < n_total_; ++j) cost_[j] = 1.0;
-  }
-
-  void set_phase2_costs() {
-    std::fill(cost_.begin(), cost_.end(), 0.0);
-    const double sgn = model_.sense() == Sense::kMinimize ? 1.0 : -1.0;
-    for (std::size_t j = 0; j < n_struct_; ++j) {
-      cost_[j] = sgn * model_.var(static_cast<VarIndex>(j)).objective;
-    }
-    // Artificials must not re-enter.
-    for (std::size_t j = first_artificial_; j < n_total_; ++j) {
-      if (status_[j] != ColStatus::kBasic) {
-        ub_[j] = 0.0;
-        status_[j] = ColStatus::kAtLower;
+      for (std::size_t a = 0; a < k_; ++a) {
+        double v = 0;
+        for (std::size_t b = 0; b < k_; ++b) v += minv_[b * kcap_ + a] * gwork_[b];
+        rho_[rows_[a]] = v;
       }
     }
   }
 
-  /// Values of ALL columns at the current basic solution.
-  std::vector<double> solution_values() const {
-    std::vector<double> x(n_total_, 0.0);
-    for (std::size_t j = 0; j < n_total_; ++j) {
-      if (status_[j] == ColStatus::kAtLower) x[j] = lb_[j];
-      else if (status_[j] == ColStatus::kAtUpper) x[j] = ub_[j];
+  /// alpha = B^-1 a_j; also leaves the reduced solve M^-1 a_j[R] in red_
+  /// for the subsequent basis update.
+  void ftran(std::size_t j) {
+    std::fill(alpha_.begin(), alpha_.end(), 0.0);
+    std::fill(gwork_.begin(), gwork_.begin() + k_, 0.0);
+    for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+      const int row = col_entries_[e].first;
+      const int a = row_pos_[row];
+      if (a >= 0) gwork_[a] = col_entries_[e].second;
+      else alpha_[row] = col_entries_[e].second;
     }
-    for (std::size_t i = 0; i < m_; ++i) {
-      double v = rhs_[i];
-      for (std::size_t j = 0; j < n_total_; ++j) {
-        if (status_[j] != ColStatus::kBasic && x[j] != 0.0) v -= a_[i][j] * x[j];
+    for (std::size_t b = 0; b < k_; ++b) {
+      double v = 0;
+      const double* mrow = &minv_[b * kcap_];
+      for (std::size_t a = 0; a < k_; ++a) v += mrow[a] * gwork_[a];
+      red_[b] = v;
+    }
+    for (std::size_t b = 0; b < k_; ++b) {
+      const double u = red_[b];
+      if (u == 0.0) continue;
+      const int col = cols_[b];
+      for (int e = col_start_[col]; e < col_start_[col + 1]; ++e) {
+        const int row = col_entries_[e].first;
+        if (row_pos_[row] < 0) alpha_[row] -= col_entries_[e].second * u;
       }
-      x[basis_[i]] = v;
     }
-    return x;
+    for (std::size_t b = 0; b < k_; ++b) alpha_[col_slot_[b]] = red_[b];
   }
 
-  void refresh_basic_values() {
-    const std::vector<double> x = solution_values();
-    xb_.resize(m_);
-    for (std::size_t i = 0; i < m_; ++i) xb_[i] = x[basis_[i]];
-  }
-
-  double current_objective() const {
-    double obj = 0;
-    for (std::size_t j = 0; j < n_total_; ++j) {
-      if (status_[j] == ColStatus::kBasic || cost_[j] == 0.0) continue;
-      obj += cost_[j] * (status_[j] == ColStatus::kAtLower ? lb_[j] : ub_[j]);
-    }
-    for (std::size_t i = 0; i < m_; ++i) obj += cost_[basis_[i]] * xb_[i];
-    return obj;
-  }
-
-  /// Reduced cost of column j: c_j - c_B^T * (B^-1 a_j).
-  double reduced_cost(std::size_t j) const {
-    double d = cost_[j];
-    for (std::size_t i = 0; i < m_; ++i) {
-      const double cb = cost_[basis_[i]];
-      if (cb != 0.0) d -= cb * a_[i][j];
+  double dot_col(std::size_t j, const std::vector<double>& v) const {
+    double d = 0;
+    for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+      d += v[col_entries_[e].first] * col_entries_[e].second;
     }
     return d;
   }
 
-  LpStatus optimize(int& iterations) {
-    refresh_basic_values();
-    int stall = 0;
-    double last_obj = current_objective();
+  // --- reduced-basis pivots --------------------------------------------------
+  //
+  // Each basis change is one of four O(k^2) updates on M^-1, selected by
+  // whether the entering/leaving columns are structural or logical. alpha_
+  // and red_ must hold the ftran of the entering column; in every case the
+  // ratio test's pivot alpha_[r] doubles (up to sign) as the update's pivot
+  // element, so nonsingularity is guaranteed.
+
+  /// Structural enters, logical leaves: M gains row r and column e
+  /// (bordered-inverse update; the Schur complement equals alpha_[r]).
+  void grow_basis(std::size_t r, std::size_t e) {
+    const double inv_s = 1.0 / alpha_[r];
+    for (std::size_t b = 0; b < k_; ++b) {
+      kwork_[b] = coeff_at(cols_[b], static_cast<int>(r));  // w = row r over S
+    }
+    for (std::size_t a = 0; a < k_; ++a) {
+      double v = 0;
+      for (std::size_t b = 0; b < k_; ++b) v += kwork_[b] * minv_[b * kcap_ + a];
+      twork_[a] = v;  // q^T = w^T M^-1
+    }
+    for (std::size_t b = 0; b < k_; ++b) {
+      const double pb = red_[b];
+      double* mrow = &minv_[b * kcap_];
+      if (pb != 0.0) {
+        const double f = pb * inv_s;
+        for (std::size_t a = 0; a < k_; ++a) mrow[a] += f * twork_[a];
+      }
+      mrow[k_] = -pb * inv_s;
+    }
+    double* lrow = &minv_[k_ * kcap_];
+    for (std::size_t a = 0; a < k_; ++a) lrow[a] = -twork_[a] * inv_s;
+    lrow[k_] = inv_s;
+    rows_[k_] = static_cast<int>(r);
+    row_pos_[r] = static_cast<int>(k_);
+    cols_[k_] = static_cast<int>(e);
+    col_pos_[e] = static_cast<int>(k_);
+    col_slot_[k_] = static_cast<int>(r);
+    ++k_;
+  }
+
+  /// Structural enters, structural leaves: product-form column replacement.
+  void replace_col(std::size_t r, std::size_t e) {
+    const std::size_t c = static_cast<std::size_t>(col_pos_[basis_[r]]);
+    const double inv = 1.0 / red_[c];  // red_[c] == alpha_[r]
+    double* crow = &minv_[c * kcap_];
+    for (std::size_t a = 0; a < k_; ++a) crow[a] *= inv;
+    for (std::size_t b = 0; b < k_; ++b) {
+      if (b == c) continue;
+      const double f = red_[b];
+      if (f == 0.0) continue;
+      double* brow = &minv_[b * kcap_];
+      for (std::size_t a = 0; a < k_; ++a) brow[a] -= f * crow[a];
+    }
+    col_pos_[cols_[c]] = -1;
+    cols_[c] = static_cast<int>(e);
+    col_pos_[e] = static_cast<int>(c);
+  }
+
+  /// Logical n+i enters, structural leaves: M loses row i and the leaving
+  /// column (rank-1 downdate, then compaction by swapping with the last
+  /// index). The deleted-entry pivot M^-1[c][p] equals alpha_[r].
+  void shrink_basis(std::size_t r, std::size_t e) {
+    const std::size_t i = e - n_;
+    PARTITA_ASSERT(row_pos_[i] >= 0);
+    const std::size_t p = static_cast<std::size_t>(row_pos_[i]);
+    const std::size_t c = static_cast<std::size_t>(col_pos_[basis_[r]]);
+    const double invp = 1.0 / minv_[c * kcap_ + p];
+    const double* crow = &minv_[c * kcap_];
+    for (std::size_t b = 0; b < k_; ++b) {
+      if (b == c) continue;
+      double* brow = &minv_[b * kcap_];
+      const double f = brow[p] * invp;
+      if (f == 0.0) continue;
+      for (std::size_t a = 0; a < k_; ++a) brow[a] -= f * crow[a];
+    }
+    const std::size_t tail = k_ - 1;
+    col_pos_[basis_[r]] = -1;
+    row_pos_[i] = -1;
+    if (p != tail) {  // compact the a-space (M^-1 columns)
+      for (std::size_t b = 0; b < k_; ++b) minv_[b * kcap_ + p] = minv_[b * kcap_ + tail];
+      rows_[p] = rows_[tail];
+      row_pos_[rows_[p]] = static_cast<int>(p);
+    }
+    if (c != tail) {  // compact the b-space (M^-1 rows)
+      std::memcpy(&minv_[c * kcap_], &minv_[tail * kcap_], k_ * sizeof(double));
+      cols_[c] = cols_[tail];
+      col_pos_[cols_[c]] = static_cast<int>(c);
+      col_slot_[c] = col_slot_[tail];
+    }
+    k_ = tail;
+  }
+
+  /// Logical n+i enters, logical n+r leaves: row i of M becomes row r
+  /// (Sherman-Morrison row replacement; the denominator equals -alpha_[r]).
+  void replace_row(std::size_t r, std::size_t e) {
+    const std::size_t i = e - n_;
+    PARTITA_ASSERT(row_pos_[i] >= 0);
+    const std::size_t p = static_cast<std::size_t>(row_pos_[i]);
+    for (std::size_t b = 0; b < k_; ++b) {
+      kwork_[b] = minv_[b * kcap_ + p];                     // kappa = M^-1 e_p
+      gwork_[b] = coeff_at(cols_[b], static_cast<int>(r));  // w = new row
+    }
+    for (std::size_t a = 0; a < k_; ++a) {
+      double v = 0;
+      for (std::size_t b = 0; b < k_; ++b) v += gwork_[b] * minv_[b * kcap_ + a];
+      twork_[a] = v;  // t^T = w^T M^-1
+    }
+    const double invp = 1.0 / twork_[p];
+    twork_[p] -= 1.0;  // d^T M^-1 = t^T - e_p^T
+    for (std::size_t b = 0; b < k_; ++b) {
+      const double f = kwork_[b] * invp;
+      if (f == 0.0) continue;
+      double* brow = &minv_[b * kcap_];
+      for (std::size_t a = 0; a < k_; ++a) brow[a] -= f * twork_[a];
+    }
+    rows_[p] = static_cast<int>(r);
+    row_pos_[i] = -1;
+    row_pos_[r] = static_cast<int>(p);
+  }
+
+  /// Dispatches the pivot (entering column e replaces basis_[r]) to the
+  /// matching reduced-basis update.
+  void pivot_basis(std::size_t r, std::size_t e) {
+    const bool enter_struct = e < n_;
+    const bool leave_struct = basis_[r] < static_cast<int>(n_);
+    if (enter_struct) {
+      if (leave_struct) replace_col(r, e);
+      else grow_basis(r, e);
+    } else {
+      if (leave_struct) shrink_basis(r, e);
+      else replace_row(r, e);
+    }
+    ++pivots_since_refactor_;
+  }
+
+  /// Refactorizes when due. Returns false on a (numerically) singular basis,
+  /// which can only arise from catastrophic roundoff -- callers abort the
+  /// solve rather than continue with a corrupt inverse.
+  bool periodic_refactor() {
+    if (pivots_since_refactor_ < kRefactorInterval) return true;
+    if (!refactorize()) {
+      have_factorization_ = false;
+      return false;
+    }
+    compute_xb();
+    return true;
+  }
+
+  // --- primal simplex --------------------------------------------------------
+
+  /// Phase 1 minimizes total bound infeasibility of the basic solution with
+  /// dynamic costs; phase 2 minimizes the internal objective. Returns
+  /// kOptimal / kUnbounded (phase 2 only) / kInfeasible (phase 1 only) /
+  /// kIterationLimit.
+  LpStatus primal(int phase, int& iterations) {
+    std::vector<double> cb(m_, 0.0);
     bool bland = false;
-    int since_refresh = 0;
+    int stall = 0;
+    int spins = 0;
+    double last_obj = std::numeric_limits<double>::infinity();
 
     while (true) {
-      if (iterations++ >= opt_.max_iterations) return LpStatus::kIterationLimit;
-      if (++since_refresh >= 256) {  // numerical hygiene
-        refresh_basic_values();
-        since_refresh = 0;
+      // `iterations` counts executed pivots/bound flips (the number callers
+      // and benches care about); the spin guard bounds pure bookkeeping
+      // passes so termination never depends on a pivot happening.
+      if (iterations >= opt_.max_iterations) return LpStatus::kIterationLimit;
+      if (++spins > 2 * opt_.max_iterations + 64) return LpStatus::kIterationLimit;
+      if (!periodic_refactor()) return LpStatus::kIterationLimit;
+
+      // Basic costs. Phase 1: infeasibility direction of each basic column.
+      double infeas = 0;
+      if (phase == 1) {
+        for (std::size_t i = 0; i < m_; ++i) {
+          const int j = basis_[i];
+          if (xb_[i] < lb_[j] - kFeasTol) {
+            cb[i] = -1.0;
+            infeas += lb_[j] - xb_[i];
+          } else if (xb_[i] > ub_[j] + kFeasTol) {
+            cb[i] = 1.0;
+            infeas += xb_[i] - ub_[j];
+          } else {
+            cb[i] = 0.0;
+          }
+        }
+        if (infeas <= kPhase1Tol) return LpStatus::kOptimal;
+      } else {
+        for (std::size_t i = 0; i < m_; ++i) cb[i] = cost_[basis_[i]];
       }
+      btran(cb);
 
       // --- entering column ---------------------------------------------
-      std::size_t enter = n_total_;
+      std::size_t enter = total_;
       int direction = 0;  // +1 increase from lower, -1 decrease from upper
       double best_score = opt_.eps;
-      for (std::size_t j = 0; j < n_total_; ++j) {
-        if (status_[j] == ColStatus::kBasic) continue;
+      for (std::size_t j = 0; j < total_; ++j) {
+        if (status_[j] == BasisStatus::kBasic) continue;
         if (lb_[j] == ub_[j]) continue;  // fixed column can never move
-        const double d = reduced_cost(j);
-        if (status_[j] == ColStatus::kAtLower && d < -best_score) {
+        const double d = (phase == 2 ? cost_[j] : 0.0) - dot_col(j, y_);
+        if (status_[j] == BasisStatus::kAtLower && d < -best_score) {
           enter = j;
           direction = +1;
           if (bland) break;
           best_score = -d;
-        } else if (status_[j] == ColStatus::kAtUpper && d > best_score) {
+        } else if (status_[j] == BasisStatus::kAtUpper && d > best_score) {
           enter = j;
           direction = -1;
           if (bland) break;
           best_score = d;
         }
       }
-      if (enter == n_total_) return LpStatus::kOptimal;
+      if (enter == total_) {
+        return phase == 1 ? LpStatus::kInfeasible : LpStatus::kOptimal;
+      }
+
+      ftran(enter);
 
       // --- ratio test ----------------------------------------------------
-      double theta = ub_[enter] - lb_[enter];  // bound flip distance
+      // Entering moves by direction*theta; basic i changes at rate
+      // g_i = -direction * alpha_i per unit theta.
+      double theta = ub_[enter] - lb_[enter];  // bound-flip distance
       std::size_t leave_row = m_;              // m_ => bound flip
       bool leave_at_upper = false;
 
       for (std::size_t i = 0; i < m_; ++i) {
-        const double alpha = a_[i][enter] * direction;
-        const std::size_t bj = basis_[i];
-        if (alpha > opt_.eps) {
-          // Basic variable decreases toward its lower bound.
-          if (!std::isfinite(lb_[bj])) continue;
-          const double limit = (xb_[i] - lb_[bj]) / alpha;
-          if (limit < theta - opt_.eps ||
-              (bland && limit < theta + opt_.eps && leave_row != m_ && bj < basis_[leave_row])) {
-            theta = std::max(0.0, limit);
-            leave_row = i;
-            leave_at_upper = false;
+        const double g = -direction * alpha_[i];
+        if (std::abs(g) <= opt_.eps) continue;
+        const int bj = basis_[i];
+        double limit = kInfinity;
+        bool at_upper = false;
+        if (phase == 1 && xb_[i] < lb_[bj] - kFeasTol) {
+          // Violated below: blocks only when climbing back to its lower
+          // bound (it leaves feasible there).
+          if (g > 0) limit = (lb_[bj] - xb_[i]) / g;
+        } else if (phase == 1 && xb_[i] > ub_[bj] + kFeasTol) {
+          if (g < 0) {
+            limit = (xb_[i] - ub_[bj]) / -g;
+            at_upper = true;
           }
-        } else if (alpha < -opt_.eps) {
-          // Basic variable increases toward its upper bound.
-          if (!std::isfinite(ub_[bj])) continue;
-          const double limit = (ub_[bj] - xb_[i]) / (-alpha);
-          if (limit < theta - opt_.eps ||
-              (bland && limit < theta + opt_.eps && leave_row != m_ && bj < basis_[leave_row])) {
-            theta = std::max(0.0, limit);
-            leave_row = i;
-            leave_at_upper = true;
+        } else if (g < 0) {
+          if (std::isfinite(lb_[bj])) limit = (xb_[i] - lb_[bj]) / -g;
+        } else {
+          if (std::isfinite(ub_[bj])) {
+            limit = (ub_[bj] - xb_[i]) / g;
+            at_upper = true;
           }
+        }
+        if (limit < theta - opt_.eps ||
+            (bland && limit < theta + opt_.eps && leave_row != m_ &&
+             bj < basis_[leave_row])) {
+          theta = std::max(0.0, limit);
+          leave_row = i;
+          leave_at_upper = at_upper;
         }
       }
 
-      if (!std::isfinite(theta)) return LpStatus::kUnbounded;
-
-      if (leave_row == m_) {
-        // Bound flip: the entering variable traverses its whole interval;
-        // basic values absorb the move.
-        for (std::size_t i = 0; i < m_; ++i) {
-          xb_[i] -= theta * direction * a_[i][enter];
-        }
-        status_[enter] =
-            status_[enter] == ColStatus::kAtLower ? ColStatus::kAtUpper : ColStatus::kAtLower;
-      } else {
-        const double enter_start =
-            status_[enter] == ColStatus::kAtLower ? lb_[enter] : ub_[enter];
-        for (std::size_t i = 0; i < m_; ++i) {
-          if (i != leave_row) xb_[i] -= theta * direction * a_[i][enter];
-        }
-        const std::size_t leave = basis_[leave_row];
-        status_[leave] = leave_at_upper ? ColStatus::kAtUpper : ColStatus::kAtLower;
-        make_basic(leave_row, enter);
-        xb_[leave_row] = enter_start + theta * direction;
+      if (!std::isfinite(theta)) {
+        // Phase 1 cannot be unbounded (the infeasibility sum is >= 0);
+        // hitting this numerically means the instance is hopeless.
+        return phase == 1 ? LpStatus::kIterationLimit : LpStatus::kUnbounded;
       }
+
+      apply_step(enter, direction, theta, leave_row, leave_at_upper);
+      ++iterations;
 
       // --- stall detection / Bland fallback ------------------------------
-      const double obj = current_objective();
+      double obj;
+      if (phase == 1) {
+        obj = total_infeasibility();
+      } else {
+        obj = 0;
+        for (std::size_t i = 0; i < m_; ++i) obj += cost_[basis_[i]] * xb_[i];
+        for (std::size_t j = 0; j < total_; ++j) {
+          if (status_[j] != BasisStatus::kBasic && cost_[j] != 0.0) {
+            obj += cost_[j] * nonbasic_value(j);
+          }
+        }
+      }
       if (obj < last_obj - 1e-12) {
         stall = 0;
         bland = false;
-      } else if (++stall > 64) {
+      } else if (++stall > kStallLimit) {
         bland = true;  // anti-cycling
       }
       last_obj = obj;
     }
   }
 
-  void pivot_out_artificials() {
+  /// Executes a primal step: bound flip or basis change. alpha_ and red_
+  /// must hold the ftran of the entering column.
+  void apply_step(std::size_t enter, int direction, double theta, std::size_t leave_row,
+                  bool leave_at_upper) {
+    if (leave_row == m_) {
+      // Bound flip: the entering variable traverses its whole interval and
+      // the basic values absorb the move.
+      for (std::size_t i = 0; i < m_; ++i) xb_[i] -= theta * direction * alpha_[i];
+      status_[enter] = status_[enter] == BasisStatus::kAtLower ? BasisStatus::kAtUpper
+                                                               : BasisStatus::kAtLower;
+      return;
+    }
+    const double enter_start = nonbasic_value(enter);
     for (std::size_t i = 0; i < m_; ++i) {
-      if (basis_[i] < first_artificial_) continue;
-      // Find any eligible non-artificial column with a nonzero tableau entry.
-      std::size_t enter = n_total_;
-      for (std::size_t j = 0; j < first_artificial_; ++j) {
-        if (status_[j] == ColStatus::kBasic) continue;
-        if (std::abs(a_[i][j]) > 1e-7) {
-          enter = j;
-          break;
+      if (i != leave_row) xb_[i] -= theta * direction * alpha_[i];
+    }
+    const int leave = basis_[leave_row];
+    status_[leave] = leave_at_upper ? BasisStatus::kAtUpper : BasisStatus::kAtLower;
+    pivot_basis(leave_row, enter);
+    basis_[leave_row] = static_cast<int>(enter);
+    status_[enter] = BasisStatus::kBasic;
+    xb_[leave_row] = enter_start + theta * direction;
+    if (enter >= n_) {
+      // Restore the slot invariant: a basic logical lives in its own row's
+      // slot, so the structural column parked there moves to the vacated
+      // slot instead.
+      const std::size_t i = enter - n_;
+      if (i != leave_row) {
+        std::swap(basis_[i], basis_[leave_row]);
+        std::swap(xb_[i], xb_[leave_row]);
+        col_slot_[col_pos_[basis_[leave_row]]] = static_cast<int>(leave_row);
+      }
+    }
+  }
+
+  // --- dual simplex ----------------------------------------------------------
+
+  /// Restores primal feasibility from a dual-feasible basis (the imported
+  /// parent optimum). Returns kOptimal when the basic solution is within
+  /// bounds, kInfeasible when a violated row admits no entering column.
+  LpStatus dual_simplex(int& iterations) {
+    std::vector<double> cb(m_);
+    int degenerate = 0;
+    int spins = 0;
+
+    while (true) {
+      if (iterations >= opt_.max_iterations) return LpStatus::kIterationLimit;
+      if (++spins > 2 * opt_.max_iterations + 64) return LpStatus::kIterationLimit;
+      if (!periodic_refactor()) return LpStatus::kIterationLimit;
+
+      // --- leaving row: largest bound violation --------------------------
+      std::size_t r = m_;
+      double worst = kFeasTol;
+      double target = 0;
+      bool to_upper = false;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const int j = basis_[i];
+        if (xb_[i] < lb_[j] - worst) {
+          worst = lb_[j] - xb_[i];
+          r = i;
+          target = lb_[j];
+          to_upper = false;
+        } else if (xb_[i] > ub_[j] + worst) {
+          worst = xb_[i] - ub_[j];
+          r = i;
+          target = ub_[j];
+          to_upper = true;
         }
       }
-      if (enter == n_total_) {
-        // Redundant row: freeze the artificial at zero.
-        ub_[basis_[i]] = 0.0;
+      if (r == m_) return LpStatus::kOptimal;  // primal feasible
+
+      // Reduced costs (phase-2 objective) and row r of B^-1.
+      for (std::size_t i = 0; i < m_; ++i) cb[i] = cost_[basis_[i]];
+      btran(cb);
+      btran_unit(r);
+
+      const double delta = target - xb_[r];  // signed move of the leaving basic
+      // d(xb_r)/d(x_j) = -alpha_rj; eligibility depends on which way x_j may
+      // move from its bound.
+      std::size_t enter = total_;
+      double best_ratio = kInfinity;
+      double best_alpha = 0;
+      const bool use_bland = degenerate > kStallLimit;
+      for (std::size_t j = 0; j < total_; ++j) {
+        if (status_[j] == BasisStatus::kBasic) continue;
+        if (lb_[j] == ub_[j]) continue;
+        double a = dot_col(j, rho_);
+        if (std::abs(a) <= 1e-9) continue;
+        const bool from_lower = status_[j] == BasisStatus::kAtLower;
+        // Moving x_j by dx changes xb_r by -a*dx; dx >= 0 from lower,
+        // dx <= 0 from upper. Require the change to push xb_r toward target.
+        const bool eligible = delta > 0 ? (from_lower ? a < 0 : a > 0)
+                                        : (from_lower ? a > 0 : a < 0);
+        if (!eligible) continue;
+        double d = cost_[j] - dot_col(j, y_);
+        // Dual feasibility keeps d >= 0 at lower and d <= 0 at upper; clamp
+        // tolerance drift so ratios stay nonnegative.
+        d = from_lower ? std::max(d, 0.0) : std::min(d, 0.0);
+        const double ratio = std::abs(d) / std::abs(a);
+        if (ratio < best_ratio - opt_.eps ||
+            (ratio < best_ratio + opt_.eps &&
+             (use_bland ? (enter == total_ || j < enter)
+                        : std::abs(a) > std::abs(best_alpha)))) {
+          best_ratio = ratio;
+          best_alpha = a;
+          enter = j;
+        }
+      }
+      if (enter == total_) return LpStatus::kInfeasible;  // dual unbounded
+
+      ftran(enter);
+      // ftran gives a fresher alpha_r than the rho dot product; guard
+      // against a pivot that collapsed numerically.
+      const double arj = alpha_[r];
+      if (std::abs(arj) <= 1e-11) {
+        if (!refactorize()) return LpStatus::kIterationLimit;
+        compute_xb();
         continue;
       }
-      make_basic(i, enter);
+      const double dx = delta / -arj;
+      const int direction = dx >= 0 ? +1 : -1;
+      if (std::abs(dx) <= opt_.eps) ++degenerate;
+      else degenerate = 0;
+      apply_step(enter, direction, std::abs(dx), r, to_upper);
+      ++iterations;
     }
-    refresh_basic_values();
   }
 
   const Model& model_;
-  const LpOptions& opt_;
-  std::size_t n_struct_ = 0;
-  std::size_t n_total_ = 0;
-  std::size_t m_ = 0;
-  std::size_t first_artificial_ = 0;
-  bool any_artificial_ = false;
+  std::size_t n_ = 0, m_ = 0, total_ = 0;
+  double sign_ = 1.0;
 
-  std::vector<std::vector<double>> a_;  // B^-1 * A, maintained by pivoting
-  std::vector<double> rhs_;             // B^-1 * b
-  std::vector<double> lb_, ub_, cost_;
-  std::vector<ColStatus> status_;
-  std::vector<std::size_t> basis_;
-  std::vector<double> xb_;  // values of the basic variables, by row
+  // Immutable sparse columns (CSC) built at construction.
+  std::vector<int> col_start_;
+  std::vector<std::pair<int, double>> col_entries_;
+  std::vector<double> rhs_;
+  std::vector<double> cost_;  // internal (minimization) phase-2 costs
+  std::vector<double> logical_lb_, logical_ub_;
+
+  // Per-solve state.
+  LpOptions opt_;
+  std::vector<double> lb_, ub_;
+  std::vector<BasisStatus> status_;
+  std::vector<int> basis_;  // column basic at each basis position (slot = row)
+  std::vector<double> xb_;  // basic values, by basis position
+  std::vector<double> y_, alpha_, rho_, work_;
+
+  // Reduced basis: M = A[rows_, cols_] with minv_ = M^-1 (k_ x k_, stored
+  // row-major with fixed stride kcap_; minv_[b][a] pairs M^-1's row index b
+  // -- the active-column slot -- with column index a -- the active-row slot).
+  std::size_t kcap_ = 0, k_ = 0;
+  std::vector<int> rows_;      // active rows (logical nonbasic), size k_
+  std::vector<int> cols_;      // basic structural columns, size k_
+  std::vector<int> col_slot_;  // basis slot hosting cols_[b]
+  std::vector<int> row_pos_;   // row -> index in rows_, or -1
+  std::vector<int> col_pos_;   // structural column -> index in cols_, or -1
+  std::vector<double> minv_;
+  std::vector<double> red_;  // M^-1 a_e[R] from the last ftran
+  std::vector<double> gwork_, twork_, kwork_;
+  std::vector<double> scratch_mat_;
+  bool have_factorization_ = false;
+  int pivots_since_refactor_ = 0;
 };
 
-}  // namespace
+SimplexSolver::SimplexSolver(const Model& model) : impl_(new Impl(model)) {}
+
+SimplexSolver::~SimplexSolver() { delete impl_; }
+
+LpResult SimplexSolver::solve(const std::vector<double>& lower,
+                              const std::vector<double>& upper, const LpOptions& opt) {
+  PARTITA_ASSERT(lower.size() == upper.size());
+  LpResult res = impl_->run(lower, upper, opt, nullptr, &last_basis_);
+  if (res.status != LpStatus::kOptimal) last_basis_.status.clear();
+  return res;
+}
+
+LpResult SimplexSolver::solve_warm(const std::vector<double>& lower,
+                                   const std::vector<double>& upper, const Basis& basis,
+                                   const LpOptions& opt) {
+  PARTITA_ASSERT(lower.size() == upper.size());
+  LpResult res = impl_->run(lower, upper, opt, basis.empty() ? nullptr : &basis,
+                            &last_basis_);
+  if (res.status != LpStatus::kOptimal) last_basis_.status.clear();
+  return res;
+}
 
 LpResult solve_lp(const Model& model, const LpOptions& opt) {
   std::vector<double> lower(model.var_count()), upper(model.var_count());
@@ -398,15 +944,8 @@ LpResult solve_lp(const Model& model, const LpOptions& opt) {
 LpResult solve_lp(const Model& model, const std::vector<double>& lower,
                   const std::vector<double>& upper, const LpOptions& opt) {
   PARTITA_ASSERT(lower.size() == model.var_count() && upper.size() == model.var_count());
-  for (std::size_t j = 0; j < model.var_count(); ++j) {
-    if (lower[j] > upper[j] + opt.eps) {
-      LpResult res;
-      res.status = LpStatus::kInfeasible;  // empty domain from branching
-      return res;
-    }
-  }
-  Tableau t(model, lower, upper, opt);
-  return t.solve();
+  SimplexSolver solver(model);
+  return solver.solve(lower, upper, opt);
 }
 
 }  // namespace partita::ilp

@@ -159,6 +159,19 @@ ChipReport generate_report(const select::Flow& flow, const select::Selection& se
   os << "cycles: " << support::with_commas(rep.software_cycles) << " software -> "
      << support::with_commas(rep.guaranteed_cycles) << " guaranteed ("
      << support::with_commas(rep.software_cycles - rep.guaranteed_cycles) << " gain)\n";
+
+  rep.solver = selection.solver;
+  os << "solver: " << rep.solver.nodes << " nodes, " << rep.solver.lp_iterations
+     << " LP iterations, warm-start hit rate "
+     << support::compact_double(rep.solver.warm_start_hit_rate() * 100.0) << "%";
+  if (rep.solver.presolve_fixed > 0) {
+    os << ", " << rep.solver.presolve_fixed << " presolve fixings";
+  }
+  if (selection.truncated) {
+    os << " [node limit; gap <= "
+       << support::compact_double(selection.optimality_gap * 100.0) << "%]";
+  }
+  os << '\n';
   rep.text = os.str();
   return rep;
 }

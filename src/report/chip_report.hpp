@@ -49,6 +49,7 @@ struct ChipReport {
   std::int64_t guaranteed_cycles = 0;  // software - min-path gain
   int fsm_states = 0;                  // synthesized hardware controllers
   double expected_opcode_bits = 0.0;
+  ilp::SolverStats solver;             // selection solver statistics
   std::string text;                    // rendered report
 };
 

@@ -64,6 +64,17 @@ std::string to_json(const Selection& sel, const isel::ImpDatabase& db,
   os << "  \"s_instructions\": " << sel.s_instructions << ",\n";
   os << "  \"selected_scalls\": " << sel.selected_scalls << ",\n";
 
+  os << "  \"solver\": {\"nodes\": " << sel.solver.nodes
+     << ", \"lp_iterations\": " << sel.solver.lp_iterations
+     << ", \"warm_start_hit_rate\": " << num(sel.solver.warm_start_hit_rate())
+     << ", \"presolve_fixed\": " << sel.solver.presolve_fixed
+     << ", \"clique_propagations\": " << sel.solver.clique_propagations
+     << ", \"threads\": " << sel.solver.threads
+     << ", \"truncated\": " << (sel.truncated ? "true" : "false")
+     << ", \"optimality_gap\": " << num(sel.optimality_gap)
+     << ", \"greedy_fallback\": " << (sel.greedy_fallback ? "true" : "false")
+     << "},\n";
+
   os << "  \"ips\": [";
   for (std::size_t i = 0; i < sel.ips_used.size(); ++i) {
     if (i) os << ", ";

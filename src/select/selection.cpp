@@ -73,6 +73,10 @@ std::string Selection::describe(const isel::ImpDatabase& db,
     first = false;
     os << "SC" << imp.scall.value() << ":" << imp.cell(lib);
   }
+  if (truncated) {
+    os << " [gap<=" << optimality_gap * 100.0 << "%"
+       << (greedy_fallback ? ", greedy fallback" : "") << "]";
+  }
   return os.str();
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cdfg/paths.hpp"
+#include "ilp/branch_bound.hpp"
 #include "isel/enumerate.hpp"
 
 namespace partita::select {
@@ -42,9 +43,22 @@ struct Selection {
   /// gain (column G is reported against this).
   std::int64_t min_path_gain = 0;
 
-  /// Solver statistics.
+  /// Solver statistics (ilp_nodes/lp_iterations mirror solver.nodes and
+  /// solver.lp_iterations for existing callers).
   int ilp_nodes = 0;
   int lp_iterations = 0;
+  ilp::SolverStats solver;
+
+  /// True when the branch & bound hit its node limit before proving
+  /// optimality; the selection is then the best incumbent (or the greedy
+  /// fallback if that was better) and optimality_gap bounds how far from
+  /// the optimum it can be.
+  bool truncated = false;
+  /// True when the greedy baseline replaced (or supplied) the solution after
+  /// a node-limit truncation.
+  bool greedy_fallback = false;
+  /// Relative gap |area - best_bound| / max(1, |area|); 0 when optimal.
+  double optimality_gap = 0.0;
 
   /// "SC13: IP12,IF0,115037,3"-style summary, paper notation.
   std::string describe(const isel::ImpDatabase& db, const iplib::IpLibrary& lib) const;

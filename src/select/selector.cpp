@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "select/greedy.hpp"
 #include "support/assert.hpp"
 
 namespace partita::select {
@@ -164,23 +165,42 @@ Selection Selector::select_per_path(const std::vector<std::int64_t>& required_ga
                                     const SelectOptions& opt) const {
   const ilp::Model m = build_model(required_gains, opt);
   const ilp::IlpResult r = ilp::solve_ilp(m, opt.ilp);
+  const bool truncated = r.status == ilp::IlpStatus::kNodeLimit;
 
   Selection sel;
-  sel.ilp_nodes = r.nodes_explored;
-  sel.lp_iterations = r.lp_iterations;
-  if (!r.has_solution) {
-    sel.feasible = false;
-    return sel;
+  if (r.has_solution) {
+    std::vector<isel::ImpIndex> chosen;
+    for (std::size_t j = 0; j < db_.imps().size(); ++j) {
+      if (r.x[j] > 0.5) chosen.push_back(static_cast<isel::ImpIndex>(j));
+    }
+    sel = decode_selection(chosen, db_, lib_, entry_cdfg_, paths_);
   }
 
-  std::vector<isel::ImpIndex> chosen;
-  for (std::size_t j = 0; j < db_.imps().size(); ++j) {
-    if (r.x[j] > 0.5) chosen.push_back(static_cast<isel::ImpIndex>(j));
+  // A truncated search may have no incumbent at all, or one that is far from
+  // the proven bound; the greedy baseline is a cheap safety net. It only
+  // understands the default constraint system and a uniform requirement, so
+  // it is skipped for filtered/power-capped/Problem-1 runs.
+  if (truncated && !opt.imp_filter && !opt.max_power && opt.problem2) {
+    const std::int64_t uniform = required_gains.empty()
+        ? 0
+        : *std::max_element(required_gains.begin(), required_gains.end());
+    Selection greedy = greedy_select(db_, lib_, entry_cdfg_, paths_, uniform);
+    if (greedy.feasible &&
+        (!sel.feasible || greedy.total_area() < sel.total_area())) {
+      greedy.greedy_fallback = true;
+      sel = std::move(greedy);
+    }
   }
-  Selection out = decode_selection(chosen, db_, lib_, entry_cdfg_, paths_);
-  out.ilp_nodes = r.nodes_explored;
-  out.lp_iterations = r.lp_iterations;
-  return out;
+
+  sel.solver = r.stats;
+  sel.ilp_nodes = r.stats.nodes;
+  sel.lp_iterations = r.stats.lp_iterations;
+  sel.truncated = truncated;
+  if (truncated && sel.feasible) {
+    sel.optimality_gap = std::abs(sel.total_area() - r.best_bound) /
+                         std::max(1.0, std::abs(sel.total_area()));
+  }
+  return sel;
 }
 
 Selection Selector::select(std::int64_t required_gain, const SelectOptions& opt) const {
@@ -227,7 +247,11 @@ std::int64_t Selector::max_feasible_gain(const SelectOptions& opt) const {
     }
   }
 
-  const ilp::IlpResult r = ilp::solve_ilp(m2, opt.ilp);
+  // Only the objective value is consumed here; skip the canonical tie-break
+  // (the all-zero binary objective makes the equal-objective plateau huge).
+  ilp::IlpOptions bound_opt = opt.ilp;
+  bound_opt.canonical_ties = false;
+  const ilp::IlpResult r = ilp::solve_ilp(m2, bound_opt);
   if (!r.has_solution) return 0;
   return static_cast<std::int64_t>(r.objective);
 }

@@ -240,5 +240,104 @@ TEST_P(RandomIlpProperty, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomIlpProperty, ::testing::Range(0, 60));
 
+TEST(Simplex, BasisExportImportWarmStart) {
+  // min x + 2y  s.t.  x + y >= 3,  x - y <= 1,  x,y in [0, 10].
+  Model m;
+  m.set_sense(Sense::kMinimize);
+  const VarIndex x = m.add_continuous("x", 0.0, 10.0, 1.0);
+  const VarIndex y = m.add_continuous("y", 0.0, 10.0, 2.0);
+  m.add_row("r1", {{x, 1.0}, {y, 1.0}}, RowSense::kGreaterEqual, 3.0);
+  m.add_row("r2", {{x, 1.0}, {y, -1.0}}, RowSense::kLessEqual, 1.0);
+
+  SimplexSolver solver(m);
+  std::vector<double> lo{0.0, 0.0}, hi{10.0, 10.0};
+  const LpResult cold = solver.solve(lo, hi);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(cold.objective, 4.0, 1e-7);  // (x, y) = (2, 1)
+  const Basis basis = solver.last_basis();
+  ASSERT_FALSE(basis.empty());
+
+  // Tighten x's domain (the branch & bound move) and re-solve from the
+  // exported basis: the dual simplex must reach the new optimum.
+  lo[0] = 3.0;
+  const LpResult warm = solver.solve_warm(lo, hi, basis);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, 7.0, 1e-7);  // (x, y) = (3, 2)
+
+  SimplexSolver fresh(m);
+  const LpResult check = fresh.solve(lo, hi);
+  ASSERT_EQ(check.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, check.objective, 1e-7);
+}
+
+// Presolve and warm starts are pure accelerations: every combination must
+// report the same status, objective, and (canonical) solution vector, and
+// the stats must reflect which features actually ran.
+TEST(BranchBound, OptionTogglesPreserveTheOptimum) {
+  std::mt19937 rng(4242);
+  std::uniform_int_distribution<int> coef(1, 20);
+  std::uniform_int_distribution<int> nvars_d(3, 12);
+  std::uniform_int_distribution<int> nrows_d(1, 6);
+
+  for (int instance = 0; instance < 25; ++instance) {
+    const int n = nvars_d(rng);
+    const int rows = nrows_d(rng);
+    Model m;
+    m.set_sense(instance % 2 == 0 ? Sense::kMaximize : Sense::kMinimize);
+    for (int j = 0; j < n; ++j) m.add_binary("x" + std::to_string(j), coef(rng));
+    for (int r = 0; r < rows; ++r) {
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng() % 2) terms.push_back({static_cast<VarIndex>(j), double(coef(rng))});
+      }
+      if (terms.empty()) continue;
+      double total = 0;
+      for (const Term& t : terms) total += t.coeff;
+      m.add_row("r" + std::to_string(r), terms,
+                rng() % 2 ? RowSense::kLessEqual : RowSense::kGreaterEqual,
+                std::floor(total / 2.0));
+    }
+
+    IlpResult reference;
+    bool have_reference = false;
+    for (const bool presolve : {true, false}) {
+      for (const bool warm : {true, false}) {
+        IlpOptions opt;
+        opt.presolve = presolve;
+        opt.warm_start = warm;
+        const IlpResult r = solve_ilp(m, opt);
+        // Presolve may prove infeasibility before any node is explored.
+        if (r.status == IlpStatus::kOptimal) {
+          EXPECT_GE(r.stats.nodes, 1) << m.dump();
+        }
+        if (!warm) {
+          EXPECT_EQ(r.stats.warm_starts, 0) << m.dump();
+        }
+        if (!presolve) {
+          EXPECT_EQ(r.stats.presolve_fixed, 0) << m.dump();
+          EXPECT_EQ(r.stats.presolve_rounds, 0) << m.dump();
+        }
+        if (!have_reference) {
+          reference = r;
+          have_reference = true;
+          continue;
+        }
+        EXPECT_EQ(r.status, reference.status) << m.dump();
+        if (r.status == IlpStatus::kOptimal) {
+          EXPECT_NEAR(r.objective, reference.objective, 1e-6) << m.dump();
+          ASSERT_EQ(r.x.size(), reference.x.size());
+          for (std::size_t j = 0; j < r.x.size(); ++j) {
+            EXPECT_NEAR(r.x[j], reference.x[j], 1e-6)
+                << "var " << j << " differs (presolve=" << presolve
+                << " warm=" << warm << ")\n"
+                << m.dump();
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace partita::ilp

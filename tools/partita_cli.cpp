@@ -221,8 +221,14 @@ int cmd_select(const Args& args, select::Flow& flow) {
   std::printf("power         : %.3f\n", sel.total_power());
   std::printf("S-instructions: %d for %d s-calls\n", sel.s_instructions,
               sel.selected_scalls);
-  std::printf("solver        : %d nodes, %d LP iterations\n", sel.ilp_nodes,
-              sel.lp_iterations);
+  std::printf("solver        : %d nodes, %d LP iterations, %.0f%% warm hits, %d threads\n",
+              sel.solver.nodes, sel.solver.lp_iterations,
+              sel.solver.warm_start_hit_rate() * 100.0, sel.solver.threads);
+  if (sel.truncated) {
+    std::printf("               node limit hit: gap <= %.2f%%%s\n",
+                sel.optimality_gap * 100.0,
+                sel.greedy_fallback ? " (greedy fallback applied)" : "");
+  }
   return 0;
 }
 
