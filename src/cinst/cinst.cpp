@@ -43,6 +43,8 @@ std::vector<Candidate> mine_candidates(const ir::Module& module,
                                        const ir::LoweredModule& lowered,
                                        const profile::ModuleProfile& prof,
                                        const MineOptions& opts) {
+  // invariant: MineOptions come from code (ReportOptions defaults), not from
+  // a user-facing flag.
   PARTITA_ASSERT(opts.min_length >= 2 && opts.max_length >= opts.min_length);
 
   // First pass: gather every window as a key with per-function static

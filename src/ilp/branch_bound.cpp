@@ -8,12 +8,28 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "ilp/presolve.hpp"
 #include "support/assert.hpp"
+#include "support/fault_injection.hpp"
 
 namespace partita::ilp {
+
+const char* to_string(TerminationReason r) {
+  switch (r) {
+    case TerminationReason::kCompleted:
+      return "completed";
+    case TerminationReason::kNodeLimit:
+      return "node-limit";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kMemoryLimit:
+      return "memory-limit";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -155,7 +171,7 @@ class Solver {
       result_.stats.presolve_fixed = pre_.fixed_vars;
       result_.stats.presolve_rounds = pre_.rounds;
       if (pre_.infeasible) {
-        finish(IlpStatus::kOptimal, t0);  // no incumbent => kInfeasible
+        finish(TerminationReason::kCompleted, t0);  // no incumbent => kInfeasible
         return result_;
       }
       root_lo_ = pre_.lower;
@@ -177,18 +193,27 @@ class Solver {
     push_open(0);
 
     // ---- wave loop ---------------------------------------------------------
-    bool truncated = false;
+    // The top of each iteration is a *wave boundary*: the only point where
+    // the budget is consulted, so cancellation never interrupts a lane
+    // mid-LP and repeated runs with the same thread count stop at the same
+    // wave. Checkpoint k happens after k-1 completed waves.
+    TerminationReason stop = TerminationReason::kCompleted;
     while (true) {
+      if (const auto over = budget_exceeded(t0)) {
+        stop = *over;
+        break;
+      }
       if (result_.stats.nodes >= opt_.max_nodes) {
-        truncated = true;
+        stop = TerminationReason::kNodeLimit;
         break;
       }
       if (!fill_lanes()) break;  // every lane idle and the heap is empty
       pool.run([this](int lane) { solve_lane(lane); });
       for (int k = 0; k < lanes_count_; ++k) reduce_lane(k);
+      ++result_.stats.waves;
     }
 
-    finish(truncated ? IlpStatus::kNodeLimit : IlpStatus::kOptimal, t0);
+    finish(stop, t0);
     return result_;
   }
 
@@ -201,6 +226,40 @@ class Solver {
     Basis opt_basis;  // optimal basis of the current node's LP
     int plunge = 0;   // consecutive dives in this lane
   };
+
+  // --- resource budget ------------------------------------------------------
+
+  /// Bytes currently committed to the search arenas (nodes, fix deltas,
+  /// parked warm-start bases, open heap). Capacity-based, so it reflects
+  /// reserved rather than touched memory.
+  std::size_t arena_bytes() const {
+    std::size_t bytes = nodes_.capacity() * sizeof(Node) +
+                        fixes_.capacity() * sizeof(std::pair<VarIndex, double>) +
+                        bases_.capacity() * sizeof(Basis) +
+                        basis_refs_.capacity() * sizeof(int) +
+                        basis_free_.capacity() * sizeof(std::int32_t) +
+                        open_.capacity() * sizeof(HeapEntry);
+    for (const Basis& b : bases_) bytes += b.status.capacity() * sizeof(BasisStatus);
+    return bytes;
+  }
+
+  /// Wave-boundary checkpoint. The "ilp.deadline" fault site models an
+  /// expired deadline (trip-at-Nth-checkpoint), which is how tests exercise
+  /// the cancellation path without real clock pressure.
+  std::optional<TerminationReason> budget_exceeded(Clock::time_point t0) {
+    if (support::fault_should_trip("ilp.deadline") ||
+        (opt_.budget.time_limit_seconds > 0 &&
+         seconds_since(t0) >= opt_.budget.time_limit_seconds)) {
+      return TerminationReason::kDeadline;
+    }
+    const std::size_t bytes = arena_bytes();
+    result_.stats.peak_arena_bytes = std::max(result_.stats.peak_arena_bytes, bytes);
+    if (arena_alloc_failed_ || (opt_.budget.memory_limit_bytes > 0 &&
+                                bytes > opt_.budget.memory_limit_bytes)) {
+      return TerminationReason::kMemoryLimit;
+    }
+    return std::nullopt;
+  }
 
   // --- open set -------------------------------------------------------------
 
@@ -380,6 +439,15 @@ class Solver {
                           std::int32_t basis_id, VarIndex var, double frac, bool up,
                           const std::vector<double>& lo, const std::vector<double>& hi) {
     if (has_incumbent_ && bound > incumbent_obj_.load() + opt_.gap_tol) return -1;
+
+    // Test-only allocation-failure injection: behaves exactly like a failed
+    // arena reservation -- the child is dropped and the next wave-boundary
+    // check turns the sticky flag into a kMemoryLimit stop. Runs on the
+    // reducer thread, so the checkpoint count is deterministic.
+    if (support::fault_should_trip("ilp.node_arena")) {
+      arena_alloc_failed_ = true;
+      return -1;
+    }
 
     const std::uint32_t first_fix = static_cast<std::uint32_t>(fixes_.size());
     fixes_.emplace_back(var, up ? 1.0 : 0.0);
@@ -574,17 +642,25 @@ class Solver {
 
   // --- wrap-up --------------------------------------------------------------
 
-  void finish(IlpStatus status_if_ok, Clock::time_point t0) {
+  void finish(TerminationReason reason, Clock::time_point t0) {
+    result_.stats.termination = reason;
     result_.stats.total_seconds = seconds_since(t0);
     result_.stats.search_seconds =
         result_.stats.total_seconds - result_.stats.presolve_seconds;
+    result_.stats.peak_arena_bytes =
+        std::max(result_.stats.peak_arena_bytes, arena_bytes());
     result_.nodes_explored = result_.stats.nodes;
     result_.lp_iterations = result_.stats.lp_iterations;
+
+    const bool truncated = reason != TerminationReason::kCompleted;
+    const IlpStatus truncated_status = reason == TerminationReason::kNodeLimit
+                                           ? IlpStatus::kNodeLimit
+                                           : IlpStatus::kResourceLimit;
 
     // Global lower bound (internal sense): open nodes still in the heap or
     // parked in a lane, else the incumbent itself.
     double lb = has_incumbent_ ? incumbent_obj_.load() : kInfinity;
-    if (status_if_ok == IlpStatus::kNodeLimit) {
+    if (truncated) {
       for (const HeapEntry& e : open_) lb = std::min(lb, e.bound);
       for (const Lane& lane : lanes_) {
         if (lane.node_id >= 0) lb = std::min(lb, nodes_[lane.node_id].bound);
@@ -592,12 +668,11 @@ class Solver {
     }
 
     if (!has_incumbent_) {
-      result_.status = status_if_ok == IlpStatus::kNodeLimit ? IlpStatus::kNodeLimit
-                                                             : IlpStatus::kInfeasible;
+      result_.status = truncated ? truncated_status : IlpStatus::kInfeasible;
       result_.best_bound = std::isfinite(lb) ? sign_ * lb : 0.0;
       return;
     }
-    result_.status = status_if_ok;
+    result_.status = truncated ? truncated_status : IlpStatus::kOptimal;
     result_.has_solution = true;
     result_.objective = sign_ * incumbent_obj_.load();
     result_.best_bound = sign_ * lb;
@@ -627,6 +702,7 @@ class Solver {
   std::vector<double> incumbent_x_;
   std::vector<double> pc_sum_[2];
   std::vector<int> pc_cnt_[2];
+  bool arena_alloc_failed_ = false;  // sticky: set by a failed arena reservation
   IlpResult result_;
 };
 

@@ -29,12 +29,47 @@ namespace partita::ilp {
 enum class IlpStatus : std::uint8_t {
   kOptimal,
   kInfeasible,
-  kNodeLimit,  // search truncated; best incumbent (if any) returned
+  kNodeLimit,      // search truncated by max_nodes; best incumbent returned
+  kResourceLimit,  // search truncated by the ResourceBudget (see stats.termination)
+};
+
+/// True when the search stopped before proving optimality or infeasibility;
+/// the incumbent (if any) is best-effort and best_bound bounds the gap.
+inline bool is_truncated(IlpStatus s) {
+  return s == IlpStatus::kNodeLimit || s == IlpStatus::kResourceLimit;
+}
+
+/// Why a solve returned. Everything except kCompleted means the answer is
+/// best-effort: the caller's degradation ladder decides what to do with it.
+enum class TerminationReason : std::uint8_t {
+  kCompleted,    // optimality or infeasibility proven
+  kNodeLimit,    // max_nodes exhausted
+  kDeadline,     // ResourceBudget wall-clock deadline expired
+  kMemoryLimit,  // ResourceBudget arena cap hit or an arena allocation failed
+};
+
+/// Display name: "completed", "node-limit", "deadline", "memory-limit".
+const char* to_string(TerminationReason r);
+
+/// Hard resource envelope for one solve_ilp call. Both limits are checked
+/// cooperatively at wave boundaries (between parallel node waves, on the
+/// reducer thread), so cancellation is deterministic for a fixed thread
+/// count: the same instance + options + budget trip at the same wave every
+/// run. One wave is bounded by `threads` node LPs of at most
+/// `lp.max_iterations` pivots each, which caps the overshoot past either
+/// limit.
+struct ResourceBudget {
+  /// Wall-clock deadline in seconds; <= 0 disables it.
+  double time_limit_seconds = 0.0;
+  /// Cap on search-arena memory (nodes + fix deltas + stored warm-start
+  /// bases); 0 disables it.
+  std::size_t memory_limit_bytes = 0;
 };
 
 /// Observability counters for one solve_ilp call. Threaded through the
 /// selection flow into bench JSON and the chip report.
 struct SolverStats {
+  TerminationReason termination = TerminationReason::kCompleted;
   int nodes = 0;            // nodes taken from the open set (incl. pruned)
   int lp_iterations = 0;    // simplex iterations across all node LPs
   int warm_starts = 0;      // node LPs started from a parent basis
@@ -42,6 +77,8 @@ struct SolverStats {
   int presolve_fixed = 0;   // binaries fixed before the first LP
   int presolve_rounds = 0;  // propagation rounds until fixpoint
   int clique_propagations = 0;  // extra 0-fixings derived from 1-branches
+  int waves = 0;                // parallel node waves executed
+  std::size_t peak_arena_bytes = 0;  // high-water mark of the search arenas
   int threads = 1;
   double presolve_seconds = 0.0;
   double search_seconds = 0.0;
@@ -68,6 +105,8 @@ struct IlpResult {
 
 struct IlpOptions {
   int max_nodes = 200000;
+  /// Wall-clock + memory envelope; disabled by default.
+  ResourceBudget budget;
   LpOptions lp;
   /// A variable within int_tol of an integer counts as integral.
   double int_tol = 1e-6;

@@ -21,6 +21,8 @@ VarIndex Model::add_binary(std::string name, double objective) {
 
 VarIndex Model::add_continuous(std::string name, double lower, double upper,
                                double objective) {
+  // invariant: models are built programmatically by the Selector; bounds are
+  // derived, never user-typed.
   PARTITA_ASSERT(lower <= upper);
   Variable v;
   v.name = std::move(name);

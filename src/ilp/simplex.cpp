@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "support/assert.hpp"
+#include "support/fault_injection.hpp"
 
 namespace partita::ilp {
 
@@ -213,6 +214,10 @@ class SimplexSolver::Impl {
   /// cold start) when the snapshot is unusable.
   bool load_warm_basis(const Basis& warm) {
     if (warm.status.size() != total_) return false;
+    // Test-only forced refactorization failure: the imported basis is
+    // treated as numerically singular, which must route the solve through
+    // the cold-start fallback (still correct, just slower).
+    if (support::fault_should_trip("simplex.warm_refactor")) return false;
 
     // Reuse the current factorization when the imported basis is the one we
     // just solved with -- the common case when branch & bound plunges into a

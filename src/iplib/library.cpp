@@ -7,6 +7,9 @@
 namespace partita::iplib {
 
 IpId IpLibrary::add(IpDescriptor ip) {
+  // invariant: user-supplied descriptors are validated (and diagnosed) by
+  // iplib::load_library before reaching add(); programmatic callers must
+  // uphold the same contract.
   PARTITA_ASSERT_MSG(by_name_.find(ip.name) == by_name_.end(), "duplicate IP name");
   PARTITA_ASSERT_MSG(!ip.functions.empty(), "IP must implement at least one function");
   PARTITA_ASSERT_MSG(ip.in_ports >= 1 && ip.out_ports >= 1, "IP needs ports");

@@ -7,6 +7,8 @@
 namespace partita::ir {
 
 Function& Module::create_function(std::string name) {
+  // invariant: both frontends (KL parser, MiniC codegen) diagnose duplicate
+  // function names before calling create_function.
   PARTITA_ASSERT_MSG(func_by_name_.find(name) == func_by_name_.end(),
                      "duplicate function name");
   const FuncId id{static_cast<std::uint32_t>(funcs_.size())};
@@ -67,6 +69,8 @@ std::vector<FuncId> Module::bottom_up_order() const {
       Frame& top = stack.back();
       if (top.next < top.callees.size()) {
         const FuncId c = top.callees[top.next++];
+        // invariant: ir::verify_module rejects recursive call graphs with a
+        // diagnostic before any analysis walks the module.
         PARTITA_ASSERT_MSG(state[c.value()] != 1, "recursive call graph");
         if (state[c.value()] == 0) {
           state[c.value()] = 1;

@@ -51,6 +51,7 @@ class Interp {
 }  // namespace
 
 SampleRun sample_execute(const ir::Module& module, support::Rng& rng) {
+  // invariant: modules are verified (entry present) before simulation.
   PARTITA_ASSERT(module.entry().valid());
   SampleRun out;
   out.call_site_executions.assign(module.call_sites().size(), 0);
@@ -60,6 +61,7 @@ SampleRun sample_execute(const ir::Module& module, support::Rng& rng) {
 
 SampleRun sample_execute_average(const ir::Module& module, support::Rng& rng,
                                  std::size_t runs) {
+  // invariant: run counts are validated at the CLI boundary (--runs 1..100000).
   PARTITA_ASSERT(runs > 0);
   SampleRun acc;
   acc.call_site_executions.assign(module.call_sites().size(), 0);

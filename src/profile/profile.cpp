@@ -93,6 +93,8 @@ ModuleProfile profile_module(const ir::Module& module) {
     }
   }
 
+  // invariant: callers run ir::verify_module (which rejects entry-less
+  // modules with a diagnostic) before profiling.
   PARTITA_ASSERT(module.entry().valid());
   out.function_frequency[module.entry().value()] += 1.0;
   const ir::Function& entry = module.function(module.entry());

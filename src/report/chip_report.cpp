@@ -14,7 +14,28 @@ namespace partita::report {
 
 ChipReport generate_report(const select::Flow& flow, const select::Selection& selection,
                            const ReportOptions& opts) {
-  PARTITA_ASSERT_MSG(selection.feasible, "cannot report an infeasible selection");
+  // An infeasible (or resource-starved) selection still gets a report -- a
+  // structured statement of which degradation rung answered and why --
+  // instead of aborting the process.
+  if (!selection.feasible) {
+    ChipReport rep;
+    rep.solver = selection.solver;
+    rep.software_cycles = flow.profile().total_cycles;
+    rep.guaranteed_cycles = rep.software_cycles;
+    std::ostringstream os;
+    os << "==================== generated ASIP report ====================\n";
+    os << "application: " << flow.module().name() << "\n\n";
+    os << "NO FEASIBLE SELECTION\n";
+    os << "rung       : " << select::to_string(selection.rung) << '\n';
+    os << "termination: " << ilp::to_string(selection.solver.termination) << '\n';
+    if (!selection.degradation_detail.empty()) {
+      os << "reason     : " << selection.degradation_detail << '\n';
+    }
+    os << "solver     : " << selection.solver.nodes << " nodes, "
+       << selection.solver.lp_iterations << " LP iterations\n";
+    rep.text = os.str();
+    return rep;
+  }
   ChipReport rep;
   const ir::Module& module = flow.module();
   const iplib::IpLibrary& lib = flow.library();
@@ -168,8 +189,13 @@ ChipReport generate_report(const select::Flow& flow, const select::Selection& se
     os << ", " << rep.solver.presolve_fixed << " presolve fixings";
   }
   if (selection.truncated) {
-    os << " [node limit; gap <= "
+    os << " [" << ilp::to_string(rep.solver.termination) << "; gap <= "
        << support::compact_double(selection.optimality_gap * 100.0) << "%]";
+  }
+  os << '\n';
+  os << "selection quality: " << select::to_string(selection.rung);
+  if (!selection.degradation_detail.empty()) {
+    os << " (" << selection.degradation_detail << ")";
   }
   os << '\n';
   rep.text = os.str();

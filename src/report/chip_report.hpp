@@ -53,7 +53,9 @@ struct ChipReport {
   std::string text;                    // rendered report
 };
 
-/// Builds the report for a feasible selection.
+/// Builds the report. An infeasible selection produces a structured
+/// infeasibility report (rung, termination reason, evidence) rather than
+/// aborting; `text` is always renderable.
 ChipReport generate_report(const select::Flow& flow, const select::Selection& selection,
                            const ReportOptions& opts = {});
 

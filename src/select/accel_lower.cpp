@@ -9,6 +9,8 @@ namespace partita::select {
 AcceleratedLowering lower_accelerated(const ir::Module& module,
                                       const Selection& selection,
                                       const isel::ImpDatabase& db) {
+  // invariant: callers (report, rtl, sim) branch on Selection::feasible and
+  // render a structured infeasibility report instead of lowering.
   PARTITA_ASSERT_MSG(selection.feasible, "cannot lower an infeasible selection");
   AcceleratedLowering out;
   out.lowered = ir::lower_function(module, module.function(module.entry()));

@@ -50,7 +50,10 @@ std::string to_json(const Selection& sel, const isel::ImpDatabase& db,
   std::ostringstream os;
   os << "{\n";
   os << "  \"feasible\": " << (sel.feasible ? "true" : "false") << ",\n";
-  os << "  \"required_gain\": " << required_gain;
+  os << "  \"required_gain\": " << required_gain << ",\n";
+  os << "  \"degradation\": {\"rung\": \"" << to_string(sel.rung)
+     << "\", \"termination\": \"" << ilp::to_string(sel.solver.termination)
+     << "\", \"detail\": \"" << json_escape(sel.degradation_detail) << "\"}";
   if (!sel.feasible) {
     os << "\n}\n";
     return os.str();
@@ -70,6 +73,8 @@ std::string to_json(const Selection& sel, const isel::ImpDatabase& db,
      << ", \"presolve_fixed\": " << sel.solver.presolve_fixed
      << ", \"clique_propagations\": " << sel.solver.clique_propagations
      << ", \"threads\": " << sel.solver.threads
+     << ", \"waves\": " << sel.solver.waves
+     << ", \"peak_arena_bytes\": " << sel.solver.peak_arena_bytes
      << ", \"truncated\": " << (sel.truncated ? "true" : "false")
      << ", \"optimality_gap\": " << num(sel.optimality_gap)
      << ", \"greedy_fallback\": " << (sel.greedy_fallback ? "true" : "false")

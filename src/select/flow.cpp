@@ -6,15 +6,30 @@
 
 namespace partita::select {
 
-Flow::Flow(const ir::Module& module, const iplib::IpLibrary& library,
-           const isel::EnumerateOptions& opts)
-    : module_(&module), library_(&library) {
-  support::DiagnosticEngine diags;
-  if (!ir::verify_module(module, diags)) {
-    std::fprintf(stderr, "flow: module does not verify:\n%s", diags.render_all().c_str());
-    PARTITA_ASSERT_MSG(false, "Flow requires a verified module");
+bool Flow::init(const ir::Module& module, const iplib::IpLibrary& library,
+                const isel::EnumerateOptions& opts,
+                support::DiagnosticEngine& diags) {
+  if (!ir::verify_module(module, diags)) return false;
+
+  // Module/library consistency: a library none of whose functions exist in
+  // the module can only ever answer "no IMPs". Legal, but almost certainly
+  // a mismatched file pair, so say so (non-fatal).
+  if (library.size() > 0) {
+    bool any_match = false;
+    for (const std::string& fn : library.supported_functions()) {
+      if (module.find_function(fn).valid()) {
+        any_match = true;
+        break;
+      }
+    }
+    if (!any_match) {
+      diags.warning("IP library implements none of the module's functions; "
+                    "no s-call can be accelerated");
+    }
   }
 
+  module_ = &module;
+  library_ = &library;
   profile_ = profile::profile_module(module);
 
   entry_cdfg_ = std::make_unique<cdfg::Cdfg>(module, module.function(module.entry()));
@@ -27,6 +42,29 @@ Flow::Flow(const ir::Module& module, const iplib::IpLibrary& library,
   db_ = std::make_unique<isel::ImpDatabase>(module, profile_, library, *entry_cdfg_,
                                             paths_, scalls, opts);
   selector_ = std::make_unique<Selector>(*db_, library, *entry_cdfg_, paths_);
+  return true;
+}
+
+support::Result<std::unique_ptr<Flow>> Flow::create(const ir::Module& module,
+                                                    const iplib::IpLibrary& library,
+                                                    const isel::EnumerateOptions& opts) {
+  support::DiagnosticEngine diags;
+  std::unique_ptr<Flow> flow(new Flow());
+  if (!flow->init(module, library, opts, diags)) {
+    return support::Error::from("module/library failed verification", diags);
+  }
+  return flow;
+}
+
+Flow::Flow(const ir::Module& module, const iplib::IpLibrary& library,
+           const isel::EnumerateOptions& opts) {
+  support::DiagnosticEngine diags;
+  if (!init(module, library, opts, diags)) {
+    std::fprintf(stderr, "flow: module does not verify:\n%s", diags.render_all().c_str());
+    // invariant: the programmatic constructor demands pre-verified inputs;
+    // user-input paths reach this code through the fallible create() only.
+    PARTITA_ASSERT_MSG(false, "Flow requires a verified module (use Flow::create)");
+  }
 }
 
 std::int64_t Flow::max_feasible_gain(const SelectOptions& opt) const {

@@ -12,13 +12,22 @@
 #include "isel/enumerate.hpp"
 #include "select/greedy.hpp"
 #include "select/selector.hpp"
+#include "support/result.hpp"
 
 namespace partita::select {
 
 class Flow {
  public:
-  /// The module must verify cleanly (asserted). References must outlive the
-  /// Flow.
+  /// Fallible factory for user-input paths: verifies the module and checks
+  /// module/IP-library consistency, returning either a ready Flow or the
+  /// full diagnostic list. Never aborts. References must outlive the Flow.
+  static support::Result<std::unique_ptr<Flow>> create(
+      const ir::Module& module, const iplib::IpLibrary& library,
+      const isel::EnumerateOptions& opts = {});
+
+  /// Asserting convenience constructor for programmatic callers that
+  /// guarantee a verified module (tests, benches, built-in workloads).
+  /// Anything fed from parsed user input must go through create().
   Flow(const ir::Module& module, const iplib::IpLibrary& library,
        const isel::EnumerateOptions& opts = {});
 
@@ -50,8 +59,15 @@ class Flow {
   std::int64_t max_feasible_gain(const SelectOptions& opt = {}) const;
 
  private:
-  const ir::Module* module_;
-  const iplib::IpLibrary* library_;
+  Flow() = default;
+
+  /// Runs verification + all analysis stages; false (with diagnostics) when
+  /// the input is unusable.
+  bool init(const ir::Module& module, const iplib::IpLibrary& library,
+            const isel::EnumerateOptions& opts, support::DiagnosticEngine& diags);
+
+  const ir::Module* module_ = nullptr;
+  const iplib::IpLibrary* library_ = nullptr;
   profile::ModuleProfile profile_;
   std::unique_ptr<cdfg::Cdfg> entry_cdfg_;
   std::vector<cdfg::ExecPath> paths_;

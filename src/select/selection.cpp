@@ -8,6 +8,20 @@
 
 namespace partita::select {
 
+const char* to_string(DegradationRung r) {
+  switch (r) {
+    case DegradationRung::kOptimal:
+      return "optimal";
+    case DegradationRung::kGapBounded:
+      return "gap-bounded";
+    case DegradationRung::kGreedyFallback:
+      return "greedy-fallback";
+    case DegradationRung::kInfeasible:
+      return "infeasible";
+  }
+  return "?";
+}
+
 std::int64_t path_gain(const std::vector<isel::ImpIndex>& chosen,
                        const isel::ImpDatabase& db, const cdfg::Cdfg& entry_cdfg,
                        const cdfg::ExecPath& path) {

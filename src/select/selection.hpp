@@ -12,6 +12,22 @@
 
 namespace partita::select {
 
+/// Which rung of the staged degradation ladder produced a Selection. The
+/// ladder runs full ILP -> truncated ILP with a proven optimality gap ->
+/// greedy baseline -> structured infeasibility report; every answer is
+/// labeled honestly so callers (CLI exit codes, export JSON, chip report)
+/// can tell a proven optimum from a budget-limited best effort.
+enum class DegradationRung : std::uint8_t {
+  kOptimal,         // ILP proved optimality
+  kGapBounded,      // truncated ILP incumbent, optimality_gap bounds the loss
+  kGreedyFallback,  // greedy baseline answered (ILP truncated without a
+                    // usable incumbent, or greedy beat the incumbent)
+  kInfeasible,      // no rung produced a feasible selection
+};
+
+/// Display name: "optimal", "gap-bounded", "greedy-fallback", "infeasible".
+const char* to_string(DegradationRung r);
+
 /// The decoded outcome of one selection run (one RG row of Tables 1-3).
 struct Selection {
   bool feasible = false;
@@ -49,16 +65,23 @@ struct Selection {
   int lp_iterations = 0;
   ilp::SolverStats solver;
 
-  /// True when the branch & bound hit its node limit before proving
-  /// optimality; the selection is then the best incumbent (or the greedy
-  /// fallback if that was better) and optimality_gap bounds how far from
-  /// the optimum it can be.
+  /// True when the branch & bound hit its node limit or resource budget
+  /// before proving optimality; the selection is then the best incumbent
+  /// (or the greedy fallback if that was better) and optimality_gap bounds
+  /// how far from the optimum it can be. solver.termination says which
+  /// limit struck.
   bool truncated = false;
   /// True when the greedy baseline replaced (or supplied) the solution after
-  /// a node-limit truncation.
+  /// a truncation.
   bool greedy_fallback = false;
   /// Relative gap |area - best_bound| / max(1, |area|); 0 when optimal.
   double optimality_gap = 0.0;
+
+  /// Which degradation rung answered (see DegradationRung).
+  DegradationRung rung = DegradationRung::kInfeasible;
+  /// One human-readable line on *why* a degraded rung answered ("" when
+  /// optimal): the resource that struck, or the infeasibility evidence.
+  std::string degradation_detail;
 
   /// "SC13: IP12,IF0,115037,3"-style summary, paper notation.
   std::string describe(const isel::ImpDatabase& db, const iplib::IpLibrary& lib) const;

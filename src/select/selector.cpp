@@ -30,6 +30,8 @@ ImplSignature signature_of(const isel::Imp& imp) {
 
 ilp::Model Selector::build_model(const std::vector<std::int64_t>& required_gains,
                                  const SelectOptions& opt) const {
+  // invariant: the Selector itself expands RG to one entry per path; no user
+  // input reaches this signature.
   PARTITA_ASSERT(required_gains.size() == paths_.size());
   const std::vector<isel::Imp>& imps = db_.imps();
 
@@ -164,8 +166,12 @@ ilp::Model Selector::build_model(const std::vector<std::int64_t>& required_gains
 Selection Selector::select_per_path(const std::vector<std::int64_t>& required_gains,
                                     const SelectOptions& opt) const {
   const ilp::Model m = build_model(required_gains, opt);
+
+  // Degradation ladder, rung 1 + 2: the exact ILP under its resource
+  // budget. A completed search answers rung 1 (proven optimum) or proves
+  // infeasibility; a truncated one leaves the best incumbent for rung 2.
   const ilp::IlpResult r = ilp::solve_ilp(m, opt.ilp);
-  const bool truncated = r.status == ilp::IlpStatus::kNodeLimit;
+  const bool truncated = ilp::is_truncated(r.status);
 
   Selection sel;
   if (r.has_solution) {
@@ -176,10 +182,11 @@ Selection Selector::select_per_path(const std::vector<std::int64_t>& required_ga
     sel = decode_selection(chosen, db_, lib_, entry_cdfg_, paths_);
   }
 
-  // A truncated search may have no incumbent at all, or one that is far from
-  // the proven bound; the greedy baseline is a cheap safety net. It only
-  // understands the default constraint system and a uniform requirement, so
-  // it is skipped for filtered/power-capped/Problem-1 runs.
+  // Rung 3: a truncated search may have no incumbent at all, or one that is
+  // far from the proven bound; the greedy baseline is a cheap, deterministic
+  // safety net. It only understands the default constraint system and a
+  // uniform requirement, so it is skipped for filtered/power-capped/
+  // Problem-1 runs.
   if (truncated && !opt.imp_filter && !opt.max_power && opt.problem2) {
     const std::int64_t uniform = required_gains.empty()
         ? 0
@@ -199,6 +206,30 @@ Selection Selector::select_per_path(const std::vector<std::int64_t>& required_ga
   if (truncated && sel.feasible) {
     sel.optimality_gap = std::abs(sel.total_area() - r.best_bound) /
                          std::max(1.0, std::abs(sel.total_area()));
+  }
+
+  // Label which rung answered and why, so every consumer (CLI, JSON export,
+  // chip report) reports an honest quality level instead of a bare answer.
+  const char* why = ilp::to_string(r.stats.termination);
+  if (!sel.feasible) {
+    sel.rung = DegradationRung::kInfeasible;
+    sel.degradation_detail = truncated
+        ? "search stopped (" + std::string(why) +
+              ") before any feasible incumbent; infeasibility not proven"
+        : "constraint system proven infeasible: no IMP set meets the "
+          "required per-path gains";
+  } else if (!truncated) {
+    sel.rung = DegradationRung::kOptimal;
+  } else if (sel.greedy_fallback) {
+    sel.rung = DegradationRung::kGreedyFallback;
+    sel.degradation_detail =
+        "greedy baseline answered after " + std::string(why) + " truncation";
+  } else {
+    sel.rung = DegradationRung::kGapBounded;
+    sel.degradation_detail = "ILP truncated (" + std::string(why) +
+                             "); incumbent proven within " +
+                             std::to_string(sel.optimality_gap * 100.0) +
+                             "% of the optimum";
   }
   return sel;
 }

@@ -195,6 +195,7 @@ SimResult CoSimulator::run(const select::Selection* selection, support::Rng& rng
 
 SimResult CoSimulator::run_average(const select::Selection* selection, support::Rng& rng,
                                    std::size_t runs) const {
+  // invariant: run counts are validated at the CLI boundary (--runs 1..100000).
   PARTITA_ASSERT(runs > 0);
   SimResult acc;
   for (std::size_t r = 0; r < runs; ++r) {

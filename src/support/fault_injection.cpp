@@ -1,0 +1,49 @@
+#include "support/fault_injection.hpp"
+
+namespace partita::support {
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::string_view site, std::uint64_t trip_at) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    sites_.emplace(std::string(site), Site{trip_at, 0});
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = Site{trip_at, 0};
+  }
+}
+
+void FaultInjector::disarm(std::string_view site) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  sites_.erase(it);
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_trip(std::string_view site) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  ++it->second.hits;
+  return it->second.hits >= it->second.trip_at;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace partita::support

@@ -1,0 +1,87 @@
+// Deterministic, test-only fault injection.
+//
+// Recovery paths -- deadline expiry, arena allocation failure, basis
+// refactorization failure -- normally fire only under wall-clock or memory
+// pressure, which makes them untestable by luck. The FaultInjector lets a
+// test arm a named *site* to trip at its Nth checkpoint: production code
+// asks `fault_should_trip("site")` at each checkpoint and gets `true` from
+// the Nth call on (sticky, like a real expired deadline), so every recovery
+// path runs reproducibly in ctest.
+//
+// The disarmed fast path is one relaxed atomic load; with nothing armed the
+// hooks cost nothing measurable. Hit counting is mutex-guarded, so sites
+// checked from solver worker lanes are safe to arm -- but for a
+// deterministic *count* across thread counts, arm multi-threaded sites with
+// trip_at = 1 (every check trips) and reserve trip_at > 1 for sites checked
+// on a single thread (wave boundaries, arena allocation).
+//
+// Sites currently wired:
+//   "ilp.deadline"         wave-boundary deadline check in branch & bound
+//   "ilp.node_arena"       node-arena allocation in branch & bound
+//   "simplex.warm_refactor" basis import/refactorization in solve_warm
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace partita::support {
+
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Arms `site`: the trip_at-th call to should_trip (1-based) and every
+  /// call after it return true. Re-arming resets the hit count.
+  void arm(std::string_view site, std::uint64_t trip_at = 1);
+  void disarm(std::string_view site);
+  /// Disarms every site and clears all hit counts.
+  void reset();
+
+  /// Checkpoint: counts a hit against `site` and reports whether the fault
+  /// fires. Unarmed sites never fire (and are not counted).
+  bool should_trip(std::string_view site);
+
+  /// Checkpoints counted against `site` since it was (re-)armed.
+  std::uint64_t hits(std::string_view site) const;
+
+ private:
+  struct Site {
+    std::uint64_t trip_at = 1;
+    std::uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_;
+  std::atomic<int> armed_count_{0};
+
+  friend bool fault_should_trip(std::string_view site);
+};
+
+/// Production-side hook: false immediately (one relaxed load) when nothing
+/// is armed anywhere.
+inline bool fault_should_trip(std::string_view site) {
+  FaultInjector& fi = FaultInjector::instance();
+  if (fi.armed_count_.load(std::memory_order_relaxed) == 0) return false;
+  return fi.should_trip(site);
+}
+
+/// RAII arming for tests: arms on construction, disarms on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(std::string_view site, std::uint64_t trip_at = 1)
+      : site_(site) {
+    FaultInjector::instance().arm(site_, trip_at);
+  }
+  ~ScopedFault() { FaultInjector::instance().disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace partita::support

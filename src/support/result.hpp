@@ -1,0 +1,78 @@
+// Structured fallibility for user-input-reachable paths.
+//
+// Library stages that can fail on *user input* (a module that does not
+// verify, an inconsistent IP library, an over-budget solve) return
+// Result<T> instead of asserting: the caller gets either the value or an
+// Error carrying a summary line plus the full diagnostic list, and decides
+// how to render it (CLI exit code, JSON field, test expectation).
+// PARTITA_ASSERT remains reserved for internal invariants that no input can
+// reach.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/diagnostics.hpp"
+
+namespace partita::support {
+
+/// A failed operation: one summary line plus the diagnostics that explain it.
+struct Error {
+  std::string message;
+  std::vector<Diagnostic> diagnostics;
+
+  /// Builds an error that adopts every diagnostic collected so far.
+  static Error from(std::string message, const DiagnosticEngine& diags) {
+    return Error{std::move(message), diags.diagnostics()};
+  }
+
+  /// "message" followed by one rendered diagnostic per line.
+  std::string render() const {
+    std::string out = message;
+    for (const Diagnostic& d : diagnostics) {
+      out += '\n';
+      out += "  ";
+      out += d.render();
+    }
+    return out;
+  }
+};
+
+/// Either a T or an Error. Implicitly constructible from both so fallible
+/// functions can `return value;` and `return Error{...};` symmetrically.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    PARTITA_ASSERT_MSG(ok(), "Result::value() on an error");
+    return *value_;
+  }
+  const T& value() const {
+    PARTITA_ASSERT_MSG(ok(), "Result::value() on an error");
+    return *value_;
+  }
+  /// Moves the value out (the Result is left valueless).
+  T take() {
+    PARTITA_ASSERT_MSG(ok(), "Result::take() on an error");
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    PARTITA_ASSERT_MSG(!ok(), "Result::error() on a success");
+    return *error_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+}  // namespace partita::support

@@ -145,9 +145,12 @@ Workload random_workload(const RandomWorkloadParams& params, std::uint64_t seed)
   if (!module) {
     std::fprintf(stderr, "random workload KL errors:\n%s\nsource:\n%s\n",
                  diags.render_all().c_str(), kl.c_str());
+    // invariant: the generator emits KL itself; a parse failure means the
+    // generator produced malformed text (a bug here, not bad user input).
     PARTITA_ASSERT_MSG(false, "random workload failed to parse");
   }
   std::optional<iplib::IpLibrary> lib = iplib::load_library(lib_text, diags);
+  // invariant: generator-emitted library text, same contract as above.
   PARTITA_ASSERT_MSG(lib.has_value(), "random library failed to parse");
   return Workload{"random_" + std::to_string(seed), std::move(*module), std::move(*lib)};
 }

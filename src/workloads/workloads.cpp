@@ -16,12 +16,15 @@ Workload make(const std::string& name, std::string_view kl, std::string_view lib
   if (!module) {
     std::fprintf(stderr, "workload '%s' KL errors:\n%s", name.c_str(),
                  diags.render_all().c_str());
+    // invariant: the KL text is compiled into the binary; a parse failure is
+    // a programming error in the workload table, not user input.
     PARTITA_ASSERT_MSG(false, "built-in workload failed to parse");
   }
   std::optional<iplib::IpLibrary> lib = iplib::load_library(lib_text, diags);
   if (!lib) {
     std::fprintf(stderr, "workload '%s' library errors:\n%s", name.c_str(),
                  diags.render_all().c_str());
+    // invariant: same as above -- built-in text, not user input.
     PARTITA_ASSERT_MSG(false, "built-in IP library failed to parse");
   }
   return Workload{name, std::move(*module), std::move(*lib)};

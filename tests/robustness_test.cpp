@@ -1,6 +1,8 @@
 // Robustness: random-input fuzzing of the two text frontends and the IP
-// loader (must diagnose, never crash), plus solver stress on degenerate and
-// larger random instances.
+// loader (must diagnose, never crash), solver stress on degenerate and
+// larger random instances, and the resource-governed solve pipeline:
+// deadline/memory budgets, the staged degradation ladder, and deterministic
+// fault injection.
 #include <gtest/gtest.h>
 
 #include <random>
@@ -10,6 +12,12 @@
 #include "ilp/branch_bound.hpp"
 #include "iplib/loader.hpp"
 #include "minic/mc_codegen.hpp"
+#include "report/chip_report.hpp"
+#include "select/export.hpp"
+#include "select/flow.hpp"
+#include "support/fault_injection.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
 
 namespace partita {
 namespace {
@@ -140,6 +148,158 @@ TEST(SolverStress, WideKnapsackCloses) {
   ASSERT_EQ(r.status, ilp::IlpStatus::kOptimal);
   EXPECT_TRUE(m.is_feasible(r.x));
   EXPECT_LT(r.nodes_explored, 50000);
+}
+
+// --- resource budgets & degradation ladder --------------------------------------
+
+// An injected deadline that trips at the second wave-boundary checkpoint
+// cancels the search right after the root wave -- which solves only the root
+// node at ANY thread count -- so the truncated result must be bit-identical
+// across 1/2/4 threads.
+TEST(ResourceGovernance, InjectedDeadlineDeterministicAcrossThreads) {
+  const workloads::Workload w = workloads::gsm_encoder();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() / 2;
+
+  std::vector<select::Selection> runs;
+  for (int threads : {1, 2, 4}) {
+    support::ScopedFault deadline("ilp.deadline", /*trip_at=*/2);
+    select::SelectOptions opt;
+    opt.ilp.threads = threads;
+    runs.push_back(flow.value()->select(rg, opt));
+  }
+  for (const select::Selection& sel : runs) {
+    EXPECT_TRUE(sel.truncated);
+    EXPECT_EQ(sel.solver.termination, ilp::TerminationReason::kDeadline);
+    EXPECT_LE(sel.solver.waves, 1);
+    EXPECT_EQ(sel.feasible, runs[0].feasible);
+    EXPECT_EQ(sel.chosen, runs[0].chosen);
+    EXPECT_EQ(sel.rung, runs[0].rung);
+    EXPECT_EQ(sel.greedy_fallback, runs[0].greedy_fallback);
+  }
+}
+
+// A 1-byte arena cap trips at the very first checkpoint (the root node is
+// already allocated), before any incumbent exists: the ladder must answer
+// with the deterministic greedy baseline, identically at every thread count.
+TEST(ResourceGovernance, ArenaCapFallsBackToGreedy) {
+  const workloads::Workload w = workloads::gsm_encoder();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() / 4;
+
+  std::vector<select::Selection> runs;
+  for (int threads : {1, 2, 4}) {
+    select::SelectOptions opt;
+    opt.ilp.threads = threads;
+    opt.ilp.budget.memory_limit_bytes = 1;
+    runs.push_back(flow.value()->select(rg, opt));
+  }
+  for (const select::Selection& sel : runs) {
+    EXPECT_TRUE(sel.truncated);
+    EXPECT_EQ(sel.solver.termination, ilp::TerminationReason::kMemoryLimit);
+    ASSERT_TRUE(sel.feasible);
+    EXPECT_TRUE(sel.greedy_fallback);
+    EXPECT_EQ(sel.rung, select::DegradationRung::kGreedyFallback);
+    EXPECT_EQ(sel.chosen, runs[0].chosen);
+    EXPECT_GE(sel.min_path_gain, rg);
+  }
+}
+
+// Forcing every warm-basis refactorization to fail must route node LPs
+// through the cold-start fallback without changing the answer.
+TEST(ResourceGovernance, WarmRefactorFaultFallsBackToColdStart) {
+  const workloads::Workload w = workloads::fig9_case();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() / 2;
+
+  const select::Selection clean = flow.value()->select(rg);
+  select::Selection faulted;
+  {
+    support::ScopedFault refactor("simplex.warm_refactor", /*trip_at=*/1);
+    faulted = flow.value()->select(rg);
+  }
+  EXPECT_EQ(faulted.solver.warm_starts, 0);
+  EXPECT_FALSE(faulted.truncated);
+  EXPECT_EQ(faulted.rung, select::DegradationRung::kOptimal);
+  ASSERT_TRUE(faulted.feasible);
+  EXPECT_EQ(faulted.chosen, clean.chosen);
+}
+
+// An impossible requirement lands on the bottom rung: a structured
+// infeasibility report (never an abort) from both the chip report and the
+// JSON export.
+TEST(ResourceGovernance, InfeasibleGainProducesStructuredReport) {
+  const workloads::Workload w = workloads::fig10_case();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() * 10 + 1;
+
+  const select::Selection sel = flow.value()->select(rg);
+  EXPECT_FALSE(sel.feasible);
+  EXPECT_EQ(sel.rung, select::DegradationRung::kInfeasible);
+  EXPECT_EQ(sel.solver.termination, ilp::TerminationReason::kCompleted);
+  EXPECT_FALSE(sel.degradation_detail.empty());
+
+  const report::ChipReport rep = report::generate_report(*flow.value(), sel);
+  EXPECT_NE(rep.text.find("NO FEASIBLE SELECTION"), std::string::npos);
+  EXPECT_NE(rep.text.find("infeasible"), std::string::npos);
+
+  const std::string json =
+      select::to_json(sel, flow.value()->imp_database(), w.library, rg);
+  EXPECT_NE(json.find("\"feasible\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"rung\": \"infeasible\""), std::string::npos);
+}
+
+// A real (non-injected) wall-clock deadline on a larger random instance must
+// return promptly with the deadline recorded, not hang or abort.
+TEST(ResourceGovernance, RealDeadlineTruncatesLargeInstance) {
+  workloads::RandomWorkloadParams params;
+  params.leaf_functions = 12;
+  params.call_sites = 48;
+  params.ips = 16;
+  const workloads::Workload w = workloads::random_workload(params, /*seed=*/3);
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() / 2;
+
+  select::SelectOptions opt;
+  opt.ilp.budget.time_limit_seconds = 1e-9;  // expires at the first checkpoint
+  const select::Selection sel = flow.value()->select(rg, opt);
+  EXPECT_TRUE(sel.truncated);
+  EXPECT_EQ(sel.solver.termination, ilp::TerminationReason::kDeadline);
+  EXPECT_EQ(sel.solver.waves, 0);
+}
+
+// Budget bookkeeping surfaces in the stats even when nothing trips.
+TEST(ResourceGovernance, UntruncatedRunReportsCompletion) {
+  const workloads::Workload w = workloads::fig9_case();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  select::SelectOptions opt;
+  opt.ilp.budget.time_limit_seconds = 3600.0;
+  opt.ilp.budget.memory_limit_bytes = std::size_t{1} << 30;
+  const select::Selection sel =
+      flow.value()->select(flow.value()->max_feasible_gain() / 2, opt);
+  ASSERT_TRUE(sel.feasible);
+  EXPECT_FALSE(sel.truncated);
+  EXPECT_EQ(sel.rung, select::DegradationRung::kOptimal);
+  EXPECT_EQ(sel.solver.termination, ilp::TerminationReason::kCompleted);
+  EXPECT_GT(sel.solver.peak_arena_bytes, 0u);
+  EXPECT_GT(sel.solver.waves, 0);
+}
+
+// --- fallible construction ------------------------------------------------------
+
+TEST(ResourceGovernance, FlowCreateRejectsUnverifiableModule) {
+  ir::Module bad("no_entry");  // no functions, no entry point
+  iplib::IpLibrary lib;
+  const auto flow = select::Flow::create(bad, lib);
+  ASSERT_FALSE(flow.ok());
+  EXPECT_FALSE(flow.error().diagnostics.empty());
+  EXPECT_NE(flow.error().render().find("verification"), std::string::npos);
 }
 
 TEST(SolverStress, AlternatingSignsObjective) {

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "support/diagnostics.hpp"
+#include "support/fault_injection.hpp"
+#include "support/result.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 #include "support/text_table.hpp"
@@ -172,6 +175,77 @@ TEST(TextTable, HeaderRuleMatchesWidth) {
   t.add_row({"xyzw"});
   const auto out = t.render();
   EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+// --- Result ---------------------------------------------------------------------
+
+Result<int> parse_positive(int v) {
+  if (v > 0) return v;
+  DiagnosticEngine diags;
+  diags.error("value must be positive");
+  return Error::from("bad value", diags);
+}
+
+TEST(Result, HoldsValueOrError) {
+  Result<int> good = parse_positive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(static_cast<bool>(good));
+  EXPECT_EQ(good.value(), 7);
+  EXPECT_EQ(good.take(), 7);
+
+  Result<int> bad = parse_positive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "bad value");
+  ASSERT_EQ(bad.error().diagnostics.size(), 1u);
+}
+
+TEST(Result, RenderIncludesDiagnostics) {
+  const Result<int> bad = parse_positive(0);
+  const std::string text = bad.error().render();
+  EXPECT_NE(text.find("bad value"), std::string::npos);
+  EXPECT_NE(text.find("value must be positive"), std::string::npos);
+}
+
+TEST(Result, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(42);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = r.take();
+  EXPECT_EQ(*owned, 42);
+}
+
+// --- fault injection ------------------------------------------------------------
+
+TEST(FaultInjection, DisarmedSitesNeverFire) {
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(fault_should_trip("nothing.armed"));
+  EXPECT_EQ(FaultInjector::instance().hits("nothing.armed"), 0u);
+}
+
+TEST(FaultInjection, TripsAtNthCheckpointAndStays) {
+  FaultInjector::instance().reset();
+  {
+    ScopedFault f("unit.site", /*trip_at=*/3);
+    EXPECT_FALSE(fault_should_trip("unit.site"));
+    EXPECT_FALSE(fault_should_trip("unit.site"));
+    EXPECT_TRUE(fault_should_trip("unit.site"));   // 3rd checkpoint fires...
+    EXPECT_TRUE(fault_should_trip("unit.site"));   // ...and stays tripped
+    EXPECT_EQ(FaultInjector::instance().hits("unit.site"), 4u);
+    // An armed injector never fires sites it was not armed for.
+    EXPECT_FALSE(fault_should_trip("unit.other"));
+  }
+  // ScopedFault disarms on scope exit.
+  EXPECT_FALSE(fault_should_trip("unit.site"));
+}
+
+TEST(FaultInjection, RearmingResetsHitCount) {
+  FaultInjector::instance().reset();
+  FaultInjector::instance().arm("unit.rearm", 2);
+  EXPECT_FALSE(fault_should_trip("unit.rearm"));
+  FaultInjector::instance().arm("unit.rearm", 2);  // re-arm: count starts over
+  EXPECT_FALSE(fault_should_trip("unit.rearm"));
+  EXPECT_TRUE(fault_should_trip("unit.rearm"));
+  FaultInjector::instance().reset();
+  EXPECT_FALSE(fault_should_trip("unit.rearm"));
 }
 
 }  // namespace

@@ -46,6 +46,14 @@ using namespace partita;
 
 namespace {
 
+// Documented exit codes: 0 success, 1 infeasible/internal error, 2 usage,
+// 3 bad input (unreadable/unparseable/unverifiable), 4 resource-limit
+// degradation (a best-effort answer was printed, but a time/memory/node
+// budget truncated the search).
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+constexpr int kExitDegraded = 4;
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <command> <app.kl> <lib.ip> [options]\n"
@@ -63,16 +71,23 @@ namespace {
                "  sens     per-IP criticality analysis          [--rg N]\n"
                "  lint     sanity-check the IP library\n"
                "\n"
-               "builtin workloads: gsm_encoder gsm_decoder jpeg_encoder adpcm_codec fig9 fig10\n",
+               "resource options (solver commands):\n"
+               "  --time-limit-ms N   wall-clock budget for the ILP search\n"
+               "  --max-solver-mb N   node-arena memory budget for the ILP search\n"
+               "\n"
+               "builtin workloads: gsm_encoder gsm_decoder jpeg_encoder adpcm_codec fig9 fig10\n"
+               "\n"
+               "exit codes: 0 ok, 1 infeasible, 2 usage, 3 bad input, 4 degraded by\n"
+               "resource limits (best-effort answer printed)\n",
                argv0, argv0);
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "partita: cannot open '%s'\n", path.c_str());
-    std::exit(1);
+    std::exit(kExitInput);
   }
   std::ostringstream ss;
   ss << in.rdbuf();
@@ -89,6 +104,8 @@ struct Args {
   int runs = 32;
   std::uint64_t seed = 1;
   bool json = false;
+  std::optional<double> time_limit_ms;
+  std::optional<double> max_solver_mb;
 };
 
 std::optional<workloads::Workload> builtin(const std::string& name) {
@@ -126,7 +143,7 @@ Args parse_args(int argc, char** argv) {
     auto library = iplib::load_library(lib_text, diags);
     if (!module || !library) {
       std::fprintf(stderr, "%s", diags.render_all().c_str());
-      std::exit(1);
+      std::exit(kExitInput);
     }
     args.workload = {argv[2], std::move(*module), std::move(*library)};
     next = 4;
@@ -137,7 +154,7 @@ Args parse_args(int argc, char** argv) {
     auto need_value = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "partita: %s needs a value\n", flag.c_str());
-        std::exit(2);
+        std::exit(kExitUsage);
       }
       return argv[++i];
     };
@@ -148,18 +165,28 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--max-power") args.max_power = std::atof(need_value());
     else if (flag == "--runs") args.runs = std::atoi(need_value());
     else if (flag == "--seed") args.seed = static_cast<std::uint64_t>(std::atoll(need_value()));
+    else if (flag == "--time-limit-ms") args.time_limit_ms = std::atof(need_value());
+    else if (flag == "--max-solver-mb") args.max_solver_mb = std::atof(need_value());
     else {
       std::fprintf(stderr, "partita: unknown option '%s'\n", flag.c_str());
-      std::exit(2);
+      std::exit(kExitUsage);
     }
   }
   if (args.steps < 1 || args.steps > 64) {
     std::fprintf(stderr, "partita: --steps must be 1..64\n");
-    std::exit(2);
+    std::exit(kExitUsage);
   }
   if (args.runs < 1 || args.runs > 100000) {
     std::fprintf(stderr, "partita: --runs must be 1..100000\n");
-    std::exit(2);
+    std::exit(kExitUsage);
+  }
+  if (args.time_limit_ms && *args.time_limit_ms <= 0) {
+    std::fprintf(stderr, "partita: --time-limit-ms must be positive\n");
+    std::exit(kExitUsage);
+  }
+  if (args.max_solver_mb && *args.max_solver_mb <= 0) {
+    std::fprintf(stderr, "partita: --max-solver-mb must be positive\n");
+    std::exit(kExitUsage);
   }
   return args;
 }
@@ -168,7 +195,22 @@ select::SelectOptions select_options(const Args& args) {
   select::SelectOptions opt;
   opt.problem2 = !args.problem1;
   opt.max_power = args.max_power;
+  if (args.time_limit_ms) opt.ilp.budget.time_limit_seconds = *args.time_limit_ms / 1000.0;
+  if (args.max_solver_mb) {
+    opt.ilp.budget.memory_limit_bytes =
+        static_cast<std::size_t>(*args.max_solver_mb * 1024.0 * 1024.0);
+  }
   return opt;
+}
+
+// Resource-limit degradation maps to its own exit code so scripts can tell
+// "optimal answer" (0) apart from "best effort under a budget" (4).
+int success_exit(const select::Selection& sel) {
+  if (sel.truncated && (sel.solver.termination == ilp::TerminationReason::kDeadline ||
+                        sel.solver.termination == ilp::TerminationReason::kMemoryLimit)) {
+    return kExitDegraded;
+  }
+  return 0;
 }
 
 int cmd_info(const Args& args, select::Flow& flow) {
@@ -205,12 +247,12 @@ int cmd_select(const Args& args, select::Flow& flow) {
   if (args.json) {
     std::fputs(select::to_json(sel, flow.imp_database(), args.workload.library, rg).c_str(),
                stdout);
-    return sel.feasible ? 0 : 1;
+    return sel.feasible ? success_exit(sel) : 1;
   }
   std::printf("required gain : %s (max feasible %s)\n", support::with_commas(rg).c_str(),
               support::with_commas(gmax).c_str());
   if (!sel.feasible) {
-    std::printf("INFEASIBLE\n");
+    std::printf("INFEASIBLE (%s)\n", sel.degradation_detail.c_str());
     return 1;
   }
   std::printf("selection     : %s\n",
@@ -224,12 +266,14 @@ int cmd_select(const Args& args, select::Flow& flow) {
   std::printf("solver        : %d nodes, %d LP iterations, %.0f%% warm hits, %d threads\n",
               sel.solver.nodes, sel.solver.lp_iterations,
               sel.solver.warm_start_hit_rate() * 100.0, sel.solver.threads);
+  std::printf("quality       : %s", select::to_string(sel.rung));
   if (sel.truncated) {
-    std::printf("               node limit hit: gap <= %.2f%%%s\n",
+    std::printf(" [%s; gap <= %.2f%%%s]", ilp::to_string(sel.solver.termination),
                 sel.optimality_gap * 100.0,
-                sel.greedy_fallback ? " (greedy fallback applied)" : "");
+                sel.greedy_fallback ? "; greedy fallback applied" : "");
   }
-  return 0;
+  std::printf("\n");
+  return success_exit(sel);
 }
 
 int cmd_sweep(const Args& args, select::Flow& flow) {
@@ -259,13 +303,11 @@ int cmd_report(const Args& args, select::Flow& flow) {
   const std::int64_t gmax = flow.max_feasible_gain(opt);
   const std::int64_t rg = args.rg.value_or(gmax * 3 / 5);
   const select::Selection sel = flow.select(rg, opt);
-  if (!sel.feasible) {
-    std::printf("INFEASIBLE at RG=%s\n", support::with_commas(rg).c_str());
-    return 1;
-  }
+  // Infeasible selections still render: generate_report() produces a
+  // structured infeasibility report instead of aborting.
   const report::ChipReport rep = report::generate_report(flow, sel);
   std::fputs(rep.text.c_str(), stdout);
-  return 0;
+  return sel.feasible ? success_exit(sel) : 1;
 }
 
 int cmd_sim(const Args& args, select::Flow& flow) {
@@ -383,11 +425,19 @@ int cmd_rtl(const Args& args, select::Flow& flow) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   Args args = parse_args(argc, argv);
-  select::Flow flow(args.workload.module, args.workload.library);
+  if (args.command == "lint") return cmd_lint(args);
+
+  // Fallible construction: parse errors were caught above, but the module
+  // may still fail semantic verification (bad entry, recursion, dangling
+  // call sites) or be inconsistent with the IP library.
+  auto flow_or = select::Flow::create(args.workload.module, args.workload.library);
+  if (!flow_or.ok()) {
+    std::fprintf(stderr, "partita: %s", flow_or.error().render().c_str());
+    return kExitInput;
+  }
+  select::Flow& flow = *flow_or.value();
 
   if (args.command == "info") return cmd_info(args, flow);
   if (args.command == "imps") return cmd_imps(args, flow);
@@ -398,6 +448,21 @@ int main(int argc, char** argv) {
   if (args.command == "rtl") return cmd_rtl(args, flow);
   if (args.command == "pareto") return cmd_pareto(args, flow);
   if (args.command == "sens") return cmd_sens(args, flow);
-  if (args.command == "lint") return cmd_lint(args);
   usage(argv[0]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Last-resort boundary: anything that escapes as an exception is rendered
+  // as a diagnostic rather than std::terminate'ing without a message.
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "partita: fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "partita: fatal: unknown exception\n");
+    return 1;
+  }
 }
