@@ -73,7 +73,5 @@ int main(int argc, char** argv) {
   report_workload(workloads::gsm_decoder());
   report_workload(workloads::jpeg_encoder());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

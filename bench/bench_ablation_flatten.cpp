@@ -68,7 +68,5 @@ int main(int argc, char** argv) {
   std::printf("=== Ablation E: IMP flattening depth (hierarchy handling) ===\n\n");
   report(workloads::jpeg_encoder());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

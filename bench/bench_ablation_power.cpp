@@ -60,7 +60,5 @@ int main(int argc, char** argv) {
   report(workloads::gsm_decoder());
   report(workloads::jpeg_encoder());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

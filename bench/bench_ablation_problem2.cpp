@@ -77,7 +77,5 @@ int main(int argc, char** argv) {
   report_case(workloads::gsm_encoder());
   report_case(workloads::gsm_decoder());
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

@@ -59,7 +59,5 @@ int main(int argc, char** argv) {
   std::fputs(t.render().c_str(), stdout);
   std::printf("\n");
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

@@ -112,7 +112,5 @@ int main(int argc, char** argv) {
   std::printf("\nanalytic model %s the cycle-level simulation\n\n",
               all_match ? "MATCHES" : "DIVERGES FROM");
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

@@ -84,7 +84,5 @@ BENCHMARK(BM_BranchBoundThreads)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMilli
 int main(int argc, char** argv) {
   std::printf("=== Branch & bound throughput on synthetic selection ILPs ===\n");
   std::printf("(rates are nodes/sec and simplex-iterations/sec of the search loop)\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

@@ -151,7 +151,5 @@ int main(int argc, char** argv) {
   std::printf("(paper-scale problems: 18 s-calls / 42 IMPs; swept to ~4x that)\n\n");
   std::printf("--- warm-started + presolved B&B vs cold solves (seed workloads) ---\n");
   print_warm_vs_cold_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

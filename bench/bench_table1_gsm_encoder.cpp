@@ -60,7 +60,5 @@ int main(int argc, char** argv) {
   std::fputs(bench::render_paper_table(c.flow, rows, c.w.library).c_str(), stdout);
   std::fputs("\n", stdout);
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

@@ -62,7 +62,5 @@ int main(int argc, char** argv) {
   }
   std::printf("   (expect IF0 at low RG, IF2 at the top -- the paper's SC10 switch)\n\n");
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

@@ -86,7 +86,5 @@ int main(int argc, char** argv) {
   }
   std::printf("   (expect the ladder cmul/fft -> dct1d -> dct2d)\n\n");
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return bench::finish_benchmarks(argc, argv);
 }

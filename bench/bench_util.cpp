@@ -1,6 +1,8 @@
 #include "bench_util.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "support/strings.hpp"
 #include "support/text_table.hpp"
@@ -63,6 +65,24 @@ void print_experiment_header(const std::string& title, const workloads::Workload
               flow.imp_database().imps().size(), flow.paths().size());
   std::printf("software cycles per run (profile): %s\n\n",
               support::with_commas(flow.profile().total_cycles).c_str());
+}
+
+int finish_benchmarks(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char list_flag[] = "--benchmark_list_tests=true";
+  if (smoke) args.push_back(list_flag);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
 }
 
 }  // namespace partita::bench

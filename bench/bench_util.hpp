@@ -45,4 +45,10 @@ void print_experiment_header(const std::string& title, const workloads::Workload
 /// when the search was truncated.
 void set_solver_counters(benchmark::State& state, const select::Selection& sel);
 
+/// Common main tail: strips a `--smoke` flag (CI mode -- registration is
+/// exercised via --benchmark_list_tests instead of timed runs), then hands
+/// the remaining arguments to google-benchmark. Returns the process exit
+/// code.
+int finish_benchmarks(int argc, char** argv);
+
 }  // namespace partita::bench

@@ -219,13 +219,19 @@ class SimplexSolver::Impl {
     // the cold-start fallback (still correct, just slower).
     if (support::fault_should_trip("simplex.warm_refactor")) return false;
 
-    // Reuse the current factorization when the imported basis is the one we
-    // just solved with -- the common case when branch & bound plunges into a
-    // child right after its parent.
+    // Reuse the current basis *structure* when the imported basis is the one
+    // we just solved with -- the common case when branch & bound plunges into
+    // a child right after its parent. The inverse itself is recomputed unless
+    // it is pristine: product-form updates accumulated across earlier solves
+    // drift, and a stale M^-1 here silently corrupts every node LP downstream
+    // (wrong bounds, even false infeasibility -- found by the differential
+    // oracle harness).
     if (have_factorization_ &&
         std::equal(warm.status.begin(), warm.status.end(), status_.begin())) {
       sanitize_nonbasic_statuses();
-      return true;
+      if (pivots_since_refactor_ == 0) return true;
+      if (refactorize()) return true;
+      have_factorization_ = false;  // singular: rebuild from the snapshot below
     }
 
     std::copy(warm.status.begin(), warm.status.end(), status_.begin());

@@ -1,0 +1,283 @@
+#include "oracle/exhaustive.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace partita::oracle {
+
+namespace {
+
+/// (IP, interface) signature for the Problem 1 "same function => same
+/// implementation" coupling. Re-derived here on purpose; the oracle must not
+/// borrow the selector's notion of "the same way".
+using Signature = std::pair<std::uint32_t, int>;
+
+Signature signature_of(const isel::Imp& imp) {
+  return {imp.ip.value, static_cast<int>(imp.iface_type)};
+}
+
+struct Search {
+  const isel::ImpDatabase& db;
+  const iplib::IpLibrary& lib;
+  const std::vector<cdfg::ExecPath>& paths;
+  const OracleOptions& opt;
+  std::int64_t rg = 0;
+
+  // One slot per s-call, in ascending site order.
+  std::vector<const isel::SCall*> scalls;
+  std::vector<std::vector<isel::ImpIndex>> options;  // candidate IMPs per slot
+  // contrib[j] holds the per-path gain of IMP j (gain_per_exec * loop freq on
+  // paths containing the s-call's node, 0 elsewhere).
+  std::vector<std::vector<std::int64_t>> contrib;
+  // suffix_best[i][p]: largest gain slots i..end can still add to path p.
+  std::vector<std::vector<std::int64_t>> suffix_best;
+
+  // DFS state.
+  std::vector<std::int64_t> gains;        // per path
+  std::vector<int> ip_refs;               // per IP id: selected IMPs using it
+  std::vector<int> implemented;           // per site id: 1 when in hardware
+  std::vector<int> consumed;              // per site id: #picked IMPs consuming it
+  std::map<std::uint32_t, std::optional<Signature>> p1_committed;  // per callee
+  std::vector<isel::ImpIndex> current;
+  double area = 0.0;
+
+  OracleResult best;
+  std::uint64_t visited = 0;
+  bool exhausted = true;
+
+  explicit Search(const isel::ImpDatabase& db_in, const iplib::IpLibrary& lib_in,
+                  const cdfg::Cdfg& entry_cdfg,
+                  const std::vector<cdfg::ExecPath>& paths_in,
+                  std::int64_t required_gain, const OracleOptions& opt_in)
+      : db(db_in), lib(lib_in), paths(paths_in), opt(opt_in), rg(required_gain) {
+    for (const isel::SCall& sc : db.scalls()) scalls.push_back(&sc);
+    std::sort(scalls.begin(), scalls.end(),
+              [](const isel::SCall* a, const isel::SCall* b) { return a->site < b->site; });
+
+    std::uint32_t max_site = 0, max_ip = 0;
+    contrib.resize(db.imps().size());
+    for (const isel::Imp& imp : db.imps()) {
+      max_site = std::max(max_site, imp.scall.value());
+      max_ip = std::max(max_ip, imp.ip.value);
+      for (ir::CallSiteId c : imp.pc_consumed_scalls) {
+        max_site = std::max(max_site, c.value());
+      }
+      std::vector<std::int64_t>& row = contrib[imp.index];
+      row.assign(paths.size(), 0);
+      const isel::SCall* sc = db.scall_of(imp.scall);
+      if (sc && sc->node != cdfg::kInvalidNode) {
+        for (std::size_t p = 0; p < paths.size(); ++p) {
+          if (paths[p].contains(sc->node)) {
+            row[p] = imp.gain_per_exec * entry_cdfg.node(sc->node).loop_frequency;
+          }
+        }
+      }
+    }
+    for (const isel::SCall* sc : scalls) max_site = std::max(max_site, sc->site.value());
+
+    options.resize(scalls.size());
+    for (std::size_t i = 0; i < scalls.size(); ++i) {
+      for (isel::ImpIndex j : db.imps_for(scalls[i]->site)) {
+        // Problem 1 forbids parallel code that absorbs s-call software.
+        if (!opt.problem2 && db.imps()[j].pc_use == isel::PcUse::kWithScallSw) continue;
+        options[i].push_back(j);
+      }
+    }
+
+    suffix_best.assign(scalls.size() + 1, std::vector<std::int64_t>(paths.size(), 0));
+    for (std::size_t i = scalls.size(); i-- > 0;) {
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        std::int64_t here = 0;  // "none" contributes nothing
+        for (isel::ImpIndex j : options[i]) here = std::max(here, contrib[j][p]);
+        suffix_best[i][p] = suffix_best[i + 1][p] + here;
+      }
+    }
+
+    gains.assign(paths.size(), 0);
+    ip_refs.assign(max_ip + 1, 0);
+    implemented.assign(max_site + 1, 0);
+    consumed.assign(max_site + 1, 0);
+  }
+
+  bool p1_allows(const isel::SCall& sc, const isel::Imp* imp) {
+    if (opt.problem2) return true;
+    auto it = p1_committed.find(sc.callee.value());
+    if (it == p1_committed.end()) return true;  // first site of this callee
+    const std::optional<Signature>& committed = it->second;
+    if (!imp) return !committed.has_value();
+    return committed.has_value() && *committed == signature_of(*imp);
+  }
+
+  void dfs(std::size_t i) {
+    if (!exhausted) return;
+    if (++visited > opt.max_visited) {
+      exhausted = false;
+      return;
+    }
+
+    // Partial-area bound: areas only grow along a branch.
+    if (best.feasible && area > best.total_area - 1e-9) return;
+    // Remaining-gain bound: even selecting the best IMP of every remaining
+    // s-call cannot rescue a path that is already short.
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (gains[p] + suffix_best[i][p] < rg) return;
+    }
+
+    if (i == scalls.size()) {
+      record();
+      return;
+    }
+
+    const isel::SCall& sc = *scalls[i];
+    const bool site_consumed = consumed[sc.site.value()] > 0;
+
+    // Option "none": the s-call stays in software.
+    if (p1_allows(sc, nullptr)) {
+      const bool fresh = !opt.problem2 ? set_p1(sc, std::nullopt) : false;
+      dfs(i + 1);
+      if (fresh) p1_committed.erase(sc.callee.value());
+    }
+
+    if (site_consumed) return;  // an earlier pick absorbed this s-call's software
+
+    for (isel::ImpIndex j : options[i]) {
+      const isel::Imp& imp = db.imps()[j];
+      if (!p1_allows(sc, &imp)) continue;
+      // SC-PC: the parallel code may only consume s-calls that stay in
+      // software (in either direction of the assignment order).
+      bool conflict = false;
+      for (ir::CallSiteId c : imp.pc_consumed_scalls) {
+        if (implemented[c.value()]) conflict = true;
+      }
+      if (conflict) continue;
+
+      const bool fresh = !opt.problem2 ? set_p1(sc, signature_of(imp)) : false;
+      area += imp.interface_area;
+      if (ip_refs[imp.ip.value]++ == 0) area += lib.ip(imp.ip).area;
+      implemented[sc.site.value()] = 1;
+      for (ir::CallSiteId c : imp.pc_consumed_scalls) ++consumed[c.value()];
+      for (std::size_t p = 0; p < paths.size(); ++p) gains[p] += contrib[j][p];
+      current.push_back(j);
+
+      dfs(i + 1);
+
+      current.pop_back();
+      for (std::size_t p = 0; p < paths.size(); ++p) gains[p] -= contrib[j][p];
+      for (ir::CallSiteId c : imp.pc_consumed_scalls) --consumed[c.value()];
+      implemented[sc.site.value()] = 0;
+      if (--ip_refs[imp.ip.value] == 0) area -= lib.ip(imp.ip).area;
+      area -= imp.interface_area;
+      if (fresh) p1_committed.erase(sc.callee.value());
+    }
+  }
+
+  /// Commits the callee's Problem 1 signature; true when this call created
+  /// the entry (and the caller must erase it on backtrack).
+  bool set_p1(const isel::SCall& sc, std::optional<Signature> sig) {
+    auto [it, inserted] = p1_committed.emplace(sc.callee.value(), sig);
+    (void)it;
+    return inserted;
+  }
+
+  void record() {
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      if (gains[p] < rg) return;  // invariant: the suffix bound should have cut this
+    }
+    if (best.feasible && area > best.total_area - 1e-9) return;
+    best.feasible = true;
+    best.chosen = current;
+    best.total_area = 0.0;
+    best.ip_area = 0.0;
+    best.interface_area = 0.0;
+    std::vector<std::uint32_t> ips;
+    for (isel::ImpIndex j : current) {
+      const isel::Imp& imp = db.imps()[j];
+      best.interface_area += imp.interface_area;
+      if (std::find(ips.begin(), ips.end(), imp.ip.value) == ips.end()) {
+        ips.push_back(imp.ip.value);
+        best.ip_area += lib.ip(imp.ip).area;
+      }
+    }
+    best.total_area = best.ip_area + best.interface_area;
+    best.min_path_gain =
+        paths.empty() ? 0 : *std::min_element(gains.begin(), gains.end());
+  }
+};
+
+}  // namespace
+
+OracleResult exhaustive_select(const isel::ImpDatabase& db, const iplib::IpLibrary& lib,
+                               const cdfg::Cdfg& entry_cdfg,
+                               const std::vector<cdfg::ExecPath>& paths,
+                               std::int64_t required_gain, const OracleOptions& opt) {
+  Search search(db, lib, entry_cdfg, paths, required_gain, opt);
+  search.dfs(0);
+  OracleResult result = std::move(search.best);
+  result.visited = search.visited;
+  result.exhausted = search.exhausted;
+  if (!search.exhausted) result.feasible = false;  // unusable as a reference
+  std::sort(result.chosen.begin(), result.chosen.end(),
+            [&](isel::ImpIndex a, isel::ImpIndex b) {
+              return db.imps()[a].scall < db.imps()[b].scall;
+            });
+  return result;
+}
+
+std::string check_selection(const isel::ImpDatabase& db,
+                            const cdfg::Cdfg& entry_cdfg,
+                            const std::vector<cdfg::ExecPath>& paths,
+                            std::int64_t required_gain,
+                            const std::vector<isel::ImpIndex>& chosen,
+                            const OracleOptions& opt) {
+  std::map<std::uint32_t, const isel::Imp*> by_site;
+  for (isel::ImpIndex j : chosen) {
+    if (j >= db.imps().size()) return "IMP index out of range";
+    const isel::Imp& imp = db.imps()[j];
+    if (!by_site.emplace(imp.scall.value(), &imp).second) {
+      return "Eq. 1 violated: two IMPs for SC" + std::to_string(imp.scall.value());
+    }
+  }
+  for (const auto& [site, imp] : by_site) {
+    for (ir::CallSiteId c : imp->pc_consumed_scalls) {
+      if (by_site.count(c.value())) {
+        return "SC-PC violated: SC" + std::to_string(site) +
+               "'s parallel code consumes hardware-implemented SC" +
+               std::to_string(c.value());
+      }
+    }
+  }
+  if (!opt.problem2) {
+    std::map<std::uint32_t, std::optional<Signature>> sig_of_callee;
+    for (const isel::SCall& sc : db.scalls()) {
+      auto it = by_site.find(sc.site.value());
+      const std::optional<Signature> sig =
+          it == by_site.end() ? std::nullopt
+                              : std::optional<Signature>(signature_of(*it->second));
+      auto [slot, inserted] = sig_of_callee.emplace(sc.callee.value(), sig);
+      if (!inserted && slot->second != sig) {
+        return "Problem 1 coupling violated for callee " + sc.callee_name;
+      }
+      if (it != by_site.end() && it->second->pc_use == isel::PcUse::kWithScallSw) {
+        return "Problem 1 forbids parallel code with s-call software (SC" +
+               std::to_string(sc.site.value()) + ")";
+      }
+    }
+  }
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    std::int64_t gain = 0;
+    for (const auto& [site, imp] : by_site) {
+      const isel::SCall* sc = db.scall_of(imp->scall);
+      if (!sc || sc->node == cdfg::kInvalidNode || !paths[p].contains(sc->node)) continue;
+      gain += imp->gain_per_exec * entry_cdfg.node(sc->node).loop_frequency;
+    }
+    if (gain < required_gain) {
+      return "Eq. 2 violated: path " + std::to_string(p) + " achieves " +
+             std::to_string(gain) + " < " + std::to_string(required_gain);
+    }
+  }
+  return "";
+}
+
+}  // namespace partita::oracle

@@ -1,0 +1,81 @@
+// Independent exhaustive reference solver for the S-instruction selection
+// problem.
+//
+// Direct enumeration over IMP assignments: every s-call independently picks
+// one of its IMPs or stays in software, subject to the paper's constraint
+// system -- Eq. 1 (at most one IMP per s-call) by construction, Eq. 2
+// (per-path required gain, loop frequencies applied), SC-PC conflict
+// filtering (a selected IMP whose parallel code consumes another s-call's
+// software body excludes every IMP of that s-call), the Problem 1 coupling
+// (same function => same IP/interface) when requested, and Eq. 3 shared-area
+// accounting (each distinct IP's area counted exactly once, interface areas
+// summed per selected IMP).
+//
+// This solver deliberately shares NO code with src/ilp/ or src/select/: it
+// re-derives feasibility and cost straight from the IMP database so it can
+// serve as a differential oracle for the ILP selection pipeline. The only
+// concessions to tractability are two safe prunes (a partial-area bound and
+// a remaining-gain bound, neither of which can cut off an optimal
+// completion) and a visited-node guard that reports `exhausted = false`
+// instead of answering when an instance is too large.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdfg/paths.hpp"
+#include "iplib/library.hpp"
+#include "isel/enumerate.hpp"
+
+namespace partita::oracle {
+
+struct OracleOptions {
+  /// Problem 2 (default): SC-PC conflicts are enforced. Problem 1: IMPs
+  /// whose parallel code absorbs s-call software are excluded and s-calls of
+  /// the same function must pick the same (IP, interface) signature.
+  bool problem2 = true;
+  /// Enumeration guard: give up (exhausted = false) after this many visited
+  /// partial assignments.
+  std::uint64_t max_visited = 50'000'000;
+};
+
+struct OracleResult {
+  bool feasible = false;
+  /// False when the max_visited guard struck before the search space was
+  /// covered; the result is then unusable as a reference.
+  bool exhausted = true;
+  std::uint64_t visited = 0;
+
+  /// Optimal assignment: IMP indices, one per implemented s-call, sorted by
+  /// s-call site id. Ties are broken towards the first assignment found in
+  /// s-call-site/IMP-index order (NOT necessarily the ILP's canonical
+  /// tie-break -- compare areas, not vectors).
+  std::vector<isel::ImpIndex> chosen;
+  double total_area = 0.0;
+  double ip_area = 0.0;
+  double interface_area = 0.0;
+  std::int64_t min_path_gain = 0;
+};
+
+/// Exhaustively minimizes Eq. 3 subject to Eqs. 1-2 and the selection rules,
+/// with the same uniform required gain on every execution path.
+OracleResult exhaustive_select(const isel::ImpDatabase& db, const iplib::IpLibrary& lib,
+                               const cdfg::Cdfg& entry_cdfg,
+                               const std::vector<cdfg::ExecPath>& paths,
+                               std::int64_t required_gain,
+                               const OracleOptions& opt = {});
+
+/// Independent validity check of an arbitrary assignment against the same
+/// constraint system. Returns an empty string when `chosen` is feasible for
+/// `required_gain`, else a one-line description of the first violation.
+/// Used by the differential harness to audit the ILP's decoded selections.
+std::string check_selection(const isel::ImpDatabase& db,
+                            const cdfg::Cdfg& entry_cdfg,
+                            const std::vector<cdfg::ExecPath>& paths,
+                            std::int64_t required_gain,
+                            const std::vector<isel::ImpIndex>& chosen,
+                            const OracleOptions& opt = {});
+
+}  // namespace partita::oracle

@@ -1,0 +1,31 @@
+// JSON fixtures for selection instances.
+//
+// A fixture is the InstanceSpec of one (usually shrunk) failing instance,
+// serialized to JSON so it can be checked into tests/fixtures/ and replayed
+// byte-identically: `partita_fuzz --replay fixture.json` or
+// `oracle::load_fixture` + `differential_check_spec`. Doubles are printed
+// with enough digits (%.17g) to round-trip exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "workloads/random_workload.hpp"
+
+namespace partita::oracle {
+
+/// Serializes the spec to a stable, human-diffable JSON document.
+std::string fixture_json(const workloads::InstanceSpec& spec);
+
+/// Parses a fixture produced by fixture_json (or hand-written in the same
+/// shape). Returns std::nullopt (with a one-line reason in *error when
+/// non-null) on malformed input or a spec that fails spec_valid().
+std::optional<workloads::InstanceSpec> parse_fixture(const std::string& json,
+                                                     std::string* error = nullptr);
+
+/// File convenience wrappers. write_fixture returns false on I/O failure.
+bool write_fixture(const std::string& path, const workloads::InstanceSpec& spec);
+std::optional<workloads::InstanceSpec> load_fixture(const std::string& path,
+                                                    std::string* error = nullptr);
+
+}  // namespace partita::oracle

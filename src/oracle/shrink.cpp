@@ -1,0 +1,173 @@
+#include "oracle/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace partita::oracle {
+
+namespace {
+
+using workloads::InstanceSpec;
+
+/// Re-establishes the branch-group invariant after edits: a group that lost
+/// an arm is dissolved (its surviving members become unconditional sites).
+void repair(InstanceSpec& spec) {
+  std::map<int, std::pair<int, int>> arms;  // group -> (#then, #else)
+  for (const workloads::SpecCallSite& s : spec.sites) {
+    if (s.branch_group < 0) continue;
+    auto& a = arms[s.branch_group];
+    (s.then_arm ? a.first : a.second)++;
+  }
+  for (workloads::SpecCallSite& s : spec.sites) {
+    if (s.branch_group < 0) continue;
+    const auto& a = arms[s.branch_group];
+    if (a.first == 0 || a.second == 0) s.branch_group = -1;
+  }
+}
+
+struct Shrinker {
+  const FailurePredicate& failing;
+  ShrinkStats& stats;
+  InstanceSpec cur;
+
+  bool try_accept(InstanceSpec cand) {
+    repair(cand);
+    if (!workloads::spec_valid(cand)) return false;
+    ++stats.predicate_calls;
+    if (!failing(cand)) return false;
+    cur = std::move(cand);
+    ++stats.accepted_steps;
+    return true;
+  }
+
+  /// ddmin-style chunked site removal, chunk size halving down to 1.
+  bool remove_sites() {
+    bool any = false;
+    std::size_t chunk = std::max<std::size_t>(1, cur.sites.size() / 2);
+    while (true) {
+      std::size_t start = 0;
+      while (start < cur.sites.size() && cur.sites.size() > 1) {
+        InstanceSpec cand = cur;
+        const std::size_t end = std::min(cand.sites.size(), start + chunk);
+        cand.sites.erase(cand.sites.begin() + static_cast<std::ptrdiff_t>(start),
+                         cand.sites.begin() + static_cast<std::ptrdiff_t>(end));
+        if (!cand.sites.empty() && try_accept(std::move(cand))) {
+          any = true;  // same start now names the next chunk
+        } else {
+          start = end;
+        }
+      }
+      if (chunk == 1) break;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return any;
+  }
+
+  bool remove_ips() {
+    bool any = false;
+    for (std::size_t i = cur.ips.size(); i-- > 0;) {
+      if (cur.ips.size() <= 1) break;
+      InstanceSpec cand = cur;
+      cand.ips.erase(cand.ips.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_accept(std::move(cand))) any = true;
+    }
+    return any;
+  }
+
+  bool remove_ip_functions() {
+    bool any = false;
+    for (std::size_t i = 0; i < cur.ips.size(); ++i) {
+      for (std::size_t f = cur.ips[i].functions.size(); f-- > 0;) {
+        if (cur.ips[i].functions.size() <= 1) break;
+        InstanceSpec cand = cur;
+        cand.ips[i].functions.erase(cand.ips[i].functions.begin() +
+                                    static_cast<std::ptrdiff_t>(f));
+        if (try_accept(std::move(cand))) any = true;
+      }
+    }
+    return any;
+  }
+
+  bool simplify_sites() {
+    bool any = false;
+    for (std::size_t i = 0; i < cur.sites.size(); ++i) {
+      const auto attempt = [&](auto&& edit) {
+        InstanceSpec cand = cur;
+        edit(cand.sites[i]);
+        if (try_accept(std::move(cand))) any = true;
+      };
+      if (cur.sites[i].loop_trip > 1)
+        attempt([](workloads::SpecCallSite& s) { s.loop_trip = 1; });
+      if (cur.sites[i].depth > 0)
+        attempt([](workloads::SpecCallSite& s) { s.depth = 0; });
+      if (cur.sites[i].branch_group >= 0)
+        attempt([](workloads::SpecCallSite& s) { s.branch_group = -1; });
+      if (cur.sites[i].pre_seg_cycles > 0)
+        attempt([](workloads::SpecCallSite& s) { s.pre_seg_cycles = 0; });
+      if (!cur.sites[i].serial)
+        attempt([](workloads::SpecCallSite& s) { s.serial = true; });
+    }
+    return any;
+  }
+
+  /// Drops kernels no site reaches (remapping indices) and IP functions that
+  /// pointed at them; IPs left without functions disappear.
+  bool normalize_kernels() {
+    std::vector<bool> used(cur.kernel_cycles.size(), false);
+    for (const workloads::SpecCallSite& s : cur.sites) {
+      if (s.kernel >= 0 && static_cast<std::size_t>(s.kernel) < used.size()) {
+        used[static_cast<std::size_t>(s.kernel)] = true;
+      }
+    }
+    if (std::all_of(used.begin(), used.end(), [](bool u) { return u; })) return false;
+
+    std::vector<int> remap(cur.kernel_cycles.size(), -1);
+    InstanceSpec cand = cur;
+    cand.kernel_cycles.clear();
+    for (std::size_t k = 0; k < used.size(); ++k) {
+      if (!used[k]) continue;
+      remap[k] = static_cast<int>(cand.kernel_cycles.size());
+      cand.kernel_cycles.push_back(cur.kernel_cycles[k]);
+    }
+    for (workloads::SpecCallSite& s : cand.sites) s.kernel = remap[static_cast<std::size_t>(s.kernel)];
+    for (workloads::SpecIp& ip : cand.ips) {
+      std::vector<workloads::SpecIpFunction> kept;
+      for (workloads::SpecIpFunction f : ip.functions) {
+        if (f.kernel < 0 || static_cast<std::size_t>(f.kernel) >= remap.size()) continue;
+        if (remap[static_cast<std::size_t>(f.kernel)] < 0) continue;
+        f.kernel = remap[static_cast<std::size_t>(f.kernel)];
+        kept.push_back(f);
+      }
+      ip.functions = std::move(kept);
+    }
+    cand.ips.erase(std::remove_if(cand.ips.begin(), cand.ips.end(),
+                                  [](const workloads::SpecIp& ip) {
+                                    return ip.functions.empty();
+                                  }),
+                   cand.ips.end());
+    return try_accept(std::move(cand));
+  }
+};
+
+}  // namespace
+
+InstanceSpec shrink_spec(const InstanceSpec& spec, const FailurePredicate& failing,
+                         ShrinkStats* stats) {
+  ShrinkStats local;
+  Shrinker shrinker{failing, stats ? *stats : local, spec};
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    progress |= shrinker.remove_sites();
+    progress |= shrinker.remove_ips();
+    progress |= shrinker.remove_ip_functions();
+    progress |= shrinker.simplify_sites();
+    progress |= shrinker.normalize_kernels();
+  }
+  shrinker.cur.name = spec.name + "_shrunk";
+  return shrinker.cur;
+}
+
+}  // namespace partita::oracle

@@ -1,0 +1,35 @@
+// Greedy delta-debugging shrinker for failing selection instances.
+//
+// Given a spec on which some predicate holds (typically "the differential
+// check fails"), shrink_spec greedily removes structure while the predicate
+// keeps holding: ddmin-style chunk removal over call sites, whole-IP
+// removal, secondary IP-function removal, then per-site simplifications
+// (loop_trip -> 1, depth -> 0, branch_group -> -1, pre_seg_cycles -> 0,
+// serial -> true) and a final normalize pass dropping unused kernels. The
+// result is a minimal-ish repro; dump it with oracle::write_fixture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "workloads/random_workload.hpp"
+
+namespace partita::oracle {
+
+/// Returns true when the (valid) candidate spec still exhibits the failure.
+/// The shrinker only ever calls it on specs passing spec_valid().
+using FailurePredicate = std::function<bool(const workloads::InstanceSpec&)>;
+
+struct ShrinkStats {
+  int predicate_calls = 0;
+  int accepted_steps = 0;
+};
+
+/// Shrinks `spec` (which must satisfy `failing`) to a smaller spec that
+/// still satisfies it. Deterministic; terminates because every accepted step
+/// strictly reduces a finite measure.
+workloads::InstanceSpec shrink_spec(const workloads::InstanceSpec& spec,
+                                    const FailurePredicate& failing,
+                                    ShrinkStats* stats = nullptr);
+
+}  // namespace partita::oracle

@@ -7,6 +7,7 @@
 
 #include "select/greedy.hpp"
 #include "support/assert.hpp"
+#include "support/fault_injection.hpp"
 
 namespace partita::select {
 
@@ -38,12 +39,18 @@ ilp::Model Selector::build_model(const std::vector<std::int64_t>& required_gains
   ilp::Model m;
   m.set_sense(ilp::Sense::kMinimize);
 
+  // Fault site for the differential oracle's shrinker demo: a tripped
+  // "select.objective_skew" drops the interface-area terms from the
+  // objective, so the solve stays feasible but can return a non-optimal
+  // selection the oracle is expected to catch.
+  const bool skew_objective = support::fault_should_trip("select.objective_skew");
+
   // --- x_ij ------------------------------------------------------------
   std::vector<ilp::VarIndex> x(imps.size());
   for (std::size_t j = 0; j < imps.size(); ++j) {
     x[j] = m.add_binary("x_sc" + std::to_string(imps[j].scall.value()) + "_imp" +
                             std::to_string(j),
-                        imps[j].interface_area);
+                        skew_objective ? 0.0 : imps[j].interface_area);
     if (!opt.problem2 && imps[j].pc_use == isel::PcUse::kWithScallSw) {
       // Problem 1 forbids s-call software inside a PC.
       m.var(x[j]).upper = 0.0;

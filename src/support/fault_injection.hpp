@@ -19,6 +19,12 @@
 //   "ilp.deadline"         wave-boundary deadline check in branch & bound
 //   "ilp.node_arena"       node-arena allocation in branch & bound
 //   "simplex.warm_refactor" basis import/refactorization in solve_warm
+//   "select.objective_skew" drops interface areas from the selection
+//                          objective (oracle/shrinker divergence demo)
+//
+// The CLI additionally arms one site from the PARTITA_FAULT=site[:n]
+// environment variable (tools/partita_cli.cpp), so ctest can exercise the
+// degraded exit path end to end.
 #pragma once
 
 #include <atomic>

@@ -1,5 +1,8 @@
 #include "workloads/random_workload.hpp"
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
 
 #include "frontend/parser.hpp"
@@ -153,6 +156,245 @@ Workload random_workload(const RandomWorkloadParams& params, std::uint64_t seed)
   // invariant: generator-emitted library text, same contract as above.
   PARTITA_ASSERT_MSG(lib.has_value(), "random library failed to parse");
   return Workload{"random_" + std::to_string(seed), std::move(*module), std::move(*lib)};
+}
+
+// --- structured instance specs ---------------------------------------------
+
+bool spec_valid(const InstanceSpec& spec) {
+  if (spec.kernel_cycles.empty() || spec.sites.empty() || spec.ips.empty()) return false;
+  const int kernels = static_cast<int>(spec.kernel_cycles.size());
+  for (const std::int64_t c : spec.kernel_cycles) {
+    if (c <= 0) return false;
+  }
+  std::map<int, std::pair<bool, bool>> arms;  // group -> (has then, has else)
+  for (const SpecCallSite& s : spec.sites) {
+    if (s.kernel < 0 || s.kernel >= kernels) return false;
+    if (s.depth < 0 || s.loop_trip < 1) return false;
+    if (s.branch_group >= 0) {
+      auto& [has_then, has_else] = arms[s.branch_group];
+      (s.then_arm ? has_then : has_else) = true;
+      if (!(s.taken_prob > 0.0 && s.taken_prob < 1.0)) return false;
+    }
+  }
+  for (const auto& [group, pair] : arms) {
+    if (!pair.first || !pair.second) return false;  // one-armed group
+  }
+  bool some_function = false;
+  for (const SpecIp& ip : spec.ips) {
+    if (ip.functions.empty()) return false;
+    if (ip.in_ports < 1 || ip.out_ports < 1 || ip.in_rate < 1 || ip.out_rate < 1 ||
+        ip.latency < 0 || ip.area < 0 || ip.protocol < 0 || ip.protocol > 2) {
+      return false;
+    }
+    for (const SpecIpFunction& fn : ip.functions) {
+      if (fn.kernel < 0 || fn.kernel >= kernels) return false;
+      if (fn.cycles < 0 || fn.n_in < 0 || fn.n_out < 0) return false;
+      some_function = true;
+    }
+  }
+  return some_function;
+}
+
+namespace {
+
+/// Name of the function a site of (kernel, depth) calls: the kernel itself
+/// for depth 0, else the top of the shared wrapper chain.
+std::string spec_callee_name(int kernel, int depth) {
+  if (depth <= 0) return "kern" + std::to_string(kernel);
+  return "wrap" + std::to_string(kernel) + "_d" + std::to_string(depth);
+}
+
+}  // namespace
+
+std::string spec_kl(const InstanceSpec& spec) {
+  std::ostringstream kl;
+  kl << "module " << spec.name << ";\n\n";
+  for (std::size_t k = 0; k < spec.kernel_cycles.size(); ++k) {
+    kl << "func kern" << k << " scall sw_cycles " << spec.kernel_cycles[k] << ";\n";
+  }
+
+  // Wrapper chains for hierarchy sites: wrapK_d1 calls kernK, wrapK_d2 calls
+  // wrapK_d1, ... Pure single-call bodies, so a wrapper's software time
+  // equals its callee's and IMP flattening is exercised without noise.
+  std::set<std::pair<int, int>> wrappers;  // (kernel, depth)
+  for (const SpecCallSite& s : spec.sites) {
+    for (int d = 1; d <= s.depth; ++d) wrappers.insert({s.kernel, d});
+  }
+  for (const auto& [kernel, depth] : wrappers) {
+    kl << "\nfunc " << spec_callee_name(kernel, depth) << " scall {\n"
+       << "  call " << spec_callee_name(kernel, depth - 1) << " reads(a" << kernel
+       << ") writes(b" << kernel << ");\n}\n";
+  }
+
+  kl << "\nfunc main {\n";
+  int next_sym = 0;
+  auto fresh = [&next_sym] { return "v" + std::to_string(next_sym++); };
+  std::string live = fresh();
+  kl << "  seg init 100 writes(" << live << ");\n";
+
+  auto emit_site = [&](const SpecCallSite& s, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    if (s.pre_seg_cycles > 0) {
+      kl << pad << "seg pc" << next_sym << " " << s.pre_seg_cycles << " writes("
+         << fresh() << ");\n";
+    }
+    const std::string pad_in(
+        static_cast<std::size_t>(s.loop_trip > 1 ? indent + 1 : indent) * 2, ' ');
+    if (s.loop_trip > 1) kl << pad << "loop " << s.loop_trip << " {\n";
+    const std::string out = fresh();
+    kl << pad_in << "call " << spec_callee_name(s.kernel, s.depth);
+    if (s.serial) {
+      kl << " reads(" << live << ")";
+      live = out;
+    }
+    kl << " writes(" << out << ");\n";
+    if (s.loop_trip > 1) kl << pad << "}\n";
+  };
+
+  std::set<int> emitted_groups;
+  for (std::size_t i = 0; i < spec.sites.size(); ++i) {
+    const SpecCallSite& s = spec.sites[i];
+    if (s.branch_group < 0) {
+      emit_site(s, 1);
+      continue;
+    }
+    if (!emitted_groups.insert(s.branch_group).second) continue;
+    kl << "  if prob " << s.taken_prob << " {\n";
+    for (const SpecCallSite& t : spec.sites) {
+      if (t.branch_group == s.branch_group && t.then_arm) emit_site(t, 2);
+    }
+    kl << "  } else {\n";
+    for (const SpecCallSite& t : spec.sites) {
+      if (t.branch_group == s.branch_group && !t.then_arm) emit_site(t, 2);
+    }
+    kl << "  }\n";
+  }
+  kl << "}\n";
+  return kl.str();
+}
+
+std::string spec_library(const InstanceSpec& spec) {
+  static const char* kProtocols[] = {"sync", "handshake", "stream"};
+  std::ostringstream lib;
+  for (std::size_t i = 0; i < spec.ips.size(); ++i) {
+    const SpecIp& ip = spec.ips[i];
+    lib << "ip OIP" << i << " {\n";
+    lib << "  area " << ip.area << "\n";
+    lib << "  ports in " << ip.in_ports << " out " << ip.out_ports << "\n";
+    lib << "  rate in " << ip.in_rate << " out " << ip.out_rate << "\n";
+    lib << "  latency " << ip.latency << "\n";
+    lib << (ip.pipelined ? "  pipelined\n" : "  combinational\n");
+    lib << "  protocol " << kProtocols[ip.protocol] << "\n";
+    for (const SpecIpFunction& fn : ip.functions) {
+      lib << "  fn kern" << fn.kernel << " cycles " << fn.cycles << " in " << fn.n_in
+          << " out " << fn.n_out << "\n";
+    }
+    lib << "}\n";
+  }
+  return lib.str();
+}
+
+Workload spec_workload(const InstanceSpec& spec) {
+  PARTITA_ASSERT_MSG(spec_valid(spec), "spec_workload on an invalid spec");
+  const std::string kl = spec_kl(spec);
+  const std::string lib_text = spec_library(spec);
+  support::DiagnosticEngine diags;
+  std::optional<ir::Module> module = frontend::parse_module(kl, diags);
+  if (!module) {
+    std::fprintf(stderr, "instance spec KL errors:\n%s\nsource:\n%s\n",
+                 diags.render_all().c_str(), kl.c_str());
+    // invariant: spec_valid specs render to well-formed KL; a failure here is
+    // a renderer bug, not bad user input.
+    PARTITA_ASSERT_MSG(false, "instance spec failed to parse");
+  }
+  std::optional<iplib::IpLibrary> lib = iplib::load_library(lib_text, diags);
+  // invariant: renderer-emitted library text, same contract as above.
+  PARTITA_ASSERT_MSG(lib.has_value(), "instance spec library failed to parse");
+  return Workload{spec.name, std::move(*module), std::move(*lib)};
+}
+
+InstanceSpec random_instance_spec(const InstanceGenParams& p, std::uint64_t seed) {
+  PARTITA_ASSERT_MSG(p.scalls >= 1 && p.kernels >= 1 && p.ips >= 1,
+                     "instance generator needs at least one site/kernel/IP");
+  PARTITA_ASSERT_MSG(2 * p.branch_groups <= p.scalls,
+                     "each branch group needs two dedicated sites");
+  support::Rng rng(seed);
+  InstanceSpec spec;
+  spec.name = "oracle_rand_" + std::to_string(seed);
+
+  for (int k = 0; k < p.kernels; ++k) {
+    spec.kernel_cycles.push_back(rng.uniform_int(p.min_kernel_cycles, p.max_kernel_cycles));
+  }
+
+  // Sites: round-robin kernels (every kernel gets call sites) plus random
+  // structure. Branch groups claim dedicated site slots, one per arm, chosen
+  // from a shuffled index list so the conditionals land anywhere in main.
+  std::vector<int> order(static_cast<std::size_t>(p.scalls));
+  for (int i = 0; i < p.scalls; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  for (int i = 0; i < p.scalls; ++i) {
+    SpecCallSite s;
+    s.kernel = i % p.kernels;
+    if (p.max_hierarchy_depth > 0 && rng.chance(p.hierarchy_probability)) {
+      s.depth = static_cast<int>(rng.uniform_int(1, p.max_hierarchy_depth));
+    }
+    if (rng.chance(p.loop_probability)) {
+      s.loop_trip = static_cast<int>(rng.uniform_int(2, std::max(2, p.max_loop_trip)));
+    }
+    s.serial = rng.chance(p.serial_probability);
+    if (rng.chance(p.pc_seg_probability)) {
+      s.pre_seg_cycles = rng.uniform_int(200, std::max<std::int64_t>(201, p.max_pc_seg_cycles));
+    }
+    spec.sites.push_back(s);
+  }
+  for (int g = 0; g < p.branch_groups; ++g) {
+    const double prob = 0.2 + 0.6 * rng.uniform01();
+    for (int arm = 0; arm < 2; ++arm) {
+      SpecCallSite& s = spec.sites[static_cast<std::size_t>(order[static_cast<std::size_t>(2 * g + arm)])];
+      s.branch_group = g;
+      s.then_arm = arm == 0;
+      s.taken_prob = prob;
+    }
+  }
+
+  // IPs: ip j starts with kernel j % kernels (coverage), then gains extra
+  // kernels with probability ip_sharing (drawn twice -- the density knob).
+  for (int j = 0; j < p.ips; ++j) {
+    SpecIp ip;
+    ip.area = static_cast<double>(rng.uniform_int(2, 30));
+    ip.in_ports = rng.chance(p.wide_port_probability) ? 4 : 2;
+    ip.out_ports = 2;
+    ip.in_rate = static_cast<int>(rng.uniform_int(1, 6));
+    ip.out_rate = rng.chance(p.rate_mismatch_probability)
+                      ? static_cast<int>(rng.uniform_int(1, 6))
+                      : ip.in_rate;
+    ip.latency = static_cast<int>(rng.uniform_int(2, 40));
+    ip.pipelined = rng.chance(p.pipelined_probability);
+    ip.protocol = rng.chance(p.nonsync_protocol_probability)
+                      ? (rng.chance(0.5) ? 1 : 2)
+                      : 0;
+    std::vector<int> picked{j % p.kernels};
+    for (int extra = 0; extra < 2; ++extra) {
+      if (static_cast<int>(picked.size()) >= p.kernels) break;
+      if (!rng.chance(p.ip_sharing)) continue;
+      int k;
+      do {
+        k = static_cast<int>(rng.uniform_int(0, p.kernels - 1));
+      } while (std::find(picked.begin(), picked.end(), k) != picked.end());
+      picked.push_back(k);
+    }
+    for (int k : picked) {
+      SpecIpFunction fn;
+      fn.kernel = k;
+      const std::int64_t sw = spec.kernel_cycles[static_cast<std::size_t>(k)];
+      fn.cycles = rng.uniform_int(std::max<std::int64_t>(1, sw / 20), std::max<std::int64_t>(2, sw * 3 / 4));
+      fn.n_in = rng.uniform_int(2, 64);
+      fn.n_out = rng.uniform_int(2, 64);
+      ip.functions.push_back(fn);
+    }
+    spec.ips.push_back(ip);
+  }
+  return spec;
 }
 
 }  // namespace partita::workloads

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "workloads/workloads.hpp"
 
@@ -31,5 +32,112 @@ Workload random_workload(const RandomWorkloadParams& params, std::uint64_t seed)
 /// The KL text of the last structure generated for (params, seed) -- the
 /// generator is pure, so this simply regenerates it.
 std::string random_workload_kl(const RandomWorkloadParams& params, std::uint64_t seed);
+
+// --- structured instance specs (oracle / differential harness) -------------
+//
+// The free-form generator above emits KL text directly, which makes the
+// produced instance impossible to mutate after the fact. The spec layer
+// below builds a first-class description of a selection instance -- leaf
+// kernels, call sites (with loop / branch / hierarchy attributes) and an IP
+// library -- that renders deterministically to KL + library text. The
+// oracle's shrinker edits the spec and re-renders; the fixture format
+// (src/oracle/fixture.*) serializes it to JSON.
+
+/// One function entry of a spec IP.
+struct SpecIpFunction {
+  int kernel = 0;              // index into InstanceSpec::kernel_cycles
+  std::int64_t cycles = 100;   // T_IP of one call (0 = streaming estimate)
+  std::int64_t n_in = 8;       // input operands per call
+  std::int64_t n_out = 8;      // results per call
+};
+
+/// One IP of the spec library (see iplib::IpDescriptor for the semantics).
+struct SpecIp {
+  double area = 1.0;
+  int in_ports = 2;
+  int out_ports = 2;
+  int in_rate = 4;
+  int out_rate = 4;
+  int latency = 4;
+  bool pipelined = true;
+  int protocol = 0;  // 0 = sync, 1 = handshake, 2 = stream
+  std::vector<SpecIpFunction> functions;
+};
+
+/// One call site in main. Sites with the same non-negative branch_group are
+/// rendered into one two-armed conditional (then_arm picks the arm), so the
+/// number of execution paths is 2^(distinct branch groups).
+struct SpecCallSite {
+  int kernel = 0;          // leaf kernel the call (chain) bottoms out at
+  int depth = 0;           // wrapper-chain length; >0 exercises IMP flattening
+  int loop_trip = 1;       // >1 wraps the call in `loop N { ... }`
+  int branch_group = -1;   // >=0: member of that if/else group
+  bool then_arm = true;
+  double taken_prob = 0.5;
+  bool serial = true;      // reads the live value chain (no parallel overlap)
+  std::int64_t pre_seg_cycles = 0;  // independent seg before the call (PC material)
+};
+
+/// A complete, mutable selection instance.
+struct InstanceSpec {
+  std::string name = "oracle_instance";
+  std::vector<std::int64_t> kernel_cycles;  // software cycles of kern0..N-1
+  std::vector<SpecCallSite> sites;
+  std::vector<SpecIp> ips;
+  /// Uniform required gain a harness should test at; 0 = derive from the
+  /// instance (the differential harness uses a fraction of Gmax).
+  std::int64_t required_gain = 0;
+};
+
+/// Knobs of the spec generator. Defaults give small, conflict-rich instances
+/// the exhaustive oracle can enumerate quickly.
+struct InstanceGenParams {
+  int scalls = 6;        // call sites in main
+  int kernels = 4;       // distinct leaf functions
+  int ips = 5;           // library size
+  /// Probability that an IP implements one extra kernel (repeated twice), so
+  /// higher densities mean more shared-IP fixed-charge interaction.
+  double ip_sharing = 0.35;
+  /// Two-armed conditionals in main: path count is 2^branch_groups.
+  /// Requires 2*branch_groups <= scalls (each arm gets at least one site).
+  int branch_groups = 1;
+  /// Hierarchy: per-site chance of sitting behind a wrapper chain of
+  /// depth 1..max_hierarchy_depth (exercises IMP flattening).
+  int max_hierarchy_depth = 0;
+  double hierarchy_probability = 0.4;
+  double loop_probability = 0.4;
+  int max_loop_trip = 6;
+  double serial_probability = 0.5;
+  /// Chance of an independent seg right before a call (parallel-code fuel).
+  double pc_seg_probability = 0.5;
+  std::int64_t max_pc_seg_cycles = 4000;
+  std::int64_t min_kernel_cycles = 400;
+  std::int64_t max_kernel_cycles = 30000;
+  // Interface-type mix: wide ports force buffered types, rate mismatch kills
+  // type 0, non-sync protocols price in a transformer.
+  double pipelined_probability = 0.85;
+  double wide_port_probability = 0.25;
+  double rate_mismatch_probability = 0.3;
+  double nonsync_protocol_probability = 0.3;
+};
+
+/// Generates a spec; identical (params, seed) pairs produce identical specs
+/// on every platform.
+InstanceSpec random_instance_spec(const InstanceGenParams& params, std::uint64_t seed);
+
+/// Deterministic KL rendering of a spec.
+std::string spec_kl(const InstanceSpec& spec);
+
+/// Deterministic IP-library rendering of a spec.
+std::string spec_library(const InstanceSpec& spec);
+
+/// True when the spec can render to a loadable workload: at least one site
+/// and one kernel, every referenced kernel exists, every IP has at least one
+/// function, and branch groups are two-armed.
+bool spec_valid(const InstanceSpec& spec);
+
+/// Renders and parses the spec through the real frontend/loader. The spec
+/// must be spec_valid(); rendering of a valid spec always parses.
+Workload spec_workload(const InstanceSpec& spec);
 
 }  // namespace partita::workloads

@@ -1,0 +1,16 @@
+# Exit-code matrix helper: runs ${PARTITA_BIN} ${ARGS} and fails unless the
+# exit code is exactly ${EXPECTED}. The comparison is STREQUAL on purpose --
+# a crash or signal yields a non-numeric RESULT_VARIABLE ("Segmentation
+# fault") that must never satisfy a numeric expectation. FAULT, when set,
+# arms the named fault-injection site via PARTITA_FAULT (see
+# support/fault_injection.hpp).
+if(FAULT)
+  set(ENV{PARTITA_FAULT} "${FAULT}")
+endif()
+execute_process(COMMAND ${PARTITA_BIN} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc STREQUAL "${EXPECTED}")
+  message(FATAL_ERROR
+    "expected exit ${EXPECTED}, got '${rc}' for: ${PARTITA_BIN} ${ARGS}")
+endif()

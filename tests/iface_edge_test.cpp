@@ -1,0 +1,347 @@
+// Edge cases of the Section-3 interface timing/area model (DESIGN.md lines
+// "The interface timing model (Section 3)"):
+//
+//   * applicability rules: type 0/2 cap at two in/out ports, type 0 also
+//     requires matched in/out data rates; buffered types take anything;
+//   * type-0 clock slowdown at the sw_template_rate boundary (in_rate < 4
+//     divides the IP clock, in_rate >= 4 leaves it alone);
+//   * pipelined vs non-pipelined composition: MAX(T_IP, T_IF) vs T_IF + T_IP
+//     for unbuffered types, T_IF_IN + MAX(T_IP, T_B) + T_IF_OUT for buffered;
+//   * parallel-code overlap credit MIN(T_IP, T_C, core), granted only to the
+//     buffered types 1/3 (type-2 DMA occupies the data memories);
+//   * zero-operand and single-sample transfers, and the buffer batching
+//     boundary (one extra item costs one full rate period);
+//   * the cost model: µ-code words vs FSM area, the split-rate FSM surcharge,
+//     per-word + per-port buffer area, protocol-transformer area and power.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "iface/kernel.hpp"
+#include "iface/model.hpp"
+#include "iface/program.hpp"
+#include "iplib/ip.hpp"
+
+namespace partita {
+namespace {
+
+using iface::InterfaceType;
+
+iplib::IpDescriptor make_ip(int in_ports, int out_ports, int in_rate,
+                            int out_rate, int latency, bool pipelined) {
+  iplib::IpDescriptor ip;
+  ip.name = "test_ip";
+  ip.in_ports = in_ports;
+  ip.out_ports = out_ports;
+  ip.in_rate = in_rate;
+  ip.out_rate = out_rate;
+  ip.latency = latency;
+  ip.pipelined = pipelined;
+  return ip;
+}
+
+iplib::IpFunction make_fn(std::int64_t ip_cycles, std::int64_t n_in,
+                          std::int64_t n_out) {
+  iplib::IpFunction fn;
+  fn.function = "kern";
+  fn.ip_cycles = ip_cycles;
+  fn.n_in = n_in;
+  fn.n_out = n_out;
+  return fn;
+}
+
+TEST(IfaceEdge, ApplicabilityPortAndRateRules) {
+  const iface::KernelParams k;
+
+  // Two ports, matched rates: every type applies.
+  const iplib::IpDescriptor ok = make_ip(2, 2, 4, 4, 0, true);
+  for (InterfaceType t : iface::kAllInterfaceTypes) {
+    EXPECT_TRUE(iface::applicable(t, ok, k).ok) << iface::to_string(t);
+  }
+
+  // Three input ports exceed the one-operand-per-data-memory limit for the
+  // unbuffered types; buffers lift the restriction.
+  const iplib::IpDescriptor wide = make_ip(3, 1, 4, 4, 0, true);
+  EXPECT_FALSE(iface::applicable(InterfaceType::kType0, wide, k).ok);
+  EXPECT_FALSE(iface::applicable(InterfaceType::kType2, wide, k).ok);
+  EXPECT_TRUE(iface::applicable(InterfaceType::kType1, wide, k).ok);
+  EXPECT_TRUE(iface::applicable(InterfaceType::kType3, wide, k).ok);
+
+  // Split in/out rates break only the type-0 software template; the type-2
+  // FSM splits its controllers instead (and pays area for it, tested below).
+  const iplib::IpDescriptor split = make_ip(2, 2, 4, 8, 0, true);
+  const iface::Applicability a0 =
+      iface::applicable(InterfaceType::kType0, split, k);
+  EXPECT_FALSE(a0.ok);
+  EXPECT_FALSE(a0.reason.empty());
+  EXPECT_TRUE(iface::applicable(InterfaceType::kType2, split, k).ok);
+  EXPECT_TRUE(iface::applicable(InterfaceType::kType1, split, k).ok);
+  EXPECT_TRUE(iface::applicable(InterfaceType::kType3, split, k).ok);
+}
+
+TEST(IfaceEdge, Type0ClockSlowdownBoundary) {
+  const iface::KernelParams k;
+  const iplib::IpFunction fn = make_fn(101, 8, 8);
+
+  // At exactly the template rate (4 cycles/batch) the IP runs full speed.
+  const iplib::IpDescriptor at_rate = make_ip(2, 2, 4, 4, 0, true);
+  const iface::InterfaceTiming t4 =
+      iface::interface_timing(InterfaceType::kType0, at_rate, fn, 0, k);
+  EXPECT_DOUBLE_EQ(t4.clock_slowdown, 1.0);
+  EXPECT_EQ(t4.t_ip, 101);
+
+  // A rate-2 IP wants data twice as fast as the template can move it: the
+  // IP clock is halved and T_IP doubles.
+  const iplib::IpDescriptor fast = make_ip(2, 2, 2, 2, 0, true);
+  const iface::InterfaceTiming t2 =
+      iface::interface_timing(InterfaceType::kType0, fast, fn, 0, k);
+  EXPECT_DOUBLE_EQ(t2.clock_slowdown, 2.0);
+  EXPECT_EQ(t2.t_ip, 202);
+
+  // Non-integer slowdown rounds the stretched T_IP up (ceil).
+  const iplib::IpDescriptor rate3 = make_ip(2, 2, 3, 3, 0, true);
+  const iface::InterfaceTiming t3 =
+      iface::interface_timing(InterfaceType::kType0, rate3, fn, 0, k);
+  EXPECT_DOUBLE_EQ(t3.clock_slowdown, 4.0 / 3.0);
+  EXPECT_EQ(t3.t_ip, 135);  // ceil(101 * 4/3) = ceil(134.67)
+
+  // Slower-than-template IPs (rate > 4) are never slowed further.
+  const iplib::IpDescriptor slow = make_ip(2, 2, 8, 8, 0, true);
+  const iface::InterfaceTiming t8 =
+      iface::interface_timing(InterfaceType::kType0, slow, fn, 0, k);
+  EXPECT_DOUBLE_EQ(t8.clock_slowdown, 1.0);
+  EXPECT_EQ(t8.t_ip, 101);
+}
+
+TEST(IfaceEdge, Type0PipelinedOverlapsTransferWithExecution) {
+  const iface::KernelParams k;
+  const iplib::IpDescriptor pipelined = make_ip(2, 2, 4, 4, 2, true);
+  const iplib::IpDescriptor blocking = make_ip(2, 2, 4, 4, 2, false);
+
+  // A fully pipelined IP hides the transfer schedule entirely once T_IP
+  // dominates: total == T_IP exactly.
+  const iplib::IpFunction big = make_fn(100000, 4, 4);
+  const iface::InterfaceTiming tp =
+      iface::interface_timing(InterfaceType::kType0, pipelined, big, 0, k);
+  EXPECT_EQ(tp.total_cycles, std::max(tp.t_ip, tp.t_if));
+  EXPECT_EQ(tp.total_cycles, tp.t_ip);
+  EXPECT_GT(tp.t_if, 0);
+
+  // The same IP without pipelining serializes: total == T_IF + T_IP.
+  const iface::InterfaceTiming tn =
+      iface::interface_timing(InterfaceType::kType0, blocking, big, 0, k);
+  EXPECT_EQ(tn.total_cycles, tn.t_if + tn.t_ip);
+  EXPECT_GT(tn.total_cycles, tp.total_cycles);
+}
+
+TEST(IfaceEdge, Type2ConcurrentDmaControllersAndNoParallelCredit) {
+  const iface::KernelParams k;
+  const iplib::IpFunction fn = make_fn(40, 8, 8);
+
+  // Pipelined: in- and out-DMA run concurrently; the out stream trails the
+  // IP latency. T_IF = setup + MAX(in, latency + out), total = MAX(T_IP, T_IF).
+  const iplib::IpDescriptor pip = make_ip(2, 2, 4, 4, 6, true);
+  const iface::InterfaceProgram prog =
+      iface::expand_template(InterfaceType::kType2, pip, fn, k);
+  const std::int64_t setup = prog.section_cycles("setup");
+  const std::int64_t in_sched = prog.section_cycles("dma_in");
+  const std::int64_t out_sched = prog.section_cycles("dma_out");
+  const iface::InterfaceTiming tp =
+      iface::interface_timing(InterfaceType::kType2, pip, fn, 0, k);
+  EXPECT_EQ(tp.t_if, setup + std::max(in_sched, pip.latency + out_sched));
+  EXPECT_EQ(tp.total_cycles, std::max(tp.t_ip, tp.t_if));
+
+  // Non-pipelined: the phases serialize around the IP run.
+  const iplib::IpDescriptor seq = make_ip(2, 2, 4, 4, 6, false);
+  const iface::InterfaceTiming ts =
+      iface::interface_timing(InterfaceType::kType2, seq, fn, 0, k);
+  EXPECT_EQ(ts.total_cycles, ts.t_if + ts.t_ip);
+
+  // Type-2 DMA occupies both data memories, so parallel kernel code earns
+  // no overlap credit no matter how much is available.
+  EXPECT_FALSE(iface::supports_parallel_execution(InterfaceType::kType2));
+  const iface::InterfaceTiming tc =
+      iface::interface_timing(InterfaceType::kType2, pip, fn, 1000000, k);
+  EXPECT_EQ(tc.overlap, 0);
+  EXPECT_EQ(tc.total_cycles, tp.total_cycles);
+}
+
+TEST(IfaceEdge, BufferedOverlapCreditIsMinOfIpParallelAndCore) {
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = make_ip(2, 2, 4, 4, 3, true);
+  const iplib::IpFunction fn = make_fn(60, 8, 8);
+
+  for (InterfaceType t : {InterfaceType::kType1, InterfaceType::kType3}) {
+    const iface::InterfaceTiming none = iface::interface_timing(t, ip, fn, 0, k);
+    EXPECT_EQ(none.overlap, 0) << iface::to_string(t);
+    const std::int64_t core = std::max(none.t_ip, none.t_b);
+    EXPECT_EQ(none.total_cycles, none.t_if_in + core + none.t_if_out);
+
+    // Small parallel code: the credit is exactly T_C.
+    const iface::InterfaceTiming small = iface::interface_timing(t, ip, fn, 7, k);
+    EXPECT_EQ(small.overlap, 7);
+    EXPECT_EQ(small.total_cycles, none.total_cycles - 7);
+
+    // Unlimited parallel code: the credit saturates at MIN(T_IP, core) --
+    // the kernel can never hide more than the IP actually runs.
+    const iface::InterfaceTiming big =
+        iface::interface_timing(t, ip, fn, 1000000, k);
+    EXPECT_EQ(big.overlap, std::min(big.t_ip, core));
+    EXPECT_EQ(big.total_cycles, none.total_cycles - big.overlap);
+  }
+}
+
+TEST(IfaceEdge, BufferedNonPipelinedSerializesBufferPhases) {
+  const iface::KernelParams k;
+  const iplib::IpFunction fn = make_fn(60, 8, 6);
+
+  // Pipelined: buffer streams run concurrently, T_B = MAX(in, out).
+  const iplib::IpDescriptor pip = make_ip(2, 2, 4, 4, 3, true);
+  const iface::InterfaceTiming tp =
+      iface::interface_timing(InterfaceType::kType3, pip, fn, 0, k);
+  const std::int64_t tb_in = iface::batches(fn.n_in, pip.in_ports) * pip.in_rate;
+  const std::int64_t tb_out =
+      iface::batches(fn.n_out, pip.out_ports) * pip.out_rate;
+  EXPECT_EQ(tp.t_b, std::max(tb_in, tb_out));
+  EXPECT_EQ(tp.total_cycles,
+            tp.t_if_in + std::max(tp.t_ip, tp.t_b) + tp.t_if_out);
+
+  // Non-pipelined: fill, run, drain in sequence -- T_B is the sum and the
+  // core is tb_in + T_IP + tb_out.
+  const iplib::IpDescriptor seq = make_ip(2, 2, 4, 4, 3, false);
+  const iface::InterfaceTiming ts =
+      iface::interface_timing(InterfaceType::kType3, seq, fn, 0, k);
+  EXPECT_EQ(ts.t_b, tb_in + tb_out);
+  EXPECT_EQ(ts.total_cycles,
+            ts.t_if_in + (tb_in + ts.t_ip + tb_out) + ts.t_if_out);
+}
+
+TEST(IfaceEdge, ZeroOperandTransferLeavesOnlyControlOverhead) {
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = make_ip(1, 1, 4, 4, 0, true);
+  // An S-instruction that moves no data (e.g. a pure state-machine step):
+  // declared T_IP, nothing to buffer.
+  const iplib::IpFunction fn = make_fn(50, 0, 0);
+
+  for (InterfaceType t : {InterfaceType::kType1, InterfaceType::kType3}) {
+    const iface::InterfaceTiming tt = iface::interface_timing(t, ip, fn, 0, k);
+    EXPECT_EQ(tt.t_b, 0) << iface::to_string(t);
+    EXPECT_EQ(tt.total_cycles, tt.t_if_in + tt.t_ip + tt.t_if_out);
+
+    // No buffered words, but the per-port buffer controllers remain.
+    const iface::InterfaceCost c = iface::interface_cost(t, ip, fn, k);
+    EXPECT_DOUBLE_EQ(c.buffers, k.buffer_port_area * 2.0);
+  }
+}
+
+TEST(IfaceEdge, SingleSampleTransferCostsOneRatePeriod) {
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = make_ip(2, 2, 6, 6, 0, true);
+  const iplib::IpFunction fn = make_fn(100, 1, 1);
+
+  // One sample still occupies a full batch slot: T_B = 1 batch * rate.
+  const iface::InterfaceTiming tt =
+      iface::interface_timing(InterfaceType::kType3, ip, fn, 0, k);
+  EXPECT_EQ(iface::batches(1, ip.in_ports), 1);
+  EXPECT_EQ(tt.t_b, ip.in_rate);
+}
+
+TEST(IfaceEdge, BufferBatchBoundaryAddsOneFullRatePeriod) {
+  const iface::KernelParams k;
+  const iplib::IpDescriptor ip = make_ip(2, 1, 6, 6, 0, true);
+
+  // 8 items over 2 ports = 4 batches; one extra item opens a 5th batch and
+  // costs exactly one more rate period. (n_out = 0 keeps T_B = tb_in.)
+  const iface::InterfaceTiming exact = iface::interface_timing(
+      InterfaceType::kType3, ip, make_fn(1, 8, 0), 0, k);
+  const iface::InterfaceTiming plus_one = iface::interface_timing(
+      InterfaceType::kType3, ip, make_fn(1, 9, 0), 0, k);
+  EXPECT_EQ(exact.t_b, 4 * ip.in_rate);
+  EXPECT_EQ(plus_one.t_b, 5 * ip.in_rate);
+  EXPECT_EQ(plus_one.t_b - exact.t_b, static_cast<std::int64_t>(ip.in_rate));
+}
+
+TEST(IfaceEdge, CostModelSoftwareVsFsmAndSplitRateSurcharge) {
+  const iface::KernelParams k;
+  const iplib::IpFunction fn = make_fn(40, 8, 8);
+
+  // Software controllers cost code memory only: ucode_word_area per word.
+  const iplib::IpDescriptor ip = make_ip(2, 2, 4, 4, 0, true);
+  const iface::InterfaceCost c0 =
+      iface::interface_cost(InterfaceType::kType0, ip, fn, k);
+  const iface::InterfaceProgram p0 =
+      iface::expand_template(InterfaceType::kType0, ip, fn, k);
+  EXPECT_DOUBLE_EQ(c0.controller,
+                   k.ucode_word_area * static_cast<double>(p0.static_words()));
+  EXPECT_DOUBLE_EQ(c0.buffers, 0.0);
+  EXPECT_DOUBLE_EQ(c0.transformer, 0.0);  // synchronous protocol
+
+  // Type 1 adds per-word + per-port buffer area on top of its µ-code.
+  const iface::InterfaceCost c1 =
+      iface::interface_cost(InterfaceType::kType1, ip, fn, k);
+  EXPECT_DOUBLE_EQ(c1.buffers,
+                   k.buffer_word_area * static_cast<double>(fn.n_in + fn.n_out) +
+                       k.buffer_port_area *
+                           static_cast<double>(ip.in_ports + ip.out_ports));
+
+  // Matched-rate FSM: base + per-port terms, no split surcharge.
+  const iface::InterfaceCost c2 =
+      iface::interface_cost(InterfaceType::kType2, ip, fn, k);
+  EXPECT_DOUBLE_EQ(c2.controller,
+                   k.fsm_base_area + k.fsm_per_port_area * 4.0);
+  EXPECT_DOUBLE_EQ(c2.buffers, 0.0);
+
+  // Rate-mismatched IP forces split in/out controllers: exactly
+  // fsm_split_rate_area more, for both FSM types.
+  const iplib::IpDescriptor split = make_ip(2, 2, 4, 8, 0, true);
+  const iface::InterfaceCost c2s =
+      iface::interface_cost(InterfaceType::kType2, split, fn, k);
+  EXPECT_DOUBLE_EQ(c2s.controller, c2.controller + k.fsm_split_rate_area);
+  const iface::InterfaceCost c3 =
+      iface::interface_cost(InterfaceType::kType3, split, fn, k);
+  EXPECT_DOUBLE_EQ(c3.controller, c2s.controller);
+  EXPECT_DOUBLE_EQ(c3.buffers, c1.buffers);  // same word/port counts
+}
+
+TEST(IfaceEdge, ProtocolTransformerAreaAndPower) {
+  const iface::KernelParams k;
+  const iplib::IpFunction fn = make_fn(40, 4, 4);
+
+  iplib::IpDescriptor ip = make_ip(2, 2, 4, 4, 0, true);
+  ip.protocol = iplib::Protocol::kHandshake;
+  EXPECT_DOUBLE_EQ(
+      iface::interface_cost(InterfaceType::kType0, ip, fn, k).transformer, 0.3);
+  ip.protocol = iplib::Protocol::kStream;
+  EXPECT_DOUBLE_EQ(
+      iface::interface_cost(InterfaceType::kType0, ip, fn, k).transformer, 0.15);
+
+  // Power: software + synchronous draws nothing; FSMs add fsm_power, buffers
+  // add per-port draw, non-synchronous protocols add the transformer.
+  ip.protocol = iplib::Protocol::kSynchronous;
+  EXPECT_DOUBLE_EQ(iface::interface_power(InterfaceType::kType0, ip, k), 0.0);
+  EXPECT_DOUBLE_EQ(iface::interface_power(InterfaceType::kType2, ip, k),
+                   k.fsm_power);
+  EXPECT_DOUBLE_EQ(iface::interface_power(InterfaceType::kType1, ip, k),
+                   k.buffer_power_per_port * 4.0);
+  EXPECT_DOUBLE_EQ(iface::interface_power(InterfaceType::kType3, ip, k),
+                   k.fsm_power + k.buffer_power_per_port * 4.0);
+  ip.protocol = iplib::Protocol::kHandshake;
+  EXPECT_DOUBLE_EQ(iface::interface_power(InterfaceType::kType3, ip, k),
+                   k.fsm_power + k.buffer_power_per_port * 4.0 +
+                       k.transformer_power);
+}
+
+TEST(IfaceEdge, ExecutionCyclesFallsBackToStreamingEstimate) {
+  const iplib::IpDescriptor ip = make_ip(2, 2, 4, 6, 5, true);
+
+  // A declared cycle count wins outright.
+  EXPECT_EQ(ip.execution_cycles(make_fn(123, 8, 8)), 123);
+
+  // Declared as 0: latency + MAX(n_in*in_rate, n_out*out_rate).
+  EXPECT_EQ(ip.execution_cycles(make_fn(0, 8, 4)), 5 + 8 * 4);   // input bound
+  EXPECT_EQ(ip.execution_cycles(make_fn(0, 4, 8)), 5 + 8 * 6);   // output bound
+  EXPECT_EQ(ip.execution_cycles(make_fn(0, 0, 0)), 5);           // latency only
+}
+
+}  // namespace
+}  // namespace partita

@@ -38,6 +38,7 @@
 #include "select/export.hpp"
 #include "select/flow.hpp"
 #include "sim/cosim.hpp"
+#include "support/fault_injection.hpp"
 #include "support/strings.hpp"
 #include "support/text_table.hpp"
 #include "workloads/workloads.hpp"
@@ -425,7 +426,25 @@ int cmd_rtl(const Args& args, select::Flow& flow) {
   return 0;
 }
 
+/// Test-only hook: PARTITA_FAULT=site[:n] arms one fault-injection site
+/// before the run (see support/fault_injection.hpp for the site list), so
+/// ctest can drive recovery paths -- e.g. the degraded exit code 4 via
+/// PARTITA_FAULT=ilp.deadline -- without real wall-clock pressure.
+void arm_fault_from_env() {
+  const char* env = std::getenv("PARTITA_FAULT");
+  if (!env || !*env) return;
+  std::string spec(env);
+  std::uint64_t trip_at = 1;
+  if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+    trip_at = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+    if (trip_at == 0) trip_at = 1;
+    spec.resize(colon);
+  }
+  support::FaultInjector::instance().arm(spec, trip_at);
+}
+
 int run(int argc, char** argv) {
+  arm_fault_from_env();
   Args args = parse_args(argc, argv);
   if (args.command == "lint") return cmd_lint(args);
 

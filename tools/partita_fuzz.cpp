@@ -1,0 +1,193 @@
+// partita_fuzz: differential fuzzing front-end for the selection oracle.
+//
+// Generates seeded random selection instances, runs each through both the
+// exhaustive oracle and the production ILP selector, and fails loudly on any
+// divergence. On a mismatch the offending instance is delta-debugged to a
+// minimal repro and dumped as a JSON fixture that `--replay` loads back.
+//
+//   partita_fuzz --instances 500 --seed 1 --scalls 8        # exact mode
+//   partita_fuzz --mode sandwich --instances 100 --scalls 18
+//   partita_fuzz --replay tests/fixtures/shrunk.json
+//
+// Exit codes: 0 all instances agree, 1 divergence found, 2 usage error.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "oracle/differential.hpp"
+#include "oracle/fixture.hpp"
+#include "oracle/shrink.hpp"
+#include "workloads/random_workload.hpp"
+
+namespace {
+
+using namespace partita;
+
+struct Args {
+  int instances = 100;
+  std::uint64_t seed = 1;
+  int scalls = 6;
+  int kernels = 4;
+  int ips = 5;
+  int branch_groups = 1;
+  int hierarchy = 0;  // max wrapper depth
+  std::string mode = "exact";
+  bool shrink = true;
+  std::string fixture_dir = ".";
+  std::string replay;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: partita_fuzz [--instances N] [--seed S] [--scalls N]\n"
+               "                    [--kernels N] [--ips N] [--branch-groups N]\n"
+               "                    [--hierarchy DEPTH] [--mode exact|sandwich]\n"
+               "                    [--no-shrink] [--fixture-dir DIR]\n"
+               "                    [--replay FIXTURE.json]\n");
+}
+
+bool parse_int(const char* s, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(s, &end, 10);
+  return end && *end == '\0' && end != s;
+}
+
+int replay_fixture(const std::string& path) {
+  std::string error;
+  const auto spec = oracle::load_fixture(path, &error);
+  if (!spec) {
+    std::fprintf(stderr, "partita_fuzz: cannot load fixture %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const oracle::DiffResult r = oracle::differential_check_spec(*spec);
+  std::printf("fixture %s: rg=%lld oracle=%s/%.4f ilp=%s/%.4f (%s)\n", path.c_str(),
+              static_cast<long long>(r.required_gain),
+              r.oracle_feasible ? "feasible" : "infeasible", r.oracle_area,
+              r.ilp_feasible ? "feasible" : "infeasible", r.ilp_area,
+              r.ok ? "agree" : r.detail.c_str());
+  return r.ok ? 0 : 1;
+}
+
+workloads::InstanceGenParams gen_params(const Args& args) {
+  workloads::InstanceGenParams p;
+  p.scalls = args.scalls;
+  p.kernels = args.kernels;
+  p.ips = args.ips;
+  p.branch_groups = args.branch_groups;
+  p.max_hierarchy_depth = args.hierarchy;
+  return p;
+}
+
+int run_exact(const Args& args) {
+  const workloads::InstanceGenParams params = gen_params(args);
+  int failures = 0, skipped = 0;
+  for (int i = 0; i < args.instances; ++i) {
+    const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(i);
+    const workloads::InstanceSpec spec = workloads::random_instance_spec(params, seed);
+    const oracle::DiffResult r = oracle::differential_check_spec(spec);
+    if (r.ok) continue;
+    if (r.skipped) {
+      ++skipped;
+      continue;
+    }
+    ++failures;
+    std::fprintf(stderr, "seed %llu DIVERGES: %s\n",
+                 static_cast<unsigned long long>(seed), r.detail.c_str());
+    workloads::InstanceSpec repro = spec;
+    if (args.shrink) {
+      oracle::ShrinkStats stats;
+      repro = oracle::shrink_spec(
+          spec,
+          [](const workloads::InstanceSpec& s) {
+            const oracle::DiffResult rr = oracle::differential_check_spec(s);
+            return !rr.ok && !rr.skipped;
+          },
+          &stats);
+      std::fprintf(stderr, "  shrunk to %zu sites / %zu ips (%d probes)\n",
+                   repro.sites.size(), repro.ips.size(), stats.predicate_calls);
+    }
+    const std::string path =
+        args.fixture_dir + "/fuzz_seed" + std::to_string(seed) + ".json";
+    if (oracle::write_fixture(path, repro)) {
+      std::fprintf(stderr, "  fixture written to %s\n", path.c_str());
+    }
+  }
+  std::printf("partita_fuzz exact: %d instances, %d skipped (guard), %d divergences\n",
+              args.instances, skipped, failures);
+  return failures ? 1 : 0;
+}
+
+int run_sandwich(const Args& args) {
+  const workloads::InstanceGenParams params = gen_params(args);
+  int failures = 0;
+  for (int i = 0; i < args.instances; ++i) {
+    const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(i);
+    const workloads::InstanceSpec spec = workloads::random_instance_spec(params, seed);
+    const workloads::Workload wl = workloads::spec_workload(spec);
+    const oracle::SandwichResult r = oracle::sandwich_check(wl);
+    if (r.ok) continue;
+    ++failures;
+    std::fprintf(stderr, "seed %llu BOUNDS VIOLATED: %s\n",
+                 static_cast<unsigned long long>(seed), r.detail.c_str());
+  }
+  std::printf("partita_fuzz sandwich: %d instances, %d violations\n", args.instances,
+              failures);
+  return failures ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next_int = [&](long long* out) {
+      return i + 1 < argc && parse_int(argv[++i], out);
+    };
+    long long v = 0;
+    if (a == "--instances" && next_int(&v)) {
+      args.instances = static_cast<int>(v);
+    } else if (a == "--seed" && next_int(&v)) {
+      args.seed = static_cast<std::uint64_t>(v);
+    } else if (a == "--scalls" && next_int(&v)) {
+      args.scalls = static_cast<int>(v);
+    } else if (a == "--kernels" && next_int(&v)) {
+      args.kernels = static_cast<int>(v);
+    } else if (a == "--ips" && next_int(&v)) {
+      args.ips = static_cast<int>(v);
+    } else if (a == "--branch-groups" && next_int(&v)) {
+      args.branch_groups = static_cast<int>(v);
+    } else if (a == "--hierarchy" && next_int(&v)) {
+      args.hierarchy = static_cast<int>(v);
+    } else if (a == "--mode" && i + 1 < argc) {
+      args.mode = argv[++i];
+    } else if (a == "--no-shrink") {
+      args.shrink = false;
+    } else if (a == "--fixture-dir" && i + 1 < argc) {
+      args.fixture_dir = argv[++i];
+    } else if (a == "--replay" && i + 1 < argc) {
+      args.replay = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "partita_fuzz: bad argument '%s'\n", a.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (args.instances < 1 || args.scalls < 1 || args.kernels < 1 || args.ips < 1 ||
+      args.branch_groups < 0 || args.hierarchy < 0 ||
+      2 * args.branch_groups > args.scalls) {
+    std::fprintf(stderr, "partita_fuzz: invalid parameter combination\n");
+    return 2;
+  }
+  if (!args.replay.empty()) return replay_fixture(args.replay);
+  if (args.mode == "exact") return run_exact(args);
+  if (args.mode == "sandwich") return run_sandwich(args);
+  std::fprintf(stderr, "partita_fuzz: unknown mode '%s'\n", args.mode.c_str());
+  usage();
+  return 2;
+}
