@@ -27,6 +27,8 @@ const char* to_string(TerminationReason r) {
       return "deadline";
     case TerminationReason::kMemoryLimit:
       return "memory-limit";
+    case TerminationReason::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -143,7 +145,10 @@ class LanePool {
 
 class Solver {
  public:
-  Solver(const Model& model, const IlpOptions& opt) : model_(model), opt_(opt) {
+  Solver(const Model& model, const IlpOptions& opt)
+      : model_(model),
+        opt_(opt),
+        clock_(opt.budget.clock ? *opt.budget.clock : support::Clock::system()) {
     sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
     lanes_count_ = std::max(1, opt.threads);
     root_lo_.resize(model.var_count());
@@ -161,6 +166,7 @@ class Solver {
 
   IlpResult run() {
     const Clock::time_point t0 = Clock::now();
+    budget_start_micros_ = clock_.now_micros();
     result_.stats.threads = lanes_count_;
 
     // ---- root presolve -----------------------------------------------------
@@ -245,11 +251,18 @@ class Solver {
 
   /// Wave-boundary checkpoint. The "ilp.deadline" fault site models an
   /// expired deadline (trip-at-Nth-checkpoint), which is how tests exercise
-  /// the cancellation path without real clock pressure.
-  std::optional<TerminationReason> budget_exceeded(Clock::time_point t0) {
+  /// the cancellation path without real clock pressure. The cancel token is
+  /// consulted first, so a cancelled solve reports kCancelled even when a
+  /// deadline expired in the same wave. The deadline reads the *injected*
+  /// clock (budget.clock), never steady_clock directly.
+  std::optional<TerminationReason> budget_exceeded(Clock::time_point) {
+    if (opt_.budget.cancel.cancelled()) {
+      return TerminationReason::kCancelled;
+    }
     if (support::fault_should_trip("ilp.deadline") ||
         (opt_.budget.time_limit_seconds > 0 &&
-         seconds_since(t0) >= opt_.budget.time_limit_seconds)) {
+         static_cast<double>(clock_.now_micros() - budget_start_micros_) * 1e-6 >=
+             opt_.budget.time_limit_seconds)) {
       return TerminationReason::kDeadline;
     }
     const std::size_t bytes = arena_bytes();
@@ -681,6 +694,8 @@ class Solver {
 
   const Model& model_;
   const IlpOptions& opt_;
+  support::Clock& clock_;               // deadline clock (injectable)
+  std::int64_t budget_start_micros_ = 0;
   double sign_ = 1.0;
   int lanes_count_ = 1;
   std::vector<double> root_lo_, root_hi_;

@@ -23,6 +23,8 @@
 
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
+#include "support/cancel.hpp"
+#include "support/clock.hpp"
 
 namespace partita::ilp {
 
@@ -46,9 +48,11 @@ enum class TerminationReason : std::uint8_t {
   kNodeLimit,    // max_nodes exhausted
   kDeadline,     // ResourceBudget wall-clock deadline expired
   kMemoryLimit,  // ResourceBudget arena cap hit or an arena allocation failed
+  kCancelled,    // ResourceBudget cancel token observed at a wave boundary
 };
 
-/// Display name: "completed", "node-limit", "deadline", "memory-limit".
+/// Display name: "completed", "node-limit", "deadline", "memory-limit",
+/// "cancelled".
 const char* to_string(TerminationReason r);
 
 /// Hard resource envelope for one solve_ilp call. Both limits are checked
@@ -64,6 +68,13 @@ struct ResourceBudget {
   /// Cap on search-arena memory (nodes + fix deltas + stored warm-start
   /// bases); 0 disables it.
   std::size_t memory_limit_bytes = 0;
+  /// Cooperative cancellation: checked (before the deadline) at every wave
+  /// boundary; a cancelled token terminates the solve with kCancelled within
+  /// one wave. A default-constructed token never cancels.
+  support::CancelToken cancel;
+  /// Clock consulted for the deadline check; null means Clock::system().
+  /// Tests inject a FakeClock so deadline robustness needs no real sleeps.
+  support::Clock* clock = nullptr;
 };
 
 /// Observability counters for one solve_ilp call. Threaded through the

@@ -193,8 +193,11 @@ Selection Selector::select_per_path(const std::vector<std::int64_t>& required_ga
   // far from the proven bound; the greedy baseline is a cheap, deterministic
   // safety net. It only understands the default constraint system and a
   // uniform requirement, so it is skipped for filtered/power-capped/
-  // Problem-1 runs.
-  if (truncated && !opt.imp_filter && !opt.max_power && opt.problem2) {
+  // Problem-1 runs -- and for cancelled solves, where the caller asked the
+  // work to stop rather than for a cheaper answer.
+  const bool cancelled =
+      r.stats.termination == ilp::TerminationReason::kCancelled;
+  if (truncated && !cancelled && !opt.imp_filter && !opt.max_power && opt.problem2) {
     const std::int64_t uniform = required_gains.empty()
         ? 0
         : *std::max_element(required_gains.begin(), required_gains.end());

@@ -15,6 +15,15 @@
 //           software body and IMP-B implements SC_m (Problem 2)
 //
 // Objective: minimize  sum_k a_k z_k + sum_ij c_ij x_ij   (Eq. 3)
+//
+// Re-entrancy: a Selector is immutable after construction -- select(),
+// select_per_path(), build_model() and max_feasible_gain() are const, build
+// every model and solver state locally, and share nothing mutable between
+// calls. Concurrent select() calls on one Selector (or one Flow) from
+// different threads are safe and return bit-identical results for identical
+// arguments; the solve service's worker pool relies on this. The only global
+// the solve path touches is the test-only support::FaultInjector, which is
+// itself thread-safe.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,292 @@
+#include "service/solve_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "oracle/fixture.hpp"
+#include "support/assert.hpp"
+#include "support/fault_injection.hpp"
+
+namespace partita::service {
+
+const char* to_string(RequestState s) {
+  switch (s) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kRunning: return "running";
+    case RequestState::kCompleted: return "completed";
+    case RequestState::kCancelled: return "cancelled";
+    case RequestState::kRejected: return "rejected";
+    case RequestState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+SolveService::SolveService(ServiceConfig config)
+    : cfg_(std::move(config)),
+      clock_(cfg_.clock ? *cfg_.clock : support::Clock::system()) {
+  PARTITA_ASSERT_MSG(cfg_.workers >= 1, "SolveService needs at least one worker");
+  paused_ = cfg_.start_paused;
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+std::uint64_t SolveService::submit(SolveRequest request) {
+  std::lock_guard<std::mutex> g(mu_);
+  const std::uint64_t ticket = ++next_ticket_;
+  Entry& e = entries_[ticket];
+  e.response.ticket = ticket;
+  e.response.label = request.label.empty() ? request.workload.name : request.label;
+  ++stats_.submitted;
+
+  // Admission control. The memory charge is what the request *declared* it
+  // may consume (its solver arena cap), or a conservative default: shedding
+  // happens before the work starts, so an oversized instance is rejected
+  // with a hint instead of starving every other request in the pool.
+  const std::size_t charge = request.options.ilp.budget.memory_limit_bytes != 0
+                                 ? request.options.ilp.budget.memory_limit_bytes
+                                 : cfg_.default_memory_charge;
+  const char* reject = nullptr;
+  if (draining_ || stopping_) {
+    reject = "service is draining; request not admitted";
+  } else if (queue_.size() >= cfg_.max_queue_depth) {
+    reject = "admission queue full";
+  } else if (cfg_.max_admitted_memory_bytes != 0 &&
+             admitted_memory_ + charge > cfg_.max_admitted_memory_bytes) {
+    reject = "aggregate solver-memory budget exhausted";
+  }
+  if (reject != nullptr) {
+    // Retry-after scales with queue pressure: an idle-but-capped service
+    // suggests one base interval, a deep queue proportionally more.
+    e.response.retry_after_seconds =
+        cfg_.retry_after_seconds *
+        (1.0 + static_cast<double>(queue_.size()) /
+                   static_cast<double>(std::max(1, cfg_.workers)));
+    e.response.error = support::Error::transient(reject);
+    finalize_locked(e, RequestState::kRejected);
+    return ticket;
+  }
+
+  e.request = std::move(request);
+  e.memory_charge = charge;
+  e.live = true;
+  e.response.state = RequestState::kQueued;
+  admitted_memory_ += charge;
+  ++live_count_;
+  queue_.push_back(ticket);
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  stats_.peak_admitted_memory_bytes =
+      std::max(stats_.peak_admitted_memory_bytes, admitted_memory_);
+  work_cv_.notify_one();
+  return ticket;
+}
+
+bool SolveService::cancel(std::uint64_t ticket) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = entries_.find(ticket);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (is_terminal(e.response.state)) return false;
+  if (e.response.state == RequestState::kQueued) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+    e.response.error = support::Error::cancelled("cancelled while queued");
+    finalize_locked(e, RequestState::kCancelled);
+    return true;
+  }
+  // Running: signal the token; the worker observes it at the next wave
+  // boundary and finalizes the terminal state itself.
+  e.cancel.cancel();
+  return true;
+}
+
+SolveResponse SolveService::wait(std::uint64_t ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = entries_.find(ticket);
+  if (it == entries_.end()) {
+    SolveResponse r;
+    r.ticket = ticket;
+    r.state = RequestState::kFailed;
+    r.error = support::Error{"unknown ticket", {}};
+    return r;
+  }
+  done_cv_.wait(lk, [&] { return is_terminal(it->second.response.state); });
+  return it->second.response;
+}
+
+std::optional<SolveResponse> SolveService::poll(std::uint64_t ticket) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = entries_.find(ticket);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.response;
+}
+
+void SolveService::resume() {
+  std::lock_guard<std::mutex> g(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+void SolveService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Graceful: stop admission, then let the workers flush everything already
+  // admitted to its natural terminal state. Callers wanting a fast abort
+  // cancel their tickets first; solves are bounded by their own budgets, so
+  // the flush terminates.
+  draining_ = true;
+  paused_ = false;  // parked queues must flush, not hang
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return live_count_ == 0; });
+}
+
+void SolveService::shutdown() {
+  drain();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+ServiceStats SolveService::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void SolveService::finalize_locked(Entry& e, RequestState state) {
+  e.response.state = state;
+  switch (state) {
+    case RequestState::kCompleted: ++stats_.completed; break;
+    case RequestState::kCancelled: ++stats_.cancelled; break;
+    case RequestState::kRejected: ++stats_.rejected; break;
+    case RequestState::kFailed: ++stats_.failed; break;
+    default: PARTITA_ASSERT_MSG(false, "finalize on a non-terminal state");
+  }
+  stats_.retries +=
+      static_cast<std::uint64_t>(std::max(0, e.response.attempts - 1));
+  if (e.live) {
+    e.live = false;
+    admitted_memory_ -= e.memory_charge;
+    --live_count_;
+  }
+  e.request = SolveRequest();  // release the workload: terminal entries keep
+                               // only their (small) response
+  done_cv_.notify_all();
+}
+
+void SolveService::worker_main() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+    if (stopping_) return;
+    const std::uint64_t ticket = queue_.front();
+    queue_.pop_front();
+    Entry& e = entries_.at(ticket);  // std::map: reference stable across inserts
+    e.response.state = RequestState::kRunning;
+    SolveResponse local = e.response;  // worker-private while running
+    lk.unlock();
+    // Outside the lock the worker reads e.request (mutated only at
+    // finalize, which only this worker can now trigger) and writes `local`;
+    // the shared response stays lock-protected for poll()/wait().
+    const RequestState terminal = run_request(e.request, e.cancel, local);
+    lk.lock();
+    e.response = std::move(local);
+    finalize_locked(e, terminal);
+  }
+}
+
+RequestState SolveService::run_request(const SolveRequest& request,
+                                       const support::CancelSource& cancel,
+                                       SolveResponse& out) {
+  // Per-request jitter seed: deterministic for a ticket, de-correlated
+  // across concurrent retries.
+  support::RetryPolicy policy = cfg_.retry;
+  policy.jitter_seed ^= out.ticket;
+
+  int attempt = 0;
+  for (;;) {
+    if (cancel.cancelled()) {
+      out.error = support::Error::cancelled("request cancelled");
+      return RequestState::kCancelled;
+    }
+    ++attempt;
+    out.attempts = attempt;
+    support::Result<select::Selection> r = run_attempt(request, cancel, attempt);
+    if (r.ok()) {
+      out.selection = r.take();
+      return RequestState::kCompleted;
+    }
+    const support::Error& err = r.error();
+    if (err.kind == support::ErrorKind::kCancelled) {
+      out.error = err;
+      return RequestState::kCancelled;
+    }
+    if (policy.should_retry(err, attempt)) {
+      clock_.sleep_micros(policy.backoff_micros(attempt));
+      continue;
+    }
+    out.error = err;
+    // Quarantine: spec-carrying requests leave a replayable oracle fixture
+    // (partita-oracle-fixture-v1) behind, so the exact failing instance can
+    // be re-run offline with `partita_fuzz --replay <fixture>`.
+    if (request.spec.has_value() && !cfg_.quarantine_dir.empty()) {
+      const std::string path = cfg_.quarantine_dir + "/quarantine_" +
+                               std::to_string(out.ticket) + ".json";
+      if (oracle::write_fixture(path, *request.spec)) {
+        out.quarantine_fixture = path;
+      }
+    }
+    return RequestState::kFailed;
+  }
+}
+
+support::Result<select::Selection> SolveService::run_attempt(
+    const SolveRequest& req, const support::CancelSource& cancel, int attempt) {
+  // Crash isolation boundary: nothing a request does -- escaped exceptions,
+  // injected faults, allocation failure -- may take a worker down. Every
+  // failure becomes a structured Error for the retry/terminal machinery.
+  try {
+    if (support::fault_should_trip("service.transient")) {
+      return support::Error::transient(
+          "injected transient service fault (site service.transient)");
+    }
+
+    select::SelectOptions opt = req.options;
+    opt.ilp.budget.cancel = cancel.token();
+    opt.ilp.budget.clock = cfg_.clock;
+    // Retries run on a lower degradation rung: each extra attempt shrinks
+    // the node budget 16x, steering the ladder toward gap-bounded / greedy
+    // answers so a recurring transient fault still converges to a terminal
+    // response instead of re-burning the full search every time.
+    for (int k = 1; k < attempt; ++k) {
+      opt.ilp.max_nodes = std::max(1, opt.ilp.max_nodes / 16);
+    }
+
+    auto flow_or = select::Flow::create(req.workload.module, req.workload.library);
+    if (!flow_or.ok()) return flow_or.error();  // permanent: bad input
+    select::Flow& flow = *flow_or.value();
+
+    std::int64_t rg = req.required_gain;
+    if (rg < 0) rg = flow.max_feasible_gain(opt) / 2;
+
+    select::Selection sel = flow.select(rg, opt);
+    if (cancel.cancelled() ||
+        sel.solver.termination == ilp::TerminationReason::kCancelled) {
+      return support::Error::cancelled("request cancelled mid-solve");
+    }
+    return sel;
+  } catch (const std::exception& ex) {
+    return support::Error::transient(std::string("escaped exception: ") + ex.what());
+  } catch (...) {
+    return support::Error::transient("escaped non-standard exception");
+  }
+}
+
+}  // namespace partita::service

@@ -1,0 +1,233 @@
+// Long-running, in-process S-instruction selection service.
+//
+// Every entry point before this layer was one-shot: one workload in, one
+// selection out, and any failure took the whole process down. SolveService
+// turns the library into a request/response system: a fixed worker pool
+// drains a bounded admission queue of selection requests, running each one
+// through the existing select::Flow / select::Selector pipeline (which is
+// re-entrant; see selector.hpp). The robustness contract is the point:
+//
+//   * Exactly-one-terminal-state: every submitted request ends in exactly
+//     one of completed / cancelled / rejected / failed, and wait(ticket)
+//     always returns. Workers never die: exceptions, injected faults and
+//     resource exhaustion are quarantined per-request.
+//   * Cooperative cancellation: a per-request support::CancelToken is
+//     threaded into ilp::ResourceBudget and observed at branch & bound wave
+//     boundaries, so cancel(ticket) terminates a running solve within one
+//     wave (bounded latency), and dequeues a queued one immediately.
+//   * Admission control with load shedding: a full queue or an exhausted
+//     aggregate solver-memory budget rejects the request *at submit* with a
+//     retry-after hint, so one huge instance cannot starve the pool.
+//   * Retry on transient faults: attempts that fail with
+//     ErrorKind::kTransient re-run under support::RetryPolicy (exponential
+//     backoff + deterministic seeded jitter) on a progressively lower
+//     degradation rung (shrinking node budget), so a persistent fault still
+//     converges to a terminal answer instead of looping.
+//   * Crash isolation + replayable quarantine: a request that exhausts its
+//     retries records a structured support::Error, and -- when it carries an
+//     InstanceSpec -- a PR-3 oracle fixture (partita-oracle-fixture-v1) is
+//     written to the quarantine directory for offline replay via
+//     `partita_fuzz --replay`.
+//   * Graceful drain: drain() stops admission and blocks until everything
+//     already admitted reached its natural terminal state (cancel tickets
+//     first for a fast abort); shutdown() additionally joins the pool.
+//
+// All timing (deadlines via the per-request budget, retry backoff) goes
+// through an injectable support::Clock, so the robustness tests run on a
+// FakeClock with zero real sleeps.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "select/flow.hpp"
+#include "support/cancel.hpp"
+#include "support/clock.hpp"
+#include "support/result.hpp"
+#include "support/retry.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita::service {
+
+/// Request lifecycle:  submitted -> (rejected) | queued -> running -> one of
+/// completed / cancelled / failed. Rejected requests are terminal at submit.
+enum class RequestState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kCompleted,  // terminal: a Selection (possibly degraded-rung) was produced
+  kCancelled,  // terminal: caller cancelled (queued or mid-solve) or drain
+  kRejected,   // terminal: admission control shed the request at submit
+  kFailed,     // terminal: structured Error after exhausting retries
+};
+
+/// Display name: "queued", "running", "completed", "cancelled", "rejected",
+/// "failed".
+const char* to_string(RequestState s);
+
+inline bool is_terminal(RequestState s) {
+  return s == RequestState::kCompleted || s == RequestState::kCancelled ||
+         s == RequestState::kRejected || s == RequestState::kFailed;
+}
+
+/// One selection request: a workload (owned by the request), the required
+/// gain, and the solve options (budget, threads, problem variant). The
+/// service installs its own cancel token and clock into options.ilp.budget;
+/// everything else is honored verbatim, so a service solve is bit-identical
+/// to a one-shot Flow::select with the same options.
+struct SolveRequest {
+  std::string label;
+  workloads::Workload workload;
+  /// When present, a failed request dumps this spec as a replayable oracle
+  /// fixture into ServiceConfig::quarantine_dir.
+  std::optional<workloads::InstanceSpec> spec;
+  /// Uniform required gain; < 0 derives max_feasible_gain / 2 (the CLI
+  /// default) under the same options.
+  std::int64_t required_gain = -1;
+  select::SelectOptions options;
+};
+
+/// The terminal record of one request. `selection` is meaningful only for
+/// kCompleted; `error` for kFailed and kRejected; `retry_after_seconds` for
+/// kRejected; `quarantine_fixture` for failed spec-carrying requests.
+struct SolveResponse {
+  std::uint64_t ticket = 0;
+  std::string label;
+  RequestState state = RequestState::kQueued;
+  select::Selection selection;
+  support::Error error;
+  double retry_after_seconds = 0.0;
+  /// Solve attempts actually started (1 for a clean run; retries add more).
+  int attempts = 0;
+  std::string quarantine_fixture;
+};
+
+struct ServiceConfig {
+  /// Fixed worker pool size (each worker runs one request at a time; the
+  /// request's own opt.ilp.threads parallelizes inside the solve).
+  int workers = 2;
+  /// Queued (not yet running) requests beyond this are rejected.
+  std::size_t max_queue_depth = 16;
+  /// Aggregate solver-memory charge (sum over queued + running requests) the
+  /// service admits; 0 disables. A request's charge is its
+  /// options.ilp.budget.memory_limit_bytes, or default_memory_charge when it
+  /// set no cap -- so one huge declared instance is shed instead of starving
+  /// everyone else.
+  std::size_t max_admitted_memory_bytes = 0;
+  std::size_t default_memory_charge = std::size_t{64} << 20;
+  /// Base of the rejection retry-after hint; scaled by queue pressure.
+  double retry_after_seconds = 0.05;
+  support::RetryPolicy retry;
+  /// Clock for deadlines and backoff; null means Clock::system().
+  support::Clock* clock = nullptr;
+  /// Directory for quarantine fixtures of failed spec requests; "" disables.
+  std::string quarantine_dir;
+  /// Start with the workers parked: requests queue up (and admission control
+  /// applies) but nothing runs until resume(). Deterministic tests use this
+  /// to fill the queue race-free.
+  bool start_paused = false;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;  // extra attempts beyond the first, all requests
+  std::size_t peak_queue_depth = 0;
+  std::size_t peak_admitted_memory_bytes = 0;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config);
+  /// Drains (flushing whatever is still queued or running) and joins.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Admits or rejects the request. Always returns a ticket; a rejected
+  /// request's ticket is already terminal (kRejected with a retry-after
+  /// hint), so every submission reaches exactly one terminal state.
+  std::uint64_t submit(SolveRequest request);
+
+  /// Requests cancellation. A queued request becomes terminal immediately;
+  /// a running one is signalled through its CancelToken and terminates
+  /// within one wave boundary. Returns false when the ticket is unknown or
+  /// already terminal.
+  bool cancel(std::uint64_t ticket);
+
+  /// Blocks until the request is terminal and returns its response.
+  /// Unknown tickets fail immediately with a kFailed response.
+  SolveResponse wait(std::uint64_t ticket);
+
+  /// Non-blocking snapshot; nullopt for unknown tickets.
+  std::optional<SolveResponse> poll(std::uint64_t ticket) const;
+
+  /// Unparks the workers of a start_paused service.
+  void resume();
+
+  /// Stops admission and blocks until every admitted request reached its
+  /// natural terminal state (queued ones still run; cancel them first for a
+  /// fast abort). Afterwards the pool rejects all further submits.
+  void drain();
+
+  /// drain() + worker join. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+ private:
+  struct Entry {
+    SolveRequest request;  // released (workload freed) at terminal state
+    SolveResponse response;
+    support::CancelSource cancel;
+    std::size_t memory_charge = 0;
+    bool live = false;  // admitted and not yet terminal
+  };
+
+  void worker_main();
+  /// Runs the attempt/retry loop for one request into `out` (a worker-local
+  /// response merged back under the lock -- the shared Entry::response is
+  /// never written without mu_, so poll() snapshots race-free). Returns the
+  /// terminal state. Never throws.
+  RequestState run_request(const SolveRequest& request,
+                           const support::CancelSource& cancel,
+                           SolveResponse& out);
+  support::Result<select::Selection> run_attempt(const SolveRequest& request,
+                                                 const support::CancelSource& cancel,
+                                                 int attempt);
+  /// Marks the entry terminal, releases its admission charge and workload,
+  /// and wakes waiters. Caller holds mu_.
+  void finalize_locked(Entry& entry, RequestState state);
+
+  ServiceConfig cfg_;
+  support::Clock& clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue / pause / stop
+  std::condition_variable done_cv_;  // waiters: entry became terminal
+  std::map<std::uint64_t, Entry> entries_;
+  std::deque<std::uint64_t> queue_;
+  std::uint64_t next_ticket_ = 0;
+  std::size_t admitted_memory_ = 0;  // charge of queued + running requests
+  std::size_t live_count_ = 0;       // non-terminal entries
+  bool paused_ = false;
+  bool draining_ = false;
+  bool stopping_ = false;
+  ServiceStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace partita::service

@@ -1,0 +1,31 @@
+#include "support/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace partita::support {
+
+namespace {
+
+class SystemClock final : public Clock {
+ public:
+  std::int64_t now_micros() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void sleep_micros(std::int64_t micros) override {
+    if (micros <= 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+Clock& Clock::system() {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace partita::support

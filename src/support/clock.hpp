@@ -1,0 +1,65 @@
+// Injectable monotonic clock.
+//
+// Everything in the repo that reads wall-clock time for a *decision* --
+// ResourceBudget deadline checks in the branch & bound, retry backoff in the
+// solve service -- goes through this interface instead of
+// std::chrono::steady_clock directly. Production uses Clock::system();
+// robustness tests substitute a FakeClock so deadline expiry and backoff
+// sequences are asserted deterministically, with zero real sleeps and zero
+// flaky timing margins. (Pure observability timers -- SolverStats seconds --
+// intentionally keep reading the real clock: they report, they never decide.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace partita::support {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic timestamp in microseconds. Only differences are meaningful.
+  virtual std::int64_t now_micros() = 0;
+
+  /// Blocks the calling thread for `micros` (used by retry backoff). A fake
+  /// clock advances its own time instead of sleeping for real.
+  virtual void sleep_micros(std::int64_t micros) = 0;
+
+  /// The steady_clock-backed process-wide default.
+  static Clock& system();
+};
+
+/// Manually-driven clock for tests: time only moves via advance_micros() or
+/// a sleep_micros() call (which completes instantly and records how long it
+/// "slept"). All operations are thread-safe.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(std::int64_t start_micros = 0) : now_(start_micros) {}
+
+  std::int64_t now_micros() override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void sleep_micros(std::int64_t micros) override {
+    if (micros <= 0) return;
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+    slept_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+  void advance_micros(std::int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+  /// Total time "slept" through sleep_micros -- what a real clock would have
+  /// blocked for. Lets tests assert an exact backoff sequence.
+  std::int64_t slept_micros() const {
+    return slept_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::int64_t> now_;
+  std::atomic<std::int64_t> slept_{0};
+};
+
+}  // namespace partita::support

@@ -7,14 +7,17 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
-void FaultInjector::arm(std::string_view site, std::uint64_t trip_at) {
+void FaultInjector::arm(std::string_view site, std::uint64_t trip_at, bool sticky) {
+  auto fresh = std::make_shared<Site>();
+  fresh->trip_at = trip_at == 0 ? 1 : trip_at;
+  fresh->sticky = sticky;
   std::lock_guard<std::mutex> g(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) {
-    sites_.emplace(std::string(site), Site{trip_at, 0});
+    sites_.emplace(std::string(site), std::move(fresh));
     armed_count_.fetch_add(1, std::memory_order_relaxed);
   } else {
-    it->second = Site{trip_at, 0};
+    it->second = std::move(fresh);  // re-arm: fresh counters
   }
 }
 
@@ -33,17 +36,35 @@ void FaultInjector::reset() {
 }
 
 bool FaultInjector::should_trip(std::string_view site) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = sites_.find(site);
-  if (it == sites_.end()) return false;
-  ++it->second.hits;
-  return it->second.hits >= it->second.trip_at;
+  std::shared_ptr<Site> s;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return false;
+    s = it->second;
+  }
+  // Every checkpoint is counted -- hits() reports true traffic even after a
+  // sticky trip, and concurrent calls never lose a hit (single fetch_add).
+  const std::uint64_t n = s->hits.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (s->tripped.load(std::memory_order_acquire)) return true;
+  if (n == s->trip_at) {
+    // Exactly one thread performs this transition.
+    if (s->sticky) s->tripped.store(true, std::memory_order_release);
+    return true;
+  }
+  if (n > s->trip_at) return s->sticky;
+  return false;
 }
 
 std::uint64_t FaultInjector::hits(std::string_view site) const {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = sites_.find(site);
-  return it == sites_.end() ? 0 : it->second.hits;
+  std::shared_ptr<Site> s;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return 0;
+    s = it->second;
+  }
+  return s->hits.load(std::memory_order_acquire);
 }
 
 }  // namespace partita::support

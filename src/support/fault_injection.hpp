@@ -8,12 +8,20 @@
 // the Nth call on (sticky, like a real expired deadline), so every recovery
 // path runs reproducibly in ctest.
 //
-// The disarmed fast path is one relaxed atomic load; with nothing armed the
-// hooks cost nothing measurable. Hit counting is mutex-guarded, so sites
-// checked from solver worker lanes are safe to arm -- but for a
-// deterministic *count* across thread counts, arm multi-threaded sites with
-// trip_at = 1 (every check trips) and reserve trip_at > 1 for sites checked
-// on a single thread (wave boundaries, arena allocation).
+// Thread safety: site registration (arm/disarm/reset) takes a mutex; hit
+// counting is a single fetch_add on an atomic per-site counter, and the
+// sticky state is an atomic flag. Concurrent should_trip calls from the
+// solve-service worker pool therefore never lose a hit, exactly one call
+// observes the trip transition, and once a sticky site trips *every* thread
+// sees it tripped from then on -- which is what makes soak tests with armed
+// sites deterministic in their invariants (though not in which request
+// trips). The disarmed fast path is one relaxed atomic load; with nothing
+// armed the hooks cost nothing measurable.
+//
+// For a deterministic trip *position* across thread counts, arm
+// multi-threaded sites with trip_at = 1 (every check trips) and reserve
+// trip_at > 1 for sites checked on a single thread (wave boundaries, arena
+// allocation).
 //
 // Sites currently wired:
 //   "ilp.deadline"         wave-boundary deadline check in branch & bound
@@ -21,15 +29,18 @@
 //   "simplex.warm_refactor" basis import/refactorization in solve_warm
 //   "select.objective_skew" drops interface areas from the selection
 //                          objective (oracle/shrinker divergence demo)
+//   "service.transient"    injected transient failure in the solve service
+//                          worker (exercises RetryPolicy + quarantine)
 //
 // The CLI additionally arms one site from the PARTITA_FAULT=site[:n]
-// environment variable (tools/partita_cli.cpp), so ctest can exercise the
-// degraded exit path end to end.
+// environment variable (tools/partita_cli.cpp, tools/partita_served.cpp), so
+// ctest can exercise the degraded exit path end to end.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -40,9 +51,12 @@ class FaultInjector {
  public:
   static FaultInjector& instance();
 
-  /// Arms `site`: the trip_at-th call to should_trip (1-based) and every
-  /// call after it return true. Re-arming resets the hit count.
-  void arm(std::string_view site, std::uint64_t trip_at = 1);
+  /// Arms `site`. Sticky (default): the trip_at-th call to should_trip
+  /// (1-based) and every call after it return true, like a real expired
+  /// deadline. Non-sticky: *only* the trip_at-th call returns true -- a
+  /// one-shot transient fault that subsequent retries recover from.
+  /// Re-arming resets the hit count.
+  void arm(std::string_view site, std::uint64_t trip_at = 1, bool sticky = true);
   void disarm(std::string_view site);
   /// Disarms every site and clears all hit counts.
   void reset();
@@ -57,11 +71,15 @@ class FaultInjector {
  private:
   struct Site {
     std::uint64_t trip_at = 1;
-    std::uint64_t hits = 0;
+    bool sticky = true;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<bool> tripped{false};
   };
 
+  // Sites are shared_ptr so should_trip can count outside the registration
+  // lock (and survive a concurrent disarm).
   mutable std::mutex mu_;
-  std::map<std::string, Site, std::less<>> sites_;
+  std::map<std::string, std::shared_ptr<Site>, std::less<>> sites_;
   std::atomic<int> armed_count_{0};
 
   friend bool fault_should_trip(std::string_view site);
@@ -78,9 +96,10 @@ inline bool fault_should_trip(std::string_view site) {
 /// RAII arming for tests: arms on construction, disarms on destruction.
 class ScopedFault {
  public:
-  explicit ScopedFault(std::string_view site, std::uint64_t trip_at = 1)
+  explicit ScopedFault(std::string_view site, std::uint64_t trip_at = 1,
+                       bool sticky = true)
       : site_(site) {
-    FaultInjector::instance().arm(site_, trip_at);
+    FaultInjector::instance().arm(site_, trip_at, sticky);
   }
   ~ScopedFault() { FaultInjector::instance().disarm(site_); }
   ScopedFault(const ScopedFault&) = delete;

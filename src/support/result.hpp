@@ -9,6 +9,7 @@
 // reach.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
@@ -18,14 +19,44 @@
 
 namespace partita::support {
 
+/// Failure taxonomy consumed by retry logic (support::RetryPolicy) and the
+/// solve service's request lifecycle:
+///   kPermanent -- the same input will fail the same way (parse error, failed
+///                 verification, inconsistent library); never retried.
+///   kTransient -- environmental (allocation failure, an injected transient
+///                 fault, an escaped exception); worth re-running, typically
+///                 on a lower degradation rung.
+///   kCancelled -- the caller asked for the operation to stop; not a defect,
+///                 never retried.
+enum class ErrorKind : std::uint8_t { kPermanent, kTransient, kCancelled };
+
+/// Display name: "permanent", "transient", "cancelled".
+inline const char* to_string(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kPermanent: return "permanent";
+    case ErrorKind::kTransient: return "transient";
+    case ErrorKind::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
 /// A failed operation: one summary line plus the diagnostics that explain it.
 struct Error {
   std::string message;
   std::vector<Diagnostic> diagnostics;
+  ErrorKind kind = ErrorKind::kPermanent;
 
   /// Builds an error that adopts every diagnostic collected so far.
   static Error from(std::string message, const DiagnosticEngine& diags) {
     return Error{std::move(message), diags.diagnostics()};
+  }
+
+  static Error transient(std::string message) {
+    return Error{std::move(message), {}, ErrorKind::kTransient};
+  }
+
+  static Error cancelled(std::string message) {
+    return Error{std::move(message), {}, ErrorKind::kCancelled};
   }
 
   /// "message" followed by one rendered diagnostic per line.

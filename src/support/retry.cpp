@@ -1,0 +1,34 @@
+#include "support/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace partita::support {
+
+namespace {
+
+/// splitmix64: a full-period mixer, so consecutive attempt numbers yield
+/// uncorrelated jitter factors from the same seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::int64_t RetryPolicy::backoff_micros(int attempt) const {
+  if (attempt < 1 || base_backoff_micros <= 0) return 0;
+  double backoff = static_cast<double>(base_backoff_micros) *
+                   std::pow(std::max(1.0, multiplier), attempt - 1);
+  backoff = std::min(backoff, static_cast<double>(max_backoff_micros));
+  if (jitter > 0.0) {
+    const std::uint64_t h = mix64(jitter_seed ^ static_cast<std::uint64_t>(attempt));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+    backoff *= 1.0 + jitter * (2.0 * unit - 1.0);
+  }
+  return static_cast<std::int64_t>(std::llround(std::max(0.0, backoff)));
+}
+
+}  // namespace partita::support

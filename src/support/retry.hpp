@@ -1,0 +1,40 @@
+// Retry with exponential backoff and deterministic seeded jitter.
+//
+// The solve service re-runs requests that failed at a *transient* fault site
+// (ErrorKind::kTransient); permanent and cancelled errors are never retried.
+// Backoff grows geometrically per attempt and is scattered by a jitter factor
+// derived purely from (jitter_seed, attempt) -- no global RNG, no wall clock
+// -- so a fixed seed reproduces the exact backoff sequence in tests, while
+// distinct per-request seeds de-correlate retries under load.
+#pragma once
+
+#include <cstdint>
+
+#include "support/result.hpp"
+
+namespace partita::support {
+
+struct RetryPolicy {
+  /// Total attempts including the first; <= 1 disables retries.
+  int max_attempts = 3;
+  /// Backoff before retry k (k >= 1, after the k-th failed attempt) is
+  /// base * multiplier^(k-1), clamped to max, then jittered.
+  std::int64_t base_backoff_micros = 2000;
+  double multiplier = 2.0;
+  std::int64_t max_backoff_micros = 250000;
+  /// Uniform jitter in [1 - jitter, 1 + jitter]; 0 disables.
+  double jitter = 0.25;
+  std::uint64_t jitter_seed = 0;
+
+  /// Deterministic backoff before retry `attempt` (1-based count of failed
+  /// attempts so far). Pure in (policy, attempt).
+  std::int64_t backoff_micros(int attempt) const;
+
+  /// True when a failure of kind e.kind after `attempts_done` attempts
+  /// should be re-run: only transient errors, only below the attempt cap.
+  bool should_retry(const Error& e, int attempts_done) const {
+    return attempts_done < max_attempts && e.kind == ErrorKind::kTransient;
+  }
+};
+
+}  // namespace partita::support

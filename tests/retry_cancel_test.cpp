@@ -1,0 +1,261 @@
+// Retry policy, injectable clock, cooperative cancellation and the
+// thread-safety contract of the fault injector -- the deterministic building
+// blocks under the solve service. Everything here runs on fake or counting
+// clocks: no real sleeps, no timing margins.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ilp/branch_bound.hpp"
+#include "select/flow.hpp"
+#include "support/cancel.hpp"
+#include "support/clock.hpp"
+#include "support/fault_injection.hpp"
+#include "support/result.hpp"
+#include "support/retry.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita {
+namespace {
+
+// --- RetryPolicy ---------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffIsGeometricAndClampedWithoutJitter) {
+  support::RetryPolicy p;
+  p.base_backoff_micros = 1000;
+  p.multiplier = 3.0;
+  p.max_backoff_micros = 7000;
+  p.jitter = 0.0;
+  EXPECT_EQ(p.backoff_micros(1), 1000);  // base * 3^0
+  EXPECT_EQ(p.backoff_micros(2), 3000);  // base * 3^1
+  EXPECT_EQ(p.backoff_micros(3), 7000);  // base * 3^2 = 9000, clamped
+  EXPECT_EQ(p.backoff_micros(4), 7000);  // stays at the cap
+}
+
+TEST(RetryPolicy, JitterIsDeterministicInSeedAndAttempt) {
+  support::RetryPolicy p;
+  p.base_backoff_micros = 10000;
+  p.jitter = 0.25;
+  p.jitter_seed = 42;
+  // Pure in (policy, attempt): same inputs, same backoff, every call.
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    EXPECT_EQ(p.backoff_micros(attempt), p.backoff_micros(attempt));
+  }
+  // Bounded by the jitter band around the nominal (pre-jitter) backoff.
+  support::RetryPolicy nominal = p;
+  nominal.jitter = 0.0;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    const double nom = static_cast<double>(nominal.backoff_micros(attempt));
+    const double got = static_cast<double>(p.backoff_micros(attempt));
+    EXPECT_GE(got, nom * 0.75 - 1.0);
+    EXPECT_LE(got, nom * 1.25 + 1.0);
+  }
+  // A different seed scatters differently somewhere in the first attempts.
+  support::RetryPolicy other = p;
+  other.jitter_seed = 43;
+  bool differs = false;
+  for (int attempt = 1; attempt <= 5; ++attempt) {
+    differs |= other.backoff_micros(attempt) != p.backoff_micros(attempt);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, RetriesOnlyTransientErrorsBelowTheAttemptCap) {
+  support::RetryPolicy p;
+  p.max_attempts = 3;
+  const support::Error transient = support::Error::transient("flaky");
+  const support::Error permanent{"bad input", {}};
+  const support::Error cancelled = support::Error::cancelled("stop");
+  EXPECT_TRUE(p.should_retry(transient, 1));
+  EXPECT_TRUE(p.should_retry(transient, 2));
+  EXPECT_FALSE(p.should_retry(transient, 3));  // cap counts total attempts
+  EXPECT_FALSE(p.should_retry(permanent, 1));
+  EXPECT_FALSE(p.should_retry(cancelled, 1));
+}
+
+TEST(RetryPolicy, ErrorKindRoundTrips) {
+  EXPECT_EQ(support::Error::transient("x").kind, support::ErrorKind::kTransient);
+  EXPECT_EQ(support::Error::cancelled("x").kind, support::ErrorKind::kCancelled);
+  EXPECT_EQ((support::Error{"x", {}}).kind, support::ErrorKind::kPermanent);
+  EXPECT_STREQ(support::to_string(support::ErrorKind::kTransient), "transient");
+  EXPECT_STREQ(support::to_string(support::ErrorKind::kPermanent), "permanent");
+  EXPECT_STREQ(support::to_string(support::ErrorKind::kCancelled), "cancelled");
+}
+
+// --- FakeClock -----------------------------------------------------------------
+
+TEST(FakeClock, SleepAdvancesTimeInstantlyAndRecordsIt) {
+  support::FakeClock clock(1000);
+  EXPECT_EQ(clock.now_micros(), 1000);
+  clock.advance_micros(500);
+  EXPECT_EQ(clock.now_micros(), 1500);
+  clock.sleep_micros(2500);  // returns immediately, no real blocking
+  EXPECT_EQ(clock.now_micros(), 4000);
+  EXPECT_EQ(clock.slept_micros(), 2500);
+  clock.sleep_micros(-10);  // non-positive sleeps are ignored
+  EXPECT_EQ(clock.slept_micros(), 2500);
+}
+
+// --- cooperative cancellation ----------------------------------------------------
+
+TEST(Cancellation, DefaultTokenNeverCancels) {
+  const support::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancellation, SourceSignalsEveryToken) {
+  support::CancelSource src;
+  const support::CancelToken t1 = src.token();
+  const support::CancelToken t2 = src.token();
+  EXPECT_FALSE(t1.cancelled());
+  src.cancel();
+  EXPECT_TRUE(t1.cancelled());
+  EXPECT_TRUE(t2.cancelled());
+}
+
+TEST(Cancellation, PreCancelledTokenStopsBeforeTheFirstWave) {
+  const workloads::Workload w = workloads::gsm_encoder();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+
+  support::CancelSource src;
+  src.cancel();
+  select::SelectOptions opt;
+  opt.ilp.budget.cancel = src.token();
+  const select::Selection sel =
+      flow.value()->select(flow.value()->max_feasible_gain() / 2, opt);
+  EXPECT_TRUE(sel.truncated);
+  EXPECT_EQ(sel.solver.termination, ilp::TerminationReason::kCancelled);
+  EXPECT_EQ(sel.solver.waves, 0);
+  // Cancellation asked the work to stop, not for a cheaper answer: the
+  // greedy fallback rung must NOT fire.
+  EXPECT_FALSE(sel.greedy_fallback);
+  EXPECT_FALSE(sel.feasible);
+  EXPECT_EQ(sel.rung, select::DegradationRung::kInfeasible);
+}
+
+// A clock that flips a cancel source on its Nth observation. The solver
+// reads the clock once at solve start and once per wave-boundary checkpoint,
+// so "cancel at the Nth read" bounds the observable cancellation latency in
+// *waves* -- the contract the service relies on -- with zero wall-clock time.
+class CancellingClock final : public support::Clock {
+ public:
+  CancellingClock(support::CancelSource* src, int cancel_at_call)
+      : src_(src), cancel_at_call_(cancel_at_call) {}
+
+  std::int64_t now_micros() override {
+    if (++calls_ == cancel_at_call_) src_->cancel();
+    return calls_;  // creeps forward 1us per read: never expires a deadline
+  }
+  void sleep_micros(std::int64_t) override {}
+
+  int calls() const { return calls_; }
+
+ private:
+  support::CancelSource* src_;
+  int cancel_at_call_;
+  int calls_ = 0;
+};
+
+TEST(Cancellation, MidSolveCancelTerminatesWithinOneWaveBoundary) {
+  // A larger random instance so the search runs for many waves when left
+  // alone; the cancelling clock stops it after N clock reads.
+  workloads::RandomWorkloadParams params;
+  params.leaf_functions = 12;
+  params.call_sites = 48;
+  params.ips = 16;
+  const workloads::Workload w = workloads::random_workload(params, /*seed=*/3);
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() / 2;
+
+  // Sanity: uncancelled, the search needs well over N waves.
+  const select::Selection free_run = flow.value()->select(rg);
+  ASSERT_GT(free_run.solver.waves, 8);
+
+  constexpr int kCancelAtCall = 5;
+  support::CancelSource src;
+  CancellingClock clock(&src, kCancelAtCall);
+  select::SelectOptions opt;
+  // A huge (but enabled) time limit keeps the deadline check -- and with it
+  // the per-boundary clock read -- live without ever expiring.
+  opt.ilp.budget.time_limit_seconds = 1e9;
+  opt.ilp.budget.clock = &clock;
+  opt.ilp.budget.cancel = src.token();
+  const select::Selection sel = flow.value()->select(rg, opt);
+
+  EXPECT_EQ(sel.solver.termination, ilp::TerminationReason::kCancelled);
+  EXPECT_TRUE(sel.truncated);
+  // Reads: 1 at solve start + 1 per boundary; the cancel lands at read
+  // kCancelAtCall and must be observed at the *next* boundary check, i.e.
+  // within one wave -- never later.
+  EXPECT_LE(sel.solver.waves, kCancelAtCall);
+  EXPECT_GE(clock.calls(), kCancelAtCall);
+}
+
+// --- FaultInjector thread safety -------------------------------------------------
+
+TEST(FaultInjectorThreads, StickyTripIsVisibleToEveryThreadAndLosesNoHits) {
+  auto& fi = support::FaultInjector::instance();
+  fi.arm("test.sticky", /*trip_at=*/64, /*sticky=*/true);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 100;
+  std::atomic<int> trips{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        if (support::fault_should_trip("test.sticky")) ++trips;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  // fetch_add never loses a checkpoint...
+  EXPECT_EQ(fi.hits("test.sticky"), kThreads * kCallsPerThread);
+  // ...and once tripped, sticky stays tripped: everything from the trip_at-th
+  // hit on fires, and the site keeps firing after the threads are gone.
+  EXPECT_EQ(trips.load(), kThreads * kCallsPerThread - 63);
+  EXPECT_TRUE(support::fault_should_trip("test.sticky"));
+  fi.disarm("test.sticky");
+  EXPECT_FALSE(support::fault_should_trip("test.sticky"));
+}
+
+TEST(FaultInjectorThreads, NonStickyTripFiresExactlyOnceAcrossThreads) {
+  auto& fi = support::FaultInjector::instance();
+  fi.arm("test.oneshot", /*trip_at=*/37, /*sticky=*/false);
+  constexpr int kThreads = 8;
+  constexpr int kCallsPerThread = 50;
+  std::atomic<int> trips{0};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        if (support::fault_should_trip("test.oneshot")) ++trips;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  // Exactly one checkpoint -- whichever thread drew hit #37 -- observed the
+  // fault; a one-shot transient never fires twice.
+  EXPECT_EQ(trips.load(), 1);
+  EXPECT_EQ(fi.hits("test.oneshot"), kThreads * kCallsPerThread);
+  fi.disarm("test.oneshot");
+}
+
+TEST(FaultInjectorThreads, RearmResetsTheHitCount) {
+  auto& fi = support::FaultInjector::instance();
+  fi.arm("test.rearm", /*trip_at=*/3);
+  EXPECT_FALSE(support::fault_should_trip("test.rearm"));
+  EXPECT_FALSE(support::fault_should_trip("test.rearm"));
+  EXPECT_TRUE(support::fault_should_trip("test.rearm"));
+  fi.arm("test.rearm", /*trip_at=*/2);  // fresh site: count starts over
+  EXPECT_FALSE(support::fault_should_trip("test.rearm"));
+  EXPECT_TRUE(support::fault_should_trip("test.rearm"));
+  fi.disarm("test.rearm");
+}
+
+}  // namespace
+}  // namespace partita

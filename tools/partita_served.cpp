@@ -1,0 +1,264 @@
+// partita_served — script-driven front end for the concurrent solve service.
+//
+//   partita_served [options] <script>      run the command script
+//   partita_served [options] -             read commands from stdin
+//
+// options:
+//   --workers N         worker-pool size (default 2; must be >= 1)
+//   --queue-depth N     admission-queue depth (default 16; must be >= 1)
+//   --max-memory-mb N   aggregate admitted solver-memory budget (0 = off)
+//   --quarantine-dir D  directory for replayable quarantine fixtures
+//   --paused            start with the workers parked (resume via `resume`)
+//
+// script commands (one per line; '#' starts a comment):
+//   submit <builtin> [rg]               submit a built-in workload
+//   spec <seed> [scalls] [kernels] [ips] submit a random generated instance
+//                                       (carries its InstanceSpec, so a
+//                                       failure leaves a replayable fixture)
+//   cancel <k>                          cancel the k-th submission (1-based)
+//   fault <site>[:n]                    arm a fault-injection site
+//   resume                              unpark a --paused service
+//   drain                               drain now (later submits are rejected)
+//   selfterm                            raise SIGTERM against this process
+//
+// Lifecycle: after the script (or on SIGTERM, which may arrive at any point)
+// the service drains gracefully -- every submitted request reaches a terminal
+// state and is reported -- and the process exits 0. PARTITA_FAULT=site[:n] in
+// the environment arms one extra site before the service starts.
+//
+// exit codes: 0 clean drain (including SIGTERM-triggered), 2 usage/bad
+// config, 3 unreadable script.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/solve_service.hpp"
+#include "support/fault_injection.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace partita;
+
+namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+
+volatile std::sig_atomic_t g_sigterm = 0;
+
+void on_sigterm(int) { g_sigterm = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue-depth N] [--max-memory-mb N]\n"
+               "       %*s [--quarantine-dir D] [--paused] <script | ->\n"
+               "\n"
+               "script commands: submit <builtin> [rg] | spec <seed> [scalls\n"
+               "kernels ips] | cancel <k> | fault <site>[:n] | resume | drain |\n"
+               "selfterm\n"
+               "\n"
+               "exit codes: 0 clean drain (SIGTERM included), 2 usage, 3 bad script\n",
+               argv0, static_cast<int>(std::strlen(argv0)), "");
+  std::exit(kExitUsage);
+}
+
+std::optional<workloads::Workload> builtin(const std::string& name) {
+  if (name == "gsm_encoder") return workloads::gsm_encoder();
+  if (name == "gsm_decoder") return workloads::gsm_decoder();
+  if (name == "jpeg_encoder") return workloads::jpeg_encoder();
+  if (name == "fig9") return workloads::fig9_case();
+  if (name == "fig10") return workloads::fig10_case();
+  if (name == "adpcm_codec") return workloads::adpcm_codec();
+  return std::nullopt;
+}
+
+void arm_fault(const std::string& spec_in) {
+  std::string spec = spec_in;
+  std::uint64_t trip_at = 1;
+  if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+    trip_at = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+    if (trip_at == 0) trip_at = 1;
+    spec.resize(colon);
+  }
+  support::FaultInjector::instance().arm(spec, trip_at);
+}
+
+void arm_fault_from_env() {
+  const char* env = std::getenv("PARTITA_FAULT");
+  if (env && *env) arm_fault(env);
+}
+
+/// One terminal-report line per request, in submission order.
+void report(const service::SolveResponse& r) {
+  std::printf("#%llu %-16s %s", static_cast<unsigned long long>(r.ticket),
+              r.label.c_str(), service::to_string(r.state));
+  switch (r.state) {
+    case service::RequestState::kCompleted:
+      std::printf(" area=%.3f gain=%lld rung=%s attempts=%d", r.selection.total_area(),
+                  static_cast<long long>(r.selection.min_path_gain),
+                  select::to_string(r.selection.rung), r.attempts);
+      break;
+    case service::RequestState::kRejected:
+      std::printf(" retry-after=%.3fs (%s)", r.retry_after_seconds,
+                  r.error.message.c_str());
+      break;
+    case service::RequestState::kFailed:
+      std::printf(" attempts=%d (%s)%s%s", r.attempts, r.error.message.c_str(),
+                  r.quarantine_fixture.empty() ? "" : " fixture=",
+                  r.quarantine_fixture.c_str());
+      break;
+    default: break;
+  }
+  std::printf("\n");
+}
+
+int run(int argc, char** argv) {
+  service::ServiceConfig cfg;
+  std::string script_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "partita_served: %s needs a value\n", flag.c_str());
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (flag == "--workers") cfg.workers = std::atoi(need_value());
+    else if (flag == "--queue-depth")
+      cfg.max_queue_depth = static_cast<std::size_t>(std::atoll(need_value()));
+    else if (flag == "--max-memory-mb")
+      cfg.max_admitted_memory_bytes =
+          static_cast<std::size_t>(std::atof(need_value()) * 1024.0 * 1024.0);
+    else if (flag == "--quarantine-dir") cfg.quarantine_dir = need_value();
+    else if (flag == "--paused") cfg.start_paused = true;
+    else if (!flag.empty() && flag[0] == '-' && flag != "-") {
+      std::fprintf(stderr, "partita_served: unknown option '%s'\n", flag.c_str());
+      return kExitUsage;
+    } else if (script_path.empty()) {
+      script_path = flag;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (script_path.empty()) usage(argv[0]);
+  if (cfg.workers < 1) {
+    std::fprintf(stderr, "partita_served: --workers must be >= 1\n");
+    return kExitUsage;
+  }
+  if (cfg.max_queue_depth < 1) {
+    std::fprintf(stderr, "partita_served: --queue-depth must be >= 1\n");
+    return kExitUsage;
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (script_path != "-") {
+    file.open(script_path);
+    if (!file) {
+      std::fprintf(stderr, "partita_served: cannot open '%s'\n", script_path.c_str());
+      return kExitInput;
+    }
+    in = &file;
+  }
+
+  arm_fault_from_env();
+  std::signal(SIGTERM, on_sigterm);
+
+  service::SolveService svc(cfg);
+  std::vector<std::uint64_t> tickets;
+
+  std::string line;
+  while (!g_sigterm && std::getline(*in, line)) {
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string cmd;
+    if (!(ls >> cmd)) continue;
+
+    if (cmd == "submit") {
+      std::string name;
+      long long rg = -1;
+      ls >> name >> rg;
+      auto wl = builtin(name);
+      if (!wl) {
+        std::fprintf(stderr, "partita_served: unknown workload '%s'\n", name.c_str());
+        return kExitInput;
+      }
+      service::SolveRequest req;
+      req.label = name;
+      req.workload = std::move(*wl);
+      req.required_gain = rg;
+      tickets.push_back(svc.submit(std::move(req)));
+    } else if (cmd == "spec") {
+      unsigned long long seed = 1;
+      workloads::InstanceGenParams p;
+      ls >> seed >> p.scalls >> p.kernels >> p.ips;
+      workloads::InstanceSpec spec = workloads::random_instance_spec(p, seed);
+      service::SolveRequest req;
+      req.label = "spec_" + std::to_string(seed);
+      req.workload = workloads::spec_workload(spec);
+      req.spec = std::move(spec);
+      tickets.push_back(svc.submit(std::move(req)));
+    } else if (cmd == "cancel") {
+      std::size_t k = 0;
+      ls >> k;
+      if (k < 1 || k > tickets.size()) {
+        std::fprintf(stderr, "partita_served: cancel index %zu out of range\n", k);
+        return kExitInput;
+      }
+      svc.cancel(tickets[k - 1]);
+    } else if (cmd == "fault") {
+      std::string site;
+      ls >> site;
+      arm_fault(site);
+    } else if (cmd == "resume") {
+      svc.resume();
+    } else if (cmd == "drain") {
+      svc.drain();
+    } else if (cmd == "selfterm") {
+      std::raise(SIGTERM);
+    } else {
+      std::fprintf(stderr, "partita_served: unknown command '%s'\n", cmd.c_str());
+      return kExitInput;
+    }
+  }
+
+  // Graceful shutdown -- also the SIGTERM path: stop admission, flush every
+  // request to a terminal state, report, exit 0.
+  if (g_sigterm) std::printf("sigterm: draining\n");
+  svc.drain();
+  for (std::uint64_t t : tickets) report(svc.wait(t));
+  const service::ServiceStats st = svc.stats();
+  std::printf(
+      "stats: submitted=%llu completed=%llu cancelled=%llu rejected=%llu "
+      "failed=%llu retries=%llu peak-queue=%zu\n",
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.cancelled),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(st.retries), st.peak_queue_depth);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "partita_served: fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "partita_served: fatal: unknown exception\n");
+    return 1;
+  }
+}
