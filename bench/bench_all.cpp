@@ -1,0 +1,460 @@
+// Whole-stack perf driver: one binary, one JSON record, the full hot path.
+//
+// Measures, for the pre-PR solver configuration (full Dantzig pricing, no
+// root cuts, serial solves) and the current one (candidate-list pricing,
+// root cuts, batch solve):
+//
+//   * lp        -- raw simplex throughput (LP iterations/sec) on the seed
+//                  apps' root relaxations;
+//   * bnb       -- branch & bound throughput (nodes/sec) on full selections;
+//   * end_to_end-- wall clock of an RG-ladder sweep per workload (the Fig. 9
+//                  use case), old serial-vs-new batched, with the speedup;
+//   * service   -- SolveService throughput and p50/p99 latency over a burst
+//                  of requests (batched admission vs one-shot).
+//
+// Output: a partita-bench-v1 JSON record (schema in docs/benchmarks.md),
+// default BENCH_<date>.json in the working directory.
+//
+//   bench_all [--smoke] [--out <path>] [--check <baseline.json>]
+//
+// --smoke shrinks repetitions and workload sizes for CI;
+// --check compares lp.iters_per_sec / bnb.nodes_per_sec against a committed
+// baseline record and exits 1 on a >20% regression (the CI gate).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_meta.hpp"
+#include "ilp/presolve.hpp"
+#include "ilp/simplex.hpp"
+#include "select/flow.hpp"
+#include "service/solve_service.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using partita::select::Flow;
+using partita::select::SelectOptions;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Pre-PR solver configuration: the hot path as it was before this change.
+SelectOptions old_config() {
+  SelectOptions opt;
+  opt.ilp.lp.pricing = partita::ilp::PricingMode::kDantzig;
+  opt.ilp.cuts = false;
+  return opt;
+}
+
+/// Current defaults: candidate-list pricing + root cuts (+ batching where
+/// the scenario uses select_batch).
+SelectOptions new_config() { return SelectOptions{}; }
+
+partita::workloads::Workload sized_workload(int sites, std::uint64_t seed) {
+  partita::workloads::RandomWorkloadParams p;
+  p.call_sites = sites;
+  p.leaf_functions = std::max(3, sites / 3);
+  p.ips = std::max(4, sites / 2);
+  return partita::workloads::random_workload(p, seed);
+}
+
+struct Scenario {
+  std::string name;
+  partita::workloads::Workload workload;
+};
+
+std::vector<Scenario> scenarios(bool smoke) {
+  std::vector<Scenario> out;
+  out.push_back({"gsm_encoder", partita::workloads::gsm_encoder()});
+  out.push_back({"gsm_decoder", partita::workloads::gsm_decoder()});
+  out.push_back({"jpeg_encoder", partita::workloads::jpeg_encoder()});
+  out.push_back({"random_24site", sized_workload(24, 4242)});
+  if (!smoke) out.push_back({"random_48site", sized_workload(48, 4242)});
+  return out;
+}
+
+// --- section results -------------------------------------------------------
+
+struct LpResultRow {
+  std::string name;
+  long long iterations = 0;
+  double seconds = 0.0;
+  double iters_per_sec = 0.0;
+};
+
+struct BnbResultRow {
+  std::string name;
+  long long nodes = 0;
+  long long cuts_applied = 0;
+  double seconds = 0.0;
+  double nodes_per_sec = 0.0;
+};
+
+struct EndToEndRow {
+  std::string name;
+  int items = 0;
+  double old_seconds = 0.0;
+  double new_seconds = 0.0;
+  double speedup = 0.0;
+  long long batch_hits = 0;
+  long long cuts_applied = 0;
+};
+
+struct ServiceResult {
+  int requests = 0;
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  long long amortized_hits = 0;
+};
+
+/// Repeated root-relaxation solves of the workload's full-gain model.
+LpResultRow bench_lp(const Scenario& sc, const partita::ilp::LpOptions& lp_opt,
+                     int reps) {
+  Flow flow(sc.workload.module, sc.workload.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  partita::ilp::Model m = flow.selector().build_model(
+      std::vector<std::int64_t>(flow.paths().size(), std::max<std::int64_t>(1, gmax)),
+      {});
+  std::vector<double> lo(m.var_count()), hi(m.var_count());
+  for (std::size_t j = 0; j < m.var_count(); ++j) {
+    lo[j] = m.var(static_cast<partita::ilp::VarIndex>(j)).lower;
+    hi[j] = m.var(static_cast<partita::ilp::VarIndex>(j)).upper;
+  }
+  const partita::ilp::PresolveResult pre = partita::ilp::presolve(m, lo, hi);
+
+  LpResultRow row;
+  row.name = sc.name;
+  const Clock::time_point t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    const partita::ilp::LpResult res =
+        partita::ilp::solve_lp(m, pre.lower, pre.upper, lp_opt);
+    row.iterations += res.iterations;
+  }
+  row.seconds = seconds_since(t0);
+  row.iters_per_sec = row.seconds > 0 ? row.iterations / row.seconds : 0.0;
+  return row;
+}
+
+/// Full selections at gmax/2 (the CLI default operating point).
+BnbResultRow bench_bnb(const Scenario& sc, const SelectOptions& opt, int reps) {
+  Flow flow(sc.workload.module, sc.workload.library);
+  const std::int64_t rg = flow.max_feasible_gain() / 2;
+  BnbResultRow row;
+  row.name = sc.name;
+  const Clock::time_point t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    const partita::select::Selection sel = flow.select(rg, opt);
+    row.nodes += sel.solver.nodes;
+    row.cuts_applied += sel.solver.cuts_applied;
+  }
+  row.seconds = seconds_since(t0);
+  row.nodes_per_sec = row.seconds > 0 ? row.nodes / row.seconds : 0.0;
+  return row;
+}
+
+/// RG-ladder sweep: old = serial selects under the pre-PR config, new =
+/// one select_batch under current defaults.
+EndToEndRow bench_end_to_end(const Scenario& sc, int steps) {
+  Flow flow(sc.workload.module, sc.workload.library);
+  const std::int64_t gmax = flow.max_feasible_gain();
+  std::vector<std::int64_t> rgs;
+  for (int k = 1; k <= steps; ++k) rgs.push_back(gmax * k / steps);
+
+  EndToEndRow row;
+  row.name = sc.name;
+  row.items = steps;
+
+  const SelectOptions oldc = old_config();
+  Clock::time_point t0 = Clock::now();
+  std::vector<partita::select::Selection> serial;
+  serial.reserve(rgs.size());
+  for (const std::int64_t rg : rgs) serial.push_back(flow.select(rg, oldc));
+  row.old_seconds = seconds_since(t0);
+
+  t0 = Clock::now();
+  const std::vector<partita::select::Selection> batched =
+      flow.select_batch(rgs, new_config());
+  row.new_seconds = seconds_since(t0);
+
+  for (const partita::select::Selection& sel : batched) {
+    row.batch_hits += sel.solver.batch_hits;
+    row.cuts_applied += sel.solver.cuts_applied;
+  }
+  row.speedup = row.new_seconds > 0 ? row.old_seconds / row.new_seconds : 0.0;
+
+  // Paranoia: the two configurations must agree on every answer (the
+  // determinism tests pin this; the bench double-checks the instances it
+  // actually timed).
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    if (serial[i].feasible != batched[i].feasible ||
+        serial[i].chosen != batched[i].chosen) {
+      std::fprintf(stderr, "bench_all: %s item %zu: serial/batch disagree\n",
+                   sc.name.c_str(), i);
+      std::exit(2);
+    }
+  }
+  return row;
+}
+
+/// Burst of batched requests against a SolveService; per-item wait latency.
+ServiceResult bench_service(bool smoke) {
+  const int batches = smoke ? 2 : 4;
+  const int items = smoke ? 3 : 6;
+
+  partita::service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue_depth = 64;
+  partita::service::SolveService service(cfg);
+
+  ServiceResult res;
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::uint64_t> tickets;
+  std::vector<Clock::time_point> submit_times;
+  for (int b = 0; b < batches; ++b) {
+    partita::service::BatchSolveRequest req;
+    req.label = "bench_batch" + std::to_string(b);
+    req.workload = sized_workload(12, 1000 + static_cast<std::uint64_t>(b));
+    req.required_gains.assign(static_cast<std::size_t>(items), -1);
+    const std::vector<std::uint64_t> ts = service.submit_batch(std::move(req));
+    for (const std::uint64_t t : ts) {
+      tickets.push_back(t);
+      submit_times.push_back(Clock::now());
+    }
+  }
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(tickets.size());
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const partita::service::SolveResponse r = service.wait(tickets[i]);
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - submit_times[i])
+            .count());
+    if (r.state != partita::service::RequestState::kCompleted) {
+      std::fprintf(stderr, "bench_all: service request %llu not completed\n",
+                   static_cast<unsigned long long>(tickets[i]));
+    }
+  }
+  res.seconds = seconds_since(t0);
+  res.requests = static_cast<int>(tickets.size());
+  res.requests_per_sec = res.seconds > 0 ? res.requests / res.seconds : 0.0;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  if (!latencies_ms.empty()) {
+    res.p50_ms = latencies_ms[latencies_ms.size() / 2];
+    res.p99_ms = latencies_ms[std::min(latencies_ms.size() - 1,
+                                       latencies_ms.size() * 99 / 100)];
+  }
+  res.amortized_hits =
+      static_cast<long long>(service.stats().batch_amortized_hits);
+  service.shutdown();
+  return res;
+}
+
+// --- JSON ------------------------------------------------------------------
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", std::isfinite(v) ? v : 0.0);
+  return buf;
+}
+
+std::string render_json(const partita::bench::MachineMeta& meta, bool smoke,
+                        const std::vector<LpResultRow>& lp_old,
+                        const std::vector<LpResultRow>& lp_new,
+                        const std::vector<BnbResultRow>& bnb_old,
+                        const std::vector<BnbResultRow>& bnb_new,
+                        const std::vector<EndToEndRow>& e2e,
+                        const ServiceResult& svc) {
+  std::ostringstream os;
+  os << "{\n  \"metadata\": " << partita::bench::meta_json(meta) << ",\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+
+  auto lp_section = [&](const char* key, const std::vector<LpResultRow>& rows) {
+    os << "  \"" << key << "\": {";
+    long long iters = 0;
+    double secs = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      iters += rows[i].iterations;
+      secs += rows[i].seconds;
+      os << (i ? ", " : "") << "\"" << rows[i].name
+         << "\": {\"iterations\": " << rows[i].iterations
+         << ", \"seconds\": " << fmt(rows[i].seconds)
+         << ", \"iters_per_sec\": " << fmt(rows[i].iters_per_sec) << "}";
+    }
+    os << ", \"iters_per_sec\": " << fmt(secs > 0 ? iters / secs : 0.0) << "},\n";
+  };
+  lp_section("lp_dantzig", lp_old);
+  lp_section("lp", lp_new);
+
+  auto bnb_section = [&](const char* key, const std::vector<BnbResultRow>& rows) {
+    os << "  \"" << key << "\": {";
+    long long nodes = 0;
+    double secs = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      nodes += rows[i].nodes;
+      secs += rows[i].seconds;
+      os << (i ? ", " : "") << "\"" << rows[i].name
+         << "\": {\"nodes\": " << rows[i].nodes
+         << ", \"cuts_applied\": " << rows[i].cuts_applied
+         << ", \"seconds\": " << fmt(rows[i].seconds)
+         << ", \"nodes_per_sec\": " << fmt(rows[i].nodes_per_sec) << "}";
+    }
+    os << ", \"nodes_per_sec\": " << fmt(secs > 0 ? nodes / secs : 0.0) << "},\n";
+  };
+  bnb_section("bnb_baseline", bnb_old);
+  bnb_section("bnb", bnb_new);
+
+  os << "  \"end_to_end\": {";
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    os << (i ? ", " : "") << "\"" << e2e[i].name << "\": {\"items\": " << e2e[i].items
+       << ", \"old_seconds\": " << fmt(e2e[i].old_seconds)
+       << ", \"new_seconds\": " << fmt(e2e[i].new_seconds)
+       << ", \"speedup\": " << fmt(e2e[i].speedup)
+       << ", \"batch_hits\": " << e2e[i].batch_hits
+       << ", \"cuts_applied\": " << e2e[i].cuts_applied << "}";
+  }
+  os << "},\n";
+
+  os << "  \"service\": {\"requests\": " << svc.requests
+     << ", \"seconds\": " << fmt(svc.seconds)
+     << ", \"requests_per_sec\": " << fmt(svc.requests_per_sec)
+     << ", \"p50_ms\": " << fmt(svc.p50_ms) << ", \"p99_ms\": " << fmt(svc.p99_ms)
+     << ", \"amortized_hits\": " << svc.amortized_hits << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+/// Minimal extractor for our own schema: finds `"key": <number>` at the
+/// given nesting context by scanning for `"section"` first.
+double extract_metric(const std::string& json, const std::string& section,
+                      const std::string& key) {
+  const auto spos = json.find("\"" + section + "\"");
+  if (spos == std::string::npos) return -1.0;
+  // Last occurrence of the key inside the section object (the aggregate).
+  const auto end = json.find("\n  \"", spos + 1);
+  const std::string scope =
+      json.substr(spos, end == std::string::npos ? std::string::npos : end - spos);
+  const std::string needle = "\"" + key + "\": ";
+  const auto kpos = scope.rfind(needle);
+  if (kpos == std::string::npos) return -1.0;
+  return std::atof(scope.c_str() + kpos + needle.size());
+}
+
+int check_regression(const std::string& current, const std::string& baseline_path) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "bench_all: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string baseline = ss.str();
+
+  int failures = 0;
+  const struct {
+    const char* section;
+    const char* key;
+  } gates[] = {{"lp", "iters_per_sec"}, {"bnb", "nodes_per_sec"}};
+  for (const auto& g : gates) {
+    const double base = extract_metric(baseline, g.section, g.key);
+    const double cur = extract_metric(current, g.section, g.key);
+    if (base <= 0) {
+      std::fprintf(stderr, "bench_all: baseline lacks %s.%s; skipping gate\n",
+                   g.section, g.key);
+      continue;
+    }
+    const double ratio = cur / base;
+    std::printf("gate %s.%s: baseline %.0f, current %.0f (%.2fx)\n", g.section,
+                g.key, base, cur, ratio);
+    if (ratio < 0.8) {
+      std::fprintf(stderr, "bench_all: REGRESSION: %s.%s dropped >20%% (%.2fx)\n",
+                   g.section, g.key, ratio);
+      ++failures;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_all [--smoke] [--out <path>] [--check <baseline>]\n");
+      return 1;
+    }
+  }
+
+  const partita::bench::MachineMeta meta = partita::bench::collect_machine_meta();
+  if (out_path.empty()) out_path = "BENCH_" + meta.date + ".json";
+
+  const int lp_reps = smoke ? 3 : 20;
+  const int bnb_reps = smoke ? 1 : 5;
+  const int sweep_steps = smoke ? 4 : 8;
+
+  const std::vector<Scenario> scs = scenarios(smoke);
+
+  std::vector<LpResultRow> lp_old, lp_new;
+  partita::ilp::LpOptions dantzig;
+  dantzig.pricing = partita::ilp::PricingMode::kDantzig;
+  for (const Scenario& sc : scs) {
+    lp_old.push_back(bench_lp(sc, dantzig, lp_reps));
+    lp_new.push_back(bench_lp(sc, {}, lp_reps));
+    std::printf("lp %-14s dantzig %8.0f it/s  candidate %8.0f it/s\n",
+                sc.name.c_str(), lp_old.back().iters_per_sec,
+                lp_new.back().iters_per_sec);
+  }
+
+  std::vector<BnbResultRow> bnb_old, bnb_new;
+  for (const Scenario& sc : scs) {
+    bnb_old.push_back(bench_bnb(sc, old_config(), bnb_reps));
+    bnb_new.push_back(bench_bnb(sc, new_config(), bnb_reps));
+    std::printf("bnb %-14s old %8.0f nodes/s  new %8.0f nodes/s (%lld cuts)\n",
+                sc.name.c_str(), bnb_old.back().nodes_per_sec,
+                bnb_new.back().nodes_per_sec, bnb_new.back().cuts_applied);
+  }
+
+  std::vector<EndToEndRow> e2e;
+  for (const Scenario& sc : scs) {
+    e2e.push_back(bench_end_to_end(sc, sweep_steps));
+    std::printf("e2e %-14s old %.3fs  new %.3fs  speedup %.2fx (%lld batch hits)\n",
+                sc.name.c_str(), e2e.back().old_seconds, e2e.back().new_seconds,
+                e2e.back().speedup, e2e.back().batch_hits);
+  }
+
+  const ServiceResult svc = bench_service(smoke);
+  std::printf("service %d requests %.2f req/s  p50 %.1fms  p99 %.1fms\n",
+              svc.requests, svc.requests_per_sec, svc.p50_ms, svc.p99_ms);
+
+  const std::string json =
+      render_json(meta, smoke, lp_old, lp_new, bnb_old, bnb_new, e2e, svc);
+  std::ofstream out(out_path);
+  out << json;
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!check_path.empty()) return check_regression(json, check_path);
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "bench_meta.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace partita::bench {
+
+namespace {
+
+std::string run_command(const char* cmd) {
+  std::string out;
+  FILE* pipe = ::popen(cmd, "r");
+  if (pipe == nullptr) return out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out;
+}
+
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("model name");
+    if (pos == std::string::npos) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto start = line.find_first_not_of(" \t", colon + 1);
+    if (start == std::string::npos) break;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MachineMeta collect_machine_meta() {
+  MachineMeta m;
+  m.git_sha = run_command("git rev-parse --short HEAD 2>/dev/null");
+  if (m.git_sha.empty()) m.git_sha = "unknown";
+  m.cpu_model = cpu_model_name();
+  m.cores = static_cast<int>(std::thread::hardware_concurrency());
+#ifdef PARTITA_BUILD_TYPE
+  m.build_type = PARTITA_BUILD_TYPE;
+#endif
+#ifdef PARTITA_BUILD_FLAGS
+  m.build_flags = PARTITA_BUILD_FLAGS;
+#endif
+  std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d", &tm_utc);
+  m.date = buf;
+  return m;
+}
+
+std::string meta_json(const MachineMeta& m) {
+  std::ostringstream os;
+  os << "{\"schema\": \"" << json_escape(m.schema) << "\", \"git_sha\": \""
+     << json_escape(m.git_sha) << "\", \"cpu_model\": \"" << json_escape(m.cpu_model)
+     << "\", \"cores\": " << m.cores << ", \"build_type\": \""
+     << json_escape(m.build_type) << "\", \"build_flags\": \""
+     << json_escape(m.build_flags) << "\", \"date\": \"" << json_escape(m.date)
+     << "\"}";
+  return os.str();
+}
+
+}  // namespace partita::bench

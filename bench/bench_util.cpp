@@ -2,8 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_meta.hpp"
 #include "support/strings.hpp"
 #include "support/text_table.hpp"
 
@@ -81,6 +83,15 @@ int finish_benchmarks(int argc, char** argv) {
   if (smoke) args.push_back(list_flag);
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
+  // Provenance in every JSON record (--benchmark_format=json "context"):
+  // schema tag + the machine/build identity the numbers were measured on.
+  const MachineMeta meta = collect_machine_meta();
+  benchmark::AddCustomContext("partita_bench_schema", meta.schema);
+  benchmark::AddCustomContext("git_sha", meta.git_sha);
+  benchmark::AddCustomContext("cpu_model", meta.cpu_model);
+  benchmark::AddCustomContext("cores", std::to_string(meta.cores));
+  benchmark::AddCustomContext("build_type", meta.build_type);
+  benchmark::AddCustomContext("build_flags", meta.build_flags);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

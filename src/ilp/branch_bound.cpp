@@ -11,6 +11,7 @@
 #include <optional>
 #include <thread>
 
+#include "ilp/cuts.hpp"
 #include "ilp/presolve.hpp"
 #include "support/assert.hpp"
 #include "support/fault_injection.hpp"
@@ -145,9 +146,10 @@ class LanePool {
 
 class Solver {
  public:
-  Solver(const Model& model, const IlpOptions& opt)
+  Solver(const Model& model, const IlpOptions& opt, BatchContext* batch)
       : model_(model),
         opt_(opt),
+        batch_(batch),
         clock_(opt.budget.clock ? *opt.budget.clock : support::Clock::system()) {
     sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
     lanes_count_ = std::max(1, opt.threads);
@@ -172,7 +174,16 @@ class Solver {
     // ---- root presolve -----------------------------------------------------
     if (opt_.presolve) {
       const Clock::time_point tp = Clock::now();
-      pre_ = presolve(model_, root_lo_, root_hi_);
+      // Batch amortization: the clique table only depends on row structure
+      // (not on the retargeted gain RHS values), so later batch items reuse
+      // the first item's table instead of re-scanning every row.
+      const bool reuse_cliques = batch_ != nullptr && batch_->has_cliques;
+      pre_ = presolve(model_, root_lo_, root_hi_, /*extract_cliques=*/!reuse_cliques);
+      if (reuse_cliques) {
+        pre_.cliques = batch_->cliques;
+        pre_.var_cliques = batch_->var_cliques;
+        ++result_.stats.batch_hits;
+      }
       result_.stats.presolve_seconds = seconds_since(tp);
       result_.stats.presolve_fixed = pre_.fixed_vars;
       result_.stats.presolve_rounds = pre_.rounds;
@@ -182,20 +193,40 @@ class Solver {
       }
       root_lo_ = pre_.lower;
       root_hi_ = pre_.upper;
+      if (batch_ != nullptr && !batch_->has_cliques) {
+        batch_->cliques = pre_.cliques;
+        batch_->var_cliques = pre_.var_cliques;
+        batch_->has_cliques = true;
+      }
     } else {
       pre_.var_cliques.assign(model_.var_count(), {});
+    }
+
+    // ---- root relaxation: batch warm start + cutting planes -----------------
+    search_model_ = &model_;
+    if (!root_relaxation()) {
+      finish(TerminationReason::kCompleted, t0);  // root LP proves infeasible
+      return result_;
     }
 
     // ---- lanes and root node ----------------------------------------------
     lanes_.resize(lanes_count_);
     for (Lane& lane : lanes_) {
-      lane.lp = std::make_unique<SimplexSolver>(model_);
+      lane.lp = std::make_unique<SimplexSolver>(*search_model_);
       lane.lo.resize(model_.var_count());
       lane.hi.resize(model_.var_count());
     }
     LanePool pool(lanes_count_);
 
     nodes_.push_back(Node{});
+    if (opt_.warm_start && !root_basis_.empty() &&
+        root_basis_.status.size() ==
+            search_model_->var_count() + search_model_->row_count()) {
+      // Node 0 re-prices from the already-optimal root basis instead of
+      // re-running phase 1 + 2 on the relaxation just solved above.
+      nodes_[0].basis_id = store_basis(std::move(root_basis_));
+      basis_refs_[nodes_[0].basis_id] = 1;
+    }
     push_open(0);
 
     // ---- wave loop ---------------------------------------------------------
@@ -224,6 +255,72 @@ class Solver {
   }
 
  private:
+  // --- root relaxation + cutting planes -------------------------------------
+
+  void accumulate_root_lp(const LpResult& lp) {
+    result_.stats.lp_iterations += lp.iterations;
+    result_.stats.root_lp_iterations += lp.iterations;
+    result_.stats.pricing_candidate_scans += lp.candidate_scans;
+    result_.stats.pricing_refreshes += lp.pricing_refreshes;
+  }
+
+  /// Solves the root relaxation explicitly when cuts or a batch context ask
+  /// for it: warm-starts from the batch's previous root basis, separates
+  /// root cuts into an extended copy of the model (the *search* model: same
+  /// variables, extra <= rows), and leaves the final root basis for node 0.
+  /// Returns false iff the root LP proves the subproblem infeasible --
+  /// extended-LP infeasibility also qualifies, because cuts retain every
+  /// integer-feasible point.
+  bool root_relaxation() {
+    if (!opt_.cuts && batch_ == nullptr) return true;  // legacy path: node 0 solves cold
+    SimplexSolver root(model_);
+    LpResult lp;
+    if (batch_ != nullptr &&
+        batch_->root_basis.status.size() == model_.var_count() + model_.row_count()) {
+      lp = root.solve_warm(root_lo_, root_hi_, batch_->root_basis, opt_.lp);
+      if (lp.warm_started) ++result_.stats.batch_hits;
+    } else {
+      lp = root.solve(root_lo_, root_hi_, opt_.lp);
+    }
+    accumulate_root_lp(lp);
+    if (lp.status == LpStatus::kInfeasible) return false;
+    if (lp.status != LpStatus::kOptimal) return true;  // no usable fractional point
+    if (batch_ != nullptr) batch_->root_basis = root.last_basis();
+    root_basis_ = root.last_basis();
+
+    if (!opt_.cuts) return true;
+    std::vector<double> x = lp.x;
+    for (int round = 0; round < opt_.max_cut_rounds; ++round) {
+      // Separating against the *extended* model is self-deduplicating: a cut
+      // already present as a row is satisfied by that LP's optimum, so it can
+      // never come back violated.
+      std::vector<Cut> cuts =
+          separate_cuts(*search_model_, pre_.cliques, x, root_lo_, root_hi_);
+      if (cuts.empty()) break;
+      result_.stats.cuts_separated += static_cast<int>(cuts.size());
+      ++result_.stats.cut_rounds;
+      if (search_model_ == &model_) {
+        ext_model_ = model_;  // copy once, on the first applied round
+        search_model_ = &ext_model_;
+      }
+      for (Cut& cut : cuts) {
+        ext_model_.add_row(std::move(cut.name), std::move(cut.terms), cut.sense, cut.rhs);
+      }
+      result_.stats.cuts_applied += static_cast<int>(cuts.size());
+      SimplexSolver ext_root(ext_model_);
+      lp = ext_root.solve(root_lo_, root_hi_, opt_.lp);
+      accumulate_root_lp(lp);
+      if (lp.status == LpStatus::kInfeasible) return false;
+      if (lp.status != LpStatus::kOptimal) {
+        root_basis_.status.clear();  // shape mismatch with the search model
+        return true;
+      }
+      root_basis_ = ext_root.last_basis();
+      x = lp.x;
+    }
+    return true;
+  }
+
   struct Lane {
     std::unique_ptr<SimplexSolver> lp;
     std::vector<double> lo, hi;  // reconstructed bounds of the current node
@@ -375,6 +472,8 @@ class Solver {
 
     const LpResult& lp = lane.result;
     result_.stats.lp_iterations += lp.iterations;
+    result_.stats.pricing_candidate_scans += lp.candidate_scans;
+    result_.stats.pricing_refreshes += lp.pricing_refreshes;
     if (lp.status == LpStatus::kOptimal || lp.status == LpStatus::kInfeasible) {
       if (lp.warm_started) ++result_.stats.warm_starts;
       else ++result_.stats.cold_starts;
@@ -694,6 +793,14 @@ class Solver {
 
   const Model& model_;
   const IlpOptions& opt_;
+  BatchContext* batch_ = nullptr;
+  // Search model: `model_` itself, or `ext_model_` (model_ + root cut rows)
+  // once a separation round applied cuts. Incumbent checks and branching
+  // always use `model_` -- the variable set is identical and every cut is
+  // valid for the original integer feasible set.
+  const Model* search_model_ = nullptr;
+  Model ext_model_;
+  Basis root_basis_;
   support::Clock& clock_;               // deadline clock (injectable)
   std::int64_t budget_start_micros_ = 0;
   double sign_ = 1.0;
@@ -724,7 +831,13 @@ class Solver {
 }  // namespace
 
 IlpResult solve_ilp(const Model& model, const IlpOptions& opt) {
-  return Solver(model, opt).run();
+  return Solver(model, opt, nullptr).run();
+}
+
+IlpResult solve_ilp(const Model& model, const IlpOptions& opt, BatchContext* batch) {
+  IlpResult res = Solver(model, opt, batch).run();
+  if (batch != nullptr) ++batch->items;
+  return res;
 }
 
 }  // namespace partita::ilp

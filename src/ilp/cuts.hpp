@@ -1,0 +1,58 @@
+// Root cutting planes for the 0/1 selection ILPs.
+//
+// Three families, all derived from row structure the selection formulation
+// actually produces (and valid for any model with the same shape):
+//
+//   * implication cuts  x_j <= z  from the Eq. 3 fixed-charge rows
+//     (sum a_j x_j - M z <= 0, a_j > 0, all binaries): the big-M row only
+//     forces z >= a_j x_j / M, the disaggregated form is the full lifting;
+//   * clique cuts  sum_{Q} x <= 1  from greedy extensions of the presolve
+//     clique table over the pairwise conflict graph (Eq. 1 / SC-PC rows give
+//     the seed cliques; an extension merges overlapping at-most-ones);
+//   * lifted (extended) cover cuts  sum_{C u E} x <= |C| - 1  from all-binary
+//     knapsack <= rows (the power-budget row), with C a minimal cover and
+//     E the columns at least as heavy as every cover member.
+//
+// Every cut is valid for the *original* integer feasible set -- no
+// integer-feasible point is ever cut off (the cut-validity property test
+// enumerates feasible points against every separated cut). Separation only
+// returns cuts violated by the supplied fractional point, which also makes
+// repeated root rounds self-deduplicating: a cut already in the LP cannot be
+// violated by that LP's optimum again.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace partita::ilp {
+
+struct CutOptions {
+  /// Minimum violation (activity minus rhs at the fractional point) for a
+  /// cut to be worth adding.
+  double violation_tol = 1e-6;
+  /// Hard cap per separation round, strongest-family-first.
+  int max_cuts_per_round = 64;
+};
+
+/// One separated inequality, ready for Model::add_row.
+struct Cut {
+  std::string name;
+  std::vector<Term> terms;
+  RowSense sense = RowSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Separates cuts violated by the fractional point `x` (sized var_count()).
+/// `cliques` is the presolve clique table; `lower`/`upper` are the bounds the
+/// relaxation was solved under. Deterministic: identical inputs produce an
+/// identical cut list.
+std::vector<Cut> separate_cuts(const Model& model,
+                               const std::vector<std::vector<VarIndex>>& cliques,
+                               const std::vector<double>& x,
+                               const std::vector<double>& lower,
+                               const std::vector<double>& upper,
+                               const CutOptions& opt = {});
+
+}  // namespace partita::ilp

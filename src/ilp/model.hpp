@@ -56,6 +56,11 @@ class Model {
   /// Adds `terms (sense) rhs`. Terms with duplicate variables are summed.
   RowIndex add_row(std::string name, std::vector<Term> terms, RowSense sense, double rhs);
 
+  /// Re-targets one row's right-hand side in place. The batch-solve path
+  /// uses this to move the required-gain rows between otherwise identical
+  /// solves without rebuilding the model.
+  void set_rhs(RowIndex r, double rhs) { rows_[r].rhs = rhs; }
+
   std::size_t var_count() const { return vars_.size(); }
   std::size_t row_count() const { return rows_.size(); }
   const Variable& var(VarIndex v) const { return vars_[v]; }

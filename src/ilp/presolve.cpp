@@ -21,7 +21,7 @@ double max_contribution(double coeff, double lb, double ub) {
 }  // namespace
 
 PresolveResult presolve(const Model& model, const std::vector<double>& lower,
-                        const std::vector<double>& upper) {
+                        const std::vector<double>& upper, bool extract_cliques) {
   PresolveResult res;
   res.lower = lower;
   res.upper = upper;
@@ -118,6 +118,7 @@ PresolveResult presolve(const Model& model, const std::vector<double>& lower,
 
   // --- clique extraction (at-most-one rows over binaries) --------------------
   res.var_cliques.assign(n, {});
+  if (!extract_cliques) return res;
   for (const Row& row : model.rows()) {
     if (row.sense == RowSense::kGreaterEqual) continue;
     if (row.rhs < 1.0 - kEps || row.rhs >= 2.0 - kEps) continue;

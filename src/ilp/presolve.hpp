@@ -39,8 +39,13 @@ struct PresolveResult {
 };
 
 /// Propagates `model`'s rows over the given bounds. The inputs are not
-/// modified; sizes must equal model.var_count().
+/// modified; sizes must equal model.var_count(). `extract_cliques = false`
+/// skips the clique scan (var_cliques still comes back sized) -- the batch
+/// solve path reuses the clique table of the first batch item, which is
+/// bound-independent up to already-fixed members that the search skips
+/// anyway.
 PresolveResult presolve(const Model& model, const std::vector<double>& lower,
-                        const std::vector<double>& upper);
+                        const std::vector<double>& upper,
+                        bool extract_cliques = true);
 
 }  // namespace partita::ilp

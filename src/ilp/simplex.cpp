@@ -14,13 +14,19 @@ namespace {
 
 /// Per-variable primal feasibility tolerance.
 constexpr double kFeasTol = 1e-7;
+/// Pivot elements below this magnitude poison the kernel inverse; the step
+/// still happens (the row genuinely blocks), but the factorization is rebuilt
+/// immediately afterwards instead of compounding 1/alpha roundoff.
+constexpr double kPivotTol = 1e-7;
 /// Total phase-1 infeasibility below this counts as feasible (matches the
 /// old dense implementation's phase-1 exit test).
 constexpr double kPhase1Tol = 1e-6;
 /// Pivots between refactorizations (numerical hygiene).
-constexpr int kRefactorInterval = 128;
-/// Non-improving iterations before switching to Bland's rule.
-constexpr int kStallLimit = 64;
+// 32 keeps the product-form kernel honest on ill-conditioned cut-augmented
+// bases (at 128 the accumulated update roundoff was enough to leak wrong
+// bounds into branch & bound on ~800-row models); the Gauss-Jordan rebuild is
+// k^3 on the reduced k x k kernel only, so the amortized cost is small.
+constexpr int kRefactorInterval = 32;
 
 }  // namespace
 
@@ -48,6 +54,23 @@ class SimplexSolver::Impl {
     total_ = n_ + m_;
     sign_ = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
 
+    // Equilibration: power-of-2 row and column scale factors bring every
+    // matrix entry to O(1), so the absolute pivot / feasibility tolerances
+    // below stay meaningful when gain rows carry coefficients in the 1e6
+    // range (gain-per-exec times loop frequency). Powers of two make the
+    // scaling exact -- no rounding is introduced anywhere.
+    const auto pow2_inverse_scale = [](double mag) {
+      return mag > 0.0 && std::isfinite(mag) ? std::exp2(-std::ilogb(mag)) : 1.0;
+    };
+    row_scale_.assign(m_, 1.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      double maxc = 0.0;
+      for (const Term& t : model.row(static_cast<RowIndex>(i)).terms) {
+        maxc = std::max(maxc, std::abs(t.coeff));
+      }
+      row_scale_[i] = pow2_inverse_scale(maxc);
+    }
+
     // Transpose the row-wise model into sparse columns; logical column n+i
     // is the unit column of row i with sense-encoded bounds. Entries within
     // a column are in increasing row order (the build loop runs over rows).
@@ -66,10 +89,11 @@ class SimplexSolver::Impl {
     for (std::size_t i = 0; i < m_; ++i) {
       const Row& row = model.row(static_cast<RowIndex>(i));
       for (const Term& t : row.terms) {
-        col_entries_[col_start_[t.var] + fill[t.var]++] = {static_cast<int>(i), t.coeff};
+        col_entries_[col_start_[t.var] + fill[t.var]++] = {static_cast<int>(i),
+                                                          t.coeff * row_scale_[i]};
       }
       col_entries_[col_start_[n_ + i]] = {static_cast<int>(i), 1.0};
-      rhs_[i] = row.rhs;
+      rhs_[i] = row.rhs * row_scale_[i];
       switch (row.sense) {
         case RowSense::kLessEqual:
           logical_lb_[i] = 0.0;
@@ -86,9 +110,44 @@ class SimplexSolver::Impl {
       }
     }
 
+    // Column pass of the equilibration: internal variable j holds
+    // x_j / col_scale_[j], so entries and the objective pick up the factor
+    // and bounds (in run()) divide it back out. Columns left O(1) by the
+    // row pass keep a factor of exactly 1.
+    col_scale_.assign(total_, 1.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      double maxe = 0.0;
+      for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+        maxe = std::max(maxe, std::abs(col_entries_[e].second));
+      }
+      const double cs = pow2_inverse_scale(maxe);
+      if (cs != 1.0) {
+        col_scale_[j] = cs;
+        for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+          col_entries_[e].second *= cs;
+        }
+      }
+    }
+
+    // Row-major mirror (CSR) of the scaled matrix, for pricing scans driven
+    // by the *support of the dual vector* instead of per-column dots. Built
+    // from col_entries_ so the stored values are the same scaled doubles.
+    row_start_.assign(m_ + 1, 0);
+    for (const auto& e : col_entries_) ++row_start_[e.first + 1];
+    for (std::size_t i = 0; i < m_; ++i) row_start_[i + 1] += row_start_[i];
+    row_entries_.resize(col_entries_.size());
+    std::vector<int> rfill(m_, 0);
+    for (std::size_t j = 0; j < total_; ++j) {
+      for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+        const int i = col_entries_[e].first;
+        row_entries_[row_start_[i] + rfill[i]++] = {static_cast<int>(j),
+                                                    col_entries_[e].second};
+      }
+    }
+
     cost_.assign(total_, 0.0);
     for (std::size_t j = 0; j < n_; ++j) {
-      cost_[j] = sign_ * model.var(static_cast<VarIndex>(j)).objective;
+      cost_[j] = sign_ * model.var(static_cast<VarIndex>(j)).objective * col_scale_[j];
     }
 
     lb_.resize(total_);
@@ -97,9 +156,15 @@ class SimplexSolver::Impl {
     basis_.resize(m_);
     xb_.resize(m_);
     y_.resize(m_);
-    alpha_.resize(m_);
+    alpha_.assign(m_, 0.0);
+    alpha_mark_.assign(m_, 0);
+    alpha_nz_.reserve(m_);
     rho_.resize(m_);
     work_.resize(m_);
+    arho_.assign(total_, 0.0);
+    ay_.assign(total_, 0.0);
+    resid_.assign(m_, 0.0);  // stays all-zero between ftran_accurate calls
+    ban_mark_.assign(total_, 0);
 
     kcap_ = std::min(n_, m_);
     minv_.resize(kcap_ * kcap_);
@@ -117,6 +182,11 @@ class SimplexSolver::Impl {
   LpResult run(const std::vector<double>& lower, const std::vector<double>& upper,
                const LpOptions& opt, const Basis* warm, Basis* out_basis) {
     opt_ = opt;
+    opt_.candidate_list_size = std::max(4, opt.candidate_list_size);
+    opt_.stall_limit = std::max(1, opt.stall_limit);
+    cand_.clear();  // solves must not depend on a previous solve's list
+    cand_scans_ = 0;
+    cand_refreshes_ = 0;
     LpResult res;
 
     for (std::size_t j = 0; j < n_; ++j) {
@@ -124,8 +194,8 @@ class SimplexSolver::Impl {
         res.status = LpStatus::kInfeasible;  // empty domain from branching
         return res;
       }
-      lb_[j] = lower[j];
-      ub_[j] = upper[j];
+      lb_[j] = lower[j] / col_scale_[j];
+      ub_[j] = upper[j] / col_scale_[j];
       PARTITA_ASSERT_MSG(std::isfinite(lb_[j]) || std::isfinite(ub_[j]),
                          "structural vars need at least one finite bound");
     }
@@ -146,6 +216,20 @@ class SimplexSolver::Impl {
       // primal phase-2 run certifies optimality and mops up any residual
       // dual infeasibility from tolerance drift.
       if (status == LpStatus::kOptimal) status = primal(/*phase=*/2, res.iterations);
+      if (status == LpStatus::kIterationLimit &&
+          res.iterations < opt_.max_iterations) {
+        // The imported basis led into a numerical dead end (singular kernel
+        // or tiny-pivot ban-out) before the real budget ran out: restart
+        // cold, which takes a different pivot trajectory entirely.
+        load_cold_basis();
+        compute_xb();
+        res.warm_started = false;
+        status = LpStatus::kOptimal;
+        if (total_infeasibility() > kPhase1Tol) {
+          status = primal(/*phase=*/1, res.iterations);
+        }
+        if (status == LpStatus::kOptimal) status = primal(/*phase=*/2, res.iterations);
+      }
     } else {
       status = LpStatus::kOptimal;
       if (total_infeasibility() > kPhase1Tol) {
@@ -154,6 +238,8 @@ class SimplexSolver::Impl {
       if (status == LpStatus::kOptimal) status = primal(/*phase=*/2, res.iterations);
     }
     res.status = status;
+    res.candidate_scans = cand_scans_;
+    res.pricing_refreshes = cand_refreshes_;
     if (status != LpStatus::kOptimal) {
       have_factorization_ = false;
       return res;
@@ -166,6 +252,7 @@ class SimplexSolver::Impl {
     for (std::size_t i = 0; i < m_; ++i) {
       if (basis_[i] < static_cast<int>(n_)) res.x[basis_[i]] = xb_[i];
     }
+    for (std::size_t j = 0; j < n_; ++j) res.x[j] *= col_scale_[j];
     double obj = 0;
     for (std::size_t j = 0; j < n_; ++j) {
       obj += model_.var(static_cast<VarIndex>(j)).objective * res.x[j];
@@ -433,16 +520,32 @@ class SimplexSolver::Impl {
     }
   }
 
+  /// Records one alpha_ write position (first touch per ftran).
+  void alpha_touch(int row) {
+    if (alpha_mark_[row] != alpha_epoch_) {
+      alpha_mark_[row] = alpha_epoch_;
+      alpha_nz_.push_back(row);
+    }
+  }
+
   /// alpha = B^-1 a_j; also leaves the reduced solve M^-1 a_j[R] in red_
-  /// for the subsequent basis update.
+  /// for the subsequent basis update. Only the touched positions are
+  /// (re)written -- alpha_nz_ lists them, so the ratio test and the step
+  /// update iterate the pivot column's support instead of all m_ rows.
   void ftran(std::size_t j) {
-    std::fill(alpha_.begin(), alpha_.end(), 0.0);
+    for (const int r : alpha_nz_) alpha_[r] = 0.0;
+    alpha_nz_.clear();
+    ++alpha_epoch_;
     std::fill(gwork_.begin(), gwork_.begin() + k_, 0.0);
     for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
       const int row = col_entries_[e].first;
       const int a = row_pos_[row];
-      if (a >= 0) gwork_[a] = col_entries_[e].second;
-      else alpha_[row] = col_entries_[e].second;
+      if (a >= 0) {
+        gwork_[a] = col_entries_[e].second;
+      } else {
+        alpha_[row] = col_entries_[e].second;
+        alpha_touch(row);
+      }
     }
     for (std::size_t b = 0; b < k_; ++b) {
       double v = 0;
@@ -456,10 +559,82 @@ class SimplexSolver::Impl {
       const int col = cols_[b];
       for (int e = col_start_[col]; e < col_start_[col + 1]; ++e) {
         const int row = col_entries_[e].first;
-        if (row_pos_[row] < 0) alpha_[row] -= col_entries_[e].second * u;
+        if (row_pos_[row] < 0) {
+          alpha_[row] -= col_entries_[e].second * u;
+          alpha_touch(row);
+        }
       }
     }
-    for (std::size_t b = 0; b < k_; ++b) alpha_[col_slot_[b]] = red_[b];
+    // Slot values are assignments (not accumulations): they overwrite
+    // whatever the scans above left there, exactly like the old dense fill.
+    for (std::size_t b = 0; b < k_; ++b) {
+      alpha_[col_slot_[b]] = red_[b];
+      alpha_touch(col_slot_[b]);
+    }
+    // Ascending row order keeps the ratio test's near-tie decisions (within
+    // opt_.eps) identical to the old dense row sweep.
+    std::sort(alpha_nz_.begin(), alpha_nz_.end());
+  }
+
+  /// True when B * alpha reproduces column j within tolerance. The residual
+  /// costs one pass over the support's columns -- about as much as the ftran
+  /// itself -- and catches the product-form kernel decaying before a pivot
+  /// bakes the drift into M^-1. Callers refactorize and retry on failure.
+  bool ftran_accurate(std::size_t j) {
+    double norm = 1.0;
+    for (const int inz : alpha_nz_) {
+      const double ai = alpha_[inz];
+      if (ai == 0.0) continue;
+      const std::size_t bj = static_cast<std::size_t>(basis_[inz]);
+      for (int e = col_start_[bj]; e < col_start_[bj + 1]; ++e) {
+        resid_[col_entries_[e].first] += col_entries_[e].second * ai;
+      }
+    }
+    for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+      resid_[col_entries_[e].first] -= col_entries_[e].second;
+      norm = std::max(norm, std::abs(col_entries_[e].second));
+    }
+    double err = 0;
+    for (const int inz : alpha_nz_) {
+      const std::size_t bj = static_cast<std::size_t>(basis_[inz]);
+      for (int e = col_start_[bj]; e < col_start_[bj + 1]; ++e) {
+        err = std::max(err, std::abs(resid_[col_entries_[e].first]));
+        resid_[col_entries_[e].first] = 0.0;
+      }
+    }
+    for (int e = col_start_[j]; e < col_start_[j + 1]; ++e) {
+      err = std::max(err, std::abs(resid_[col_entries_[e].first]));
+      resid_[col_entries_[e].first] = 0.0;
+    }
+    return err <= 1e-6 * norm;
+  }
+
+  // --- tiny-pivot bans -------------------------------------------------------
+  //
+  // A column whose only blocking rows carry |alpha| < kPivotTol cannot enter:
+  // the rank-1 update's Schur complement IS that alpha, so pivoting on it
+  // leaves a numerically singular kernel that the next refactorization
+  // rightly refuses to invert. Such columns are banned for the lifetime of
+  // the current basis (epoch-cleared on every executed step) and pricing
+  // skips them; since a ban is only issued on a freshly refactorized kernel,
+  // it reflects the true geometry, not drift.
+
+  bool banned(std::size_t j) const {
+    return ban_count_ != 0 && ban_mark_[j] == ban_epoch_;
+  }
+
+  void ban_column(std::size_t j) {
+    if (ban_mark_[j] != ban_epoch_) {
+      ban_mark_[j] = ban_epoch_;
+      ++ban_count_;
+    }
+  }
+
+  void clear_bans() {
+    if (ban_count_ != 0) {
+      ++ban_epoch_;
+      ban_count_ = 0;
+    }
   }
 
   double dot_col(std::size_t j, const std::vector<double>& v) const {
@@ -468,6 +643,23 @@ class SimplexSolver::Impl {
       d += v[col_entries_[e].first] * col_entries_[e].second;
     }
     return d;
+  }
+
+  /// out = A^T v for every column at once, walking only the rows on v's
+  /// support (for the simplex duals that is the ~k active rows, not all m).
+  /// The ascending outer row loop accumulates each column's terms in exactly
+  /// dot_col's order, so every out[j] matches dot_col(j, v) -- rows where
+  /// v is zero contribute only exact +-0.0 terms, which cannot change any
+  /// sign or magnitude test downstream.
+  void scatter_dots(const std::vector<double>& v, std::vector<double>& out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double vi = v[i];
+      if (vi == 0.0) continue;
+      for (int e = row_start_[i]; e < row_start_[i + 1]; ++e) {
+        out[row_entries_[e].first] += row_entries_[e].second * vi;
+      }
+    }
   }
 
   // --- reduced-basis pivots --------------------------------------------------
@@ -618,6 +810,87 @@ class SimplexSolver::Impl {
     return true;
   }
 
+  // --- candidate-list pricing ------------------------------------------------
+
+  /// Prices only the surviving candidate columns (dropping entries that went
+  /// basic or got fixed since the last refresh) and picks the steepest
+  /// eligible one. Returns false when the list yields no improving column.
+  bool price_candidates(int phase, std::size_t& enter, int& direction,
+                        double& best_score) {
+    std::size_t out = 0;
+    for (const int cj : cand_) {
+      const std::size_t j = static_cast<std::size_t>(cj);
+      if (status_[j] == BasisStatus::kBasic) continue;
+      if (lb_[j] == ub_[j]) continue;
+      cand_[out++] = cj;
+      if (banned(j)) continue;
+      ++cand_scans_;
+      const double d = (phase == 2 ? cost_[j] : 0.0) - dot_col(j, y_);
+      if (status_[j] == BasisStatus::kAtLower && d < -best_score) {
+        enter = j;
+        direction = +1;
+        best_score = -d;
+      } else if (status_[j] == BasisStatus::kAtUpper && d > best_score) {
+        enter = j;
+        direction = -1;
+        best_score = d;
+      }
+    }
+    cand_.resize(out);
+    return enter != total_;
+  }
+
+  /// Full Dantzig scan: picks the steepest eligible column (identical choice
+  /// to classic Dantzig pricing, first-lowest-index on score ties) and
+  /// retains the best candidate_list_size eligible columns for the next
+  /// iterations. Leaves enter == total_ exactly when no column improves --
+  /// the optimality / phase-1 infeasibility certificate.
+  void refresh_candidates(int phase, std::size_t& enter, int& direction,
+                          double& best_score) {
+    ++cand_refreshes_;
+    cand_.clear();
+    scored_.clear();
+    scatter_dots(y_, ay_);  // one pass over y's support prices every column
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == BasisStatus::kBasic) continue;
+      if (lb_[j] == ub_[j]) continue;
+      if (banned(j)) continue;
+      const double d = (phase == 2 ? cost_[j] : 0.0) - ay_[j];
+      double score;
+      int dir;
+      if (status_[j] == BasisStatus::kAtLower && d < -opt_.eps) {
+        score = -d;
+        dir = +1;
+      } else if (status_[j] == BasisStatus::kAtUpper && d > opt_.eps) {
+        score = d;
+        dir = -1;
+      } else {
+        continue;
+      }
+      if (score > best_score) {
+        enter = j;
+        direction = dir;
+        best_score = score;
+      }
+      scored_.push_back({score, static_cast<int>(j)});
+    }
+    const std::size_t cap = static_cast<std::size_t>(opt_.candidate_list_size);
+    if (scored_.size() > cap) {
+      // Deterministic top-`cap`: score descending, then lowest index.
+      std::nth_element(scored_.begin(), scored_.begin() + cap, scored_.end(),
+                       [](const std::pair<double, int>& a, const std::pair<double, int>& b) {
+                         return a.first != b.first ? a.first > b.first
+                                                  : a.second < b.second;
+                       });
+      scored_.resize(cap);
+    }
+    cand_.reserve(scored_.size());
+    for (const auto& [score, j] : scored_) cand_.push_back(j);
+    // Keep the list in column order: subsequent pricing passes then walk the
+    // CSC arrays monotonically and ties keep resolving to the lowest index.
+    std::sort(cand_.begin(), cand_.end());
+  }
+
   // --- primal simplex --------------------------------------------------------
 
   /// Phase 1 minimizes total bound infeasibility of the basic solution with
@@ -630,6 +903,8 @@ class SimplexSolver::Impl {
     int stall = 0;
     int spins = 0;
     double last_obj = std::numeric_limits<double>::infinity();
+    cand_.clear();  // stale per-phase reduced costs: force a fresh scan
+    clear_bans();
 
     while (true) {
       // `iterations` counts executed pivots/bound flips (the number callers
@@ -661,67 +936,167 @@ class SimplexSolver::Impl {
       btran(cb);
 
       // --- entering column ---------------------------------------------
+      // Bland mode always prices with the full lowest-index scan (the
+      // anti-cycling guarantee needs it); otherwise the candidate list
+      // restricts pricing to a bounded set, refreshed by one full scan when
+      // it runs dry. Optimality/infeasibility is only ever declared from a
+      // full scan, so the restriction cannot terminate early.
       std::size_t enter = total_;
       int direction = 0;  // +1 increase from lower, -1 decrease from upper
       double best_score = opt_.eps;
-      for (std::size_t j = 0; j < total_; ++j) {
-        if (status_[j] == BasisStatus::kBasic) continue;
-        if (lb_[j] == ub_[j]) continue;  // fixed column can never move
-        const double d = (phase == 2 ? cost_[j] : 0.0) - dot_col(j, y_);
-        if (status_[j] == BasisStatus::kAtLower && d < -best_score) {
-          enter = j;
-          direction = +1;
-          if (bland) break;
-          best_score = -d;
-        } else if (status_[j] == BasisStatus::kAtUpper && d > best_score) {
-          enter = j;
-          direction = -1;
-          if (bland) break;
-          best_score = d;
+      if (opt_.pricing == PricingMode::kCandidateList && !bland) {
+        if (!price_candidates(phase, enter, direction, best_score)) {
+          refresh_candidates(phase, enter, direction, best_score);
+        }
+      } else {
+        for (std::size_t j = 0; j < total_; ++j) {
+          if (status_[j] == BasisStatus::kBasic) continue;
+          if (lb_[j] == ub_[j]) continue;  // fixed column can never move
+          if (banned(j)) continue;
+          const double d = (phase == 2 ? cost_[j] : 0.0) - dot_col(j, y_);
+          if (status_[j] == BasisStatus::kAtLower && d < -best_score) {
+            enter = j;
+            direction = +1;
+            if (bland) break;
+            best_score = -d;
+          } else if (status_[j] == BasisStatus::kAtUpper && d > best_score) {
+            enter = j;
+            direction = -1;
+            if (bland) break;
+            best_score = d;
+          }
         }
       }
       if (enter == total_) {
+        // Banned columns were excluded from this scan, so it certifies
+        // nothing; report the numerical dead end rather than a false
+        // optimum (branch & bound treats it as "no usable bound").
+        if (ban_count_ != 0) return LpStatus::kIterationLimit;
         return phase == 1 ? LpStatus::kInfeasible : LpStatus::kOptimal;
       }
 
       ftran(enter);
+      if (pivots_since_refactor_ > 0 && !ftran_accurate(enter)) {
+        // Kernel drift: rebuild from scratch and re-enter the loop with a
+        // fresh factorization (pricing reruns off the recomputed state).
+        if (!refactorize()) return LpStatus::kIterationLimit;
+        compute_xb();
+        continue;
+      }
 
+#ifdef PARTITA_LP_TRACE
+      {
+        // Check B * alpha == a_enter: z = sum_i alpha_i * col(basis_[i]).
+        std::vector<double> z(m_, 0.0);
+        for (std::size_t i = 0; i < m_; ++i) {
+          const double ai = alpha_[i];
+          if (ai == 0.0) continue;
+          const std::size_t bj = static_cast<std::size_t>(basis_[i]);
+          if (bj >= n_) {
+            z[bj - n_] += ai;
+          } else {
+            for (int e2 = col_start_[bj]; e2 < col_start_[bj + 1]; ++e2) {
+              z[col_entries_[e2].first] += col_entries_[e2].second * ai;
+            }
+          }
+        }
+        if (enter >= n_) {
+          z[enter - n_] -= 1.0;
+        } else {
+          for (int e2 = col_start_[enter]; e2 < col_start_[enter + 1]; ++e2) {
+            z[col_entries_[e2].first] -= col_entries_[e2].second;
+          }
+        }
+        double err = 0;
+        for (std::size_t i = 0; i < m_; ++i) err = std::max(err, std::abs(z[i]));
+        if (err > 1e-6) {
+          std::fprintf(stderr, "TRACE ftran wrong: iter=%d enter=%zu err=%.6g\n",
+                       iterations, enter, err);
+          std::abort();
+        }
+        // And alpha support completeness: alpha_[i] != 0 must imply marked.
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (alpha_[i] != 0.0 && alpha_mark_[i] != alpha_epoch_) {
+            std::fprintf(stderr, "TRACE support miss: iter=%d row=%zu\n",
+                         iterations, i);
+            std::abort();
+          }
+        }
+      }
+#endif
       // --- ratio test ----------------------------------------------------
       // Entering moves by direction*theta; basic i changes at rate
-      // g_i = -direction * alpha_i per unit theta.
+      // g_i = -direction * alpha_i per unit theta. Only the pivot column's
+      // support (alpha_nz_) can block the step.
       double theta = ub_[enter] - lb_[enter];  // bound-flip distance
       std::size_t leave_row = m_;              // m_ => bound flip
       bool leave_at_upper = false;
 
-      for (std::size_t i = 0; i < m_; ++i) {
+      // Distance the entering variable can move before basic i hits a bound
+      // (kInfinity when row i never blocks the step).
+      const auto row_limit = [&](std::size_t i, bool& at_upper) -> double {
         const double g = -direction * alpha_[i];
-        if (std::abs(g) <= opt_.eps) continue;
+        at_upper = false;
+        if (std::abs(g) <= opt_.eps) return kInfinity;
         const int bj = basis_[i];
-        double limit = kInfinity;
-        bool at_upper = false;
         if (phase == 1 && xb_[i] < lb_[bj] - kFeasTol) {
           // Violated below: blocks only when climbing back to its lower
           // bound (it leaves feasible there).
-          if (g > 0) limit = (lb_[bj] - xb_[i]) / g;
+          if (g > 0) return (lb_[bj] - xb_[i]) / g;
         } else if (phase == 1 && xb_[i] > ub_[bj] + kFeasTol) {
           if (g < 0) {
-            limit = (xb_[i] - ub_[bj]) / -g;
             at_upper = true;
+            return (xb_[i] - ub_[bj]) / -g;
           }
         } else if (g < 0) {
-          if (std::isfinite(lb_[bj])) limit = (xb_[i] - lb_[bj]) / -g;
+          if (std::isfinite(lb_[bj])) return (xb_[i] - lb_[bj]) / -g;
         } else {
           if (std::isfinite(ub_[bj])) {
-            limit = (ub_[bj] - xb_[i]) / g;
             at_upper = true;
+            return (ub_[bj] - xb_[i]) / g;
           }
         }
+        return kInfinity;
+      };
+
+      for (const int inz : alpha_nz_) {
+        const std::size_t i = static_cast<std::size_t>(inz);
+        bool at_upper = false;
+        const double limit = row_limit(i, at_upper);
+        if (limit >= kInfinity) continue;
         if (limit < theta - opt_.eps ||
             (bland && limit < theta + opt_.eps && leave_row != m_ &&
-             bj < basis_[leave_row])) {
+             basis_[i] < basis_[leave_row])) {
           theta = std::max(0.0, limit);
           leave_row = i;
           leave_at_upper = at_upper;
+        }
+      }
+
+      // Stability pass: pivoting on a near-zero alpha ruins the product-form
+      // kernel update (1/alpha amplifies roundoff through M^-1 and the basic
+      // values), so among leaving rows whose limits tie within tolerance take
+      // the largest |alpha| instead of the first minimum. Bland mode keeps
+      // its lowest-index choice (the anti-cycling proof needs it); the
+      // refactorization net below contains any damage there.
+      if (!bland && leave_row != m_) {
+        double best_mag = std::abs(alpha_[leave_row]);
+        for (const int inz : alpha_nz_) {
+          const std::size_t i = static_cast<std::size_t>(inz);
+          if (i == leave_row) continue;
+          const double mag = std::abs(alpha_[i]);
+          if (mag <= best_mag) continue;
+          bool at_upper = false;
+          const double limit = row_limit(i, at_upper);
+          // Eligible when snapping row i to its bound at step theta leaves
+          // at most a sliver of residual travel ((limit - theta) * |alpha|
+          // bounds the displacement this substitution introduces).
+          if (limit - theta <= opt_.eps ||
+              (limit - theta) * mag <= kFeasTol * 1e-2) {
+            leave_row = i;
+            leave_at_upper = at_upper;
+            best_mag = mag;
+          }
         }
       }
 
@@ -731,8 +1106,78 @@ class SimplexSolver::Impl {
         return phase == 1 ? LpStatus::kIterationLimit : LpStatus::kUnbounded;
       }
 
+      if (leave_row != m_ && std::abs(alpha_[leave_row]) < kPivotTol) {
+        // The best available pivot is numerically nil. On a stale kernel the
+        // tiny alpha may itself be drift, so rebuild and re-derive; on a
+        // fresh one the column genuinely cannot enter this basis -- ban it
+        // and re-price (the spin guard bounds these detours).
+        if (pivots_since_refactor_ > 0) {
+          if (!refactorize()) return LpStatus::kIterationLimit;
+          compute_xb();
+          continue;
+        }
+        ban_column(enter);
+        continue;
+      }
+
       apply_step(enter, direction, theta, leave_row, leave_at_upper);
       ++iterations;
+#ifdef PARTITA_LP_TRACE
+      {
+        // Slot bookkeeping invariants.
+        for (std::size_t b = 0; b < k_; ++b) {
+          if (basis_[col_slot_[b]] != cols_[b]) {
+            std::fprintf(stderr,
+                         "TRACE slot bad: iter=%d b=%zu col_slot=%d basis=%d cols=%d\n",
+                         iterations, b, col_slot_[b], basis_[col_slot_[b]], cols_[b]);
+            std::abort();
+          }
+          if (col_pos_[cols_[b]] != static_cast<int>(b)) {
+            std::fprintf(stderr, "TRACE col_pos bad: iter=%d b=%zu\n", iterations, b);
+            std::abort();
+          }
+          if (row_pos_[rows_[b]] != static_cast<int>(b)) {
+            std::fprintf(stderr, "TRACE row_pos bad: iter=%d b=%zu\n", iterations, b);
+            std::abort();
+          }
+        }
+        // Kernel inverse: M[a][b] = coeff of cols_[b] at row rows_[a];
+        // minv_[b][a] = M^-1. Check (M * M^-1)[a][a2] == I.
+        double kerr = 0;
+        for (std::size_t a = 0; a < k_; ++a) {
+          for (std::size_t a2 = 0; a2 < k_; ++a2) {
+            double v = 0;
+            for (std::size_t b2 = 0; b2 < k_; ++b2) {
+              v += coeff_at(cols_[b2], static_cast<int>(rows_[a])) *
+                   minv_[b2 * kcap_ + a2];
+            }
+            kerr = std::max(kerr, std::abs(v - (a2 == a ? 1.0 : 0.0)));
+          }
+        }
+        if (kerr > 1e-6) {
+          std::fprintf(stderr,
+                       "TRACE kernel bad: iter=%d enter=%zu leave_row=%zu k=%zu kerr=%.6g "
+                       "alpha_r=%.6g theta=%.6g\n",
+                       iterations, enter, leave_row, k_, kerr,
+                       leave_row == m_ ? 0.0 : alpha_[leave_row], theta);
+          std::abort();
+        }
+      }
+#endif
+#ifdef PARTITA_LP_TRACE
+      if (phase == 2) {
+        const double infe = total_infeasibility();
+        if (infe > 1e-5) {
+          std::fprintf(stderr,
+                       "TRACE iter=%d enter=%zu dir=%d theta=%.6g leave_row=%zu "
+                       "leave=%d k=%zu infeas=%.6g nz=%zu\n",
+                       iterations, enter, direction, theta, leave_row,
+                       leave_row == m_ ? -1 : basis_[leave_row], k_, infe,
+                       alpha_nz_.size());
+          std::abort();
+        }
+      }
+#endif
 
       // --- stall detection / Bland fallback ------------------------------
       double obj;
@@ -750,7 +1195,7 @@ class SimplexSolver::Impl {
       if (obj < last_obj - 1e-12) {
         stall = 0;
         bland = false;
-      } else if (++stall > kStallLimit) {
+      } else if (++stall > opt_.stall_limit) {
         bland = true;  // anti-cycling
       }
       last_obj = obj;
@@ -761,16 +1206,19 @@ class SimplexSolver::Impl {
   /// must hold the ftran of the entering column.
   void apply_step(std::size_t enter, int direction, double theta, std::size_t leave_row,
                   bool leave_at_upper) {
+    clear_bans();  // bans are scoped to the pre-step basis and point
     if (leave_row == m_) {
       // Bound flip: the entering variable traverses its whole interval and
-      // the basic values absorb the move.
-      for (std::size_t i = 0; i < m_; ++i) xb_[i] -= theta * direction * alpha_[i];
+      // the basic values absorb the move (only the pivot column's support
+      // moves at all).
+      for (const int i : alpha_nz_) xb_[i] -= theta * direction * alpha_[i];
       status_[enter] = status_[enter] == BasisStatus::kAtLower ? BasisStatus::kAtUpper
                                                                : BasisStatus::kAtLower;
       return;
     }
     const double enter_start = nonbasic_value(enter);
-    for (std::size_t i = 0; i < m_; ++i) {
+    for (const int inz : alpha_nz_) {
+      const std::size_t i = static_cast<std::size_t>(inz);
       if (i != leave_row) xb_[i] -= theta * direction * alpha_[i];
     }
     const int leave = basis_[leave_row];
@@ -801,6 +1249,7 @@ class SimplexSolver::Impl {
     std::vector<double> cb(m_);
     int degenerate = 0;
     int spins = 0;
+    clear_bans();
 
     while (true) {
       if (iterations >= opt_.max_iterations) return LpStatus::kIterationLimit;
@@ -833,17 +1282,28 @@ class SimplexSolver::Impl {
       btran(cb);
       btran_unit(r);
 
+      // Candidate-list mode prices the whole entering scan with two
+      // row-major scatters over the duals' support (same numbers as the
+      // per-column dots, a fraction of the work); kDantzig keeps the
+      // classic column-by-column scan.
+      const bool scatter = opt_.pricing == PricingMode::kCandidateList;
+      if (scatter) {
+        scatter_dots(rho_, arho_);
+        scatter_dots(y_, ay_);
+      }
+
       const double delta = target - xb_[r];  // signed move of the leaving basic
       // d(xb_r)/d(x_j) = -alpha_rj; eligibility depends on which way x_j may
       // move from its bound.
       std::size_t enter = total_;
       double best_ratio = kInfinity;
       double best_alpha = 0;
-      const bool use_bland = degenerate > kStallLimit;
+      const bool use_bland = degenerate > opt_.stall_limit;
       for (std::size_t j = 0; j < total_; ++j) {
         if (status_[j] == BasisStatus::kBasic) continue;
         if (lb_[j] == ub_[j]) continue;
-        double a = dot_col(j, rho_);
+        if (banned(j)) continue;
+        double a = scatter ? arho_[j] : dot_col(j, rho_);
         if (std::abs(a) <= 1e-9) continue;
         const bool from_lower = status_[j] == BasisStatus::kAtLower;
         // Moving x_j by dx changes xb_r by -a*dx; dx >= 0 from lower,
@@ -851,7 +1311,7 @@ class SimplexSolver::Impl {
         const bool eligible = delta > 0 ? (from_lower ? a < 0 : a > 0)
                                         : (from_lower ? a > 0 : a < 0);
         if (!eligible) continue;
-        double d = cost_[j] - dot_col(j, y_);
+        double d = cost_[j] - (scatter ? ay_[j] : dot_col(j, y_));
         // Dual feasibility keeps d >= 0 at lower and d <= 0 at upper; clamp
         // tolerance drift so ratios stay nonnegative.
         d = from_lower ? std::max(d, 0.0) : std::min(d, 0.0);
@@ -865,15 +1325,28 @@ class SimplexSolver::Impl {
           enter = j;
         }
       }
-      if (enter == total_) return LpStatus::kInfeasible;  // dual unbounded
+      if (enter == total_) {
+        // With columns banned this scan proved nothing (see primal()).
+        return ban_count_ != 0 ? LpStatus::kIterationLimit : LpStatus::kInfeasible;
+      }
 
       ftran(enter);
-      // ftran gives a fresher alpha_r than the rho dot product; guard
-      // against a pivot that collapsed numerically.
-      const double arj = alpha_[r];
-      if (std::abs(arj) <= 1e-11) {
+      if (pivots_since_refactor_ > 0 && !ftran_accurate(enter)) {
         if (!refactorize()) return LpStatus::kIterationLimit;
         compute_xb();
+        continue;  // re-derive the worst row from the repaired state
+      }
+      // ftran gives a fresher alpha_r than the rho dot product; reject a
+      // pivot that collapsed numerically (same containment as the primal:
+      // refactorize a stale kernel, ban the column on a fresh one).
+      const double arj = alpha_[r];
+      if (std::abs(arj) < kPivotTol) {
+        if (pivots_since_refactor_ > 0) {
+          if (!refactorize()) return LpStatus::kIterationLimit;
+          compute_xb();
+          continue;
+        }
+        ban_column(enter);
         continue;
       }
       const double dx = delta / -arj;
@@ -889,9 +1362,14 @@ class SimplexSolver::Impl {
   std::size_t n_ = 0, m_ = 0, total_ = 0;
   double sign_ = 1.0;
 
-  // Immutable sparse columns (CSC) built at construction.
+  // Immutable sparse columns (CSC) built at construction, plus the CSR
+  // mirror that drives the support-sparse pricing scatters.
   std::vector<int> col_start_;
   std::vector<std::pair<int, double>> col_entries_;
+  std::vector<int> row_start_;
+  std::vector<std::pair<int, double>> row_entries_;
+  std::vector<double> row_scale_;  // power-of-2 equilibration, rows
+  std::vector<double> col_scale_;  // power-of-2 equilibration, columns
   std::vector<double> rhs_;
   std::vector<double> cost_;  // internal (minimization) phase-2 costs
   std::vector<double> logical_lb_, logical_ub_;
@@ -903,6 +1381,20 @@ class SimplexSolver::Impl {
   std::vector<int> basis_;  // column basic at each basis position (slot = row)
   std::vector<double> xb_;  // basic values, by basis position
   std::vector<double> y_, alpha_, rho_, work_;
+  std::vector<double> arho_, ay_;  // scatter_dots outputs (pricing scratch)
+  std::vector<double> resid_;  // ftran_accurate scratch, all-zero at rest
+  std::vector<int> ban_mark_;  // tiny-pivot bans, valid while == ban_epoch_
+  int ban_epoch_ = 1;
+  int ban_count_ = 0;
+  // Support of alpha_ from the last ftran (epoch-marked to dedup touches).
+  std::vector<int> alpha_nz_;
+  std::vector<int> alpha_mark_;
+  int alpha_epoch_ = 0;
+  // Candidate-list pricing state.
+  std::vector<int> cand_;
+  std::vector<std::pair<double, int>> scored_;
+  long long cand_scans_ = 0;
+  int cand_refreshes_ = 0;
 
   // Reduced basis: M = A[rows_, cols_] with minv_ = M^-1 (k_ x k_, stored
   // row-major with fixed stride kcap_; minv_[b][a] pairs M^-1's row index b

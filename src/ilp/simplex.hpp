@@ -65,12 +65,41 @@ struct LpResult {
   /// True when this solve started from an imported basis (and did not have
   /// to fall back to a cold start).
   bool warm_started = false;
+  /// Columns priced through the bounded candidate list (kCandidateList only;
+  /// full refresh scans are not counted here).
+  long long candidate_scans = 0;
+  /// Full-scan refreshes of the candidate list (kCandidateList only). Each
+  /// refresh is equivalent to one Dantzig pricing pass.
+  int pricing_refreshes = 0;
+};
+
+/// Entering-column pricing strategy of the primal simplex.
+enum class PricingMode : std::uint8_t {
+  /// Full Dantzig scan over every nonbasic column each iteration.
+  kDantzig,
+  /// Bounded candidate list, refreshed by a full scan on exhaustion. Same
+  /// optimum (the list only restricts *which* improving column enters, and
+  /// optimality is only ever declared from a full scan), far fewer column
+  /// prices per iteration on the wide selection models.
+  kCandidateList,
 };
 
 struct LpOptions {
   int max_iterations = 20000;
   double eps = 1e-9;
+  /// Entering-column pricing. The Bland's-rule anti-cycling fallback always
+  /// prices with a full lowest-index scan regardless of this setting.
+  PricingMode pricing = PricingMode::kCandidateList;
+  /// Candidate-list capacity for kCandidateList (clamped to >= 4).
+  int candidate_list_size = 24;
+  /// Non-improving iterations tolerated before switching to Bland's rule
+  /// (also bounds the dual simplex's degenerate-step tolerance).
+  int stall_limit = 64;
 };
+
+/// Public knob surface of the LP engine (the ILP layer nests one of these as
+/// `IlpOptions::lp`).
+using SolverOptions = LpOptions;
 
 /// Reusable revised-simplex engine for one Model.
 ///

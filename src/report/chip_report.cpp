@@ -188,6 +188,12 @@ ChipReport generate_report(const select::Flow& flow, const select::Selection& se
   if (rep.solver.presolve_fixed > 0) {
     os << ", " << rep.solver.presolve_fixed << " presolve fixings";
   }
+  if (rep.solver.cuts_applied > 0) {
+    os << ", " << rep.solver.cuts_applied << " root cuts";
+  }
+  if (rep.solver.batch_hits > 0) {
+    os << ", " << rep.solver.batch_hits << " batch-amortized artifacts";
+  }
   if (selection.truncated) {
     os << " [" << ilp::to_string(rep.solver.termination) << "; gap <= "
        << support::compact_double(selection.optimality_gap * 100.0) << "%]";

@@ -75,6 +75,13 @@ std::string to_json(const Selection& sel, const isel::ImpDatabase& db,
      << ", \"threads\": " << sel.solver.threads
      << ", \"waves\": " << sel.solver.waves
      << ", \"peak_arena_bytes\": " << sel.solver.peak_arena_bytes
+     << ", \"pricing_candidate_scans\": " << sel.solver.pricing_candidate_scans
+     << ", \"pricing_refreshes\": " << sel.solver.pricing_refreshes
+     << ", \"root_lp_iterations\": " << sel.solver.root_lp_iterations
+     << ", \"cuts_separated\": " << sel.solver.cuts_separated
+     << ", \"cuts_applied\": " << sel.solver.cuts_applied
+     << ", \"cut_rounds\": " << sel.solver.cut_rounds
+     << ", \"batch_hits\": " << sel.solver.batch_hits
      << ", \"truncated\": " << (sel.truncated ? "true" : "false")
      << ", \"optimality_gap\": " << num(sel.optimality_gap)
      << ", \"greedy_fallback\": " << (sel.greedy_fallback ? "true" : "false")

@@ -45,6 +45,13 @@ class Flow {
     return selector_->select(required_gain, opt);
   }
 
+  /// Batch of uniform-gain selections sharing one model build, clique table
+  /// and chained root bases; bit-identical to calling select() per gain.
+  std::vector<Selection> select_batch(const std::vector<std::int64_t>& required_gains,
+                                      const SelectOptions& opt = {}) const {
+    return selector_->select_batch(required_gains, opt);
+  }
+
   Selection greedy(std::int64_t required_gain) const {
     return greedy_select(*db_, *library_, *entry_cdfg_, paths_, required_gain);
   }

@@ -178,6 +178,12 @@ Selection Selector::select_per_path(const std::vector<std::int64_t>& required_ga
   // budget. A completed search answers rung 1 (proven optimum) or proves
   // infeasibility; a truncated one leaves the best incumbent for rung 2.
   const ilp::IlpResult r = ilp::solve_ilp(m, opt.ilp);
+  return finish_selection(r, required_gains, opt);
+}
+
+Selection Selector::finish_selection(const ilp::IlpResult& r,
+                                     const std::vector<std::int64_t>& required_gains,
+                                     const SelectOptions& opt) const {
   const bool truncated = ilp::is_truncated(r.status);
 
   Selection sel;
@@ -247,6 +253,62 @@ Selection Selector::select_per_path(const std::vector<std::int64_t>& required_ga
 Selection Selector::select(std::int64_t required_gain, const SelectOptions& opt) const {
   return select_per_path(
       std::vector<std::int64_t>(paths_.size(), required_gain), opt);
+}
+
+std::vector<Selection> Selector::select_batch(
+    const std::vector<std::int64_t>& required_gains, const SelectOptions& opt,
+    const BatchItemHook& per_item) const {
+  std::vector<std::vector<std::int64_t>> items;
+  items.reserve(required_gains.size());
+  for (const std::int64_t rg : required_gains) {
+    items.emplace_back(paths_.size(), rg);
+  }
+  return select_batch_per_path(items, opt, per_item);
+}
+
+std::vector<Selection> Selector::select_batch_per_path(
+    const std::vector<std::vector<std::int64_t>>& items,
+    const SelectOptions& opt, const BatchItemHook& per_item) const {
+  std::vector<Selection> out;
+  out.reserve(items.size());
+  if (items.empty()) return out;
+  for (const auto& item : items) PARTITA_ASSERT(item.size() == paths_.size());
+
+  // One model for the whole batch, built with a token gain of 1 so every
+  // path row materializes; items only retarget the gain-row RHS below.
+  ilp::Model m = build_model(std::vector<std::int64_t>(paths_.size(), 1), opt);
+
+  // Gain rows by path, plus a never-binding floor per row: with RHS at (sum
+  // of negative coefficients) - 1 the >= row is satisfied by every 0/1
+  // point, exactly like the serial build that omits rows for rg <= 0.
+  std::vector<ilp::RowIndex> gain_row(paths_.size(),
+                                      static_cast<ilp::RowIndex>(m.row_count()));
+  std::vector<double> floor_rhs(paths_.size(), -1.0);
+  for (std::size_t r = 0; r < m.row_count(); ++r) {
+    const ilp::Row& row = m.row(static_cast<ilp::RowIndex>(r));
+    if (row.name.rfind("gain_path", 0) != 0) continue;
+    const std::size_t p = static_cast<std::size_t>(
+        std::stoul(row.name.substr(sizeof("gain_path") - 1)));
+    gain_row[p] = static_cast<ilp::RowIndex>(r);
+    double floor = -1.0;
+    for (const ilp::Term& t : row.terms) floor += std::min(0.0, t.coeff);
+    floor_rhs[p] = floor;
+  }
+
+  ilp::BatchContext ctx;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& item = items[i];
+    for (std::size_t p = 0; p < paths_.size(); ++p) {
+      if (gain_row[p] >= static_cast<ilp::RowIndex>(m.row_count())) continue;
+      m.set_rhs(gain_row[p],
+                item[p] > 0 ? static_cast<double>(item[p]) : floor_rhs[p]);
+    }
+    ilp::IlpOptions iopt = opt.ilp;
+    if (per_item) per_item(i, iopt);
+    const ilp::IlpResult r = ilp::solve_ilp(m, iopt, &ctx);
+    out.push_back(finish_selection(r, item, opt));
+  }
+  return out;
 }
 
 std::int64_t Selector::max_feasible_gain(const SelectOptions& opt) const {

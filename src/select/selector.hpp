@@ -61,6 +61,27 @@ class Selector {
   Selection select_per_path(const std::vector<std::int64_t>& required_gains,
                             const SelectOptions& opt = {}) const;
 
+  /// Called before each batch item's solve with (item index, that item's
+  /// solver options); lets callers install per-item cancel tokens or
+  /// budgets without giving up the shared amortization context.
+  using BatchItemHook = std::function<void(std::size_t, ilp::IlpOptions&)>;
+
+  /// Batch solve: one Selection per uniform required gain, amortizing the
+  /// model build, the presolve clique table and the root LP basis across
+  /// items (see ilp::BatchContext). Results are bit-identical to calling
+  /// select() once per gain -- the model is built a single time and only the
+  /// gain-row RHS is retargeted between items, and every reused artifact
+  /// (cliques, warm bases) is answer-neutral under canonical tie-breaking.
+  std::vector<Selection> select_batch(const std::vector<std::int64_t>& required_gains,
+                                      const SelectOptions& opt = {},
+                                      const BatchItemHook& per_item = {}) const;
+
+  /// Per-path-gains variant of select_batch: one inner vector per item, each
+  /// sized to the path list.
+  std::vector<Selection> select_batch_per_path(
+      const std::vector<std::vector<std::int64_t>>& items,
+      const SelectOptions& opt = {}, const BatchItemHook& per_item = {}) const;
+
   /// Exposes the built ILP (for tests and debugging dumps).
   ilp::Model build_model(const std::vector<std::int64_t>& required_gains,
                          const SelectOptions& opt) const;
@@ -71,6 +92,12 @@ class Selector {
   std::int64_t max_feasible_gain(const SelectOptions& opt = {}) const;
 
  private:
+  /// Decodes one IlpResult into a Selection: degradation ladder, greedy
+  /// fallback, rung labeling. Shared by the serial and batch solve paths.
+  Selection finish_selection(const ilp::IlpResult& r,
+                             const std::vector<std::int64_t>& required_gains,
+                             const SelectOptions& opt) const;
+
   const isel::ImpDatabase& db_;
   const iplib::IpLibrary& lib_;
   const cdfg::Cdfg& entry_cdfg_;

@@ -85,6 +85,81 @@ std::uint64_t SolveService::submit(SolveRequest request) {
   return ticket;
 }
 
+std::vector<std::uint64_t> SolveService::submit_batch(BatchSolveRequest request) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::uint64_t> tickets;
+  const std::size_t n = request.required_gains.size();
+  if (n == 0) return tickets;
+
+  const std::string base =
+      request.label.empty() ? request.workload.name : request.label;
+  tickets.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ticket = ++next_ticket_;
+    Entry& e = entries_[ticket];
+    e.response.ticket = ticket;
+    e.response.label = base + "#" + std::to_string(i);
+    tickets.push_back(ticket);
+  }
+  stats_.submitted += n;
+
+  // One admission decision for the whole batch: it occupies a single queue
+  // slot and runs sequentially on one worker, so it carries a single memory
+  // charge (the declared solver cap, or the default).
+  const std::size_t charge = request.options.ilp.budget.memory_limit_bytes != 0
+                                 ? request.options.ilp.budget.memory_limit_bytes
+                                 : cfg_.default_memory_charge;
+  const char* reject = nullptr;
+  if (draining_ || stopping_) {
+    reject = "service is draining; request not admitted";
+  } else if (queue_.size() >= cfg_.max_queue_depth) {
+    reject = "admission queue full";
+  } else if (cfg_.max_admitted_memory_bytes != 0 &&
+             admitted_memory_ + charge > cfg_.max_admitted_memory_bytes) {
+    reject = "aggregate solver-memory budget exhausted";
+  }
+  if (reject != nullptr) {
+    const double hint = cfg_.retry_after_seconds *
+                        (1.0 + static_cast<double>(queue_.size()) /
+                                   static_cast<double>(std::max(1, cfg_.workers)));
+    for (const std::uint64_t t : tickets) {
+      Entry& e = entries_.at(t);
+      e.response.retry_after_seconds = hint;
+      e.response.error = support::Error::transient(reject);
+      finalize_locked(e, RequestState::kRejected);
+    }
+    return tickets;
+  }
+
+  const std::uint64_t leader = tickets.front();
+  BatchJob job;
+  job.workload = std::move(request.workload);
+  job.options = std::move(request.options);
+  job.gains = std::move(request.required_gains);
+  job.tickets = tickets;
+  for (const std::uint64_t t : tickets) {
+    Entry& e = entries_.at(t);
+    e.live = true;
+    e.response.state = RequestState::kQueued;
+    e.batch_leader = leader;
+    // The leader owns the batch's single charge (members carry none); an
+    // individually-cancelled leader releases it early, which only makes
+    // admission more permissive, never blocks it.
+    e.memory_charge = t == leader ? charge : 0;
+  }
+  admitted_memory_ += charge;
+  live_count_ += n;
+  queue_.push_back(leader);
+  jobs_.emplace(leader, std::move(job));
+  ++stats_.batches;
+  stats_.batch_items += n;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  stats_.peak_admitted_memory_bytes =
+      std::max(stats_.peak_admitted_memory_bytes, admitted_memory_);
+  work_cv_.notify_one();
+  return tickets;
+}
+
 bool SolveService::cancel(std::uint64_t ticket) {
   std::lock_guard<std::mutex> g(mu_);
   auto it = entries_.find(ticket);
@@ -92,9 +167,33 @@ bool SolveService::cancel(std::uint64_t ticket) {
   Entry& e = it->second;
   if (is_terminal(e.response.state)) return false;
   if (e.response.state == RequestState::kQueued) {
-    queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
     e.response.error = support::Error::cancelled("cancelled while queued");
     finalize_locked(e, RequestState::kCancelled);
+    if (e.batch_leader == 0) {
+      // Single request: its ticket is in the queue by invariant, but guard
+      // the erase anyway -- erasing find()==end() is undefined behavior.
+      const auto q = std::find(queue_.begin(), queue_.end(), ticket);
+      if (q != queue_.end()) queue_.erase(q);
+      return true;
+    }
+    // Batch member: the queue holds the leader ticket as the job key, which
+    // must survive until every member is terminal (the worker skips
+    // already-cancelled members). Drop the job once the last one goes.
+    const auto jit = jobs_.find(e.batch_leader);
+    if (jit != jobs_.end()) {
+      bool any_live = false;
+      for (const std::uint64_t t : jit->second.tickets) {
+        if (!is_terminal(entries_.at(t).response.state)) {
+          any_live = true;
+          break;
+        }
+      }
+      if (!any_live) {
+        jobs_.erase(jit);
+        const auto q = std::find(queue_.begin(), queue_.end(), e.batch_leader);
+        if (q != queue_.end()) queue_.erase(q);
+      }
+    }
     return true;
   }
   // Running: signal the token; the worker observes it at the next wave
@@ -188,6 +287,13 @@ void SolveService::worker_main() {
     if (stopping_) return;
     const std::uint64_t ticket = queue_.front();
     queue_.pop_front();
+    const auto jit = jobs_.find(ticket);
+    if (jit != jobs_.end()) {
+      BatchJob job = std::move(jit->second);
+      jobs_.erase(jit);
+      run_batch(lk, std::move(job));
+      continue;
+    }
     Entry& e = entries_.at(ticket);  // std::map: reference stable across inserts
     e.response.state = RequestState::kRunning;
     SolveResponse local = e.response;  // worker-private while running
@@ -199,6 +305,89 @@ void SolveService::worker_main() {
     lk.lock();
     e.response = std::move(local);
     finalize_locked(e, terminal);
+  }
+}
+
+void SolveService::run_batch(std::unique_lock<std::mutex>& lk, BatchJob job) {
+  // Members cancelled while the batch sat in the queue are already terminal;
+  // everything still live runs now, each under its own cancel token.
+  std::vector<std::uint64_t> active;
+  std::vector<support::CancelToken> tokens;
+  std::vector<std::int64_t> gains;
+  for (std::size_t i = 0; i < job.tickets.size(); ++i) {
+    Entry& e = entries_.at(job.tickets[i]);
+    if (is_terminal(e.response.state)) continue;
+    e.response.state = RequestState::kRunning;
+    active.push_back(job.tickets[i]);
+    tokens.push_back(e.cancel.token());
+    gains.push_back(job.gains[i]);
+  }
+  lk.unlock();
+
+  // Crash isolation: like run_attempt, nothing a batch does may take the
+  // worker down. Batch items share one attempt -- no retry ladder; a batch
+  // failure marks every remaining item failed with the same error.
+  std::vector<select::Selection> sels;
+  support::Error batch_error;
+  bool failed = false;
+  if (!active.empty()) {
+    try {
+      if (support::fault_should_trip("service.transient")) {
+        batch_error = support::Error::transient(
+            "injected transient service fault (site service.transient)");
+        failed = true;
+      } else {
+        auto flow_or =
+            select::Flow::create(job.workload.module, job.workload.library);
+        if (!flow_or.ok()) {
+          batch_error = flow_or.error();
+          failed = true;
+        } else {
+          select::Flow& flow = *flow_or.value();
+          select::SelectOptions opt = job.options;
+          opt.ilp.budget.clock = cfg_.clock;
+          std::int64_t derived = -1;
+          for (std::int64_t& g : gains) {
+            if (g < 0) {
+              if (derived < 0) derived = flow.max_feasible_gain(opt) / 2;
+              g = derived;  // derived once, amortized across the batch
+            }
+          }
+          sels = flow.selector().select_batch(
+              gains, opt, [&](std::size_t item, ilp::IlpOptions& iopt) {
+                iopt.budget.cancel = tokens[item];
+              });
+        }
+      }
+    } catch (const std::exception& ex) {
+      batch_error =
+          support::Error::transient(std::string("escaped exception: ") + ex.what());
+      failed = true;
+    } catch (...) {
+      batch_error = support::Error::transient("escaped non-standard exception");
+      failed = true;
+    }
+  }
+
+  lk.lock();
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    Entry& e = entries_.at(active[i]);
+    e.response.attempts = 1;
+    if (failed) {
+      e.response.error = batch_error;
+      finalize_locked(e, RequestState::kFailed);
+      continue;
+    }
+    select::Selection& sel = sels[i];
+    if (tokens[i].cancelled() ||
+        sel.solver.termination == ilp::TerminationReason::kCancelled) {
+      e.response.error = support::Error::cancelled("request cancelled mid-batch");
+      finalize_locked(e, RequestState::kCancelled);
+      continue;
+    }
+    stats_.batch_amortized_hits += static_cast<std::uint64_t>(sel.solver.batch_hits);
+    e.response.selection = std::move(sel);
+    finalize_locked(e, RequestState::kCompleted);
   }
 }
 

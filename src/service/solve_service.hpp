@@ -110,6 +110,23 @@ struct SolveResponse {
   std::string quarantine_fixture;
 };
 
+/// A batch of related selection requests over ONE workload: one item per
+/// required gain, solved sequentially on a single worker through
+/// Selector::select_batch, which amortizes the model build, the presolve
+/// clique table and chained root-LP bases across items. Each item still gets
+/// its own ticket, terminal state and cancel token (a cancelled item is
+/// skipped if not yet started, or stopped at the next wave boundary if it is
+/// the one running). Batch items trade the per-request retry ladder for
+/// throughput: a failing batch marks its remaining items failed once.
+struct BatchSolveRequest {
+  std::string label;
+  workloads::Workload workload;
+  /// One item per entry; a negative gain derives max_feasible_gain / 2 once
+  /// for the whole batch (amortized, unlike per-request derivation).
+  std::vector<std::int64_t> required_gains;
+  select::SelectOptions options;
+};
+
 struct ServiceConfig {
   /// Fixed worker pool size (each worker runs one request at a time; the
   /// request's own opt.ilp.threads parallelizes inside the solve).
@@ -145,6 +162,11 @@ struct ServiceStats {
   std::uint64_t retries = 0;  // extra attempts beyond the first, all requests
   std::size_t peak_queue_depth = 0;
   std::size_t peak_admitted_memory_bytes = 0;
+  // Batched admission mode.
+  std::uint64_t batches = 0;      // batch jobs admitted
+  std::uint64_t batch_items = 0;  // items across all admitted batches
+  std::uint64_t batch_amortized_hits = 0;  // solver artifacts reused across
+                                           // items (sum of batch_hits)
 };
 
 class SolveService {
@@ -160,6 +182,13 @@ class SolveService {
   /// request's ticket is already terminal (kRejected with a retry-after
   /// hint), so every submission reaches exactly one terminal state.
   std::uint64_t submit(SolveRequest request);
+
+  /// Admits or rejects the batch as one unit (one queue slot, one memory
+  /// charge) and returns one ticket per item, in required_gains order. Every
+  /// ticket is individually waitable, pollable and cancellable; a rejected
+  /// batch returns already-terminal kRejected tickets. An empty batch
+  /// returns no tickets.
+  std::vector<std::uint64_t> submit_batch(BatchSolveRequest request);
 
   /// Requests cancellation. A queued request becomes terminal immediately;
   /// a running one is signalled through its CancelToken and terminates
@@ -194,9 +223,25 @@ class SolveService {
     support::CancelSource cancel;
     std::size_t memory_charge = 0;
     bool live = false;  // admitted and not yet terminal
+    /// Leader ticket of the batch this entry belongs to (0: not batched).
+    /// The leader's ticket doubles as the job key in jobs_ and the queue.
+    std::uint64_t batch_leader = 0;
+  };
+
+  /// One admitted batch, keyed in jobs_ by its leader (first) ticket, which
+  /// is also the ticket sitting in queue_ for it.
+  struct BatchJob {
+    workloads::Workload workload;
+    select::SelectOptions options;
+    std::vector<std::int64_t> gains;
+    std::vector<std::uint64_t> tickets;
   };
 
   void worker_main();
+  /// Runs one dequeued batch job: marks live members running, solves them
+  /// through Selector::select_batch outside the lock, then finalizes each
+  /// member. `lk` is held on entry and on return.
+  void run_batch(std::unique_lock<std::mutex>& lk, BatchJob job);
   /// Runs the attempt/retry loop for one request into `out` (a worker-local
   /// response merged back under the lock -- the shared Entry::response is
   /// never written without mu_, so poll() snapshots race-free). Returns the
@@ -218,6 +263,7 @@ class SolveService {
   std::condition_variable work_cv_;  // workers: queue / pause / stop
   std::condition_variable done_cv_;  // waiters: entry became terminal
   std::map<std::uint64_t, Entry> entries_;
+  std::map<std::uint64_t, BatchJob> jobs_;  // queued batches by leader ticket
   std::deque<std::uint64_t> queue_;
   std::uint64_t next_ticket_ = 0;
   std::size_t admitted_memory_ = 0;  // charge of queued + running requests
