@@ -1,0 +1,153 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace partita::net {
+
+bool WireClient::connect(const std::string& endpoint, std::string* error) {
+  close();
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why + " (" + std::strerror(errno) + ")";
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    return false;
+  };
+
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string rest = endpoint.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      if (error) *error = "endpoint needs tcp:HOST:PORT";
+      return false;
+    }
+    const std::string host = rest.substr(0, colon);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(std::atoi(rest.c_str() + colon + 1)));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      if (error) *error = "bad host '" + host + "'";
+      return false;
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return fail("socket");
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      return fail("connect " + endpoint);
+    }
+  } else if (endpoint.rfind("unix:", 0) == 0) {
+    const std::string path = endpoint.substr(5);
+    sockaddr_un addr{};
+    if (path.size() + 1 > sizeof addr.sun_path) {
+      if (error) *error = "unix socket path too long";
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return fail("socket");
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      return fail("connect " + endpoint);
+    }
+  } else {
+    if (error) *error = "endpoint must be tcp:HOST:PORT or unix:PATH";
+    return false;
+  }
+  return true;
+}
+
+void WireClient::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  decoder_ = FrameDecoder();
+  pending_.clear();
+}
+
+std::uint64_t WireClient::send(WireRequest req, std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return 0;
+  }
+  if (req.id == 0) req.id = ++next_id_;
+  const std::string frame = encode_frame(encode_request(req));
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (error) *error = std::string("send failed (") + std::strerror(errno) + ")";
+      return 0;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return req.id;
+}
+
+std::optional<WireResponse> WireClient::recv(std::string* error) {
+  if (!pending_.empty()) {
+    WireResponse r = std::move(pending_.front());
+    pending_.pop_front();
+    return r;
+  }
+  return recv_socket(error);
+}
+
+std::optional<WireResponse> WireClient::recv_socket(std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return std::nullopt;
+  }
+  char buf[4096];
+  std::string payload;
+  for (;;) {
+    if (decoder_.next(&payload)) {
+      std::string why;
+      std::optional<WireResponse> resp = decode_response(payload, &why);
+      if (!resp && error) *error = why;
+      return resp;
+    }
+    if (decoder_.error() != FrameDecoder::Error::kNone) {
+      if (error) *error = decoder_.error_message();
+      return std::nullopt;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (error) *error = "connection closed";
+      return std::nullopt;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<WireResponse> WireClient::wait_for(std::uint64_t id, std::string* error) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id == id) {
+      WireResponse r = std::move(*it);
+      pending_.erase(it);
+      return r;
+    }
+  }
+  for (;;) {
+    // Read fresh frames only: the pending queue was already scanned above
+    // and holds nothing but non-matches.
+    std::optional<WireResponse> resp = recv_socket(error);
+    if (!resp) return std::nullopt;
+    if (resp->id == id) return resp;
+    pending_.push_back(std::move(*resp));
+  }
+}
+
+std::optional<WireResponse> WireClient::call(WireRequest req, std::string* error) {
+  const std::uint64_t id = send(std::move(req), error);
+  if (id == 0) return std::nullopt;
+  return wait_for(id, error);
+}
+
+}  // namespace partita::net

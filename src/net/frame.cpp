@@ -1,0 +1,62 @@
+#include "net/frame.hpp"
+
+namespace partita::net {
+
+std::string encode_frame(const std::string& payload) {
+  const std::size_t n = payload.size() + 1;  // version byte + payload
+  std::string out;
+  out.reserve(4 + n);
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out.push_back(static_cast<char>(kWireVersion));
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (error_ != Error::kNone) return;
+  buf_.append(data, n);
+}
+
+bool FrameDecoder::next(std::string* payload) {
+  if (error_ != Error::kNone) return false;
+  if (buf_.size() < 4) return false;
+  const auto b = [&](std::size_t i) {
+    return static_cast<std::size_t>(static_cast<unsigned char>(buf_[i]));
+  };
+  const std::size_t len = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  // Validate the header before waiting for (or allocating) the body: a
+  // hostile length prefix is rejected from the first 4 bytes alone.
+  if (len == 0) {
+    error_ = Error::kEmpty;
+    return false;
+  }
+  if (len > max_frame_) {
+    error_ = Error::kOversized;
+    return false;
+  }
+  if (buf_.size() < 4 + len) return false;  // body still in flight
+  if (static_cast<unsigned char>(buf_[4]) != kWireVersion) {
+    error_ = Error::kBadVersion;
+    return false;
+  }
+  if (payload) payload->assign(buf_, 5, len - 1);
+  buf_.erase(0, 4 + len);
+  return true;
+}
+
+const char* to_string(FrameDecoder::Error e) {
+  switch (e) {
+    case FrameDecoder::Error::kNone: return "ok";
+    case FrameDecoder::Error::kBadVersion: return "unsupported frame version";
+    case FrameDecoder::Error::kOversized: return "frame exceeds size ceiling";
+    case FrameDecoder::Error::kEmpty: return "zero-length frame";
+  }
+  return "?";
+}
+
+const char* FrameDecoder::error_message() const { return to_string(error_); }
+
+}  // namespace partita::net

@@ -1,25 +1,22 @@
 #include "oracle/fixture.hpp"
 
-#include <cctype>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
-#include <variant>
 #include <vector>
+
+#include "support/json.hpp"
 
 namespace partita::oracle {
 
 namespace {
 
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+using support::json::bool_or;
+using support::json::int_or;
+using support::json::num_or;
+using support::json::string_or;
+using support::json::fmt_double;
 
 // --- writer ----------------------------------------------------------------
 
@@ -48,216 +45,6 @@ void append_ip(std::ostringstream& os, const workloads::SpecIp& ip, const char* 
        << ", \"n_in\": " << f.n_in << ", \"n_out\": " << f.n_out << "}";
   }
   os << "]}";
-}
-
-// --- minimal JSON reader ---------------------------------------------------
-//
-// Recursive-descent parser for the subset fixtures use: objects, arrays,
-// strings (no escapes beyond \" \\ \/ \n \t), numbers, true/false/null.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  std::variant<std::nullptr_t, bool, double, std::string,
-               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
-      v = nullptr;
-
-  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
-  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
-  const JsonObject& object() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
-  const JsonArray& array() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  std::optional<JsonValue> parse(std::string* error) {
-    std::optional<JsonValue> v = value();
-    skip_ws();
-    if (v && pos_ != s_.size()) {
-      fail("trailing characters");
-      v.reset();
-    }
-    if (!v && error) *error = error_;
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
-  }
-  bool fail(const std::string& why) {
-    if (error_.empty()) error_ = why + " at offset " + std::to_string(pos_);
-    return false;
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return fail(std::string("expected '") + c + "'");
-  }
-  bool literal(const char* word) {
-    for (const char* p = word; *p; ++p, ++pos_) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
-    }
-    return true;
-  }
-
-  std::optional<JsonValue> value() {
-    skip_ws();
-    if (pos_ >= s_.size()) {
-      fail("unexpected end of input");
-      return std::nullopt;
-    }
-    const char c = s_[pos_];
-    JsonValue out;
-    switch (c) {
-      case '{': {
-        auto obj = std::make_shared<JsonObject>();
-        ++pos_;
-        skip_ws();
-        if (pos_ < s_.size() && s_[pos_] == '}') {
-          ++pos_;
-        } else {
-          while (true) {
-            std::optional<std::string> key = string();
-            if (!key) return std::nullopt;
-            if (!consume(':')) return std::nullopt;
-            std::optional<JsonValue> val = value();
-            if (!val) return std::nullopt;
-            (*obj)[*key] = *val;
-            skip_ws();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-              ++pos_;
-              continue;
-            }
-            if (!consume('}')) return std::nullopt;
-            break;
-          }
-        }
-        out.v = obj;
-        return out;
-      }
-      case '[': {
-        auto arr = std::make_shared<JsonArray>();
-        ++pos_;
-        skip_ws();
-        if (pos_ < s_.size() && s_[pos_] == ']') {
-          ++pos_;
-        } else {
-          while (true) {
-            std::optional<JsonValue> val = value();
-            if (!val) return std::nullopt;
-            arr->push_back(*val);
-            skip_ws();
-            if (pos_ < s_.size() && s_[pos_] == ',') {
-              ++pos_;
-              continue;
-            }
-            if (!consume(']')) return std::nullopt;
-            break;
-          }
-        }
-        out.v = arr;
-        return out;
-      }
-      case '"': {
-        std::optional<std::string> str = string();
-        if (!str) return std::nullopt;
-        out.v = *str;
-        return out;
-      }
-      case 't':
-        if (!literal("true")) return std::nullopt;
-        out.v = true;
-        return out;
-      case 'f':
-        if (!literal("false")) return std::nullopt;
-        out.v = false;
-        return out;
-      case 'n':
-        if (!literal("null")) return std::nullopt;
-        out.v = nullptr;
-        return out;
-      default: {
-        const std::size_t start = pos_;
-        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
-          ++pos_;
-        }
-        if (pos_ == start) {
-          fail("unexpected character");
-          return std::nullopt;
-        }
-        out.v = std::strtod(s_.c_str() + start, nullptr);
-        return out;
-      }
-    }
-  }
-
-  std::optional<std::string> string() {
-    skip_ws();
-    if (pos_ >= s_.size() || s_[pos_] != '"') {
-      fail("expected string");
-      return std::nullopt;
-    }
-    ++pos_;
-    std::string out;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      char c = s_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= s_.size()) break;
-        const char esc = s_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          default: c = esc; break;  // \" \\ \/ and anything else verbatim
-        }
-      }
-      out.push_back(c);
-    }
-    if (pos_ >= s_.size()) {
-      fail("unterminated string");
-      return std::nullopt;
-    }
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
-
-// --- field extraction ------------------------------------------------------
-
-double num_or(const JsonObject& o, const char* key, double fallback) {
-  auto it = o.find(key);
-  if (it == o.end() || !std::holds_alternative<double>(it->second.v)) return fallback;
-  return std::get<double>(it->second.v);
-}
-
-std::int64_t int_or(const JsonObject& o, const char* key, std::int64_t fallback) {
-  return static_cast<std::int64_t>(num_or(o, key, static_cast<double>(fallback)));
-}
-
-bool bool_or(const JsonObject& o, const char* key, bool fallback) {
-  auto it = o.find(key);
-  if (it == o.end() || !std::holds_alternative<bool>(it->second.v)) return fallback;
-  return std::get<bool>(it->second.v);
-}
-
-std::string string_or(const JsonObject& o, const char* key, const std::string& fallback) {
-  auto it = o.find(key);
-  if (it == o.end() || !std::holds_alternative<std::string>(it->second.v)) return fallback;
-  return std::get<std::string>(it->second.v);
 }
 
 }  // namespace
@@ -292,14 +79,13 @@ std::string fixture_json(const workloads::InstanceSpec& spec) {
 
 std::optional<workloads::InstanceSpec> parse_fixture(const std::string& json,
                                                      std::string* error) {
-  JsonParser parser(json);
-  std::optional<JsonValue> root = parser.parse(error);
+  std::optional<support::json::Value> root = support::json::parse(json, error);
   if (!root) return std::nullopt;
   if (!root->is_object()) {
     if (error) *error = "fixture root is not an object";
     return std::nullopt;
   }
-  const JsonObject& o = root->object();
+  const support::json::Object& o = root->object();
 
   workloads::InstanceSpec spec;
   spec.name = string_or(o, "name", "fixture");
@@ -307,17 +93,17 @@ std::optional<workloads::InstanceSpec> parse_fixture(const std::string& json,
 
   auto kc = o.find("kernel_cycles");
   if (kc != o.end() && kc->second.is_array()) {
-    for (const JsonValue& v : kc->second.array()) {
-      if (std::holds_alternative<double>(v.v)) {
-        spec.kernel_cycles.push_back(static_cast<std::int64_t>(std::get<double>(v.v)));
+    for (const support::json::Value& v : kc->second.array()) {
+      if (v.is_number()) {
+        spec.kernel_cycles.push_back(static_cast<std::int64_t>(v.number()));
       }
     }
   }
   auto sites = o.find("sites");
   if (sites != o.end() && sites->second.is_array()) {
-    for (const JsonValue& v : sites->second.array()) {
+    for (const support::json::Value& v : sites->second.array()) {
       if (!v.is_object()) continue;
-      const JsonObject& so = v.object();
+      const support::json::Object& so = v.object();
       workloads::SpecCallSite s;
       s.kernel = static_cast<int>(int_or(so, "kernel", 0));
       s.depth = static_cast<int>(int_or(so, "depth", 0));
@@ -332,9 +118,9 @@ std::optional<workloads::InstanceSpec> parse_fixture(const std::string& json,
   }
   auto ips = o.find("ips");
   if (ips != o.end() && ips->second.is_array()) {
-    for (const JsonValue& v : ips->second.array()) {
+    for (const support::json::Value& v : ips->second.array()) {
       if (!v.is_object()) continue;
-      const JsonObject& io = v.object();
+      const support::json::Object& io = v.object();
       workloads::SpecIp ip;
       ip.area = num_or(io, "area", 1.0);
       ip.in_ports = static_cast<int>(int_or(io, "in_ports", 2));
@@ -346,9 +132,9 @@ std::optional<workloads::InstanceSpec> parse_fixture(const std::string& json,
       ip.protocol = static_cast<int>(int_or(io, "protocol", 0));
       auto fns = io.find("functions");
       if (fns != io.end() && fns->second.is_array()) {
-        for (const JsonValue& fv : fns->second.array()) {
+        for (const support::json::Value& fv : fns->second.array()) {
           if (!fv.is_object()) continue;
-          const JsonObject& fo = fv.object();
+          const support::json::Object& fo = fv.object();
           workloads::SpecIpFunction f;
           f.kernel = static_cast<int>(int_or(fo, "kernel", 0));
           f.cycles = int_or(fo, "cycles", 100);

@@ -1,0 +1,315 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace partita::service {
+
+const char* to_string(RequestState s) {
+  switch (s) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kRunning: return "running";
+    case RequestState::kCompleted: return "completed";
+    case RequestState::kCancelled: return "cancelled";
+    case RequestState::kRejected: return "rejected";
+    case RequestState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* priority_name(int priority_class) {
+  switch (clamp_priority(priority_class)) {
+    case kPriorityInteractive: return "interactive";
+    case kPriorityStandard: return "standard";
+    default: return "batch";
+  }
+}
+
+int clamp_priority(int priority_class) {
+  return std::clamp(priority_class, 0, kPriorityClasses - 1);
+}
+
+int parse_priority(const std::string& text) {
+  if (text == "interactive" || text == "0") return kPriorityInteractive;
+  if (text == "standard" || text == "1") return kPriorityStandard;
+  if (text == "batch" || text == "2") return kPriorityBatch;
+  return -1;
+}
+
+void DrainRateEstimator::record_terminal(std::int64_t now_micros) {
+  if (last_terminal_micros_ >= 0 && now_micros >= last_terminal_micros_) {
+    const double gap =
+        static_cast<double>(now_micros - last_terminal_micros_) / 1e6;
+    // EWMA, alpha 0.3: responsive to a regime change within a few events,
+    // stable against one outlier.
+    interval_seconds_ = 0.7 * interval_seconds_ + 0.3 * gap;
+  }
+  last_terminal_micros_ = now_micros;
+}
+
+double DrainRateEstimator::retry_after_seconds(std::size_t queued_depth,
+                                               int workers) const {
+  const double per_slot = std::max(interval_seconds_, 1e-4);
+  const double backlog_rounds =
+      1.0 + static_cast<double>(queued_depth) / static_cast<double>(std::max(1, workers));
+  return std::min(per_slot * backlog_rounds, 300.0);
+}
+
+namespace {
+
+constexpr std::int64_t kNoDeadline = std::numeric_limits<std::int64_t>::max();
+
+/// Shared pending-set plumbing. Policies differ only in their admission
+/// twist and their pick order.
+class BaseQueuePolicy : public SchedulerPolicy {
+ public:
+  explicit BaseQueuePolicy(const SchedulerLimits& limits) : limits_(limits) {}
+
+  AdmitDecision admit(const SchedEntry& entry, const SchedulerLoad& load) override {
+    AdmitDecision d;
+    if (const char* reason = default_shed_reason(entry, load)) {
+      d.admitted = false;
+      d.reject_reason = reason;
+      ++stats_.rejected;
+      return d;
+    }
+    accept(entry);
+    return d;
+  }
+
+  void on_complete(std::uint64_t ticket, RequestState, std::int64_t) override {
+    pending_.erase(ticket);
+  }
+
+  std::size_t queued() const override { return pending_.size(); }
+
+  PolicyStats stats() const override {
+    PolicyStats s = stats_;
+    s.name = name();
+    s.queued = pending_.size();
+    return s;
+  }
+
+ protected:
+  /// The PR 4 shed conditions; every built-in policy starts from these.
+  /// Null = admissible. The messages are load-bearing: clients and tests
+  /// match on "queue full" and "memory".
+  const char* default_shed_reason(const SchedEntry& entry,
+                                  const SchedulerLoad& load) const {
+    if (pending_.size() >= limits_.max_queue_depth) return "admission queue full";
+    if (limits_.max_admitted_memory_bytes != 0 &&
+        load.admitted_memory_bytes + entry.memory_charge >
+            limits_.max_admitted_memory_bytes) {
+      return "aggregate solver-memory budget exhausted";
+    }
+    return nullptr;
+  }
+
+  void accept(const SchedEntry& entry) {
+    pending_.emplace(entry.ticket, entry);
+    ++stats_.admitted;
+  }
+
+  /// Removes and returns `ticket`, recording whether the pick jumped an
+  /// older (lower-seq) pending request.
+  std::uint64_t take(std::uint64_t ticket) {
+    const auto it = pending_.find(ticket);
+    const std::uint64_t seq = it->second.seq;
+    for (const auto& [t, e] : pending_) {
+      if (t != ticket && e.seq < seq) {
+        ++stats_.backfills;
+        break;
+      }
+    }
+    pending_.erase(it);
+    ++stats_.picked;
+    return ticket;
+  }
+
+  SchedulerLimits limits_;
+  /// ticket -> entry. Tickets are handed out monotonically, so map order is
+  /// admission order and begin() is the FIFO head.
+  std::map<std::uint64_t, SchedEntry> pending_;
+  PolicyStats stats_;
+};
+
+// --- fifo ------------------------------------------------------------------
+
+class FifoPolicy final : public BaseQueuePolicy {
+ public:
+  using BaseQueuePolicy::BaseQueuePolicy;
+  const char* name() const override { return "fifo"; }
+
+  std::optional<std::uint64_t> pick_next(std::int64_t) override {
+    if (pending_.empty()) return std::nullopt;
+    return take(pending_.begin()->first);
+  }
+};
+
+// --- priority + backfill ----------------------------------------------------
+
+// Strict priority classes, backfill by declared solver budget inside a
+// class, and two anti-starvation valves: queued aging promotes a request one
+// class per age_promote_seconds, and a request older than max_wait_seconds
+// outranks everything (FIFO among the starved).
+class PriorityBackfillPolicy final : public BaseQueuePolicy {
+ public:
+  using BaseQueuePolicy::BaseQueuePolicy;
+  const char* name() const override { return "priority"; }
+
+  std::optional<std::uint64_t> pick_next(std::int64_t now_micros) override {
+    if (pending_.empty()) return std::nullopt;
+    const std::int64_t promote_micros =
+        static_cast<std::int64_t>(limits_.age_promote_seconds * 1e6);
+    const std::int64_t starve_micros =
+        static_cast<std::int64_t>(limits_.max_wait_seconds * 1e6);
+
+    const SchedEntry* best = nullptr;
+    Key best_key{};
+    bool best_aged = false;
+    for (const auto& [t, e] : pending_) {
+      const std::int64_t wait = std::max<std::int64_t>(0, now_micros - e.submit_micros);
+      int eff = e.priority;
+      if (promote_micros > 0) {
+        eff = static_cast<int>(std::max<std::int64_t>(0, eff - wait / promote_micros));
+      }
+      Key key;
+      key.starved = starve_micros > 0 && wait >= starve_micros;
+      key.klass = key.starved ? -1 : eff;
+      // Backfill: a small declared budget runs ahead of a big (or
+      // undeclared) one in the same class. Undeclared sorts last.
+      key.declared = key.starved ? 0.0
+                     : e.declared_time_seconds > 0
+                         ? e.declared_time_seconds
+                         : std::numeric_limits<double>::infinity();
+      key.seq = e.seq;
+      if (best == nullptr || key < best_key) {
+        best = &e;
+        best_key = key;
+        best_aged = eff < e.priority;
+      }
+    }
+    if (best_aged || best_key.starved) ++stats_.aged_promotions;
+    return take(best->ticket);
+  }
+
+ private:
+  struct Key {
+    bool starved = false;
+    int klass = 0;
+    double declared = 0.0;
+    std::uint64_t seq = 0;
+    bool operator<(const Key& o) const {
+      if (klass != o.klass) return klass < o.klass;  // starved = class -1
+      if (declared != o.declared) return declared < o.declared;
+      return seq < o.seq;
+    }
+  };
+};
+
+// --- earliest-deadline-first -------------------------------------------------
+
+class DeadlineEdfPolicy final : public BaseQueuePolicy {
+ public:
+  using BaseQueuePolicy::BaseQueuePolicy;
+  const char* name() const override { return "edf"; }
+
+  std::optional<std::uint64_t> pick_next(std::int64_t) override {
+    if (pending_.empty()) return std::nullopt;
+    const SchedEntry* best = nullptr;
+    for (const auto& [t, e] : pending_) {
+      if (best == nullptr || key(e) < key(*best)) best = &e;
+    }
+    return take(best->ticket);
+  }
+
+ private:
+  static std::pair<std::int64_t, std::uint64_t> key(const SchedEntry& e) {
+    // Declared deadlines first (earliest wins); deadline-less requests run
+    // FIFO behind every deadline-carrying one.
+    return {e.deadline_micros >= 0 ? e.deadline_micros : kNoDeadline, e.seq};
+  }
+};
+
+// --- load-shedding rejecter --------------------------------------------------
+
+// FIFO pick order, but admission sheds the *lowest class first*: when the
+// queue (or the memory budget) is full, the youngest pending request of the
+// worst class strictly below the arrival's class is evicted -- terminal
+// kRejected with a retry hint -- to make room. An arrival that is itself the
+// lowest class present is the one rejected, exactly like FIFO.
+class RejecterPolicy final : public BaseQueuePolicy {
+ public:
+  using BaseQueuePolicy::BaseQueuePolicy;
+  const char* name() const override { return "rejecter"; }
+
+  AdmitDecision admit(const SchedEntry& entry, const SchedulerLoad& load) override {
+    AdmitDecision d;
+    std::size_t freed_memory = 0;
+    const auto over_memory = [&] {
+      return limits_.max_admitted_memory_bytes != 0 &&
+             load.admitted_memory_bytes - freed_memory + entry.memory_charge >
+                 limits_.max_admitted_memory_bytes;
+    };
+    while (pending_.size() >= limits_.max_queue_depth || over_memory()) {
+      const SchedEntry* victim = pick_victim(entry.priority);
+      if (victim == nullptr) {
+        d.admitted = false;
+        d.reject_reason = pending_.size() >= limits_.max_queue_depth
+                              ? "admission queue full (rejecter: arrival is lowest class)"
+                              : "aggregate solver-memory budget exhausted "
+                                "(rejecter: arrival is lowest class)";
+        ++stats_.rejected;
+        return d;
+      }
+      freed_memory += victim->memory_charge;
+      d.evicted.push_back(victim->ticket);
+      pending_.erase(victim->ticket);
+      ++stats_.evicted;
+    }
+    accept(entry);
+    return d;
+  }
+
+ private:
+  /// Youngest pending entry of the worst class strictly below `arrival`;
+  /// null when every pending request is at least as good as the arrival.
+  const SchedEntry* pick_victim(int arrival_priority) const {
+    const SchedEntry* victim = nullptr;
+    for (const auto& [t, e] : pending_) {
+      if (e.priority <= arrival_priority) continue;
+      if (victim == nullptr || e.priority > victim->priority ||
+          (e.priority == victim->priority && e.seq > victim->seq)) {
+        victim = &e;
+      }
+    }
+    return victim;
+  }
+
+ public:
+  std::optional<std::uint64_t> pick_next(std::int64_t) override {
+    if (pending_.empty()) return std::nullopt;
+    return take(pending_.begin()->first);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SchedulerPolicy> SchedulerPolicy::create(const std::string& name,
+                                                         const SchedulerLimits& limits) {
+  if (name.empty() || name == "fifo") return std::make_unique<FifoPolicy>(limits);
+  if (name == "priority" || name == "priority_backfill") {
+    return std::make_unique<PriorityBackfillPolicy>(limits);
+  }
+  if (name == "edf" || name == "deadline") {
+    return std::make_unique<DeadlineEdfPolicy>(limits);
+  }
+  if (name == "rejecter") return std::make_unique<RejecterPolicy>(limits);
+  return nullptr;
+}
+
+std::vector<std::string> SchedulerPolicy::known_policies() {
+  return {"fifo", "priority", "edf", "rejecter"};
+}
+
+}  // namespace partita::service

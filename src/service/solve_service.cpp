@@ -10,22 +10,19 @@
 
 namespace partita::service {
 
-const char* to_string(RequestState s) {
-  switch (s) {
-    case RequestState::kQueued: return "queued";
-    case RequestState::kRunning: return "running";
-    case RequestState::kCompleted: return "completed";
-    case RequestState::kCancelled: return "cancelled";
-    case RequestState::kRejected: return "rejected";
-    case RequestState::kFailed: return "failed";
-  }
-  return "?";
-}
-
 SolveService::SolveService(ServiceConfig config)
     : cfg_(std::move(config)),
-      clock_(cfg_.clock ? *cfg_.clock : support::Clock::system()) {
+      clock_(cfg_.clock ? *cfg_.clock : support::Clock::system()),
+      drain_rate_(cfg_.retry_after_seconds) {
   PARTITA_ASSERT_MSG(cfg_.workers >= 1, "SolveService needs at least one worker");
+  SchedulerLimits limits;
+  limits.max_queue_depth = cfg_.max_queue_depth;
+  limits.max_admitted_memory_bytes = cfg_.max_admitted_memory_bytes;
+  limits.workers = cfg_.workers;
+  limits.age_promote_seconds = cfg_.age_promote_seconds;
+  limits.max_wait_seconds = cfg_.max_wait_seconds;
+  policy_ = SchedulerPolicy::create(cfg_.policy, limits);
+  if (!policy_) policy_ = SchedulerPolicy::create("fifo", limits);
   paused_ = cfg_.start_paused;
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
@@ -35,129 +32,157 @@ SolveService::SolveService(ServiceConfig config)
 
 SolveService::~SolveService() { shutdown(); }
 
-std::uint64_t SolveService::submit(SolveRequest request) {
-  std::lock_guard<std::mutex> g(mu_);
-  const std::uint64_t ticket = ++next_ticket_;
-  Entry& e = entries_[ticket];
-  e.response.ticket = ticket;
-  e.response.label = request.label.empty() ? request.workload.name : request.label;
-  ++stats_.submitted;
-
-  // Admission control. The memory charge is what the request *declared* it
-  // may consume (its solver arena cap), or a conservative default: shedding
-  // happens before the work starts, so an oversized instance is rejected
-  // with a hint instead of starving every other request in the pool.
-  const std::size_t charge = request.options.ilp.budget.memory_limit_bytes != 0
-                                 ? request.options.ilp.budget.memory_limit_bytes
-                                 : cfg_.default_memory_charge;
-  const char* reject = nullptr;
-  if (draining_ || stopping_) {
-    reject = "service is draining; request not admitted";
-  } else if (queue_.size() >= cfg_.max_queue_depth) {
-    reject = "admission queue full";
-  } else if (cfg_.max_admitted_memory_bytes != 0 &&
-             admitted_memory_ + charge > cfg_.max_admitted_memory_bytes) {
-    reject = "aggregate solver-memory budget exhausted";
-  }
-  if (reject != nullptr) {
-    // Retry-after scales with queue pressure: an idle-but-capped service
-    // suggests one base interval, a deep queue proportionally more.
-    e.response.retry_after_seconds =
-        cfg_.retry_after_seconds *
-        (1.0 + static_cast<double>(queue_.size()) /
-                   static_cast<double>(std::max(1, cfg_.workers)));
-    e.response.error = support::Error::transient(reject);
-    finalize_locked(e, RequestState::kRejected);
-    return ticket;
-  }
-
-  e.request = std::move(request);
-  e.memory_charge = charge;
-  e.live = true;
-  e.response.state = RequestState::kQueued;
-  admitted_memory_ += charge;
-  ++live_count_;
-  queue_.push_back(ticket);
-  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
-  stats_.peak_admitted_memory_bytes =
-      std::max(stats_.peak_admitted_memory_bytes, admitted_memory_);
-  work_cv_.notify_one();
-  return ticket;
+double SolveService::retry_after_hint_locked() const {
+  return drain_rate_.retry_after_seconds(policy_->queued(), cfg_.workers);
 }
 
-std::vector<std::uint64_t> SolveService::submit_batch(BatchSolveRequest request) {
+SubmitOutcome SolveService::submit(SolveRequest request) {
   std::lock_guard<std::mutex> g(mu_);
-  std::vector<std::uint64_t> tickets;
-  const std::size_t n = request.required_gains.size();
-  if (n == 0) return tickets;
+  SubmitOutcome out;
 
+  const bool batch = !request.required_gains.empty();
+  const std::size_t n = batch ? request.required_gains.size() : 1;
   const std::string base =
       request.label.empty() ? request.workload.name : request.label;
-  tickets.reserve(n);
+  request.tenant = request.tenant.empty() ? "" : request.tenant;
+  request.priority = clamp_priority(request.priority);
+
+  out.tickets.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t ticket = ++next_ticket_;
     Entry& e = entries_[ticket];
     e.response.ticket = ticket;
-    e.response.label = base + "#" + std::to_string(i);
-    tickets.push_back(ticket);
+    e.response.label = batch ? base + "#" + std::to_string(i) : base;
+    e.tenant = request.tenant;
+    out.tickets.push_back(ticket);
   }
   stats_.submitted += n;
 
-  // One admission decision for the whole batch: it occupies a single queue
-  // slot and runs sequentially on one worker, so it carries a single memory
-  // charge (the declared solver cap, or the default).
+  // Admission. The memory charge is what the request *declared* it may
+  // consume (its solver arena cap), or a conservative default: shedding
+  // happens before the work starts, so an oversized instance is rejected
+  // with a hint instead of starving every other request in the pool. The
+  // queue-depth / memory / class decisions belong to the scheduler policy;
+  // the service itself only vetoes drain and tenant quota.
   const std::size_t charge = request.options.ilp.budget.memory_limit_bytes != 0
                                  ? request.options.ilp.budget.memory_limit_bytes
                                  : cfg_.default_memory_charge;
-  const char* reject = nullptr;
+  const std::int64_t now = clock_.now_micros();
+  std::string reject;
+  std::vector<std::uint64_t> evicted;
   if (draining_ || stopping_) {
     reject = "service is draining; request not admitted";
-  } else if (queue_.size() >= cfg_.max_queue_depth) {
-    reject = "admission queue full";
-  } else if (cfg_.max_admitted_memory_bytes != 0 &&
-             admitted_memory_ + charge > cfg_.max_admitted_memory_bytes) {
-    reject = "aggregate solver-memory budget exhausted";
+  } else if (cfg_.max_live_per_tenant != 0 &&
+             live_per_tenant_[request.tenant] + n > cfg_.max_live_per_tenant) {
+    reject = "tenant quota exceeded (" + std::to_string(cfg_.max_live_per_tenant) +
+             " live requests for tenant '" + request.tenant + "')";
+  } else {
+    SchedEntry se;
+    se.ticket = out.tickets.front();
+    se.seq = se.ticket;  // tickets are handed out in admission order
+    se.tenant = request.tenant;
+    se.priority = request.priority;
+    se.submit_micros = now;
+    se.deadline_micros =
+        request.deadline_seconds > 0
+            ? now + static_cast<std::int64_t>(request.deadline_seconds * 1e6)
+            : -1;
+    se.memory_charge = charge;
+    se.declared_time_seconds = request.options.ilp.budget.time_limit_seconds;
+    se.items = n;
+    SchedulerLoad load;
+    load.running = running_count_;
+    load.admitted_memory_bytes = admitted_memory_;
+    AdmitDecision d = policy_->admit(se, load);
+    if (!d.admitted) {
+      reject = std::move(d.reject_reason);
+    } else {
+      evicted = std::move(d.evicted);
+    }
   }
-  if (reject != nullptr) {
-    const double hint = cfg_.retry_after_seconds *
-                        (1.0 + static_cast<double>(queue_.size()) /
-                                   static_cast<double>(std::max(1, cfg_.workers)));
-    for (const std::uint64_t t : tickets) {
+
+  if (!reject.empty()) {
+    // Retry-after derives from the observed drain rate: a fast-draining
+    // pool invites a quick retry, a slow one proportionally later.
+    const double hint = retry_after_hint_locked();
+    for (const std::uint64_t t : out.tickets) {
       Entry& e = entries_.at(t);
       e.response.retry_after_seconds = hint;
       e.response.error = support::Error::transient(reject);
       finalize_locked(e, RequestState::kRejected);
     }
-    return tickets;
+    out.state = RequestState::kRejected;
+    out.retry_after_seconds = hint;
+    out.reject_reason = std::move(reject);
+    return out;
   }
 
-  const std::uint64_t leader = tickets.front();
-  BatchJob job;
-  job.workload = std::move(request.workload);
-  job.options = std::move(request.options);
-  job.gains = std::move(request.required_gains);
-  job.tickets = tickets;
-  for (const std::uint64_t t : tickets) {
+  // Rejecter-policy evictions: queued lower-class tickets shed to make room
+  // for this arrival become terminal kRejected right now.
+  for (const std::uint64_t victim : evicted) {
+    shed_queued_locked(victim,
+                       "evicted by a higher-priority arrival (rejecter policy)");
+  }
+
+  const std::uint64_t leader = out.tickets.front();
+  for (const std::uint64_t t : out.tickets) {
     Entry& e = entries_.at(t);
     e.live = true;
     e.response.state = RequestState::kQueued;
-    e.batch_leader = leader;
-    // The leader owns the batch's single charge (members carry none); an
+    // The leader owns the admission charge (batch members carry none); an
     // individually-cancelled leader releases it early, which only makes
     // admission more permissive, never blocks it.
     e.memory_charge = t == leader ? charge : 0;
+    e.batch_leader = batch ? leader : 0;
+    ++live_per_tenant_[e.tenant];
   }
   admitted_memory_ += charge;
   live_count_ += n;
-  queue_.push_back(leader);
-  jobs_.emplace(leader, std::move(job));
-  ++stats_.batches;
-  stats_.batch_items += n;
-  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  if (batch) {
+    BatchJob job;
+    job.workload = std::move(request.workload);
+    job.options = std::move(request.options);
+    job.gains = std::move(request.required_gains);
+    job.tickets = out.tickets;
+    jobs_.emplace(leader, std::move(job));
+    ++stats_.batches;
+    stats_.batch_items += n;
+  } else {
+    entries_.at(leader).request = std::move(request);
+  }
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, policy_->queued());
   stats_.peak_admitted_memory_bytes =
       std::max(stats_.peak_admitted_memory_bytes, admitted_memory_);
   work_cv_.notify_one();
-  return tickets;
+  return out;
+}
+
+std::vector<std::uint64_t> SolveService::submit_batch(BatchSolveRequest request) {
+  if (request.required_gains.empty()) return {};
+  SolveRequest req;
+  req.label = std::move(request.label);
+  req.workload = std::move(request.workload);
+  req.required_gains = std::move(request.required_gains);
+  req.options = std::move(request.options);
+  return submit(std::move(req)).tickets;
+}
+
+void SolveService::shed_queued_locked(std::uint64_t ticket, const std::string& why) {
+  const double hint = retry_after_hint_locked();
+  const auto shed_one = [&](Entry& e) {
+    if (is_terminal(e.response.state)) return;
+    e.response.retry_after_seconds = hint;
+    e.response.error = support::Error::transient(why);
+    ++stats_.evicted;
+    finalize_locked(e, RequestState::kRejected);
+  };
+  const auto jit = jobs_.find(ticket);
+  if (jit != jobs_.end()) {
+    for (const std::uint64_t t : jit->second.tickets) shed_one(entries_.at(t));
+    jobs_.erase(jit);
+    return;
+  }
+  shed_one(entries_.at(ticket));
 }
 
 bool SolveService::cancel(std::uint64_t ticket) {
@@ -170,14 +195,12 @@ bool SolveService::cancel(std::uint64_t ticket) {
     e.response.error = support::Error::cancelled("cancelled while queued");
     finalize_locked(e, RequestState::kCancelled);
     if (e.batch_leader == 0) {
-      // Single request: its ticket is in the queue by invariant, but guard
-      // the erase anyway -- erasing find()==end() is undefined behavior.
-      const auto q = std::find(queue_.begin(), queue_.end(), ticket);
-      if (q != queue_.end()) queue_.erase(q);
+      // Single request: drop it from the scheduler's pending set.
+      policy_->on_complete(ticket, RequestState::kCancelled, clock_.now_micros());
       return true;
     }
-    // Batch member: the queue holds the leader ticket as the job key, which
-    // must survive until every member is terminal (the worker skips
+    // Batch member: the scheduler holds the leader ticket as the job key,
+    // which must survive until every member is terminal (the worker skips
     // already-cancelled members). Drop the job once the last one goes.
     const auto jit = jobs_.find(e.batch_leader);
     if (jit != jobs_.end()) {
@@ -190,8 +213,8 @@ bool SolveService::cancel(std::uint64_t ticket) {
       }
       if (!any_live) {
         jobs_.erase(jit);
-        const auto q = std::find(queue_.begin(), queue_.end(), e.batch_leader);
-        if (q != queue_.end()) queue_.erase(q);
+        policy_->on_complete(e.batch_leader, RequestState::kCancelled,
+                             clock_.now_micros());
       }
     }
     return true;
@@ -259,6 +282,16 @@ ServiceStats SolveService::stats() const {
   return stats_;
 }
 
+PolicyStats SolveService::scheduler_stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return policy_->stats();
+}
+
+const char* SolveService::policy_name() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return policy_->name();
+}
+
 void SolveService::finalize_locked(Entry& e, RequestState state) {
   e.response.state = state;
   switch (state) {
@@ -274,6 +307,14 @@ void SolveService::finalize_locked(Entry& e, RequestState state) {
     e.live = false;
     admitted_memory_ -= e.memory_charge;
     --live_count_;
+    const auto tit = live_per_tenant_.find(e.tenant);
+    if (tit != live_per_tenant_.end() && tit->second > 0) {
+      if (--tit->second == 0) live_per_tenant_.erase(tit);
+    }
+    // Only admitted requests feed the drain-rate estimator: their terminal
+    // transition frees capacity, which is exactly what the retry-after hint
+    // is estimating.
+    drain_rate_.record_terminal(clock_.now_micros());
   }
   e.request = SolveRequest();  // release the workload: terminal entries keep
                                // only their (small) response
@@ -283,15 +324,22 @@ void SolveService::finalize_locked(Entry& e, RequestState state) {
 void SolveService::worker_main() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    work_cv_.wait(lk, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+    work_cv_.wait(lk, [&] {
+      return stopping_ || (!paused_ && policy_->queued() > 0);
+    });
     if (stopping_) return;
-    const std::uint64_t ticket = queue_.front();
-    queue_.pop_front();
+    const std::optional<std::uint64_t> picked =
+        policy_->pick_next(clock_.now_micros());
+    if (!picked.has_value()) continue;
+    const std::uint64_t ticket = *picked;
+    ++running_count_;
     const auto jit = jobs_.find(ticket);
     if (jit != jobs_.end()) {
       BatchJob job = std::move(jit->second);
       jobs_.erase(jit);
       run_batch(lk, std::move(job));
+      --running_count_;
+      policy_->on_complete(ticket, RequestState::kCompleted, clock_.now_micros());
       continue;
     }
     Entry& e = entries_.at(ticket);  // std::map: reference stable across inserts
@@ -305,6 +353,8 @@ void SolveService::worker_main() {
     lk.lock();
     e.response = std::move(local);
     finalize_locked(e, terminal);
+    --running_count_;
+    policy_->on_complete(ticket, terminal, clock_.now_micros());
   }
 }
 

@@ -3,7 +3,7 @@
 // Every entry point before this layer was one-shot: one workload in, one
 // selection out, and any failure took the whole process down. SolveService
 // turns the library into a request/response system: a fixed worker pool
-// drains a bounded admission queue of selection requests, running each one
+// drains an admitted pending set of selection requests, running each one
 // through the existing select::Flow / select::Selector pipeline (which is
 // re-entrant; see selector.hpp). The robustness contract is the point:
 //
@@ -15,9 +15,16 @@
 //     threaded into ilp::ResourceBudget and observed at branch & bound wave
 //     boundaries, so cancel(ticket) terminates a running solve within one
 //     wave (bounded latency), and dequeues a queued one immediately.
-//   * Admission control with load shedding: a full queue or an exhausted
-//     aggregate solver-memory budget rejects the request *at submit* with a
-//     retry-after hint, so one huge instance cannot starve the pool.
+//   * Admission control with pluggable scheduling: which requests are shed
+//     at submit and which pending request runs next are decided by a
+//     service::SchedulerPolicy ("fifo" default, "priority", "edf",
+//     "rejecter"; see scheduler.hpp) selected by name in ServiceConfig.
+//     A rejection carries a retry-after hint derived from the *observed*
+//     queue drain rate (DrainRateEstimator), so shed clients back off
+//     proportionally to real load, not a constant.
+//   * Multi-tenant quotas: requests declare a tenant id; an optional
+//     per-tenant live-request cap rejects the over-quota tenant's request
+//     at submit without disturbing anyone else's traffic.
 //   * Retry on transient faults: attempts that fail with
 //     ErrorKind::kTransient re-run under support::RetryPolicy (exponential
 //     backoff + deterministic seeded jitter) on a progressively lower
@@ -32,14 +39,14 @@
 //     already admitted reached its natural terminal state (cancel tickets
 //     first for a fast abort); shutdown() additionally joins the pool.
 //
-// All timing (deadlines via the per-request budget, retry backoff) goes
-// through an injectable support::Clock, so the robustness tests run on a
-// FakeClock with zero real sleeps.
+// All timing (deadlines via the per-request budget, retry backoff, the
+// scheduler's aging/EDF decisions, the drain-rate estimator) goes through an
+// injectable support::Clock, so the robustness tests run on a FakeClock with
+// zero real sleeps.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,6 +56,7 @@
 #include <vector>
 
 #include "select/flow.hpp"
+#include "service/scheduler.hpp"
 #include "support/cancel.hpp"
 #include "support/clock.hpp"
 #include "support/result.hpp"
@@ -58,31 +66,21 @@
 
 namespace partita::service {
 
-/// Request lifecycle:  submitted -> (rejected) | queued -> running -> one of
-/// completed / cancelled / failed. Rejected requests are terminal at submit.
-enum class RequestState : std::uint8_t {
-  kQueued,
-  kRunning,
-  kCompleted,  // terminal: a Selection (possibly degraded-rung) was produced
-  kCancelled,  // terminal: caller cancelled (queued or mid-solve) or drain
-  kRejected,   // terminal: admission control shed the request at submit
-  kFailed,     // terminal: structured Error after exhausting retries
-};
-
-/// Display name: "queued", "running", "completed", "cancelled", "rejected",
-/// "failed".
-const char* to_string(RequestState s);
-
-inline bool is_terminal(RequestState s) {
-  return s == RequestState::kCompleted || s == RequestState::kCancelled ||
-         s == RequestState::kRejected || s == RequestState::kFailed;
-}
-
-/// One selection request: a workload (owned by the request), the required
-/// gain, and the solve options (budget, threads, problem variant). The
-/// service installs its own cancel token and clock into options.ilp.budget;
-/// everything else is honored verbatim, so a service solve is bit-identical
-/// to a one-shot Flow::select with the same options.
+/// The one request envelope, shared by the in-process API, the wire
+/// protocol (partita-wire-v1) and the script drivers: a workload, scheduling
+/// metadata (tenant, priority class, optional deadline) and the solve
+/// options (budget, threads, problem variant). The service installs its own
+/// cancel token and clock into options.ilp.budget; everything else is
+/// honored verbatim, so a service solve is bit-identical to a one-shot
+/// Flow::select with the same options.
+///
+/// Single vs batch: an empty `required_gains` submits ONE request at
+/// `required_gain`. A non-empty `required_gains` submits a batch over the
+/// same workload -- one ticket per gain, one admission slot, solved
+/// sequentially on one worker through Selector::select_batch (amortized
+/// model build / clique table / chained root bases). Batch items trade the
+/// per-request retry ladder for throughput: a failing batch marks its
+/// remaining items failed once.
 struct SolveRequest {
   std::string label;
   workloads::Workload workload;
@@ -90,9 +88,40 @@ struct SolveRequest {
   /// fixture into ServiceConfig::quarantine_dir.
   std::optional<workloads::InstanceSpec> spec;
   /// Uniform required gain; < 0 derives max_feasible_gain / 2 (the CLI
-  /// default) under the same options.
+  /// default) under the same options. Ignored when required_gains is set.
   std::int64_t required_gain = -1;
+  /// Batch mode: one item per entry; a negative gain derives
+  /// max_feasible_gain / 2 once for the whole batch.
+  std::vector<std::int64_t> required_gains;
   select::SelectOptions options;
+
+  // --- scheduling metadata (consumed by the SchedulerPolicy) ---------------
+  /// Tenant id for quota accounting; "" = anonymous (still quota'd as one
+  /// tenant when a per-tenant cap is configured).
+  std::string tenant;
+  /// Priority class (0 interactive .. 2 batch; see scheduler.hpp), clamped
+  /// at submit.
+  int priority = kPriorityStandard;
+  /// Soft completion deadline in seconds from submission; 0 = none. Used by
+  /// the "edf" policy for ordering (an overdue request is not auto-killed;
+  /// its own solver budget governs termination).
+  double deadline_seconds = 0.0;
+};
+
+/// The outcome of one submit: every issued ticket (one for a single
+/// request, one per item for a batch) plus the immediate admission verdict.
+/// kQueued means admitted; kRejected tickets are already terminal and carry
+/// the drain-rate-derived retry-after hint. Converts to the leading ticket
+/// id so call sites that only track tickets keep working.
+struct SubmitOutcome {
+  std::vector<std::uint64_t> tickets;
+  RequestState state = RequestState::kQueued;
+  double retry_after_seconds = 0.0;
+  std::string reject_reason;
+
+  bool admitted() const { return state == RequestState::kQueued; }
+  std::uint64_t ticket() const { return tickets.empty() ? 0 : tickets.front(); }
+  operator std::uint64_t() const { return ticket(); }  // NOLINT(google-explicit-constructor)
 };
 
 /// The terminal record of one request. `selection` is meaningful only for
@@ -110,19 +139,11 @@ struct SolveResponse {
   std::string quarantine_fixture;
 };
 
-/// A batch of related selection requests over ONE workload: one item per
-/// required gain, solved sequentially on a single worker through
-/// Selector::select_batch, which amortizes the model build, the presolve
-/// clique table and chained root-LP bases across items. Each item still gets
-/// its own ticket, terminal state and cancel token (a cancelled item is
-/// skipped if not yet started, or stopped at the next wave boundary if it is
-/// the one running). Batch items trade the per-request retry ladder for
-/// throughput: a failing batch marks its remaining items failed once.
+/// DEPRECATED: use SolveRequest::required_gains. Kept as a thin alias shape
+/// for pre-wire callers of submit_batch; the fields duplicate SolveRequest.
 struct BatchSolveRequest {
   std::string label;
   workloads::Workload workload;
-  /// One item per entry; a negative gain derives max_feasible_gain / 2 once
-  /// for the whole batch (amortized, unlike per-request derivation).
   std::vector<std::int64_t> required_gains;
   select::SelectOptions options;
 };
@@ -131,7 +152,12 @@ struct ServiceConfig {
   /// Fixed worker pool size (each worker runs one request at a time; the
   /// request's own opt.ilp.threads parallelizes inside the solve).
   int workers = 2;
-  /// Queued (not yet running) requests beyond this are rejected.
+  /// Scheduling policy name: "fifo" (default), "priority", "edf",
+  /// "rejecter". Unknown names fall back to fifo.
+  std::string policy = "fifo";
+  /// Queued (not yet running) requests beyond this are shed (how is the
+  /// policy's call: fifo/priority/edf reject the arrival, rejecter evicts
+  /// the lowest class first).
   std::size_t max_queue_depth = 16;
   /// Aggregate solver-memory charge (sum over queued + running requests) the
   /// service admits; 0 disables. A request's charge is its
@@ -140,10 +166,17 @@ struct ServiceConfig {
   /// everyone else.
   std::size_t max_admitted_memory_bytes = 0;
   std::size_t default_memory_charge = std::size_t{64} << 20;
-  /// Base of the rejection retry-after hint; scaled by queue pressure.
+  /// Per-tenant cap on live (queued + running) requests; 0 disables.
+  std::size_t max_live_per_tenant = 0;
+  /// Seed of the drain-rate estimator behind the rejection retry-after
+  /// hint: the assumed per-request service interval before any completion
+  /// has been observed.
   double retry_after_seconds = 0.05;
+  /// Priority-policy aging knobs (see SchedulerLimits).
+  double age_promote_seconds = 5.0;
+  double max_wait_seconds = 30.0;
   support::RetryPolicy retry;
-  /// Clock for deadlines and backoff; null means Clock::system().
+  /// Clock for deadlines, backoff and scheduling; null means Clock::system().
   support::Clock* clock = nullptr;
   /// Directory for quarantine fixtures of failed spec requests; "" disables.
   std::string quarantine_dir;
@@ -159,6 +192,8 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;
   std::uint64_t failed = 0;
+  /// Subset of `rejected`: admitted-then-shed by the rejecter policy.
+  std::uint64_t evicted = 0;
   std::uint64_t retries = 0;  // extra attempts beyond the first, all requests
   std::size_t peak_queue_depth = 0;
   std::size_t peak_admitted_memory_bytes = 0;
@@ -178,16 +213,17 @@ class SolveService {
   SolveService(const SolveService&) = delete;
   SolveService& operator=(const SolveService&) = delete;
 
-  /// Admits or rejects the request. Always returns a ticket; a rejected
-  /// request's ticket is already terminal (kRejected with a retry-after
-  /// hint), so every submission reaches exactly one terminal state.
-  std::uint64_t submit(SolveRequest request);
+  /// Admits or rejects the request (single or batch; see SolveRequest).
+  /// Always issues tickets; a rejected outcome's tickets are already
+  /// terminal (kRejected with a retry-after hint), so every submission
+  /// reaches exactly one terminal state. Admission may evict already-queued
+  /// lower-class requests under the rejecter policy; those tickets turn
+  /// terminal kRejected as well.
+  SubmitOutcome submit(SolveRequest request);
 
-  /// Admits or rejects the batch as one unit (one queue slot, one memory
-  /// charge) and returns one ticket per item, in required_gains order. Every
-  /// ticket is individually waitable, pollable and cancellable; a rejected
-  /// batch returns already-terminal kRejected tickets. An empty batch
-  /// returns no tickets.
+  /// DEPRECATED: use submit() with SolveRequest::required_gains. Admits or
+  /// rejects the batch as one unit and returns one ticket per item, in
+  /// required_gains order. An empty batch returns no tickets.
   std::vector<std::uint64_t> submit_batch(BatchSolveRequest request);
 
   /// Requests cancellation. A queued request becomes terminal immediately;
@@ -215,21 +251,27 @@ class SolveService {
   void shutdown();
 
   ServiceStats stats() const;
+  /// The scheduler's own counters (picks, backfills, evictions, ...).
+  PolicyStats scheduler_stats() const;
+  /// Active policy name ("fifo", "priority", "edf", "rejecter").
+  const char* policy_name() const;
 
  private:
   struct Entry {
     SolveRequest request;  // released (workload freed) at terminal state
     SolveResponse response;
     support::CancelSource cancel;
+    std::string tenant;  // survives request release for quota bookkeeping
     std::size_t memory_charge = 0;
     bool live = false;  // admitted and not yet terminal
     /// Leader ticket of the batch this entry belongs to (0: not batched).
-    /// The leader's ticket doubles as the job key in jobs_ and the queue.
+    /// The leader's ticket doubles as the job key in jobs_ and the
+    /// scheduler's pending set.
     std::uint64_t batch_leader = 0;
   };
 
   /// One admitted batch, keyed in jobs_ by its leader (first) ticket, which
-  /// is also the ticket sitting in queue_ for it.
+  /// is also the ticket sitting in the scheduler's pending set for it.
   struct BatchJob {
     workloads::Workload workload;
     select::SelectOptions options;
@@ -252,21 +294,31 @@ class SolveService {
   support::Result<select::Selection> run_attempt(const SolveRequest& request,
                                                  const support::CancelSource& cancel,
                                                  int attempt);
-  /// Marks the entry terminal, releases its admission charge and workload,
-  /// and wakes waiters. Caller holds mu_.
+  /// Marks the entry terminal, releases its admission charge, tenant slot
+  /// and workload, feeds the drain-rate estimator, and wakes waiters.
+  /// Caller holds mu_.
   void finalize_locked(Entry& entry, RequestState state);
+  /// Finalizes an admitted-but-still-queued ticket (or batch leader and all
+  /// its live members) as kRejected -- the rejecter policy's eviction path.
+  /// The policy has already dropped the ticket from its pending set.
+  void shed_queued_locked(std::uint64_t ticket, const std::string& why);
+  /// Current drain-rate-derived retry-after hint. Caller holds mu_.
+  double retry_after_hint_locked() const;
 
   ServiceConfig cfg_;
   support::Clock& clock_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: queue / pause / stop
+  std::condition_variable work_cv_;  // workers: pending work / pause / stop
   std::condition_variable done_cv_;  // waiters: entry became terminal
   std::map<std::uint64_t, Entry> entries_;
   std::map<std::uint64_t, BatchJob> jobs_;  // queued batches by leader ticket
-  std::deque<std::uint64_t> queue_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+  DrainRateEstimator drain_rate_;
+  std::map<std::string, std::size_t> live_per_tenant_;
   std::uint64_t next_ticket_ = 0;
   std::size_t admitted_memory_ = 0;  // charge of queued + running requests
+  std::size_t running_count_ = 0;    // picked and not yet terminal
   std::size_t live_count_ = 0;       // non-terminal entries
   bool paused_ = false;
   bool draining_ = false;

@@ -1,0 +1,277 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace partita::support::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  std::optional<Value> parse(std::string* error) {
+    std::optional<Value> v = value();
+    skip_ws();
+    if (v && pos_ != s_.size()) {
+      fail("trailing characters");
+      v.reset();
+    }
+    if (!v && error) *error = error_;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why + " at offset " + std::to_string(pos_);
+    return false;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return fail("bad literal");
+    }
+    return true;
+  }
+
+  std::optional<Value> value() {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      --depth_;
+      return std::nullopt;
+    }
+    std::optional<Value> out = value_inner();
+    --depth_;
+    return out;
+  }
+
+  std::optional<Value> value_inner() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = s_[pos_];
+    Value out;
+    switch (c) {
+      case '{': {
+        auto obj = std::make_shared<Object>();
+        ++pos_;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+          ++pos_;
+        } else {
+          while (true) {
+            std::optional<std::string> key = string();
+            if (!key) return std::nullopt;
+            if (!consume(':')) return std::nullopt;
+            std::optional<Value> val = value();
+            if (!val) return std::nullopt;
+            (*obj)[*key] = *val;
+            skip_ws();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+              ++pos_;
+              continue;
+            }
+            if (!consume('}')) return std::nullopt;
+            break;
+          }
+        }
+        out.v = obj;
+        return out;
+      }
+      case '[': {
+        auto arr = std::make_shared<Array>();
+        ++pos_;
+        skip_ws();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+          ++pos_;
+        } else {
+          while (true) {
+            std::optional<Value> val = value();
+            if (!val) return std::nullopt;
+            arr->push_back(*val);
+            skip_ws();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+              ++pos_;
+              continue;
+            }
+            if (!consume(']')) return std::nullopt;
+            break;
+          }
+        }
+        out.v = arr;
+        return out;
+      }
+      case '"': {
+        std::optional<std::string> str = string();
+        if (!str) return std::nullopt;
+        out.v = *str;
+        return out;
+      }
+      case 't':
+        if (!literal("true")) return std::nullopt;
+        out.v = true;
+        return out;
+      case 'f':
+        if (!literal("false")) return std::nullopt;
+        out.v = false;
+        return out;
+      case 'n':
+        if (!literal("null")) return std::nullopt;
+        out.v = nullptr;
+        return out;
+      default: {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+          ++pos_;
+        }
+        if (pos_ == start) {
+          fail("unexpected character");
+          return std::nullopt;
+        }
+        out.v = std::strtod(s_.c_str() + start, nullptr);
+        return out;
+      }
+    }
+  }
+
+  std::optional<std::string> string() {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      fail("expected string");
+      return std::nullopt;
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            // 4-hex-digit escape; code points above 0xFF (which quote()
+            // never emits) degrade to '?'.
+            unsigned cp = 0;
+            for (int k = 0; k < 4 && pos_ < s_.size(); ++k) {
+              const char h = s_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            }
+            c = cp <= 0xFF ? static_cast<char>(cp) : '?';
+            break;
+          }
+          default: c = esc; break;  // \" \\ \/ and anything else verbatim
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) {
+      fail("unterminated string");
+      return std::nullopt;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  // Recursion guard: each nesting level costs real stack; attacker-shaped
+  // input ("[[[[[...") must not be able to overflow it.
+  static constexpr int kMaxDepth = 96;
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Value> parse(const std::string& text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+double num_or(const Object& o, const char* key, double fallback) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_number()) return fallback;
+  return it->second.number();
+}
+
+std::int64_t int_or(const Object& o, const char* key, std::int64_t fallback) {
+  return static_cast<std::int64_t>(num_or(o, key, static_cast<double>(fallback)));
+}
+
+bool bool_or(const Object& o, const char* key, bool fallback) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_bool()) return fallback;
+  return it->second.boolean();
+}
+
+std::string string_or(const Object& o, const char* key, const std::string& fallback) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_string()) return fallback;
+  return it->second.string();
+}
+
+const Object* object_or_null(const Object& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_object()) return nullptr;
+  return &it->second.object();
+}
+
+const Array* array_or_null(const Object& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_array()) return nullptr;
+  return &it->second.array();
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace partita::support::json

@@ -1,0 +1,669 @@
+// partita_loadgen — closed/open-loop load generator for the wire service.
+//
+// Drives a partita-wire-v1 server with scripted scenarios, measures
+// per-request latency end to end (submit sent -> terminal state received
+// over the socket) and emits throughput + p50/p99 into the partita-bench-v1
+// trajectory. Two targets:
+//
+//   --connect ENDPOINT    storm an already-running partita_serve (the CI
+//                         tier-2 job does this with fault sites armed);
+//   self-serve (default)  boot an in-process service + server per policy in
+//                         --policies and run the scenario against each --
+//                         the fifo-vs-priority comparison lives here.
+//
+// Scenarios:
+//   smoke   tiny sanity run (few sessions, built-in workloads);
+//   mixed   the mixed-budget contrast: interactive-class sessions submit
+//           small instances with small declared budgets while batch-class
+//           sessions submit large generated instances with big budgets --
+//           the scenario where priority+backfill must beat FIFO on
+//           interactive p99 (--require-priority-win gates it);
+//   storm   heterogeneous chaos: random workloads, priorities, deadlines,
+//           tenants and random cancels -- run under armed fault sites to
+//           prove no submitted request ever loses its terminal state.
+//
+// Arrival models: closed (each session submits, waits, repeats) or open:GAP
+// (submit every GAP ms regardless of completions, collect asynchronously
+// over the same multiplexed connection).
+//
+// The zero-lost-terminal-state assertion is always on: every submitted
+// request must be observed reaching exactly one terminal state over the
+// wire, else exit 1.
+//
+// exit codes: 0 ok, 1 lost terminal states / gate failure / priority did
+// not win, 2 usage, 3 connect failure.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_meta.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/solve_service.hpp"
+#include "support/json.hpp"
+
+using namespace partita;
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitConnect = 3;
+
+struct Options {
+  std::string connect;                    // "" = self-serve
+  std::vector<std::string> policies{"fifo"};
+  std::string scenario = "smoke";
+  std::string arrival = "closed";         // or "open:<gap_ms>"
+  double open_gap_ms = 20.0;
+  int sessions = 0;                       // 0 = scenario default
+  int requests = 0;                       // 0 = scenario default
+  double cancel_prob = -1.0;              // <0 = scenario default
+  std::uint64_t seed = 1;
+  int workers = 2;                        // self-serve pool
+  std::size_t queue_depth = 0;            // 0 = scenario default
+  std::string out_path;                   // "" = BENCH_<date>.json
+  bool no_out = false;
+  std::string check_path;
+  bool require_priority_win = false;
+};
+
+/// One observed request: its class, end-to-end latency and terminal state.
+struct Rec {
+  int klass = service::kPriorityStandard;
+  double ms = 0.0;
+  std::string state;
+};
+
+struct RunResult {
+  std::string policy;
+  double seconds = 0.0;
+  std::vector<Rec> recs;
+  std::uint64_t lost = 0;      // submits with no observed terminal state
+  std::uint64_t submitted = 0;
+};
+
+double ms_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - t0).count();
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: partita_loadgen [--connect ENDPOINT | --policies a,b]\n"
+      "  [--scenario smoke|mixed|storm] [--arrival closed|open:GAPMS]\n"
+      "  [--sessions N] [--requests N] [--cancel-prob P] [--seed S]\n"
+      "  [--workers N] [--queue-depth N] [--out PATH | --no-out]\n"
+      "  [--check BASELINE] [--require-priority-win]\n");
+  std::exit(kExitUsage);
+}
+
+// --- scenario request synthesis --------------------------------------------
+
+struct Scenario {
+  int sessions = 2;
+  int requests = 4;         // per session
+  double cancel_prob = 0.0;
+  std::size_t queue_depth = 64;
+  int interactive_sessions = 0;  // mixed: first K sessions are interactive
+};
+
+Scenario scenario_defaults(const std::string& name, const Options& opt) {
+  Scenario s;
+  if (name == "smoke") {
+    s = {2, 4, 0.0, 64, 0};
+  } else if (name == "mixed") {
+    s = {6, 5, 0.0, 64, 2};
+  } else if (name == "storm") {
+    s = {8, 6, 0.25, 8, 0};
+  } else {
+    std::fprintf(stderr, "partita_loadgen: unknown scenario '%s'\n", name.c_str());
+    std::exit(kExitUsage);
+  }
+  if (opt.sessions > 0) {
+    s.sessions = opt.sessions;
+    if (name == "mixed") s.interactive_sessions = std::max(1, opt.sessions / 3);
+  }
+  if (opt.requests > 0) s.requests = opt.requests;
+  if (opt.cancel_prob >= 0) s.cancel_prob = opt.cancel_prob;
+  if (opt.queue_depth > 0) s.queue_depth = opt.queue_depth;
+  return s;
+}
+
+/// Builds the k-th request of one session, deterministic in (seed, session,
+/// k). The request's priority class doubles as the latency-report class.
+net::WireRequest make_request(const std::string& scenario, const Scenario& sc,
+                              int session, int k, std::mt19937_64& rng) {
+  net::WireRequest req;
+  req.verb = "submit";
+  req.tenant = "tenant" + std::to_string(session % 3);
+  if (scenario == "mixed") {
+    if (session < sc.interactive_sessions) {
+      // Interactive class: tiny instance, tiny declared budget -- the
+      // backfill signal the priority policy orders by.
+      req.workload = (k % 2) ? "fig10" : "fig9";
+      req.priority = service::kPriorityInteractive;
+      req.time_limit_seconds = 0.05;
+    } else {
+      // Batch class: large generated instance (many execution paths) solved
+      // as a gain-ladder batch -- one admission slot that holds a worker for
+      // a while -- with a large declared budget.
+      net::SpecRef spec;
+      spec.seed = rng();
+      spec.scalls = 14;
+      spec.kernels = 5;
+      spec.ips = 7;
+      spec.branch_groups = 4;
+      req.spec = spec;
+      req.gains = {-1, -1, -1, -1, -1, -1};
+      req.priority = service::kPriorityBatch;
+      req.time_limit_seconds = 0.5;
+    }
+    return req;
+  }
+  if (scenario == "storm") {
+    static const char* kBuiltins[] = {"fig9", "fig10", "jpeg_encoder", "gsm_decoder"};
+    if (rng() % 2 == 0) {
+      req.workload = kBuiltins[rng() % 4];
+    } else {
+      net::SpecRef spec;
+      spec.seed = rng();
+      spec.scalls = 6 + static_cast<int>(rng() % 5);
+      spec.kernels = 4;
+      spec.ips = 5;
+      req.spec = spec;
+    }
+    req.priority = static_cast<int>(rng() % service::kPriorityClasses);
+    if (rng() % 3 == 0) req.deadline_seconds = 0.5 + 0.001 * static_cast<double>(rng() % 1000);
+    req.time_limit_seconds = 0.2;
+    return req;
+  }
+  // smoke
+  req.workload = (k % 2) ? "fig9" : "jpeg_encoder";
+  req.time_limit_seconds = 0.1;
+  return req;
+}
+
+// --- session drivers --------------------------------------------------------
+
+struct SharedRun {
+  std::mutex mu;
+  std::vector<Rec> recs;
+  std::uint64_t lost = 0;
+  std::uint64_t submitted = 0;
+};
+
+void record(SharedRun& out, Rec r) {
+  std::lock_guard<std::mutex> lk(out.mu);
+  out.recs.push_back(std::move(r));
+}
+
+/// Closed loop: submit -> (maybe cancel) -> wait -> next. Latency spans the
+/// full submit->terminal round trip as the client saw it.
+void session_closed(const std::string& endpoint, const std::string& scenario,
+                    const Scenario& sc, int session, const Options& opt,
+                    SharedRun& out) {
+  net::WireClient client;
+  std::string err;
+  if (!client.connect(endpoint, &err)) {
+    std::fprintf(stderr, "partita_loadgen: session %d: %s\n", session, err.c_str());
+    return;
+  }
+  std::mt19937_64 rng(opt.seed * 1000003 + static_cast<std::uint64_t>(session));
+  for (int k = 0; k < sc.requests; ++k) {
+    net::WireRequest req = make_request(scenario, sc, session, k, rng);
+    const int klass = req.priority;
+    const auto t0 = SteadyClock::now();
+    {
+      std::lock_guard<std::mutex> lk(out.mu);
+      ++out.submitted;
+    }
+    auto sub = client.call(req, &err);
+    if (!sub || !sub->ok) {
+      std::lock_guard<std::mutex> lk(out.mu);
+      ++out.lost;
+      if (!sub) return;  // connection gone; remaining requests never submitted
+      continue;
+    }
+    if (sub->state == "rejected") {
+      record(out, {klass, ms_since(t0), "rejected"});
+      continue;
+    }
+    const std::uint64_t ticket = sub->tickets.empty() ? 0 : sub->tickets.front();
+    if (sc.cancel_prob > 0 &&
+        std::uniform_real_distribution<double>(0, 1)(rng) < sc.cancel_prob) {
+      net::WireRequest c;
+      c.verb = "cancel";
+      c.ticket = ticket;
+      client.call(c, &err);  // best effort; the wait below is authoritative
+    }
+    net::WireRequest w;
+    w.verb = "wait";
+    w.ticket = ticket;
+    auto done = client.call(w, &err);
+    if (!done || !done->result) {
+      std::lock_guard<std::mutex> lk(out.mu);
+      ++out.lost;
+      if (!done) return;
+      continue;
+    }
+    record(out, {klass, ms_since(t0), done->result->state});
+  }
+}
+
+/// Open loop: submissions are paced by wall clock, not completions; waits
+/// stream back asynchronously over the same connection (id multiplexing).
+void session_open(const std::string& endpoint, const std::string& scenario,
+                  const Scenario& sc, int session, const Options& opt,
+                  SharedRun& out) {
+  net::WireClient client;
+  std::string err;
+  if (!client.connect(endpoint, &err)) {
+    std::fprintf(stderr, "partita_loadgen: session %d: %s\n", session, err.c_str());
+    return;
+  }
+  std::mt19937_64 rng(opt.seed * 1000003 + static_cast<std::uint64_t>(session));
+  struct InFlight {
+    int klass;
+    SteadyClock::time_point t0;
+  };
+  std::map<std::uint64_t, InFlight> waiting;  // wait-id -> submit time
+  for (int k = 0; k < sc.requests; ++k) {
+    if (k > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(opt.open_gap_ms));
+    }
+    net::WireRequest req = make_request(scenario, sc, session, k, rng);
+    const int klass = req.priority;
+    const auto t0 = SteadyClock::now();
+    {
+      std::lock_guard<std::mutex> lk(out.mu);
+      ++out.submitted;
+    }
+    auto sub = client.call(req, &err);  // admission answers immediately
+    if (!sub || !sub->ok) {
+      std::lock_guard<std::mutex> lk(out.mu);
+      ++out.lost;
+      if (!sub) break;
+      continue;
+    }
+    if (sub->state == "rejected") {
+      record(out, {klass, ms_since(t0), "rejected"});
+      continue;
+    }
+    const std::uint64_t ticket = sub->tickets.empty() ? 0 : sub->tickets.front();
+    if (sc.cancel_prob > 0 &&
+        std::uniform_real_distribution<double>(0, 1)(rng) < sc.cancel_prob) {
+      net::WireRequest c;
+      c.verb = "cancel";
+      c.ticket = ticket;
+      client.send(c, &err);  // response collected (and ignored) below
+    }
+    net::WireRequest w;
+    w.verb = "wait";
+    w.ticket = ticket;
+    const std::uint64_t wid = client.send(w, &err);
+    if (wid == 0) {
+      std::lock_guard<std::mutex> lk(out.mu);
+      ++out.lost;
+      break;
+    }
+    waiting.emplace(wid, InFlight{klass, t0});
+  }
+  // Collect: every frame is timestamped at arrival, so latency is honest
+  // even when responses come back out of order.
+  while (!waiting.empty()) {
+    auto resp = client.recv(&err);
+    if (!resp) {
+      std::lock_guard<std::mutex> lk(out.mu);
+      out.lost += waiting.size();
+      break;
+    }
+    auto it = waiting.find(resp->id);
+    if (it == waiting.end()) continue;  // cancel ack or stray
+    if (resp->result) {
+      record(out, {it->second.klass, ms_since(it->second.t0), resp->result->state});
+    } else {
+      std::lock_guard<std::mutex> lk(out.mu);
+      ++out.lost;
+    }
+    waiting.erase(it);
+  }
+}
+
+RunResult run_scenario(const std::string& endpoint, const std::string& policy_label,
+                       const std::string& scenario, const Scenario& sc,
+                       const Options& opt) {
+  SharedRun shared;
+  const auto t0 = SteadyClock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(sc.sessions));
+  const bool open = opt.arrival.rfind("open", 0) == 0;
+  for (int s = 0; s < sc.sessions; ++s) {
+    threads.emplace_back([&, s] {
+      if (open) {
+        session_open(endpoint, scenario, sc, s, opt, shared);
+      } else {
+        session_closed(endpoint, scenario, sc, s, opt, shared);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  RunResult r;
+  r.policy = policy_label;
+  r.seconds = ms_since(t0) / 1000.0;
+  r.recs = std::move(shared.recs);
+  r.lost = shared.lost;
+  r.submitted = shared.submitted;
+  return r;
+}
+
+// --- reporting --------------------------------------------------------------
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double idx = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1 - frac) + xs[hi] * frac;
+}
+
+/// Latencies of requests that actually ran (rejected ones return in
+/// microseconds and would drag the percentiles down artificially).
+std::vector<double> served_latencies(const RunResult& r, int klass /* -1 = all */) {
+  std::vector<double> xs;
+  for (const Rec& rec : r.recs) {
+    if (rec.state == "rejected") continue;
+    if (klass >= 0 && rec.klass != klass) continue;
+    xs.push_back(rec.ms);
+  }
+  return xs;
+}
+
+std::uint64_t count_state(const RunResult& r, const char* state) {
+  std::uint64_t n = 0;
+  for (const Rec& rec : r.recs) n += rec.state == state ? 1 : 0;
+  return n;
+}
+
+std::string result_json(const RunResult& r) {
+  namespace json = support::json;
+  using json::fmt_double;
+  const std::vector<double> all = served_latencies(r, -1);
+  std::ostringstream os;
+  os << "{\"requests\": " << r.submitted << ", \"seconds\": " << fmt_double(r.seconds)
+     << ", \"requests_per_sec\": "
+     << fmt_double(r.seconds > 0 ? static_cast<double>(r.submitted) / r.seconds : 0)
+     << ", \"p50_ms\": " << fmt_double(percentile(all, 0.50))
+     << ", \"p99_ms\": " << fmt_double(percentile(all, 0.99))
+     << ", \"completed\": " << count_state(r, "completed")
+     << ", \"cancelled\": " << count_state(r, "cancelled")
+     << ", \"rejected\": " << count_state(r, "rejected")
+     << ", \"failed\": " << count_state(r, "failed") << ", \"lost\": " << r.lost
+     << ", \"classes\": {";
+  bool first = true;
+  for (int klass = 0; klass < service::kPriorityClasses; ++klass) {
+    const std::vector<double> xs = served_latencies(r, klass);
+    if (xs.empty()) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << json::quote(service::priority_name(klass)) << ": {\"requests\": " << xs.size()
+       << ", \"p50_ms\": " << fmt_double(percentile(xs, 0.50))
+       << ", \"p99_ms\": " << fmt_double(percentile(xs, 0.99)) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void print_summary(const RunResult& r) {
+  const std::vector<double> all = served_latencies(r, -1);
+  std::printf("%-10s %4llu reqs in %6.2fs  %7.1f req/s  p50 %8.2fms  p99 %8.2fms"
+              "  [c=%llu x=%llu r=%llu f=%llu lost=%llu]\n",
+              r.policy.c_str(), static_cast<unsigned long long>(r.submitted), r.seconds,
+              r.seconds > 0 ? static_cast<double>(r.submitted) / r.seconds : 0.0,
+              percentile(all, 0.50), percentile(all, 0.99),
+              static_cast<unsigned long long>(count_state(r, "completed")),
+              static_cast<unsigned long long>(count_state(r, "cancelled")),
+              static_cast<unsigned long long>(count_state(r, "rejected")),
+              static_cast<unsigned long long>(count_state(r, "failed")),
+              static_cast<unsigned long long>(r.lost));
+  for (int klass = 0; klass < service::kPriorityClasses; ++klass) {
+    const std::vector<double> xs = served_latencies(r, klass);
+    if (xs.empty()) continue;
+    std::printf("           %-12s %4zu reqs  p50 %8.2fms  p99 %8.2fms\n",
+                service::priority_name(klass), xs.size(), percentile(xs, 0.50),
+                percentile(xs, 0.99));
+  }
+}
+
+/// Splices a "serve" section into the (possibly existing) partita-bench-v1
+/// record at `path`; creates a fresh record when absent.
+bool write_bench(const std::string& path, const std::string& scenario,
+                 const std::string& arrival, const std::vector<RunResult>& runs) {
+  std::ostringstream serve;
+  serve << "\"serve\": {\"scenario\": " << support::json::quote(scenario)
+        << ", \"arrival\": " << support::json::quote(arrival) << ", \"results\": {";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i) serve << ", ";
+    serve << support::json::quote(runs[i].policy) << ": " << result_json(runs[i]);
+  }
+  serve << "}}";
+
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      existing = ss.str();
+    }
+  }
+  std::string out;
+  const std::size_t close = existing.rfind('}');
+  if (close != std::string::npos) {
+    // Append as one more top-level key of the existing record (a repeated
+    // "serve" key is tolerated; last one wins on parse).
+    out = existing.substr(0, close);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) out.pop_back();
+    out += ",\n  " + serve.str() + "\n}\n";
+  } else {
+    const bench::MachineMeta meta = bench::collect_machine_meta();
+    out = "{\n  \"metadata\": " + bench::meta_json(meta) + ",\n  " + serve.str() + "\n}\n";
+  }
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << out;
+  return true;
+}
+
+/// Gate: overall p99 across runs must stay under serve.p99_ms_max of the
+/// baseline record. Missing key = gate skipped (same spirit as bench_all).
+int check_baseline(const std::string& path, const std::vector<RunResult>& runs) {
+  namespace json = support::json;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "partita_loadgen: cannot read baseline %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  auto doc = json::parse(ss.str(), &err);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "partita_loadgen: bad baseline: %s\n", err.c_str());
+    return 1;
+  }
+  const json::Object* serve = json::object_or_null(doc->object(), "serve");
+  const double ceiling = serve ? json::num_or(*serve, "p99_ms_max", -1) : -1;
+  if (ceiling <= 0) {
+    std::fprintf(stderr, "partita_loadgen: baseline lacks serve.p99_ms_max; gate skipped\n");
+    return 0;
+  }
+  double worst = 0;
+  for (const RunResult& r : runs) {
+    worst = std::max(worst, percentile(served_latencies(r, -1), 0.99));
+  }
+  std::printf("gate serve.p99_ms: ceiling %.0f, observed %.1f\n", ceiling, worst);
+  if (worst > ceiling) {
+    std::fprintf(stderr, "partita_loadgen: REGRESSION: p99 %.1fms over ceiling %.0fms\n",
+                 worst, ceiling);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "partita_loadgen: %s needs a value\n", flag.c_str());
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (flag == "--connect") opt.connect = need_value();
+    else if (flag == "--policies") {
+      opt.policies.clear();
+      std::istringstream ps(need_value());
+      std::string p;
+      while (std::getline(ps, p, ',')) {
+        if (!p.empty()) opt.policies.push_back(p);
+      }
+      if (opt.policies.empty()) usage();
+    } else if (flag == "--scenario") opt.scenario = need_value();
+    else if (flag == "--arrival") {
+      opt.arrival = need_value();
+      if (opt.arrival.rfind("open:", 0) == 0) {
+        opt.open_gap_ms = std::atof(opt.arrival.c_str() + 5);
+        opt.arrival = "open";
+      } else if (opt.arrival != "closed" && opt.arrival != "open") {
+        usage();
+      }
+    } else if (flag == "--sessions") opt.sessions = std::atoi(need_value());
+    else if (flag == "--requests") opt.requests = std::atoi(need_value());
+    else if (flag == "--cancel-prob") opt.cancel_prob = std::atof(need_value());
+    else if (flag == "--seed") opt.seed = std::strtoull(need_value(), nullptr, 10);
+    else if (flag == "--workers") opt.workers = std::atoi(need_value());
+    else if (flag == "--queue-depth")
+      opt.queue_depth = static_cast<std::size_t>(std::atoll(need_value()));
+    else if (flag == "--out") opt.out_path = need_value();
+    else if (flag == "--no-out") opt.no_out = true;
+    else if (flag == "--check") opt.check_path = need_value();
+    else if (flag == "--require-priority-win") opt.require_priority_win = true;
+    else usage();
+  }
+  const Scenario sc = scenario_defaults(opt.scenario, opt);
+
+  std::vector<RunResult> runs;
+  if (!opt.connect.empty()) {
+    // Remote mode: ask the server which policy it runs for the record label.
+    net::WireClient probe;
+    std::string err;
+    if (!probe.connect(opt.connect, &err)) {
+      std::fprintf(stderr, "partita_loadgen: %s\n", err.c_str());
+      return kExitConnect;
+    }
+    net::WireRequest s;
+    s.verb = "stats";
+    auto stats = probe.call(s, &err);
+    const std::string label = stats && !stats->policy.empty() ? stats->policy : "remote";
+    probe.close();
+    runs.push_back(run_scenario(opt.connect, label, opt.scenario, sc, opt));
+  } else {
+    for (const std::string& policy : opt.policies) {
+      service::ServiceConfig cfg;
+      cfg.workers = opt.workers;
+      cfg.policy = policy;
+      cfg.max_queue_depth = sc.queue_depth;
+      if (!service::SchedulerPolicy::create(policy, {})) {
+        std::fprintf(stderr, "partita_loadgen: unknown policy '%s'\n", policy.c_str());
+        return kExitUsage;
+      }
+      service::SolveService svc(cfg);
+      net::WireServer server(svc);
+      std::string err;
+      if (!server.start(&err)) {
+        std::fprintf(stderr, "partita_loadgen: %s\n", err.c_str());
+        return kExitConnect;
+      }
+      runs.push_back(run_scenario(server.endpoint(), policy, opt.scenario, sc, opt));
+      svc.drain();
+      server.stop();
+    }
+  }
+
+  std::printf("scenario=%s arrival=%s sessions=%d requests/session=%d cancel=%.2f\n",
+              opt.scenario.c_str(), opt.arrival.c_str(), sc.sessions, sc.requests,
+              sc.cancel_prob);
+  for (const RunResult& r : runs) print_summary(r);
+
+  int rc = 0;
+  std::uint64_t lost = 0;
+  for (const RunResult& r : runs) lost += r.lost;
+  if (lost > 0) {
+    std::fprintf(stderr, "partita_loadgen: FAILED: %llu lost terminal states\n",
+                 static_cast<unsigned long long>(lost));
+    rc = 1;
+  }
+
+  if (opt.require_priority_win) {
+    const RunResult* fifo = nullptr;
+    const RunResult* prio = nullptr;
+    for (const RunResult& r : runs) {
+      if (r.policy == "fifo") fifo = &r;
+      if (r.policy == "priority") prio = &r;
+    }
+    if (!fifo || !prio) {
+      std::fprintf(stderr,
+                   "partita_loadgen: --require-priority-win needs --policies "
+                   "fifo,priority\n");
+      rc = 1;
+    } else {
+      const double f = percentile(served_latencies(*fifo, service::kPriorityInteractive), 0.99);
+      const double p = percentile(served_latencies(*prio, service::kPriorityInteractive), 0.99);
+      std::printf("interactive p99: fifo %.2fms vs priority %.2fms (%.2fx)\n", f, p,
+                  p > 0 ? f / p : 0.0);
+      if (!(p < f)) {
+        std::fprintf(stderr,
+                     "partita_loadgen: FAILED: priority did not beat fifo on "
+                     "interactive p99\n");
+        rc = 1;
+      }
+    }
+  }
+
+  if (!opt.no_out) {
+    std::string path = opt.out_path;
+    if (path.empty()) {
+      path = "BENCH_" + bench::collect_machine_meta().date + ".json";
+    }
+    if (!write_bench(path, opt.scenario, opt.arrival, runs)) {
+      std::fprintf(stderr, "partita_loadgen: cannot write %s\n", path.c_str());
+      rc = 1;
+    } else {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  if (!opt.check_path.empty()) {
+    rc = std::max(rc, check_baseline(opt.check_path, runs));
+  }
+  return rc;
+}

@@ -1,0 +1,176 @@
+// partita_serve — the solve-service network daemon.
+//
+// Boots one service::SolveService behind a net::WireServer speaking
+// partita-wire-v1 (see docs/service_wire.md), then parks until SIGTERM or
+// SIGINT, on which it drains the service gracefully (every admitted request
+// reaches its terminal state), stops the listener and exits 0.
+//
+//   partita_serve [options]
+//
+// options:
+//   --listen SPEC         tcp:HOST:PORT (PORT 0 = ephemeral) or unix:PATH
+//                         (default tcp:127.0.0.1:0)
+//   --port-file PATH      write the resolved endpoint (one line) once
+//                         listening -- how CI scripts discover the
+//                         ephemeral port
+//   --policy NAME         fifo | priority | edf | rejecter (default fifo)
+//   --workers N           worker-pool size (default 2)
+//   --queue-depth N       admission-queue depth (default 16)
+//   --max-memory-mb N     aggregate admitted solver-memory budget (0 = off)
+//   --max-live-per-tenant N  per-tenant live-request quota (0 = off)
+//   --max-sessions N      concurrent connections (default 64)
+//   --quarantine-dir D    directory for replayable quarantine fixtures
+//   --fault SITE[:n]      arm a fault-injection site (repeatable); the
+//                         PARTITA_FAULT env var arms one more
+//
+// exit codes: 0 clean shutdown (SIGTERM/SIGINT), 2 usage/bad config,
+// 3 bind failure.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "net/server.hpp"
+#include "service/solve_service.hpp"
+#include "support/fault_injection.hpp"
+
+using namespace partita;
+
+namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitBind = 3;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--listen SPEC] [--port-file PATH] [--policy P]\n"
+               "       [--workers N] [--queue-depth N] [--max-memory-mb N]\n"
+               "       [--max-live-per-tenant N] [--max-sessions N]\n"
+               "       [--quarantine-dir D] [--fault SITE[:n]]\n"
+               "\n"
+               "SPEC: tcp:HOST:PORT (PORT 0 = ephemeral) or unix:PATH\n"
+               "exit: 0 clean shutdown, 2 usage, 3 bind failure\n",
+               argv0);
+  std::exit(kExitUsage);
+}
+
+void arm_fault(const std::string& spec_in) {
+  std::string spec = spec_in;
+  std::uint64_t trip_at = 1;
+  if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+    trip_at = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+    if (trip_at == 0) trip_at = 1;
+    spec.resize(colon);
+  }
+  support::FaultInjector::instance().arm(spec, trip_at);
+}
+
+int run(int argc, char** argv) {
+  service::ServiceConfig cfg;
+  net::ServerConfig net_cfg;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "partita_serve: %s needs a value\n", flag.c_str());
+        std::exit(kExitUsage);
+      }
+      return argv[++i];
+    };
+    if (flag == "--listen") net_cfg.listen = need_value();
+    else if (flag == "--port-file") port_file = need_value();
+    else if (flag == "--policy") cfg.policy = need_value();
+    else if (flag == "--workers") cfg.workers = std::atoi(need_value());
+    else if (flag == "--queue-depth")
+      cfg.max_queue_depth = static_cast<std::size_t>(std::atoll(need_value()));
+    else if (flag == "--max-memory-mb")
+      cfg.max_admitted_memory_bytes =
+          static_cast<std::size_t>(std::atof(need_value()) * 1024.0 * 1024.0);
+    else if (flag == "--max-live-per-tenant")
+      cfg.max_live_per_tenant = static_cast<std::size_t>(std::atoll(need_value()));
+    else if (flag == "--max-sessions")
+      net_cfg.max_sessions = static_cast<std::size_t>(std::atoll(need_value()));
+    else if (flag == "--quarantine-dir") cfg.quarantine_dir = need_value();
+    else if (flag == "--fault") arm_fault(need_value());
+    else usage(argv[0]);
+  }
+  if (cfg.workers < 1 || cfg.max_queue_depth < 1) {
+    std::fprintf(stderr, "partita_serve: --workers and --queue-depth must be >= 1\n");
+    return kExitUsage;
+  }
+  if (!service::SchedulerPolicy::create(cfg.policy, {})) {
+    std::fprintf(stderr, "partita_serve: unknown policy '%s'\n", cfg.policy.c_str());
+    return kExitUsage;
+  }
+  if (const char* env = std::getenv("PARTITA_FAULT"); env && *env) arm_fault(env);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  service::SolveService svc(cfg);
+  net::WireServer server(svc, net_cfg);
+  std::string why;
+  if (!server.start(&why)) {
+    std::fprintf(stderr, "partita_serve: %s\n", why.c_str());
+    return kExitBind;
+  }
+  std::printf("partita_serve: listening on %s (policy=%s workers=%d)\n",
+              server.endpoint().c_str(), svc.policy_name(), cfg.workers);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << server.endpoint() << "\n";
+  }
+
+  while (!g_stop) {
+    // Signal-driven shutdown only; the nap keeps the main thread cheap.
+    ::usleep(50 * 1000);
+  }
+
+  // SIGTERM path: drain first so in-flight waits answer, then unblock the
+  // listener and join every session.
+  std::printf("partita_serve: draining\n");
+  std::fflush(stdout);
+  svc.drain();
+  server.stop();
+  const service::ServiceStats st = svc.stats();
+  const net::ServerStats ns = server.stats();
+  std::printf(
+      "partita_serve: done submitted=%llu completed=%llu cancelled=%llu "
+      "rejected=%llu failed=%llu sessions=%llu frames=%llu/%llu "
+      "protocol-errors=%llu\n",
+      static_cast<unsigned long long>(st.submitted),
+      static_cast<unsigned long long>(st.completed),
+      static_cast<unsigned long long>(st.cancelled),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.failed),
+      static_cast<unsigned long long>(ns.sessions_accepted),
+      static_cast<unsigned long long>(ns.frames_in),
+      static_cast<unsigned long long>(ns.frames_out),
+      static_cast<unsigned long long>(ns.protocol_errors));
+  if (!port_file.empty()) ::unlink(port_file.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "partita_serve: fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "partita_serve: fatal: unknown exception\n");
+    return 1;
+  }
+}

@@ -5,16 +5,23 @@
 //
 // options:
 //   --workers N         worker-pool size (default 2; must be >= 1)
+//   --policy NAME       scheduling policy: fifo | priority | edf | rejecter
 //   --queue-depth N     admission-queue depth (default 16; must be >= 1)
 //   --max-memory-mb N   aggregate admitted solver-memory budget (0 = off)
 //   --quarantine-dir D  directory for replayable quarantine fixtures
 //   --paused            start with the workers parked (resume via `resume`)
 //
 // script commands (one per line; '#' starts a comment):
-//   submit <builtin> [rg]               submit a built-in workload
-//   spec <seed> [scalls] [kernels] [ips] submit a random generated instance
+//   submit <builtin> [rg] [k=v ...]     submit a built-in workload
+//   spec <seed> [scalls] [kernels] [ips] [k=v ...]
+//                                       submit a random generated instance
 //                                       (carries its InstanceSpec, so a
 //                                       failure leaves a replayable fixture)
+//
+//   Trailing k=v tokens set scheduling metadata on either submit form:
+//   tenant=ID prio=interactive|standard|batch deadline=SECONDS
+//   budget=SECONDS (declared solver time limit; what priority backfill
+//   orders by).
 //   cancel <k>                          cancel the k-th submission (1-based)
 //   fault <site>[:n]                    arm a fault-injection site
 //   resume                              unpark a --paused service
@@ -56,16 +63,55 @@ void on_sigterm(int) { g_sigterm = 1; }
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workers N] [--queue-depth N] [--max-memory-mb N]\n"
-               "       %*s [--quarantine-dir D] [--paused] <script | ->\n"
+               "usage: %s [--workers N] [--policy P] [--queue-depth N]\n"
+               "       %*s [--max-memory-mb N] [--quarantine-dir D] [--paused]\n"
+               "       %*s <script | ->\n"
                "\n"
-               "script commands: submit <builtin> [rg] | spec <seed> [scalls\n"
-               "kernels ips] | cancel <k> | fault <site>[:n] | resume | drain |\n"
-               "selfterm\n"
+               "script commands: submit <builtin> [rg] [k=v...] | spec <seed>\n"
+               "[scalls kernels ips] [k=v...] | cancel <k> | fault <site>[:n] |\n"
+               "resume | drain | selfterm\n"
+               "k=v: tenant= prio= deadline= budget=\n"
                "\n"
                "exit codes: 0 clean drain (SIGTERM included), 2 usage, 3 bad script\n",
-               argv0, static_cast<int>(std::strlen(argv0)), "");
+               argv0, static_cast<int>(std::strlen(argv0)), "",
+               static_cast<int>(std::strlen(argv0)), "");
   std::exit(kExitUsage);
+}
+
+/// Applies one `key=value` scheduling-metadata token; false on unknown key
+/// or bad value.
+bool apply_sched_token(const std::string& token, service::SolveRequest& req) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "tenant") {
+    req.tenant = value;
+  } else if (key == "prio") {
+    const int p = service::parse_priority(value);
+    if (p < 0) return false;
+    req.priority = p;
+  } else if (key == "deadline") {
+    req.deadline_seconds = std::atof(value.c_str());
+  } else if (key == "budget") {
+    req.options.ilp.budget.time_limit_seconds = std::atof(value.c_str());
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Consumes every remaining token of the line as k=v metadata.
+bool apply_sched_tokens(std::istringstream& ls, service::SolveRequest& req,
+                        const char* argv0) {
+  std::string token;
+  while (ls >> token) {
+    if (!apply_sched_token(token, req)) {
+      std::fprintf(stderr, "%s: bad metadata token '%s'\n", argv0, token.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 std::optional<workloads::Workload> builtin(const std::string& name) {
@@ -131,6 +177,7 @@ int run(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--workers") cfg.workers = std::atoi(need_value());
+    else if (flag == "--policy") cfg.policy = need_value();
     else if (flag == "--queue-depth")
       cfg.max_queue_depth = static_cast<std::size_t>(std::atoll(need_value()));
     else if (flag == "--max-memory-mb")
@@ -154,6 +201,10 @@ int run(int argc, char** argv) {
   }
   if (cfg.max_queue_depth < 1) {
     std::fprintf(stderr, "partita_served: --queue-depth must be >= 1\n");
+    return kExitUsage;
+  }
+  if (!service::SchedulerPolicy::create(cfg.policy, {})) {
+    std::fprintf(stderr, "partita_served: unknown policy '%s'\n", cfg.policy.c_str());
     return kExitUsage;
   }
 
@@ -185,8 +236,7 @@ int run(int argc, char** argv) {
 
     if (cmd == "submit") {
       std::string name;
-      long long rg = -1;
-      ls >> name >> rg;
+      ls >> name;
       auto wl = builtin(name);
       if (!wl) {
         std::fprintf(stderr, "partita_served: unknown workload '%s'\n", name.c_str());
@@ -195,14 +245,36 @@ int run(int argc, char** argv) {
       service::SolveRequest req;
       req.label = name;
       req.workload = std::move(*wl);
-      req.required_gain = rg;
+      // Optional positional rg, then k=v metadata tokens.
+      std::string tok;
+      if (ls >> tok) {
+        if (tok.find('=') == std::string::npos) {
+          req.required_gain = std::atoll(tok.c_str());
+        } else if (!apply_sched_token(tok, req)) {
+          std::fprintf(stderr, "partita_served: bad metadata token '%s'\n", tok.c_str());
+          return kExitInput;
+        }
+      }
+      if (!apply_sched_tokens(ls, req, "partita_served")) return kExitInput;
       tickets.push_back(svc.submit(std::move(req)));
     } else if (cmd == "spec") {
       unsigned long long seed = 1;
       workloads::InstanceGenParams p;
-      ls >> seed >> p.scalls >> p.kernels >> p.ips;
-      workloads::InstanceSpec spec = workloads::random_instance_spec(p, seed);
+      ls >> seed;
       service::SolveRequest req;
+      // Optional positional scalls/kernels/ips, then k=v metadata tokens.
+      int* dims[] = {&p.scalls, &p.kernels, &p.ips};
+      std::string tok;
+      std::size_t dim = 0;
+      while (ls >> tok) {
+        if (tok.find('=') == std::string::npos && dim < 3) {
+          *dims[dim++] = std::atoi(tok.c_str());
+        } else if (!apply_sched_token(tok, req)) {
+          std::fprintf(stderr, "partita_served: bad metadata token '%s'\n", tok.c_str());
+          return kExitInput;
+        }
+      }
+      workloads::InstanceSpec spec = workloads::random_instance_spec(p, seed);
       req.label = "spec_" + std::to_string(seed);
       req.workload = workloads::spec_workload(spec);
       req.spec = std::move(spec);
