@@ -10,7 +10,12 @@
 //   * end_to_end-- wall clock of an RG-ladder sweep per workload (the Fig. 9
 //                  use case), old serial-vs-new batched, with the speedup;
 //   * service   -- SolveService throughput and p50/p99 latency over a burst
-//                  of requests (batched admission vs one-shot).
+//                  of requests (batched admission vs one-shot);
+//   * cache     -- cross-request solution cache: median latency of exact
+//                  repeats vs the cold solve, and LP-iteration savings from
+//                  neighbor-seeded near-repeats. Every cached / seeded answer
+//                  is checked bit-identical to a cold solve; a disagreement
+//                  exits 2 (the same answer gate as the batch sweep).
 //
 // Output: a partita-bench-v1 JSON record (schema in docs/benchmarks.md),
 // default BENCH_<date>.json in the working directory.
@@ -261,6 +266,120 @@ ServiceResult bench_service(bool smoke) {
   return res;
 }
 
+struct CacheResult {
+  int repeats = 0;
+  double cold_ms_median = 0.0;
+  double warm_ms_median = 0.0;
+  double repeat_speedup = 0.0;
+  long long cold_lp_iterations = 0;
+  long long seeded_lp_iterations = 0;
+  long long cold_nodes = 0;
+  long long seeded_nodes = 0;
+  double iteration_savings = 0.0;  // fraction of near-repeat LP work avoided
+  double node_savings = 0.0;       // fraction of near-repeat B&B nodes avoided
+  long long hits = 0;
+  long long neighbor_seeds = 0;
+};
+
+double median_ms(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Exact-repeat and near-repeat traffic against a cache-enabled service.
+///
+/// Exact repeats: the same (workload, gain) request over and over; the first
+/// is the cold solve, the rest must be served as "hit" at a fraction of the
+/// latency. Near repeats: a gain a step away from a cached entry; the solve
+/// is seeded from the neighbor's exported basis/pseudo-costs and must spend
+/// fewer LP iterations than the cold solve of the same instance.
+CacheResult bench_cache(bool smoke) {
+  const int repeats = smoke ? 6 : 24;
+
+  partita::service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.max_queue_depth = 64;
+  cfg.cache_enabled = true;
+  partita::service::SolveService service(cfg);
+
+  CacheResult res;
+  res.repeats = repeats;
+  std::vector<double> cold_ms, warm_ms;
+
+  // One submit-and-wait round trip; the answer gate compares against the
+  // caller's cold signature.
+  const auto round_trip = [&](const partita::workloads::Workload& w,
+                              std::int64_t gain, const std::string& cold_sig,
+                              const char* what) {
+    partita::service::SolveRequest req;
+    req.label = "bench_cache";
+    req.workload = w;
+    req.required_gain = gain;
+    const Clock::time_point t0 = Clock::now();
+    const std::uint64_t ticket = service.submit(std::move(req));
+    const partita::service::SolveResponse r = service.wait(ticket);
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (r.state != partita::service::RequestState::kCompleted) {
+      std::fprintf(stderr, "bench_all: cache %s request not completed\n", what);
+      std::exit(2);
+    }
+    if (partita::select::solution_signature(r.selection) != cold_sig) {
+      std::fprintf(stderr,
+                   "bench_all: ANSWER GATE: cache %s answer differs from cold "
+                   "solve (marker '%s')\n",
+                   what, r.cache.c_str());
+      std::exit(2);
+    }
+    return std::make_pair(ms, r);
+  };
+
+  for (const Scenario& sc : scenarios(true)) {  // seed apps only; sized for ms
+    Flow flow(sc.workload.module, sc.workload.library);
+    const std::int64_t gain = flow.max_feasible_gain() / 2;
+
+    // Exact repeats. Cold reference outside the service, then the first
+    // request populates the cache and every repeat must hit it.
+    const partita::select::Selection cold = flow.select(gain);
+    const std::string sig = partita::select::solution_signature(cold);
+    cold_ms.push_back(round_trip(sc.workload, gain, sig, "cold").first);
+    for (int r = 0; r < repeats; ++r)
+      warm_ms.push_back(round_trip(sc.workload, gain, sig, "repeat").first);
+
+    // Near repeat: one gain step away from the entry just cached.
+    const std::int64_t near_gain = gain - std::max<std::int64_t>(1, gain / 256);
+    const partita::select::Selection near_cold = flow.select(near_gain);
+    res.cold_lp_iterations += near_cold.solver.lp_iterations;
+    res.cold_nodes += near_cold.solver.nodes;
+    const auto [ms, r] =
+        round_trip(sc.workload, near_gain,
+                   partita::select::solution_signature(near_cold), "near");
+    (void)ms;
+    res.seeded_lp_iterations += r.selection.solver.lp_iterations;
+    res.seeded_nodes += r.selection.solver.nodes;
+  }
+
+  res.cold_ms_median = median_ms(cold_ms);
+  res.warm_ms_median = median_ms(warm_ms);
+  res.repeat_speedup =
+      res.warm_ms_median > 0 ? res.cold_ms_median / res.warm_ms_median : 0.0;
+  res.iteration_savings =
+      res.cold_lp_iterations > 0
+          ? 1.0 - static_cast<double>(res.seeded_lp_iterations) /
+                      static_cast<double>(res.cold_lp_iterations)
+          : 0.0;
+  res.node_savings =
+      res.cold_nodes > 0 ? 1.0 - static_cast<double>(res.seeded_nodes) /
+                                     static_cast<double>(res.cold_nodes)
+                         : 0.0;
+  const partita::service::ServiceStats st = service.stats();
+  res.hits = static_cast<long long>(st.cache_hits);
+  res.neighbor_seeds = static_cast<long long>(st.cache_neighbor_seeds);
+  service.shutdown();
+  return res;
+}
+
 // --- JSON ------------------------------------------------------------------
 
 std::string fmt(double v) {
@@ -275,7 +394,7 @@ std::string render_json(const partita::bench::MachineMeta& meta, bool smoke,
                         const std::vector<BnbResultRow>& bnb_old,
                         const std::vector<BnbResultRow>& bnb_new,
                         const std::vector<EndToEndRow>& e2e,
-                        const ServiceResult& svc) {
+                        const ServiceResult& svc, const CacheResult& cache) {
   std::ostringstream os;
   os << "{\n  \"metadata\": " << partita::bench::meta_json(meta) << ",\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
@@ -330,7 +449,20 @@ std::string render_json(const partita::bench::MachineMeta& meta, bool smoke,
      << ", \"seconds\": " << fmt(svc.seconds)
      << ", \"requests_per_sec\": " << fmt(svc.requests_per_sec)
      << ", \"p50_ms\": " << fmt(svc.p50_ms) << ", \"p99_ms\": " << fmt(svc.p99_ms)
-     << ", \"amortized_hits\": " << svc.amortized_hits << "}\n";
+     << ", \"amortized_hits\": " << svc.amortized_hits << "},\n";
+
+  os << "  \"cache\": {\"repeats\": " << cache.repeats
+     << ", \"cold_ms_median\": " << fmt(cache.cold_ms_median)
+     << ", \"warm_ms_median\": " << fmt(cache.warm_ms_median)
+     << ", \"repeat_speedup\": " << fmt(cache.repeat_speedup)
+     << ", \"cold_lp_iterations\": " << cache.cold_lp_iterations
+     << ", \"seeded_lp_iterations\": " << cache.seeded_lp_iterations
+     << ", \"iteration_savings\": " << fmt(cache.iteration_savings)
+     << ", \"cold_nodes\": " << cache.cold_nodes
+     << ", \"seeded_nodes\": " << cache.seeded_nodes
+     << ", \"node_savings\": " << fmt(cache.node_savings)
+     << ", \"hits\": " << cache.hits
+     << ", \"neighbor_seeds\": " << cache.neighbor_seeds << "}\n";
   os << "}\n";
   return os.str();
 }
@@ -448,8 +580,18 @@ int main(int argc, char** argv) {
   std::printf("service %d requests %.2f req/s  p50 %.1fms  p99 %.1fms\n",
               svc.requests, svc.requests_per_sec, svc.p50_ms, svc.p99_ms);
 
-  const std::string json =
-      render_json(meta, smoke, lp_old, lp_new, bnb_old, bnb_new, e2e, svc);
+  const CacheResult cache = bench_cache(smoke);
+  std::printf(
+      "cache repeat %.3fms -> %.3fms (%.1fx), near-repeat lp iters %lld -> "
+      "%lld (%.1f%% saved), nodes %lld -> %lld (%.1f%% saved), %lld hits / "
+      "%lld neighbor seeds\n",
+      cache.cold_ms_median, cache.warm_ms_median, cache.repeat_speedup,
+      cache.cold_lp_iterations, cache.seeded_lp_iterations,
+      cache.iteration_savings * 100.0, cache.cold_nodes, cache.seeded_nodes,
+      cache.node_savings * 100.0, cache.hits, cache.neighbor_seeds);
+
+  const std::string json = render_json(meta, smoke, lp_old, lp_new, bnb_old,
+                                       bnb_new, e2e, svc, cache);
   std::ofstream out(out_path);
   out << json;
   out.close();

@@ -164,6 +164,19 @@ class Solver {
     pc_sum_[1].assign(n, 0.0);
     pc_cnt_[0].assign(n, 0);
     pc_cnt_[1].assign(n, 0);
+    // Cross-request carry: adopt the neighbor's pseudo-cost tables as the
+    // branching prior. Pure search-order heuristics -- the canonical optimum
+    // of a completed search is unchanged (see BatchContext).
+    if (batch_ != nullptr && batch_->carry_search_state &&
+        batch_->has_search_state && batch_->pc_sum[0].size() == n &&
+        batch_->pc_sum[1].size() == n && batch_->pc_cnt[0].size() == n &&
+        batch_->pc_cnt[1].size() == n) {
+      pc_sum_[0] = batch_->pc_sum[0];
+      pc_sum_[1] = batch_->pc_sum[1];
+      pc_cnt_[0] = batch_->pc_cnt[0];
+      pc_cnt_[1] = batch_->pc_cnt[1];
+      ++result_.stats.seeded_artifacts;
+    }
   }
 
   IlpResult run() {
@@ -207,6 +220,16 @@ class Solver {
     if (!root_relaxation()) {
       finish(TerminationReason::kCompleted, t0);  // root LP proves infeasible
       return result_;
+    }
+
+    // ---- seeded incumbent (cross-request carry) -----------------------------
+    // The neighbor's best solution becomes the starting incumbent *iff* it is
+    // feasible for this model -- offer_incumbent re-audits it, so a seed
+    // invalidated by an RHS retarget is dropped, never served.
+    if (batch_ != nullptr && batch_->carry_search_state && batch_->has_incumbent &&
+        batch_->incumbent.size() == model_.var_count()) {
+      offer_incumbent(batch_->incumbent);
+      if (has_incumbent_) ++result_.stats.seeded_artifacts;
     }
 
     // ---- lanes and root node ----------------------------------------------
@@ -755,6 +778,20 @@ class Solver {
   // --- wrap-up --------------------------------------------------------------
 
   void finish(TerminationReason reason, Clock::time_point t0) {
+    // Export the search state for the next same-structure solve. Done before
+    // the result is assembled so even infeasible/truncated runs leave their
+    // (still valid) branching statistics behind.
+    if (batch_ != nullptr && batch_->carry_search_state) {
+      for (int d = 0; d < 2; ++d) {
+        batch_->pc_sum[d] = pc_sum_[d];
+        batch_->pc_cnt[d] = pc_cnt_[d];
+      }
+      batch_->has_search_state = true;
+      if (has_incumbent_) {
+        batch_->incumbent = incumbent_x_;
+        batch_->has_incumbent = true;
+      }
+    }
     result_.stats.termination = reason;
     result_.stats.total_seconds = seconds_since(t0);
     result_.stats.search_seconds =

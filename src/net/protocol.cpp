@@ -64,6 +64,7 @@ std::string result_json(const WireResult& r) {
   append_field(out, "state", quote(r.state));
   append_field(out, "attempts", fmt_i64(r.attempts));
   append_field(out, "retry_after_s", fmt_double(r.retry_after_seconds));
+  if (!r.cache.empty()) append_field(out, "cache", quote(r.cache));
   if (!r.error.kind.empty()) append_field(out, "error", error_json(r.error));
   if (r.selection) append_field(out, "selection", selection_json(*r.selection));
   out += '}';
@@ -117,6 +118,7 @@ std::optional<WireResult> decode_result(const json::Object* o) {
   r.state = json::string_or(*o, "state", "");
   r.attempts = static_cast<int>(json::int_or(*o, "attempts", 0));
   r.retry_after_seconds = json::num_or(*o, "retry_after_s", 0.0);
+  r.cache = json::string_or(*o, "cache", "");
   r.error = decode_error(json::object_or_null(*o, "error"));
   r.selection = decode_selection(json::object_or_null(*o, "selection"));
   return r;
@@ -337,6 +339,7 @@ WireResult to_wire(const service::SolveResponse& r) {
   w.state = service::to_string(r.state);
   w.attempts = r.attempts;
   w.retry_after_seconds = r.retry_after_seconds;
+  w.cache = r.cache;
   if (r.state == service::RequestState::kFailed ||
       r.state == service::RequestState::kRejected) {
     w.error.kind = support::to_string(r.error.kind);

@@ -117,6 +117,9 @@ struct WireResult {
   double retry_after_seconds = 0.0;
   WireError error;
   std::optional<WireSelection> selection;
+  /// Solution-cache outcome ("", "bypass", "hit", "neighbor", "miss"); see
+  /// service::SolveResponse::cache. Empty when the service runs cacheless.
+  std::string cache;
 };
 
 struct WireResponse {

@@ -329,6 +329,14 @@ WireResponse WireServer::handle_immediate(const WireRequest& req) {
     m["batches"] = static_cast<double>(s.batches);
     m["batch_items"] = static_cast<double>(s.batch_items);
     m["batch_amortized_hits"] = static_cast<double>(s.batch_amortized_hits);
+    m["cache_lookups"] = static_cast<double>(s.cache_lookups);
+    m["cache_hits"] = static_cast<double>(s.cache_hits);
+    m["cache_misses"] = static_cast<double>(s.cache_misses);
+    m["cache_neighbor_seeds"] = static_cast<double>(s.cache_neighbor_seeds);
+    m["cache_insertions"] = static_cast<double>(s.cache_insertions);
+    m["cache_evictions"] = static_cast<double>(s.cache_evictions);
+    m["cache_stale"] = static_cast<double>(s.cache_stale);
+    m["cache_seed_fallbacks"] = static_cast<double>(s.cache_seed_fallbacks);
     m["sched_admitted"] = static_cast<double>(p.admitted);
     m["sched_rejected"] = static_cast<double>(p.rejected);
     m["sched_evicted"] = static_cast<double>(p.evicted);

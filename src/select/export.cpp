@@ -82,6 +82,7 @@ std::string to_json(const Selection& sel, const isel::ImpDatabase& db,
      << ", \"cuts_applied\": " << sel.solver.cuts_applied
      << ", \"cut_rounds\": " << sel.solver.cut_rounds
      << ", \"batch_hits\": " << sel.solver.batch_hits
+     << ", \"seeded_artifacts\": " << sel.solver.seeded_artifacts
      << ", \"truncated\": " << (sel.truncated ? "true" : "false")
      << ", \"optimality_gap\": " << num(sel.optimality_gap)
      << ", \"greedy_fallback\": " << (sel.greedy_fallback ? "true" : "false")

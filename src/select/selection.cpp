@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace partita::select {
@@ -91,6 +92,27 @@ std::string Selection::describe(const isel::ImpDatabase& db,
     os << " [gap<=" << optimality_gap * 100.0 << "%"
        << (greedy_fallback ? ", greedy fallback" : "") << "]";
   }
+  return os.str();
+}
+
+std::string solution_signature(const Selection& sel) {
+  std::ostringstream os;
+  os << "feasible=" << (sel.feasible ? 1 : 0) << "|chosen=";
+  for (std::size_t i = 0; i < sel.chosen.size(); ++i) {
+    if (i) os << ',';
+    os << sel.chosen[i];
+  }
+  os << "|ips=";
+  for (std::size_t i = 0; i < sel.ips_used.size(); ++i) {
+    if (i) os << ',';
+    os << sel.ips_used[i].value;
+  }
+  os << "|ip_area=" << support::json::fmt_double(sel.ip_area)
+     << "|if_area=" << support::json::fmt_double(sel.interface_area)
+     << "|ip_power=" << support::json::fmt_double(sel.ip_power)
+     << "|if_power=" << support::json::fmt_double(sel.interface_power)
+     << "|S=" << sel.s_instructions << "|O=" << sel.selected_scalls
+     << "|gain=" << sel.min_path_gain << "|rung=" << to_string(sel.rung);
   return os.str();
 }
 

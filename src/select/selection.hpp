@@ -87,6 +87,16 @@ struct Selection {
   std::string describe(const isel::ImpDatabase& db, const iplib::IpLibrary& lib) const;
 };
 
+/// Canonical one-line signature of everything solution-defining in a
+/// Selection: feasibility, the chosen IMP set, the instantiated IPs, the
+/// exact area/power doubles (%.17g -- bit-faithful), S/O counts, min-path
+/// gain and the answering rung. Solver observability counters are
+/// deliberately excluded: two solves that found the SAME answer by a
+/// different search (e.g. a warm-started one) signature equally. The
+/// cache-consistency harness, the soak test and the bench answer gate all
+/// compare cached/seeded answers to cold solves through this.
+std::string solution_signature(const Selection& sel);
+
 /// Computes the derived fields (areas, S, O, min-path gain) for a set of
 /// chosen IMPs. Used by both the ILP selector and the baselines.
 Selection decode_selection(const std::vector<isel::ImpIndex>& chosen,

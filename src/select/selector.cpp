@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "ilp/fingerprint.hpp"
 #include "select/greedy.hpp"
 #include "support/assert.hpp"
 #include "support/fault_injection.hpp"
@@ -25,6 +26,37 @@ struct ImplSignature {
 
 ImplSignature signature_of(const isel::Imp& imp) {
   return {imp.ip.value, static_cast<int>(imp.iface_type)};
+}
+
+/// Locates the gain rows of a token-gain model and computes each row's
+/// never-binding floor RHS ((sum of negative coefficients) - 1, satisfied by
+/// every 0/1 point) so rg <= 0 items behave exactly like the serial build
+/// that omits the row. Shared by the batch and seeded solve paths.
+void scan_gain_rows(const ilp::Model& m, std::size_t paths,
+                    std::vector<ilp::RowIndex>& gain_row,
+                    std::vector<double>& floor_rhs) {
+  gain_row.assign(paths, static_cast<ilp::RowIndex>(m.row_count()));
+  floor_rhs.assign(paths, -1.0);
+  for (std::size_t r = 0; r < m.row_count(); ++r) {
+    const ilp::Row& row = m.row(static_cast<ilp::RowIndex>(r));
+    if (row.name.rfind("gain_path", 0) != 0) continue;
+    const std::size_t p = static_cast<std::size_t>(
+        std::stoul(row.name.substr(sizeof("gain_path") - 1)));
+    gain_row[p] = static_cast<ilp::RowIndex>(r);
+    double floor = -1.0;
+    for (const ilp::Term& t : row.terms) floor += std::min(0.0, t.coeff);
+    floor_rhs[p] = floor;
+  }
+}
+
+void retarget_gain_rows(ilp::Model& m, const std::vector<std::int64_t>& item,
+                        const std::vector<ilp::RowIndex>& gain_row,
+                        const std::vector<double>& floor_rhs) {
+  for (std::size_t p = 0; p < item.size(); ++p) {
+    if (gain_row[p] >= static_cast<ilp::RowIndex>(m.row_count())) continue;
+    m.set_rhs(gain_row[p],
+              item[p] > 0 ? static_cast<double>(item[p]) : floor_rhs[p]);
+  }
 }
 
 }  // namespace
@@ -277,38 +309,49 @@ std::vector<Selection> Selector::select_batch_per_path(
   // One model for the whole batch, built with a token gain of 1 so every
   // path row materializes; items only retarget the gain-row RHS below.
   ilp::Model m = build_model(std::vector<std::int64_t>(paths_.size(), 1), opt);
-
-  // Gain rows by path, plus a never-binding floor per row: with RHS at (sum
-  // of negative coefficients) - 1 the >= row is satisfied by every 0/1
-  // point, exactly like the serial build that omits rows for rg <= 0.
-  std::vector<ilp::RowIndex> gain_row(paths_.size(),
-                                      static_cast<ilp::RowIndex>(m.row_count()));
-  std::vector<double> floor_rhs(paths_.size(), -1.0);
-  for (std::size_t r = 0; r < m.row_count(); ++r) {
-    const ilp::Row& row = m.row(static_cast<ilp::RowIndex>(r));
-    if (row.name.rfind("gain_path", 0) != 0) continue;
-    const std::size_t p = static_cast<std::size_t>(
-        std::stoul(row.name.substr(sizeof("gain_path") - 1)));
-    gain_row[p] = static_cast<ilp::RowIndex>(r);
-    double floor = -1.0;
-    for (const ilp::Term& t : row.terms) floor += std::min(0.0, t.coeff);
-    floor_rhs[p] = floor;
-  }
+  std::vector<ilp::RowIndex> gain_row;
+  std::vector<double> floor_rhs;
+  scan_gain_rows(m, paths_.size(), gain_row, floor_rhs);
 
   ilp::BatchContext ctx;
   for (std::size_t i = 0; i < items.size(); ++i) {
     const auto& item = items[i];
-    for (std::size_t p = 0; p < paths_.size(); ++p) {
-      if (gain_row[p] >= static_cast<ilp::RowIndex>(m.row_count())) continue;
-      m.set_rhs(gain_row[p],
-                item[p] > 0 ? static_cast<double>(item[p]) : floor_rhs[p]);
-    }
+    retarget_gain_rows(m, item, gain_row, floor_rhs);
     ilp::IlpOptions iopt = opt.ilp;
     if (per_item) per_item(i, iopt);
     const ilp::IlpResult r = ilp::solve_ilp(m, iopt, &ctx);
     out.push_back(finish_selection(r, item, opt));
   }
   return out;
+}
+
+Selection Selector::select_seeded(const std::vector<std::int64_t>& required_gains,
+                                  const SelectOptions& opt,
+                                  ilp::BatchContext* batch) const {
+  PARTITA_ASSERT(required_gains.size() == paths_.size());
+  ilp::Model m = build_model(std::vector<std::int64_t>(paths_.size(), 1), opt);
+  std::vector<ilp::RowIndex> gain_row;
+  std::vector<double> floor_rhs;
+  scan_gain_rows(m, paths_.size(), gain_row, floor_rhs);
+  retarget_gain_rows(m, required_gains, gain_row, floor_rhs);
+  const ilp::IlpResult r = ilp::solve_ilp(m, opt.ilp, batch);
+  return finish_selection(r, required_gains, opt);
+}
+
+std::uint64_t Selector::answer_map_digest() const {
+  std::uint64_t h = ilp::fp_mix(db_.imps().size());
+  for (const isel::Imp& imp : db_.imps()) {
+    h = ilp::fp_mix(h ^ imp.scall.value());
+    h = ilp::fp_mix(h ^ imp.ip.value);
+    h = ilp::fp_mix(h ^ static_cast<std::uint64_t>(imp.iface_type));
+    h = ilp::fp_mix(h ^ ilp::fp_double(imp.interface_area));
+    h = ilp::fp_mix(h ^ ilp::fp_double(imp.interface_power));
+  }
+  for (const iplib::IpDescriptor& ip : lib_.all()) {
+    h = ilp::fp_mix(h ^ ilp::fp_double(ip.area));
+    h = ilp::fp_mix(h ^ ilp::fp_double(ip.power));
+  }
+  return h;
 }
 
 std::int64_t Selector::max_feasible_gain(const SelectOptions& opt) const {

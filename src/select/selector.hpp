@@ -82,9 +82,37 @@ class Selector {
       const std::vector<std::vector<std::int64_t>>& items,
       const SelectOptions& opt = {}, const BatchItemHook& per_item = {}) const;
 
+  /// Seeded single solve for the cross-request cache: solves one per-path
+  /// gains item through the batch machinery -- the model is built with a
+  /// token gain of 1 so every gain row materializes, then the RHS is
+  /// retargeted exactly as select_batch_per_path does. That keeps the model
+  /// layout identical across ALL same-structure solves, so artifacts carried
+  /// in `batch` (clique table, root basis, and -- when
+  /// batch->carry_search_state is set -- pseudo-cost tables and a seeded
+  /// incumbent) recorded by any previous same-structure solve stay valid
+  /// even when this item's gains differ. Bit-identical to select_per_path
+  /// for the same gains whenever the search completes; a truncated seeded
+  /// search may differ, which is why the solve service re-solves cold on
+  /// that path before answering.
+  Selection select_seeded(const std::vector<std::int64_t>& required_gains,
+                          const SelectOptions& opt, ilp::BatchContext* batch) const;
+
+  /// Number of execution paths (the length build_model/select_per_path
+  /// expect of a per-path gains vector).
+  std::size_t path_count() const { return paths_.size(); }
+
   /// Exposes the built ILP (for tests and debugging dumps).
   ilp::Model build_model(const std::vector<std::int64_t>& required_gains,
                          const SelectOptions& opt) const;
+
+  /// Digest of everything a decoded Selection reports that is NOT a function
+  /// of the ILP's mathematical content: the column -> (s-call, IP, interface)
+  /// identity map and the per-IP area/power the degradation ladder sums. Two
+  /// specs can build bit-identical models (e.g. duplicate-parameter IPs
+  /// swapped by a column permutation) yet decode the same optimal vector to
+  /// different IP indices; a solution cache must key on this digest alongside
+  /// ilp::fingerprint_model so such instances miss and re-solve.
+  std::uint64_t answer_map_digest() const;
 
   /// The largest uniform required gain that stays feasible: maximizes an
   /// auxiliary G_min variable with  sum(path gains) >= G_min  on every path,

@@ -1,0 +1,224 @@
+#include "service/solution_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace partita::service {
+
+namespace {
+
+std::int64_t l1_distance(const std::vector<std::int64_t>& a,
+                         const std::vector<std::int64_t>& b) {
+  if (a.size() != b.size()) return std::numeric_limits<std::int64_t>::max();
+  std::int64_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t step = a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+    if (d > std::numeric_limits<std::int64_t>::max() - step) {
+      return std::numeric_limits<std::int64_t>::max();
+    }
+    d += step;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string SolutionCache::Key::group() const {
+  std::string s = tenant;
+  s += '|';
+  s += structure.hex();
+  s += '|';
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(options_digest));
+  s += buf;
+  return s;
+}
+
+std::string SolutionCache::Key::str() const {
+  std::string s = group();
+  s += '|';
+  for (std::size_t i = 0; i < gains.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(gains[i]);
+  }
+  return s;
+}
+
+SolutionCache::SolutionCache(Config cfg) : cfg_(cfg) {
+  const int n = std::max(1, cfg_.shards);
+  cfg_.shards = n;
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, (cfg_.capacity + n - 1) / static_cast<std::size_t>(n));
+  per_shard_bytes_ =
+      cfg_.max_bytes == 0 ? 0 : std::max<std::size_t>(1, cfg_.max_bytes / n);
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+SolutionCache::Shard& SolutionCache::shard_for(const Key& key) {
+  // Shard by GROUP, not full key: all gains-variants of one structure land
+  // in one shard so the neighbor scan stays shard-local.
+  const std::string g = key.group();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (const char c : g) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return *shards_[h % shards_.size()];
+}
+
+std::size_t SolutionCache::entry_bytes(const Entry& e) {
+  std::size_t b = sizeof(Entry) + e.key.size() + e.group.size();
+  b += e.resolved_gains.size() * sizeof(std::int64_t);
+  b += e.selection.chosen.size() * sizeof(isel::ImpIndex);
+  b += e.selection.ips_used.size() * sizeof(iplib::IpId);
+  b += e.selection.degradation_detail.size();
+  const ilp::BatchContext& a = e.artifacts;
+  b += a.root_basis.status.size();
+  b += a.incumbent.size() * sizeof(double);
+  for (int d = 0; d < 2; ++d) {
+    b += a.pc_sum[d].size() * sizeof(double);
+    b += a.pc_cnt[d].size() * sizeof(int);
+  }
+  for (const auto& c : a.cliques) b += c.size() * sizeof(ilp::VarIndex);
+  for (const auto& vc : a.var_cliques) b += vc.size() * sizeof(std::uint32_t);
+  return b;
+}
+
+std::optional<select::Selection> SolutionCache::lookup(const Key& key) {
+  Shard& s = shard_for(key);
+  const std::string k = key.str();
+  const std::uint64_t gen = generation_.load();
+  std::lock_guard<std::mutex> g(s.mu);
+  ++s.stats.lookups;
+  const auto it = s.index.find(k);
+  if (it == s.index.end()) {
+    ++s.stats.misses;
+    return std::nullopt;
+  }
+  if (it->second->generation != gen) {
+    // Outdated by invalidate_all(): drop lazily, count both stale and miss
+    // so hits + misses == lookups stays an invariant.
+    s.bytes -= it->second->bytes;
+    s.lru.erase(it->second);
+    s.index.erase(it);
+    ++s.stats.stale;
+    ++s.stats.misses;
+    return std::nullopt;
+  }
+  ++s.stats.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  return it->second->selection;
+}
+
+CacheSeed SolutionCache::nearest(const Key& key,
+                                 const std::vector<std::int64_t>& resolved_gains) {
+  Shard& s = shard_for(key);
+  const std::string group = key.group();
+  const std::uint64_t gen = generation_.load();
+  CacheSeed seed;
+  std::lock_guard<std::mutex> g(s.mu);
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  const Entry* best_entry = nullptr;
+  for (const Entry& e : s.lru) {
+    if (e.generation != gen || e.group != group) continue;
+    const std::int64_t d = l1_distance(resolved_gains, e.resolved_gains);
+    if (d < best) {
+      best = d;
+      best_entry = &e;
+    }
+  }
+  if (best_entry == nullptr) return seed;
+  seed.valid = true;
+  seed.artifacts = best_entry->artifacts;
+  seed.artifacts.carry_search_state = true;
+  seed.distance = best;
+  ++s.stats.neighbor_hits;
+  return seed;
+}
+
+std::optional<std::int64_t> SolutionCache::derived_gain(const Key& key) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> g(s.mu);
+  const auto it = s.gain_memo.find(key.group());
+  if (it == s.gain_memo.end()) return std::nullopt;
+  ++s.stats.gain_memo_hits;
+  return it->second;
+}
+
+void SolutionCache::insert(const Key& key, const select::Selection& sel,
+                           ilp::BatchContext artifacts,
+                           const std::vector<std::int64_t>& resolved_gains,
+                           std::optional<std::int64_t> derived) {
+  Shard& s = shard_for(key);
+  Entry e;
+  e.key = key.str();
+  e.group = key.group();
+  e.resolved_gains = resolved_gains;
+  e.selection = sel;
+  e.artifacts = std::move(artifacts);
+  e.artifacts.carry_search_state = true;
+  e.generation = generation_.load();
+  e.bytes = entry_bytes(e);
+
+  std::lock_guard<std::mutex> g(s.mu);
+  const auto it = s.index.find(e.key);
+  if (it != s.index.end()) {
+    // Refresh in place (same key can be re-inserted after a stale drop or a
+    // racing double-miss); recency moves to the front.
+    s.bytes -= it->second->bytes;
+    s.lru.erase(it->second);
+    s.index.erase(it);
+  }
+  if (derived.has_value()) s.gain_memo[e.group] = *derived;
+  s.bytes += e.bytes;
+  s.lru.push_front(std::move(e));
+  s.index[s.lru.front().key] = s.lru.begin();
+  ++s.stats.insertions;
+  evict_locked(s);
+}
+
+void SolutionCache::evict_locked(Shard& s) {
+  while (s.lru.size() > per_shard_capacity_ ||
+         (per_shard_bytes_ != 0 && s.bytes > per_shard_bytes_ && s.lru.size() > 1)) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= victim.bytes;
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    ++s.stats.evictions;
+  }
+}
+
+void SolutionCache::invalidate_all() {
+  generation_.fetch_add(1);
+  for (auto& sp : shards_) {
+    std::lock_guard<std::mutex> g(sp->mu);
+    ++sp->stats.invalidations;
+    sp->gain_memo.clear();
+  }
+}
+
+CacheStats SolutionCache::stats() const {
+  CacheStats total;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> g(sp->mu);
+    const CacheStats& cs = sp->stats;
+    total.lookups += cs.lookups;
+    total.hits += cs.hits;
+    total.misses += cs.misses;
+    total.neighbor_hits += cs.neighbor_hits;
+    total.gain_memo_hits += cs.gain_memo_hits;
+    total.insertions += cs.insertions;
+    total.evictions += cs.evictions;
+    total.stale += cs.stale;
+    total.invalidations += cs.invalidations;
+    total.entries += sp->lru.size();
+    total.bytes += sp->bytes;
+  }
+  return total;
+}
+
+}  // namespace partita::service

@@ -1,0 +1,175 @@
+// Bounded, sharded, read-through cache of completed Selections plus the
+// solver artifacts needed to warm-start *near* misses.
+//
+// Key structure. An exact key is (tenant, structure fingerprint, options
+// digest, literal requested gains). The structure fingerprint is
+// ilp::fingerprint_model over the TOKEN-GAIN model (every gain row built
+// with RHS 1), so it captures the full constraint system of the instance
+// while factoring the requested gains out, mixed with the selector's
+// answer-map digest (the column -> (s-call, IP, interface) decode map --
+// two specs can build bit-identical models yet index the same physical IPs
+// differently, and a served Selection names library slots); the gains ride
+// in the key literally. Two requests share an entry iff a cold solve of
+// both is guaranteed to produce the same answer:
+//   * same tenant (namespacing: tenants never see each other's answers),
+//   * same model structure under the same column order (the canonical
+//     optimum depends on variable order -- see ilp/fingerprint.hpp) and
+//     the same decode map (select::Selector::answer_map_digest),
+//   * same answer-affecting solver options,
+//   * same literal gain request. A derived gain (-1) is itself a pure
+//     function of (structure, options), so "-1" is a consistent literal.
+//
+// Neighbor seeding. Entries with equal (tenant, structure, options) but
+// different gains form a GROUP (sharded together). nearest() returns a copy
+// of the closest group member's solver artifacts (clique table, root basis,
+// pseudo-cost tables, incumbent -- an ilp::BatchContext with
+// carry_search_state set) by L1 distance over resolved gains; the caller
+// seeds its solve with them. Groups also memoize the derived required gain
+// (max_feasible_gain/2), saving near-misses a whole auxiliary ILP solve.
+//
+// Consistency contract. The cache itself only ever stores what the caller
+// inserts; the SolveService only inserts completed (proven-optimal or
+// proven-infeasible), non-cancelled selections, and falls back to a cold
+// solve whenever a seeded search truncates. Under that discipline every
+// answer served from or through this cache is bit-identical to a cold
+// solve -- enforced end-to-end by `partita_fuzz --mode cache` and the
+// cache soak storm.
+//
+// Eviction: per-shard LRU, bounded by both entry count and an approximate
+// byte budget (each divided evenly across shards). invalidate_all() bumps a
+// generation; stale entries are dropped lazily at lookup (counted `stale`)
+// rather than eagerly swept.
+//
+// Counter invariants (asserted by cache_test): hits + misses == lookups
+// (a stale drop counts as a miss AND a stale), neighbor_hits <= misses,
+// evictions and insertions are monotone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ilp/branch_bound.hpp"
+#include "ilp/fingerprint.hpp"
+#include "select/selection.hpp"
+
+namespace partita::service {
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Misses that found a same-group neighbor to seed from.
+  std::uint64_t neighbor_hits = 0;
+  /// Derived-gain memo hits (a near-miss skipped its max_feasible_gain solve).
+  std::uint64_t gain_memo_hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Entries dropped at lookup because invalidate_all() outdated them.
+  std::uint64_t stale = 0;
+  std::uint64_t invalidations = 0;
+  // Gauges.
+  std::uint64_t entries = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Artifacts returned by nearest() for seeding a near-miss solve.
+struct CacheSeed {
+  bool valid = false;
+  /// Copy of the neighbor's solver artifacts; carry_search_state is set so
+  /// a solve through Selector::select_seeded imports them.
+  ilp::BatchContext artifacts;
+  /// L1 distance between the request's and the neighbor's resolved gains.
+  std::int64_t distance = 0;
+};
+
+class SolutionCache {
+ public:
+  struct Config {
+    /// Max entries across all shards (0 behaves as 1).
+    std::size_t capacity = 256;
+    /// Approximate byte budget across all shards; 0 disables the byte bound.
+    std::size_t max_bytes = std::size_t{64} << 20;
+    int shards = 4;
+  };
+
+  struct Key {
+    std::string tenant;
+    ilp::Fingerprint structure;
+    std::uint64_t options_digest = 0;
+    /// Literal requested gains (the request's own numbers; -1 = derived).
+    std::vector<std::int64_t> gains;
+
+    /// Group identity: everything but the gains.
+    std::string group() const;
+    /// Full exact-key identity.
+    std::string str() const;
+  };
+
+  explicit SolutionCache(Config cfg);
+
+  /// Exact read-through probe. A hit refreshes LRU recency.
+  std::optional<select::Selection> lookup(const Key& key);
+
+  /// Nearest same-group neighbor by resolved-gain L1 distance; call after a
+  /// miss. Does not touch LRU recency (a seed read is not an answer serve).
+  CacheSeed nearest(const Key& key, const std::vector<std::int64_t>& resolved_gains);
+
+  /// Group-level derived-gain memo (max_feasible_gain/2 for this structure
+  /// + options); set by any insert that resolved a derived gain.
+  std::optional<std::int64_t> derived_gain(const Key& key);
+
+  /// Inserts (or refreshes) a completed selection. `artifacts` are the
+  /// solver's exported BatchContext; `resolved_gains` are the actual gain
+  /// values solved (== key.gains unless the request asked for a derived
+  /// gain); `derived` records the scalar memo when the gain was derived.
+  void insert(const Key& key, const select::Selection& sel,
+              ilp::BatchContext artifacts,
+              const std::vector<std::int64_t>& resolved_gains,
+              std::optional<std::int64_t> derived = std::nullopt);
+
+  /// Outdates every current entry (lazily dropped as `stale` at lookup).
+  /// The service calls this when solver defaults change underneath it.
+  void invalidate_all();
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string group;
+    std::vector<std::int64_t> resolved_gains;
+    select::Selection selection;
+    ilp::BatchContext artifacts;
+    std::uint64_t generation = 0;
+    std::size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::map<std::string, std::list<Entry>::iterator> index;
+    /// Derived-gain memo per group string.
+    std::map<std::string, std::int64_t> gain_memo;
+    CacheStats stats;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const Key& key);
+  void evict_locked(Shard& s);
+  static std::size_t entry_bytes(const Entry& e);
+
+  Config cfg_;
+  std::size_t per_shard_capacity_;
+  std::size_t per_shard_bytes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace partita::service

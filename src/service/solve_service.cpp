@@ -23,6 +23,13 @@ SolveService::SolveService(ServiceConfig config)
   limits.max_wait_seconds = cfg_.max_wait_seconds;
   policy_ = SchedulerPolicy::create(cfg_.policy, limits);
   if (!policy_) policy_ = SchedulerPolicy::create("fifo", limits);
+  if (cfg_.cache_enabled) {
+    SolutionCache::Config cc;
+    cc.capacity = cfg_.cache_capacity;
+    cc.max_bytes = cfg_.cache_max_bytes;
+    cc.shards = cfg_.cache_shards;
+    cache_ = std::make_unique<SolutionCache>(cc);
+  }
   paused_ = cfg_.start_paused;
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
@@ -279,7 +286,23 @@ void SolveService::shutdown() {
 
 ServiceStats SolveService::stats() const {
   std::lock_guard<std::mutex> g(mu_);
-  return stats_;
+  ServiceStats s = stats_;
+  if (cache_ != nullptr) {
+    const CacheStats cs = cache_->stats();
+    s.cache_lookups = cs.lookups;
+    s.cache_hits = cs.hits;
+    s.cache_misses = cs.misses;
+    s.cache_neighbor_seeds = cs.neighbor_hits;
+    s.cache_insertions = cs.insertions;
+    s.cache_evictions = cs.evictions;
+    s.cache_stale = cs.stale;
+  }
+  s.cache_seed_fallbacks = cache_seed_fallbacks_.load();
+  return s;
+}
+
+void SolveService::invalidate_cache() {
+  if (cache_ != nullptr) cache_->invalidate_all();
 }
 
 PolicyStats SolveService::scheduler_stats() const {
@@ -457,7 +480,8 @@ RequestState SolveService::run_request(const SolveRequest& request,
     }
     ++attempt;
     out.attempts = attempt;
-    support::Result<select::Selection> r = run_attempt(request, cancel, attempt);
+    support::Result<select::Selection> r =
+        run_attempt(request, cancel, attempt, out.cache);
     if (r.ok()) {
       out.selection = r.take();
       return RequestState::kCompleted;
@@ -487,11 +511,13 @@ RequestState SolveService::run_request(const SolveRequest& request,
 }
 
 support::Result<select::Selection> SolveService::run_attempt(
-    const SolveRequest& req, const support::CancelSource& cancel, int attempt) {
+    const SolveRequest& req, const support::CancelSource& cancel, int attempt,
+    std::string& cache_marker) {
   // Crash isolation boundary: nothing a request does -- escaped exceptions,
   // injected faults, allocation failure -- may take a worker down. Every
   // failure becomes a structured Error for the retry/terminal machinery.
   try {
+    cache_marker.clear();
     if (support::fault_should_trip("service.transient")) {
       return support::Error::transient(
           "injected transient service fault (site service.transient)");
@@ -512,13 +538,98 @@ support::Result<select::Selection> SolveService::run_attempt(
     if (!flow_or.ok()) return flow_or.error();  // permanent: bad input
     select::Flow& flow = *flow_or.value();
 
-    std::int64_t rg = req.required_gain;
-    if (rg < 0) rg = flow.max_feasible_gain(opt) / 2;
+    // imp_filter is an opaque callable: its effect IS materialized in the
+    // model (forced-zero bounds), but the function itself may close over
+    // anything, so filtered requests bypass the cache rather than trust it
+    // to be pure.
+    if (cache_ == nullptr || req.options.imp_filter) {
+      if (cache_ != nullptr) cache_marker = "bypass";
+      std::int64_t rg = req.required_gain;
+      if (rg < 0) rg = flow.max_feasible_gain(opt) / 2;
+      select::Selection sel = flow.select(rg, opt);
+      if (cancel.cancelled() ||
+          sel.solver.termination == ilp::TerminationReason::kCancelled) {
+        return support::Error::cancelled("request cancelled mid-solve");
+      }
+      return sel;
+    }
 
-    select::Selection sel = flow.select(rg, opt);
+    // --- read-through solution cache ------------------------------------
+    const select::Selector& selector = flow.selector();
+    SolutionCache::Key key;
+    key.tenant = req.tenant;
+    // Structure fingerprint over the token-gain model: every select-level
+    // flag that shapes the constraint system (problem2, max_power) lands in
+    // the row set, so only the ilp options need a separate digest. The
+    // retry-shrunk max_nodes is digested too: retry answers on a lower rung
+    // never collide with first-attempt entries.
+    key.structure = ilp::fingerprint_model(selector.build_model(
+        std::vector<std::int64_t>(selector.path_count(), 1), opt));
+    // The model digest alone is not enough: a cached Selection also reports
+    // the column -> (s-call, IP, interface) decode map, which can differ
+    // between specs whose models are bit-identical (duplicate-parameter IPs
+    // swapped by a column permutation). Mix it in so such instances miss.
+    key.structure.lo = ilp::fp_mix(key.structure.lo ^ selector.answer_map_digest());
+    key.options_digest = ilp::digest_options(opt.ilp);
+    key.gains = {req.required_gain};  // literal: -1 = "derived", itself a
+                                      // pure function of (structure, options)
+    if (std::optional<select::Selection> hit = cache_->lookup(key)) {
+      cache_marker = "hit";
+      return std::move(*hit);
+    }
+    cache_marker = "miss";
+
+    std::int64_t rg = req.required_gain;
+    bool derived = false;
+    if (rg < 0) {
+      derived = true;
+      // Group-level memo: same structure + options => same derived gain, so
+      // a near-miss skips the auxiliary max_feasible_gain ILP entirely.
+      if (std::optional<std::int64_t> memo = cache_->derived_gain(key)) {
+        rg = *memo;
+      } else {
+        rg = flow.max_feasible_gain(opt) / 2;
+      }
+    }
+    const std::vector<std::int64_t> gains(selector.path_count(), rg);
+
+    ilp::BatchContext ctx;
+    ctx.carry_search_state = true;
+    bool seeded = false;
+    if (cfg_.cache_neighbor_seeding) {
+      CacheSeed seed = cache_->nearest(key, gains);
+      if (seed.valid) {
+        ctx = std::move(seed.artifacts);
+        seeded = true;
+      }
+    }
+    select::Selection sel = selector.select_seeded(gains, opt, &ctx);
+    if (seeded && sel.truncated &&
+        sel.solver.termination != ilp::TerminationReason::kCancelled) {
+      // Answer safety: imported artifacts are answer-neutral only for
+      // COMPLETED searches -- a truncated seeded search may have explored a
+      // different prefix of the tree than a cold one would. Redo cold (fresh
+      // context) so the served answer is bit-identical to a cold solve.
+      cache_seed_fallbacks_.fetch_add(1);
+      ilp::BatchContext cold_ctx;
+      cold_ctx.carry_search_state = true;
+      sel = selector.select_seeded(gains, opt, &cold_ctx);
+      ctx = std::move(cold_ctx);
+      seeded = false;
+    }
     if (cancel.cancelled() ||
         sel.solver.termination == ilp::TerminationReason::kCancelled) {
+      // Ordered before the insert: a cancelled solve never populates the
+      // cache, even when its search happened to complete under the wire.
       return support::Error::cancelled("request cancelled mid-solve");
+    }
+    if (seeded) cache_marker = "neighbor";
+    if (!sel.truncated &&
+        sel.solver.termination == ilp::TerminationReason::kCompleted) {
+      // Only proven answers (optimal or proven-infeasible) are cacheable;
+      // truncated rungs depend on the budget that struck and stay uncached.
+      cache_->insert(key, sel, std::move(ctx), gains,
+                     derived ? std::optional<std::int64_t>(rg) : std::nullopt);
     }
     return sel;
   } catch (const std::exception& ex) {

@@ -45,6 +45,7 @@
 // zero real sleeps.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -57,6 +58,7 @@
 
 #include "select/flow.hpp"
 #include "service/scheduler.hpp"
+#include "service/solution_cache.hpp"
 #include "support/cancel.hpp"
 #include "support/clock.hpp"
 #include "support/result.hpp"
@@ -137,6 +139,14 @@ struct SolveResponse {
   /// Solve attempts actually started (1 for a clean run; retries add more).
   int attempts = 0;
   std::string quarantine_fixture;
+  /// Solution-cache outcome for this request: "" (cache disabled or batch),
+  /// "bypass" (cache on but the request is uncacheable, e.g. imp_filter),
+  /// "hit" (served verbatim from the cache), "neighbor" (cold answer, but a
+  /// cached neighbor's artifacts seeded the solve), "miss" (cold solve).
+  /// Every non-"hit" answer is a real solve; "hit" answers were inserted by
+  /// a completed solve with an identical key, so all outcomes are
+  /// bit-identical to a cold solve (see docs/caching.md).
+  std::string cache;
 };
 
 /// DEPRECATED: use SolveRequest::required_gains. Kept as a thin alias shape
@@ -184,6 +194,19 @@ struct ServiceConfig {
   /// applies) but nothing runs until resume(). Deterministic tests use this
   /// to fill the queue race-free.
   bool start_paused = false;
+
+  // --- cross-request solution cache (see service/solution_cache.hpp) ------
+  /// Enables the read-through cache of completed Selections. Off by default:
+  /// pre-cache behavior (every request re-solves) is unchanged.
+  bool cache_enabled = false;
+  /// Entry / byte bounds and shard count, forwarded to SolutionCache.
+  std::size_t cache_capacity = 256;
+  std::size_t cache_max_bytes = std::size_t{64} << 20;
+  int cache_shards = 4;
+  /// Seed near-misses from the nearest cached neighbor's solver artifacts
+  /// (bases, pseudo-costs, cliques, incumbents). Answer-safe: a seeded
+  /// search that truncates is redone cold before answering.
+  bool cache_neighbor_seeding = true;
 };
 
 struct ServiceStats {
@@ -202,6 +225,18 @@ struct ServiceStats {
   std::uint64_t batch_items = 0;  // items across all admitted batches
   std::uint64_t batch_amortized_hits = 0;  // solver artifacts reused across
                                            // items (sum of batch_hits)
+  // Cross-request solution cache (all zero while cache_enabled is false).
+  // Invariants: cache_hits + cache_misses == cache_lookups;
+  // cache_neighbor_seeds <= cache_misses; evictions/stale are monotone.
+  std::uint64_t cache_lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_neighbor_seeds = 0;  // misses seeded from a neighbor
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_stale = 0;           // entries dropped after invalidation
+  std::uint64_t cache_seed_fallbacks = 0;  // seeded solves redone cold after
+                                           // a truncation (answer-safety)
 };
 
 class SolveService {
@@ -256,6 +291,11 @@ class SolveService {
   /// Active policy name ("fifo", "priority", "edf", "rejecter").
   const char* policy_name() const;
 
+  /// Outdates every cached selection (served lazily as `cache_stale`).
+  /// Call when anything outside the per-request options that could affect
+  /// answers changes underneath the service. No-op when the cache is off.
+  void invalidate_cache();
+
  private:
   struct Entry {
     SolveRequest request;  // released (workload freed) at terminal state
@@ -291,9 +331,12 @@ class SolveService {
   RequestState run_request(const SolveRequest& request,
                            const support::CancelSource& cancel,
                            SolveResponse& out);
+  /// `cache_marker` receives the SolveResponse::cache outcome of this
+  /// attempt ("", "bypass", "hit", "neighbor", "miss").
   support::Result<select::Selection> run_attempt(const SolveRequest& request,
                                                  const support::CancelSource& cancel,
-                                                 int attempt);
+                                                 int attempt,
+                                                 std::string& cache_marker);
   /// Marks the entry terminal, releases its admission charge, tenant slot
   /// and workload, feeds the drain-rate estimator, and wakes waiters.
   /// Caller holds mu_.
@@ -307,6 +350,11 @@ class SolveService {
 
   ServiceConfig cfg_;
   support::Clock& clock_;
+  /// Cross-request solution cache; null when cache_enabled is false. The
+  /// cache is internally synchronized -- run_attempt uses it outside mu_.
+  std::unique_ptr<SolutionCache> cache_;
+  /// Seeded-solve cold fallbacks (atomic: bumped outside mu_).
+  std::atomic<std::uint64_t> cache_seed_fallbacks_{0};
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // workers: pending work / pause / stop

@@ -1,0 +1,468 @@
+// Cross-request solution cache, tier 1: fingerprint invariances (row
+// permutation, term order) and sensitivities (values, flags, column order),
+// LRU + byte eviction order, counter consistency (hits + misses == lookups,
+// monotone evictions), per-tenant namespacing, invalidation (generation
+// bump and option change), and the service-level read-through contract:
+// hit/neighbor/miss answers bit-identical to cold solves. The heavier
+// randomized stream proof lives in `partita_fuzz --mode cache` (tier 2 + CI).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ilp/fingerprint.hpp"
+#include "select/flow.hpp"
+#include "service/solution_cache.hpp"
+#include "service/solve_service.hpp"
+#include "workloads/random_workload.hpp"
+#include "workloads/workloads.hpp"
+
+namespace partita {
+namespace {
+
+// --- fingerprint ----------------------------------------------------------
+
+/// Small reference model: 3 binaries, two rows.
+ilp::Model base_model() {
+  ilp::Model m;
+  m.set_sense(ilp::Sense::kMinimize);
+  const ilp::VarIndex a = m.add_binary("a", 2.0);
+  const ilp::VarIndex b = m.add_binary("b", 3.0);
+  const ilp::VarIndex c = m.add_binary("c", 5.0);
+  m.add_row("r0", {{a, 1.0}, {b, 1.0}}, ilp::RowSense::kLessEqual, 1.0);
+  m.add_row("r1", {{b, 4.0}, {c, 7.0}}, ilp::RowSense::kGreaterEqual, 6.0);
+  return m;
+}
+
+TEST(Fingerprint, DeterministicAcrossRebuilds) {
+  EXPECT_EQ(ilp::fingerprint_model(base_model()), ilp::fingerprint_model(base_model()));
+  EXPECT_EQ(ilp::fingerprint_model(base_model()).hex().size(), 32u);
+}
+
+TEST(Fingerprint, RowPermutationAndTermOrderInvariant) {
+  ilp::Model m = base_model();
+
+  // Same constraints: rows swapped, terms within each row reversed, names
+  // completely different (names must not matter).
+  ilp::Model p;
+  p.set_sense(ilp::Sense::kMinimize);
+  const ilp::VarIndex a = p.add_binary("x", 2.0);
+  const ilp::VarIndex b = p.add_binary("y", 3.0);
+  const ilp::VarIndex c = p.add_binary("z", 5.0);
+  p.add_row("other1", {{c, 7.0}, {b, 4.0}}, ilp::RowSense::kGreaterEqual, 6.0);
+  p.add_row("other0", {{b, 1.0}, {a, 1.0}}, ilp::RowSense::kLessEqual, 1.0);
+
+  EXPECT_EQ(ilp::fingerprint_model(m), ilp::fingerprint_model(p));
+}
+
+TEST(Fingerprint, SensitiveToEverythingMathematical) {
+  const ilp::Fingerprint ref = ilp::fingerprint_model(base_model());
+
+  {  // rhs change
+    ilp::Model m = base_model();
+    m.set_rhs(1, 7.0);
+    EXPECT_NE(ilp::fingerprint_model(m), ref);
+  }
+  {  // objective change
+    ilp::Model m = base_model();
+    m.var(0).objective = 2.5;
+    EXPECT_NE(ilp::fingerprint_model(m), ref);
+  }
+  {  // bound change (e.g. an imp_filter forcing a variable to 0)
+    ilp::Model m = base_model();
+    m.var(2).upper = 0.0;
+    EXPECT_NE(ilp::fingerprint_model(m), ref);
+  }
+  {  // sense change
+    ilp::Model m = base_model();
+    m.set_sense(ilp::Sense::kMaximize);
+    EXPECT_NE(ilp::fingerprint_model(m), ref);
+  }
+  {  // extra row
+    ilp::Model m = base_model();
+    m.add_row("r2", {{0, 1.0}}, ilp::RowSense::kLessEqual, 1.0);
+    EXPECT_NE(ilp::fingerprint_model(m), ref);
+  }
+}
+
+TEST(Fingerprint, ColumnOrderSensitiveByDesign) {
+  // Same mathematical content, columns a/b swapped: the canonical
+  // (lex-smallest) optimum depends on column order, so the fingerprint MUST
+  // differ -- a permuted-equivalent instance may not share a cache entry.
+  ilp::Model m = base_model();
+
+  ilp::Model p;
+  p.set_sense(ilp::Sense::kMinimize);
+  const ilp::VarIndex b = p.add_binary("b", 3.0);
+  const ilp::VarIndex a = p.add_binary("a", 2.0);
+  const ilp::VarIndex c = p.add_binary("c", 5.0);
+  p.add_row("r0", {{a, 1.0}, {b, 1.0}}, ilp::RowSense::kLessEqual, 1.0);
+  p.add_row("r1", {{b, 4.0}, {c, 7.0}}, ilp::RowSense::kGreaterEqual, 6.0);
+
+  EXPECT_NE(ilp::fingerprint_model(m), ilp::fingerprint_model(p));
+}
+
+TEST(Fingerprint, OptionsDigestCoversAnswerAffectingKnobsOnly) {
+  ilp::IlpOptions opt;
+  const std::uint64_t ref = ilp::digest_options(opt);
+
+  ilp::IlpOptions o1 = opt;
+  o1.max_nodes /= 2;
+  EXPECT_NE(ilp::digest_options(o1), ref);
+
+  ilp::IlpOptions o2 = opt;
+  o2.canonical_ties = false;
+  EXPECT_NE(ilp::digest_options(o2), ref);
+
+  ilp::IlpOptions o3 = opt;
+  o3.budget.time_limit_seconds = 1.0;
+  EXPECT_NE(ilp::digest_options(o3), ref);
+
+  // Thread count is answer-neutral (wave reduction is lane-ordered) and must
+  // NOT fragment the cache.
+  ilp::IlpOptions o4 = opt;
+  o4.threads = 7;
+  EXPECT_EQ(ilp::digest_options(o4), ref);
+}
+
+// --- SolutionCache mechanics ---------------------------------------------
+
+service::SolutionCache::Key key_for(const std::string& tenant, std::uint64_t salt,
+                                    std::int64_t gain) {
+  service::SolutionCache::Key k;
+  k.tenant = tenant;
+  k.structure.hi = ilp::fp_mix(salt);
+  k.structure.lo = ilp::fp_mix(salt + 1);
+  k.options_digest = 42;
+  k.gains = {gain};
+  return k;
+}
+
+select::Selection dummy_selection(int tag) {
+  select::Selection s;
+  s.feasible = true;
+  s.chosen = {static_cast<isel::ImpIndex>(tag)};
+  s.rung = select::DegradationRung::kOptimal;
+  return s;
+}
+
+TEST(SolutionCache, LruEvictionOrderAndRecencyRefresh) {
+  service::SolutionCache::Config cc;
+  cc.capacity = 3;
+  cc.shards = 1;  // single shard: global LRU order is observable
+  cc.max_bytes = 0;
+  service::SolutionCache cache(cc);
+
+  for (int i = 0; i < 3; ++i) {
+    cache.insert(key_for("t", 7, i), dummy_selection(i), {}, {i});
+  }
+  // Touch key 0 so key 1 becomes the LRU victim.
+  ASSERT_TRUE(cache.lookup(key_for("t", 7, 0)).has_value());
+  cache.insert(key_for("t", 7, 3), dummy_selection(3), {}, {3});
+
+  EXPECT_TRUE(cache.lookup(key_for("t", 7, 0)).has_value());
+  EXPECT_FALSE(cache.lookup(key_for("t", 7, 1)).has_value());  // evicted
+  EXPECT_TRUE(cache.lookup(key_for("t", 7, 2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_for("t", 7, 3)).has_value());
+
+  const service::CacheStats st = cache.stats();
+  EXPECT_EQ(st.evictions, 1u);
+  EXPECT_EQ(st.entries, 3u);
+  EXPECT_EQ(st.hits + st.misses, st.lookups);
+}
+
+TEST(SolutionCache, ByteBudgetBoundsResidency) {
+  service::SolutionCache::Config cc;
+  cc.capacity = 1000;
+  cc.shards = 1;
+  cc.max_bytes = 4096;  // far below 100 entries' footprint
+  service::SolutionCache cache(cc);
+
+  select::Selection fat = dummy_selection(0);
+  fat.degradation_detail.assign(512, 'x');
+  for (int i = 0; i < 100; ++i) cache.insert(key_for("t", 9, i), fat, {}, {i});
+
+  const service::CacheStats st = cache.stats();
+  EXPECT_GT(st.evictions, 0u);
+  EXPECT_LE(st.bytes, 4096u + 2048u);  // one oversize entry of slack
+  EXPECT_GE(st.entries, 1u);           // never evicts below one entry
+}
+
+TEST(SolutionCache, CounterConsistencyUnderMixedTraffic) {
+  service::SolutionCache::Config cc;
+  cc.capacity = 8;
+  cc.shards = 2;
+  service::SolutionCache cache(cc);
+
+  std::uint64_t prev_evictions = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      const auto k = key_for("t", 11, i);
+      if (!cache.lookup(k).has_value()) {
+        cache.insert(k, dummy_selection(i), {}, {i});
+      }
+    }
+    const service::CacheStats st = cache.stats();
+    EXPECT_EQ(st.hits + st.misses, st.lookups);
+    EXPECT_GE(st.evictions, prev_evictions);  // monotone
+    prev_evictions = st.evictions;
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(SolutionCache, TenantNamespacingIsolatesEntries) {
+  service::SolutionCache cache({});
+  cache.insert(key_for("alice", 13, 5), dummy_selection(1), {}, {5});
+
+  EXPECT_TRUE(cache.lookup(key_for("alice", 13, 5)).has_value());
+  EXPECT_FALSE(cache.lookup(key_for("bob", 13, 5)).has_value());
+  EXPECT_FALSE(cache.lookup(key_for("", 13, 5)).has_value());
+}
+
+TEST(SolutionCache, OptionChangeMissesAndInvalidationDropsStale) {
+  service::SolutionCache cache({});
+  const auto k = key_for("t", 17, 3);
+  cache.insert(k, dummy_selection(1), {}, {3});
+
+  // Different options digest: clean miss, entry untouched.
+  auto k2 = k;
+  k2.options_digest = 43;
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+  EXPECT_TRUE(cache.lookup(k).has_value());
+
+  // Generation invalidation: the same key now drops as stale.
+  cache.invalidate_all();
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  const service::CacheStats st = cache.stats();
+  EXPECT_EQ(st.stale, 1u);
+  EXPECT_GE(st.invalidations, 1u);
+  EXPECT_EQ(st.hits + st.misses, st.lookups);
+
+  // Re-insert after invalidation: serves again.
+  cache.insert(k, dummy_selection(2), {}, {3});
+  EXPECT_TRUE(cache.lookup(k).has_value());
+}
+
+TEST(SolutionCache, NearestPrefersClosestGainAndStaysInGroup) {
+  service::SolutionCache cache({});
+  ilp::BatchContext near_ctx;
+  near_ctx.items = 7;  // marker to recognize the returned copy
+  cache.insert(key_for("t", 19, 100), dummy_selection(1), {}, {100});
+  cache.insert(key_for("t", 19, 140), dummy_selection(2), near_ctx, {140});
+  cache.insert(key_for("t", 23, 130), dummy_selection(3), {}, {130});  // other group
+
+  const service::CacheSeed seed = cache.nearest(key_for("t", 19, -1), {132});
+  ASSERT_TRUE(seed.valid);
+  EXPECT_EQ(seed.distance, 8);            // picked gains=140, not 100 or the
+  EXPECT_EQ(seed.artifacts.items, 7);     // other-group 130
+  EXPECT_TRUE(seed.artifacts.carry_search_state);
+
+  EXPECT_FALSE(cache.nearest(key_for("t", 29, -1), {132}).valid);  // empty group
+}
+
+// --- service read-through: answers bit-identical to cold solves ----------
+
+TEST(SolveServiceCache, RepeatHitsServeBitIdenticalAnswers) {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_enabled = true;
+  service::SolveService svc(cfg);
+
+  const workloads::Workload w = workloads::fig9_case();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() / 2;
+  const select::Selection cold = flow.value()->select(rg);
+
+  std::string expected_marker = "miss";
+  for (int i = 0; i < 3; ++i) {
+    service::SolveRequest req;
+    req.workload = workloads::fig9_case();
+    req.required_gain = rg;
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+    ASSERT_EQ(r.state, service::RequestState::kCompleted) << r.error.render();
+    EXPECT_EQ(r.cache, expected_marker) << "iteration " << i;
+    EXPECT_EQ(select::solution_signature(r.selection),
+              select::solution_signature(cold))
+        << "iteration " << i;
+    expected_marker = "hit";
+  }
+
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.cache_lookups, 3u);
+  EXPECT_EQ(st.cache_hits, 2u);
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.cache_insertions, 1u);
+}
+
+TEST(SolveServiceCache, DerivedGainRequestsShareOneEntry) {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_enabled = true;
+  service::SolveService svc(cfg);
+
+  for (int i = 0; i < 2; ++i) {
+    service::SolveRequest req;
+    req.workload = workloads::fig10_case();
+    req.required_gain = -1;  // derived: max_feasible_gain/2
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+    ASSERT_EQ(r.state, service::RequestState::kCompleted) << r.error.render();
+    EXPECT_EQ(r.cache, i == 0 ? "miss" : "hit");
+  }
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+}
+
+TEST(SolveServiceCache, NeighborSeedingAnswersMatchColdSolves) {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_enabled = true;
+  service::SolveService svc(cfg);
+
+  const workloads::Workload w = workloads::gsm_encoder();
+  const auto flow = select::Flow::create(w.module, w.library);
+  ASSERT_TRUE(flow.ok());
+  const std::int64_t rg = flow.value()->max_feasible_gain() / 2;
+
+  // Warm the group, then near-repeat at perturbed gains: every answer must
+  // match its own cold solve exactly, seeded or not.
+  for (const std::int64_t g : {rg, rg - 1, rg + 3, rg / 2}) {
+    service::SolveRequest req;
+    req.workload = workloads::gsm_encoder();
+    req.required_gain = g;
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+    ASSERT_EQ(r.state, service::RequestState::kCompleted) << r.error.render();
+    const select::Selection cold = flow.value()->select(g);
+    EXPECT_EQ(select::solution_signature(r.selection),
+              select::solution_signature(cold))
+        << "gain " << g << " (cache=" << r.cache << ")";
+    if (g != rg) {
+      EXPECT_EQ(r.cache, "neighbor");
+    }
+  }
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.cache_neighbor_seeds, 3u);
+  EXPECT_EQ(st.cache_insertions, 4u);
+}
+
+TEST(SolveServiceCache, DifferentTenantsAndOptionsNeverShareAnswers) {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_enabled = true;
+  cfg.cache_neighbor_seeding = false;
+  service::SolveService svc(cfg);
+
+  const auto run = [&](const std::string& tenant, int max_nodes) {
+    service::SolveRequest req;
+    req.workload = workloads::fig9_case();
+    req.required_gain = 50;
+    req.tenant = tenant;
+    req.options.ilp.max_nodes = max_nodes;
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+    EXPECT_EQ(r.state, service::RequestState::kCompleted) << r.error.render();
+    return r.cache;
+  };
+
+  EXPECT_EQ(run("alice", 200000), "miss");
+  EXPECT_EQ(run("alice", 200000), "hit");
+  EXPECT_EQ(run("bob", 200000), "miss");      // tenant namespacing
+  EXPECT_EQ(run("alice", 100000), "miss");    // option change invalidates
+  EXPECT_EQ(run("alice", 100000), "hit");
+
+  svc.invalidate_cache();
+  EXPECT_EQ(run("alice", 200000), "miss");    // stale after invalidation
+  EXPECT_GE(svc.stats().cache_stale, 1u);
+}
+
+// Regression (found by `partita_fuzz --mode cache`): two specs can build
+// bit-identical ILP models while their libraries index the physical IPs
+// differently -- here an IP that implements only a never-called kernel sits
+// on either side of the used one. Serving the first spec's cached Selection
+// for the second would report the wrong library slot in ips_used, so the
+// cache key must cover the column -> (s-call, IP, interface) decode map and
+// force a miss.
+TEST(SolveServiceCache, ModelIdenticalSpecsWithDifferentIpIndicesMiss) {
+  workloads::InstanceSpec base;
+  base.name = "decode_map_a";
+  base.kernel_cycles = {4000, 9000};
+  workloads::SpecCallSite site;
+  site.kernel = 0;
+  base.sites = {site};
+
+  workloads::SpecIp used;  // implements the called kernel
+  used.area = 5.0;
+  used.functions = {{/*kernel=*/0, /*cycles=*/400, /*n_in=*/8, /*n_out=*/8}};
+  workloads::SpecIp decoy;  // implements only the never-called kernel
+  decoy.area = 5.0;
+  decoy.functions = {{/*kernel=*/1, /*cycles=*/900, /*n_in=*/8, /*n_out=*/8}};
+
+  workloads::InstanceSpec swapped = base;
+  swapped.name = "decode_map_b";
+  base.ips = {used, decoy};
+  swapped.ips = {decoy, used};
+
+  const workloads::Workload wa = workloads::spec_workload(base);
+  const workloads::Workload wb = workloads::spec_workload(swapped);
+  const auto fa = select::Flow::create(wa.module, wa.library);
+  const auto fb = select::Flow::create(wb.module, wb.library);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+
+  // The premise of the regression: the models collide, the decode maps do
+  // not. If either assert fails the test no longer covers the collision.
+  const select::SelectOptions opt;
+  ASSERT_EQ(ilp::fingerprint_model(fa.value()->selector().build_model({1}, opt)),
+            ilp::fingerprint_model(fb.value()->selector().build_model({1}, opt)));
+  ASSERT_NE(fa.value()->selector().answer_map_digest(),
+            fb.value()->selector().answer_map_digest());
+
+  const select::Selection cold_a = fa.value()->select(1);
+  const select::Selection cold_b = fb.value()->select(1);
+  ASSERT_TRUE(cold_a.feasible);
+  ASSERT_TRUE(cold_b.feasible);
+  // Same physical answer, different library indices -- the signatures differ.
+  ASSERT_NE(select::solution_signature(cold_a), select::solution_signature(cold_b));
+
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_enabled = true;
+  service::SolveService svc(cfg);
+
+  const auto ask = [&](const workloads::Workload& w) {
+    service::SolveRequest req;
+    req.workload = w;
+    req.required_gain = 1;
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+    EXPECT_EQ(r.state, service::RequestState::kCompleted) << r.error.render();
+    return r;
+  };
+
+  const service::SolveResponse ra = ask(wa);
+  EXPECT_EQ(ra.cache, "miss");
+  EXPECT_EQ(select::solution_signature(ra.selection),
+            select::solution_signature(cold_a));
+
+  const service::SolveResponse rb = ask(wb);
+  EXPECT_EQ(rb.cache, "miss");  // a hit here would serve the wrong decode map
+  EXPECT_EQ(select::solution_signature(rb.selection),
+            select::solution_signature(cold_b));
+  svc.shutdown();
+}
+
+TEST(SolveServiceCache, DisabledCacheLeavesBehaviorAndCountersUntouched) {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  service::SolveService svc(cfg);
+
+  service::SolveRequest req;
+  req.workload = workloads::fig9_case();
+  req.required_gain = 50;
+  const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+  ASSERT_EQ(r.state, service::RequestState::kCompleted);
+  EXPECT_EQ(r.cache, "");
+  const service::ServiceStats st = svc.stats();
+  EXPECT_EQ(st.cache_lookups, 0u);
+  EXPECT_EQ(st.cache_hits + st.cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace partita

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "select/flow.hpp"
 #include "service/solve_service.hpp"
 #include "support/fault_injection.hpp"
 #include "workloads/random_workload.hpp"
@@ -62,6 +63,143 @@ service::SolveRequest make_request(std::mt19937_64& rng, int index) {
   // A few requests solve multi-threaded inside one worker slot.
   req.options.ilp.threads = 1 + static_cast<int>(rng() % 2) * 2;
   return req;
+}
+
+// Cache-enabled storm: random repeats of a small base set (so hits are
+// frequent), random cancels, a transient service fault, random per-request
+// thread counts and a mid-storm invalidation. The invariants: every
+// completed answer -- hit, neighbor-seeded or cold -- is bit-identical to
+// the precomputed cold solve of its (workload, gain), so no stale or torn
+// entry is ever served; a cancelled solve never populates the cache; and the
+// cache counters balance (hits + misses == lookups).
+void cache_storm(int requests, std::uint64_t seed) {
+  struct Base {
+    workloads::Workload (*make)();
+    std::int64_t gain = 0;
+    std::string cold_sig;
+  };
+  std::vector<Base> bases;
+  for (workloads::Workload (*make)() :
+       {workloads::fig9_case, workloads::fig10_case, workloads::gsm_decoder}) {
+    const workloads::Workload w = make();
+    const auto flow = select::Flow::create(w.module, w.library);
+    SOAK_CHECK(flow.ok(), "cache storm: base workload failed verification");
+    if (!flow.ok()) continue;
+    const std::int64_t gmax = flow.value()->max_feasible_gain();
+    for (const std::int64_t g : {gmax / 2, gmax / 2 - 3}) {
+      bases.push_back(
+          {make, g, select::solution_signature(flow.value()->select(g))});
+    }
+  }
+
+  auto& fi = support::FaultInjector::instance();
+  fi.arm("service.transient", /*trip_at=*/5, /*sticky=*/false);
+
+  service::ServiceConfig cfg;
+  cfg.workers = 4;
+  cfg.max_queue_depth = static_cast<std::size_t>(requests);
+  cfg.cache_enabled = true;
+  cfg.cache_capacity = 16;
+  service::SolveService svc(cfg);
+
+  std::mt19937_64 rng(seed ^ 0xcafef00dULL);
+  std::vector<std::uint64_t> tickets;
+  std::vector<std::size_t> base_of;
+  for (int i = 0; i < requests; ++i) {
+    const std::size_t b = rng() % bases.size();
+    service::SolveRequest req;
+    req.workload = bases[b].make();
+    req.required_gain = bases[b].gain;
+    req.label = "cache_storm_" + std::to_string(i);
+    // Thread count must neither fragment the cache nor change answers.
+    req.options.ilp.threads = 1 + static_cast<int>(rng() % 2) * 2;
+    tickets.push_back(svc.submit(std::move(req)));
+    base_of.push_back(b);
+    if (rng() % 5 == 0) svc.cancel(tickets[rng() % tickets.size()]);
+    if (i == requests / 2) svc.invalidate_cache();
+  }
+
+  std::uint64_t completed = 0, cancelled = 0, other = 0;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const service::SolveResponse r = svc.wait(tickets[i]);
+    switch (r.state) {
+      case service::RequestState::kCompleted:
+        ++completed;
+        SOAK_CHECK(select::solution_signature(r.selection) ==
+                       bases[base_of[i]].cold_sig,
+                   "cache storm: ticket %llu (cache=%s) diverged from cold solve",
+                   static_cast<unsigned long long>(tickets[i]), r.cache.c_str());
+        break;
+      case service::RequestState::kCancelled: ++cancelled; break;
+      default: ++other; break;
+    }
+  }
+  fi.reset();
+
+  const service::ServiceStats st = svc.stats();
+  SOAK_CHECK(st.cache_hits + st.cache_misses == st.cache_lookups,
+             "cache storm: hits %llu + misses %llu != lookups %llu",
+             static_cast<unsigned long long>(st.cache_hits),
+             static_cast<unsigned long long>(st.cache_misses),
+             static_cast<unsigned long long>(st.cache_lookups));
+  SOAK_CHECK(st.cache_neighbor_seeds <= st.cache_misses,
+             "cache storm: more neighbor seeds than misses");
+  // Only completed solves insert (cancelled/failed attempts must not), and
+  // retried attempts may look up more than once.
+  SOAK_CHECK(st.cache_insertions <= completed + st.retries,
+             "cache storm: %llu insertions from %llu completions",
+             static_cast<unsigned long long>(st.cache_insertions),
+             static_cast<unsigned long long>(completed));
+  SOAK_CHECK(completed > 0 && st.cache_hits > 0,
+             "cache storm: served no cached answers (completed %llu, hits %llu)",
+             static_cast<unsigned long long>(completed),
+             static_cast<unsigned long long>(st.cache_hits));
+
+  svc.shutdown();
+  std::printf(
+      "soak: cache storm %d requests -> %llu completed, %llu cancelled, "
+      "%llu other; %llu hits / %llu neighbor / %llu misses, %llu stale, "
+      "%llu insertions\n",
+      requests, static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(other),
+      static_cast<unsigned long long>(st.cache_hits),
+      static_cast<unsigned long long>(st.cache_neighbor_seeds),
+      static_cast<unsigned long long>(st.cache_misses),
+      static_cast<unsigned long long>(st.cache_stale),
+      static_cast<unsigned long long>(st.cache_insertions));
+}
+
+// Deterministic cancelled-never-populates check: a paused service queues a
+// request, the cancel lands while it is still queued (never runs), and the
+// identical follow-up must therefore MISS -- a hit would mean the cancelled
+// request reached the cache.
+void cancelled_populates_nothing() {
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_enabled = true;
+  cfg.start_paused = true;
+  service::SolveService svc(cfg);
+
+  service::SolveRequest req;
+  req.workload = workloads::adpcm_codec();
+  req.required_gain = 100;
+  const std::uint64_t doomed = svc.submit(std::move(req));
+  SOAK_CHECK(svc.cancel(doomed), "paused cancel refused");
+  svc.resume();
+  SOAK_CHECK(svc.wait(doomed).state == service::RequestState::kCancelled,
+             "queued cancel did not turn terminal kCancelled");
+
+  service::SolveRequest again;
+  again.workload = workloads::adpcm_codec();
+  again.required_gain = 100;
+  const service::SolveResponse r = svc.wait(svc.submit(std::move(again)));
+  SOAK_CHECK(r.state == service::RequestState::kCompleted,
+             "follow-up after cancel did not complete");
+  SOAK_CHECK(r.cache == "miss",
+             "cancelled request populated the cache (follow-up served '%s')",
+             r.cache.c_str());
+  svc.shutdown();
 }
 
 }  // namespace
@@ -161,6 +299,11 @@ int main(int argc, char** argv) {
   SOAK_CHECK(r.attempts == 1, "fresh request needed %d attempts", r.attempts);
 
   svc.shutdown();
+
+  // Second act: the cache-enabled storm plus the deterministic
+  // cancelled-never-populates check (see the function comments).
+  cache_storm(requests, seed);
+  cancelled_populates_nothing();
 
   std::printf(
       "soak: %d requests -> %llu completed, %llu cancelled, %llu rejected, "

@@ -321,6 +321,7 @@ TEST(Codec, ResponseWithResultRoundTrip) {
   r.label = "gsm_encoder";
   r.state = "completed";
   r.attempts = 2;
+  r.cache = "neighbor";
   WireSelection s;
   s.feasible = true;
   s.chosen = {0, 3, 5};
@@ -346,6 +347,7 @@ TEST(Codec, ResponseWithResultRoundTrip) {
   EXPECT_EQ(back->result->ticket, 17u);
   EXPECT_EQ(back->result->state, "completed");
   EXPECT_EQ(back->result->attempts, 2);
+  EXPECT_EQ(back->result->cache, "neighbor");
   ASSERT_TRUE(back->result->selection.has_value());
   const WireSelection& b = *back->result->selection;
   // key() compares every solution-defining field; doubles must be
@@ -402,6 +404,53 @@ TEST(Codec, StatsResponseRoundTrip) {
   EXPECT_EQ(back->stats.at("submitted"), 12.0);
   EXPECT_EQ(back->stats.at("sched_backfills"), 3.0);
   EXPECT_EQ(back->policy, "priority");
+}
+
+TEST(Codec, CacheMarkerDefaultsEmptyAndOmitted) {
+  // A cacheless server sends no "cache" field at all; the decoder must leave
+  // the marker empty rather than inventing one.
+  WireResponse resp;
+  resp.verb = "wait";
+  resp.ok = true;
+  WireResult r;
+  r.ticket = 4;
+  r.state = "completed";
+  resp.result = r;
+  const std::string payload = encode_response(resp);
+  EXPECT_EQ(payload.find("\"cache\""), std::string::npos);
+  std::string err;
+  const auto back = decode_response(payload, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  ASSERT_TRUE(back->result.has_value());
+  EXPECT_EQ(back->result->cache, "");
+}
+
+TEST(Codec, CacheStatsPayloadRoundTripsExactDoubles) {
+  // The stats verb carries the solution-cache counters as doubles; they must
+  // survive the trip bit-identically even at the integer-precision edge
+  // (2^53 - 1) and for awkward fractions.
+  WireResponse resp;
+  resp.verb = "stats";
+  resp.ok = true;
+  resp.stats = {{"cache_lookups", 9007199254740991.0},
+                {"cache_hits", 1.0 / 3.0},
+                {"cache_misses", 12345678901234.0},
+                {"cache_neighbor_seeds", 7.0},
+                {"cache_insertions", 42.0},
+                {"cache_evictions", 0.0},
+                {"cache_stale", 3.0},
+                {"cache_seed_fallbacks", 1.0}};
+  std::string err;
+  const auto back = decode_response(encode_response(resp), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->stats.at("cache_lookups"), 9007199254740991.0);
+  EXPECT_EQ(back->stats.at("cache_hits"), 1.0 / 3.0);
+  EXPECT_EQ(back->stats.at("cache_misses"), 12345678901234.0);
+  EXPECT_EQ(back->stats.at("cache_neighbor_seeds"), 7.0);
+  EXPECT_EQ(back->stats.at("cache_insertions"), 42.0);
+  EXPECT_EQ(back->stats.at("cache_evictions"), 0.0);
+  EXPECT_EQ(back->stats.at("cache_stale"), 3.0);
+  EXPECT_EQ(back->stats.at("cache_seed_fallbacks"), 1.0);
 }
 
 TEST(Codec, SelectionKeyDistinguishesSolutions) {

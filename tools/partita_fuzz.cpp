@@ -7,17 +7,33 @@
 //
 //   partita_fuzz --instances 500 --seed 1 --scalls 8        # exact mode
 //   partita_fuzz --mode sandwich --instances 100 --scalls 18
+//   partita_fuzz --mode cache --instances 500 --seed 1      # cache consistency
 //   partita_fuzz --replay tests/fixtures/shrunk.json
 //
+// `--mode cache` is the cache-consistency harness (docs/caching.md): it
+// streams a mix of fresh, exact-duplicate, RHS-perturbed (same structure,
+// shifted required gain) and permuted-but-equivalent (IP library reordered)
+// instances through a cache-enabled service::SolveService, and checks every
+// answer -- hit, neighbor-seeded or miss -- bit-identically against a cold
+// one-shot Flow::select of the same instance (select::solution_signature).
+// Permuted duplicates additionally cross-check feasibility and optimal area
+// against the original's cold answer. A divergence is ddmin-shrunk and
+// dumped as a replayable fixture like exact mode.
+//
 // Exit codes: 0 all instances agree, 1 divergence found, 2 usage error.
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "oracle/differential.hpp"
 #include "oracle/fixture.hpp"
 #include "oracle/shrink.hpp"
+#include "select/flow.hpp"
+#include "service/solve_service.hpp"
 #include "workloads/random_workload.hpp"
 
 namespace {
@@ -42,7 +58,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: partita_fuzz [--instances N] [--seed S] [--scalls N]\n"
                "                    [--kernels N] [--ips N] [--branch-groups N]\n"
-               "                    [--hierarchy DEPTH] [--mode exact|sandwich]\n"
+               "                    [--hierarchy DEPTH] [--mode exact|sandwich|cache]\n"
                "                    [--no-shrink] [--fixture-dir DIR]\n"
                "                    [--replay FIXTURE.json]\n");
 }
@@ -137,6 +153,228 @@ int run_sandwich(const Args& args) {
   return failures ? 1 : 0;
 }
 
+// --- cache consistency mode -------------------------------------------------
+
+std::uint64_t splitmix(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Reorders the spec's IP library with a seeded Fisher-Yates shuffle: the
+/// instance is mathematically equivalent, but IMP enumeration order -- and
+/// therefore the ILP's column order -- changes, so its canonical optimum may
+/// legitimately differ in the chosen set while agreeing on feasibility and
+/// optimal area.
+workloads::InstanceSpec permute_spec(const workloads::InstanceSpec& spec,
+                                     std::uint64_t seed) {
+  workloads::InstanceSpec p = spec;
+  for (std::size_t i = p.ips.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(splitmix(&seed) % i);
+    std::swap(p.ips[i - 1], p.ips[j]);
+  }
+  return p;
+}
+
+/// Cold one-shot reference for a spec at a literal gain, under the service's
+/// default options. Returns false when the spec does not pass Flow
+/// verification (then it cannot be submitted either).
+bool cold_reference(const workloads::InstanceSpec& spec, std::int64_t gain,
+                    select::Selection* out) {
+  const workloads::Workload wl = workloads::spec_workload(spec);
+  const auto flow = select::Flow::create(wl.module, wl.library);
+  if (!flow.ok()) return false;
+  *out = flow.value()->select(gain);
+  return true;
+}
+
+/// The shrink predicate: does a cache-enabled service diverge from a cold
+/// solve on this spec (using spec.required_gain as the literal gain)? Runs
+/// the smallest stream that exercises every cache path: miss (insert), exact
+/// hit, and a neighbor-seeded near-miss at gain-1.
+bool cache_inconsistent(const workloads::InstanceSpec& spec) {
+  if (!workloads::spec_valid(spec)) return false;
+  const std::int64_t gain = spec.required_gain;
+  select::Selection cold;
+  if (!cold_reference(spec, gain, &cold)) return false;
+
+  service::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.cache_enabled = true;
+  service::SolveService svc(cfg);
+  for (int round = 0; round < 2; ++round) {
+    service::SolveRequest req;
+    req.workload = workloads::spec_workload(spec);
+    req.required_gain = gain;
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+    if (r.state != service::RequestState::kCompleted) return true;
+    if (select::solution_signature(r.selection) != select::solution_signature(cold)) {
+      return true;
+    }
+  }
+  if (gain > 1) {
+    select::Selection near_cold;
+    if (!cold_reference(spec, gain - 1, &near_cold)) return false;
+    service::SolveRequest req;
+    req.workload = workloads::spec_workload(spec);
+    req.required_gain = gain - 1;
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+    if (r.state != service::RequestState::kCompleted) return true;
+    if (select::solution_signature(r.selection) !=
+        select::solution_signature(near_cold)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int run_cache(const Args& args) {
+  const workloads::InstanceGenParams params = gen_params(args);
+  std::uint64_t rng = args.seed * 0x9e3779b97f4a7c15ULL + 1;
+
+  service::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.cache_enabled = true;
+  // Small enough that long streams also exercise eviction + re-insert.
+  cfg.cache_capacity = 64;
+  service::SolveService svc(cfg);
+
+  /// One issued instance the stream can replay against later.
+  struct Issued {
+    workloads::InstanceSpec spec;
+    std::int64_t gain = 0;
+    bool cold_feasible = false;
+    double cold_area = 0.0;
+  };
+  std::vector<Issued> history;
+
+  int failures = 0, skipped = 0;
+  int fresh = 0, duplicates = 0, perturbed = 0, permuted = 0;
+  int hits = 0, neighbors = 0, misses = 0;
+
+  for (int i = 0; i < args.instances; ++i) {
+    workloads::InstanceSpec spec;
+    std::int64_t gain = 0;
+    const Issued* base = nullptr;
+    bool is_permuted = false;
+
+    const std::uint64_t roll = history.empty() ? 0 : splitmix(&rng) % 100;
+    if (history.empty() || roll < 35) {
+      // Fresh instance: resolve a mid-range gain from a cold max-gain probe
+      // so duplicates and perturbations can reference a literal number.
+      spec = workloads::random_instance_spec(
+          params, args.seed + static_cast<std::uint64_t>(i));
+      const workloads::Workload wl = workloads::spec_workload(spec);
+      const auto flow = select::Flow::create(wl.module, wl.library);
+      if (!flow.ok()) {
+        ++skipped;
+        continue;
+      }
+      const std::int64_t gmax = flow.value()->max_feasible_gain();
+      gain = gmax > 1 ? gmax / 2 : 1;
+      ++fresh;
+    } else {
+      base = &history[splitmix(&rng) % history.size()];
+      spec = base->spec;
+      gain = base->gain;
+      if (roll < 65) {
+        ++duplicates;  // exact repeat: must be a cache hit
+      } else if (roll < 85) {
+        // RHS perturbation: same structure, shifted required gain -- a
+        // near-miss that exercises neighbor seeding.
+        const std::int64_t delta =
+            1 + static_cast<std::int64_t>(splitmix(&rng) % 5);
+        gain = (splitmix(&rng) & 1) != 0 ? gain + delta
+                                         : (gain > delta ? gain - delta : 1);
+        ++perturbed;
+        base = nullptr;  // different gain: no equivalence cross-check
+      } else {
+        spec = permute_spec(spec, splitmix(&rng));
+        is_permuted = true;
+        ++permuted;
+      }
+    }
+    spec.required_gain = gain;
+
+    select::Selection cold;
+    if (!cold_reference(spec, gain, &cold)) {
+      ++skipped;
+      continue;
+    }
+    service::SolveRequest req;
+    req.workload = workloads::spec_workload(spec);
+    req.required_gain = gain;
+    const service::SolveResponse r = svc.wait(svc.submit(std::move(req)));
+
+    std::string detail;
+    if (r.state != service::RequestState::kCompleted) {
+      detail = "service did not complete: " + r.error.render();
+    } else if (select::solution_signature(r.selection) !=
+               select::solution_signature(cold)) {
+      detail = "cache=" + r.cache + " answer differs from cold solve:\n  service " +
+               select::solution_signature(r.selection) + "\n  cold    " +
+               select::solution_signature(cold);
+    } else if (is_permuted && base != nullptr &&
+               (cold.feasible != base->cold_feasible ||
+                (cold.feasible &&
+                 std::fabs(cold.total_area() - base->cold_area) >
+                     1e-6 * (1.0 + std::fabs(base->cold_area))))) {
+      detail = "permuted-equivalent instance changed the optimum: area " +
+               std::to_string(cold.total_area()) + " vs " +
+               std::to_string(base->cold_area);
+    }
+
+    if (r.state == service::RequestState::kCompleted) {
+      if (r.cache == "hit") ++hits;
+      else if (r.cache == "neighbor") ++neighbors;
+      else ++misses;
+    }
+
+    if (detail.empty()) {
+      if (history.size() < 512) {
+        history.push_back({spec, gain, cold.feasible,
+                           cold.feasible ? cold.total_area() : 0.0});
+      }
+      continue;
+    }
+
+    ++failures;
+    std::fprintf(stderr, "instance %d (gain %lld) DIVERGES: %s\n", i,
+                 static_cast<long long>(gain), detail.c_str());
+    workloads::InstanceSpec repro = spec;
+    if (args.shrink && cache_inconsistent(spec)) {
+      oracle::ShrinkStats stats;
+      repro = oracle::shrink_spec(spec, cache_inconsistent, &stats);
+      std::fprintf(stderr, "  shrunk to %zu sites / %zu ips (%d probes)\n",
+                   repro.sites.size(), repro.ips.size(), stats.predicate_calls);
+    }
+    const std::string path =
+        args.fixture_dir + "/fuzz_cache_" + std::to_string(i) + ".json";
+    if (oracle::write_fixture(path, repro)) {
+      std::fprintf(stderr, "  fixture written to %s\n", path.c_str());
+    }
+  }
+
+  const service::ServiceStats st = svc.stats();
+  if (st.cache_hits + st.cache_misses != st.cache_lookups) {
+    ++failures;
+    std::fprintf(stderr, "counter invariant broken: hits %llu + misses %llu != "
+                 "lookups %llu\n",
+                 static_cast<unsigned long long>(st.cache_hits),
+                 static_cast<unsigned long long>(st.cache_misses),
+                 static_cast<unsigned long long>(st.cache_lookups));
+  }
+  std::printf(
+      "partita_fuzz cache: %d instances (%d fresh, %d dup, %d perturbed, "
+      "%d permuted), %d skipped, served %d hit / %d neighbor / %d miss "
+      "(%llu seed fallbacks), %d divergences\n",
+      args.instances, fresh, duplicates, perturbed, permuted, skipped, hits,
+      neighbors, misses, static_cast<unsigned long long>(st.cache_seed_fallbacks),
+      failures);
+  return failures ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +425,7 @@ int main(int argc, char** argv) {
   if (!args.replay.empty()) return replay_fixture(args.replay);
   if (args.mode == "exact") return run_exact(args);
   if (args.mode == "sandwich") return run_sandwich(args);
+  if (args.mode == "cache") return run_cache(args);
   std::fprintf(stderr, "partita_fuzz: unknown mode '%s'\n", args.mode.c_str());
   usage();
   return 2;

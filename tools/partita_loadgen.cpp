@@ -26,6 +26,15 @@
 // (submit every GAP ms regardless of completions, collect asynchronously
 // over the same multiplexed connection).
 //
+// Cache traffic shaping: --repeat-fraction P resubmits an already-issued
+// request verbatim with probability P (exact-hit material for the solution
+// cache), --perturb-fraction Q resubmits one with a shifted required gain
+// (near-miss material for neighbor seeding). Either implies --cache for
+// self-serve runs; in --connect mode boot partita_serve with --cache. Each
+// run's per-request cache markers are tallied into a "cache" block of the
+// serve section (hit/neighbor/miss/bypass + hit_rate), and a baseline with
+// serve.cache_hit_rate_min gates the observed hit rate.
+//
 // The zero-lost-terminal-state assertion is always on: every submitted
 // request must be observed reaching exactly one terminal state over the
 // wire, else exit 1.
@@ -77,13 +86,18 @@ struct Options {
   bool no_out = false;
   std::string check_path;
   bool require_priority_win = false;
+  double repeat_fraction = 0.0;           // P(resubmit an issued request verbatim)
+  double perturb_fraction = 0.0;          // P(resubmit with a shifted gain)
+  bool cache = false;                     // self-serve: enable the solution cache
 };
 
-/// One observed request: its class, end-to-end latency and terminal state.
+/// One observed request: its class, end-to-end latency, terminal state and
+/// solution-cache marker ("" when the service runs cacheless).
 struct Rec {
   int klass = service::kPriorityStandard;
   double ms = 0.0;
   std::string state;
+  std::string cache;
 };
 
 struct RunResult {
@@ -105,7 +119,8 @@ double ms_since(SteadyClock::time_point t0) {
       "  [--scenario smoke|mixed|storm] [--arrival closed|open:GAPMS]\n"
       "  [--sessions N] [--requests N] [--cancel-prob P] [--seed S]\n"
       "  [--workers N] [--queue-depth N] [--out PATH | --no-out]\n"
-      "  [--check BASELINE] [--require-priority-win]\n");
+      "  [--check BASELINE] [--require-priority-win]\n"
+      "  [--repeat-fraction P] [--perturb-fraction P] [--cache]\n");
   std::exit(kExitUsage);
 }
 
@@ -195,6 +210,45 @@ net::WireRequest make_request(const std::string& scenario, const Scenario& sc,
   return req;
 }
 
+/// Fixed literal required gain per built-in (all comfortably feasible), so
+/// exact repeats of the same built-in collide on the cache key by
+/// construction and perturbations stay near a feasible operating point.
+std::int64_t builtin_gain(const std::string& workload) {
+  if (workload == "fig9" || workload == "fig10" || workload == "adpcm_codec") {
+    return 10000;
+  }
+  return 50000;
+}
+
+/// Per-session request stream with cross-request repetition (see the header
+/// comment): issued requests are replayed verbatim (--repeat-fraction) or
+/// with a shifted gain (--perturb-fraction).
+struct RequestStream {
+  std::vector<net::WireRequest> issued;
+
+  net::WireRequest next(const std::string& scenario, const Scenario& sc, int session,
+                        int k, std::mt19937_64& rng, const Options& opt) {
+    const double roll = std::uniform_real_distribution<double>(0, 1)(rng);
+    if (!issued.empty() && roll < opt.repeat_fraction) {
+      return issued[rng() % issued.size()];
+    }
+    if (!issued.empty() && roll < opt.repeat_fraction + opt.perturb_fraction) {
+      net::WireRequest req = issued[rng() % issued.size()];
+      if (req.gains.empty() && req.required_gain > 0) {
+        req.required_gain += 1 + static_cast<std::int64_t>(rng() % 7);
+      }
+      return req;
+    }
+    net::WireRequest req = make_request(scenario, sc, session, k, rng);
+    if (opt.repeat_fraction + opt.perturb_fraction > 0 && req.gains.empty() &&
+        !req.workload.empty()) {
+      req.required_gain = builtin_gain(req.workload);
+    }
+    issued.push_back(req);
+    return req;
+  }
+};
+
 // --- session drivers --------------------------------------------------------
 
 struct SharedRun {
@@ -221,8 +275,9 @@ void session_closed(const std::string& endpoint, const std::string& scenario,
     return;
   }
   std::mt19937_64 rng(opt.seed * 1000003 + static_cast<std::uint64_t>(session));
+  RequestStream stream;
   for (int k = 0; k < sc.requests; ++k) {
-    net::WireRequest req = make_request(scenario, sc, session, k, rng);
+    net::WireRequest req = stream.next(scenario, sc, session, k, rng, opt);
     const int klass = req.priority;
     const auto t0 = SteadyClock::now();
     {
@@ -237,7 +292,7 @@ void session_closed(const std::string& endpoint, const std::string& scenario,
       continue;
     }
     if (sub->state == "rejected") {
-      record(out, {klass, ms_since(t0), "rejected"});
+      record(out, {klass, ms_since(t0), "rejected", ""});
       continue;
     }
     const std::uint64_t ticket = sub->tickets.empty() ? 0 : sub->tickets.front();
@@ -258,7 +313,7 @@ void session_closed(const std::string& endpoint, const std::string& scenario,
       if (!done) return;
       continue;
     }
-    record(out, {klass, ms_since(t0), done->result->state});
+    record(out, {klass, ms_since(t0), done->result->state, done->result->cache});
   }
 }
 
@@ -279,12 +334,13 @@ void session_open(const std::string& endpoint, const std::string& scenario,
     SteadyClock::time_point t0;
   };
   std::map<std::uint64_t, InFlight> waiting;  // wait-id -> submit time
+  RequestStream stream;
   for (int k = 0; k < sc.requests; ++k) {
     if (k > 0) {
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(opt.open_gap_ms));
     }
-    net::WireRequest req = make_request(scenario, sc, session, k, rng);
+    net::WireRequest req = stream.next(scenario, sc, session, k, rng, opt);
     const int klass = req.priority;
     const auto t0 = SteadyClock::now();
     {
@@ -299,7 +355,7 @@ void session_open(const std::string& endpoint, const std::string& scenario,
       continue;
     }
     if (sub->state == "rejected") {
-      record(out, {klass, ms_since(t0), "rejected"});
+      record(out, {klass, ms_since(t0), "rejected", ""});
       continue;
     }
     const std::uint64_t ticket = sub->tickets.empty() ? 0 : sub->tickets.front();
@@ -333,7 +389,8 @@ void session_open(const std::string& endpoint, const std::string& scenario,
     auto it = waiting.find(resp->id);
     if (it == waiting.end()) continue;  // cancel ack or stray
     if (resp->result) {
-      record(out, {it->second.klass, ms_since(it->second.t0), resp->result->state});
+      record(out, {it->second.klass, ms_since(it->second.t0), resp->result->state,
+                   resp->result->cache});
     } else {
       std::lock_guard<std::mutex> lk(out.mu);
       ++out.lost;
@@ -400,6 +457,26 @@ std::uint64_t count_state(const RunResult& r, const char* state) {
   return n;
 }
 
+/// Solution-cache outcome tallies of one run, from the per-request markers.
+struct CacheTally {
+  std::uint64_t hit = 0, neighbor = 0, miss = 0, bypass = 0;
+  std::uint64_t probed() const { return hit + neighbor + miss; }
+  double hit_rate() const {
+    return probed() > 0 ? static_cast<double>(hit) / static_cast<double>(probed()) : 0.0;
+  }
+};
+
+CacheTally cache_tally(const RunResult& r) {
+  CacheTally t;
+  for (const Rec& rec : r.recs) {
+    if (rec.cache == "hit") ++t.hit;
+    else if (rec.cache == "neighbor") ++t.neighbor;
+    else if (rec.cache == "miss") ++t.miss;
+    else if (rec.cache == "bypass") ++t.bypass;
+  }
+  return t;
+}
+
 std::string result_json(const RunResult& r) {
   namespace json = support::json;
   using json::fmt_double;
@@ -413,8 +490,13 @@ std::string result_json(const RunResult& r) {
      << ", \"completed\": " << count_state(r, "completed")
      << ", \"cancelled\": " << count_state(r, "cancelled")
      << ", \"rejected\": " << count_state(r, "rejected")
-     << ", \"failed\": " << count_state(r, "failed") << ", \"lost\": " << r.lost
-     << ", \"classes\": {";
+     << ", \"failed\": " << count_state(r, "failed") << ", \"lost\": " << r.lost;
+  if (const CacheTally t = cache_tally(r); t.probed() + t.bypass > 0) {
+    os << ", \"cache\": {\"hit\": " << t.hit << ", \"neighbor\": " << t.neighbor
+       << ", \"miss\": " << t.miss << ", \"bypass\": " << t.bypass
+       << ", \"hit_rate\": " << fmt_double(t.hit_rate()) << "}";
+  }
+  os << ", \"classes\": {";
   bool first = true;
   for (int klass = 0; klass < service::kPriorityClasses; ++klass) {
     const std::vector<double> xs = served_latencies(r, klass);
@@ -447,6 +529,14 @@ void print_summary(const RunResult& r) {
     std::printf("           %-12s %4zu reqs  p50 %8.2fms  p99 %8.2fms\n",
                 service::priority_name(klass), xs.size(), percentile(xs, 0.50),
                 percentile(xs, 0.99));
+  }
+  if (const CacheTally t = cache_tally(r); t.probed() + t.bypass > 0) {
+    std::printf("           cache: %llu hit / %llu neighbor / %llu miss / "
+                "%llu bypass (hit rate %.2f)\n",
+                static_cast<unsigned long long>(t.hit),
+                static_cast<unsigned long long>(t.neighbor),
+                static_cast<unsigned long long>(t.miss),
+                static_cast<unsigned long long>(t.bypass), t.hit_rate());
   }
 }
 
@@ -508,22 +598,54 @@ int check_baseline(const std::string& path, const std::vector<RunResult>& runs) 
     return 1;
   }
   const json::Object* serve = json::object_or_null(doc->object(), "serve");
+  int rc = 0;
   const double ceiling = serve ? json::num_or(*serve, "p99_ms_max", -1) : -1;
   if (ceiling <= 0) {
     std::fprintf(stderr, "partita_loadgen: baseline lacks serve.p99_ms_max; gate skipped\n");
-    return 0;
+  } else {
+    double worst = 0;
+    for (const RunResult& r : runs) {
+      worst = std::max(worst, percentile(served_latencies(r, -1), 0.99));
+    }
+    std::printf("gate serve.p99_ms: ceiling %.0f, observed %.1f\n", ceiling, worst);
+    if (worst > ceiling) {
+      std::fprintf(stderr, "partita_loadgen: REGRESSION: p99 %.1fms over ceiling %.0fms\n",
+                   worst, ceiling);
+      rc = 1;
+    }
   }
-  double worst = 0;
-  for (const RunResult& r : runs) {
-    worst = std::max(worst, percentile(served_latencies(r, -1), 0.99));
+
+  // Minimum cache hit rate, aggregated over every run's probed requests.
+  // Only meaningful against cache-enabled repeat traffic; with no probed
+  // requests (cacheless server or no repeats) the gate is skipped.
+  const double min_rate = serve ? json::num_or(*serve, "cache_hit_rate_min", -1) : -1;
+  if (min_rate >= 0) {
+    CacheTally total;
+    for (const RunResult& r : runs) {
+      const CacheTally t = cache_tally(r);
+      total.hit += t.hit;
+      total.neighbor += t.neighbor;
+      total.miss += t.miss;
+      total.bypass += t.bypass;
+    }
+    if (total.probed() == 0) {
+      std::fprintf(stderr,
+                   "partita_loadgen: no cache-probed requests; hit-rate gate skipped\n");
+    } else {
+      std::printf("gate serve.cache_hit_rate: floor %.2f, observed %.2f "
+                  "(%llu/%llu)\n",
+                  min_rate, total.hit_rate(),
+                  static_cast<unsigned long long>(total.hit),
+                  static_cast<unsigned long long>(total.probed()));
+      if (total.hit_rate() < min_rate) {
+        std::fprintf(stderr,
+                     "partita_loadgen: REGRESSION: cache hit rate %.2f under floor %.2f\n",
+                     total.hit_rate(), min_rate);
+        rc = 1;
+      }
+    }
   }
-  std::printf("gate serve.p99_ms: ceiling %.0f, observed %.1f\n", ceiling, worst);
-  if (worst > ceiling) {
-    std::fprintf(stderr, "partita_loadgen: REGRESSION: p99 %.1fms over ceiling %.0fms\n",
-                 worst, ceiling);
-    return 1;
-  }
-  return 0;
+  return rc;
 }
 
 }  // namespace
@@ -568,8 +690,19 @@ int main(int argc, char** argv) {
     else if (flag == "--no-out") opt.no_out = true;
     else if (flag == "--check") opt.check_path = need_value();
     else if (flag == "--require-priority-win") opt.require_priority_win = true;
+    else if (flag == "--repeat-fraction") opt.repeat_fraction = std::atof(need_value());
+    else if (flag == "--perturb-fraction") opt.perturb_fraction = std::atof(need_value());
+    else if (flag == "--cache") opt.cache = true;
     else usage();
   }
+  if (opt.repeat_fraction < 0 || opt.perturb_fraction < 0 ||
+      opt.repeat_fraction + opt.perturb_fraction > 1.0) {
+    std::fprintf(stderr,
+                 "partita_loadgen: --repeat-fraction + --perturb-fraction must "
+                 "stay within [0, 1]\n");
+    return kExitUsage;
+  }
+  if (opt.repeat_fraction + opt.perturb_fraction > 0) opt.cache = true;
   const Scenario sc = scenario_defaults(opt.scenario, opt);
 
   std::vector<RunResult> runs;
@@ -593,6 +726,7 @@ int main(int argc, char** argv) {
       cfg.workers = opt.workers;
       cfg.policy = policy;
       cfg.max_queue_depth = sc.queue_depth;
+      cfg.cache_enabled = opt.cache;
       if (!service::SchedulerPolicy::create(policy, {})) {
         std::fprintf(stderr, "partita_loadgen: unknown policy '%s'\n", policy.c_str());
         return kExitUsage;

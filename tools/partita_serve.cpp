@@ -22,6 +22,11 @@
 //   --quarantine-dir D    directory for replayable quarantine fixtures
 //   --fault SITE[:n]      arm a fault-injection site (repeatable); the
 //                         PARTITA_FAULT env var arms one more
+//   --cache               enable the cross-request solution cache
+//                         (docs/caching.md)
+//   --cache-capacity N    cache entry bound (implies --cache; default 256)
+//   --cache-mb N          cache byte budget (implies --cache; default 64)
+//   --no-neighbor-seeding disable warm-start seeding of near-misses
 //
 // exit codes: 0 clean shutdown (SIGTERM/SIGINT), 2 usage/bad config,
 // 3 bind failure.
@@ -55,6 +60,8 @@ void on_signal(int) { g_stop = 1; }
                "       [--workers N] [--queue-depth N] [--max-memory-mb N]\n"
                "       [--max-live-per-tenant N] [--max-sessions N]\n"
                "       [--quarantine-dir D] [--fault SITE[:n]]\n"
+               "       [--cache] [--cache-capacity N] [--cache-mb N]\n"
+               "       [--no-neighbor-seeding]\n"
                "\n"
                "SPEC: tcp:HOST:PORT (PORT 0 = ephemeral) or unix:PATH\n"
                "exit: 0 clean shutdown, 2 usage, 3 bind failure\n",
@@ -101,6 +108,16 @@ int run(int argc, char** argv) {
       net_cfg.max_sessions = static_cast<std::size_t>(std::atoll(need_value()));
     else if (flag == "--quarantine-dir") cfg.quarantine_dir = need_value();
     else if (flag == "--fault") arm_fault(need_value());
+    else if (flag == "--cache") cfg.cache_enabled = true;
+    else if (flag == "--cache-capacity") {
+      cfg.cache_enabled = true;
+      cfg.cache_capacity = static_cast<std::size_t>(std::atoll(need_value()));
+    } else if (flag == "--cache-mb") {
+      cfg.cache_enabled = true;
+      cfg.cache_max_bytes =
+          static_cast<std::size_t>(std::atof(need_value()) * 1024.0 * 1024.0);
+    } else if (flag == "--no-neighbor-seeding")
+      cfg.cache_neighbor_seeding = false;
     else usage(argv[0]);
   }
   if (cfg.workers < 1 || cfg.max_queue_depth < 1) {
