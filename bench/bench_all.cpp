@@ -15,7 +15,15 @@
 //                  repeats vs the cold solve, and LP-iteration savings from
 //                  neighbor-seeded near-repeats. Every cached / seeded answer
 //                  is checked bit-identical to a cold solve; a disagreement
-//                  exits 2 (the same answer gate as the batch sweep).
+//                  exits 2 (the same answer gate as the batch sweep);
+//   * durability-- cost and payoff of the write-ahead journal
+//                  (docs/durability.md): closed-loop submit->complete p50/p99
+//                  against a journaled service vs a journal-less control
+//                  (every request pays an fsynced admit + terminal record),
+//                  gated at <10% overhead, and the wall clock a
+//                  checkpoint-resume saves vs a cold re-solve of the sized
+//                  random workload (the kill-mid-search recovery scenario).
+//                  Resumed answers are held to the same bit-identity gate.
 //
 // Output: a partita-bench-v1 JSON record (schema in docs/benchmarks.md),
 // default BENCH_<date>.json in the working directory.
@@ -36,11 +44,17 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_meta.hpp"
+#include "ilp/branch_bound.hpp"
+#include "ilp/checkpoint.hpp"
 #include "ilp/presolve.hpp"
 #include "ilp/simplex.hpp"
 #include "select/flow.hpp"
+#include "service/journal.hpp"
 #include "service/solve_service.hpp"
+#include "support/io.hpp"
 #include "workloads/random_workload.hpp"
 #include "workloads/workloads.hpp"
 
@@ -380,6 +394,192 @@ CacheResult bench_cache(bool smoke) {
   return res;
 }
 
+struct DurabilityResult {
+  // Journal overhead: closed-loop submit->complete latency, journaled vs not.
+  int requests = 0;
+  double plain_p50_ms = 0.0;
+  double plain_p99_ms = 0.0;
+  double journaled_p50_ms = 0.0;
+  double journaled_p99_ms = 0.0;
+  double overhead_p50 = 0.0;  // journaled / plain
+  double overhead_p99 = 0.0;
+  long long admits = 0;
+  long long terminals = 0;
+  bool gate_failed = false;
+  // Checkpoint-resume payoff: wall clock vs a cold re-solve of the same
+  // instance (the recovery path after a kill mid-search).
+  int sites = 0;
+  double cold_seconds = 0.0;
+  double resume_seconds = 0.0;
+  double saved_seconds = 0.0;
+  double saved_fraction = 0.0;
+  int frontier_nodes = 0;
+  int waves = 0;
+};
+
+double percentile_ms(std::vector<double> v, std::size_t pct) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[std::min(v.size() - 1, v.size() * pct / 100)];
+}
+
+/// One closed-loop round trip; submit->complete latency in ms. A non-empty
+/// payload is the envelope the wire front end would persist -- the service
+/// treats it as opaque bytes, so a representative blob prices the append
+/// honestly.
+double durability_round_trip(partita::service::SolveService& service,
+                             const partita::workloads::Workload& w,
+                             std::int64_t gain, int i, bool journaled) {
+  partita::service::SolveRequest req;
+  req.label = "durability" + std::to_string(i);
+  req.workload = w;
+  req.required_gain = gain;
+  if (journaled) {
+    req.journal_payload =
+        "{\"v\": \"partita-wire-v1\", \"verb\": \"submit\", \"workload\": \"" +
+        w.name + "\", \"required_gain\": " + std::to_string(gain) +
+        ", \"label\": " + "\"" + req.label + "\"}";
+  }
+  const Clock::time_point t0 = Clock::now();
+  const partita::service::SubmitOutcome sub = service.submit(std::move(req));
+  if (!sub.admitted()) {
+    std::fprintf(stderr, "bench_all: durability request %d rejected: %s\n", i,
+                 sub.reject_reason.c_str());
+    std::exit(1);
+  }
+  const partita::service::SolveResponse r = service.wait(sub.ticket());
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  if (r.state != partita::service::RequestState::kCompleted) {
+    std::fprintf(stderr, "bench_all: durability request %d not completed\n", i);
+    std::exit(1);
+  }
+  return ms;
+}
+
+void remove_journal_dir(const std::string& dir) {
+  for (const std::string& name : partita::support::io::list_dir(dir)) {
+    partita::support::io::remove_file(dir + "/" + name);
+  }
+  ::rmdir(dir.c_str());
+}
+
+/// Write-ahead-journal overhead and checkpoint-resume payoff.
+DurabilityResult bench_durability(bool smoke) {
+  DurabilityResult res;
+  res.requests = smoke ? 24 : 64;
+
+  // Overhead leg. Closed loop so every latency sample carries the request's
+  // full durable cost: one fsynced admit record before acknowledgment plus
+  // one fsynced terminal record before completion. The two legs are held
+  // open side by side and the request stream alternates between them (order
+  // flipping each round), so machine-load noise lands on both and the p50/p99
+  // comparison stays paired rather than run-vs-run.
+  const partita::workloads::Workload w = sized_workload(smoke ? 20 : 28, 777);
+  Flow flow(w.module, w.library);
+  const std::int64_t gain = flow.max_feasible_gain() / 2;
+
+  const std::string jdir =
+      "bench_journal_tmp." + std::to_string(static_cast<long>(::getpid()));
+  partita::service::Journal journal;
+  partita::service::Journal::Config jc;
+  jc.dir = jdir;
+  if (!journal.open(jc)) {
+    std::fprintf(stderr, "bench_all: cannot open journal in %s\n", jdir.c_str());
+    std::exit(1);
+  }
+  std::vector<double> plain, journaled;
+  plain.reserve(static_cast<std::size_t>(res.requests));
+  journaled.reserve(static_cast<std::size_t>(res.requests));
+  {
+    partita::service::ServiceConfig pcfg;
+    pcfg.workers = 2;
+    pcfg.max_queue_depth = 64;
+    partita::service::ServiceConfig jcfg = pcfg;
+    jcfg.journal = &journal;
+    partita::service::SolveService plain_svc(pcfg);
+    partita::service::SolveService journaled_svc(jcfg);
+    for (int i = 0; i < res.requests; ++i) {
+      if (i % 2 == 0) {
+        plain.push_back(durability_round_trip(plain_svc, w, gain, i, false));
+        journaled.push_back(durability_round_trip(journaled_svc, w, gain, i, true));
+      } else {
+        journaled.push_back(durability_round_trip(journaled_svc, w, gain, i, true));
+        plain.push_back(durability_round_trip(plain_svc, w, gain, i, false));
+      }
+    }
+    journaled_svc.shutdown();
+    plain_svc.shutdown();
+  }
+  const partita::service::JournalStats jstats = journal.stats();
+  journal.close();
+  remove_journal_dir(jdir);
+
+  res.plain_p50_ms = percentile_ms(plain, 50);
+  res.plain_p99_ms = percentile_ms(plain, 99);
+  res.journaled_p50_ms = percentile_ms(journaled, 50);
+  res.journaled_p99_ms = percentile_ms(journaled, 99);
+  res.overhead_p50 =
+      res.plain_p50_ms > 0 ? res.journaled_p50_ms / res.plain_p50_ms : 0.0;
+  res.overhead_p99 =
+      res.plain_p99_ms > 0 ? res.journaled_p99_ms / res.plain_p99_ms : 0.0;
+  res.admits = static_cast<long long>(jstats.admits);
+  res.terminals = static_cast<long long>(jstats.terminals);
+  // <10% regression gate, with a 2ms absolute epsilon so scheduler jitter on
+  // near-identical magnitudes cannot flake the gate.
+  res.gate_failed =
+      res.journaled_p50_ms > res.plain_p50_ms * 1.10 + 2.0 ||
+      res.journaled_p99_ms > res.plain_p99_ms * 1.10 + 2.0;
+
+  // Payoff leg: cold-select the sized random workload at the gmax/2
+  // operating point while capturing a checkpoint at every wave boundary --
+  // the same IlpOptions plumbing the journaled service uses -- then resume
+  // from the last snapshot that still had open nodes (the state a restarted
+  // daemon loads after a kill mid-search). Auxiliary solves inside select()
+  // also feed the sink; resume_compatible sorts that out exactly as it does
+  // in production, cold-starting every solve the snapshot does not fit.
+  res.sites = smoke ? 24 : 48;
+  const partita::workloads::Workload cw = sized_workload(res.sites, 4242);
+  Flow cflow(cw.module, cw.library);
+  const std::int64_t rg = cflow.max_feasible_gain() / 2;
+
+  Clock::time_point t0 = Clock::now();
+  const partita::select::Selection cold = cflow.select(rg, SelectOptions{});
+  res.cold_seconds = seconds_since(t0);
+
+  std::vector<partita::ilp::SearchCheckpoint> snaps;
+  SelectOptions capture;
+  capture.ilp.checkpoint_every_waves = 1;
+  capture.ilp.checkpoint_sink =
+      [&snaps](const partita::ilp::SearchCheckpoint& cp) { snaps.push_back(cp); };
+  cflow.select(rg, capture);
+  const partita::ilp::SearchCheckpoint* pick = nullptr;
+  for (const partita::ilp::SearchCheckpoint& cp : snaps) {
+    if (!cp.frontier.empty()) pick = &cp;
+  }
+  if (pick == nullptr && !snaps.empty()) pick = &snaps.back();
+  if (pick != nullptr) {
+    res.waves = pick->waves;
+    res.frontier_nodes = static_cast<int>(pick->frontier.size());
+    SelectOptions resume;
+    resume.ilp.resume = pick;
+    t0 = Clock::now();
+    const partita::select::Selection warm = cflow.select(rg, resume);
+    res.resume_seconds = seconds_since(t0);
+    if (partita::select::solution_signature(warm) !=
+        partita::select::solution_signature(cold)) {
+      std::fprintf(stderr,
+                   "bench_all: ANSWER GATE: checkpoint-resume answer differs "
+                   "from cold solve\n");
+      std::exit(2);
+    }
+    res.saved_seconds = res.cold_seconds - res.resume_seconds;
+    res.saved_fraction =
+        res.cold_seconds > 0 ? res.saved_seconds / res.cold_seconds : 0.0;
+  }
+  return res;
+}
+
 // --- JSON ------------------------------------------------------------------
 
 std::string fmt(double v) {
@@ -394,7 +594,8 @@ std::string render_json(const partita::bench::MachineMeta& meta, bool smoke,
                         const std::vector<BnbResultRow>& bnb_old,
                         const std::vector<BnbResultRow>& bnb_new,
                         const std::vector<EndToEndRow>& e2e,
-                        const ServiceResult& svc, const CacheResult& cache) {
+                        const ServiceResult& svc, const CacheResult& cache,
+                        const DurabilityResult& dur) {
   std::ostringstream os;
   os << "{\n  \"metadata\": " << partita::bench::meta_json(meta) << ",\n";
   os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
@@ -462,7 +663,23 @@ std::string render_json(const partita::bench::MachineMeta& meta, bool smoke,
      << ", \"seeded_nodes\": " << cache.seeded_nodes
      << ", \"node_savings\": " << fmt(cache.node_savings)
      << ", \"hits\": " << cache.hits
-     << ", \"neighbor_seeds\": " << cache.neighbor_seeds << "}\n";
+     << ", \"neighbor_seeds\": " << cache.neighbor_seeds << "},\n";
+
+  os << "  \"durability\": {\"requests\": " << dur.requests
+     << ", \"plain_p50_ms\": " << fmt(dur.plain_p50_ms)
+     << ", \"plain_p99_ms\": " << fmt(dur.plain_p99_ms)
+     << ", \"journaled_p50_ms\": " << fmt(dur.journaled_p50_ms)
+     << ", \"journaled_p99_ms\": " << fmt(dur.journaled_p99_ms)
+     << ", \"overhead_p50\": " << fmt(dur.overhead_p50)
+     << ", \"overhead_p99\": " << fmt(dur.overhead_p99)
+     << ", \"admits\": " << dur.admits << ", \"terminals\": " << dur.terminals
+     << ", \"checkpoint_sites\": " << dur.sites
+     << ", \"cold_seconds\": " << fmt(dur.cold_seconds)
+     << ", \"resume_seconds\": " << fmt(dur.resume_seconds)
+     << ", \"saved_seconds\": " << fmt(dur.saved_seconds)
+     << ", \"saved_fraction\": " << fmt(dur.saved_fraction)
+     << ", \"frontier_nodes\": " << dur.frontier_nodes
+     << ", \"waves\": " << dur.waves << "}\n";
   os << "}\n";
   return os.str();
 }
@@ -590,13 +807,32 @@ int main(int argc, char** argv) {
       cache.iteration_savings * 100.0, cache.cold_nodes, cache.seeded_nodes,
       cache.node_savings * 100.0, cache.hits, cache.neighbor_seeds);
 
+  const DurabilityResult dur = bench_durability(smoke);
+  std::printf(
+      "durability submit->complete p50 %.2fms -> %.2fms (%.2fx) p99 %.2fms -> "
+      "%.2fms (%.2fx), %lld admits / %lld terminals journaled\n",
+      dur.plain_p50_ms, dur.journaled_p50_ms, dur.overhead_p50, dur.plain_p99_ms,
+      dur.journaled_p99_ms, dur.overhead_p99, dur.admits, dur.terminals);
+  std::printf(
+      "durability checkpoint-resume %d-site: cold %.3fs, resume %.3fs "
+      "(%.1f%% saved; %d open nodes at wave %d)\n",
+      dur.sites, dur.cold_seconds, dur.resume_seconds,
+      dur.saved_fraction * 100.0, dur.frontier_nodes, dur.waves);
+
   const std::string json = render_json(meta, smoke, lp_old, lp_new, bnb_old,
-                                       bnb_new, e2e, svc, cache);
+                                       bnb_new, e2e, svc, cache, dur);
   std::ofstream out(out_path);
   out << json;
   out.close();
   std::printf("wrote %s\n", out_path.c_str());
 
+  if (dur.gate_failed) {
+    std::fprintf(stderr,
+                 "bench_all: REGRESSION: journal overhead on submit->complete "
+                 "exceeds 10%% (p50 %.2fx, p99 %.2fx)\n",
+                 dur.overhead_p50, dur.overhead_p99);
+    return 1;
+  }
   if (!check_path.empty()) return check_regression(json, check_path);
   return 0;
 }

@@ -1,0 +1,219 @@
+#include "ilp/checkpoint.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/fault_injection.hpp"
+#include "support/io.hpp"
+#include "support/json.hpp"
+
+namespace partita::ilp {
+
+namespace {
+
+namespace json = support::json;
+
+constexpr const char* kFormat = "partita-checkpoint-v1";
+
+std::string u64_hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_u64_hex(const std::string& s, std::size_t at, std::uint64_t* out) {
+  if (s.size() < at + 16) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = at; i < at + 16; ++i) {
+    const char c = s[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  *out = v;
+  return true;
+}
+
+void append_doubles(std::ostringstream& os, const char* key,
+                    const std::vector<double>& xs) {
+  os << json::quote(key) << ": [";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << (i ? ", " : "") << json::fmt_double(xs[i]);
+  }
+  os << "]";
+}
+
+bool read_doubles(const json::Object& o, const char* key, std::vector<double>* out) {
+  const json::Array* a = json::array_or_null(o, key);
+  if (!a) return false;
+  out->clear();
+  out->reserve(a->size());
+  for (const json::Value& v : *a) {
+    if (!v.is_number()) return false;
+    out->push_back(v.number());
+  }
+  return true;
+}
+
+bool read_ints(const json::Object& o, const char* key, std::vector<int>* out) {
+  const json::Array* a = json::array_or_null(o, key);
+  if (!a) return false;
+  out->clear();
+  out->reserve(a->size());
+  for (const json::Value& v : *a) {
+    if (!v.is_number()) return false;
+    out->push_back(static_cast<int>(v.number()));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool resume_compatible(const SearchCheckpoint& cp, const Fingerprint& fp,
+                       std::uint64_t digest) {
+  return cp.model_fp == fp && cp.options_digest == digest;
+}
+
+std::string encode_checkpoint(const SearchCheckpoint& cp) {
+  std::ostringstream os;
+  os << "{\"v\": " << json::quote(kFormat)
+     << ", \"model_fp\": " << json::quote(cp.model_fp.hex())
+     << ", \"options_digest\": " << json::quote(u64_hex(cp.options_digest))
+     << ", \"waves\": " << cp.waves << ", \"nodes\": " << cp.nodes;
+  if (cp.has_incumbent) {
+    os << ", ";
+    append_doubles(os, "incumbent", cp.incumbent);
+  }
+  os << ", ";
+  append_doubles(os, "pc_sum0", cp.pc_sum[0]);
+  os << ", ";
+  append_doubles(os, "pc_sum1", cp.pc_sum[1]);
+  os << ", \"pc_cnt0\": [";
+  for (std::size_t i = 0; i < cp.pc_cnt[0].size(); ++i) {
+    os << (i ? ", " : "") << cp.pc_cnt[0][i];
+  }
+  os << "], \"pc_cnt1\": [";
+  for (std::size_t i = 0; i < cp.pc_cnt[1].size(); ++i) {
+    os << (i ? ", " : "") << cp.pc_cnt[1][i];
+  }
+  os << "], \"frontier\": [";
+  for (std::size_t n = 0; n < cp.frontier.size(); ++n) {
+    const CheckpointNode& node = cp.frontier[n];
+    os << (n ? ", " : "") << "{\"bound\": " << json::fmt_double(node.bound);
+    if (node.has_parent_obj) {
+      os << ", \"parent_obj\": " << json::fmt_double(node.parent_obj);
+    }
+    os << ", \"branch_var\": " << node.branch_var
+       << ", \"branch_frac\": " << json::fmt_double(node.branch_frac)
+       << ", \"branch_up\": " << (node.branch_up ? "true" : "false")
+       << ", \"fixes\": [";
+    for (std::size_t f = 0; f < node.fixes.size(); ++f) {
+      os << (f ? ", " : "") << "[" << node.fixes[f].first << ", "
+         << json::fmt_double(node.fixes[f].second) << "]";
+    }
+    os << "], \"basis\": \"";
+    // Basis statuses are tiny enums; one digit per entry keeps the document
+    // readable and a third the size of a JSON array.
+    for (const std::uint8_t st : node.basis) os << static_cast<char>('0' + st);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool decode_checkpoint(const std::string& text, SearchCheckpoint* out,
+                       std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  std::string perr;
+  const auto doc = json::parse(text, &perr);
+  if (!doc || !doc->is_object()) return fail("bad JSON: " + perr);
+  const json::Object& o = doc->object();
+  if (json::string_or(o, "v", "") != kFormat) {
+    return fail("not a " + std::string(kFormat) + " document");
+  }
+  SearchCheckpoint cp;
+  const std::string fp = json::string_or(o, "model_fp", "");
+  if (!parse_u64_hex(fp, 0, &cp.model_fp.hi) || !parse_u64_hex(fp, 16, &cp.model_fp.lo)) {
+    return fail("bad model_fp");
+  }
+  if (!parse_u64_hex(json::string_or(o, "options_digest", ""), 0, &cp.options_digest)) {
+    return fail("bad options_digest");
+  }
+  cp.waves = static_cast<int>(json::int_or(o, "waves", 0));
+  cp.nodes = static_cast<int>(json::int_or(o, "nodes", 0));
+  if (o.count("incumbent") != 0) {
+    if (!read_doubles(o, "incumbent", &cp.incumbent)) return fail("bad incumbent");
+    cp.has_incumbent = true;
+  }
+  if (!read_doubles(o, "pc_sum0", &cp.pc_sum[0]) ||
+      !read_doubles(o, "pc_sum1", &cp.pc_sum[1]) ||
+      !read_ints(o, "pc_cnt0", &cp.pc_cnt[0]) ||
+      !read_ints(o, "pc_cnt1", &cp.pc_cnt[1])) {
+    return fail("bad pseudo-cost tables");
+  }
+  const json::Array* frontier = json::array_or_null(o, "frontier");
+  if (!frontier) return fail("missing frontier");
+  cp.frontier.reserve(frontier->size());
+  for (const json::Value& v : *frontier) {
+    if (!v.is_object()) return fail("bad frontier node");
+    const json::Object& n = v.object();
+    CheckpointNode node;
+    node.bound = json::num_or(n, "bound", 0.0);
+    if (n.count("parent_obj") != 0) {
+      node.has_parent_obj = true;
+      node.parent_obj = json::num_or(n, "parent_obj", 0.0);
+    }
+    node.branch_var = static_cast<std::uint32_t>(json::int_or(n, "branch_var", 0));
+    node.branch_frac = json::num_or(n, "branch_frac", 0.0);
+    node.branch_up = json::bool_or(n, "branch_up", false);
+    const json::Array* fixes = json::array_or_null(n, "fixes");
+    if (!fixes) return fail("bad frontier fixes");
+    for (const json::Value& fv : *fixes) {
+      if (!fv.is_array() || fv.array().size() != 2 || !fv.array()[0].is_number() ||
+          !fv.array()[1].is_number()) {
+        return fail("bad fix entry");
+      }
+      node.fixes.emplace_back(static_cast<std::uint32_t>(fv.array()[0].number()),
+                              fv.array()[1].number());
+    }
+    const std::string basis = json::string_or(n, "basis", "");
+    node.basis.reserve(basis.size());
+    for (const char c : basis) {
+      if (c < '0' || c > '2') return fail("bad basis status");
+      node.basis.push_back(static_cast<std::uint8_t>(c - '0'));
+    }
+    cp.frontier.push_back(std::move(node));
+  }
+  *out = std::move(cp);
+  return true;
+}
+
+bool write_checkpoint_file(const std::string& path, const SearchCheckpoint& cp) {
+  if (support::fault_should_trip("checkpoint.write")) return false;
+  std::string framed;
+  support::io::encode_frame(encode_checkpoint(cp), &framed);
+  return support::io::write_file_atomic(path, framed);
+}
+
+bool load_checkpoint_file(const std::string& path, SearchCheckpoint* out,
+                          std::string* error) {
+  std::string data;
+  if (!support::io::read_file(path, &data)) {
+    if (error) *error = "cannot read " + path;
+    return false;
+  }
+  std::string payload;
+  std::size_t consumed = 0;
+  if (support::io::decode_frame(data, 0, &payload, &consumed) !=
+      support::io::FrameStatus::kOk) {
+    if (error) *error = "torn or corrupt checkpoint frame";
+    return false;
+  }
+  return decode_checkpoint(payload, out, error);
+}
+
+}  // namespace partita::ilp

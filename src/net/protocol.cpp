@@ -65,6 +65,7 @@ std::string result_json(const WireResult& r) {
   append_field(out, "attempts", fmt_i64(r.attempts));
   append_field(out, "retry_after_s", fmt_double(r.retry_after_seconds));
   if (!r.cache.empty()) append_field(out, "cache", quote(r.cache));
+  if (r.recovered) append_field(out, "recovered", "true");
   if (!r.error.kind.empty()) append_field(out, "error", error_json(r.error));
   if (r.selection) append_field(out, "selection", selection_json(*r.selection));
   out += '}';
@@ -119,6 +120,7 @@ std::optional<WireResult> decode_result(const json::Object* o) {
   r.attempts = static_cast<int>(json::int_or(*o, "attempts", 0));
   r.retry_after_seconds = json::num_or(*o, "retry_after_s", 0.0);
   r.cache = json::string_or(*o, "cache", "");
+  r.recovered = json::bool_or(*o, "recovered", false);
   r.error = decode_error(json::object_or_null(*o, "error"));
   r.selection = decode_selection(json::object_or_null(*o, "selection"));
   return r;
@@ -340,6 +342,7 @@ WireResult to_wire(const service::SolveResponse& r) {
   w.attempts = r.attempts;
   w.retry_after_seconds = r.retry_after_seconds;
   w.cache = r.cache;
+  w.recovered = r.recovered;
   if (r.state == service::RequestState::kFailed ||
       r.state == service::RequestState::kRejected) {
     w.error.kind = support::to_string(r.error.kind);
@@ -393,6 +396,24 @@ bool to_service_request(const WireRequest& req, service::SolveRequest* out,
   if (req.memory_limit_mb > 0) {
     out->options.ilp.budget.memory_limit_bytes = req.memory_limit_mb << 20;
   }
+  // Canonical re-encoding, not the raw frame: what the journal persists is
+  // exactly what decode_request understood, so replays cannot drift from
+  // the admitted interpretation.
+  out->journal_payload = encode_request(req);
+  return true;
+}
+
+bool from_journal_payload(const std::string& payload, std::uint64_t seq,
+                          service::SolveRequest* out, std::string* error) {
+  std::optional<WireRequest> req = decode_request(payload, error);
+  if (!req) return false;
+  if (req->verb != "submit") {
+    if (error) *error = "journaled payload is not a submit verb";
+    return false;
+  }
+  if (!to_service_request(*req, out, error)) return false;
+  out->journal_seq = seq;  // the admit record already exists; never re-append
+  out->recovered = true;
   return true;
 }
 

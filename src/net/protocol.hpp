@@ -120,6 +120,9 @@ struct WireResult {
   /// Solution-cache outcome ("", "bypass", "hit", "neighbor", "miss"); see
   /// service::SolveResponse::cache. Empty when the service runs cacheless.
   std::string cache;
+  /// True when the answering request was replayed from the write-ahead
+  /// journal after a crash (service::SolveResponse::recovered).
+  bool recovered = false;
 };
 
 struct WireResponse {
@@ -168,8 +171,17 @@ bool resolve_workload(const WireRequest& req, service::SolveRequest* out,
                       std::string* error);
 
 /// Builds the full service request (workload + scheduling metadata + solver
-/// budget) from a submit verb. False + reason on unknown workload.
+/// budget) from a submit verb. False + reason on unknown workload. Also
+/// stamps SolveRequest::journal_payload with the canonical encoding of the
+/// verb, so a journaling service can persist the exact envelope.
 bool to_service_request(const WireRequest& req, service::SolveRequest* out,
                         std::string* error);
+
+/// Rebuilds a journaled submit payload into a boot-recovery re-admission:
+/// decode_request + to_service_request, with journal_seq pinned to the
+/// original admit record and the recovered flag set. False + reason when
+/// the payload is not a well-formed submit verb.
+bool from_journal_payload(const std::string& payload, std::uint64_t seq,
+                          service::SolveRequest* out, std::string* error);
 
 }  // namespace partita::net

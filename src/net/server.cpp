@@ -337,6 +337,8 @@ WireResponse WireServer::handle_immediate(const WireRequest& req) {
     m["cache_evictions"] = static_cast<double>(s.cache_evictions);
     m["cache_stale"] = static_cast<double>(s.cache_stale);
     m["cache_seed_fallbacks"] = static_cast<double>(s.cache_seed_fallbacks);
+    m["recovered_requests"] = static_cast<double>(s.recovered_requests);
+    m["journal_rejects"] = static_cast<double>(s.journal_rejects);
     m["sched_admitted"] = static_cast<double>(p.admitted);
     m["sched_rejected"] = static_cast<double>(p.rejected);
     m["sched_evicted"] = static_cast<double>(p.evicted);

@@ -1,0 +1,316 @@
+#include "service/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "support/fault_injection.hpp"
+#include "support/json.hpp"
+
+namespace partita::service {
+
+namespace {
+
+namespace json = support::json;
+namespace io = support::io;
+
+constexpr const char* kFormat = "partita-journal-v1";
+constexpr const char* kSegmentPrefix = "wal_";
+constexpr const char* kSegmentSuffix = ".log";
+
+bool is_segment_name(const std::string& name) {
+  const std::size_t pre = std::char_traits<char>::length(kSegmentPrefix);
+  const std::size_t suf = std::char_traits<char>::length(kSegmentSuffix);
+  return name.size() > pre + suf && name.compare(0, pre, kSegmentPrefix) == 0 &&
+         name.compare(name.size() - suf, suf, kSegmentSuffix) == 0;
+}
+
+std::string join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+/// First seq of a segment, parsed back out of its file name. Segment names
+/// carry the seq counter across a compaction that leaves no records: a
+/// fully-decided journal collapses to one EMPTY segment named for next_seq,
+/// and recovery must not restart the counter at 1 (seq reuse would pair old
+/// terminal records with new admits).
+std::uint64_t segment_first_seq(const std::string& name) {
+  return std::strtoull(
+      name.c_str() + std::char_traits<char>::length(kSegmentPrefix), nullptr, 10);
+}
+
+}  // namespace
+
+std::string Journal::segment_name(std::uint64_t first_seq) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%s%012llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(first_seq), kSegmentSuffix);
+  return buf;
+}
+
+std::string Journal::encode_admit(std::uint64_t seq, std::size_t items,
+                                  const std::string& payload) {
+  std::ostringstream os;
+  os << "{\"v\": " << json::quote(kFormat) << ", \"type\": \"admit\", \"seq\": "
+     << seq << ", \"items\": " << items << ", \"req\": " << json::quote(payload)
+     << "}";
+  return os.str();
+}
+
+std::string Journal::encode_terminal(const JournalTerminal& t) {
+  std::ostringstream os;
+  os << "{\"v\": " << json::quote(kFormat)
+     << ", \"type\": \"terminal\", \"seq\": " << t.seq << ", \"item\": " << t.item
+     << ", \"state\": " << json::quote(t.state)
+     << ", \"label\": " << json::quote(t.label)
+     << ", \"signature\": " << json::quote(t.signature) << "}";
+  return os.str();
+}
+
+std::string Journal::encode_quarantine(std::uint64_t seq,
+                                       const std::string& fixture_json) {
+  std::ostringstream os;
+  os << "{\"v\": " << json::quote(kFormat)
+     << ", \"type\": \"quarantine\", \"seq\": " << seq
+     << ", \"fixture\": " << json::quote(fixture_json) << "}";
+  return os.str();
+}
+
+bool Journal::decode_record(const std::string& text, Record* out,
+                            std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return false;
+  };
+  std::string perr;
+  const auto doc = json::parse(text, &perr);
+  if (!doc || !doc->is_object()) return fail("bad JSON: " + perr);
+  const json::Object& o = doc->object();
+  if (json::string_or(o, "v", "") != kFormat) {
+    return fail("not a " + std::string(kFormat) + " record");
+  }
+  const std::string type = json::string_or(o, "type", "");
+  Record r;
+  const std::int64_t seq = json::int_or(o, "seq", -1);
+  if (seq < 0) return fail("bad seq");
+  r.seq = static_cast<std::uint64_t>(seq);
+  if (type == "admit") {
+    r.type = RecordType::kAdmit;
+    const std::int64_t items = json::int_or(o, "items", 1);
+    if (items < 1) return fail("bad items");
+    r.items = static_cast<std::size_t>(items);
+    if (o.count("req") == 0 || !o.at("req").is_string()) return fail("missing req");
+    r.payload = o.at("req").string();
+  } else if (type == "terminal") {
+    r.type = RecordType::kTerminal;
+    const std::int64_t item = json::int_or(o, "item", -1);
+    if (item < 0) return fail("bad item");
+    r.terminal.seq = r.seq;
+    r.terminal.item = static_cast<std::size_t>(item);
+    r.terminal.state = json::string_or(o, "state", "");
+    if (r.terminal.state.empty()) return fail("missing state");
+    r.terminal.label = json::string_or(o, "label", "");
+    r.terminal.signature = json::string_or(o, "signature", "");
+  } else if (type == "quarantine") {
+    r.type = RecordType::kQuarantine;
+    if (o.count("fixture") == 0 || !o.at("fixture").is_string()) {
+      return fail("missing fixture");
+    }
+    r.payload = o.at("fixture").string();
+  } else {
+    return fail("unknown record type '" + type + "'");
+  }
+  *out = std::move(r);
+  return true;
+}
+
+JournalRecovery Journal::recover(const std::string& dir) {
+  JournalRecovery rec;
+  io::make_dirs(dir);
+
+  struct Admit {
+    std::size_t items = 1;
+    std::string payload;
+    std::set<std::size_t> decided;
+  };
+  std::map<std::uint64_t, Admit> admits;
+
+  for (const std::string& name : io::list_dir(dir)) {
+    if (!is_segment_name(name)) continue;
+    ++rec.segments;
+    rec.next_seq = std::max(rec.next_seq, segment_first_seq(name));
+    std::string data;
+    if (!io::read_file(join(dir, name), &data)) continue;
+    std::size_t dropped = 0;
+    const std::vector<std::string> frames = io::decode_frames(data, &dropped);
+    rec.bytes_dropped += dropped;
+    for (const std::string& frame : frames) {
+      Record r;
+      if (!decode_record(frame, &r, nullptr)) {
+        ++rec.records_dropped;
+        continue;
+      }
+      ++rec.records_salvaged;
+      rec.next_seq = std::max(rec.next_seq, r.seq + 1);
+      switch (r.type) {
+        case RecordType::kAdmit: {
+          Admit& a = admits[r.seq];
+          a.items = r.items;
+          a.payload = std::move(r.payload);
+          break;
+        }
+        case RecordType::kTerminal: {
+          admits[r.terminal.seq].decided.insert(r.terminal.item);
+          rec.terminals.push_back(std::move(r.terminal));
+          break;
+        }
+        case RecordType::kQuarantine:
+          break;  // standalone fixture records carry no lifecycle
+      }
+    }
+  }
+
+  for (auto& [seq, a] : admits) {
+    // A terminal without a surviving admit (its payload was lost to a torn
+    // segment, or the admit was compacted away) has nothing to replay.
+    if (a.payload.empty()) continue;
+    std::size_t done = 0;
+    for (const std::size_t item : a.decided) {
+      if (item < a.items) ++done;
+    }
+    if (done >= a.items) continue;
+    JournalRecord out;
+    out.seq = seq;
+    out.items = a.items;
+    out.payload = std::move(a.payload);
+    rec.undecided.push_back(std::move(out));
+  }
+  return rec;
+}
+
+bool Journal::reset_segments(const JournalRecovery& recovered) {
+  // Rewrite-then-delete: the compacted segment lands atomically first, so a
+  // crash between the two steps duplicates admits (idempotent on the next
+  // recovery -- same seq, same payload) instead of losing them.
+  std::string compacted;
+  for (const JournalRecord& r : recovered.undecided) {
+    io::encode_frame(encode_admit(r.seq, r.items, r.payload), &compacted);
+  }
+  const std::string keep =
+      recovered.undecided.empty()
+          ? std::string()
+          : segment_name(recovered.undecided.front().seq);
+  if (!compacted.empty()) {
+    if (!io::write_file_atomic(join(cfg_.dir, keep), compacted)) return false;
+  }
+  for (const std::string& name : io::list_dir(cfg_.dir)) {
+    if (!is_segment_name(name) || name == keep) continue;
+    io::remove_file(join(cfg_.dir, name));
+  }
+  next_seq_ = std::max<std::uint64_t>(1, recovered.next_seq);
+  return start_segment(next_seq_);
+}
+
+bool Journal::open(const Config& config, const JournalRecovery& recovered) {
+  close();
+  cfg_ = config;
+  if (!io::make_dirs(cfg_.dir)) return false;
+  return reset_segments(recovered);
+}
+
+bool Journal::open(const Config& config) {
+  return open(config, recover(config.dir));
+}
+
+void Journal::close() {
+  file_.close();
+  current_bytes_ = 0;
+}
+
+bool Journal::start_segment(std::uint64_t first_seq) {
+  file_.close();
+  current_bytes_ = 0;
+  return file_.open(join(cfg_.dir, segment_name(first_seq)));
+}
+
+bool Journal::append_framed(const std::string& record) {
+  std::string framed;
+  io::encode_frame(record, &framed);
+  if (!file_.append(framed, cfg_.sync)) {
+    ++stats_.append_failures;
+    return false;
+  }
+  current_bytes_ += framed.size();
+  return true;
+}
+
+std::uint64_t Journal::append_admit(const std::string& payload, std::size_t items) {
+  if (!file_.is_open()) return 0;
+  if (support::fault_should_trip("journal.append")) {
+    ++stats_.append_failures;
+    return 0;
+  }
+  const std::uint64_t seq = next_seq_;
+  if (current_bytes_ >= cfg_.rotate_bytes) {
+    if (!start_segment(seq)) return 0;
+    ++stats_.rotations;
+  }
+  if (!append_framed(encode_admit(seq, items, payload))) return 0;
+  ++next_seq_;
+  ++stats_.admits;
+  return seq;
+}
+
+bool Journal::append_terminal(const JournalTerminal& terminal) {
+  if (!file_.is_open()) return false;
+  if (support::fault_should_trip("journal.trim")) {
+    ++stats_.append_failures;
+    return false;
+  }
+  if (!append_framed(encode_terminal(terminal))) return false;
+  ++stats_.terminals;
+  return true;
+}
+
+bool Journal::compact() {
+  if (!file_.is_open()) return false;
+  file_.close();
+  current_bytes_ = 0;
+  return reset_segments(recover(cfg_.dir));
+}
+
+bool Journal::write_quarantine_file(const std::string& path, std::uint64_t seq,
+                                    const std::string& fixture_json) {
+  std::string framed;
+  io::encode_frame(encode_quarantine(seq, fixture_json), &framed);
+  return io::write_file_atomic(path, framed);
+}
+
+bool Journal::read_quarantine_file(const std::string& path,
+                                   std::string* fixture_json, std::string* error) {
+  std::string data;
+  if (!io::read_file(path, &data)) {
+    if (error) *error = "cannot read " + path;
+    return false;
+  }
+  std::string payload;
+  std::size_t consumed = 0;
+  if (io::decode_frame(data, 0, &payload, &consumed) == io::FrameStatus::kOk) {
+    Record r;
+    if (!decode_record(payload, &r, error)) return false;
+    if (r.type != RecordType::kQuarantine) {
+      if (error) *error = "framed record is not a quarantine fixture";
+      return false;
+    }
+    *fixture_json = std::move(r.payload);
+    return true;
+  }
+  // Legacy format: the file IS the fixture document.
+  *fixture_json = std::move(data);
+  return true;
+}
+
+}  // namespace partita::service

@@ -3,10 +3,78 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <sstream>
+
+#include "support/json.hpp"
 
 namespace partita::service {
 
 namespace {
+
+namespace json = partita::support::json;
+
+constexpr const char* kSnapshotFormat = "partita-cache-snapshot-v1";
+
+/// Serializes the answer-defining Selection fields (exactly the set
+/// solution_signature covers, plus the honesty labels). Solver
+/// observability counters are not persisted: a reloaded hit reports fresh
+/// (zero) search counters, like any served cache hit conceptually should.
+void selection_json(std::ostringstream& os, const select::Selection& sel) {
+  os << "{\"feasible\": " << (sel.feasible ? "true" : "false") << ", \"chosen\": [";
+  for (std::size_t i = 0; i < sel.chosen.size(); ++i) {
+    os << (i ? ", " : "") << sel.chosen[i];
+  }
+  os << "], \"ips\": [";
+  for (std::size_t i = 0; i < sel.ips_used.size(); ++i) {
+    os << (i ? ", " : "") << sel.ips_used[i].value;
+  }
+  os << "], \"ip_area\": " << json::fmt_double(sel.ip_area)
+     << ", \"interface_area\": " << json::fmt_double(sel.interface_area)
+     << ", \"ip_power\": " << json::fmt_double(sel.ip_power)
+     << ", \"interface_power\": " << json::fmt_double(sel.interface_power)
+     << ", \"s_instructions\": " << sel.s_instructions
+     << ", \"selected_scalls\": " << sel.selected_scalls
+     << ", \"min_path_gain\": " << sel.min_path_gain
+     << ", \"truncated\": " << (sel.truncated ? "true" : "false")
+     << ", \"greedy_fallback\": " << (sel.greedy_fallback ? "true" : "false")
+     << ", \"optimality_gap\": " << json::fmt_double(sel.optimality_gap)
+     << ", \"rung\": " << static_cast<int>(sel.rung)
+     << ", \"detail\": " << json::quote(sel.degradation_detail) << "}";
+}
+
+bool selection_from_json(const json::Object& o, select::Selection* out) {
+  select::Selection sel;
+  sel.feasible = json::bool_or(o, "feasible", false);
+  const json::Array* chosen = json::array_or_null(o, "chosen");
+  const json::Array* ips = json::array_or_null(o, "ips");
+  if (!chosen || !ips) return false;
+  for (const json::Value& v : *chosen) {
+    if (!v.is_number()) return false;
+    sel.chosen.push_back(static_cast<isel::ImpIndex>(v.number()));
+  }
+  for (const json::Value& v : *ips) {
+    if (!v.is_number()) return false;
+    sel.ips_used.push_back(iplib::IpId{static_cast<std::uint32_t>(v.number())});
+  }
+  sel.ip_area = json::num_or(o, "ip_area", 0.0);
+  sel.interface_area = json::num_or(o, "interface_area", 0.0);
+  sel.ip_power = json::num_or(o, "ip_power", 0.0);
+  sel.interface_power = json::num_or(o, "interface_power", 0.0);
+  sel.s_instructions = static_cast<int>(json::int_or(o, "s_instructions", 0));
+  sel.selected_scalls = static_cast<int>(json::int_or(o, "selected_scalls", 0));
+  sel.min_path_gain = json::int_or(o, "min_path_gain", 0);
+  sel.truncated = json::bool_or(o, "truncated", false);
+  sel.greedy_fallback = json::bool_or(o, "greedy_fallback", false);
+  sel.optimality_gap = json::num_or(o, "optimality_gap", 0.0);
+  const std::int64_t rung = json::int_or(o, "rung", -1);
+  if (rung < 0 || rung > static_cast<std::int64_t>(select::DegradationRung::kInfeasible)) {
+    return false;
+  }
+  sel.rung = static_cast<select::DegradationRung>(rung);
+  sel.degradation_detail = json::string_or(o, "detail", "");
+  *out = std::move(sel);
+  return true;
+}
 
 std::int64_t l1_distance(const std::vector<std::int64_t>& a,
                          const std::vector<std::int64_t>& b) {
@@ -61,7 +129,10 @@ SolutionCache::SolutionCache(Config cfg) : cfg_(cfg) {
 SolutionCache::Shard& SolutionCache::shard_for(const Key& key) {
   // Shard by GROUP, not full key: all gains-variants of one structure land
   // in one shard so the neighbor scan stays shard-local.
-  const std::string g = key.group();
+  return shard_for_group(key.group());
+}
+
+SolutionCache::Shard& SolutionCache::shard_for_group(const std::string& g) {
   std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
   for (const char c : g) {
     h ^= static_cast<unsigned char>(c);
@@ -199,6 +270,100 @@ void SolutionCache::invalidate_all() {
     ++sp->stats.invalidations;
     sp->gain_memo.clear();
   }
+}
+
+std::string SolutionCache::export_snapshot() const {
+  const std::uint64_t gen = generation_.load();
+  std::ostringstream entries;
+  std::ostringstream memos;
+  std::size_t count = 0;
+  bool first_memo = true;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> g(sp->mu);
+    for (const Entry& e : sp->lru) {
+      if (e.generation != gen) continue;  // invalidated: never resurfaces
+      entries << (count ? ", " : "") << "{\"key\": " << json::quote(e.key)
+              << ", \"group\": " << json::quote(e.group) << ", \"gains\": [";
+      for (std::size_t i = 0; i < e.resolved_gains.size(); ++i) {
+        entries << (i ? ", " : "") << e.resolved_gains[i];
+      }
+      entries << "], \"sel\": ";
+      selection_json(entries, e.selection);
+      entries << "}";
+      ++count;
+    }
+    for (const auto& [group, gain] : sp->gain_memo) {
+      memos << (first_memo ? "" : ", ") << "[" << json::quote(group) << ", "
+            << gain << "]";
+      first_memo = false;
+    }
+  }
+  if (count == 0 && first_memo) return "";
+  std::ostringstream os;
+  os << "{\"v\": " << json::quote(kSnapshotFormat) << ", \"entries\": ["
+     << entries.str() << "], \"gain_memo\": [" << memos.str() << "]}";
+  return os.str();
+}
+
+std::size_t SolutionCache::import_snapshot(const std::string& data) {
+  const auto doc = json::parse(data);
+  if (!doc || !doc->is_object()) return 0;
+  const json::Object& o = doc->object();
+  if (json::string_or(o, "v", "") != kSnapshotFormat) return 0;
+  const std::uint64_t gen = generation_.load();
+  std::size_t imported = 0;
+  if (const json::Array* entries = json::array_or_null(o, "entries")) {
+    for (const json::Value& v : *entries) {
+      if (!v.is_object()) continue;
+      const json::Object& eo = v.object();
+      Entry e;
+      e.key = json::string_or(eo, "key", "");
+      e.group = json::string_or(eo, "group", "");
+      if (e.key.empty() || e.group.empty()) continue;
+      const json::Array* gains = json::array_or_null(eo, "gains");
+      if (!gains) continue;
+      bool ok = true;
+      for (const json::Value& gv : *gains) {
+        if (!gv.is_number()) {
+          ok = false;
+          break;
+        }
+        e.resolved_gains.push_back(static_cast<std::int64_t>(gv.number()));
+      }
+      const json::Object* sel = json::object_or_null(eo, "sel");
+      if (!ok || !sel || !selection_from_json(*sel, &e.selection)) continue;
+      e.artifacts.carry_search_state = true;
+      e.generation = gen;
+      e.bytes = entry_bytes(e);
+      Shard& s = shard_for_group(e.group);
+      std::lock_guard<std::mutex> g(s.mu);
+      const auto it = s.index.find(e.key);
+      if (it != s.index.end()) {
+        s.bytes -= it->second->bytes;
+        s.lru.erase(it->second);
+        s.index.erase(it);
+      }
+      s.bytes += e.bytes;
+      s.lru.push_front(std::move(e));
+      s.index[s.lru.front().key] = s.lru.begin();
+      ++s.stats.insertions;
+      evict_locked(s);
+      ++imported;
+    }
+  }
+  if (const json::Array* memo = json::array_or_null(o, "gain_memo")) {
+    for (const json::Value& v : *memo) {
+      if (!v.is_array() || v.array().size() != 2 || !v.array()[0].is_string() ||
+          !v.array()[1].is_number()) {
+        continue;
+      }
+      const std::string& group = v.array()[0].string();
+      Shard& s = shard_for_group(group);
+      std::lock_guard<std::mutex> g(s.mu);
+      s.gain_memo[group] = static_cast<std::int64_t>(v.array()[1].number());
+    }
+  }
+  return imported;
 }
 
 CacheStats SolutionCache::stats() const {

@@ -138,6 +138,22 @@ class SolutionCache {
   /// The service calls this when solver defaults change underneath it.
   void invalidate_all();
 
+  /// Serializes every current-generation entry plus the derived-gain memos
+  /// to a partita-cache-snapshot-v1 JSON document ("" when there is nothing
+  /// to save). Solver artifacts (BatchContext) are deliberately NOT
+  /// persisted -- they only accelerate, never decide, so dropping them
+  /// keeps snapshots small and trivially answer-safe; reloaded entries
+  /// serve exact hits and re-earn their seeding artifacts on first re-use.
+  /// Entries outdated by invalidate_all() are filtered at export, so stale
+  /// answers never survive a restart.
+  std::string export_snapshot() const;
+
+  /// Re-populates the cache from an export_snapshot document. Imported
+  /// entries join the current generation and the normal LRU/byte bounds
+  /// (eviction applies immediately). Returns entries imported; 0 on a
+  /// malformed document. Malformed individual entries are skipped.
+  std::size_t import_snapshot(const std::string& data);
+
   CacheStats stats() const;
 
  private:
@@ -162,6 +178,7 @@ class SolutionCache {
   };
 
   Shard& shard_for(const Key& key);
+  Shard& shard_for_group(const std::string& group);
   void evict_locked(Shard& s);
   static std::size_t entry_bytes(const Entry& e);
 

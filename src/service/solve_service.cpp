@@ -4,9 +4,12 @@
 #include <exception>
 #include <utility>
 
+#include "ilp/checkpoint.hpp"
 #include "oracle/fixture.hpp"
+#include "service/journal.hpp"
 #include "support/assert.hpp"
 #include "support/fault_injection.hpp"
+#include "support/io.hpp"
 
 namespace partita::service {
 
@@ -30,6 +33,7 @@ SolveService::SolveService(ServiceConfig config)
     cc.shards = cfg_.cache_shards;
     cache_ = std::make_unique<SolutionCache>(cc);
   }
+  if (!cfg_.checkpoint_dir.empty()) support::io::make_dirs(cfg_.checkpoint_dir);
   paused_ = cfg_.start_paused;
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
@@ -60,10 +64,12 @@ SubmitOutcome SolveService::submit(SolveRequest request) {
     Entry& e = entries_[ticket];
     e.response.ticket = ticket;
     e.response.label = batch ? base + "#" + std::to_string(i) : base;
+    e.response.recovered = request.recovered;
     e.tenant = request.tenant;
     out.tickets.push_back(ticket);
   }
   stats_.submitted += n;
+  if (request.recovered) ++stats_.recovered_requests;
 
   // Admission. The memory charge is what the request *declared* it may
   // consume (its solver arena cap), or a conservative default: shedding
@@ -131,8 +137,38 @@ SubmitOutcome SolveService::submit(SolveRequest request) {
                        "evicted by a higher-priority arrival (rejecter policy)");
   }
 
+  // Durability: append-before-acknowledge. The admit record must be on
+  // stable storage before any ticket escapes this call; a failed append
+  // (full disk, injected fault, crash) rejects the request instead -- the
+  // caller never received an acknowledgment, so nothing acknowledged is
+  // ever lost. Boot-recovery replays arrive with their original seq (their
+  // admit record survived compaction) and must not be appended again.
+  std::uint64_t jseq = request.journal_seq;
+  if (cfg_.journal != nullptr && jseq == 0 && !request.journal_payload.empty()) {
+    jseq = cfg_.journal->append_admit(request.journal_payload, n);
+    if (jseq == 0) {
+      ++stats_.journal_rejects;
+      const double hint = retry_after_hint_locked();
+      for (const std::uint64_t t : out.tickets) {
+        Entry& e = entries_.at(t);
+        e.response.retry_after_seconds = hint;
+        e.response.error = support::Error::transient(
+            "journal append failed; request was not acknowledged");
+        finalize_locked(e, RequestState::kRejected);
+      }
+      // The policy already admitted the ticket; retract it.
+      policy_->on_complete(out.tickets.front(), RequestState::kRejected,
+                           clock_.now_micros());
+      out.state = RequestState::kRejected;
+      out.retry_after_seconds = hint;
+      out.reject_reason = "journal append failed; request was not acknowledged";
+      return out;
+    }
+  }
+
   const std::uint64_t leader = out.tickets.front();
-  for (const std::uint64_t t : out.tickets) {
+  for (std::size_t i = 0; i < out.tickets.size(); ++i) {
+    const std::uint64_t t = out.tickets[i];
     Entry& e = entries_.at(t);
     e.live = true;
     e.response.state = RequestState::kQueued;
@@ -141,6 +177,8 @@ SubmitOutcome SolveService::submit(SolveRequest request) {
     // admission more permissive, never blocks it.
     e.memory_charge = t == leader ? charge : 0;
     e.batch_leader = batch ? leader : 0;
+    e.journal_seq = jseq;
+    e.journal_item = i;
     ++live_per_tenant_[e.tenant];
   }
   admitted_memory_ += charge;
@@ -155,6 +193,7 @@ SubmitOutcome SolveService::submit(SolveRequest request) {
     ++stats_.batches;
     stats_.batch_items += n;
   } else {
+    request.journal_seq = jseq;  // keys this request's checkpoint file
     entries_.at(leader).request = std::move(request);
   }
   stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, policy_->queued());
@@ -269,6 +308,9 @@ void SolveService::drain() {
   paused_ = false;  // parked queues must flush, not hang
   work_cv_.notify_all();
   done_cv_.wait(lk, [&] { return live_count_ == 0; });
+  // Quiesced: every admit is paired with a terminal record, so compaction
+  // collapses the journal to one empty segment for the next boot.
+  if (cfg_.journal != nullptr && cfg_.journal->is_open()) cfg_.journal->compact();
 }
 
 void SolveService::shutdown() {
@@ -305,6 +347,18 @@ void SolveService::invalidate_cache() {
   if (cache_ != nullptr) cache_->invalidate_all();
 }
 
+std::string SolveService::export_cache_snapshot() const {
+  return cache_ != nullptr ? cache_->export_snapshot() : std::string();
+}
+
+std::size_t SolveService::import_cache_snapshot(const std::string& data) {
+  return cache_ != nullptr ? cache_->import_snapshot(data) : 0;
+}
+
+std::string SolveService::checkpoint_path(std::uint64_t journal_seq) const {
+  return cfg_.checkpoint_dir + "/ckpt_" + std::to_string(journal_seq) + ".bin";
+}
+
 PolicyStats SolveService::scheduler_stats() const {
   std::lock_guard<std::mutex> g(mu_);
   return policy_->stats();
@@ -317,6 +371,24 @@ const char* SolveService::policy_name() const {
 
 void SolveService::finalize_locked(Entry& e, RequestState state) {
   e.response.state = state;
+  // Durability: the terminal record pairs with the admit and lets boot
+  // compaction drop this entry. Best-effort -- a lost terminal record (fault
+  // site journal.trim, crash) only means the admit replays on recovery, so
+  // execution is at-least-once while acknowledgment stays exactly-once.
+  if (e.journal_seq != 0 && cfg_.journal != nullptr) {
+    JournalTerminal t;
+    t.seq = e.journal_seq;
+    t.item = e.journal_item;
+    t.state = to_string(state);
+    t.label = e.response.label;
+    if (state == RequestState::kCompleted) {
+      t.signature = select::solution_signature(e.response.selection);
+    }
+    cfg_.journal->append_terminal(t);
+    if (!cfg_.checkpoint_dir.empty() && e.batch_leader == 0) {
+      support::io::remove_file(checkpoint_path(e.journal_seq));
+    }
+  }
   switch (state) {
     case RequestState::kCompleted: ++stats_.completed; break;
     case RequestState::kCancelled: ++stats_.cancelled; break;
@@ -496,13 +568,19 @@ RequestState SolveService::run_request(const SolveRequest& request,
       continue;
     }
     out.error = err;
-    // Quarantine: spec-carrying requests leave a replayable oracle fixture
-    // (partita-oracle-fixture-v1) behind, so the exact failing instance can
-    // be re-run offline with `partita_fuzz --replay <fixture>`.
+    // Quarantine: spec-carrying requests leave a replayable fixture behind,
+    // so the exact failing instance can be re-run offline with
+    // `partita_fuzz --replay <fixture>`. Since the journal landed, the file
+    // is one CRC-framed partita-journal-v1 quarantine record embedding the
+    // partita-oracle-fixture-v1 document -- the same framing the WAL uses,
+    // and the replayer accepts both this and the legacy bare-JSON form.
     if (request.spec.has_value() && !cfg_.quarantine_dir.empty()) {
       const std::string path = cfg_.quarantine_dir + "/quarantine_" +
                                std::to_string(out.ticket) + ".json";
-      if (oracle::write_fixture(path, *request.spec)) {
+      const std::uint64_t seq =
+          request.journal_seq != 0 ? request.journal_seq : out.ticket;
+      if (Journal::write_quarantine_file(path, seq,
+                                         oracle::fixture_json(*request.spec))) {
         out.quarantine_fixture = path;
       }
     }
@@ -526,6 +604,26 @@ support::Result<select::Selection> SolveService::run_attempt(
     select::SelectOptions opt = req.options;
     opt.ilp.budget.cancel = cancel.token();
     opt.ilp.budget.clock = cfg_.clock;
+    // Durability: journaled solves snapshot their branch & bound frontier at
+    // wave boundaries, and a boot-recovery replay resumes from the last
+    // snapshot instead of re-exploring the tree. The solver re-checks
+    // resume_compatible against the actual model, so a snapshot taken by a
+    // different solve under this seq (e.g. the auxiliary gain probe)
+    // silently starts cold. Answers are bit-identical either way
+    // (canonical tie-breaking; checkpoint_resume_test proves it).
+    ilp::SearchCheckpoint resume_cp;
+    if (cfg_.checkpoint_every_waves > 0 && !cfg_.checkpoint_dir.empty() &&
+        req.journal_seq != 0) {
+      const std::string ckpt = checkpoint_path(req.journal_seq);
+      opt.ilp.checkpoint_every_waves = cfg_.checkpoint_every_waves;
+      opt.ilp.checkpoint_sink = [ckpt](const ilp::SearchCheckpoint& cp) {
+        ilp::write_checkpoint_file(ckpt, cp);
+      };
+      if (req.recovered && attempt == 1 &&
+          ilp::load_checkpoint_file(ckpt, &resume_cp, nullptr)) {
+        opt.ilp.resume = &resume_cp;
+      }
+    }
     // Retries run on a lower degradation rung: each extra attempt shrinks
     // the node budget 16x, steering the ladder toward gap-bounded / greedy
     // answers so a recurring transient fault still converges to a terminal

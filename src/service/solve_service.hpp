@@ -38,6 +38,17 @@
 //   * Graceful drain: drain() stops admission and blocks until everything
 //     already admitted reached its natural terminal state (cancel tickets
 //     first for a fast abort); shutdown() additionally joins the pool.
+//   * Durability (optional; see service/journal.hpp and docs/durability.md):
+//     with a Journal configured, every admitted request is appended to the
+//     write-ahead journal BEFORE submit() returns its ticket, and every
+//     terminal transition appends a matching terminal record. A process
+//     killed mid-storm therefore loses no acknowledged request: boot-time
+//     recovery replays the undecided admits through normal admission under
+//     their original tenant/priority/deadline envelopes. Long solves
+//     additionally checkpoint their branch & bound frontier at wave
+//     boundaries (ilp/checkpoint.hpp) so a recovered request resumes the
+//     search instead of restarting it cold -- with answers bit-identical to
+//     an uninterrupted run (canonical tie-breaking).
 //
 // All timing (deadlines via the per-request budget, retry backoff, the
 // scheduler's aging/EDF decisions, the drain-rate estimator) goes through an
@@ -67,6 +78,8 @@
 #include "workloads/workloads.hpp"
 
 namespace partita::service {
+
+class Journal;  // service/journal.hpp
 
 /// The one request envelope, shared by the in-process API, the wire
 /// protocol (partita-wire-v1) and the script drivers: a workload, scheduling
@@ -108,6 +121,20 @@ struct SolveRequest {
   /// the "edf" policy for ordering (an overdue request is not auto-killed;
   /// its own solver budget governs termination).
   double deadline_seconds = 0.0;
+
+  // --- durability (consumed only when ServiceConfig::journal is set) -------
+  /// Opaque wire encoding of this request, journaled verbatim at admission
+  /// so recovery can reconstruct the exact envelope. The service never
+  /// parses it. Empty = the request is not journaled (in-process callers
+  /// that opt out).
+  std::string journal_payload;
+  /// 0: assign a fresh journal seq at admission. Non-zero: this request IS
+  /// a replay of an already-journaled admit (boot recovery compacted its
+  /// record already), so admission must not re-append it.
+  std::uint64_t journal_seq = 0;
+  /// True for requests re-admitted by boot recovery; echoed on the
+  /// response (and the wire) so clients can tell a replayed answer.
+  bool recovered = false;
 };
 
 /// The outcome of one submit: every issued ticket (one for a single
@@ -147,6 +174,9 @@ struct SolveResponse {
   /// a completed solve with an identical key, so all outcomes are
   /// bit-identical to a cold solve (see docs/caching.md).
   std::string cache;
+  /// True when this request was replayed from the write-ahead journal after
+  /// a crash (its original acknowledgment predates this process).
+  bool recovered = false;
 };
 
 /// DEPRECATED: use SolveRequest::required_gains. Kept as a thin alias shape
@@ -207,6 +237,18 @@ struct ServiceConfig {
   /// (bases, pseudo-costs, cliques, incumbents). Answer-safe: a seeded
   /// search that truncates is redone cold before answering.
   bool cache_neighbor_seeding = true;
+
+  // --- durability (see service/journal.hpp, docs/durability.md) ------------
+  /// Write-ahead journal; null disables durability (pre-journal behavior is
+  /// unchanged). Not owned. The service appends under its own mutex, so one
+  /// journal serves one service.
+  Journal* journal = nullptr;
+  /// Directory for branch & bound checkpoints of journaled requests; ""
+  /// disables checkpointing (recovered requests then re-solve cold).
+  std::string checkpoint_dir;
+  /// Checkpoint cadence in solver waves (ilp::IlpOptions forward); <= 0
+  /// disables.
+  int checkpoint_every_waves = 0;
 };
 
 struct ServiceStats {
@@ -237,6 +279,10 @@ struct ServiceStats {
   std::uint64_t cache_stale = 0;           // entries dropped after invalidation
   std::uint64_t cache_seed_fallbacks = 0;  // seeded solves redone cold after
                                            // a truncation (answer-safety)
+  // Durability (all zero without a configured journal).
+  std::uint64_t recovered_requests = 0;  // admits replayed by boot recovery
+  std::uint64_t journal_rejects = 0;     // submits refused because the WAL
+                                         // append failed (never acknowledged)
 };
 
 class SolveService {
@@ -296,6 +342,16 @@ class SolveService {
   /// answers changes underneath the service. No-op when the cache is off.
   void invalidate_cache();
 
+  /// Serialized snapshot of the solution cache (partita-cache-snapshot-v1);
+  /// "" when the cache is disabled or empty. The serve daemon persists this
+  /// next to the journal on graceful drain.
+  std::string export_cache_snapshot() const;
+  /// Re-populates the cache from an export_cache_snapshot document.
+  /// Generation-checked inside the cache: entries invalidated before the
+  /// snapshot never resurface. Returns the number of entries imported
+  /// (0 when the cache is off or the snapshot is malformed).
+  std::size_t import_cache_snapshot(const std::string& data);
+
  private:
   struct Entry {
     SolveRequest request;  // released (workload freed) at terminal state
@@ -308,6 +364,10 @@ class SolveService {
     /// The leader's ticket doubles as the job key in jobs_ and the
     /// scheduler's pending set.
     std::uint64_t batch_leader = 0;
+    /// Journal coordinates (0 seq: not journaled). finalize_locked appends
+    /// the matching terminal record and drops the request's checkpoint.
+    std::uint64_t journal_seq = 0;
+    std::size_t journal_item = 0;
   };
 
   /// One admitted batch, keyed in jobs_ by its leader (first) ticket, which
@@ -347,6 +407,9 @@ class SolveService {
   void shed_queued_locked(std::uint64_t ticket, const std::string& why);
   /// Current drain-rate-derived retry-after hint. Caller holds mu_.
   double retry_after_hint_locked() const;
+  /// Checkpoint file for one journaled single request (batches solve as one
+  /// amortized unit and are replayed whole instead of checkpointed).
+  std::string checkpoint_path(std::uint64_t journal_seq) const;
 
   ServiceConfig cfg_;
   support::Clock& clock_;

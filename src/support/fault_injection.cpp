@@ -1,5 +1,8 @@
 #include "support/fault_injection.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 namespace partita::support {
 
 FaultInjector& FaultInjector::instance() {
@@ -7,10 +10,12 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
-void FaultInjector::arm(std::string_view site, std::uint64_t trip_at, bool sticky) {
+void FaultInjector::arm(std::string_view site, std::uint64_t trip_at, bool sticky,
+                        bool crash) {
   auto fresh = std::make_shared<Site>();
   fresh->trip_at = trip_at == 0 ? 1 : trip_at;
   fresh->sticky = sticky;
+  fresh->crash = crash;
   std::lock_guard<std::mutex> g(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) {
@@ -50,6 +55,10 @@ bool FaultInjector::should_trip(std::string_view site) {
   if (n == s->trip_at) {
     // Exactly one thread performs this transition.
     if (s->sticky) s->tripped.store(true, std::memory_order_release);
+    if (s->crash) {
+      // Simulated power loss: no flushing, no destructors, no exit codes.
+      ::kill(::getpid(), SIGKILL);
+    }
     return true;
   }
   if (n > s->trip_at) return s->sticky;

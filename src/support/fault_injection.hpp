@@ -31,10 +31,20 @@
 //                          objective (oracle/shrinker divergence demo)
 //   "service.transient"    injected transient failure in the solve service
 //                          worker (exercises RetryPolicy + quarantine)
+//   "journal.append"       write-ahead journal admit append (durability)
+//   "journal.trim"         terminal-state trim append in the journal
+//   "checkpoint.write"     B&B checkpoint file write at a wave boundary
 //
-// The CLI additionally arms one site from the PARTITA_FAULT=site[:n]
-// environment variable (tools/partita_cli.cpp, tools/partita_served.cpp), so
-// ctest can exercise the degraded exit path end to end.
+// Crash mode (`crasher`): arming a site with crash = true turns its trip
+// into a SIGKILL of the whole process -- no atexit handlers, no flushing,
+// the closest deterministic stand-in for power loss. The kill-and-recover
+// harness arms crash sites around the journal/checkpoint writes to prove
+// recovery replays every acknowledged request.
+//
+// The CLI additionally arms one site from the PARTITA_FAULT=site[:n[:crash]]
+// environment variable (tools/partita_cli.cpp, tools/partita_served.cpp,
+// tools/partita_serve.cpp), so ctest can exercise the degraded exit path --
+// and the crash-recovery path -- end to end.
 #pragma once
 
 #include <atomic>
@@ -55,8 +65,10 @@ class FaultInjector {
   /// (1-based) and every call after it return true, like a real expired
   /// deadline. Non-sticky: *only* the trip_at-th call returns true -- a
   /// one-shot transient fault that subsequent retries recover from.
-  /// Re-arming resets the hit count.
-  void arm(std::string_view site, std::uint64_t trip_at = 1, bool sticky = true);
+  /// Re-arming resets the hit count. With `crash`, a trip SIGKILLs the
+  /// process instead of returning true (simulated power loss).
+  void arm(std::string_view site, std::uint64_t trip_at = 1, bool sticky = true,
+           bool crash = false);
   void disarm(std::string_view site);
   /// Disarms every site and clears all hit counts.
   void reset();
@@ -72,6 +84,7 @@ class FaultInjector {
   struct Site {
     std::uint64_t trip_at = 1;
     bool sticky = true;
+    bool crash = false;
     std::atomic<std::uint64_t> hits{0};
     std::atomic<bool> tripped{false};
   };

@@ -1,0 +1,237 @@
+#include "support/io.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace partita::support::io {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const std::string& data, std::size_t at) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(data[at])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(data[at + 1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(data[at + 2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(data[at + 3])) << 24;
+}
+
+/// Directory of `path` ("." when it has no slash), for post-rename fsync.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_frame(const std::string& payload, std::string* out) {
+  put_u32(out, kFrameMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+FrameStatus decode_frame(const std::string& data, std::size_t offset,
+                         std::string* payload, std::size_t* consumed) {
+  if (offset >= data.size()) return FrameStatus::kNeedMore;
+  const std::size_t avail = data.size() - offset;
+  if (avail < kFrameHeaderBytes) {
+    // A short header is only "need more" while it still prefixes the magic;
+    // otherwise it is garbage and salvage should stop here.
+    for (std::size_t i = 0; i < std::min<std::size_t>(avail, 4); ++i) {
+      const std::uint32_t expect = (kFrameMagic >> (8 * i)) & 0xFF;
+      if (static_cast<unsigned char>(data[offset + i]) != expect) {
+        return FrameStatus::kCorrupt;
+      }
+    }
+    return FrameStatus::kNeedMore;
+  }
+  if (get_u32(data, offset) != kFrameMagic) return FrameStatus::kCorrupt;
+  const std::uint32_t length = get_u32(data, offset + 4);
+  if (length > kMaxFramePayload) return FrameStatus::kCorrupt;
+  if (avail < kFrameHeaderBytes + length) return FrameStatus::kNeedMore;
+  const std::uint32_t want_crc = get_u32(data, offset + 8);
+  const char* body = data.data() + offset + kFrameHeaderBytes;
+  if (crc32(body, length) != want_crc) return FrameStatus::kCorrupt;
+  payload->assign(body, length);
+  *consumed = kFrameHeaderBytes + length;
+  return FrameStatus::kOk;
+}
+
+std::vector<std::string> decode_frames(const std::string& data,
+                                       std::size_t* dropped_bytes) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at < data.size()) {
+    std::string payload;
+    std::size_t consumed = 0;
+    const FrameStatus st = decode_frame(data, at, &payload, &consumed);
+    if (st != FrameStatus::kOk) break;
+    out.push_back(std::move(payload));
+    at += consumed;
+  }
+  if (dropped_bytes) *dropped_bytes = data.size() - at;
+  return out;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, const std::string& data,
+                       bool sync) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = write_all(fd, data.data(), data.size());
+  if (ok && sync) ok = ::fsync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (sync) fsync_dir(dir_of(path));
+  return true;
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (!d) return names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st {};
+    if (::stat((dir + "/" + name).c_str(), &st) != 0) continue;
+    if (!S_ISREG(st.st_mode)) continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool make_dirs(const std::string& dir) {
+  if (dir.empty()) return false;
+  std::string partial;
+  std::size_t at = 0;
+  while (at <= dir.size()) {
+    const std::size_t slash = dir.find('/', at);
+    partial = slash == std::string::npos ? dir : dir.substr(0, slash);
+    if (!partial.empty() && partial != "/") {
+      if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) return false;
+    }
+    if (slash == std::string::npos) break;
+    at = slash + 1;
+  }
+  struct stat st {};
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool remove_file(const std::string& path) { return ::unlink(path.c_str()) == 0; }
+
+AppendFile::~AppendFile() { close(); }
+
+bool AppendFile::open(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return false;
+  path_ = path;
+  return true;
+}
+
+bool AppendFile::append(const std::string& data, bool sync) {
+  if (fd_ < 0) return false;
+  if (!write_all(fd_, data.data(), data.size())) return false;
+  return !sync || ::fsync(fd_) == 0;
+}
+
+bool AppendFile::sync() { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+}  // namespace partita::support::io

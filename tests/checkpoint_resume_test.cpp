@@ -1,0 +1,227 @@
+// Checkpoint/resume of the branch & bound search (ilp/checkpoint.hpp):
+// differential bit-identity -- a search interrupted at ANY wave boundary and
+// resumed from its checkpoint must report exactly the status, objective and
+// canonical solution vector of the uninterrupted run -- plus codec round
+// trips, the compatibility guard (wrong model / wrong options = cold start,
+// not a wrong answer), and torn-checkpoint-file totality.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "ilp/branch_bound.hpp"
+#include "ilp/checkpoint.hpp"
+#include "ilp/fingerprint.hpp"
+#include "ilp/model.hpp"
+#include "support/io.hpp"
+
+namespace partita::ilp {
+namespace {
+
+std::string fresh_path(const std::string& tag) {
+  static int counter = 0;
+  return ::testing::TempDir() + "partita_ckpt_" + std::to_string(::getpid()) +
+         "_" + tag + "_" + std::to_string(counter++) + ".bin";
+}
+
+/// Seeded random set-packing-flavoured model, hard enough to run for several
+/// waves (so checkpoints actually capture a live frontier).
+Model random_model(std::mt19937& rng, int n, int rows) {
+  std::uniform_int_distribution<int> coef(1, 20);
+  Model m;
+  m.set_sense(Sense::kMaximize);
+  for (int j = 0; j < n; ++j) m.add_binary("x" + std::to_string(j), coef(rng));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng() % 2) terms.push_back({static_cast<VarIndex>(j), double(coef(rng))});
+    }
+    if (terms.empty()) continue;
+    double total = 0;
+    for (const Term& t : terms) total += t.coeff;
+    m.add_row("r" + std::to_string(r), terms, RowSense::kLessEqual,
+              std::floor(total / 2.0));
+  }
+  return m;
+}
+
+void expect_same_answer(const IlpResult& got, const IlpResult& want,
+                        const Model& m, const std::string& what) {
+  ASSERT_EQ(got.status, want.status) << what << "\n" << m.dump();
+  if (want.status != IlpStatus::kOptimal) return;
+  EXPECT_EQ(got.objective, want.objective) << what << "\n" << m.dump();
+  ASSERT_EQ(got.x.size(), want.x.size()) << what;
+  for (std::size_t j = 0; j < got.x.size(); ++j) {
+    EXPECT_EQ(got.x[j], want.x[j]) << what << ": var " << j << "\n" << m.dump();
+  }
+}
+
+// --- the differential: resume == uninterrupted, at every wave boundary -----
+
+TEST(CheckpointResume, ResumedAnswerIsBitIdenticalAtEveryWaveBoundary) {
+  std::mt19937 rng(20260808);
+  int resumed_runs = 0;
+  for (int instance = 0; instance < 12; ++instance) {
+    const Model m = random_model(rng, 14, 7);
+
+    IlpOptions base;
+    const IlpResult uninterrupted = solve_ilp(m, base);
+
+    // Capture a checkpoint at every wave boundary of a reference search.
+    std::vector<SearchCheckpoint> snaps;
+    IlpOptions capture;
+    capture.checkpoint_every_waves = 1;
+    capture.checkpoint_sink = [&snaps](const SearchCheckpoint& cp) {
+      snaps.push_back(cp);
+    };
+    const IlpResult captured = solve_ilp(m, capture);
+    expect_same_answer(captured, uninterrupted, m, "checkpointing run");
+    EXPECT_EQ(captured.stats.checkpoints_written,
+              static_cast<int>(snaps.size()));
+
+    // Resume from every snapshot: kill-at-any-wave, recover, same answer.
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      IlpOptions resume;
+      resume.resume = &snaps[i];
+      const IlpResult r = solve_ilp(m, resume);
+      expect_same_answer(r, uninterrupted, m,
+                         "resume from wave snapshot " + std::to_string(i));
+      if (!snaps[i].frontier.empty()) {
+        EXPECT_GT(r.stats.resumed_frontier, 0)
+            << "snapshot " << i << " had a frontier but the solve went cold";
+        ++resumed_runs;
+      }
+    }
+  }
+  // The suite must actually exercise warm resumes, not just empty frontiers.
+  EXPECT_GT(resumed_runs, 0);
+}
+
+TEST(CheckpointResume, RoundTripThroughCodecPreservesTheAnswer) {
+  std::mt19937 rng(7);
+  const Model m = random_model(rng, 13, 6);
+  const IlpResult want = solve_ilp(m, {});
+
+  std::vector<SearchCheckpoint> snaps;
+  IlpOptions capture;
+  capture.checkpoint_every_waves = 1;
+  capture.checkpoint_sink = [&snaps](const SearchCheckpoint& cp) {
+    snaps.push_back(cp);
+  };
+  solve_ilp(m, capture);
+  ASSERT_FALSE(snaps.empty());
+
+  for (const SearchCheckpoint& cp : snaps) {
+    // JSON document round trip.
+    SearchCheckpoint decoded;
+    std::string error;
+    ASSERT_TRUE(decode_checkpoint(encode_checkpoint(cp), &decoded, &error))
+        << error;
+    EXPECT_EQ(decoded.frontier.size(), cp.frontier.size());
+    EXPECT_EQ(decoded.options_digest, cp.options_digest);
+    EXPECT_EQ(decoded.has_incumbent, cp.has_incumbent);
+    EXPECT_EQ(decoded.incumbent, cp.incumbent);  // bit-exact doubles
+
+    // File round trip (CRC frame + atomic replace), then resume from it.
+    const std::string path = fresh_path("roundtrip");
+    ASSERT_TRUE(write_checkpoint_file(path, cp));
+    SearchCheckpoint loaded;
+    ASSERT_TRUE(load_checkpoint_file(path, &loaded, &error)) << error;
+    IlpOptions resume;
+    resume.resume = &loaded;
+    expect_same_answer(solve_ilp(m, resume), want, m, "resume from file");
+    std::remove(path.c_str());
+  }
+}
+
+// --- compatibility guard ----------------------------------------------------
+
+TEST(CheckpointResume, WrongModelOrOptionsFallsBackToColdStart) {
+  std::mt19937 rng(99);
+  const Model m = random_model(rng, 12, 6);
+  const Model other = random_model(rng, 12, 6);
+
+  std::vector<SearchCheckpoint> snaps;
+  IlpOptions capture;
+  capture.checkpoint_every_waves = 1;
+  capture.checkpoint_sink = [&snaps](const SearchCheckpoint& cp) {
+    snaps.push_back(cp);
+  };
+  solve_ilp(m, capture);
+  ASSERT_FALSE(snaps.empty());
+  const SearchCheckpoint& cp = snaps.back();
+
+  EXPECT_TRUE(resume_compatible(cp, fingerprint_model(m), cp.options_digest));
+  EXPECT_FALSE(
+      resume_compatible(cp, fingerprint_model(other), cp.options_digest));
+  EXPECT_FALSE(resume_compatible(cp, fingerprint_model(m), cp.options_digest ^ 1));
+
+  // A stale checkpoint handed to a different model's solve is ignored, not
+  // trusted: the answer must match that model's own cold solve.
+  const IlpResult cold = solve_ilp(other, {});
+  IlpOptions resume;
+  resume.resume = &cp;
+  const IlpResult guarded = solve_ilp(other, resume);
+  expect_same_answer(guarded, cold, other, "guarded resume");
+  EXPECT_EQ(guarded.stats.resumed_frontier, 0);
+}
+
+// --- torn files: loading is total -------------------------------------------
+
+TEST(CheckpointResume, TornOrCorruptFileNeverCrashesAndNeverLies) {
+  std::mt19937 rng(5);
+  const Model m = random_model(rng, 12, 5);
+  std::vector<SearchCheckpoint> snaps;
+  IlpOptions capture;
+  capture.checkpoint_every_waves = 1;
+  capture.checkpoint_sink = [&snaps](const SearchCheckpoint& cp) {
+    snaps.push_back(cp);
+  };
+  solve_ilp(m, capture);
+  ASSERT_FALSE(snaps.empty());
+
+  const std::string path = fresh_path("torn");
+  ASSERT_TRUE(write_checkpoint_file(path, snaps.back()));
+  std::string bytes;
+  ASSERT_TRUE(support::io::read_file(path, &bytes));
+
+  std::mt19937_64 fuzz(31337);
+  SearchCheckpoint out;
+  std::string error;
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string mutated = bytes;
+    switch (trial % 3) {
+      case 0:  // truncate
+        mutated.resize(fuzz() % mutated.size());
+        break;
+      case 1:  // flip a bit
+        mutated[fuzz() % mutated.size()] ^= static_cast<char>(1u << (fuzz() % 8));
+        break;
+      default:  // random garbage
+        for (char& c : mutated) c = static_cast<char>(fuzz());
+        break;
+    }
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    f.close();
+    if (load_checkpoint_file(path, &out, &error)) {
+      // A bit flip the CRC missed is astronomically unlikely; if the load
+      // succeeded the content must still resume to the right answer.
+      IlpOptions resume;
+      resume.resume = &out;
+      expect_same_answer(solve_ilp(m, resume), solve_ilp(m, {}), m,
+                         "resume from surviving mutation");
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace partita::ilp

@@ -12,6 +12,7 @@
 
 #include "oracle/fixture.hpp"
 #include "select/flow.hpp"
+#include "service/journal.hpp"
 #include "service/solve_service.hpp"
 #include "support/clock.hpp"
 #include "support/fault_injection.hpp"
@@ -316,10 +317,16 @@ TEST(SolveServiceQuarantine, PermanentFailureDumpsReplayableFixture) {
   EXPECT_EQ(r.attempts, 1);  // permanent errors are never retried
   ASSERT_FALSE(r.quarantine_fixture.empty());
 
-  // The fixture is the PR-3 oracle format and round-trips to the same spec,
-  // so `partita_fuzz --replay <fixture>` can re-run the exact instance.
+  // The file is one CRC-framed journal quarantine record embedding the PR-3
+  // oracle document, and round-trips to the same spec -- so both
+  // `partita_fuzz --replay <fixture>` and the journal tooling can re-run
+  // the exact instance.
   std::string err;
-  const auto reloaded = oracle::load_fixture(r.quarantine_fixture, &err);
+  std::string doc;
+  ASSERT_TRUE(
+      service::Journal::read_quarantine_file(r.quarantine_fixture, &doc, &err))
+      << err;
+  const auto reloaded = oracle::parse_fixture(doc, &err);
   ASSERT_TRUE(reloaded.has_value()) << err;
   EXPECT_TRUE(workloads::spec_valid(*reloaded));
   EXPECT_EQ(oracle::fixture_json(*reloaded), oracle::fixture_json(spec));

@@ -33,6 +33,7 @@
 #include "oracle/fixture.hpp"
 #include "oracle/shrink.hpp"
 #include "select/flow.hpp"
+#include "service/journal.hpp"
 #include "service/solve_service.hpp"
 #include "workloads/random_workload.hpp"
 
@@ -69,9 +70,18 @@ bool parse_int(const char* s, long long* out) {
   return end && *end == '\0' && end != s;
 }
 
+// Accepts both quarantine formats: a CRC-framed partita-journal-v1
+// quarantine record (what the journaling service writes) and legacy bare
+// fixture JSON -- read_quarantine_file dispatches on the frame magic.
 int replay_fixture(const std::string& path) {
   std::string error;
-  const auto spec = oracle::load_fixture(path, &error);
+  std::string doc;
+  if (!service::Journal::read_quarantine_file(path, &doc, &error)) {
+    std::fprintf(stderr, "partita_fuzz: cannot read fixture %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const auto spec = oracle::parse_fixture(doc, &error);
   if (!spec) {
     std::fprintf(stderr, "partita_fuzz: cannot load fixture %s: %s\n", path.c_str(),
                  error.c_str());

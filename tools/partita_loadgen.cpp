@@ -39,8 +39,18 @@
 // request must be observed reaching exactly one terminal state over the
 // wire, else exit 1.
 //
+// Kill-and-recover harness (docs/durability.md): --kill-after MS --kill-pid
+// P SIGKILLs the serving process mid-storm (simulated power loss) from a
+// timer thread; with --recover, requests whose connection died are counted
+// `interrupted` instead of lost -- their fate is settled by the journal, not
+// the wire. After the restarted daemon replays them, --verify-journal DIR
+// polls the journal until no admit is undecided (--verify-timeout S, default
+// 60) and then asserts every admitted item reached exactly one terminal
+// state, dumping deterministic `terminal STATE LABEL SIGNATURE` lines the CI
+// recover job diffs against an uninterrupted control run.
+//
 // exit codes: 0 ok, 1 lost terminal states / gate failure / priority did
-// not win, 2 usage, 3 connect failure.
+// not win / journal verification failure, 2 usage, 3 connect failure.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -51,14 +61,19 @@
 #include <map>
 #include <mutex>
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
+
+#include <signal.h>
 
 #include "bench_meta.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "service/journal.hpp"
 #include "service/solve_service.hpp"
 #include "support/json.hpp"
 
@@ -89,6 +104,11 @@ struct Options {
   double repeat_fraction = 0.0;           // P(resubmit an issued request verbatim)
   double perturb_fraction = 0.0;          // P(resubmit with a shifted gain)
   bool cache = false;                     // self-serve: enable the solution cache
+  double kill_after_ms = 0.0;             // SIGKILL --kill-pid after this delay
+  long kill_pid = 0;
+  bool recover = false;                   // connection death = interrupted, not lost
+  std::string verify_journal;             // journal dir to verify, then exit
+  double verify_timeout_s = 60.0;         // poll budget for undecided admits
 };
 
 /// One observed request: its class, end-to-end latency, terminal state and
@@ -105,6 +125,7 @@ struct RunResult {
   double seconds = 0.0;
   std::vector<Rec> recs;
   std::uint64_t lost = 0;      // submits with no observed terminal state
+  std::uint64_t interrupted = 0;  // connection died under --recover; journal decides
   std::uint64_t submitted = 0;
 };
 
@@ -120,7 +141,9 @@ double ms_since(SteadyClock::time_point t0) {
       "  [--sessions N] [--requests N] [--cancel-prob P] [--seed S]\n"
       "  [--workers N] [--queue-depth N] [--out PATH | --no-out]\n"
       "  [--check BASELINE] [--require-priority-win]\n"
-      "  [--repeat-fraction P] [--perturb-fraction P] [--cache]\n");
+      "  [--repeat-fraction P] [--perturb-fraction P] [--cache]\n"
+      "  [--kill-after MS --kill-pid P] [--recover]\n"
+      "  [--verify-journal DIR [--verify-timeout S]]\n");
   std::exit(kExitUsage);
 }
 
@@ -163,6 +186,9 @@ net::WireRequest make_request(const std::string& scenario, const Scenario& sc,
   net::WireRequest req;
   req.verb = "submit";
   req.tenant = "tenant" + std::to_string(session % 3);
+  // Deterministic label: the recover harness joins a crashed run against its
+  // uninterrupted control by label to compare solution signatures.
+  req.label = "s" + std::to_string(session) + "r" + std::to_string(k);
   if (scenario == "mixed") {
     if (session < sc.interactive_sessions) {
       // Interactive class: tiny instance, tiny declared budget -- the
@@ -255,6 +281,7 @@ struct SharedRun {
   std::mutex mu;
   std::vector<Rec> recs;
   std::uint64_t lost = 0;
+  std::uint64_t interrupted = 0;
   std::uint64_t submitted = 0;
 };
 
@@ -287,7 +314,10 @@ void session_closed(const std::string& endpoint, const std::string& scenario,
     auto sub = client.call(req, &err);
     if (!sub || !sub->ok) {
       std::lock_guard<std::mutex> lk(out.mu);
-      ++out.lost;
+      // Under --recover, a dead connection is an interruption, not a loss:
+      // the write-ahead journal is the authority on whether the request was
+      // acknowledged, and --verify-journal settles its fate after recovery.
+      if (!sub && opt.recover) ++out.interrupted; else ++out.lost;
       if (!sub) return;  // connection gone; remaining requests never submitted
       continue;
     }
@@ -309,7 +339,7 @@ void session_closed(const std::string& endpoint, const std::string& scenario,
     auto done = client.call(w, &err);
     if (!done || !done->result) {
       std::lock_guard<std::mutex> lk(out.mu);
-      ++out.lost;
+      if (!done && opt.recover) ++out.interrupted; else ++out.lost;
       if (!done) return;
       continue;
     }
@@ -350,7 +380,7 @@ void session_open(const std::string& endpoint, const std::string& scenario,
     auto sub = client.call(req, &err);  // admission answers immediately
     if (!sub || !sub->ok) {
       std::lock_guard<std::mutex> lk(out.mu);
-      ++out.lost;
+      if (!sub && opt.recover) ++out.interrupted; else ++out.lost;
       if (!sub) break;
       continue;
     }
@@ -372,7 +402,7 @@ void session_open(const std::string& endpoint, const std::string& scenario,
     const std::uint64_t wid = client.send(w, &err);
     if (wid == 0) {
       std::lock_guard<std::mutex> lk(out.mu);
-      ++out.lost;
+      if (opt.recover) ++out.interrupted; else ++out.lost;
       break;
     }
     waiting.emplace(wid, InFlight{klass, t0});
@@ -383,7 +413,7 @@ void session_open(const std::string& endpoint, const std::string& scenario,
     auto resp = client.recv(&err);
     if (!resp) {
       std::lock_guard<std::mutex> lk(out.mu);
-      out.lost += waiting.size();
+      if (opt.recover) out.interrupted += waiting.size(); else out.lost += waiting.size();
       break;
     }
     auto it = waiting.find(resp->id);
@@ -423,6 +453,7 @@ RunResult run_scenario(const std::string& endpoint, const std::string& policy_la
   r.seconds = ms_since(t0) / 1000.0;
   r.recs = std::move(shared.recs);
   r.lost = shared.lost;
+  r.interrupted = shared.interrupted;
   r.submitted = shared.submitted;
   return r;
 }
@@ -491,6 +522,7 @@ std::string result_json(const RunResult& r) {
      << ", \"cancelled\": " << count_state(r, "cancelled")
      << ", \"rejected\": " << count_state(r, "rejected")
      << ", \"failed\": " << count_state(r, "failed") << ", \"lost\": " << r.lost;
+  if (r.interrupted > 0) os << ", \"interrupted\": " << r.interrupted;
   if (const CacheTally t = cache_tally(r); t.probed() + t.bypass > 0) {
     os << ", \"cache\": {\"hit\": " << t.hit << ", \"neighbor\": " << t.neighbor
        << ", \"miss\": " << t.miss << ", \"bypass\": " << t.bypass
@@ -514,7 +546,7 @@ std::string result_json(const RunResult& r) {
 void print_summary(const RunResult& r) {
   const std::vector<double> all = served_latencies(r, -1);
   std::printf("%-10s %4llu reqs in %6.2fs  %7.1f req/s  p50 %8.2fms  p99 %8.2fms"
-              "  [c=%llu x=%llu r=%llu f=%llu lost=%llu]\n",
+              "  [c=%llu x=%llu r=%llu f=%llu lost=%llu int=%llu]\n",
               r.policy.c_str(), static_cast<unsigned long long>(r.submitted), r.seconds,
               r.seconds > 0 ? static_cast<double>(r.submitted) / r.seconds : 0.0,
               percentile(all, 0.50), percentile(all, 0.99),
@@ -522,7 +554,8 @@ void print_summary(const RunResult& r) {
               static_cast<unsigned long long>(count_state(r, "cancelled")),
               static_cast<unsigned long long>(count_state(r, "rejected")),
               static_cast<unsigned long long>(count_state(r, "failed")),
-              static_cast<unsigned long long>(r.lost));
+              static_cast<unsigned long long>(r.lost),
+              static_cast<unsigned long long>(r.interrupted));
   for (int klass = 0; klass < service::kPriorityClasses; ++klass) {
     const std::vector<double> xs = served_latencies(r, klass);
     if (xs.empty()) continue;
@@ -648,6 +681,69 @@ int check_baseline(const std::string& path, const std::vector<RunResult>& runs) 
   return rc;
 }
 
+// --- journal verification ---------------------------------------------------
+
+/// Settles a kill-and-recover run from the journal itself: polls recover()
+/// (a read-only scan, safe while the recovered daemon still appends) until
+/// no admit is undecided, then asserts every admitted item reached exactly
+/// one terminal STATE. At-least-once execution may write the same terminal
+/// record twice (a replayed batch re-finishes items that were already
+/// decided); what must never happen is two CONFLICTING terminal states for
+/// one admitted item, or an item with none at all. Completed terminals are
+/// dumped as sorted `terminal completed LABEL SIGNATURE` lines so the CI
+/// recover job can diff signatures against an uninterrupted control run.
+int verify_journal_dir(const std::string& dir, double timeout_s) {
+  service::JournalRecovery rec;
+  const auto t0 = SteadyClock::now();
+  for (;;) {
+    rec = service::Journal::recover(dir);
+    if (rec.undecided.empty()) break;
+    if (ms_since(t0) / 1000.0 > timeout_s) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("journal %s: %zu segments, %zu records salvaged, %zu records + "
+              "%zu bytes dropped\n",
+              dir.c_str(), rec.segments, rec.records_salvaged,
+              rec.records_dropped, rec.bytes_dropped);
+  int rc = 0;
+  if (!rec.undecided.empty()) {
+    std::fprintf(stderr,
+                 "partita_loadgen: FAILED: %zu acknowledged admits still lack "
+                 "a terminal state after %.0fs:",
+                 rec.undecided.size(), timeout_s);
+    for (const service::JournalRecord& r : rec.undecided)
+      std::fprintf(stderr, " seq=%llu", static_cast<unsigned long long>(r.seq));
+    std::fprintf(stderr, "\n");
+    rc = 1;
+  }
+  // Exactly-one-terminal-STATE: distinct (state, signature) values per item.
+  std::map<std::pair<std::uint64_t, std::size_t>,
+           std::set<std::pair<std::string, std::string>>> outcomes;
+  for (const service::JournalTerminal& t : rec.terminals)
+    outcomes[{t.seq, t.item}].insert({t.state, t.signature});
+  for (const auto& [key, states] : outcomes) {
+    if (states.size() <= 1) continue;
+    std::fprintf(stderr,
+                 "partita_loadgen: FAILED: admit seq=%llu item=%zu has %zu "
+                 "conflicting terminal states\n",
+                 static_cast<unsigned long long>(key.first), key.second,
+                 states.size());
+    rc = 1;
+  }
+  // Deterministic dump for cross-run signature comparison (dedup: re-executed
+  // items repeat identical lines).
+  std::set<std::tuple<std::string, std::string, std::string>> lines;
+  for (const service::JournalTerminal& t : rec.terminals)
+    lines.insert({t.state, t.label, t.signature});
+  for (const auto& [state, label, signature] : lines)
+    std::printf("terminal %s %s %s\n", state.c_str(), label.c_str(),
+                signature.c_str());
+  std::printf("journal verdict: %s (%zu items decided)\n",
+              rc == 0 ? "exactly-one-terminal-state holds" : "FAILED",
+              outcomes.size());
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -693,7 +789,20 @@ int main(int argc, char** argv) {
     else if (flag == "--repeat-fraction") opt.repeat_fraction = std::atof(need_value());
     else if (flag == "--perturb-fraction") opt.perturb_fraction = std::atof(need_value());
     else if (flag == "--cache") opt.cache = true;
+    else if (flag == "--kill-after") opt.kill_after_ms = std::atof(need_value());
+    else if (flag == "--kill-pid") opt.kill_pid = std::atol(need_value());
+    else if (flag == "--recover") opt.recover = true;
+    else if (flag == "--verify-journal") opt.verify_journal = need_value();
+    else if (flag == "--verify-timeout") opt.verify_timeout_s = std::atof(need_value());
     else usage();
+  }
+  if (!opt.verify_journal.empty()) {
+    return verify_journal_dir(opt.verify_journal, opt.verify_timeout_s);
+  }
+  if (opt.kill_after_ms > 0 && (opt.kill_pid <= 0 || opt.connect.empty())) {
+    std::fprintf(stderr,
+                 "partita_loadgen: --kill-after needs --kill-pid and --connect\n");
+    return kExitUsage;
   }
   if (opt.repeat_fraction < 0 || opt.perturb_fraction < 0 ||
       opt.repeat_fraction + opt.perturb_fraction > 1.0) {
@@ -719,7 +828,20 @@ int main(int argc, char** argv) {
     auto stats = probe.call(s, &err);
     const std::string label = stats && !stats->policy.empty() ? stats->policy : "remote";
     probe.close();
+    // Kill-and-recover: a timer thread SIGKILLs the daemon mid-storm --
+    // simulated power loss at an arbitrary point in the request stream.
+    std::thread killer;
+    if (opt.kill_after_ms > 0) {
+      killer = std::thread([&opt] {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(opt.kill_after_ms));
+        ::kill(static_cast<pid_t>(opt.kill_pid), SIGKILL);
+        std::printf("partita_loadgen: SIGKILLed pid %ld after %.0fms\n",
+                    opt.kill_pid, opt.kill_after_ms);
+      });
+    }
     runs.push_back(run_scenario(opt.connect, label, opt.scenario, sc, opt));
+    if (killer.joinable()) killer.join();
   } else {
     for (const std::string& policy : opt.policies) {
       service::ServiceConfig cfg;
@@ -750,12 +872,20 @@ int main(int argc, char** argv) {
   for (const RunResult& r : runs) print_summary(r);
 
   int rc = 0;
-  std::uint64_t lost = 0;
-  for (const RunResult& r : runs) lost += r.lost;
+  std::uint64_t lost = 0, interrupted = 0;
+  for (const RunResult& r : runs) {
+    lost += r.lost;
+    interrupted += r.interrupted;
+  }
   if (lost > 0) {
     std::fprintf(stderr, "partita_loadgen: FAILED: %llu lost terminal states\n",
                  static_cast<unsigned long long>(lost));
     rc = 1;
+  }
+  if (interrupted > 0) {
+    std::printf("partita_loadgen: %llu requests interrupted by process death; "
+                "settle them with --verify-journal after recovery\n",
+                static_cast<unsigned long long>(interrupted));
   }
 
   if (opt.require_priority_win) {

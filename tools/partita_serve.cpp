@@ -20,16 +20,29 @@
 //   --max-live-per-tenant N  per-tenant live-request quota (0 = off)
 //   --max-sessions N      concurrent connections (default 64)
 //   --quarantine-dir D    directory for replayable quarantine fixtures
-//   --fault SITE[:n]      arm a fault-injection site (repeatable); the
-//                         PARTITA_FAULT env var arms one more
+//   --fault SITE[:n[:crash]]  arm a fault-injection site (repeatable); the
+//                         PARTITA_FAULT env var arms one more. A ":crash"
+//                         suffix SIGKILLs the process at the trip point
+//                         (simulated power loss -- the recovery harness).
 //   --cache               enable the cross-request solution cache
 //                         (docs/caching.md)
 //   --cache-capacity N    cache entry bound (implies --cache; default 256)
 //   --cache-mb N          cache byte budget (implies --cache; default 64)
 //   --no-neighbor-seeding disable warm-start seeding of near-misses
+//   --journal-dir D       enable the write-ahead journal (docs/durability.md):
+//                         admits are durable before they are acknowledged,
+//                         and on boot every undecided admit found in D is
+//                         replayed through normal admission under its
+//                         original envelope. The solution-cache snapshot
+//                         (D/cache.snapshot) is saved on graceful drain and
+//                         reloaded here too.
+//   --checkpoint-dir D    branch & bound checkpoint directory (default
+//                         <journal-dir>/checkpoints when journaling)
+//   --checkpoint-waves N  checkpoint cadence in solver waves (default 8
+//                         when journaling; 0 disables)
 //
 // exit codes: 0 clean shutdown (SIGTERM/SIGINT), 2 usage/bad config,
-// 3 bind failure.
+// 3 bind failure, 4 journal open failure.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -39,9 +52,12 @@
 
 #include <unistd.h>
 
+#include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "service/journal.hpp"
 #include "service/solve_service.hpp"
 #include "support/fault_injection.hpp"
+#include "support/io.hpp"
 
 using namespace partita;
 
@@ -49,6 +65,7 @@ namespace {
 
 constexpr int kExitUsage = 2;
 constexpr int kExitBind = 3;
+constexpr int kExitJournal = 4;
 
 volatile std::sig_atomic_t g_stop = 0;
 
@@ -59,31 +76,46 @@ void on_signal(int) { g_stop = 1; }
                "usage: %s [--listen SPEC] [--port-file PATH] [--policy P]\n"
                "       [--workers N] [--queue-depth N] [--max-memory-mb N]\n"
                "       [--max-live-per-tenant N] [--max-sessions N]\n"
-               "       [--quarantine-dir D] [--fault SITE[:n]]\n"
+               "       [--quarantine-dir D] [--fault SITE[:n[:crash]]]\n"
                "       [--cache] [--cache-capacity N] [--cache-mb N]\n"
-               "       [--no-neighbor-seeding]\n"
+               "       [--no-neighbor-seeding] [--journal-dir D]\n"
+               "       [--checkpoint-dir D] [--checkpoint-waves N]\n"
                "\n"
                "SPEC: tcp:HOST:PORT (PORT 0 = ephemeral) or unix:PATH\n"
-               "exit: 0 clean shutdown, 2 usage, 3 bind failure\n",
+               "exit: 0 clean shutdown, 2 usage, 3 bind failure,\n"
+               "      4 journal open failure\n",
                argv0);
   std::exit(kExitUsage);
 }
 
+// SITE[:n[:crash]] -- ":crash" upgrades the trip to a SIGKILL of this
+// process (simulated power loss), which is how the kill-and-recover
+// harness injects death at exact journal/checkpoint boundaries.
 void arm_fault(const std::string& spec_in) {
   std::string spec = spec_in;
+  bool crash = false;
+  if (spec.size() > 6 && spec.compare(spec.size() - 6, 6, ":crash") == 0) {
+    crash = true;
+    spec.resize(spec.size() - 6);
+  }
   std::uint64_t trip_at = 1;
-  if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+  if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos &&
+      spec.find_first_not_of("0123456789", colon + 1) == std::string::npos &&
+      colon + 1 < spec.size()) {
     trip_at = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
     if (trip_at == 0) trip_at = 1;
     spec.resize(colon);
   }
-  support::FaultInjector::instance().arm(spec, trip_at);
+  support::FaultInjector::instance().arm(spec, trip_at, /*sticky=*/true, crash);
 }
 
 int run(int argc, char** argv) {
   service::ServiceConfig cfg;
   net::ServerConfig net_cfg;
   std::string port_file;
+  std::string journal_dir;
+  std::string checkpoint_dir;
+  int checkpoint_waves = -1;  // -1 = default (8 when journaling, else 0)
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto need_value = [&]() -> const char* {
@@ -118,6 +150,9 @@ int run(int argc, char** argv) {
           static_cast<std::size_t>(std::atof(need_value()) * 1024.0 * 1024.0);
     } else if (flag == "--no-neighbor-seeding")
       cfg.cache_neighbor_seeding = false;
+    else if (flag == "--journal-dir") journal_dir = need_value();
+    else if (flag == "--checkpoint-dir") checkpoint_dir = need_value();
+    else if (flag == "--checkpoint-waves") checkpoint_waves = std::atoi(need_value());
     else usage(argv[0]);
   }
   if (cfg.workers < 1 || cfg.max_queue_depth < 1) {
@@ -133,7 +168,81 @@ int run(int argc, char** argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 
+  // The journal outlives the service on purpose: SolveService::drain()
+  // compacts through cfg.journal, so the journal must still be open when
+  // svc destructs. Declaration order gives reverse destruction.
+  service::Journal journal;
+  service::JournalRecovery rec;
+  if (!journal_dir.empty()) {
+    rec = service::Journal::recover(journal_dir);
+    service::Journal::Config jc;
+    jc.dir = journal_dir;
+    if (!journal.open(jc, rec)) {
+      std::fprintf(stderr, "partita_serve: cannot open journal in %s\n",
+                   journal_dir.c_str());
+      return kExitJournal;
+    }
+    cfg.journal = &journal;
+    if (checkpoint_dir.empty()) checkpoint_dir = journal_dir + "/checkpoints";
+    if (checkpoint_waves < 0) checkpoint_waves = 8;
+    if (rec.records_dropped != 0 || rec.bytes_dropped != 0)
+      std::printf(
+          "partita_serve: journal salvage: %llu records kept, %llu records "
+          "and %llu bytes dropped past last valid frame\n",
+          static_cast<unsigned long long>(rec.records_salvaged),
+          static_cast<unsigned long long>(rec.records_dropped),
+          static_cast<unsigned long long>(rec.bytes_dropped));
+  }
+  if (!checkpoint_dir.empty() && (checkpoint_waves > 0 || journal.is_open())) {
+    cfg.checkpoint_dir = checkpoint_dir;
+    cfg.checkpoint_every_waves = checkpoint_waves > 0 ? checkpoint_waves : 0;
+  }
+
   service::SolveService svc(cfg);
+
+  if (journal.is_open()) {
+    // Reload the solution-cache snapshot saved by the previous graceful
+    // drain; absence or staleness is fine (generation checks drop stale).
+    std::string snap;
+    if (cfg.cache_enabled &&
+        support::io::read_file(journal_dir + "/cache.snapshot", &snap)) {
+      const std::size_t n = svc.import_cache_snapshot(snap);
+      if (n != 0)
+        std::printf("partita_serve: cache snapshot reloaded (%zu entries)\n", n);
+    }
+    // Replay every undecided admit through normal admission, oldest first,
+    // before the listener opens -- recovered work holds its original
+    // envelope and cannot race new clients for its journal seq. Admission
+    // can transiently reject (queue depth); retry until the pool drains
+    // enough to take it. Replays carry journal_seq, so the service appends
+    // no duplicate admit record.
+    std::size_t replayed = 0, skipped = 0;
+    for (const service::JournalRecord& r : rec.undecided) {
+      service::SolveRequest sreq;
+      std::string jwhy;
+      if (!net::from_journal_payload(r.payload, r.seq, &sreq, &jwhy)) {
+        std::fprintf(stderr,
+                     "partita_serve: journal seq %llu not replayable: %s\n",
+                     static_cast<unsigned long long>(r.seq), jwhy.c_str());
+        ++skipped;
+        continue;
+      }
+      for (;;) {
+        service::SolveRequest attempt = sreq;
+        const service::SubmitOutcome sub = svc.submit(std::move(attempt));
+        if (sub.state != service::RequestState::kRejected) break;
+        ::usleep(static_cast<useconds_t>(
+            (sub.retry_after_seconds > 0.01 ? sub.retry_after_seconds : 0.01) *
+            1e6));
+      }
+      ++replayed;
+    }
+    if (replayed != 0 || skipped != 0)
+      std::printf("partita_serve: journal replay: %zu re-admitted, %zu skipped\n",
+                  replayed, skipped);
+    std::fflush(stdout);
+  }
+
   net::WireServer server(svc, net_cfg);
   std::string why;
   if (!server.start(&why)) {
@@ -159,6 +268,13 @@ int run(int argc, char** argv) {
   std::fflush(stdout);
   svc.drain();
   server.stop();
+  if (journal.is_open() && cfg.cache_enabled) {
+    // Persist warm cache entries next to the journal; reload happens on the
+    // next boot. Atomic rename, so a crash here leaves the old snapshot.
+    const std::string snap = svc.export_cache_snapshot();
+    if (!snap.empty())
+      support::io::write_file_atomic(journal_dir + "/cache.snapshot", snap);
+  }
   const service::ServiceStats st = svc.stats();
   const net::ServerStats ns = server.stats();
   std::printf(
@@ -174,6 +290,17 @@ int run(int argc, char** argv) {
       static_cast<unsigned long long>(ns.frames_in),
       static_cast<unsigned long long>(ns.frames_out),
       static_cast<unsigned long long>(ns.protocol_errors));
+  if (journal.is_open()) {
+    const service::JournalStats js = journal.stats();
+    std::printf(
+        "partita_serve: journal admits=%llu terminals=%llu rotations=%llu "
+        "append-failures=%llu recovered=%llu\n",
+        static_cast<unsigned long long>(js.admits),
+        static_cast<unsigned long long>(js.terminals),
+        static_cast<unsigned long long>(js.rotations),
+        static_cast<unsigned long long>(js.append_failures),
+        static_cast<unsigned long long>(st.recovered_requests));
+  }
   if (!port_file.empty()) ::unlink(port_file.c_str());
   return 0;
 }
